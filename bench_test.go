@@ -1,0 +1,290 @@
+package dew
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus ablation benchmarks for the design choices DESIGN.md calls out.
+// The figure benchmarks report the paper's derived metrics
+// (speedup, comparison reduction) via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates every headline number in
+// miniature. cmd/experiments produces the full tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"dew/internal/cache"
+	"dew/internal/core"
+	"dew/internal/lrutree"
+	"dew/internal/refsim"
+	"dew/internal/sweep"
+	"dew/internal/trace"
+	"dew/internal/workload"
+)
+
+// benchRequests keeps individual benchmark iterations fast while large
+// enough to exercise every property; cmd/experiments runs full scale.
+const benchRequests = 100_000
+
+// benchMaxLog bounds set counts at 2^10 in the benches (the paper's 2^14
+// is exercised by cmd/experiments and TestPaperScaleOptions).
+const benchMaxLog = 10
+
+var benchTraces = map[string]trace.Trace{}
+
+func benchTrace(b *testing.B, app workload.App) trace.Trace {
+	b.Helper()
+	tr, ok := benchTraces[app.Name]
+	if !ok {
+		tr = workload.Take(app.Generator(1), benchRequests)
+		benchTraces[app.Name] = tr
+	}
+	return tr
+}
+
+// BenchmarkTable1ConfigSpace measures enumerating the 525-configuration
+// parameter space of Table 1.
+func BenchmarkTable1ConfigSpace(b *testing.B) {
+	space := cache.PaperSpace()
+	for i := 0; i < b.N; i++ {
+		cfgs := space.Configs()
+		if len(cfgs) != 525 {
+			b.Fatalf("got %d configs", len(cfgs))
+		}
+	}
+}
+
+// BenchmarkTable2TraceGeneration measures the synthetic Mediabench trace
+// generators that stand in for Table 2's SimpleScalar traces.
+func BenchmarkTable2TraceGeneration(b *testing.B) {
+	for _, app := range workload.Apps() {
+		b.Run(app.Name, func(b *testing.B) {
+			g := app.Generator(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.Next()
+			}
+		})
+	}
+}
+
+// BenchmarkTable3DEW measures the DEW side of Table 3: one single-pass
+// simulation of all set counts for each (app, block, assoc) cell.
+func BenchmarkTable3DEW(b *testing.B) {
+	for _, app := range workload.Apps() {
+		for _, block := range []int{4, 16, 64} {
+			for _, assoc := range []int{4, 8, 16} {
+				name := fmt.Sprintf("%s/B%d/A%d", app.Name, block, assoc)
+				b.Run(name, func(b *testing.B) {
+					tr := benchTrace(b, app)
+					opt := core.Options{MaxLogSets: benchMaxLog, Assoc: assoc, BlockSize: block}
+					b.ResetTimer()
+					var cmps uint64
+					for i := 0; i < b.N; i++ {
+						sim := core.MustNew(opt)
+						if err := sim.Simulate(tr.NewSliceReader()); err != nil {
+							b.Fatal(err)
+						}
+						cmps = sim.Counters().TagComparisons
+					}
+					b.ReportMetric(float64(cmps)/float64(len(tr)), "cmp/access")
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr)), "ns/access")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable3Reference measures the baseline side of Table 3: one
+// reference pass per configuration (the Dinero IV methodology) for a
+// representative subset of cells.
+func BenchmarkTable3Reference(b *testing.B) {
+	for _, app := range []workload.App{workload.CJPEG, workload.MPEG2Dec} {
+		for _, block := range []int{4, 64} {
+			for _, assoc := range []int{4, 8} {
+				name := fmt.Sprintf("%s/B%d/A%d", app.Name, block, assoc)
+				b.Run(name, func(b *testing.B) {
+					tr := benchTrace(b, app)
+					b.ResetTimer()
+					var cmps uint64
+					for i := 0; i < b.N; i++ {
+						cmps = 0
+						for log := 0; log <= benchMaxLog; log++ {
+							for _, a := range []int{1, assoc} {
+								cfg := cache.MustConfig(1<<log, a, block)
+								stats, err := refsim.RunTrace(cfg, cache.FIFO, tr)
+								if err != nil {
+									b.Fatal(err)
+								}
+								cmps += stats.TagComparisons
+							}
+						}
+					}
+					b.ReportMetric(float64(cmps)/float64(len(tr)), "cmp/access")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable4Properties reports the Table 4 property counters per
+// access for every app at block size 4 (associativity 4 and 8).
+func BenchmarkTable4Properties(b *testing.B) {
+	for _, app := range workload.Apps() {
+		for _, assoc := range []int{4, 8} {
+			name := fmt.Sprintf("%s/A%d", app.Name, assoc)
+			b.Run(name, func(b *testing.B) {
+				tr := benchTrace(b, app)
+				opt := core.Options{MaxLogSets: benchMaxLog, Assoc: assoc, BlockSize: 4}
+				var c core.Counters
+				var unopt uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sim := core.MustNew(opt)
+					if err := sim.Simulate(tr.NewSliceReader()); err != nil {
+						b.Fatal(err)
+					}
+					c = sim.Counters()
+					unopt = sim.UnoptimizedEvaluations()
+				}
+				n := float64(len(tr))
+				b.ReportMetric(float64(c.NodeEvaluations)/n, "eval/access")
+				b.ReportMetric(float64(unopt)/n, "unoptEval/access")
+				b.ReportMetric(float64(c.MRACount)/n, "mra/access")
+				b.ReportMetric(float64(c.Searches)/n, "search/access")
+				b.ReportMetric(float64(c.WaveCount)/n, "wave/access")
+				b.ReportMetric(float64(c.MRECount)/n, "mre/access")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5Speedup reproduces Figure 5's metric: the measured
+// wall-time ratio between the per-configuration baseline and one DEW
+// pass, reported as "speedup".
+func BenchmarkFigure5Speedup(b *testing.B) {
+	for _, app := range []workload.App{workload.DJPEG, workload.MPEG2Dec} {
+		for _, block := range []int{4, 16, 64} {
+			name := fmt.Sprintf("%s/B%d", app.Name, block)
+			b.Run(name, func(b *testing.B) {
+				tr := benchTrace(b, app)
+				p := sweep.Params{App: app, BlockSize: block, Assoc: 4, MaxLogSets: benchMaxLog}
+				var speedup float64
+				for i := 0; i < b.N; i++ {
+					cell, err := (sweep.Runner{}).RunCellTrace(p, tr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					speedup = cell.Speedup()
+				}
+				b.ReportMetric(speedup, "speedup")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6ComparisonReduction reproduces Figure 6's metric: the
+// percentage reduction of tag comparisons, reported as "reduction%".
+func BenchmarkFigure6ComparisonReduction(b *testing.B) {
+	for _, app := range []workload.App{workload.DJPEG, workload.MPEG2Dec} {
+		for _, block := range []int{4, 16, 64} {
+			name := fmt.Sprintf("%s/B%d", app.Name, block)
+			b.Run(name, func(b *testing.B) {
+				tr := benchTrace(b, app)
+				p := sweep.Params{App: app, BlockSize: block, Assoc: 4, MaxLogSets: benchMaxLog}
+				var red float64
+				for i := 0; i < b.N; i++ {
+					cell, err := (sweep.Runner{}).RunCellTrace(p, tr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					red = cell.ComparisonReduction()
+				}
+				b.ReportMetric(red, "reduction%")
+			})
+		}
+	}
+}
+
+// BenchmarkAblation quantifies each DEW property's contribution by
+// disabling them one at a time (and all together), the ablation DESIGN.md
+// calls out. Compare ns/op and cmp/access across sub-benchmarks.
+func BenchmarkAblation(b *testing.B) {
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"full", core.Options{}},
+		{"noMRA", core.Options{DisableMRA: true}},
+		{"noWave", core.Options{DisableWave: true}},
+		{"noMRE", core.Options{DisableMRE: true}},
+		{"none", core.Options{DisableMRA: true, DisableWave: true, DisableMRE: true}},
+	}
+	tr := workload.Take(workload.CJPEG.Generator(1), benchRequests)
+	for _, v := range variants {
+		opt := v.opt
+		opt.MaxLogSets = benchMaxLog
+		opt.Assoc = 4
+		opt.BlockSize = 16
+		b.Run(v.name, func(b *testing.B) {
+			var cmps uint64
+			for i := 0; i < b.N; i++ {
+				sim := core.MustNew(opt)
+				if err := sim.Simulate(tr.NewSliceReader()); err != nil {
+					b.Fatal(err)
+				}
+				cmps = sim.Counters().TagComparisons
+			}
+			b.ReportMetric(float64(cmps)/float64(len(tr)), "cmp/access")
+		})
+	}
+}
+
+// BenchmarkLRUTreeVsDEW contrasts the two single-pass simulators (FIFO
+// vs LRU policies) on the same trace — the related-work baseline.
+func BenchmarkLRUTreeVsDEW(b *testing.B) {
+	tr := workload.Take(workload.G721Enc.Generator(1), benchRequests)
+	b.Run("DEW-FIFO", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := core.MustNew(core.Options{MaxLogSets: benchMaxLog, Assoc: 4, BlockSize: 16})
+			if err := sim.Simulate(tr.NewSliceReader()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Tree-LRU", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := lrutree.MustNew(lrutree.Options{MaxLogSets: benchMaxLog, Assoc: 4, BlockSize: 16})
+			if err := sim.Simulate(tr.NewSliceReader()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The paper's Section 2.1 limitation: DEW can simulate LRU but is
+	// expected to be slower than the LRU-specialized tree simulator.
+	b.Run("DEW-LRU", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := core.MustNew(core.Options{MaxLogSets: benchMaxLog, Assoc: 4, BlockSize: 16, Policy: cache.LRU})
+			if err := sim.Simulate(tr.NewSliceReader()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestPaperScaleOptions confirms the paper's full parameterization
+// (15 levels up to 16384 sets, associativity up to 16, block sizes to 64)
+// is accepted and runs end to end on a short trace.
+func TestPaperScaleOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale allocation test skipped in -short mode")
+	}
+	tr := workload.Take(workload.CJPEG.Generator(1), 10_000)
+	for _, block := range []int{1, 64} {
+		sim, err := core.Run(core.Options{MaxLogSets: 14, Assoc: 16, BlockSize: block}, tr.NewSliceReader())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(sim.Results()); got != 30 {
+			t.Errorf("B=%d: results = %d, want 30", block, got)
+		}
+	}
+}

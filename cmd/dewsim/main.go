@@ -1,0 +1,22 @@
+// Command dewsim — see dew/internal/cli.DewSim for the implementation
+// and flag documentation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dew/internal/cli"
+)
+
+func main() {
+	err := cli.DewSim(cli.Env{Stdout: os.Stdout, Stderr: os.Stderr}, os.Args[1:])
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "dewsim:", err)
+	if cli.IsUsage(err) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}

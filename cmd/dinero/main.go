@@ -1,0 +1,22 @@
+// Command dinero is a Dinero IV-style front end over the reference
+// simulator — see dew/internal/cli.Dinero for the flag documentation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dew/internal/cli"
+)
+
+func main() {
+	err := cli.Dinero(cli.Env{Stdout: os.Stdout, Stderr: os.Stderr}, os.Stdin, os.Args[1:])
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "dinero:", err)
+	if cli.IsUsage(err) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package dew is a from-scratch Go reproduction of "DEW: A Fast Level 1
+// Cache Simulation Approach for Embedded Processors with FIFO Replacement
+// Policy" (Haque, Peddersen, Janapsatya, Parameswaran — DATE 2010).
+//
+// The library simulates many level-1 cache configurations exactly, in a
+// single pass over a memory-address trace, for caches using the FIFO
+// replacement policy. See README.md for the architecture overview,
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record. The root package carries the repository-wide
+// benchmark harness (bench_test.go), one benchmark per table and figure
+// of the paper's evaluation.
+package dew

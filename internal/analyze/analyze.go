@@ -1,0 +1,218 @@
+// Package analyze computes the locality statistics of a memory trace —
+// request mix, stride distribution, same-block run lengths, reuse-time
+// profile and footprint — and can derive a generator specification that
+// produces a synthetic clone with similar cache behaviour.
+//
+// This closes the loop on the repository's SimpleScalar substitution
+// (DESIGN.md §5): given any real trace in .din/.dtb form, Analyze +
+// workload.NewClone yields a compact, shareable synthetic stand-in, the
+// standard methodology for distributing cache workloads when the
+// original traces are too large or proprietary.
+package analyze
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+
+	"dew/internal/trace"
+	"dew/internal/workload"
+)
+
+// maxStrides bounds the exact stride histogram; rarer strides aggregate
+// into OtherStrides.
+const maxStrides = 1024
+
+// Analysis summarizes one trace.
+type Analysis struct {
+	// Accesses is the trace length.
+	Accesses uint64
+	// KindMix counts accesses by kind.
+	KindMix [3]uint64
+	// BlockSize is the granularity used for block-level statistics.
+	BlockSize int
+	// UniqueBlocks is the footprint in blocks.
+	UniqueBlocks uint64
+	// MinAddr and MaxAddr bound the touched addresses.
+	MinAddr, MaxAddr uint64
+	// Strides counts exact address deltas between consecutive accesses
+	// of the same kind, per kind (up to maxStrides distinct values per
+	// kind). Keeping the streams separate matters: an interleaved
+	// instruction/data trace has per-stream locality that a unified
+	// delta histogram would blur.
+	Strides [3]map[int64]uint64
+	// OtherStrides counts deltas beyond the tracked set, per kind.
+	OtherStrides [3]uint64
+	// SameBlockRuns is the number of maximal runs of consecutive
+	// accesses to one block; Accesses/SameBlockRuns is the mean streak
+	// length that feeds DEW's Property 2.
+	SameBlockRuns uint64
+	// ReuseTimeLog2 is a histogram of block reuse times (accesses since
+	// the block was last touched), bucketed by log2; index 0 counts
+	// reuse times of 1, index k counts times in [2^k, 2^(k+1)).
+	ReuseTimeLog2 [33]uint64
+	// ColdRefs counts first-ever block references.
+	ColdRefs uint64
+}
+
+// Analyze consumes the reader and computes statistics at the given block
+// granularity (positive power of two).
+func Analyze(r trace.Reader, blockSize int) (*Analysis, error) {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("analyze: block size must be a positive power of two, got %d", blockSize)
+	}
+	a := &Analysis{BlockSize: blockSize}
+	for k := range a.Strides {
+		a.Strides[k] = make(map[int64]uint64)
+	}
+	shift := uint(bits.TrailingZeros(uint(blockSize)))
+	var (
+		prevAddr [3]uint64
+		prevSet  [3]bool
+		lastSeen = make(map[uint64]uint64)
+		haveBlk  bool
+		lastBlk  uint64
+	)
+	for {
+		acc, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !acc.Kind.Valid() {
+			return nil, fmt.Errorf("analyze: invalid access kind %d", acc.Kind)
+		}
+		if a.Accesses == 0 {
+			a.MinAddr, a.MaxAddr = acc.Addr, acc.Addr
+		} else {
+			if acc.Addr < a.MinAddr {
+				a.MinAddr = acc.Addr
+			}
+			if acc.Addr > a.MaxAddr {
+				a.MaxAddr = acc.Addr
+			}
+		}
+		a.Accesses++
+		a.KindMix[acc.Kind]++
+
+		if prevSet[acc.Kind] {
+			delta := int64(acc.Addr - prevAddr[acc.Kind])
+			hist := a.Strides[acc.Kind]
+			if _, ok := hist[delta]; ok || len(hist) < maxStrides {
+				hist[delta]++
+			} else {
+				a.OtherStrides[acc.Kind]++
+			}
+		}
+		prevAddr[acc.Kind] = acc.Addr
+		prevSet[acc.Kind] = true
+
+		blk := acc.Addr >> shift
+		if !haveBlk || blk != lastBlk {
+			a.SameBlockRuns++
+			haveBlk = true
+			lastBlk = blk
+		}
+		if at, ok := lastSeen[blk]; ok {
+			dt := a.Accesses - at // >= 1
+			a.ReuseTimeLog2[bits.Len64(dt)-1]++
+		} else {
+			a.ColdRefs++
+		}
+		lastSeen[blk] = a.Accesses
+	}
+	a.UniqueBlocks = uint64(len(lastSeen))
+	return a, nil
+}
+
+// MeanStreak returns the average same-block run length, the quantity
+// DEW's MRA property feeds on.
+func (a *Analysis) MeanStreak() float64 {
+	if a.SameBlockRuns == 0 {
+		return 0
+	}
+	return float64(a.Accesses) / float64(a.SameBlockRuns)
+}
+
+// TopStrides returns the kind's n most frequent strides, descending by
+// count (ties broken by smaller magnitude for determinism).
+func (a *Analysis) TopStrides(kind trace.Kind, n int) []Stride {
+	out := make([]Stride, 0, len(a.Strides[kind]))
+	for d, c := range a.Strides[kind] {
+		out = append(out, Stride{Delta: d, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		ai, aj := out[i].Delta, out[j].Delta
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai < aj
+		}
+		return out[i].Delta < out[j].Delta
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Stride is one (delta, count) pair of the stride histogram.
+type Stride struct {
+	Delta int64
+	Count uint64
+}
+
+// CloneSpec derives a workload.CloneSpec reproducing the trace's
+// headline locality features: kind mix, dominant strides, footprint and
+// streakiness. strides bounds how many dominant strides are modelled.
+func (a *Analysis) CloneSpec(strides int) workload.CloneSpec {
+	spec := workload.CloneSpec{
+		BlockSize: a.BlockSize,
+		Base:      a.MinAddr,
+	}
+	span := a.MaxAddr - a.MinAddr + 1
+	if span == 0 {
+		span = 1
+	}
+	spec.Span = span
+	total := a.KindMix[0] + a.KindMix[1] + a.KindMix[2]
+	if total == 0 {
+		total = 1
+	}
+	spec.ReadFrac = float64(a.KindMix[trace.DataRead]) / float64(total)
+	spec.WriteFrac = float64(a.KindMix[trace.DataWrite]) / float64(total)
+
+	for k := range spec.Streams {
+		var strideTotal uint64
+		for _, c := range a.Strides[k] {
+			strideTotal += c
+		}
+		strideTotal += a.OtherStrides[k]
+		if strideTotal == 0 {
+			strideTotal = 1
+		}
+		for _, s := range a.TopStrides(trace.Kind(k), strides) {
+			spec.Streams[k].Strides = append(spec.Streams[k].Strides, workload.CloneStride{
+				Delta:  s.Delta,
+				Weight: float64(s.Count) / float64(strideTotal),
+			})
+		}
+	}
+	// The footprint in blocks bounds the random-jump working set.
+	spec.WorkingBlocks = a.UniqueBlocks
+	if spec.WorkingBlocks == 0 {
+		spec.WorkingBlocks = 1
+	}
+	return spec
+}

@@ -1,0 +1,173 @@
+package analyze
+
+import (
+	"testing"
+
+	"dew/internal/core"
+	"dew/internal/trace"
+	"dew/internal/workload"
+)
+
+func TestAnalyzeHandTrace(t *testing.T) {
+	tr := trace.Trace{
+		{Addr: 0, Kind: trace.IFetch},
+		{Addr: 4, Kind: trace.IFetch}, // stride +4
+		{Addr: 8, Kind: trace.IFetch}, // stride +4
+		{Addr: 100, Kind: trace.DataRead},
+		{Addr: 104, Kind: trace.DataRead}, // stride +4 (per-kind)
+		{Addr: 0, Kind: trace.IFetch},     // stride -8
+		{Addr: 1, Kind: trace.DataWrite},
+	}
+	a, err := Analyze(tr.NewSliceReader(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accesses != 7 {
+		t.Errorf("Accesses = %d", a.Accesses)
+	}
+	if a.KindMix[trace.IFetch] != 4 || a.KindMix[trace.DataRead] != 2 || a.KindMix[trace.DataWrite] != 1 {
+		t.Errorf("KindMix = %v", a.KindMix)
+	}
+	if a.Strides[trace.IFetch][4] != 2 {
+		t.Errorf("ifetch stride +4 count = %d, want 2", a.Strides[trace.IFetch][4])
+	}
+	if a.Strides[trace.IFetch][-8] != 1 {
+		t.Errorf("ifetch stride -8 count = %d, want 1", a.Strides[trace.IFetch][-8])
+	}
+	if a.Strides[trace.DataRead][4] != 1 {
+		t.Errorf("read stride +4 count = %d, want 1", a.Strides[trace.DataRead][4])
+	}
+	// Blocks at 4B: 0,1,2,25,26,0,0 -> unique {0,1,2,25,26} = 5.
+	if a.UniqueBlocks != 5 {
+		t.Errorf("UniqueBlocks = %d, want 5", a.UniqueBlocks)
+	}
+	if a.MinAddr != 0 || a.MaxAddr != 104 {
+		t.Errorf("bounds [%d, %d]", a.MinAddr, a.MaxAddr)
+	}
+	// Runs: 0|4|8|100|104|0|1 -> blocks 0,1,2,25,26,0,0 -> runs: 6
+	// (final two accesses share block 0).
+	if a.SameBlockRuns != 6 {
+		t.Errorf("SameBlockRuns = %d, want 6", a.SameBlockRuns)
+	}
+	if a.ColdRefs != 5 {
+		t.Errorf("ColdRefs = %d, want 5", a.ColdRefs)
+	}
+	// Reuse: access 6 (block 0, last seen access 1): dt=5 -> bucket 2;
+	// access 7 (block 0, last seen 6): dt=1 -> bucket 0.
+	if a.ReuseTimeLog2[0] != 1 || a.ReuseTimeLog2[2] != 1 {
+		t.Errorf("ReuseTimeLog2 = %v", a.ReuseTimeLog2[:4])
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(trace.Trace{}.NewSliceReader(), 3); err == nil {
+		t.Error("bad block size should fail")
+	}
+	bad := trace.Trace{{Addr: 0, Kind: 9}}
+	if _, err := Analyze(bad.NewSliceReader(), 4); err == nil {
+		t.Error("invalid kind should fail")
+	}
+}
+
+func TestMeanStreak(t *testing.T) {
+	tr := trace.Trace{{Addr: 0}, {Addr: 1}, {Addr: 2}, {Addr: 3}, {Addr: 64}, {Addr: 65}}
+	a, err := Analyze(tr.NewSliceReader(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two runs of length 4 and 2 -> mean 3.
+	if got := a.MeanStreak(); got != 3 {
+		t.Errorf("MeanStreak = %f, want 3", got)
+	}
+	var empty Analysis
+	if empty.MeanStreak() != 0 {
+		t.Error("empty MeanStreak should be 0")
+	}
+}
+
+func TestTopStridesOrdering(t *testing.T) {
+	var a Analysis
+	a.Strides[trace.IFetch] = map[int64]uint64{4: 100, -4: 100, 16: 50, 1: 200}
+	top := a.TopStrides(trace.IFetch, 3)
+	if len(top) != 3 {
+		t.Fatalf("TopStrides = %d entries", len(top))
+	}
+	if top[0].Delta != 1 {
+		t.Errorf("top stride = %+v, want delta 1", top[0])
+	}
+	// Tie at 100: smaller magnitude first, then negative before positive
+	// ordering by signed value.
+	if top[1].Delta != -4 || top[2].Delta != 4 {
+		t.Errorf("tie order = %+v, %+v", top[1], top[2])
+	}
+}
+
+func TestCloneSpecDerivation(t *testing.T) {
+	tr := workload.Take(workload.CJPEG.Generator(3), 50000)
+	a, err := Analyze(tr.NewSliceReader(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := a.CloneSpec(8)
+	if spec.Span == 0 || spec.WorkingBlocks == 0 {
+		t.Fatalf("degenerate spec %+v", spec)
+	}
+	if spec.ReadFrac < 0 || spec.ReadFrac+spec.WriteFrac > 1 {
+		t.Errorf("bad fractions: %f, %f", spec.ReadFrac, spec.WriteFrac)
+	}
+	ifetch := spec.Streams[trace.IFetch].Strides
+	if len(ifetch) == 0 || len(ifetch) > 8 {
+		t.Errorf("ifetch strides = %d", len(ifetch))
+	}
+	// The instruction stride +4 must dominate any CJPEG-like trace.
+	if ifetch[0].Delta != 4 {
+		t.Errorf("dominant ifetch stride = %d, want 4", ifetch[0].Delta)
+	}
+}
+
+// The clone must reproduce the source's headline locality: kind mix
+// within a few percent, footprint within 2x, mean streak within 2x —
+// and, the point of the exercise, broadly similar miss rates on a mid
+// sized cache.
+func TestCloneFidelity(t *testing.T) {
+	const n = 80000
+	src := workload.Take(workload.G721Enc.Generator(5), n)
+	a, err := Analyze(src.NewSliceReader(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := workload.Take(workload.NewClone(a.CloneSpec(12), 99), n)
+	b, err := Analyze(clone.NewSliceReader(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frac := func(m [3]uint64, k trace.Kind) float64 { return float64(m[k]) / float64(n) }
+	for _, k := range []trace.Kind{trace.DataRead, trace.DataWrite, trace.IFetch} {
+		if d := frac(a.KindMix, k) - frac(b.KindMix, k); d > 0.05 || d < -0.05 {
+			t.Errorf("kind %v mix: source %.3f vs clone %.3f", k, frac(a.KindMix, k), frac(b.KindMix, k))
+		}
+	}
+	if b.UniqueBlocks > 2*a.UniqueBlocks || a.UniqueBlocks > 2*b.UniqueBlocks {
+		t.Errorf("footprints: source %d vs clone %d blocks", a.UniqueBlocks, b.UniqueBlocks)
+	}
+	if b.MeanStreak() > 2*a.MeanStreak() || a.MeanStreak() > 2*b.MeanStreak() {
+		t.Errorf("streaks: source %.2f vs clone %.2f", a.MeanStreak(), b.MeanStreak())
+	}
+
+	missRate := func(tr trace.Trace) float64 {
+		sim := core.MustNew(core.Options{MaxLogSets: 8, Assoc: 4, BlockSize: 32})
+		if err := sim.Simulate(tr.NewSliceReader()); err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.MissesFor(256, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(m) / float64(n)
+	}
+	ms, mc := missRate(src), missRate(clone)
+	if mc > 4*ms+0.02 || ms > 4*mc+0.02 {
+		t.Errorf("32KiB miss rates far apart: source %.4f vs clone %.4f", ms, mc)
+	}
+}

@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewConfigValid(t *testing.T) {
+	cases := []struct{ s, a, b int }{
+		{1, 1, 1},
+		{2, 1, 4},
+		{256, 4, 32},
+		{16384, 16, 64},
+	}
+	for _, c := range cases {
+		cfg, err := NewConfig(c.s, c.a, c.b)
+		if err != nil {
+			t.Fatalf("NewConfig(%d,%d,%d): %v", c.s, c.a, c.b, err)
+		}
+		if cfg.SizeBytes() != c.s*c.a*c.b {
+			t.Errorf("SizeBytes = %d, want %d", cfg.SizeBytes(), c.s*c.a*c.b)
+		}
+	}
+}
+
+func TestNewConfigInvalid(t *testing.T) {
+	cases := []struct {
+		s, a, b int
+		wantSub string
+	}{
+		{0, 1, 1, "sets"},
+		{3, 1, 1, "sets"},
+		{-4, 1, 1, "sets"},
+		{4, 0, 1, "associativity"},
+		{4, 3, 1, "associativity"},
+		{4, 1, 0, "block size"},
+		{4, 1, 48, "block size"},
+	}
+	for _, c := range cases {
+		_, err := NewConfig(c.s, c.a, c.b)
+		if err == nil {
+			t.Fatalf("NewConfig(%d,%d,%d): want error", c.s, c.a, c.b)
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("NewConfig(%d,%d,%d) error %q does not mention %q", c.s, c.a, c.b, err, c.wantSub)
+		}
+	}
+}
+
+func TestMustConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustConfig(3,1,1) did not panic")
+		}
+	}()
+	MustConfig(3, 1, 1)
+}
+
+func TestAddressMapping(t *testing.T) {
+	cfg := MustConfig(256, 4, 32) // 8 index bits, 5 offset bits
+	if got := cfg.IndexBits(); got != 8 {
+		t.Fatalf("IndexBits = %d, want 8", got)
+	}
+	if got := cfg.OffsetBits(); got != 5 {
+		t.Fatalf("OffsetBits = %d, want 5", got)
+	}
+	const addr = 0xDEADBEEF
+	if got, want := cfg.BlockAddr(addr), uint64(addr>>5); got != want {
+		t.Errorf("BlockAddr = %#x, want %#x", got, want)
+	}
+	if got, want := cfg.Index(addr), uint64((addr>>5)&255); got != want {
+		t.Errorf("Index = %#x, want %#x", got, want)
+	}
+	if got, want := cfg.Tag(addr), uint64(addr>>13); got != want {
+		t.Errorf("Tag = %#x, want %#x", got, want)
+	}
+}
+
+func TestAddressMappingDegenerate(t *testing.T) {
+	// 1 set, block size 1: index is always 0, tag is the full address.
+	cfg := MustConfig(1, 2, 1)
+	for _, addr := range []uint64{0, 1, 12345, 1 << 40} {
+		if cfg.Index(addr) != 0 {
+			t.Errorf("Index(%d) = %d, want 0", addr, cfg.Index(addr))
+		}
+		if cfg.Tag(addr) != addr {
+			t.Errorf("Tag(%d) = %d, want %d", addr, cfg.Tag(addr), addr)
+		}
+	}
+}
+
+// Tag and index must together reconstruct the block address: the mapping
+// loses no information. Checked as a property over random addresses and
+// configurations.
+func TestTagIndexReconstruction(t *testing.T) {
+	f := func(addr uint64, lsRaw, lbRaw uint8) bool {
+		ls := int(lsRaw % 15)
+		lb := int(lbRaw % 7)
+		cfg := MustConfig(1<<ls, 1, 1<<lb)
+		rebuilt := cfg.Tag(addr)<<uint(ls) | cfg.Index(addr)
+		return rebuilt == cfg.BlockAddr(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Two addresses inside the same block must map to the same set and tag.
+func TestSameBlockSameSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := MustConfig(64, 2, 16)
+	for i := 0; i < 1000; i++ {
+		base := uint64(rng.Int63()) &^ 15 // block-aligned
+		off := uint64(rng.Intn(16))
+		if cfg.Index(base) != cfg.Index(base+off) || cfg.Tag(base) != cfg.Tag(base+off) {
+			t.Fatalf("addresses %#x and %#x map differently", base, base+off)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{MustConfig(256, 4, 32), "S=256 A=4 B=32 (32KiB)"},
+		{MustConfig(1, 1, 1), "S=1 A=1 B=1 (1B)"},
+		{MustConfig(16384, 16, 64), "S=16384 A=16 B=64 (16MiB)"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{1, "1B"},
+		{512, "512B"},
+		{1024, "1KiB"},
+		{1536, "1536B"}, // not a whole KiB
+		{1 << 20, "1MiB"},
+		{3 << 20, "3MiB"},
+	}
+	for _, c := range cases {
+		if got := FormatSize(c.n); got != c.want {
+			t.Errorf("FormatSize(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{FIFO, LRU, Random} {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Errorf("round trip of %v gave %v", p, got)
+		}
+	}
+	if _, err := ParsePolicy("MRU"); err == nil {
+		t.Error("ParsePolicy(MRU) should fail")
+	}
+	if s := Policy(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown policy string = %q", s)
+	}
+}

@@ -1,0 +1,35 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"dew/internal/cache"
+)
+
+func ExampleConfig() {
+	cfg := cache.MustConfig(256, 4, 32)
+	fmt.Println(cfg)
+	fmt.Println("capacity:", cfg.SizeBytes(), "bytes")
+	fmt.Println("index bits:", cfg.IndexBits(), "offset bits:", cfg.OffsetBits())
+	// Output:
+	// S=256 A=4 B=32 (32KiB)
+	// capacity: 32768 bytes
+	// index bits: 8 offset bits: 5
+}
+
+func ExampleConfig_Index() {
+	cfg := cache.MustConfig(8, 2, 16)
+	addr := uint64(0x12345)
+	fmt.Printf("block %#x -> set %d, tag %#x\n", cfg.BlockAddr(addr), cfg.Index(addr), cfg.Tag(addr))
+	// Output:
+	// block 0x1234 -> set 4, tag 0x246
+}
+
+func ExamplePaperSpace() {
+	space := cache.PaperSpace()
+	fmt.Println("configurations:", space.Count())
+	fmt.Println("set sizes:", len(space.SetSizes()), "block sizes:", len(space.BlockSizes()), "associativities:", len(space.Assocs()))
+	// Output:
+	// configurations: 525
+	// set sizes: 15 block sizes: 7 associativities: 5
+}

@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeApp(t *testing.T) {
+	out, _, err := run(t, Analyze, "-app", "CJPEG", "-n", "20000", "-block", "16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"accesses:      20000",
+		"footprint:",
+		"mean same-block streak:",
+		"dominant strides per stream",
+		"| ifetch | 4",
+		"reuse-time profile",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeCloneEmission(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clone.dtb")
+	out, _, err := run(t, Analyze,
+		"-app", "DJPEG", "-n", "10000", "-clone-out", path, "-clone-n", "5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote 5000-access calibrated clone") {
+		t.Errorf("clone confirmation missing: %s", out)
+	}
+	// The clone must be a readable trace: analyze it again.
+	out, _, err = run(t, Analyze, "-trace", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "accesses:      5000") {
+		t.Errorf("clone re-analysis: %s", out)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, _, err := run(t, Analyze); err == nil || !IsUsage(err) {
+		t.Error("no input should be a usage error")
+	}
+	if _, _, err := run(t, Analyze, "-app", "CJPEG", "-block", "3"); err == nil {
+		t.Error("bad block size should fail")
+	}
+	if _, _, err := run(t, Analyze, "-trace", "/nonexistent.din"); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, _, err := run(t, Analyze, "-app", "CJPEG", "-n", "100",
+		"-clone-out", "/nonexistent-dir/x.din"); err == nil {
+		t.Error("unwritable clone output should fail")
+	}
+}

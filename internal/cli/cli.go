@@ -1,0 +1,87 @@
+// Package cli implements the command-line tools (dewsim, refsim,
+// tracegen, explore, experiments) as testable functions. Each cmd/<tool>
+// main is a thin wrapper calling the corresponding function here with
+// os.Args and real streams; tests drive the same functions with argument
+// slices and buffers.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"dew/internal/trace"
+	"dew/internal/workload"
+)
+
+// Env carries a tool invocation's output streams.
+type Env struct {
+	Stdout io.Writer
+	Stderr io.Writer
+}
+
+// usageError marks errors that should be accompanied by flag usage; the
+// wrappers exit with status 2 for these.
+type usageError struct{ error }
+
+// IsUsage reports whether err is a usage-level error (exit status 2).
+func IsUsage(err error) bool {
+	_, ok := err.(usageError)
+	return ok
+}
+
+func usagef(format string, args ...interface{}) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// traceFlags is the common "-trace file or -app model" input selection
+// shared by dewsim, refsim and explore.
+type traceFlags struct {
+	traceFile *string
+	appName   *string
+	n         *uint64
+	seed      *uint64
+}
+
+func addTraceFlags(fs *flag.FlagSet) traceFlags {
+	return traceFlags{
+		traceFile: fs.String("trace", "", "trace file to simulate (.din/.dtb, optionally .gz)"),
+		appName:   fs.String("app", "", "workload model to generate instead of -trace"),
+		n:         fs.Uint64("n", 0, "requests when using -app (0 = app default)"),
+		seed:      fs.Uint64("seed", 1, "generator seed for -app"),
+	}
+}
+
+// open resolves the flags into a streaming reader. The returned closer is
+// non-nil only for file-backed traces.
+func (tf traceFlags) open() (trace.Reader, io.Closer, error) {
+	switch {
+	case *tf.traceFile != "":
+		return trace.OpenFile(*tf.traceFile)
+	case *tf.appName != "":
+		app, err := workload.Lookup(*tf.appName)
+		if err != nil {
+			return nil, nil, err
+		}
+		count := *tf.n
+		if count == 0 {
+			count = app.DefaultRequests()
+		}
+		return workload.Stream(app.Generator(*tf.seed), count), nil, nil
+	default:
+		return nil, nil, usagef("pass -trace FILE or -app NAME")
+	}
+}
+
+// load materializes the selected trace in memory (for tools that need
+// multiple passes).
+func (tf traceFlags) load() (trace.Trace, error) {
+	r, closer, err := tf.open()
+	if err != nil {
+		return nil, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	return trace.ReadAll(r)
+}

@@ -1,0 +1,345 @@
+package cli
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run executes a tool function with buffered streams.
+func run(t *testing.T, tool func(Env, []string) error, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := tool(Env{Stdout: &out, Stderr: &errBuf}, args)
+	return out.String(), errBuf.String(), err
+}
+
+func TestDewSimApp(t *testing.T) {
+	out, _, err := run(t, DewSim,
+		"-app", "DJPEG", "-n", "20000", "-assoc", "4", "-block", "16", "-maxlog", "5", "-counters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"sets", "missRate",
+		"simulated 12 configurations over 20000 requests",
+		"P2 MRA cut-offs", "tag comparisons", "tree storage",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestDewSimCSV(t *testing.T) {
+	out, _, err := run(t, DewSim,
+		"-app", "CJPEG", "-n", "5000", "-maxlog", "3", "-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "sets,assoc,block,") {
+		t.Errorf("CSV header missing: %q", out[:60])
+	}
+}
+
+func TestDewSimLRUPolicy(t *testing.T) {
+	out, _, err := run(t, DewSim,
+		"-app", "CJPEG", "-n", "5000", "-maxlog", "3", "-policy", "LRU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "LRU") {
+		t.Error("policy not echoed")
+	}
+}
+
+func TestDewSimErrors(t *testing.T) {
+	if _, _, err := run(t, DewSim); err == nil || !IsUsage(err) {
+		t.Errorf("no input should be a usage error, got %v", err)
+	}
+	if _, _, err := run(t, DewSim, "-app", "NOPE"); err == nil {
+		t.Error("unknown app should fail")
+	}
+	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-assoc", "3"); err == nil {
+		t.Error("bad assoc should fail")
+	}
+	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-policy", "Random"); err == nil {
+		t.Error("random policy should fail")
+	}
+	if _, _, err := run(t, DewSim, "-bogus-flag"); err == nil || !IsUsage(err) {
+		t.Error("bad flag should be a usage error")
+	}
+}
+
+func TestRefSimApp(t *testing.T) {
+	out, _, err := run(t, RefSim,
+		"-app", "G721 Enc", "-n", "20000", "-sets", "64", "-assoc", "2", "-block", "16",
+		"-policy", "LRU", "-write", "write-through", "-alloc", "no-write-allocate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"LRU replacement", "write-through", "no-write-allocate",
+		"accesses:", "misses:", "compulsory:", "bytes to memory:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRefSimErrors(t *testing.T) {
+	if _, _, err := run(t, RefSim, "-app", "CJPEG", "-sets", "3"); err == nil {
+		t.Error("bad sets should fail")
+	}
+	if _, _, err := run(t, RefSim, "-app", "CJPEG", "-policy", "MRU"); err == nil {
+		t.Error("bad policy should fail")
+	}
+	if _, _, err := run(t, RefSim, "-app", "CJPEG", "-write", "sometimes"); err == nil {
+		t.Error("bad write policy should fail")
+	}
+	if _, _, err := run(t, RefSim, "-app", "CJPEG", "-alloc", "maybe"); err == nil {
+		t.Error("bad alloc policy should fail")
+	}
+	if _, _, err := run(t, RefSim); err == nil || !IsUsage(err) {
+		t.Error("no input should be a usage error")
+	}
+}
+
+func TestTraceGenList(t *testing.T) {
+	out, _, err := run(t, TraceGen, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"CJPEG", "DJPEG", "G721 Enc", "MPEG2 Dec"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("list missing %s", app)
+		}
+	}
+}
+
+func TestTraceGenWriteAndProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.dtb.gz")
+	out, _, err := run(t, TraceGen,
+		"-app", "DJPEG", "-n", "5000", "-o", path, "-profile", "-profile-block", "16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote 5000 accesses") {
+		t.Errorf("write confirmation missing: %s", out)
+	}
+	if !strings.Contains(out, "5000 accesses (") || !strings.Contains(out, "footprint:") {
+		t.Errorf("profile missing: %s", out)
+	}
+
+	// The written file round-trips through dewsim.
+	out, _, err = run(t, DewSim, "-trace", path, "-maxlog", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "over 5000 requests") {
+		t.Errorf("dewsim on generated file: %s", out)
+	}
+}
+
+func TestTraceGenErrors(t *testing.T) {
+	if _, _, err := run(t, TraceGen, "-app", "CJPEG"); err == nil || !IsUsage(err) {
+		t.Error("no -o/-profile should be a usage error")
+	}
+	if _, _, err := run(t, TraceGen, "-app", "NOPE", "-profile"); err == nil {
+		t.Error("unknown app should fail")
+	}
+	if _, _, err := run(t, TraceGen, "-app", "CJPEG", "-o", "/nonexistent-dir/x.din"); err == nil {
+		t.Error("unwritable output should fail")
+	}
+}
+
+func TestExploreSmall(t *testing.T) {
+	out, _, err := run(t, Explore,
+		"-app", "DJPEG", "-n", "10000", "-maxlog-sets", "4", "-maxlog-block", "2",
+		"-maxlog-assoc", "1", "-top", "3", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Space: 5 × 3 × 2 = 30 configurations, 3 wide passes.
+	if !strings.Contains(out, "explored 30 configurations") {
+		t.Errorf("coverage line missing: %s", out)
+	}
+	if !strings.Contains(out, "best 3 by modeled energy") {
+		t.Errorf("ranking missing: %s", out)
+	}
+}
+
+func TestExploreCSVAndBudget(t *testing.T) {
+	out, _, err := run(t, Explore,
+		"-app", "DJPEG", "-n", "5000", "-maxlog-sets", "3", "-maxlog-block", "1",
+		"-maxlog-assoc", "1", "-csv", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "sets,assoc,block,") {
+		t.Errorf("CSV header missing: %q", out[:40])
+	}
+	lines := strings.Count(strings.TrimSpace(out), "\n")
+	if lines != 16 { // header + 4×2×2 configs
+		t.Errorf("CSV rows = %d, want 16", lines)
+	}
+
+	out, _, err = run(t, Explore,
+		"-app", "DJPEG", "-n", "5000", "-maxlog-sets", "3", "-maxlog-block", "1",
+		"-maxlog-assoc", "1", "-max-size", "8", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "within the 8B budget") {
+		t.Errorf("budget filter missing: %s", out)
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	if _, _, err := run(t, Explore, "-quiet"); err == nil || !IsUsage(err) {
+		t.Error("no input should be a usage error")
+	}
+	if _, _, err := run(t, Explore, "-app", "CJPEG", "-maxlog-sets", "99"); err == nil {
+		t.Error("oversized space should fail")
+	}
+	if _, _, err := run(t, Explore, "-trace", "/nonexistent.din", "-quiet"); err == nil {
+		t.Error("missing trace file should fail")
+	}
+}
+
+func TestExperimentsTables12(t *testing.T) {
+	out, _, err := run(t, Experiments, "-table", "1,2", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1: cache configuration parameters") {
+		t.Error("Table 1 missing")
+	}
+	if !strings.Contains(out, "525") {
+		t.Error("configuration count missing")
+	}
+	if !strings.Contains(out, "Table 2: trace files") || !strings.Contains(out, "3738851450") {
+		t.Error("Table 2 missing or wrong")
+	}
+}
+
+func TestExperimentsSmallTable3AndFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep-backed experiment test skipped in -short mode")
+	}
+	out, _, err := run(t, Experiments,
+		"-table", "3", "-figure", "5,6", "-requests", "20000", "-maxlog", "6", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table 3:", "speedup", "reduction %",
+		"Figure 5: speed-up", "Figure 6: reduction",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// 54 cells plus header/separator rows.
+	if got := strings.Count(out, "| CJPEG"); got != 9 {
+		t.Errorf("CJPEG rows in Table 3 = %d, want 9", got)
+	}
+}
+
+func TestExperimentsTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep-backed experiment test skipped in -short mode")
+	}
+	out, _, err := run(t, Experiments,
+		"-table", "4", "-requests", "20000", "-maxlog", "6", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 4: effectiveness") {
+		t.Error("Table 4 missing")
+	}
+	// Unoptimized evaluations are exactly 2 × 7 levels × 20000 = 0.28M.
+	if !strings.Contains(out, "0.28") {
+		t.Errorf("unoptimized evaluation constant missing:\n%s", out)
+	}
+}
+
+func TestExperimentsSelectionErrors(t *testing.T) {
+	if _, _, err := run(t, Experiments); err == nil || !IsUsage(err) {
+		t.Error("empty selection should be a usage error")
+	}
+	if _, _, err := run(t, Experiments, "-table", "7"); err == nil {
+		t.Error("out-of-range table should fail")
+	}
+	if _, _, err := run(t, Experiments, "-figure", "x"); err == nil {
+		t.Error("non-numeric figure should fail")
+	}
+}
+
+func TestExperimentsCSVMode(t *testing.T) {
+	out, _, err := run(t, Experiments, "-table", "2", "-csv", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "application,paper requests") {
+		t.Errorf("CSV table missing: %s", out)
+	}
+}
+
+func TestExperimentsExtended(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended experiments skipped in -short mode")
+	}
+	out, _, err := run(t, Experiments,
+		"-ext", "1,2,3", "-requests", "30000", "-maxlog", "6", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Extended 1: split I/D caches",
+		"Extended 2: FIFO vs LRU",
+		"Extended 3: fractional simulation",
+		"| CJPEG",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestExperimentsExtendedVariability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended experiments skipped in -short mode")
+	}
+	out, _, err := run(t, Experiments,
+		"-ext", "4", "-requests", "20000", "-maxlog", "5", "-seeds", "2", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Extended 4: variability across 3 seeds") {
+		t.Errorf("E4 header missing (seeds floor is 3): %s", out)
+	}
+	if !strings.Contains(out, "speedup min") {
+		t.Error("columns missing")
+	}
+}
+
+func TestExperimentsMultiSeedTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep skipped in -short mode")
+	}
+	out, _, err := run(t, Experiments,
+		"-table", "3", "-requests", "5000", "-maxlog", "4", "-seeds", "2", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Combined cells report summed requests: check a plausibility marker.
+	if !strings.Contains(out, "Table 3:") {
+		t.Error("Table 3 missing")
+	}
+	if _, _, err := run(t, Experiments, "-table", "1", "-seeds", "0"); err == nil {
+		t.Error("-seeds 0 should fail")
+	}
+}

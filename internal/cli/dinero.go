@@ -1,0 +1,122 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dew/internal/cache"
+	"dew/internal/refsim"
+	"dew/internal/trace"
+)
+
+// Dinero is a Dinero IV-style front end over the reference simulator: it
+// accepts the familiar -l1-usize/-l1-ubsize/-l1-uassoc/-l1-urepl flags
+// (unified L1 cache) and a .din trace on stdin, and prints a
+// Dinero-flavoured metrics summary. It exists so existing Dinero IV
+// invocations can be pointed at this codebase with minimal change.
+func Dinero(env Env, stdin io.Reader, args []string) error {
+	fs := flag.NewFlagSet("dinero", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	var (
+		usize    = fs.String("l1-usize", "16k", "unified L1 size (accepts k/m suffixes)")
+		ubsize   = fs.String("l1-ubsize", "32", "unified L1 block size in bytes")
+		uassoc   = fs.Int("l1-uassoc", 1, "unified L1 associativity")
+		urepl    = fs.String("l1-urepl", "l", "replacement policy: l (LRU), f (FIFO), r (random)")
+		informat = fs.String("informat", "d", "input format: d (din, the only supported)")
+		traceArg = fs.String("trace", "", "trace file instead of stdin")
+	)
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	if *informat != "d" {
+		return usagef("-informat %q unsupported (only d)", *informat)
+	}
+
+	size, err := parseDineroSize(*usize)
+	if err != nil {
+		return err
+	}
+	block, err := parseDineroSize(*ubsize)
+	if err != nil {
+		return err
+	}
+	if *uassoc <= 0 || block <= 0 || size <= 0 {
+		return usagef("size, block size and associativity must be positive")
+	}
+	if size%(block**uassoc) != 0 {
+		return usagef("size %d is not divisible by block size %d × associativity %d", size, block, *uassoc)
+	}
+	sets := size / (block * *uassoc)
+	cfg, err := cache.NewConfig(sets, *uassoc, block)
+	if err != nil {
+		return err
+	}
+
+	var policy cache.Policy
+	switch *urepl {
+	case "l":
+		policy = cache.LRU
+	case "f":
+		policy = cache.FIFO
+	case "r":
+		policy = cache.Random
+	default:
+		return usagef("-l1-urepl %q unsupported (l, f or r)", *urepl)
+	}
+
+	var r trace.Reader
+	if *traceArg != "" {
+		reader, closer, err := trace.OpenFile(*traceArg)
+		if err != nil {
+			return err
+		}
+		defer closer.Close()
+		r = reader
+	} else {
+		r = trace.NewDinReader(stdin)
+	}
+
+	stats, err := refsim.Run(cfg, policy, r)
+	if err != nil {
+		return err
+	}
+
+	// A Dinero IV-flavoured summary.
+	fmt.Fprintf(env.Stdout, "l1-ucache\n")
+	fmt.Fprintf(env.Stdout, " Size: %d  Block size: %d  Associativity: %d  Policy: %s\n",
+		size, block, *uassoc, policy)
+	fmt.Fprintf(env.Stdout, " Metrics:            Total    Instrn     Data      Read     Write\n")
+	fetches := stats.AccessesByKind
+	misses := stats.MissesByKind
+	fmt.Fprintf(env.Stdout, " Demand Fetches: %9d %9d %9d %9d %9d\n",
+		stats.Accesses, fetches[trace.IFetch], fetches[trace.DataRead]+fetches[trace.DataWrite],
+		fetches[trace.DataRead], fetches[trace.DataWrite])
+	fmt.Fprintf(env.Stdout, " Demand Misses:  %9d %9d %9d %9d %9d\n",
+		stats.Misses, misses[trace.IFetch], misses[trace.DataRead]+misses[trace.DataWrite],
+		misses[trace.DataRead], misses[trace.DataWrite])
+	fmt.Fprintf(env.Stdout, " Demand miss rate: %.4f\n", stats.MissRate())
+	fmt.Fprintf(env.Stdout, " Compulsory misses: %d\n", stats.CompulsoryMisses)
+	return nil
+}
+
+// parseDineroSize parses Dinero-style sizes: plain bytes, or k/K and m/M
+// binary suffixes (e.g. "16k" = 16384).
+func parseDineroSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "k"), strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "m"), strings.HasSuffix(s, "M"):
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, usagef("bad size %q", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,86 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runDinero(t *testing.T, stdin string, args ...string) (string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := Dinero(Env{Stdout: &out, Stderr: &errBuf}, strings.NewReader(stdin), args)
+	return out.String(), err
+}
+
+func TestDineroStdin(t *testing.T) {
+	// Four accesses, one repeat: the repeat hits.
+	in := "0 1000\n1 2000\n2 400100\n0 1000\n"
+	out, err := runDinero(t, in, "-l1-usize", "16k", "-l1-ubsize", "32", "-l1-uassoc", "2", "-l1-urepl", "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Size: 16384  Block size: 32  Associativity: 2  Policy: FIFO",
+		"Demand Fetches:         4         1         3         2         1",
+		"Demand Misses:          3",
+		"Compulsory misses: 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDineroSizeSuffixes(t *testing.T) {
+	cases := map[string]int{"16k": 16384, "2K": 2048, "1m": 1 << 20, "64": 64}
+	for in, want := range cases {
+		got, err := parseDineroSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseDineroSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	if _, err := parseDineroSize("abc"); err == nil {
+		t.Error("bad size should fail")
+	}
+}
+
+func TestDineroPolicies(t *testing.T) {
+	for flagVal, name := range map[string]string{"l": "LRU", "f": "FIFO", "r": "Random"} {
+		out, err := runDinero(t, "0 0\n", "-l1-urepl", flagVal)
+		if err != nil {
+			t.Fatalf("%s: %v", flagVal, err)
+		}
+		if !strings.Contains(out, "Policy: "+name) {
+			t.Errorf("policy %s missing in output", name)
+		}
+	}
+}
+
+func TestDineroErrors(t *testing.T) {
+	if _, err := runDinero(t, "", "-informat", "x"); err == nil || !IsUsage(err) {
+		t.Error("bad informat should be a usage error")
+	}
+	if _, err := runDinero(t, "", "-l1-urepl", "z"); err == nil {
+		t.Error("bad policy should fail")
+	}
+	if _, err := runDinero(t, "", "-l1-usize", "abc"); err == nil {
+		t.Error("bad size should fail")
+	}
+	if _, err := runDinero(t, "", "-l1-usize", "100", "-l1-ubsize", "32"); err == nil {
+		t.Error("indivisible size should fail")
+	}
+	if _, err := runDinero(t, "", "-l1-usize", "0"); err == nil {
+		t.Error("zero size should fail")
+	}
+	// 3 sets: divisible but not a power of two.
+	if _, err := runDinero(t, "", "-l1-usize", "96", "-l1-ubsize", "32", "-l1-uassoc", "1"); err == nil {
+		t.Error("non-power-of-two sets should fail")
+	}
+	if _, err := runDinero(t, "", "-trace", "/nonexistent.din"); err == nil {
+		t.Error("missing trace file should fail")
+	}
+	if _, err := runDinero(t, "garbage\n"); err == nil {
+		t.Error("malformed stdin should fail")
+	}
+}

@@ -1,0 +1,121 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+
+	"dew/internal/cache"
+	"dew/internal/energy"
+	"dew/internal/explore"
+	"dew/internal/report"
+	"dew/internal/workload"
+)
+
+// Explore runs a full design-space exploration and ranks configurations
+// with the parametric energy model.
+func Explore(env Env, args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	var (
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel DEW passes")
+		maxLogS = fs.Int("maxlog-sets", 14, "largest set count as log2")
+		maxLogB = fs.Int("maxlog-block", 6, "largest block size as log2 bytes")
+		maxLogA = fs.Int("maxlog-assoc", 4, "largest associativity as log2")
+		top     = fs.Int("top", 10, "print the N best configurations by modeled energy")
+		maxSize = fs.Int("max-size", 0, "only rank configurations up to this many bytes (0 = no limit)")
+		csv     = fs.Bool("csv", false, "dump every configuration as CSV instead of the ranking")
+		quiet   = fs.Bool("quiet", false, "suppress progress output")
+		policy  = fs.String("policy", "FIFO", "replacement policy for every pass: FIFO or LRU")
+	)
+	tf := addTraceFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+
+	space := cache.ParamSpace{
+		MinLogSets: 0, MaxLogSets: *maxLogS,
+		MinLogBlock: 0, MaxLogBlock: *maxLogB,
+		MinLogAssoc: 0, MaxLogAssoc: *maxLogA,
+	}
+	if err := space.Validate(); err != nil {
+		return err
+	}
+
+	var src explore.Source
+	switch {
+	case *tf.traceFile != "":
+		tr, err := tf.load()
+		if err != nil {
+			return err
+		}
+		src = explore.FromTrace(tr)
+	case *tf.appName != "":
+		app, err := workload.Lookup(*tf.appName)
+		if err != nil {
+			return err
+		}
+		count := *tf.n
+		if count == 0 {
+			count = app.DefaultRequests()
+		}
+		src = explore.FromApp(app, *tf.seed, count)
+	default:
+		return usagef("pass -trace FILE or -app NAME")
+	}
+
+	pol, err := cache.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	req := explore.Request{Space: space, Source: src, Workers: *workers, Policy: pol}
+	if !*quiet {
+		req.Progress = func(done, total int) {
+			fmt.Fprintf(env.Stderr, "\rpasses: %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(env.Stderr)
+			}
+		}
+	}
+	res, err := explore.Run(req)
+	if err != nil {
+		return err
+	}
+
+	if *csv {
+		tbl := report.NewTable("", "sets", "assoc", "block", "sizeBytes", "accesses", "misses", "missRate", "energyPJ")
+		model := energy.DefaultModel()
+		for _, s := range model.Rank(res.Stats) {
+			tbl.AddRow(s.Config.Sets, s.Config.Assoc, s.Config.BlockSize, s.Config.SizeBytes(),
+				s.Stats.Accesses, s.Stats.Misses,
+				fmt.Sprintf("%.6f", s.Stats.MissRate()), fmt.Sprintf("%.1f", s.Energy))
+		}
+		return tbl.RenderCSV(env.Stdout)
+	}
+
+	fmt.Fprintf(env.Stdout, "explored %d configurations with %d DEW passes (%d tag comparisons)\n\n",
+		len(res.Stats), res.Passes, res.Comparisons)
+
+	candidates := res.Stats
+	if *maxSize > 0 {
+		candidates = map[cache.Config]cache.Stats{}
+		for cfg, st := range res.Stats {
+			if cfg.SizeBytes() <= *maxSize {
+				candidates[cfg] = st
+			}
+		}
+		fmt.Fprintf(env.Stdout, "%d configurations within the %s budget\n\n",
+			len(candidates), cache.FormatSize(*maxSize))
+	}
+
+	ranked := energy.DefaultModel().Rank(candidates)
+	n := *top
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	fmt.Fprintf(env.Stdout, "best %d by modeled energy:\n", n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(env.Stdout, "%3d. %s\n", i+1, ranked[i])
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	"dew/internal/cache"
+	"dew/internal/refsim"
+	"dew/internal/trace"
+)
+
+// RefSim simulates a single cache configuration over a trace — the
+// Dinero IV role: one (sets, assoc, block, policy) combination per run,
+// full statistics including write-policy traffic.
+func RefSim(env Env, args []string) error {
+	fs := flag.NewFlagSet("refsim", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	var (
+		sets      = fs.Int("sets", 256, "number of sets (power of two)")
+		assoc     = fs.Int("assoc", 4, "associativity (power of two)")
+		block     = fs.Int("block", 32, "block size in bytes (power of two)")
+		policyStr = fs.String("policy", "FIFO", "replacement policy: FIFO, LRU or Random")
+		wp        = fs.String("write", "write-back", "write policy: write-back or write-through")
+		alloc     = fs.String("alloc", "write-allocate", "allocation policy: write-allocate or no-write-allocate")
+	)
+	tf := addTraceFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+
+	cfg, err := cache.NewConfig(*sets, *assoc, *block)
+	if err != nil {
+		return err
+	}
+	policy, err := cache.ParsePolicy(*policyStr)
+	if err != nil {
+		return err
+	}
+	opts := refsim.Options{Config: cfg, Replacement: policy}
+	switch *wp {
+	case "write-back", "wb":
+		opts.Write = refsim.WriteBack
+	case "write-through", "wt":
+		opts.Write = refsim.WriteThrough
+	default:
+		return usagef("unknown write policy %q", *wp)
+	}
+	switch *alloc {
+	case "write-allocate", "wa":
+		opts.Alloc = refsim.WriteAllocate
+	case "no-write-allocate", "nwa":
+		opts.Alloc = refsim.NoWriteAllocate
+	default:
+		return usagef("unknown allocation policy %q", *alloc)
+	}
+
+	r, closer, err := tf.open()
+	if err != nil {
+		return err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+
+	sim, err := refsim.NewSim(opts)
+	if err != nil {
+		return err
+	}
+	stats, err := sim.Simulate(r)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(env.Stdout, "config:            %v, %v replacement, %v, %v\n",
+		cfg, policy, opts.Write, opts.Alloc)
+	fmt.Fprintf(env.Stdout, "accesses:          %d (%d reads, %d writes, %d ifetches)\n",
+		stats.Accesses, stats.AccessesByKind[trace.DataRead],
+		stats.AccessesByKind[trace.DataWrite], stats.AccessesByKind[trace.IFetch])
+	fmt.Fprintf(env.Stdout, "misses:            %d (rate %.4f)\n", stats.Misses, stats.MissRate())
+	fmt.Fprintf(env.Stdout, "  compulsory:      %d\n", stats.CompulsoryMisses)
+	fmt.Fprintf(env.Stdout, "  by kind:         %d read, %d write, %d ifetch\n",
+		stats.MissesByKind[trace.DataRead], stats.MissesByKind[trace.DataWrite],
+		stats.MissesByKind[trace.IFetch])
+	fmt.Fprintf(env.Stdout, "evictions:         %d\n", stats.Evictions)
+	fmt.Fprintf(env.Stdout, "tag comparisons:   %d\n", stats.TagComparisons)
+	tr := sim.Traffic()
+	fmt.Fprintf(env.Stdout, "bytes from memory: %d\n", tr.BytesFromMemory)
+	fmt.Fprintf(env.Stdout, "bytes to memory:   %d (%d writebacks)\n", tr.BytesToMemory, tr.Writebacks)
+	return nil
+}

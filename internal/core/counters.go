@@ -1,0 +1,58 @@
+package core
+
+import "fmt"
+
+// Counters records the work a DEW pass performed — the quantities
+// Tables 3 and 4 of the paper report. All counts are totals over the
+// whole pass.
+type Counters struct {
+	// Accesses is the number of trace requests simulated.
+	Accesses uint64
+
+	// NodeEvaluations counts simulation-tree node evaluations actually
+	// performed, two per visited node: one for the direct-mapped
+	// configuration the node carries (its MRA tag) and one for the A-way
+	// configuration (its tag list). This is the paper's Table 4
+	// "DEW node evaluations" convention; see UnoptimizedEvaluations.
+	NodeEvaluations uint64
+
+	// MRACount is the number of Property 2 cut-offs: the requested tag
+	// was found in a node's MRA entry, proving a hit there and at every
+	// larger set count, so deeper levels were not evaluated.
+	MRACount uint64
+
+	// Searches is the number of full tag-list scans performed.
+	Searches uint64
+
+	// WaveCount is the number of times a parent wave pointer decided hit
+	// or miss with a single probe (Property 3), avoiding a scan.
+	WaveCount uint64
+
+	// MRECount is the number of times the MRE entry proved a miss
+	// without a scan (Property 4).
+	MRECount uint64
+
+	// TagComparisons counts every tag equality test: MRA checks, wave
+	// probes, MRE checks and scan steps. Comparable with the reference
+	// simulator's TagComparisons (Table 3).
+	TagComparisons uint64
+}
+
+// Counters returns a snapshot of the pass's work counters.
+func (s *Simulator) Counters() Counters { return s.counters }
+
+// UnoptimizedEvaluations returns the node-evaluation count a simulator
+// without any of DEW's properties would perform for the same trace: two
+// evaluations (direct-mapped + A-way) on every level for every access.
+// It equals the paper's Table 4 column 2, which is exactly
+// 2 × levels × requests for every benchmark (e.g. 770.43 M for JPEG
+// encode's 25.68 M requests over 15 levels).
+func (s *Simulator) UnoptimizedEvaluations() uint64 {
+	return 2 * uint64(s.opt.Levels()) * s.counters.Accesses
+}
+
+// String renders the counters on one line.
+func (c Counters) String() string {
+	return fmt.Sprintf("accesses=%d nodeEvals=%d mra=%d searches=%d wave=%d mre=%d tagCmps=%d",
+		c.Accesses, c.NodeEvaluations, c.MRACount, c.Searches, c.WaveCount, c.MRECount, c.TagComparisons)
+}

@@ -1,0 +1,421 @@
+// Package core implements DEW ("Direct Explorer Wave"), the paper's
+// contribution: exact single-pass simulation of every power-of-two set
+// count for a fixed (associativity, block size) pair under the FIFO
+// replacement policy.
+//
+// # Simulation tree
+//
+// For set counts 2^minLog .. 2^maxLog, level L of the binomial simulation
+// tree holds the 2^L sets of the configuration with 2^L sets (Figure 1 of
+// the paper). A block address b maps to node (L, b mod 2^L); the parent
+// of node (L+1, i) is (L, i mod 2^L), and an access therefore evaluates
+// at most one node per level — Property 1. When minLog > 0 the structure
+// is a forest of 2^minLog trees, handled uniformly by the same indexing.
+//
+// # Node structure
+//
+// Each node is an A-way FIFO set: a tag list with one wave pointer per
+// entry, the MRA (most recently accessed) tag, and the MRE (most recently
+// evicted) tag with its wave pointer (Figure 4). A wave pointer stores
+// the way position the same tag occupied in the node's child the last
+// time the tag was processed there; "empty" (-1) means the position in
+// the child is unknown.
+//
+// # The four properties
+//
+//   - P2 (MRA): if the requested tag equals a node's MRA tag, no other
+//     access has touched this set since the tag's last access — and since
+//     every access to a descendant set also passes through this set, no
+//     descendant set was touched either. The tag is therefore still
+//     resident in this node and in every descendant, the access is a hit
+//     at this and all larger set counts, and — FIFO never reorders on a
+//     hit — no state needs updating: the walk stops. The MRA tag is also
+//     exactly the content of the direct-mapped (associativity 1)
+//     configuration at this level, which is how one DEW pass simulates
+//     associativity 1 alongside associativity A for free.
+//   - P3 (wave): a tag's physical way position in a FIFO set can change
+//     only while that same tag is being accessed (insertion or MRE
+//     resurrection), and every access to the tag refreshes the parent's
+//     wave pointer. Consequently a non-empty parent wave pointer w
+//     decides membership with a single comparison: child.way[w] holds the
+//     tag (hit at way w) or the tag is not in the child at all (miss).
+//   - P4 (MRE): if the requested tag equals the node's MRE tag, the tag
+//     was the last one evicted and cannot be resident — a miss with no
+//     search. On the re-insert the MRE entry's saved wave pointer is
+//     swapped back into the tag list (Algorithm 2 line 5), keeping the
+//     wave chain intact for the descent.
+//
+// Only when none of the properties decide is the tag list scanned.
+//
+// Exactness does not depend on P2/P3/P4 being enabled — they only avoid
+// work — so Options provides per-property ablation switches used by the
+// ablation benchmarks.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"dew/internal/cache"
+	"dew/internal/trace"
+)
+
+// Options configures one DEW pass. A pass covers set counts 2^MinLogSets
+// through 2^MaxLogSets for one associativity and one block size, i.e. the
+// configurations {(2^L, Assoc, BlockSize)} plus — for free — the
+// direct-mapped configurations {(2^L, 1, BlockSize)}.
+type Options struct {
+	// MinLogSets and MaxLogSets bound the simulated set counts
+	// (inclusive, as log2). The paper uses 0..14.
+	MinLogSets, MaxLogSets int
+	// Assoc is the tag-list associativity A (power of two, 1..64).
+	Assoc int
+	// BlockSize is the cache block size in bytes (power of two).
+	BlockSize int
+
+	// Policy selects the replacement policy. DEW is designed and
+	// optimized for cache.FIFO (the default). cache.LRU is supported —
+	// the paper's Section 2.1 notes DEW "can simulate caches with the
+	// LRU replacement policy, but will typically be slower than
+	// Janapsatya's method" — by keeping tags in position-stable ways
+	// (recency lives in per-way stamps, so hits never move entries and
+	// the wave pointers stay sound) at the cost of an O(A) victim scan
+	// per miss. Other policies are rejected.
+	Policy cache.Policy
+
+	// DisableMRA, DisableWave and DisableMRE switch off properties 2, 3
+	// and 4 respectively for ablation studies. Results are identical
+	// either way; only the work counters change.
+	DisableMRA  bool
+	DisableWave bool
+	DisableMRE  bool
+}
+
+// Validate reports whether the options describe a simulatable pass.
+func (o Options) Validate() error {
+	if o.MinLogSets < 0 || o.MaxLogSets < o.MinLogSets {
+		return fmt.Errorf("core: invalid set-count range [2^%d, 2^%d]", o.MinLogSets, o.MaxLogSets)
+	}
+	if o.MaxLogSets > 22 {
+		return fmt.Errorf("core: max log2 set count %d exceeds supported 22", o.MaxLogSets)
+	}
+	if o.Assoc < 1 || o.Assoc > 64 || o.Assoc&(o.Assoc-1) != 0 {
+		return fmt.Errorf("core: associativity must be a power of two in [1, 64], got %d", o.Assoc)
+	}
+	if o.BlockSize < 1 || o.BlockSize&(o.BlockSize-1) != 0 {
+		return fmt.Errorf("core: block size must be a positive power of two, got %d", o.BlockSize)
+	}
+	if o.Policy != cache.FIFO && o.Policy != cache.LRU {
+		return fmt.Errorf("core: unsupported replacement policy %v (FIFO and LRU only)", o.Policy)
+	}
+	return nil
+}
+
+// Levels returns the number of tree levels the pass simulates.
+func (o Options) Levels() int { return o.MaxLogSets - o.MinLogSets + 1 }
+
+// level holds the flattened node arrays for one tree level (one set
+// count). Node i of a level with 2^log sets owns entries
+// [i*assoc, (i+1)*assoc) of the per-way slices.
+type level struct {
+	mask uint64 // 2^log - 1
+
+	// Per-way state.
+	tags []uint64 // stored block addresses
+	wave []int8   // way position of the same tag in the child; -1 empty
+	// stamp holds per-way recency (LRU passes only): the node-local
+	// clock value of the way's last access. Ways never move on hits, so
+	// wave pointers remain sound under LRU; the victim is the way with
+	// the minimum stamp.
+	stamp []uint64
+
+	// Per-node state.
+	mra     []uint64
+	mraOK   []bool
+	mre     []uint64
+	mreWave []int8
+	mreOK   []bool
+	head    []int8 // FIFO round-robin victim cursor
+	fill    []int8 // number of valid ways
+	// clock is the per-node access counter stamping LRU recency.
+	clock []uint64
+
+	missDM uint64 // misses of the associativity-1 configuration
+	missA  uint64 // misses of the associativity-A configuration
+}
+
+// Simulator is one DEW pass in progress. Create with New, feed with
+// Access or Simulate, then read Results and Counters.
+type Simulator struct {
+	opt     Options
+	offBits uint
+	assoc   int
+	levels  []level
+
+	counters Counters
+}
+
+// New builds a Simulator for the given options.
+func New(opt Options) (*Simulator, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		opt:     opt,
+		offBits: uint(bits.TrailingZeros(uint(opt.BlockSize))),
+		assoc:   opt.Assoc,
+		levels:  make([]level, opt.Levels()),
+	}
+	for i := range s.levels {
+		nodes := 1 << (opt.MinLogSets + i)
+		ways := nodes * opt.Assoc
+		lv := &s.levels[i]
+		lv.mask = uint64(nodes - 1)
+		lv.tags = make([]uint64, ways)
+		lv.wave = make([]int8, ways)
+		lv.mra = make([]uint64, nodes)
+		lv.mraOK = make([]bool, nodes)
+		lv.mre = make([]uint64, nodes)
+		lv.mreWave = make([]int8, nodes)
+		lv.mreOK = make([]bool, nodes)
+		lv.head = make([]int8, nodes)
+		lv.fill = make([]int8, nodes)
+		if opt.Policy == cache.LRU {
+			lv.stamp = make([]uint64, ways)
+			lv.clock = make([]uint64, nodes)
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(opt Options) *Simulator {
+	s, err := New(opt)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Options returns the pass configuration.
+func (s *Simulator) Options() Options { return s.opt }
+
+// Access simulates one memory request against every configuration of the
+// pass. The request kind does not influence FIFO state; it is accepted so
+// the simulator is a drop-in trace consumer.
+func (s *Simulator) Access(a trace.Access) {
+	blk := a.Addr >> s.offBits
+	s.counters.Accesses++
+
+	parentWave := int8(-1) // wave pointer read from the parent's matching entry
+	parentIdx := -1        // index of the parent's matching entry in its wave slice
+	var parentLv *level    // level owning parentIdx
+
+	for li := range s.levels {
+		lv := &s.levels[li]
+		node := int(blk & lv.mask)
+		base := node * s.assoc
+		// One evaluation for the direct-mapped configuration plus one
+		// for the A-way configuration (the paper's Table 4 convention).
+		s.counters.NodeEvaluations += 2
+
+		// Direct-mapped check, doubling as Property 2.
+		s.counters.TagComparisons++
+		mraHit := lv.mraOK[node] && lv.mra[node] == blk
+		if mraHit && !s.opt.DisableMRA {
+			// P2: hit in this and every deeper configuration, for both
+			// associativity 1 and A; FIFO state is unaffected by hits.
+			s.counters.MRACount++
+			return
+		}
+		if !mraHit {
+			lv.missDM++
+		}
+
+		// Decide associativity-A membership.
+		hitWay := -1
+		decided := false
+		resurrect := false
+		mreChecked := false
+		if !s.opt.DisableWave && parentIdx >= 0 && parentWave >= 0 {
+			// P3: one probe decides hit or miss.
+			w := int(parentWave)
+			s.counters.TagComparisons++
+			s.counters.WaveCount++
+			if w < int(lv.fill[node]) && lv.tags[base+w] == blk {
+				hitWay = w
+			}
+			decided = true
+		}
+		if !decided && !s.opt.DisableMRE && lv.mreOK[node] {
+			// P4: the most recently evicted tag cannot be resident.
+			s.counters.TagComparisons++
+			mreChecked = true
+			if lv.mre[node] == blk {
+				s.counters.MRECount++
+				decided = true
+				resurrect = true
+			}
+		}
+		if !decided {
+			// Full tag-list scan. (With DisableMRA this also covers the
+			// MRA-matched case: the tag is resident by the P2 invariant,
+			// but its way is unknown without a search.)
+			s.counters.Searches++
+			for w := 0; w < int(lv.fill[node]); w++ {
+				s.counters.TagComparisons++
+				if lv.tags[base+w] == blk {
+					hitWay = w
+					break
+				}
+			}
+		}
+
+		var n int
+		if hitWay >= 0 {
+			// Algorithm 1: Handle_hit.
+			n = hitWay
+		} else {
+			// Algorithm 2: Handle_miss.
+			lv.missA++
+			if int(lv.fill[node]) < s.assoc {
+				// Cold fill: no eviction, wave pointer unknown.
+				n = int(lv.fill[node])
+				lv.fill[node]++
+				lv.tags[base+n] = blk
+				lv.wave[base+n] = -1
+			} else {
+				if lv.stamp != nil {
+					// LRU victim: the way with the oldest stamp.
+					n = 0
+					for w := 1; w < s.assoc; w++ {
+						if lv.stamp[base+w] < lv.stamp[base+n] {
+							n = w
+						}
+					}
+				} else {
+					n = int(lv.head[node])
+					lv.head[node] = int8((n + 1) % s.assoc)
+				}
+				if !s.opt.DisableMRE && !mreChecked && lv.mreOK[node] {
+					// Algorithm 2 line 4 when the miss was decided by P3
+					// or a scan: the MRE may still be the requested tag.
+					s.counters.TagComparisons++
+					resurrect = lv.mre[node] == blk
+				}
+				victimTag := lv.tags[base+n]
+				victimWave := lv.wave[base+n]
+				if resurrect {
+					// Exchange the victim with the MRE entry, restoring
+					// the requested tag's saved wave pointer.
+					lv.tags[base+n] = blk
+					lv.wave[base+n] = lv.mreWave[node]
+					lv.mre[node] = victimTag
+					lv.mreWave[node] = victimWave
+				} else {
+					lv.tags[base+n] = blk
+					lv.wave[base+n] = -1
+					if !s.opt.DisableMRE {
+						lv.mre[node] = victimTag
+						lv.mreWave[node] = victimWave
+						lv.mreOK[node] = true
+					}
+				}
+			}
+		}
+
+		if lv.stamp != nil {
+			// Refresh LRU recency; the way's position never changes, so
+			// wave pointers into and out of this entry stay valid.
+			lv.clock[node]++
+			lv.stamp[base+n] = lv.clock[node]
+		}
+
+		lv.mra[node] = blk
+		lv.mraOK[node] = true
+		if parentIdx >= 0 {
+			parentLv.wave[parentIdx] = int8(n)
+		}
+		parentWave = lv.wave[base+n]
+		parentIdx = base + n
+		parentLv = lv
+	}
+}
+
+// Simulate drains the reader through the simulator.
+func (s *Simulator) Simulate(r trace.Reader) error {
+	for {
+		a, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.Access(a)
+	}
+}
+
+// Result pairs one configuration with its exact simulation outcome.
+type Result struct {
+	Config cache.Config
+	cache.Stats
+}
+
+// Results returns the exact per-configuration statistics of the pass: for
+// every level, the associativity-A configuration and (when Assoc > 1) the
+// direct-mapped configuration it simulates for free, in ascending set
+// count with the direct-mapped entry first.
+func (s *Simulator) Results() []Result {
+	var out []Result
+	for i := range s.levels {
+		sets := 1 << (s.opt.MinLogSets + i)
+		if s.assoc > 1 {
+			out = append(out, Result{
+				Config: cache.Config{Sets: sets, Assoc: 1, BlockSize: s.opt.BlockSize},
+				Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.levels[i].missDM},
+			})
+		}
+		out = append(out, Result{
+			Config: cache.Config{Sets: sets, Assoc: s.assoc, BlockSize: s.opt.BlockSize},
+			Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.levels[i].missA},
+		})
+	}
+	return out
+}
+
+// MissesFor returns the exact miss count for one of the pass's
+// configurations (assoc must be 1 or the pass associativity, sets a
+// simulated level).
+func (s *Simulator) MissesFor(sets, assoc int) (uint64, error) {
+	if assoc != 1 && assoc != s.assoc {
+		return 0, fmt.Errorf("core: pass simulates associativity 1 and %d, not %d", s.assoc, assoc)
+	}
+	if sets < 1 || sets&(sets-1) != 0 {
+		return 0, fmt.Errorf("core: set count %d is not a power of two", sets)
+	}
+	log := bits.TrailingZeros(uint(sets))
+	if log < s.opt.MinLogSets || log > s.opt.MaxLogSets {
+		return 0, fmt.Errorf("core: set count %d outside simulated range [2^%d, 2^%d]",
+			sets, s.opt.MinLogSets, s.opt.MaxLogSets)
+	}
+	lv := &s.levels[log-s.opt.MinLogSets]
+	if assoc == 1 {
+		return lv.missDM, nil
+	}
+	return lv.missA, nil
+}
+
+// Run builds a Simulator, drains the reader and returns it.
+func Run(opt Options, r trace.Reader) (*Simulator, error) {
+	s, err := New(opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Simulate(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import "fmt"
+
+// CheckInvariants exhaustively validates the structural invariants the
+// DEW correctness argument rests on. It is O(nodes × assoc) and intended
+// for tests and debugging, not for per-access use. The invariants:
+//
+//  1. Bookkeeping ranges: fill ≤ A, head < A, wave pointers in [-1, A).
+//  2. No duplicate tags within a node's live ways (a set holds a block
+//     at most once).
+//  3. MRA residency: a node's MRA tag is present in its tag list (it was
+//     inserted on its last miss or already resident on its last hit).
+//  4. MRA chain (Property 2's induction): if a node's MRA is b, then the
+//     child node on b's path also has MRA b — this is what makes the
+//     cut-off sound for every deeper level.
+//  5. MRE exclusion (Property 4's soundness): a node's MRE tag is not in
+//     its tag list.
+//  6. Wave soundness (Property 3): a live entry (b, w≥0) implies the
+//     child node on b's path either holds b exactly at way w, or does
+//     not hold b at all.
+func (s *Simulator) CheckInvariants() error {
+	for li := range s.levels {
+		lv := &s.levels[li]
+		nodes := int(lv.mask) + 1
+		for node := 0; node < nodes; node++ {
+			base := node * s.assoc
+			fill := int(lv.fill[node])
+			if fill < 0 || fill > s.assoc {
+				return fmt.Errorf("core: level %d node %d: fill %d out of range", li, node, fill)
+			}
+			if h := lv.head[node]; h < 0 || int(h) >= s.assoc {
+				return fmt.Errorf("core: level %d node %d: head %d out of range", li, node, h)
+			}
+			for w := 0; w < fill; w++ {
+				if v := lv.wave[base+w]; v < -1 || int(v) >= s.assoc {
+					return fmt.Errorf("core: level %d node %d way %d: wave %d out of range", li, node, w, v)
+				}
+				for w2 := w + 1; w2 < fill; w2++ {
+					if lv.tags[base+w] == lv.tags[base+w2] {
+						return fmt.Errorf("core: level %d node %d: duplicate tag %#x at ways %d and %d",
+							li, node, lv.tags[base+w], w, w2)
+					}
+					if lv.stamp != nil && lv.stamp[base+w] == lv.stamp[base+w2] {
+						return fmt.Errorf("core: level %d node %d: equal LRU stamps at ways %d and %d",
+							li, node, w, w2)
+					}
+				}
+				if lv.stamp != nil && lv.stamp[base+w] > lv.clock[node] {
+					return fmt.Errorf("core: level %d node %d way %d: stamp %d ahead of clock %d",
+						li, node, w, lv.stamp[base+w], lv.clock[node])
+				}
+			}
+
+			find := func(l *level, n int, b uint64) int {
+				nb := n * s.assoc
+				for w := 0; w < int(l.fill[n]); w++ {
+					if l.tags[nb+w] == b {
+						return w
+					}
+				}
+				return -1
+			}
+
+			if lv.mraOK[node] {
+				b := lv.mra[node]
+				if find(lv, node, b) < 0 {
+					return fmt.Errorf("core: level %d node %d: MRA %#x not resident", li, node, b)
+				}
+				if li+1 < len(s.levels) {
+					child := &s.levels[li+1]
+					cn := int(b & child.mask)
+					if cn&int(lv.mask) != node {
+						return fmt.Errorf("core: level %d node %d: MRA %#x maps to child %d off the node's subtree",
+							li, node, b, cn)
+					}
+					if !child.mraOK[cn] || child.mra[cn] != b {
+						return fmt.Errorf("core: level %d node %d: MRA chain broken: child node %d MRA %#x (ok=%v), want %#x",
+							li, node, cn, child.mra[cn], child.mraOK[cn], b)
+					}
+				}
+			}
+
+			if lv.mreOK[node] {
+				if find(lv, node, lv.mre[node]) >= 0 {
+					return fmt.Errorf("core: level %d node %d: MRE %#x still resident", li, node, lv.mre[node])
+				}
+			}
+
+			if li+1 < len(s.levels) {
+				child := &s.levels[li+1]
+				for w := 0; w < fill; w++ {
+					v := lv.wave[base+w]
+					if v < 0 {
+						continue
+					}
+					b := lv.tags[base+w]
+					cn := int(b & child.mask)
+					at := find(child, cn, b)
+					if at >= 0 && at != int(v) {
+						return fmt.Errorf("core: level %d node %d way %d: wave %d but tag %#x at child way %d",
+							li, node, w, v, b, at)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PaperBits returns the storage the paper's Section 5 accounting assigns
+// to one simulation tree with these options: per node (cache set), 96
+// bits of MRA/MRE state plus 64 bits (32-bit tag + 32-bit wave pointer)
+// per tag-list entry, i.e. S × (96 + 64·A) bits per level, summed over
+// all levels.
+func (o Options) PaperBits() uint64 {
+	var bits uint64
+	for l := o.MinLogSets; l <= o.MaxLogSets; l++ {
+		bits += uint64(1<<l) * uint64(96+64*o.Assoc)
+	}
+	return bits
+}

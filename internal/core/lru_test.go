@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"dew/internal/cache"
+	"dew/internal/lrutree"
+	"dew/internal/refsim"
+	"dew/internal/trace"
+)
+
+// checkExactLRU mirrors checkExact with the LRU reference.
+func checkExactLRU(t *testing.T, opt Options, tr trace.Trace) {
+	t.Helper()
+	opt.Policy = cache.LRU
+	s := MustNew(opt)
+	if err := s.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range s.Results() {
+		want, err := refsim.RunTrace(res.Config, cache.LRU, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != want.Misses {
+			t.Errorf("LRU opts %+v, config %v: DEW misses = %d, refsim misses = %d",
+				opt, res.Config, res.Misses, want.Misses)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Errorf("LRU invariants: %v", err)
+	}
+}
+
+func TestLRUExactnessRandom(t *testing.T) {
+	for _, assoc := range []int{1, 2, 4, 8} {
+		for _, block := range []int{1, 4, 32} {
+			opt := Options{MaxLogSets: 6, Assoc: assoc, BlockSize: block}
+			for seed := int64(0); seed < 3; seed++ {
+				checkExactLRU(t, opt, randomTrace(4000, 1<<14, seed))
+			}
+		}
+	}
+}
+
+func TestLRUExactnessStreaky(t *testing.T) {
+	for _, assoc := range []int{2, 4, 16} {
+		opt := Options{MaxLogSets: 7, Assoc: assoc, BlockSize: 4}
+		for seed := int64(10); seed < 14; seed++ {
+			checkExactLRU(t, opt, streakyTrace(6000, 1<<12, seed))
+		}
+	}
+}
+
+func TestLRUExactnessTinySpace(t *testing.T) {
+	// Maximal eviction pressure: constant MRE resurrection and stale
+	// wave pointers under LRU victims.
+	for _, assoc := range []int{2, 4} {
+		opt := Options{MaxLogSets: 4, Assoc: assoc, BlockSize: 1}
+		for seed := int64(20); seed < 26; seed++ {
+			checkExactLRU(t, opt, randomTrace(8000, 48, seed))
+		}
+	}
+}
+
+// The LRU pass must agree with the independent lrutree simulator (two
+// completely different algorithms computing the same function).
+func TestLRUAgreesWithTreeSimulator(t *testing.T) {
+	tr := streakyTrace(10000, 1<<11, 33)
+	dewSim := MustNew(Options{MaxLogSets: 7, Assoc: 4, BlockSize: 8, Policy: cache.LRU})
+	if err := dewSim.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := lrutree.Run(lrutree.Options{MaxLogSets: 7, Assoc: 4, BlockSize: 8}, tr.NewSliceReader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dewRes := dewSim.Results()
+	treeRes := tree.Results()
+	if len(dewRes) != len(treeRes) {
+		t.Fatalf("result counts differ: %d vs %d", len(dewRes), len(treeRes))
+	}
+	for i := range dewRes {
+		if dewRes[i].Config != treeRes[i].Config || dewRes[i].Misses != treeRes[i].Misses {
+			t.Errorf("result %d: DEW-LRU %+v vs tree %+v", i, dewRes[i], treeRes[i])
+		}
+	}
+}
+
+// LRU results must respect inclusion across levels within one pass —
+// a property FIFO results are free to violate.
+func TestLRUPassInclusion(t *testing.T) {
+	tr := randomTrace(20000, 1<<13, 44)
+	s := MustNew(Options{MaxLogSets: 8, Assoc: 4, BlockSize: 4, Policy: cache.LRU})
+	if err := s.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	var prevDM, prevA uint64
+	first := true
+	for _, res := range s.Results() {
+		if res.Config.Assoc == 1 {
+			if !first && res.Misses > prevDM {
+				t.Errorf("DM misses rose to %d at %v", res.Misses, res.Config)
+			}
+			prevDM = res.Misses
+		} else {
+			if !first && res.Misses > prevA {
+				t.Errorf("A-way misses rose to %d at %v", res.Misses, res.Config)
+			}
+			prevA = res.Misses
+			first = false
+		}
+	}
+}
+
+func TestLRUAblationEquivalence(t *testing.T) {
+	tr := streakyTrace(8000, 1<<12, 55)
+	base := MustNew(Options{MaxLogSets: 6, Assoc: 4, BlockSize: 4, Policy: cache.LRU})
+	if err := base.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	baseRes := base.Results()
+	v := MustNew(Options{MaxLogSets: 6, Assoc: 4, BlockSize: 4, Policy: cache.LRU,
+		DisableMRA: true, DisableWave: true, DisableMRE: true})
+	if err := v.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range v.Results() {
+		if res != baseRes[i] {
+			t.Errorf("ablated LRU result %d = %+v, want %+v", i, res, baseRes[i])
+		}
+	}
+}
+
+// FIFO and LRU passes genuinely differ on thrash-prone traces (otherwise
+// the Policy option would be untested decoration).
+func TestLRUAndFIFODiffer(t *testing.T) {
+	tr := randomTrace(20000, 256, 66)
+	fifo := MustNew(Options{MaxLogSets: 3, Assoc: 4, BlockSize: 1})
+	lru := MustNew(Options{MaxLogSets: 3, Assoc: 4, BlockSize: 1, Policy: cache.LRU})
+	if err := fifo.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	if err := lru.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fifo.MissesFor(8, 4)
+	l, _ := lru.MissesFor(8, 4)
+	if f == l {
+		t.Errorf("FIFO and LRU missed identically (%d) on a thrashing trace; suspicious", f)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if _, err := New(Options{MaxLogSets: 2, Assoc: 2, BlockSize: 4, Policy: cache.Random}); err == nil {
+		t.Error("Random policy should be rejected")
+	}
+}
+
+func TestLRUQuickExactness(t *testing.T) {
+	// Small-space randomized cross-check, mirroring the FIFO quick test.
+	for seed := int64(0); seed < 8; seed++ {
+		tr := randomTrace(2000, 160, 100+seed)
+		checkExactLRU(t, Options{MaxLogSets: 4, Assoc: 2, BlockSize: 1}, tr)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"dew/internal/trace"
+)
+
+// Table 4 of the paper states that node evaluations and MRA counts are
+// "associativity independent": the walk depth is governed solely by the
+// MRA tags, which evolve identically for every associativity (the MRA is
+// the last block to touch the set, regardless of how many ways exist).
+func TestEvaluationsAssocIndependent(t *testing.T) {
+	tr := streakyTrace(20000, 1<<11, 3)
+	var evals, mras []uint64
+	for _, assoc := range []int{1, 2, 4, 8, 16} {
+		s := MustNew(Options{MaxLogSets: 7, Assoc: assoc, BlockSize: 4})
+		if err := s.Simulate(tr.NewSliceReader()); err != nil {
+			t.Fatal(err)
+		}
+		evals = append(evals, s.Counters().NodeEvaluations)
+		mras = append(mras, s.Counters().MRACount)
+	}
+	for i := 1; i < len(evals); i++ {
+		if evals[i] != evals[0] {
+			t.Errorf("node evaluations vary with associativity: %v", evals)
+			break
+		}
+	}
+	for i := 1; i < len(mras); i++ {
+		if mras[i] != mras[0] {
+			t.Errorf("MRA counts vary with associativity: %v", mras)
+			break
+		}
+	}
+}
+
+// The direct-mapped results of two passes with different associativity
+// must agree exactly (the paper's Table 3 reuses the same direct-mapped
+// column for every pair).
+func TestDirectMappedConsistentAcrossPasses(t *testing.T) {
+	tr := streakyTrace(15000, 1<<12, 4)
+	var baseline []uint64
+	for _, assoc := range []int{2, 4, 8} {
+		s := MustNew(Options{MaxLogSets: 6, Assoc: assoc, BlockSize: 8})
+		if err := s.Simulate(tr.NewSliceReader()); err != nil {
+			t.Fatal(err)
+		}
+		var dm []uint64
+		for _, res := range s.Results() {
+			if res.Config.Assoc == 1 {
+				dm = append(dm, res.Misses)
+			}
+		}
+		if baseline == nil {
+			baseline = dm
+			continue
+		}
+		for i := range dm {
+			if dm[i] != baseline[i] {
+				t.Errorf("assoc-%d pass: direct-mapped misses at level %d = %d, baseline %d",
+					assoc, i, dm[i], baseline[i])
+			}
+		}
+	}
+}
+
+// The paper's complexity claim: when a block is re-requested immediately,
+// DEW needs exactly one test; when it hits at every level via scans, the
+// work is O(levels); a compulsory miss costs O(levels × A) at worst.
+func TestPerAccessWorkBounds(t *testing.T) {
+	const levels = 8
+	s := MustNew(Options{MaxLogSets: levels - 1, Assoc: 4, BlockSize: 1})
+
+	// Compulsory miss: at most levels × (MRA + MRE + scan of ≤A) work;
+	// bound comparisons by levels × (A + 2).
+	before := s.Counters()
+	s.Access(trace.Access{Addr: 42})
+	after := s.Counters()
+	if got := after.TagComparisons - before.TagComparisons; got > levels*(4+2) {
+		t.Errorf("compulsory miss cost %d comparisons, bound %d", got, levels*(4+2))
+	}
+
+	// Immediate re-request: exactly one comparison (the root MRA test).
+	before = s.Counters()
+	s.Access(trace.Access{Addr: 42})
+	after = s.Counters()
+	if got := after.TagComparisons - before.TagComparisons; got != 1 {
+		t.Errorf("repeat access cost %d comparisons, want 1", got)
+	}
+	if after.MRACount != before.MRACount+1 {
+		t.Error("repeat access did not cut off via P2")
+	}
+}
+
+// DEW must never do more total comparisons than the fully-ablated
+// worst case on the same trace.
+func TestPropertiesNeverHurtComparisons(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		tr := streakyTrace(8000, 1<<10, seed)
+		full := MustNew(Options{MaxLogSets: 6, Assoc: 4, BlockSize: 4})
+		none := MustNew(Options{MaxLogSets: 6, Assoc: 4, BlockSize: 4,
+			DisableMRA: true, DisableWave: true, DisableMRE: true})
+		if err := full.Simulate(tr.NewSliceReader()); err != nil {
+			t.Fatal(err)
+		}
+		if err := none.Simulate(tr.NewSliceReader()); err != nil {
+			t.Fatal(err)
+		}
+		if full.Counters().TagComparisons > none.Counters().TagComparisons {
+			t.Errorf("seed %d: properties increased comparisons: %d > %d",
+				seed, full.Counters().TagComparisons, none.Counters().TagComparisons)
+		}
+		if full.Counters().NodeEvaluations > none.Counters().NodeEvaluations {
+			t.Errorf("seed %d: properties increased evaluations", seed)
+		}
+	}
+}

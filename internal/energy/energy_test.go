@@ -1,0 +1,100 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"dew/internal/cache"
+)
+
+func TestAccessEnergyMonotoneInSize(t *testing.T) {
+	m := DefaultModel()
+	small := m.AccessEnergy(cache.MustConfig(16, 1, 16))
+	large := m.AccessEnergy(cache.MustConfig(1024, 1, 16))
+	if large <= small {
+		t.Errorf("access energy should grow with size: %f vs %f", small, large)
+	}
+	lowAssoc := m.AccessEnergy(cache.MustConfig(64, 1, 16))
+	highAssoc := m.AccessEnergy(cache.MustConfig(64, 8, 16))
+	if highAssoc <= lowAssoc {
+		t.Errorf("access energy should grow with associativity: %f vs %f", lowAssoc, highAssoc)
+	}
+}
+
+func TestMissPenaltyGrowsWithBlock(t *testing.T) {
+	m := DefaultModel()
+	if m.MissPenalty(cache.MustConfig(1, 1, 64)) <= m.MissPenalty(cache.MustConfig(1, 1, 4)) {
+		t.Error("miss penalty should grow with block size")
+	}
+}
+
+func TestTotalComposition(t *testing.T) {
+	m := DefaultModel()
+	cfg := cache.MustConfig(64, 2, 16)
+	s := cache.Stats{Accesses: 1000, Misses: 100}
+	want := 1000*m.AccessEnergy(cfg) + 100*m.MissPenalty(cfg)
+	if got := m.Total(cfg, s); got != want {
+		t.Errorf("Total = %f, want %f", got, want)
+	}
+}
+
+func TestRankPrefersFewMissesOverTinySize(t *testing.T) {
+	m := DefaultModel()
+	// Tiny cache thrashing vs a modest cache hitting: misses dominate.
+	thrash := cache.MustConfig(1, 1, 4)
+	decent := cache.MustConfig(64, 2, 16)
+	results := map[cache.Config]cache.Stats{
+		thrash: {Accesses: 100000, Misses: 60000},
+		decent: {Accesses: 100000, Misses: 2000},
+	}
+	ranked := m.Rank(results)
+	if len(ranked) != 2 {
+		t.Fatalf("ranked %d", len(ranked))
+	}
+	if ranked[0].Config != decent {
+		t.Errorf("best config = %v, want %v", ranked[0].Config, decent)
+	}
+	if ranked[0].Energy >= ranked[1].Energy {
+		t.Error("ranking not ascending by energy")
+	}
+}
+
+func TestRankPenalizesOversizedCache(t *testing.T) {
+	m := DefaultModel()
+	// Identical miss counts: the smaller cache must win on access
+	// energy + leakage.
+	smaller := cache.MustConfig(256, 2, 16)
+	huge := cache.MustConfig(16384, 16, 64)
+	results := map[cache.Config]cache.Stats{
+		smaller: {Accesses: 100000, Misses: 500},
+		huge:    {Accesses: 100000, Misses: 500},
+	}
+	ranked := m.Rank(results)
+	if ranked[0].Config != smaller {
+		t.Errorf("best config = %v, want the smaller one", ranked[0].Config)
+	}
+}
+
+func TestRankDeterministicOnTies(t *testing.T) {
+	var m Model // zero model: every energy is 0, exercising tie-breaks
+	a := cache.MustConfig(2, 1, 4)
+	b := cache.MustConfig(1, 2, 4)
+	c := cache.MustConfig(1, 1, 8)
+	results := map[cache.Config]cache.Stats{a: {}, b: {}, c: {}}
+	first := m.Rank(results)
+	for i := 0; i < 5; i++ {
+		again := m.Rank(results)
+		for j := range first {
+			if first[j].Config != again[j].Config {
+				t.Fatalf("tie ordering unstable at %d: %v vs %v", j, first[j].Config, again[j].Config)
+			}
+		}
+	}
+}
+
+func TestScoredString(t *testing.T) {
+	s := Scored{Config: cache.MustConfig(4, 1, 4), Stats: cache.Stats{Accesses: 10, Misses: 5}, Energy: 12}
+	if out := s.String(); !strings.Contains(out, "missRate=0.5000") || !strings.Contains(out, "pJ") {
+		t.Errorf("String = %q", out)
+	}
+}

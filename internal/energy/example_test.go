@@ -1,0 +1,26 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"dew/internal/cache"
+	"dew/internal/energy"
+)
+
+// Exact miss counts from the simulators feed the energy model to rank
+// candidate configurations.
+func ExampleModel_Rank() {
+	m := energy.DefaultModel()
+	results := map[cache.Config]cache.Stats{
+		cache.MustConfig(1, 1, 4):       {Accesses: 100000, Misses: 60000}, // thrashes
+		cache.MustConfig(64, 2, 16):     {Accesses: 100000, Misses: 2000},  // balanced
+		cache.MustConfig(16384, 16, 64): {Accesses: 100000, Misses: 900},   // oversized
+	}
+	for i, s := range m.Rank(results) {
+		fmt.Printf("%d. %v\n", i+1, s.Config)
+	}
+	// Output:
+	// 1. S=64 A=2 B=16 (2KiB)
+	// 2. S=1 A=1 B=4 (4B)
+	// 3. S=16384 A=16 B=64 (16MiB)
+}

@@ -1,0 +1,35 @@
+package explore_test
+
+import (
+	"fmt"
+	"log"
+
+	"dew/internal/cache"
+	"dew/internal/explore"
+	"dew/internal/workload"
+)
+
+// A full design-space exploration: every configuration in the space is
+// simulated exactly using the minimum number of DEW passes.
+func Example() {
+	space := cache.ParamSpace{
+		MinLogSets: 0, MaxLogSets: 6,
+		MinLogBlock: 4, MaxLogBlock: 5,
+		MinLogAssoc: 0, MaxLogAssoc: 2,
+	}
+	res, err := explore.Run(explore.Request{
+		Space:   space,
+		Source:  explore.FromApp(workload.DJPEG, 1, 50_000),
+		Workers: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("configurations:", len(res.Stats))
+	fmt.Println("trace passes:", res.Passes)
+	// Per-configuration simulation would have read the trace 42 times.
+
+	// Output:
+	// configurations: 42
+	// trace passes: 4
+}

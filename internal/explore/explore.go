@@ -1,0 +1,166 @@
+// Package explore turns DEW passes into a full design-space exploration:
+// given a parameter space like the paper's Table 1 (525 configurations)
+// and a replayable trace source, it schedules one DEW pass per
+// (block size, associativity) pair — each pass covering every set count
+// plus the direct-mapped configurations for free — across a worker pool,
+// and merges the exact per-configuration results. This is the "finding
+// the optimal L1 cache" workflow of the paper's introduction, packaged
+// as a library (see cmd/explore and examples/designspace for front ends).
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dew/internal/cache"
+	"dew/internal/core"
+	"dew/internal/trace"
+	"dew/internal/workload"
+)
+
+// Source produces independent readers over the same trace; each worker
+// pass consumes one reader. Implementations must be safe for concurrent
+// calls.
+type Source func() trace.Reader
+
+// FromApp returns a Source that regenerates a workload-model trace
+// deterministically (seed-identical streams for every pass).
+func FromApp(app workload.App, seed uint64, requests uint64) Source {
+	return func() trace.Reader {
+		return workload.Stream(app.Generator(seed), requests)
+	}
+}
+
+// FromTrace returns a Source replaying one in-memory trace.
+func FromTrace(tr trace.Trace) Source {
+	return func() trace.Reader { return tr.NewSliceReader() }
+}
+
+// Request describes an exploration.
+type Request struct {
+	// Space is the configuration space to cover.
+	Space cache.ParamSpace
+	// Source provides the trace.
+	Source Source
+	// Workers bounds concurrent DEW passes; 0 means GOMAXPROCS.
+	Workers int
+	// Policy selects the replacement policy for every pass: cache.FIFO
+	// (the default, DEW's target) or cache.LRU (exact but slower; see
+	// core.Options.Policy).
+	Policy cache.Policy
+	// Progress, when non-nil, is called after each finished pass with
+	// the number of completed and total passes. Calls are serialized.
+	Progress func(done, total int)
+}
+
+// Result holds the merged outcome of an exploration.
+type Result struct {
+	// Stats maps every configuration in the space to its exact outcome.
+	Stats map[cache.Config]cache.Stats
+	// Passes is the number of DEW passes executed (trace reads), the
+	// quantity the single-pass technique minimizes: one per
+	// (block size, associativity>1) pair, or one per block size in an
+	// associativity-1-only space.
+	Passes int
+	// Comparisons is the total tag comparisons across all passes.
+	Comparisons uint64
+}
+
+// Run executes the exploration.
+func Run(req Request) (*Result, error) {
+	if err := req.Space.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Source == nil {
+		return nil, fmt.Errorf("explore: nil trace source")
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// One pass per (block, assoc) with assoc > 1; the pass also yields
+	// the direct-mapped row. A space containing only associativity 1
+	// needs explicit assoc-1 passes.
+	type passSpec struct{ block, assoc int }
+	var passes []passSpec
+	for _, b := range req.Space.BlockSizes() {
+		hasWide := false
+		for _, a := range req.Space.Assocs() {
+			if a > 1 {
+				hasWide = true
+				passes = append(passes, passSpec{block: b, assoc: a})
+			}
+		}
+		if !hasWide {
+			passes = append(passes, passSpec{block: b, assoc: 1})
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		res      = &Result{Stats: make(map[cache.Config]cache.Stats, req.Space.Count())}
+	)
+	includeAssoc1 := req.Space.MinLogAssoc == 0
+
+	jobs := make(chan passSpec)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ps := range jobs {
+				sim, err := core.Run(core.Options{
+					MinLogSets: req.Space.MinLogSets,
+					MaxLogSets: req.Space.MaxLogSets,
+					Assoc:      ps.assoc,
+					BlockSize:  ps.block,
+					Policy:     req.Policy,
+				}, req.Source())
+
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("explore: pass B=%d A=%d: %w", ps.block, ps.assoc, err)
+					}
+				} else {
+					for _, r := range sim.Results() {
+						if r.Config.Assoc == 1 && !includeAssoc1 {
+							continue
+						}
+						if prev, ok := res.Stats[r.Config]; ok && prev != r.Stats {
+							// Direct-mapped rows arrive from several
+							// passes and must agree exactly.
+							firstErr = fmt.Errorf("explore: inconsistent results for %v: %+v vs %+v",
+								r.Config, prev, r.Stats)
+						}
+						res.Stats[r.Config] = r.Stats
+					}
+					res.Comparisons += sim.Counters().TagComparisons
+					res.Passes++
+				}
+				done++
+				if req.Progress != nil {
+					req.Progress(done, len(passes))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, ps := range passes {
+		jobs <- ps
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(res.Stats) != req.Space.Count() {
+		return nil, fmt.Errorf("explore: covered %d of %d configurations", len(res.Stats), req.Space.Count())
+	}
+	return res, nil
+}

@@ -1,0 +1,234 @@
+package explore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dew/internal/cache"
+	"dew/internal/refsim"
+	"dew/internal/trace"
+	"dew/internal/workload"
+)
+
+func smallSpace() cache.ParamSpace {
+	return cache.ParamSpace{
+		MinLogSets: 0, MaxLogSets: 5,
+		MinLogBlock: 0, MaxLogBlock: 3,
+		MinLogAssoc: 0, MaxLogAssoc: 2,
+	}
+}
+
+func randomTrace(n int, seed int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := make(trace.Trace, n)
+	for i := range tr {
+		tr[i] = trace.Access{Addr: uint64(rng.Int63n(1 << 12)), Kind: trace.Kind(rng.Intn(3))}
+	}
+	return tr
+}
+
+func TestRunCoversSpaceExactly(t *testing.T) {
+	space := smallSpace()
+	tr := randomTrace(5000, 1)
+	res, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != space.Count() {
+		t.Fatalf("covered %d configs, want %d", len(res.Stats), space.Count())
+	}
+	// Passes: 4 block sizes × 2 wide associativities.
+	if res.Passes != 8 {
+		t.Errorf("Passes = %d, want 8", res.Passes)
+	}
+	if res.Comparisons == 0 {
+		t.Error("no comparisons recorded")
+	}
+	// Exactness of the merged map against the reference simulator on a
+	// sample of configurations including direct-mapped ones.
+	for _, cfg := range []cache.Config{
+		cache.MustConfig(1, 1, 1),
+		cache.MustConfig(8, 1, 4),
+		cache.MustConfig(32, 4, 8),
+		cache.MustConfig(4, 2, 2),
+	} {
+		want, err := refsim.RunTrace(cfg, cache.FIFO, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := res.Stats[cfg]
+		if !ok {
+			t.Fatalf("config %v missing", cfg)
+		}
+		if got.Misses != want.Misses {
+			t.Errorf("%v: explore %d misses, refsim %d", cfg, got.Misses, want.Misses)
+		}
+	}
+}
+
+func TestRunWorkersEquivalence(t *testing.T) {
+	space := smallSpace()
+	tr := randomTrace(3000, 2)
+	seq, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Stats) != len(par.Stats) {
+		t.Fatalf("coverage differs: %d vs %d", len(seq.Stats), len(par.Stats))
+	}
+	for cfg, s := range seq.Stats {
+		if par.Stats[cfg] != s {
+			t.Errorf("%v: sequential %+v vs parallel %+v", cfg, s, par.Stats[cfg])
+		}
+	}
+	if seq.Comparisons != par.Comparisons {
+		t.Errorf("comparisons differ: %d vs %d", seq.Comparisons, par.Comparisons)
+	}
+}
+
+func TestRunAssocOneOnlySpace(t *testing.T) {
+	space := cache.ParamSpace{
+		MinLogSets: 0, MaxLogSets: 4,
+		MinLogBlock: 2, MaxLogBlock: 2,
+		MinLogAssoc: 0, MaxLogAssoc: 0,
+	}
+	res, err := Run(Request{Space: space, Source: FromTrace(randomTrace(2000, 3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 5 {
+		t.Fatalf("covered %d configs, want 5", len(res.Stats))
+	}
+	if res.Passes != 1 {
+		t.Errorf("Passes = %d, want 1", res.Passes)
+	}
+}
+
+func TestRunExcludesAssocOneWhenOutOfSpace(t *testing.T) {
+	space := cache.ParamSpace{
+		MinLogSets: 0, MaxLogSets: 3,
+		MinLogBlock: 0, MaxLogBlock: 0,
+		MinLogAssoc: 1, MaxLogAssoc: 2, // assoc 2 and 4 only
+	}
+	res, err := Run(Request{Space: space, Source: FromTrace(randomTrace(2000, 4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != space.Count() {
+		t.Fatalf("covered %d configs, want %d", len(res.Stats), space.Count())
+	}
+	for cfg := range res.Stats {
+		if cfg.Assoc == 1 {
+			t.Errorf("assoc-1 config %v leaked into a space without it", cfg)
+		}
+	}
+}
+
+func TestRunProgressMonotone(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	_, err := Run(Request{
+		Space:  smallSpace(),
+		Source: FromTrace(randomTrace(1000, 5)),
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total != 8 {
+				t.Errorf("total = %d, want 8", total)
+			}
+			seen = append(seen, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("progress called %d times, want 8", len(seen))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Errorf("progress %d reported done=%d", i, d)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Request{Space: cache.ParamSpace{MinLogSets: 3, MaxLogSets: 1}}); err == nil {
+		t.Error("want error for invalid space")
+	}
+	if _, err := Run(Request{Space: smallSpace()}); err == nil {
+		t.Error("want error for nil source")
+	}
+}
+
+func TestFromAppDeterministic(t *testing.T) {
+	src := FromApp(workload.DJPEG, 9, 1000)
+	a, err := trace.ReadAll(src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.ReadAll(src())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1000 || len(b) != 1000 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("source not replayable at %d", i)
+		}
+	}
+}
+
+func TestRunLRUPolicy(t *testing.T) {
+	space := cache.ParamSpace{
+		MinLogSets: 0, MaxLogSets: 4,
+		MinLogBlock: 2, MaxLogBlock: 2,
+		MinLogAssoc: 0, MaxLogAssoc: 2,
+	}
+	tr := randomTrace(4000, 6)
+	res, err := Run(Request{Space: space, Source: FromTrace(tr), Policy: cache.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []cache.Config{
+		cache.MustConfig(4, 2, 4),
+		cache.MustConfig(16, 1, 4),
+	} {
+		want, err := refsim.RunTrace(cfg, cache.LRU, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Stats[cfg]; got.Misses != want.Misses {
+			t.Errorf("%v: LRU explore %d misses, refsim %d", cfg, got.Misses, want.Misses)
+		}
+	}
+	if _, err := Run(Request{Space: space, Source: FromTrace(tr), Policy: cache.Random}); err == nil {
+		t.Error("Random policy should be rejected by the passes")
+	}
+}
+
+func TestRunPaperSpaceSmallTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 525-config space skipped in -short mode")
+	}
+	res, err := Run(Request{
+		Space:  cache.PaperSpace(),
+		Source: FromApp(workload.CJPEG, 1, 20_000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 525 {
+		t.Fatalf("covered %d configs, want 525", len(res.Stats))
+	}
+	if res.Passes != 7*4 {
+		t.Errorf("Passes = %d, want 28", res.Passes)
+	}
+}

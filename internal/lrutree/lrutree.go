@@ -1,0 +1,285 @@
+// Package lrutree is a single-pass multi-configuration simulator for the
+// LRU replacement policy, in the spirit of the related work the DEW paper
+// builds on: Janapsatya's binomial-tree method (ASP-DAC'06, reference
+// [13]) with pruning enhancements in the spirit of the CRCB algorithm
+// (ASP-DAC'09, reference [20]).
+//
+// It serves three roles in this repository: an executable model of the
+// LRU inclusion properties that DEW cannot use under FIFO (Section 1 of
+// the paper), the LRU counterpart for the policy-comparison example, and
+// a same-codebase baseline for the "single-pass vs per-configuration"
+// speed argument under a different policy.
+//
+// The simulation tree is the same binomial structure DEW uses: level L
+// holds the 2^L sets of the configuration with 2^L sets; an access visits
+// one node per level. Each node keeps its tag list in recency order (most
+// recently used first), so the node's head is simultaneously the content
+// of the direct-mapped configuration at that level, and searches touch
+// hot tags first (Janapsatya's temporal-locality search order).
+//
+// Pruning rules (each an LRU-only property):
+//
+//   - Same-block pruning (CRCB-style): a request to the same block as the
+//     immediately preceding request hits every configuration and changes
+//     no LRU state; the access is skipped entirely.
+//   - MRU cut-off: if the requested tag is at the MRU position of a node,
+//     then — by the same containment argument as DEW's Property 2 — it is
+//     the MRU tag of the relevant set in every deeper level, the access
+//     hits everywhere below, and every reorder is a no-op: the walk
+//     stops.
+//   - Inclusion: a hit at set count S implies a hit at every larger set
+//     count (equal associativity and block size), so once a level hits,
+//     deeper levels take no miss counting — but their recency orders
+//     still need updating, which bounds how much work inclusion alone
+//     can save and motivates the cut-off rules.
+package lrutree
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"dew/internal/cache"
+	"dew/internal/trace"
+)
+
+// Options configures one LRU tree pass, covering set counts 2^MinLogSets
+// .. 2^MaxLogSets at one associativity and block size (plus direct-mapped
+// results for free).
+type Options struct {
+	// MinLogSets and MaxLogSets bound the simulated set counts as log2.
+	MinLogSets, MaxLogSets int
+	// Assoc is the associativity (power of two, 1..64).
+	Assoc int
+	// BlockSize is the block size in bytes (power of two).
+	BlockSize int
+
+	// DisableSameBlock and DisableMRUCutoff switch off the pruning rules
+	// for ablation; results are unchanged.
+	DisableSameBlock bool
+	DisableMRUCutoff bool
+}
+
+// Validate reports whether the options are simulatable.
+func (o Options) Validate() error {
+	if o.MinLogSets < 0 || o.MaxLogSets < o.MinLogSets {
+		return fmt.Errorf("lrutree: invalid set-count range [2^%d, 2^%d]", o.MinLogSets, o.MaxLogSets)
+	}
+	if o.MaxLogSets > 22 {
+		return fmt.Errorf("lrutree: max log2 set count %d exceeds supported 22", o.MaxLogSets)
+	}
+	if o.Assoc < 1 || o.Assoc > 64 || o.Assoc&(o.Assoc-1) != 0 {
+		return fmt.Errorf("lrutree: associativity must be a power of two in [1, 64], got %d", o.Assoc)
+	}
+	if o.BlockSize < 1 || o.BlockSize&(o.BlockSize-1) != 0 {
+		return fmt.Errorf("lrutree: block size must be a positive power of two, got %d", o.BlockSize)
+	}
+	return nil
+}
+
+// Levels returns the number of tree levels.
+func (o Options) Levels() int { return o.MaxLogSets - o.MinLogSets + 1 }
+
+// Counters records the work one pass performed, comparable with the DEW
+// core's counters.
+type Counters struct {
+	// Accesses is the number of requests processed (including skipped).
+	Accesses uint64
+	// NodeEvaluations counts visited tree nodes, two per node (the
+	// direct-mapped check plus the A-way list work), matching the DEW
+	// accounting convention.
+	NodeEvaluations uint64
+	// SameBlockSkips counts accesses pruned entirely because they
+	// repeated the previous block address.
+	SameBlockSkips uint64
+	// MRUCutoffs counts walks stopped because the tag was at a node's
+	// MRU position.
+	MRUCutoffs uint64
+	// Searches counts recency-list scans.
+	Searches uint64
+	// TagComparisons counts tag equality tests.
+	TagComparisons uint64
+}
+
+// level holds one tree level: per-node recency-ordered tag lists.
+type level struct {
+	mask   uint64
+	tags   []uint64 // recency order per node: tags[base] is MRU
+	fill   []int8
+	missDM uint64
+	missA  uint64
+}
+
+// Simulator is one LRU tree pass in progress.
+type Simulator struct {
+	opt      Options
+	offBits  uint
+	assoc    int
+	levels   []level
+	havePrev bool
+	prevBlk  uint64
+	counters Counters
+}
+
+// New builds a Simulator for the options.
+func New(opt Options) (*Simulator, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		opt:     opt,
+		offBits: uint(bits.TrailingZeros(uint(opt.BlockSize))),
+		assoc:   opt.Assoc,
+		levels:  make([]level, opt.Levels()),
+	}
+	for i := range s.levels {
+		nodes := 1 << (opt.MinLogSets + i)
+		s.levels[i] = level{
+			mask: uint64(nodes - 1),
+			tags: make([]uint64, nodes*opt.Assoc),
+			fill: make([]int8, nodes),
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(opt Options) *Simulator {
+	s, err := New(opt)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Options returns the pass configuration.
+func (s *Simulator) Options() Options { return s.opt }
+
+// Counters returns a snapshot of the work counters.
+func (s *Simulator) Counters() Counters { return s.counters }
+
+// UnoptimizedEvaluations returns the work bound of a property-free pass:
+// two evaluations per level per access.
+func (s *Simulator) UnoptimizedEvaluations() uint64 {
+	return 2 * uint64(s.opt.Levels()) * s.counters.Accesses
+}
+
+// Access simulates one request against every configuration of the pass.
+func (s *Simulator) Access(a trace.Access) {
+	blk := a.Addr >> s.offBits
+	s.counters.Accesses++
+
+	if !s.opt.DisableSameBlock && s.havePrev && blk == s.prevBlk {
+		// Same-block pruning: a repeat hits everywhere and every
+		// LRU reorder is a no-op.
+		s.counters.SameBlockSkips++
+		return
+	}
+	s.havePrev = true
+	s.prevBlk = blk
+
+	for li := range s.levels {
+		lv := &s.levels[li]
+		node := int(blk & lv.mask)
+		base := node * s.assoc
+		s.counters.NodeEvaluations += 2
+
+		fill := int(lv.fill[node])
+		// Direct-mapped check: the MRU tag is the DM content.
+		s.counters.TagComparisons++
+		mruHit := fill > 0 && lv.tags[base] == blk
+		if mruHit {
+			if !s.opt.DisableMRUCutoff {
+				// The tag is MRU here, hence MRU in every deeper set it
+				// maps to: hits everywhere below, no state changes.
+				s.counters.MRUCutoffs++
+				return
+			}
+			// Cut-off disabled: the hit still needs no reorder at this
+			// level; continue to the next level.
+			continue
+		}
+		lv.missDM++
+
+		// Scan the recency list (skipping the MRU slot already tested).
+		s.counters.Searches++
+		hitAt := -1
+		for w := 1; w < fill; w++ {
+			s.counters.TagComparisons++
+			if lv.tags[base+w] == blk {
+				hitAt = w
+				break
+			}
+		}
+		if hitAt >= 0 {
+			// Hit: rotate the tag to the MRU position.
+			copy(lv.tags[base+1:base+hitAt+1], lv.tags[base:base+hitAt])
+			lv.tags[base] = blk
+			continue
+		}
+
+		// Miss: insert at MRU, evicting the LRU tail if full.
+		lv.missA++
+		if fill < s.assoc {
+			copy(lv.tags[base+1:base+fill+1], lv.tags[base:base+fill])
+			lv.fill[node]++
+		} else {
+			copy(lv.tags[base+1:base+s.assoc], lv.tags[base:base+s.assoc-1])
+		}
+		lv.tags[base] = blk
+	}
+}
+
+// Simulate drains the reader through the simulator.
+func (s *Simulator) Simulate(r trace.Reader) error {
+	for {
+		a, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.Access(a)
+	}
+}
+
+// Result pairs a configuration with its outcome.
+type Result struct {
+	Config cache.Config
+	cache.Stats
+}
+
+// Results returns exact statistics for every covered configuration, in
+// ascending set count, direct-mapped before A-way (matching the DEW
+// core's Results layout).
+func (s *Simulator) Results() []Result {
+	var out []Result
+	for i := range s.levels {
+		sets := 1 << (s.opt.MinLogSets + i)
+		if s.assoc > 1 {
+			out = append(out, Result{
+				Config: cache.Config{Sets: sets, Assoc: 1, BlockSize: s.opt.BlockSize},
+				Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.levels[i].missDM},
+			})
+		}
+		out = append(out, Result{
+			Config: cache.Config{Sets: sets, Assoc: s.assoc, BlockSize: s.opt.BlockSize},
+			Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.levels[i].missA},
+		})
+	}
+	return out
+}
+
+// Run builds a Simulator, drains the reader and returns it.
+func Run(opt Options, r trace.Reader) (*Simulator, error) {
+	s, err := New(opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Simulate(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

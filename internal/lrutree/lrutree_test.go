@@ -1,0 +1,282 @@
+package lrutree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dew/internal/cache"
+	"dew/internal/refsim"
+	"dew/internal/trace"
+)
+
+func randomTrace(n int, addrSpace int64, seed int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := make(trace.Trace, n)
+	for i := range t {
+		t[i] = trace.Access{Addr: uint64(rng.Int63n(addrSpace))}
+	}
+	return t
+}
+
+func streakyTrace(n int, addrSpace int64, seed int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := make(trace.Trace, n)
+	var prev uint64
+	for i := range t {
+		switch rng.Intn(4) {
+		case 0:
+			t[i] = trace.Access{Addr: prev}
+		case 1:
+			t[i] = trace.Access{Addr: prev + uint64(rng.Intn(8))}
+		default:
+			t[i] = trace.Access{Addr: uint64(rng.Int63n(addrSpace))}
+		}
+		prev = t[i].Addr
+	}
+	return t
+}
+
+func checkExact(t *testing.T, opt Options, tr trace.Trace) {
+	t.Helper()
+	s := MustNew(opt)
+	if err := s.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range s.Results() {
+		want, err := refsim.RunTrace(res.Config, cache.LRU, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != want.Misses {
+			t.Errorf("opts %+v, config %v: tree misses = %d, refsim misses = %d",
+				opt, res.Config, res.Misses, want.Misses)
+		}
+	}
+}
+
+func TestExactnessRandomTraces(t *testing.T) {
+	for _, assoc := range []int{1, 2, 4, 8} {
+		for _, block := range []int{1, 4, 32} {
+			opt := Options{MaxLogSets: 6, Assoc: assoc, BlockSize: block}
+			for seed := int64(0); seed < 3; seed++ {
+				checkExact(t, opt, randomTrace(4000, 1<<14, seed))
+			}
+		}
+	}
+}
+
+func TestExactnessStreakyTraces(t *testing.T) {
+	for _, assoc := range []int{1, 2, 16} {
+		opt := Options{MaxLogSets: 7, Assoc: assoc, BlockSize: 4}
+		for seed := int64(10); seed < 14; seed++ {
+			checkExact(t, opt, streakyTrace(6000, 1<<12, seed))
+		}
+	}
+}
+
+func TestExactnessTinyAddressSpace(t *testing.T) {
+	for _, assoc := range []int{2, 4} {
+		opt := Options{MaxLogSets: 4, Assoc: assoc, BlockSize: 1}
+		for seed := int64(20); seed < 25; seed++ {
+			checkExact(t, opt, randomTrace(8000, 48, seed))
+		}
+	}
+}
+
+func TestExactnessForest(t *testing.T) {
+	checkExact(t, Options{MinLogSets: 2, MaxLogSets: 7, Assoc: 4, BlockSize: 8},
+		streakyTrace(5000, 1<<13, 30))
+}
+
+func TestAblationEquivalence(t *testing.T) {
+	tr := streakyTrace(8000, 1<<12, 40)
+	base := MustNew(Options{MaxLogSets: 7, Assoc: 4, BlockSize: 4})
+	if err := base.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	baseRes := base.Results()
+	variants := []Options{
+		{MaxLogSets: 7, Assoc: 4, BlockSize: 4, DisableSameBlock: true},
+		{MaxLogSets: 7, Assoc: 4, BlockSize: 4, DisableMRUCutoff: true},
+		{MaxLogSets: 7, Assoc: 4, BlockSize: 4, DisableSameBlock: true, DisableMRUCutoff: true},
+	}
+	for _, opt := range variants {
+		v := MustNew(opt)
+		if err := v.Simulate(tr.NewSliceReader()); err != nil {
+			t.Fatal(err)
+		}
+		res := v.Results()
+		for i := range res {
+			if res[i] != baseRes[i] {
+				t.Errorf("%+v: result %d = %+v, want %+v", opt, i, res[i], baseRes[i])
+			}
+		}
+	}
+}
+
+// LRU inclusion: within one pass, misses must be non-increasing in set
+// count for both associativities.
+func TestInclusionAcrossLevels(t *testing.T) {
+	tr := randomTrace(20000, 1<<13, 50)
+	s := MustNew(Options{MaxLogSets: 8, Assoc: 4, BlockSize: 4})
+	if err := s.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	var prevDM, prevA uint64
+	for i, lv := range s.levels {
+		if i > 0 {
+			if lv.missDM > prevDM {
+				t.Errorf("level %d: DM misses rose %d -> %d", i, prevDM, lv.missDM)
+			}
+			if lv.missA > prevA {
+				t.Errorf("level %d: A-way misses rose %d -> %d", i, prevA, lv.missA)
+			}
+		}
+		prevDM, prevA = lv.missDM, lv.missA
+	}
+}
+
+func TestSameBlockSkip(t *testing.T) {
+	s := MustNew(Options{MaxLogSets: 5, Assoc: 4, BlockSize: 16})
+	// Addresses within one 16-byte block.
+	for i := 0; i < 50; i++ {
+		s.Access(trace.Access{Addr: uint64(i % 16)})
+	}
+	c := s.Counters()
+	if c.SameBlockSkips != 49 {
+		t.Errorf("SameBlockSkips = %d, want 49", c.SameBlockSkips)
+	}
+	// Only the first access did any tree work.
+	if c.NodeEvaluations != 2*6 {
+		t.Errorf("NodeEvaluations = %d, want 12", c.NodeEvaluations)
+	}
+	for _, res := range s.Results() {
+		if res.Misses != 1 {
+			t.Errorf("%v: misses = %d, want 1", res.Config, res.Misses)
+		}
+	}
+}
+
+func TestMRUCutoff(t *testing.T) {
+	s := MustNew(Options{MaxLogSets: 5, Assoc: 4, BlockSize: 1, DisableSameBlock: true})
+	for i := 0; i < 50; i++ {
+		s.Access(trace.Access{Addr: 7})
+	}
+	c := s.Counters()
+	if c.MRUCutoffs != 49 {
+		t.Errorf("MRUCutoffs = %d, want 49", c.MRUCutoffs)
+	}
+	if c.NodeEvaluations != 2*6+49*2 {
+		t.Errorf("NodeEvaluations = %d, want %d", c.NodeEvaluations, 2*6+49*2)
+	}
+}
+
+func TestResultsShape(t *testing.T) {
+	s := MustNew(Options{MinLogSets: 1, MaxLogSets: 3, Assoc: 2, BlockSize: 4})
+	s.Access(trace.Access{Addr: 0})
+	res := s.Results()
+	if len(res) != 6 {
+		t.Fatalf("len(Results) = %d, want 6", len(res))
+	}
+	if res[0].Config.Assoc != 1 || res[1].Config.Assoc != 2 || res[0].Config.Sets != 2 {
+		t.Errorf("unexpected leading results: %+v, %+v", res[0], res[1])
+	}
+	sAssoc1 := MustNew(Options{MaxLogSets: 2, Assoc: 1, BlockSize: 4})
+	sAssoc1.Access(trace.Access{Addr: 0})
+	if got := len(sAssoc1.Results()); got != 3 {
+		t.Errorf("assoc-1 results = %d, want 3", got)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{MinLogSets: -1, MaxLogSets: 2, Assoc: 1, BlockSize: 1},
+		{MinLogSets: 3, MaxLogSets: 2, Assoc: 1, BlockSize: 1},
+		{MaxLogSets: 23, Assoc: 1, BlockSize: 1},
+		{MaxLogSets: 2, Assoc: 5, BlockSize: 1},
+		{MaxLogSets: 2, Assoc: 0, BlockSize: 1},
+		{MaxLogSets: 2, Assoc: 1, BlockSize: 6},
+	}
+	for i, o := range bad {
+		if _, err := New(o); err == nil {
+			t.Errorf("case %d: New accepted %+v", i, o)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic")
+		}
+	}()
+	MustNew(Options{Assoc: 0, BlockSize: 1})
+}
+
+func TestRunAndErrors(t *testing.T) {
+	tr := randomTrace(100, 256, 60)
+	s, err := Run(Options{MaxLogSets: 3, Assoc: 2, BlockSize: 4}, tr.NewSliceReader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters().Accesses != 100 {
+		t.Errorf("accesses = %d", s.Counters().Accesses)
+	}
+	if _, err := Run(Options{Assoc: 0, BlockSize: 1}, nil); err == nil {
+		t.Error("Run should reject invalid options")
+	}
+	boom := trace.FuncReader(func() (trace.Access, error) { return trace.Access{}, errTest })
+	if _, err := Run(Options{MaxLogSets: 2, Assoc: 2, BlockSize: 4}, boom); err == nil {
+		t.Error("Run should propagate reader errors")
+	}
+}
+
+var errTest = errorString("test error")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestQuickExactness(t *testing.T) {
+	f := func(addrs []uint16, logAssoc, maxLog uint8) bool {
+		if len(addrs) == 0 {
+			return true
+		}
+		opt := Options{
+			MaxLogSets: int(maxLog%5) + 1,
+			Assoc:      1 << (logAssoc % 4),
+			BlockSize:  4,
+		}
+		tr := make(trace.Trace, len(addrs))
+		for i, a := range addrs {
+			tr[i] = trace.Access{Addr: uint64(a) % 2048}
+		}
+		s := MustNew(opt)
+		if err := s.Simulate(tr.NewSliceReader()); err != nil {
+			return false
+		}
+		for _, res := range s.Results() {
+			want, err := refsim.RunTrace(res.Config, cache.LRU, tr)
+			if err != nil || res.Misses != want.Misses {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkBelowUnoptimized(t *testing.T) {
+	tr := streakyTrace(10000, 1<<12, 70)
+	s := MustNew(Options{MaxLogSets: 8, Assoc: 4, BlockSize: 4})
+	if err := s.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Counters()
+	if c.NodeEvaluations >= s.UnoptimizedEvaluations() {
+		t.Errorf("pruning saved nothing: %d >= %d", c.NodeEvaluations, s.UnoptimizedEvaluations())
+	}
+}

@@ -1,0 +1,54 @@
+package refsim_test
+
+import (
+	"fmt"
+	"log"
+
+	"dew/internal/cache"
+	"dew/internal/refsim"
+	"dew/internal/trace"
+)
+
+// The reference simulator plays the Dinero IV role: one configuration
+// per pass, full statistics.
+func Example() {
+	tr := trace.Trace{
+		{Addr: 0, Kind: trace.DataRead},
+		{Addr: 64, Kind: trace.DataRead},
+		{Addr: 0, Kind: trace.DataRead},
+		{Addr: 128, Kind: trace.DataWrite},
+		{Addr: 64, Kind: trace.DataRead},
+	}
+	stats, err := refsim.RunTrace(cache.MustConfig(1, 2, 64), cache.FIFO, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accesses:", stats.Accesses)
+	fmt.Println("misses:", stats.Misses, "compulsory:", stats.CompulsoryMisses)
+	fmt.Println("tag comparisons:", stats.TagComparisons)
+	// Output:
+	// accesses: 5
+	// misses: 3 compulsory: 3
+	// tag comparisons: 6
+}
+
+// Write policies add Dinero-style memory-traffic accounting.
+func ExampleNewSim() {
+	sim, err := refsim.NewSim(refsim.Options{
+		Config:      cache.MustConfig(1, 1, 16),
+		Replacement: cache.FIFO,
+		Write:       refsim.WriteBack,
+		Alloc:       refsim.WriteAllocate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.Access(trace.Access{Addr: 0, Kind: trace.DataWrite}) // fill + dirty
+	sim.Access(trace.Access{Addr: 16, Kind: trace.DataRead}) // evicts dirty block
+	t := sim.Traffic()
+	fmt.Println("bytes from memory:", t.BytesFromMemory)
+	fmt.Println("bytes to memory:", t.BytesToMemory, "writebacks:", t.Writebacks)
+	// Output:
+	// bytes from memory: 32
+	// bytes to memory: 16 writebacks: 1
+}

@@ -1,0 +1,257 @@
+// Package refsim is a trace-driven single-configuration cache simulator
+// in the role Dinero IV plays in the DEW paper: the exact, widely-trusted
+// baseline that simulates one (sets, associativity, block size, policy)
+// combination per pass and keeps the full Dinero-style statistics set
+// (per-kind counts, compulsory-miss classification, eviction counts, tag
+// comparisons).
+//
+// It is deliberately policy-general (FIFO, LRU, Random) and
+// configuration-general where DEW is specialized; the experiment harness
+// replays the trace through one Simulator per configuration exactly as
+// the paper ran Dinero IV once per configuration, and the DEW test suite
+// uses it as the exactness oracle.
+package refsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dew/internal/cache"
+	"dew/internal/trace"
+)
+
+// Stats is the full statistics record of one simulation, a superset of
+// cache.Stats modeled on Dinero IV's output. Maintaining this "large
+// information set" is part of what the paper charges to Dinero's runtime;
+// keeping it here keeps the comparison honest.
+type Stats struct {
+	cache.Stats
+
+	// Per-kind access and miss counts (indexed by trace.Kind).
+	AccessesByKind [3]uint64
+	MissesByKind   [3]uint64
+
+	// CompulsoryMisses counts first-ever references to a block (cold
+	// misses). The remainder of Misses are capacity/conflict misses.
+	CompulsoryMisses uint64
+
+	// Evictions counts valid blocks displaced by fills.
+	Evictions uint64
+
+	// TagComparisons counts every tag equality test performed while
+	// searching sets — the cost metric Table 3 of the paper reports.
+	TagComparisons uint64
+}
+
+// Simulator simulates a single cache configuration over a stream of
+// accesses.
+type Simulator struct {
+	cfg    cache.Config
+	policy cache.Policy
+
+	// tags holds Sets×Assoc entries; tags[s*assoc+w] is way w of set s.
+	tags  []uint64
+	valid []bool
+	// fill is the number of valid ways per set.
+	fill []int32
+	// head is the FIFO round-robin insertion cursor per set.
+	head []int32
+	// order holds the LRU recency permutation per set: order[s*assoc+i]
+	// is the way index of the i-th most recently used block.
+	order []int8
+
+	// seen records every block address ever referenced, for
+	// compulsory-miss classification (Dinero keeps the same structure).
+	seen map[uint64]struct{}
+
+	// rnd is the deterministic replacement stream for cache.Random.
+	rnd uint64
+
+	// Write-policy state, active only for simulators built with NewSim
+	// (dirty non-nil): see write.go.
+	write      WritePolicy
+	alloc      AllocPolicy
+	storeBytes int
+	dirty      []bool
+	traffic    Traffic
+
+	stats Stats
+}
+
+// New returns a Simulator for the configuration and policy. The
+// configuration must validate, and associativity must fit the internal
+// recency encoding (≤ 127, far beyond the paper's 16).
+func New(cfg cache.Config, policy cache.Policy) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Assoc > 127 {
+		return nil, fmt.Errorf("refsim: associativity %d exceeds supported 127", cfg.Assoc)
+	}
+	n := cfg.Sets * cfg.Assoc
+	s := &Simulator{
+		cfg:    cfg,
+		policy: policy,
+		tags:   make([]uint64, n),
+		valid:  make([]bool, n),
+		fill:   make([]int32, cfg.Sets),
+		head:   make([]int32, cfg.Sets),
+		seen:   make(map[uint64]struct{}),
+		rnd:    0x9E3779B97F4A7C15,
+	}
+	if policy == cache.LRU {
+		s.order = make([]int8, n)
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(cfg cache.Config, policy cache.Policy) *Simulator {
+	s, err := New(cfg, policy)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the simulated configuration.
+func (s *Simulator) Config() cache.Config { return s.cfg }
+
+// Policy returns the replacement policy.
+func (s *Simulator) Policy() cache.Policy { return s.policy }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// Access simulates one memory request and reports whether it hit.
+func (s *Simulator) Access(a trace.Access) bool {
+	blk := s.cfg.BlockAddr(a.Addr)
+	set := int(blk) & (s.cfg.Sets - 1)
+	tag := blk >> uint(s.cfg.IndexBits())
+
+	s.stats.Accesses++
+	if a.Kind.Valid() {
+		s.stats.AccessesByKind[a.Kind]++
+	}
+
+	// Stores follow the configured write/alloc policies when the
+	// simulator was built with NewSim.
+	if s.dirty != nil && a.Kind == trace.DataWrite {
+		return s.accessWrite(set, tag, blk)
+	}
+
+	// Search every valid way, counting tag comparisons. For LRU the
+	// search follows recency order (Dinero searches its recency-linked
+	// list), for FIFO/Random physical order; the comparison count to a
+	// hit differs accordingly.
+	hitWay := s.findWay(set, tag)
+	if hitWay >= 0 {
+		if s.policy == cache.LRU {
+			s.touchLRU(set, hitWay)
+		}
+		return true
+	}
+
+	// Miss path.
+	s.stats.Misses++
+	if a.Kind.Valid() {
+		s.stats.MissesByKind[a.Kind]++
+	}
+	if _, ok := s.seen[blk]; !ok {
+		s.seen[blk] = struct{}{}
+		s.stats.CompulsoryMisses++
+	}
+	if s.dirty != nil {
+		s.traffic.BytesFromMemory += uint64(s.cfg.BlockSize)
+		s.insertAt(set, tag)
+	} else {
+		s.insert(set, tag)
+	}
+	return false
+}
+
+// touchLRU moves way w of the set to most-recently-used position.
+func (s *Simulator) touchLRU(set, w int) {
+	base := set * s.cfg.Assoc
+	// Find w in the recency order and rotate it to the front.
+	for i := 0; i < int(s.fill[set]); i++ {
+		if int(s.order[base+i]) == w {
+			copy(s.order[base+1:base+i+1], s.order[base:base+i])
+			s.order[base] = int8(w)
+			return
+		}
+	}
+}
+
+// insert places tag into the set, evicting per policy if full.
+func (s *Simulator) insert(set int, tag uint64) {
+	base := set * s.cfg.Assoc
+	assoc := s.cfg.Assoc
+
+	if int(s.fill[set]) < assoc {
+		// Cold fill: next free way.
+		w := int(s.fill[set])
+		s.tags[base+w] = tag
+		s.valid[base+w] = true
+		s.fill[set]++
+		switch s.policy {
+		case cache.LRU:
+			copy(s.order[base+1:base+w+1], s.order[base:base+w])
+			s.order[base] = int8(w)
+		case cache.FIFO:
+			// head tracks the oldest entry; while filling, oldest
+			// remains way 0, and head stays pointing at it.
+		}
+		return
+	}
+
+	// Choose a victim.
+	var w int
+	switch s.policy {
+	case cache.FIFO:
+		w = int(s.head[set])
+		s.head[set] = int32((w + 1) % assoc)
+	case cache.LRU:
+		w = int(s.order[base+assoc-1])
+		copy(s.order[base+1:base+assoc], s.order[base:base+assoc-1])
+		s.order[base] = int8(w)
+	case cache.Random:
+		// xorshift64 step, deterministic across runs.
+		s.rnd ^= s.rnd << 13
+		s.rnd ^= s.rnd >> 7
+		s.rnd ^= s.rnd << 17
+		w = int(s.rnd % uint64(assoc))
+	}
+	s.stats.Evictions++
+	s.tags[base+w] = tag
+}
+
+// Simulate drains the reader through the simulator and returns the final
+// statistics.
+func (s *Simulator) Simulate(r trace.Reader) (Stats, error) {
+	for {
+		a, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return s.stats, nil
+		}
+		if err != nil {
+			return s.stats, err
+		}
+		s.Access(a)
+	}
+}
+
+// Run is a convenience that builds a Simulator and drains the reader.
+func Run(cfg cache.Config, policy cache.Policy, r trace.Reader) (Stats, error) {
+	s, err := New(cfg, policy)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Simulate(r)
+}
+
+// RunTrace runs an in-memory trace (common in tests and benchmarks).
+func RunTrace(cfg cache.Config, policy cache.Policy, t trace.Trace) (Stats, error) {
+	return Run(cfg, policy, t.NewSliceReader())
+}

@@ -1,0 +1,221 @@
+package refsim
+
+import (
+	"fmt"
+
+	"dew/internal/cache"
+	"dew/internal/trace"
+)
+
+// Dinero IV models write handling as two orthogonal choices; this file
+// adds the same axes plus the memory-traffic statistics Dinero reports
+// ("bytes from memory", "bytes to memory"). Replacement-policy behaviour
+// and hit/miss accounting for reads and instruction fetches are
+// unaffected; only stores interact with these options.
+
+// WritePolicy selects how write hits propagate to the next level.
+type WritePolicy uint8
+
+const (
+	// WriteBack marks the block dirty and writes it to memory only on
+	// eviction.
+	WriteBack WritePolicy = iota
+	// WriteThrough sends every store to memory immediately; blocks are
+	// never dirty.
+	WriteThrough
+)
+
+// String returns the conventional name.
+func (w WritePolicy) String() string {
+	switch w {
+	case WriteBack:
+		return "write-back"
+	case WriteThrough:
+		return "write-through"
+	default:
+		return fmt.Sprintf("WritePolicy(%d)", uint8(w))
+	}
+}
+
+// AllocPolicy selects what a write miss does.
+type AllocPolicy uint8
+
+const (
+	// WriteAllocate fetches the block on a write miss and installs it
+	// (the behaviour the multi-configuration simulators model for every
+	// access kind).
+	WriteAllocate AllocPolicy = iota
+	// NoWriteAllocate sends the store to memory without installing the
+	// block; write misses do not disturb the cache.
+	NoWriteAllocate
+)
+
+// String returns the conventional name.
+func (a AllocPolicy) String() string {
+	switch a {
+	case WriteAllocate:
+		return "write-allocate"
+	case NoWriteAllocate:
+		return "no-write-allocate"
+	default:
+		return fmt.Sprintf("AllocPolicy(%d)", uint8(a))
+	}
+}
+
+// Options fully parameterizes a reference simulation.
+type Options struct {
+	// Config is the cache geometry.
+	Config cache.Config
+	// Replacement is the replacement policy (FIFO, LRU, Random).
+	Replacement cache.Policy
+	// Write selects write-back (default) or write-through.
+	Write WritePolicy
+	// Alloc selects write-allocate (default) or no-write-allocate.
+	Alloc AllocPolicy
+	// StoreBytes is the store width used for write-through /
+	// no-write-allocate traffic accounting; 0 defaults to 4.
+	StoreBytes int
+}
+
+// Traffic is the memory-side byte accounting of a simulation.
+type Traffic struct {
+	// BytesFromMemory counts block fills (misses that install a block).
+	BytesFromMemory uint64
+	// BytesToMemory counts write-through stores, no-write-allocate
+	// stores and write-back evictions.
+	BytesToMemory uint64
+	// Writebacks counts dirty evictions.
+	Writebacks uint64
+}
+
+// NewSim builds a fully-parameterized Simulator.
+func NewSim(o Options) (*Simulator, error) {
+	s, err := New(o.Config, o.Replacement)
+	if err != nil {
+		return nil, err
+	}
+	if o.StoreBytes < 0 {
+		return nil, fmt.Errorf("refsim: negative store width %d", o.StoreBytes)
+	}
+	s.write = o.Write
+	s.alloc = o.Alloc
+	s.storeBytes = o.StoreBytes
+	if s.storeBytes == 0 {
+		s.storeBytes = 4
+	}
+	s.dirty = make([]bool, o.Config.Sets*o.Config.Assoc)
+	return s, nil
+}
+
+// Traffic returns the memory-traffic counters. It is zero unless the
+// simulator was built with NewSim (New keeps the legacy
+// allocate-everything behaviour with no traffic accounting).
+func (s *Simulator) Traffic() Traffic { return s.traffic }
+
+// accessWrite handles a store under the configured write/alloc policies.
+// It returns whether the access hit. Called from Access for simulators
+// built with NewSim.
+func (s *Simulator) accessWrite(set int, tag uint64, blk uint64) bool {
+	base := set * s.cfg.Assoc
+	hitWay := s.findWay(set, tag)
+	if hitWay >= 0 {
+		if s.policy == cache.LRU {
+			s.touchLRU(set, hitWay)
+		}
+		if s.write == WriteBack {
+			s.dirty[base+hitWay] = true
+		} else {
+			s.traffic.BytesToMemory += uint64(s.storeBytes)
+		}
+		return true
+	}
+
+	// Write miss.
+	s.stats.Misses++
+	s.stats.MissesByKind[trace.DataWrite]++
+	if _, ok := s.seen[blk]; !ok {
+		s.seen[blk] = struct{}{}
+		s.stats.CompulsoryMisses++
+	}
+	if s.alloc == NoWriteAllocate {
+		// The store bypasses the cache entirely.
+		s.traffic.BytesToMemory += uint64(s.storeBytes)
+		return false
+	}
+	// Allocate: fetch the block, install it, then apply the store.
+	s.traffic.BytesFromMemory += uint64(s.cfg.BlockSize)
+	w := s.insertAt(set, tag)
+	if s.write == WriteBack {
+		s.dirty[base+w] = true
+	} else {
+		s.traffic.BytesToMemory += uint64(s.storeBytes)
+	}
+	return false
+}
+
+// findWay searches the set for the tag, counting comparisons exactly as
+// the read path does, and returns the way index or -1.
+func (s *Simulator) findWay(set int, tag uint64) int {
+	base := set * s.cfg.Assoc
+	if s.policy == cache.LRU {
+		for i := 0; i < int(s.fill[set]); i++ {
+			w := int(s.order[base+i])
+			s.stats.TagComparisons++
+			if s.tags[base+w] == tag {
+				return w
+			}
+		}
+		return -1
+	}
+	for w := 0; w < int(s.fill[set]); w++ {
+		s.stats.TagComparisons++
+		if s.valid[base+w] && s.tags[base+w] == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// insertAt is insert, but additionally returns the way used and performs
+// dirty-eviction accounting. Only called on the NewSim path.
+func (s *Simulator) insertAt(set int, tag uint64) int {
+	base := set * s.cfg.Assoc
+	assoc := s.cfg.Assoc
+
+	if int(s.fill[set]) < assoc {
+		w := int(s.fill[set])
+		s.tags[base+w] = tag
+		s.valid[base+w] = true
+		s.fill[set]++
+		if s.policy == cache.LRU {
+			copy(s.order[base+1:base+w+1], s.order[base:base+w])
+			s.order[base] = int8(w)
+		}
+		s.dirty[base+w] = false
+		return w
+	}
+
+	var w int
+	switch s.policy {
+	case cache.FIFO:
+		w = int(s.head[set])
+		s.head[set] = int32((w + 1) % assoc)
+	case cache.LRU:
+		w = int(s.order[base+assoc-1])
+		copy(s.order[base+1:base+assoc], s.order[base:base+assoc-1])
+		s.order[base] = int8(w)
+	case cache.Random:
+		s.rnd ^= s.rnd << 13
+		s.rnd ^= s.rnd >> 7
+		s.rnd ^= s.rnd << 17
+		w = int(s.rnd % uint64(assoc))
+	}
+	s.stats.Evictions++
+	if s.dirty[base+w] {
+		s.traffic.BytesToMemory += uint64(s.cfg.BlockSize)
+		s.traffic.Writebacks++
+		s.dirty[base+w] = false
+	}
+	s.tags[base+w] = tag
+	return w
+}

@@ -1,0 +1,208 @@
+package refsim
+
+import (
+	"strings"
+	"testing"
+
+	"dew/internal/cache"
+	"dew/internal/trace"
+)
+
+func wr(addr uint64) trace.Access { return trace.Access{Addr: addr, Kind: trace.DataWrite} }
+func rd(addr uint64) trace.Access { return trace.Access{Addr: addr, Kind: trace.DataRead} }
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	// S=1, A=1, B=8: write block 0 (dirty), then read block 8 evicting
+	// it: one writeback of 8 bytes plus two 8-byte fills.
+	s, err := NewSim(Options{
+		Config:      cache.MustConfig(1, 1, 8),
+		Replacement: cache.FIFO,
+		Write:       WriteBack,
+		Alloc:       WriteAllocate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(wr(0))
+	s.Access(rd(8))
+	tr := s.Traffic()
+	if tr.Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want 1", tr.Writebacks)
+	}
+	if tr.BytesToMemory != 8 {
+		t.Errorf("BytesToMemory = %d, want 8", tr.BytesToMemory)
+	}
+	if tr.BytesFromMemory != 16 {
+		t.Errorf("BytesFromMemory = %d, want 16", tr.BytesFromMemory)
+	}
+}
+
+func TestWriteBackCleanEviction(t *testing.T) {
+	s, err := NewSim(Options{
+		Config:      cache.MustConfig(1, 1, 8),
+		Replacement: cache.FIFO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(rd(0)) // clean block
+	s.Access(rd(8)) // evicts it
+	tr := s.Traffic()
+	if tr.Writebacks != 0 || tr.BytesToMemory != 0 {
+		t.Errorf("clean eviction produced traffic: %+v", tr)
+	}
+}
+
+func TestWriteThroughTraffic(t *testing.T) {
+	// Every store goes to memory at the store width; blocks never dirty.
+	s, err := NewSim(Options{
+		Config:      cache.MustConfig(1, 2, 8),
+		Replacement: cache.FIFO,
+		Write:       WriteThrough,
+		Alloc:       WriteAllocate,
+		StoreBytes:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(wr(0)) // miss: fill 8 + store-through 2
+	s.Access(wr(0)) // hit: store-through 2
+	s.Access(wr(4)) // hit (same block): store-through 2
+	tr := s.Traffic()
+	if tr.BytesFromMemory != 8 {
+		t.Errorf("BytesFromMemory = %d, want 8", tr.BytesFromMemory)
+	}
+	if tr.BytesToMemory != 6 {
+		t.Errorf("BytesToMemory = %d, want 6", tr.BytesToMemory)
+	}
+	if tr.Writebacks != 0 {
+		t.Errorf("write-through produced writebacks: %d", tr.Writebacks)
+	}
+}
+
+func TestNoWriteAllocateBypasses(t *testing.T) {
+	// A write miss must not install the block: the following read of the
+	// same block still misses.
+	s, err := NewSim(Options{
+		Config:      cache.MustConfig(1, 2, 8),
+		Replacement: cache.FIFO,
+		Write:       WriteThrough,
+		Alloc:       NoWriteAllocate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Access(wr(0)) {
+		t.Fatal("first write should miss")
+	}
+	if s.Access(rd(0)) {
+		t.Error("read after no-write-allocate miss should still miss")
+	}
+	if !s.Access(rd(0)) {
+		t.Error("read after read fill should hit")
+	}
+	tr := s.Traffic()
+	// One bypassed store (4 default bytes) + one read fill (8).
+	if tr.BytesToMemory != 4 || tr.BytesFromMemory != 8 {
+		t.Errorf("traffic = %+v", tr)
+	}
+	st := s.Stats()
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2", st.Misses)
+	}
+}
+
+func TestWriteAllocateMatchesLegacyCounts(t *testing.T) {
+	// With write-back + write-allocate, hit/miss counts must equal the
+	// legacy New() simulator on any trace (the multi-config simulators
+	// model exactly that behaviour).
+	cfg := cache.MustConfig(8, 2, 4)
+	legacy := MustNew(cfg, cache.FIFO)
+	full, err := NewSim(Options{Config: cfg, Replacement: cache.FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(20000, 1<<10, 5)
+	for _, a := range tr {
+		if legacy.Access(a) != full.Access(a) {
+			t.Fatalf("hit/miss divergence at %+v", a)
+		}
+	}
+	if legacy.Stats().Misses != full.Stats().Misses {
+		t.Errorf("miss counts diverge: %d vs %d", legacy.Stats().Misses, full.Stats().Misses)
+	}
+	if legacy.Traffic() != (Traffic{}) {
+		t.Error("legacy simulator should report zero traffic")
+	}
+}
+
+func TestWriteBackTotalTrafficConservation(t *testing.T) {
+	// Every dirty block is written back at most once per residency, so
+	// BytesToMemory <= writes*B and Writebacks <= write misses + hits.
+	cfg := cache.MustConfig(4, 2, 16)
+	s, err := NewSim(Options{Config: cfg, Replacement: cache.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(30000, 1<<12, 6)
+	writes := 0
+	for _, a := range tr {
+		if a.Kind == trace.DataWrite {
+			writes++
+		}
+		s.Access(a)
+	}
+	trf := s.Traffic()
+	if trf.Writebacks > uint64(writes) {
+		t.Errorf("writebacks %d > writes %d", trf.Writebacks, writes)
+	}
+	if trf.BytesToMemory != trf.Writebacks*uint64(cfg.BlockSize) {
+		t.Errorf("write-back traffic %d != writebacks %d × block %d",
+			trf.BytesToMemory, trf.Writebacks, cfg.BlockSize)
+	}
+	if trf.BytesFromMemory == 0 {
+		t.Error("no fill traffic recorded")
+	}
+}
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := NewSim(Options{Config: cache.Config{Sets: 3}}); err == nil {
+		t.Error("want error for invalid config")
+	}
+	if _, err := NewSim(Options{Config: cache.MustConfig(1, 1, 1), StoreBytes: -1}); err == nil {
+		t.Error("want error for negative store width")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if WriteBack.String() != "write-back" || WriteThrough.String() != "write-through" {
+		t.Error("WritePolicy strings wrong")
+	}
+	if WriteAllocate.String() != "write-allocate" || NoWriteAllocate.String() != "no-write-allocate" {
+		t.Error("AllocPolicy strings wrong")
+	}
+	if !strings.Contains(WritePolicy(9).String(), "9") || !strings.Contains(AllocPolicy(9).String(), "9") {
+		t.Error("unknown policy strings wrong")
+	}
+}
+
+// Write misses with write-allocate must stay consistent with the naive
+// oracle (the store installs the block exactly like a read would).
+func TestWritePathAgainstOracle(t *testing.T) {
+	for _, policy := range []cache.Policy{cache.FIFO, cache.LRU} {
+		cfg := cache.MustConfig(4, 2, 4)
+		sim, err := NewSim(Options{Config: cfg, Replacement: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := newNaive(cfg, policy)
+		tr := randomTrace(10000, 512, 7)
+		for i, a := range tr {
+			got := sim.Access(a)
+			want := oracle.access(a.Addr)
+			if got != want {
+				t.Fatalf("%v access %d: sim=%v oracle=%v", policy, i, got, want)
+			}
+		}
+	}
+}

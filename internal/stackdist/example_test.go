@@ -1,0 +1,36 @@
+package stackdist_test
+
+import (
+	"fmt"
+	"log"
+
+	"dew/internal/stackdist"
+	"dew/internal/trace"
+)
+
+// One stack-distance pass answers every associativity at a fixed set
+// count — the classic Mattson stack algorithm (the paper's reference
+// [9] lineage), applicable to LRU but not to FIFO.
+func Example() {
+	tr := trace.Trace{
+		{Addr: 1}, {Addr: 2}, {Addr: 3}, {Addr: 1}, {Addr: 2}, {Addr: 3},
+	}
+	sim, err := stackdist.Run(1, 1, 4, tr.NewSliceReader())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range []int{1, 2, 4} {
+		m, err := sim.MissesFor(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("assoc %d: %d misses\n", a, m)
+	}
+	// Every re-reference has stack distance 2, so a 4-way (or 3-way)
+	// cache hits them all while 1- and 2-way caches miss everything.
+
+	// Output:
+	// assoc 1: 6 misses
+	// assoc 2: 6 misses
+	// assoc 4: 3 misses
+}

@@ -1,0 +1,195 @@
+// Package sweep orchestrates the paper's experimental methodology
+// (Section 5): for a given trace and (block size, associativity) pair it
+// runs one DEW pass — which covers every set count plus the direct-mapped
+// configurations — and, as the baseline, one reference-simulator pass per
+// configuration, exactly how Dinero IV had to be run. It records wall
+// times, tag comparisons and DEW's property counters, and cross-checks
+// every configuration's miss count between the two simulators (the
+// paper's exactness verification).
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"dew/internal/cache"
+	"dew/internal/core"
+	"dew/internal/refsim"
+	"dew/internal/trace"
+	"dew/internal/workload"
+)
+
+// Params identifies one comparison cell: one trace and one
+// (associativity, block size) pair over set counts 2^0..2^MaxLogSets.
+// This matches one "Assoc 1 & A" column group of the paper's Table 3.
+type Params struct {
+	// App is the workload model that provides the trace.
+	App workload.App
+	// Seed makes the trace deterministic.
+	Seed uint64
+	// Requests is the trace length; 0 means App.DefaultRequests().
+	Requests uint64
+	// BlockSize and Assoc select the DEW pass parameters.
+	BlockSize int
+	Assoc     int
+	// MaxLogSets bounds the simulated set counts (the paper uses 14).
+	MaxLogSets int
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("%s B=%d A=1&%d", p.App.Name, p.BlockSize, p.Assoc)
+}
+
+// Cell is the measured outcome of one comparison cell.
+type Cell struct {
+	Params
+	// Trace length actually simulated.
+	Requests uint64
+
+	// DEWTime is the wall time of the single DEW pass; RefTime is the
+	// summed wall time of the per-configuration reference passes.
+	DEWTime, RefTime time.Duration
+
+	// DEWComparisons and RefComparisons are total tag comparisons
+	// (Table 3's right half).
+	DEWComparisons, RefComparisons uint64
+
+	// Counters are the DEW pass's property counters (Table 4).
+	Counters core.Counters
+	// UnoptimizedEvaluations is the property-free node-evaluation bound.
+	UnoptimizedEvaluations uint64
+
+	// Results are DEW's per-configuration outcomes.
+	Results []core.Result
+	// Verified is the number of configurations whose miss counts were
+	// cross-checked against the reference simulator (all of them).
+	Verified int
+}
+
+// Speedup returns RefTime/DEWTime, the Figure 5 metric.
+func (c Cell) Speedup() float64 {
+	if c.DEWTime <= 0 {
+		return 0
+	}
+	return float64(c.RefTime) / float64(c.DEWTime)
+}
+
+// ComparisonReduction returns the percentage reduction of tag
+// comparisons relative to the reference, the Figure 6 metric.
+func (c Cell) ComparisonReduction() float64 {
+	if c.RefComparisons == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(c.DEWComparisons)/float64(c.RefComparisons))
+}
+
+// Runner executes comparison cells.
+type Runner struct {
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+func (r Runner) logf(format string, args ...interface{}) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// RunCell materializes the trace, times one DEW pass against
+// per-configuration reference passes, and verifies exactness. It returns
+// an error if any configuration's miss counts disagree — which would
+// falsify the simulator, so it is checked on every run.
+func (r Runner) RunCell(p Params) (Cell, error) {
+	n := p.Requests
+	if n == 0 {
+		n = p.App.DefaultRequests()
+	}
+	tr := workload.Take(p.App.Generator(p.Seed), int(n))
+	return r.runCellOn(p, tr)
+}
+
+// RunCellTrace is RunCell over an explicit in-memory trace (used by tests
+// and by trace-file driven tools).
+func (r Runner) RunCellTrace(p Params, tr trace.Trace) (Cell, error) {
+	return r.runCellOn(p, tr)
+}
+
+func (r Runner) runCellOn(p Params, tr trace.Trace) (Cell, error) {
+	cell := Cell{Params: p, Requests: uint64(len(tr))}
+
+	// One DEW pass covers assoc 1 and p.Assoc for every set count.
+	opt := core.Options{
+		MinLogSets: 0, MaxLogSets: p.MaxLogSets,
+		Assoc: p.Assoc, BlockSize: p.BlockSize,
+	}
+	dew, err := core.New(opt)
+	if err != nil {
+		return cell, err
+	}
+	start := time.Now()
+	if err := dew.Simulate(tr.NewSliceReader()); err != nil {
+		return cell, err
+	}
+	cell.DEWTime = time.Since(start)
+	cell.Counters = dew.Counters()
+	cell.UnoptimizedEvaluations = dew.UnoptimizedEvaluations()
+	cell.DEWComparisons = cell.Counters.TagComparisons
+	cell.Results = dew.Results()
+
+	// Reference baseline: one pass per configuration, Dinero-style.
+	for _, res := range cell.Results {
+		sim, err := refsim.New(res.Config, cache.FIFO)
+		if err != nil {
+			return cell, err
+		}
+		start := time.Now()
+		stats, err := sim.Simulate(tr.NewSliceReader())
+		if err != nil {
+			return cell, err
+		}
+		cell.RefTime += time.Since(start)
+		cell.RefComparisons += stats.TagComparisons
+
+		if stats.Misses != res.Misses {
+			return cell, fmt.Errorf("sweep: exactness violation at %v: DEW %d misses, reference %d",
+				res.Config, res.Misses, stats.Misses)
+		}
+		cell.Verified++
+	}
+	r.logf("%s: %d requests, speedup %.1fx, comparisons -%.1f%%",
+		p, cell.Requests, cell.Speedup(), cell.ComparisonReduction())
+	return cell, nil
+}
+
+// Table3Params enumerates the paper's Table 3 cells: every app × block
+// size {4, 16, 64} × associativity {4, 8, 16}, with the given set-count
+// range and trace scaling.
+func Table3Params(apps []workload.App, seed uint64, requests uint64, maxLogSets int) []Params {
+	var out []Params
+	for _, app := range apps {
+		for _, b := range []int{4, 16, 64} {
+			for _, a := range []int{4, 8, 16} {
+				out = append(out, Params{
+					App: app, Seed: seed, Requests: requests,
+					BlockSize: b, Assoc: a, MaxLogSets: maxLogSets,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Table4Params enumerates the paper's Table 4 rows: every app at block
+// size 4 with associativities 4 and 8.
+func Table4Params(apps []workload.App, seed uint64, requests uint64, maxLogSets int) []Params {
+	var out []Params
+	for _, app := range apps {
+		for _, a := range []int{4, 8} {
+			out = append(out, Params{
+				App: app, Seed: seed, Requests: requests,
+				BlockSize: 4, Assoc: a, MaxLogSets: maxLogSets,
+			})
+		}
+	}
+	return out
+}

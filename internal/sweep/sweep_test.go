@@ -1,0 +1,151 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"dew/internal/trace"
+	"dew/internal/workload"
+)
+
+func TestRunCellSmall(t *testing.T) {
+	p := Params{
+		App: workload.DJPEG, Seed: 1, Requests: 20000,
+		BlockSize: 16, Assoc: 4, MaxLogSets: 6,
+	}
+	var logged []string
+	r := Runner{Logf: func(f string, a ...interface{}) {
+		logged = append(logged, f)
+	}}
+	cell, err := r.RunCell(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Requests != 20000 {
+		t.Errorf("Requests = %d", cell.Requests)
+	}
+	// 7 levels × (assoc 1 + assoc 4) configurations, all verified.
+	if cell.Verified != 14 {
+		t.Errorf("Verified = %d, want 14", cell.Verified)
+	}
+	if len(cell.Results) != 14 {
+		t.Errorf("Results = %d, want 14", len(cell.Results))
+	}
+	if cell.DEWTime <= 0 || cell.RefTime <= 0 {
+		t.Errorf("times not recorded: dew=%v ref=%v", cell.DEWTime, cell.RefTime)
+	}
+	if cell.DEWComparisons == 0 || cell.RefComparisons == 0 {
+		t.Error("comparisons not recorded")
+	}
+	// DEW's whole premise: fewer comparisons than per-config passes.
+	if cell.DEWComparisons >= cell.RefComparisons {
+		t.Errorf("DEW comparisons %d >= reference %d", cell.DEWComparisons, cell.RefComparisons)
+	}
+	if cell.ComparisonReduction() <= 0 {
+		t.Errorf("ComparisonReduction = %f", cell.ComparisonReduction())
+	}
+	if cell.UnoptimizedEvaluations != 2*7*20000 {
+		t.Errorf("UnoptimizedEvaluations = %d", cell.UnoptimizedEvaluations)
+	}
+	if len(logged) == 0 {
+		t.Error("no progress logged")
+	}
+}
+
+func TestRunCellDefaultRequests(t *testing.T) {
+	// Requests 0 uses the app default. Keep the range tiny for speed by
+	// using a custom trace instead for most checks; here just confirm
+	// the default kicks in via a very small app run.
+	p := Params{App: workload.DJPEG, Seed: 2, BlockSize: 64, Assoc: 4, MaxLogSets: 2}
+	cell, err := Runner{}.RunCell(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Requests != workload.DJPEG.DefaultRequests() {
+		t.Errorf("Requests = %d, want default %d", cell.Requests, workload.DJPEG.DefaultRequests())
+	}
+}
+
+func TestRunCellTrace(t *testing.T) {
+	tr := make(trace.Trace, 5000)
+	for i := range tr {
+		tr[i] = trace.Access{Addr: uint64(i*7) % 4096}
+	}
+	p := Params{App: workload.CJPEG, BlockSize: 4, Assoc: 2, MaxLogSets: 4}
+	cell, err := Runner{}.RunCellTrace(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Requests != 5000 {
+		t.Errorf("Requests = %d", cell.Requests)
+	}
+	if cell.Verified != 10 {
+		t.Errorf("Verified = %d, want 10", cell.Verified)
+	}
+}
+
+func TestRunCellRejectsBadParams(t *testing.T) {
+	p := Params{App: workload.CJPEG, BlockSize: 3, Assoc: 2, MaxLogSets: 2}
+	if _, err := (Runner{}).RunCellTrace(p, trace.Trace{{Addr: 1}}); err == nil {
+		t.Error("want error for bad block size")
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p := Params{App: workload.CJPEG, BlockSize: 16, Assoc: 8}
+	if s := p.String(); !strings.Contains(s, "CJPEG") || !strings.Contains(s, "B=16") || !strings.Contains(s, "1&8") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTable3Params(t *testing.T) {
+	apps := workload.Apps()
+	ps := Table3Params(apps, 1, 1000, 14)
+	if len(ps) != 6*3*3 {
+		t.Fatalf("Table3Params = %d cells, want 54", len(ps))
+	}
+	blocks := map[int]bool{}
+	assocs := map[int]bool{}
+	for _, p := range ps {
+		blocks[p.BlockSize] = true
+		assocs[p.Assoc] = true
+		if p.MaxLogSets != 14 || p.Requests != 1000 {
+			t.Errorf("unexpected params %+v", p)
+		}
+	}
+	for _, b := range []int{4, 16, 64} {
+		if !blocks[b] {
+			t.Errorf("block size %d missing", b)
+		}
+	}
+	for _, a := range []int{4, 8, 16} {
+		if !assocs[a] {
+			t.Errorf("assoc %d missing", a)
+		}
+	}
+}
+
+func TestTable4Params(t *testing.T) {
+	ps := Table4Params(workload.Apps(), 1, 1000, 14)
+	if len(ps) != 12 {
+		t.Fatalf("Table4Params = %d cells, want 12", len(ps))
+	}
+	for _, p := range ps {
+		if p.BlockSize != 4 {
+			t.Errorf("Table 4 uses block size 4, got %d", p.BlockSize)
+		}
+		if p.Assoc != 4 && p.Assoc != 8 {
+			t.Errorf("Table 4 uses assoc 4 and 8, got %d", p.Assoc)
+		}
+	}
+}
+
+func TestCellDerivedMetricsZeroSafe(t *testing.T) {
+	var c Cell
+	if c.Speedup() != 0 {
+		t.Error("zero cell speedup should be 0")
+	}
+	if c.ComparisonReduction() != 0 {
+		t.Error("zero cell reduction should be 0")
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format ("DTB1"): a compact, streamable encoding that
+// exploits the spatial locality of real traces by storing each address as
+// a zig-zag varint delta from the previous address of the same kind.
+// Layout:
+//
+//	magic "DTB1" (4 bytes)
+//	per access: 1 byte kind, then uvarint(zigzag(addr - prev[kind]))
+//
+// Sequential streams (instruction fetches, array sweeps) encode in 2–3
+// bytes per access instead of 8+. This stands in for the compressed-trace
+// representation of the paper's reference [16].
+
+var binaryMagic = [4]byte{'D', 'T', 'B', '1'}
+
+// ErrBadMagic is returned by NewBinReader when the stream does not start
+// with the DTB1 magic.
+var ErrBadMagic = errors.New("trace: not a DTB1 binary trace (bad magic)")
+
+func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// BinWriter encodes accesses in the DTB1 format.
+type BinWriter struct {
+	w          *bufio.Writer
+	prev       [3]uint64
+	wroteMagic bool
+	buf        [binary.MaxVarintLen64]byte
+}
+
+// NewBinWriter returns a BinWriter targeting w. Call Flush when done.
+func NewBinWriter(w io.Writer) *BinWriter {
+	return &BinWriter{w: bufio.NewWriter(w)}
+}
+
+// WriteAccess implements Writer.
+func (b *BinWriter) WriteAccess(a Access) error {
+	if !a.Kind.Valid() {
+		return fmt.Errorf("trace: cannot encode invalid kind %d", a.Kind)
+	}
+	if !b.wroteMagic {
+		if _, err := b.w.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+		b.wroteMagic = true
+	}
+	if err := b.w.WriteByte(byte(a.Kind)); err != nil {
+		return err
+	}
+	delta := int64(a.Addr - b.prev[a.Kind])
+	n := binary.PutUvarint(b.buf[:], zigzag(delta))
+	if _, err := b.w.Write(b.buf[:n]); err != nil {
+		return err
+	}
+	b.prev[a.Kind] = a.Addr
+	return nil
+}
+
+// Flush writes any buffered output (including the magic of an empty
+// trace) to the underlying writer.
+func (b *BinWriter) Flush() error {
+	if !b.wroteMagic {
+		if _, err := b.w.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+		b.wroteMagic = true
+	}
+	return b.w.Flush()
+}
+
+// BinReader decodes the DTB1 format.
+type BinReader struct {
+	r       *bufio.Reader
+	prev    [3]uint64
+	started bool
+}
+
+// NewBinReader returns a BinReader wrapping r. The magic is checked on
+// the first Next call.
+func NewBinReader(r io.Reader) *BinReader {
+	return &BinReader{r: bufio.NewReader(r)}
+}
+
+// Next implements Reader.
+func (b *BinReader) Next() (Access, error) {
+	if !b.started {
+		var magic [4]byte
+		if _, err := io.ReadFull(b.r, magic[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				return Access{}, ErrBadMagic
+			}
+			return Access{}, err
+		}
+		if magic != binaryMagic {
+			return Access{}, ErrBadMagic
+		}
+		b.started = true
+	}
+	kindByte, err := b.r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Access{}, io.EOF
+		}
+		return Access{}, err
+	}
+	kind := Kind(kindByte)
+	if !kind.Valid() {
+		return Access{}, fmt.Errorf("trace: corrupt binary trace: kind byte %d", kindByte)
+	}
+	u, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Access{}, io.ErrUnexpectedEOF
+		}
+		return Access{}, err
+	}
+	addr := b.prev[kind] + uint64(unzigzag(u))
+	b.prev[kind] = addr
+	return Access{Addr: addr, Kind: kind}, nil
+}

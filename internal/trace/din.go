@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The Dinero .din trace format is one access per line:
+//
+//	<label> <hex address>
+//
+// where label 0 is a data read, 1 a data write and 2 an instruction
+// fetch. Addresses are hexadecimal without a 0x prefix. Blank lines are
+// ignored; anything after the address on a line is ignored (Dinero IV
+// tolerates trailing fields).
+
+// DinReader decodes the .din format from an io.Reader.
+type DinReader struct {
+	scanner *bufio.Scanner
+	line    int
+}
+
+// NewDinReader returns a DinReader wrapping r.
+func NewDinReader(r io.Reader) *DinReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &DinReader{scanner: sc}
+}
+
+// Next implements Reader. It returns io.EOF at end of input and a
+// descriptive error (with line number) on malformed input.
+func (d *DinReader) Next() (Access, error) {
+	for d.scanner.Scan() {
+		d.line++
+		line := strings.TrimSpace(d.scanner.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return Access{}, fmt.Errorf("trace: din line %d: need label and address, got %q", d.line, line)
+		}
+		label, err := strconv.ParseUint(fields[0], 10, 8)
+		if err != nil || !Kind(label).Valid() {
+			return Access{}, fmt.Errorf("trace: din line %d: bad label %q", d.line, fields[0])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+		if err != nil {
+			return Access{}, fmt.Errorf("trace: din line %d: bad address %q: %v", d.line, fields[1], err)
+		}
+		return Access{Addr: addr, Kind: Kind(label)}, nil
+	}
+	if err := d.scanner.Err(); err != nil {
+		return Access{}, err
+	}
+	return Access{}, io.EOF
+}
+
+// DinWriter encodes accesses in the .din format.
+type DinWriter struct {
+	w *bufio.Writer
+}
+
+// NewDinWriter returns a DinWriter targeting w. Call Flush when done.
+func NewDinWriter(w io.Writer) *DinWriter {
+	return &DinWriter{w: bufio.NewWriter(w)}
+}
+
+// WriteAccess implements Writer.
+func (d *DinWriter) WriteAccess(a Access) error {
+	if !a.Kind.Valid() {
+		return fmt.Errorf("trace: cannot encode invalid kind %d", a.Kind)
+	}
+	_, err := fmt.Fprintf(d.w, "%d %x\n", a.Kind, a.Addr)
+	return err
+}
+
+// Flush writes any buffered output to the underlying writer.
+func (d *DinWriter) Flush() error { return d.w.Flush() }

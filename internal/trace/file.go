@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Format identifies an on-disk trace encoding.
+type Format uint8
+
+const (
+	// FormatDin is the Dinero text format (".din").
+	FormatDin Format = iota
+	// FormatBin is the DTB1 delta-encoded binary format (".dtb").
+	FormatBin
+)
+
+// DetectFormat guesses the encoding from a file name. ".gz" suffixes are
+// stripped first; unknown extensions default to the din text format, the
+// common interchange format.
+func DetectFormat(name string) Format {
+	name = strings.TrimSuffix(name, ".gz")
+	if strings.HasSuffix(name, ".dtb") {
+		return FormatBin
+	}
+	return FormatDin
+}
+
+// OpenFile opens a trace file for streaming reads, transparently
+// decompressing ".gz" files and selecting the decoder from the file name.
+// The returned closer must be closed by the caller.
+func OpenFile(name string) (Reader, io.Closer, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var src io.Reader = f
+	closers := multiCloser{f}
+	if strings.HasSuffix(name, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("trace: opening %s: %w", name, err)
+		}
+		closers = append(closers, gz)
+		src = gz
+	}
+	switch DetectFormat(name) {
+	case FormatBin:
+		return NewBinReader(src), closers, nil
+	default:
+		return NewDinReader(src), closers, nil
+	}
+}
+
+// CreateFile creates a trace file for writing, selecting the encoder and
+// optional gzip compression from the file name. Close the returned closer
+// to flush all layers.
+func CreateFile(name string) (Writer, io.Closer, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var dst io.Writer = f
+	var closers multiCloser
+	if strings.HasSuffix(name, ".gz") {
+		gz := gzip.NewWriter(f)
+		closers = append(closers, gz)
+		dst = gz
+	}
+	var w Writer
+	switch DetectFormat(name) {
+	case FormatBin:
+		bw := NewBinWriter(dst)
+		closers = append(multiCloser{flushCloser{bw.Flush}}, closers...)
+		w = bw
+	default:
+		dw := NewDinWriter(dst)
+		closers = append(multiCloser{flushCloser{dw.Flush}}, closers...)
+		w = dw
+	}
+	closers = append(closers, f)
+	return w, closers, nil
+}
+
+// multiCloser closes a stack of resources in order, returning the first
+// error while still closing the rest.
+type multiCloser []io.Closer
+
+func (m multiCloser) Close() error {
+	var first error
+	for _, c := range m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// flushCloser adapts a Flush method to io.Closer.
+type flushCloser struct{ flush func() error }
+
+func (f flushCloser) Close() error { return f.flush() }

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Stream transformers used by the experiment tooling:
+//
+//   - Filter / OnlyInstructions / OnlyData split a unified trace into the
+//     separate instruction- and data-cache streams an embedded L1 pair
+//     sees (the paper simulates L1 caches fed from SimpleScalar traces of
+//     all request kinds).
+//   - Dedup collapses consecutive accesses to the same block — the
+//     trace-level pruning observation behind the CRCB algorithm
+//     (reference [20]): such repeats hit every configuration.
+//   - WindowSample keeps the leading window of every stride of the
+//     trace, the classic "fractional simulation" accuracy/time trade
+//     (references [12, 16]); results become estimates, not exact counts.
+
+// Filter returns a Reader yielding only accesses for which keep returns
+// true. Errors (including io.EOF) pass through unchanged.
+func Filter(r Reader, keep func(Access) bool) Reader {
+	return FuncReader(func() (Access, error) {
+		for {
+			a, err := r.Next()
+			if err != nil {
+				return Access{}, err
+			}
+			if keep(a) {
+				return a, nil
+			}
+		}
+	})
+}
+
+// OnlyInstructions yields just the instruction-fetch stream — the trace
+// an L1 instruction cache sees.
+func OnlyInstructions(r Reader) Reader {
+	return Filter(r, func(a Access) bool { return a.Kind == IFetch })
+}
+
+// OnlyData yields just the load/store stream — the trace an L1 data
+// cache sees.
+func OnlyData(r Reader) Reader {
+	return Filter(r, func(a Access) bool { return a.Kind != IFetch })
+}
+
+// Dedup collapses runs of consecutive accesses to the same block at the
+// given granularity. The Dropped counter records how many accesses were
+// removed; every dropped access is by construction a hit in every
+// configuration with at least that block size, so exact miss counts are
+// preserved for those configurations while traces shrink substantially
+// for streaky workloads.
+type Dedup struct {
+	r       Reader
+	shift   uint
+	have    bool
+	lastBlk uint64
+
+	// Dropped counts removed accesses so hit totals can be restored.
+	Dropped uint64
+}
+
+// NewDedup wraps r, collapsing at blockSize granularity (positive power
+// of two).
+func NewDedup(r Reader, blockSize int) (*Dedup, error) {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("trace: dedup block size must be a positive power of two, got %d", blockSize)
+	}
+	return &Dedup{r: r, shift: uint(bits.TrailingZeros(uint(blockSize)))}, nil
+}
+
+// Next implements Reader.
+func (d *Dedup) Next() (Access, error) {
+	for {
+		a, err := d.r.Next()
+		if err != nil {
+			return Access{}, err
+		}
+		blk := a.Addr >> d.shift
+		if d.have && blk == d.lastBlk {
+			d.Dropped++
+			continue
+		}
+		d.have = true
+		d.lastBlk = blk
+		return a, nil
+	}
+}
+
+// WindowSample yields the first sampleLen accesses of every windowLen
+// accesses (0 < sampleLen <= windowLen): fractional simulation. Scaling
+// resulting miss counts by windowLen/sampleLen estimates the full-trace
+// counts at a fraction of the simulation time.
+func WindowSample(r Reader, sampleLen, windowLen uint64) (Reader, error) {
+	if sampleLen == 0 || windowLen == 0 || sampleLen > windowLen {
+		return nil, fmt.Errorf("trace: invalid sampling window %d/%d", sampleLen, windowLen)
+	}
+	var pos uint64
+	return FuncReader(func() (Access, error) {
+		for {
+			a, err := r.Next()
+			if err != nil {
+				return Access{}, err
+			}
+			inSample := pos%windowLen < sampleLen
+			pos++
+			if inSample {
+				return a, nil
+			}
+		}
+	}), nil
+}

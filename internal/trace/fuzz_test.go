@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Decoders must never panic on arbitrary input: they either parse or
+// return an error. (Without -fuzz these run over the seed corpus only.)
+
+func FuzzDinReader(f *testing.F) {
+	f.Add("0 1000\n1 dead\n2 beef\n")
+	f.Add("")
+	f.Add("garbage\n")
+	f.Add("0\n")
+	f.Add("9 0\n")
+	f.Add("0 zz\n")
+	f.Add("0 ffffffffffffffffffff\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		r := NewDinReader(strings.NewReader(in))
+		for i := 0; i < 10000; i++ {
+			a, err := r.Next()
+			if err != nil {
+				return
+			}
+			if !a.Kind.Valid() {
+				t.Fatalf("decoder produced invalid kind %d", a.Kind)
+			}
+		}
+	})
+}
+
+func FuzzBinReader(f *testing.F) {
+	// Seed with a valid encoding and several corruptions.
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	for _, a := range []Access{{Addr: 0}, {Addr: 1 << 40, Kind: IFetch}, {Addr: 5, Kind: DataWrite}} {
+		w.WriteAccess(a)
+	}
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("DTB1"))
+	f.Add([]byte("DTB2\x00\x00"))
+	f.Add(append(append([]byte{}, valid...), 0xFF))
+	f.Add(valid[:len(valid)-1])
+	f.Fuzz(func(t *testing.T, in []byte) {
+		r := NewBinReader(bytes.NewReader(in))
+		for i := 0; i < 10000; i++ {
+			a, err := r.Next()
+			if err != nil {
+				return
+			}
+			if !a.Kind.Valid() {
+				t.Fatalf("decoder produced invalid kind %d", a.Kind)
+			}
+		}
+	})
+}
+
+// Round-trip property under fuzzing: whatever accesses we encode decode
+// back identically in both formats.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 2}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, kinds uint8) {
+		var tr Trace
+		for i := 0; i+8 <= len(raw); i += 8 {
+			var addr uint64
+			for j := 0; j < 8; j++ {
+				addr = addr<<8 | uint64(raw[i+j])
+			}
+			tr = append(tr, Access{Addr: addr, Kind: Kind((kinds + uint8(i)) % 3)})
+		}
+
+		var din bytes.Buffer
+		dw := NewDinWriter(&din)
+		if _, err := Copy(dw, tr.NewSliceReader()); err != nil {
+			t.Fatal(err)
+		}
+		dw.Flush()
+		gotDin, err := ReadAll(NewDinReader(&din))
+		if err != nil {
+			t.Fatalf("din decode: %v", err)
+		}
+
+		var bin bytes.Buffer
+		bw := NewBinWriter(&bin)
+		if _, err := Copy(bw, tr.NewSliceReader()); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		gotBin, err := ReadAll(NewBinReader(&bin))
+		if err != nil {
+			t.Fatalf("bin decode: %v", err)
+		}
+
+		if len(gotDin) != len(tr) || len(gotBin) != len(tr) {
+			t.Fatalf("lengths: din %d, bin %d, want %d", len(gotDin), len(gotBin), len(tr))
+		}
+		for i := range tr {
+			if gotDin[i] != tr[i] || gotBin[i] != tr[i] {
+				t.Fatalf("round trip mismatch at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Profile summarizes a trace: the request mix and the memory footprint at
+// a given block granularity. It reproduces the kind of information
+// Table 2 of the paper reports per trace file.
+type Profile struct {
+	// Total is the number of accesses profiled.
+	Total uint64
+	// ByKind counts accesses per Kind (indexed by the Kind value).
+	ByKind [3]uint64
+	// UniqueBlocks is the number of distinct block addresses at
+	// BlockSize granularity — the compulsory-miss count of any cache
+	// with that block size.
+	UniqueBlocks uint64
+	// BlockSize is the granularity UniqueBlocks was computed at.
+	BlockSize int
+	// MinAddr and MaxAddr bound the touched byte addresses (valid only
+	// when Total > 0).
+	MinAddr, MaxAddr uint64
+}
+
+// ProfileReader consumes r and computes its Profile at the given block
+// size (which must be a positive power of two).
+func ProfileReader(r Reader, blockSize int) (Profile, error) {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		return Profile{}, fmt.Errorf("trace: profile block size must be a positive power of two, got %d", blockSize)
+	}
+	shift := uint(0)
+	for 1<<shift != blockSize {
+		shift++
+	}
+	p := Profile{BlockSize: blockSize}
+	seen := make(map[uint64]struct{})
+	for {
+		a, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Profile{}, err
+		}
+		if !a.Kind.Valid() {
+			return Profile{}, fmt.Errorf("trace: invalid kind %d in stream", a.Kind)
+		}
+		if p.Total == 0 {
+			p.MinAddr, p.MaxAddr = a.Addr, a.Addr
+		} else {
+			if a.Addr < p.MinAddr {
+				p.MinAddr = a.Addr
+			}
+			if a.Addr > p.MaxAddr {
+				p.MaxAddr = a.Addr
+			}
+		}
+		p.Total++
+		p.ByKind[a.Kind]++
+		seen[a.Addr>>shift] = struct{}{}
+	}
+	p.UniqueBlocks = uint64(len(seen))
+	return p, nil
+}
+
+// Reads returns the data-read count.
+func (p Profile) Reads() uint64 { return p.ByKind[DataRead] }
+
+// Writes returns the data-write count.
+func (p Profile) Writes() uint64 { return p.ByKind[DataWrite] }
+
+// IFetches returns the instruction-fetch count.
+func (p Profile) IFetches() uint64 { return p.ByKind[IFetch] }
+
+// FootprintBytes returns UniqueBlocks × BlockSize, the touched memory at
+// block granularity.
+func (p Profile) FootprintBytes() uint64 {
+	return p.UniqueBlocks * uint64(p.BlockSize)
+}
+
+// String renders a one-line summary.
+func (p Profile) String() string {
+	return fmt.Sprintf("%d accesses (%d reads, %d writes, %d ifetches), %d unique %dB blocks",
+		p.Total, p.Reads(), p.Writes(), p.IFetches(), p.UniqueBlocks, p.BlockSize)
+}

@@ -1,0 +1,153 @@
+// Package trace provides the memory-address trace substrate the
+// simulators consume: the access record type, streaming reader/writer
+// interfaces, an in-memory trace, the Dinero ".din" text format, and a
+// compact delta-encoded binary format in the spirit of compressed-trace
+// simulation work (Li et al., ICS'04, the paper's reference [16]).
+//
+// The DEW paper drives its simulators with SimpleScalar-generated traces
+// of byte-addressable memory requests (Table 2). This package plays that
+// role; package workload generates the trace contents.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind classifies a memory request. The numeric values match the label
+// column of the Dinero .din trace format.
+type Kind uint8
+
+const (
+	// DataRead is a data load (din label 0).
+	DataRead Kind = 0
+	// DataWrite is a data store (din label 1).
+	DataWrite Kind = 1
+	// IFetch is an instruction fetch (din label 2).
+	IFetch Kind = 2
+)
+
+// String returns a short human-readable name ("read", "write", "ifetch").
+func (k Kind) String() string {
+	switch k {
+	case DataRead:
+		return "read"
+	case DataWrite:
+		return "write"
+	case IFetch:
+		return "ifetch"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is one of the three defined kinds.
+func (k Kind) Valid() bool { return k <= IFetch }
+
+// Access is a single memory request: a byte address plus its kind.
+type Access struct {
+	// Addr is the byte address requested.
+	Addr uint64
+	// Kind is the request type.
+	Kind Kind
+}
+
+// Reader streams accesses. Next returns io.EOF after the final access.
+type Reader interface {
+	Next() (Access, error)
+}
+
+// Writer consumes accesses, e.g. to encode them to a file.
+type Writer interface {
+	WriteAccess(Access) error
+}
+
+// Trace is an in-memory sequence of accesses. It is the simplest Reader
+// source and what the workload generators produce.
+type Trace []Access
+
+// NewSliceReader returns a Reader over t.
+func (t Trace) NewSliceReader() *SliceReader { return &SliceReader{trace: t} }
+
+// Addrs returns just the addresses, convenient for tests.
+func (t Trace) Addrs() []uint64 {
+	out := make([]uint64, len(t))
+	for i, a := range t {
+		out[i] = a.Addr
+	}
+	return out
+}
+
+// SliceReader reads an in-memory Trace.
+type SliceReader struct {
+	trace Trace
+	pos   int
+}
+
+// Next implements Reader.
+func (r *SliceReader) Next() (Access, error) {
+	if r.pos >= len(r.trace) {
+		return Access{}, io.EOF
+	}
+	a := r.trace[r.pos]
+	r.pos++
+	return a, nil
+}
+
+// Reset rewinds the reader to the first access.
+func (r *SliceReader) Reset() { r.pos = 0 }
+
+// ReadAll drains a Reader into a Trace. It fails on any error other than
+// io.EOF.
+func ReadAll(r Reader) (Trace, error) {
+	var t Trace
+	for {
+		a, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t = append(t, a)
+	}
+}
+
+// Copy streams every access from r to w and returns the number copied.
+func Copy(w Writer, r Reader) (uint64, error) {
+	var n uint64
+	for {
+		a, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := w.WriteAccess(a); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// FuncReader adapts a generator function to the Reader interface. The
+// function should return io.EOF when the stream ends.
+type FuncReader func() (Access, error)
+
+// Next implements Reader.
+func (f FuncReader) Next() (Access, error) { return f() }
+
+// LimitReader returns a Reader that stops (io.EOF) after at most n
+// accesses from r. It is used to cap scaled-down experiment runs.
+func LimitReader(r Reader, n uint64) Reader {
+	remaining := n
+	return FuncReader(func() (Access, error) {
+		if remaining == 0 {
+			return Access{}, io.EOF
+		}
+		remaining--
+		return r.Next()
+	})
+}

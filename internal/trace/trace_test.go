@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func sampleTrace(n int, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := make(Trace, n)
+	for i := range t {
+		t[i] = Access{
+			Addr: uint64(rng.Int63n(1 << 34)),
+			Kind: Kind(rng.Intn(3)),
+		}
+	}
+	return t
+}
+
+func TestSliceReader(t *testing.T) {
+	tr := sampleTrace(100, 1)
+	r := tr.NewSliceReader()
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("ReadAll returned %d accesses, want %d", len(got), len(tr))
+	}
+	for i := range got {
+		if got[i] != tr[i] {
+			t.Fatalf("access %d = %+v, want %+v", i, got[i], tr[i])
+		}
+	}
+	// Reading past the end keeps returning EOF.
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("post-EOF Next err = %v, want io.EOF", err)
+		}
+	}
+	r.Reset()
+	if a, err := r.Next(); err != nil || a != tr[0] {
+		t.Fatalf("after Reset: %+v, %v", a, err)
+	}
+}
+
+func TestLimitReader(t *testing.T) {
+	tr := sampleTrace(50, 2)
+	lim := LimitReader(tr.NewSliceReader(), 7)
+	got, err := ReadAll(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("LimitReader yielded %d, want 7", len(got))
+	}
+	// Limit above length yields everything.
+	lim = LimitReader(tr.NewSliceReader(), 1000)
+	got, err = ReadAll(lim)
+	if err != nil || len(got) != 50 {
+		t.Fatalf("LimitReader(1000) yielded %d, %v", len(got), err)
+	}
+	// Limit zero yields nothing.
+	lim = LimitReader(tr.NewSliceReader(), 0)
+	if got, _ := ReadAll(lim); len(got) != 0 {
+		t.Fatalf("LimitReader(0) yielded %d", len(got))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{DataRead: "read", DataWrite: "write", IFetch: "ifetch"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+		if !k.Valid() {
+			t.Errorf("%v should be valid", k)
+		}
+	}
+	if Kind(3).Valid() {
+		t.Error("Kind(3) should be invalid")
+	}
+}
+
+func TestAddrs(t *testing.T) {
+	tr := Trace{{Addr: 5}, {Addr: 9}}
+	a := tr.Addrs()
+	if len(a) != 2 || a[0] != 5 || a[1] != 9 {
+		t.Fatalf("Addrs = %v", a)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	tr := sampleTrace(20, 3)
+	var dst Trace
+	w := writerFunc(func(a Access) error {
+		dst = append(dst, a)
+		return nil
+	})
+	n, err := Copy(w, tr.NewSliceReader())
+	if err != nil || n != 20 {
+		t.Fatalf("Copy = %d, %v", n, err)
+	}
+	for i := range dst {
+		if dst[i] != tr[i] {
+			t.Fatalf("copied access %d mismatch", i)
+		}
+	}
+}
+
+type writerFunc func(Access) error
+
+func (f writerFunc) WriteAccess(a Access) error { return f(a) }
+
+func TestCopyPropagatesWriteError(t *testing.T) {
+	tr := sampleTrace(5, 4)
+	boom := errors.New("boom")
+	w := writerFunc(func(Access) error { return boom })
+	if _, err := Copy(w, tr.NewSliceReader()); !errors.Is(err, boom) {
+		t.Fatalf("Copy err = %v, want boom", err)
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import "dew/internal/trace"
+
+// CloneSpec parameterizes a synthetic generator calibrated to a measured
+// trace (see package analyze, which derives specs from real traces). The
+// clone maintains one position per request kind — instruction fetches,
+// reads and writes are separate streams in real programs — and each
+// stream replays its measured dominant stride distribution, with the
+// residual probability mass becoming random jumps inside a working set
+// of the measured footprint.
+type CloneSpec struct {
+	// Base and Span bound the generated addresses: [Base, Base+Span).
+	Base, Span uint64
+	// BlockSize is the granularity the spec was measured at (used to
+	// size the random-jump working set).
+	BlockSize int
+	// ReadFrac and WriteFrac give the data-access mix; the remainder of
+	// each access is an instruction fetch.
+	ReadFrac, WriteFrac float64
+	// Streams holds the per-kind stride models (indexed by trace.Kind).
+	Streams [3]CloneStream
+	// WorkingBlocks is the measured footprint in blocks; random jumps
+	// stay within it.
+	WorkingBlocks uint64
+}
+
+// CloneStream is the stride model of one request kind.
+type CloneStream struct {
+	// Strides are the dominant address deltas with their probabilities
+	// (relative to all of the stream's moves); residual mass jumps
+	// randomly.
+	Strides []CloneStride
+}
+
+// CloneStride is one weighted stride of a CloneStream.
+type CloneStride struct {
+	Delta  int64
+	Weight float64
+}
+
+// Clone generates accesses matching a CloneSpec. It implements
+// Generator.
+type Clone struct {
+	spec CloneSpec
+	rng  *rng
+	cur  [3]uint64
+	cum  [3][]float64
+}
+
+// NewClone builds a Clone generator. The spec must have positive Span
+// and WorkingBlocks, a power-of-two BlockSize, fractions within [0, 1]
+// and non-negative stride weights.
+func NewClone(spec CloneSpec, seed uint64) *Clone {
+	if spec.Span == 0 || spec.WorkingBlocks == 0 {
+		panic("workload: CloneSpec needs positive Span and WorkingBlocks")
+	}
+	if spec.BlockSize <= 0 || spec.BlockSize&(spec.BlockSize-1) != 0 {
+		panic("workload: CloneSpec.BlockSize must be a positive power of two")
+	}
+	if spec.ReadFrac < 0 || spec.WriteFrac < 0 || spec.ReadFrac+spec.WriteFrac > 1 {
+		panic("workload: CloneSpec fractions out of range")
+	}
+	c := &Clone{spec: spec, rng: newRNG(seed)}
+	for k := range spec.Streams {
+		sum := 0.0
+		for _, s := range spec.Streams[k].Strides {
+			if s.Weight < 0 {
+				panic("workload: negative stride weight")
+			}
+			sum += s.Weight
+			c.cum[k] = append(c.cum[k], sum)
+		}
+		if sum > 1 {
+			// Normalize over-full stride mass so selection stays a
+			// probability distribution.
+			for i := range c.cum[k] {
+				c.cum[k][i] /= sum
+			}
+		}
+		// Scatter the streams' start positions across the span so they
+		// do not begin aliased.
+		c.cur[k] = spec.Base + uint64(k)*(spec.Span/3)
+	}
+	return c
+}
+
+// Next implements Generator.
+func (c *Clone) Next() trace.Access {
+	kind := trace.IFetch
+	r := c.rng.Float64()
+	switch {
+	case r < c.spec.ReadFrac:
+		kind = trace.DataRead
+	case r < c.spec.ReadFrac+c.spec.WriteFrac:
+		kind = trace.DataWrite
+	}
+
+	pick := c.rng.Float64()
+	moved := false
+	for i, cw := range c.cum[kind] {
+		if pick < cw {
+			c.cur[kind] += uint64(c.spec.Streams[kind].Strides[i].Delta)
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		// Residual mass: jump uniformly within the measured working set
+		// (block-aligned so the footprint matches the measurement).
+		blk := c.rng.Uint64() % c.spec.WorkingBlocks
+		c.cur[kind] = c.spec.Base + blk*uint64(c.spec.BlockSize)
+	}
+	// Wrap into the measured span.
+	if c.cur[kind] < c.spec.Base || c.cur[kind] >= c.spec.Base+c.spec.Span {
+		c.cur[kind] = c.spec.Base + (c.cur[kind]-c.spec.Base)%c.spec.Span
+	}
+	return trace.Access{Addr: c.cur[kind], Kind: kind}
+}

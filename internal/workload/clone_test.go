@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"testing"
+
+	"dew/internal/trace"
+)
+
+func validCloneSpec() CloneSpec {
+	spec := CloneSpec{
+		Base: 0x1000, Span: 1 << 16, BlockSize: 32,
+		ReadFrac: 0.2, WriteFrac: 0.1,
+		WorkingBlocks: 512,
+	}
+	spec.Streams[trace.IFetch].Strides = []CloneStride{{Delta: 4, Weight: 0.8}}
+	spec.Streams[trace.DataRead].Strides = []CloneStride{{Delta: 2, Weight: 0.5}, {Delta: -64, Weight: 0.1}}
+	return spec
+}
+
+func TestCloneDeterministic(t *testing.T) {
+	a := Take(NewClone(validCloneSpec(), 7), 5000)
+	b := Take(NewClone(validCloneSpec(), 7), 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed clones diverged at %d", i)
+		}
+	}
+	c := Take(NewClone(validCloneSpec(), 8), 5000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestCloneStaysInSpan(t *testing.T) {
+	spec := validCloneSpec()
+	for _, acc := range Take(NewClone(spec, 9), 20000) {
+		if acc.Addr < spec.Base || acc.Addr >= spec.Base+spec.Span {
+			t.Fatalf("address %#x outside [%#x, %#x)", acc.Addr, spec.Base, spec.Base+spec.Span)
+		}
+		if !acc.Kind.Valid() {
+			t.Fatalf("invalid kind %d", acc.Kind)
+		}
+	}
+}
+
+func TestCloneKindMix(t *testing.T) {
+	tr := Take(NewClone(validCloneSpec(), 10), 60000)
+	var mix [3]int
+	for _, a := range tr {
+		mix[a.Kind]++
+	}
+	reads := float64(mix[trace.DataRead]) / float64(len(tr))
+	writes := float64(mix[trace.DataWrite]) / float64(len(tr))
+	if reads < 0.17 || reads > 0.23 {
+		t.Errorf("read fraction %.3f, want ~0.2", reads)
+	}
+	if writes < 0.08 || writes > 0.12 {
+		t.Errorf("write fraction %.3f, want ~0.1", writes)
+	}
+}
+
+func TestCloneDominantStride(t *testing.T) {
+	// With 80% weight on +4 ifetch strides, consecutive ifetches should
+	// frequently differ by exactly 4.
+	tr := Take(NewClone(validCloneSpec(), 11), 40000)
+	var prev uint64
+	have := false
+	plus4, moves := 0, 0
+	for _, a := range tr {
+		if a.Kind != trace.IFetch {
+			continue
+		}
+		if have {
+			moves++
+			if a.Addr-prev == 4 {
+				plus4++
+			}
+		}
+		prev = a.Addr
+		have = true
+	}
+	if moves == 0 {
+		t.Fatal("no ifetch moves")
+	}
+	if frac := float64(plus4) / float64(moves); frac < 0.7 {
+		t.Errorf("+4 ifetch fraction %.3f, want >= 0.7", frac)
+	}
+}
+
+func TestCloneOverfullWeightsNormalized(t *testing.T) {
+	spec := validCloneSpec()
+	spec.Streams[trace.IFetch].Strides = []CloneStride{
+		{Delta: 4, Weight: 3}, {Delta: 8, Weight: 1},
+	}
+	// Weights sum to 4 > 1: must normalize, not panic, and both strides
+	// must appear roughly 3:1.
+	tr := Take(NewClone(spec, 12), 40000)
+	var prev uint64
+	have := false
+	d4, d8 := 0, 0
+	for _, a := range tr {
+		if a.Kind != trace.IFetch {
+			continue
+		}
+		if have {
+			switch a.Addr - prev {
+			case 4:
+				d4++
+			case 8:
+				d8++
+			}
+		}
+		prev = a.Addr
+		have = true
+	}
+	if d4 < 2*d8 {
+		t.Errorf("stride ratio d4=%d d8=%d, want roughly 3:1", d4, d8)
+	}
+}
+
+func TestClonePanics(t *testing.T) {
+	cases := []func() CloneSpec{
+		func() CloneSpec { s := validCloneSpec(); s.Span = 0; return s },
+		func() CloneSpec { s := validCloneSpec(); s.WorkingBlocks = 0; return s },
+		func() CloneSpec { s := validCloneSpec(); s.BlockSize = 3; return s },
+		func() CloneSpec { s := validCloneSpec(); s.ReadFrac = -0.1; return s },
+		func() CloneSpec { s := validCloneSpec(); s.ReadFrac = 0.8; s.WriteFrac = 0.3; return s },
+		func() CloneSpec {
+			s := validCloneSpec()
+			s.Streams[0].Strides = []CloneStride{{Delta: 1, Weight: -1}}
+			return s
+		},
+	}
+	for i, build := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			NewClone(build(), 1)
+		}()
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"io"
+
+	"dew/internal/trace"
+)
+
+// Generator produces an endless stream of accesses. Concrete generators
+// model one locality pattern; compose them with Mix and Phases and bound
+// them with Stream.
+type Generator interface {
+	// Next returns the next access in the stream. Generators are
+	// infinite; callers bound them (see Stream).
+	Next() trace.Access
+}
+
+// Stream adapts a Generator to a trace.Reader that yields exactly n
+// accesses.
+func Stream(g Generator, n uint64) trace.Reader {
+	remaining := n
+	return trace.FuncReader(func() (trace.Access, error) {
+		if remaining == 0 {
+			return trace.Access{}, io.EOF
+		}
+		remaining--
+		return g.Next(), nil
+	})
+}
+
+// Take materializes the first n accesses of g.
+func Take(g Generator, n int) trace.Trace {
+	t := make(trace.Trace, n)
+	for i := range t {
+		t[i] = g.Next()
+	}
+	return t
+}
+
+// Weighted pairs a sub-generator with a selection weight for Mix.
+type Weighted struct {
+	Gen    Generator
+	Weight int
+}
+
+// Mix interleaves sub-generators, choosing each next access from a
+// sub-generator with probability proportional to its weight. Selection
+// is deterministic in the seed. It models a program alternating between
+// instruction fetches and several concurrent data streams.
+type Mix struct {
+	rng     *rng
+	entries []Weighted
+	total   int
+}
+
+// NewMix builds a Mix with the given seed. Weights must be positive.
+func NewMix(seed uint64, entries ...Weighted) *Mix {
+	if len(entries) == 0 {
+		panic("workload: NewMix needs at least one generator")
+	}
+	total := 0
+	for _, e := range entries {
+		if e.Weight <= 0 {
+			panic("workload: Mix weights must be positive")
+		}
+		total += e.Weight
+	}
+	return &Mix{rng: newRNG(seed), entries: entries, total: total}
+}
+
+// Next implements Generator.
+func (m *Mix) Next() trace.Access {
+	pick := m.rng.Intn(m.total)
+	for _, e := range m.entries {
+		pick -= e.Weight
+		if pick < 0 {
+			return e.Gen.Next()
+		}
+	}
+	return m.entries[len(m.entries)-1].Gen.Next()
+}
+
+// Phase pairs a generator with how many accesses it contributes before
+// the next phase starts.
+type Phase struct {
+	Gen Generator
+	Len uint64
+}
+
+// Phases runs its phases in order, looping back to the first after the
+// last completes. It models programs with distinct execution phases
+// (e.g. an encoder's per-frame pipeline).
+type Phases struct {
+	phases []Phase
+	idx    int
+	used   uint64
+}
+
+// NewPhases builds a Phases generator. Every phase length must be
+// positive.
+func NewPhases(phases ...Phase) *Phases {
+	if len(phases) == 0 {
+		panic("workload: NewPhases needs at least one phase")
+	}
+	for _, p := range phases {
+		if p.Len == 0 {
+			panic("workload: phase length must be positive")
+		}
+	}
+	return &Phases{phases: phases}
+}
+
+// Next implements Generator.
+func (p *Phases) Next() trace.Access {
+	ph := p.phases[p.idx]
+	if p.used >= ph.Len {
+		p.idx = (p.idx + 1) % len(p.phases)
+		p.used = 0
+		ph = p.phases[p.idx]
+	}
+	p.used++
+	return ph.Gen.Next()
+}
+
+// Interleave alternates strictly between generators with a fixed ratio:
+// ratio[i] accesses from generator i, then ratio[i+1] from the next, and
+// so on, cycling. It models the steady instruction/data rhythm of an
+// in-order embedded core.
+type Interleave struct {
+	gens  []Generator
+	ratio []int
+	idx   int
+	used  int
+}
+
+// NewInterleave builds an Interleave; len(gens) must equal len(ratio) and
+// ratios must be positive.
+func NewInterleave(gens []Generator, ratio []int) *Interleave {
+	if len(gens) == 0 || len(gens) != len(ratio) {
+		panic("workload: NewInterleave needs matching gens and ratios")
+	}
+	for _, r := range ratio {
+		if r <= 0 {
+			panic("workload: Interleave ratios must be positive")
+		}
+	}
+	return &Interleave{gens: gens, ratio: ratio}
+}
+
+// Next implements Generator.
+func (iv *Interleave) Next() trace.Access {
+	if iv.used >= iv.ratio[iv.idx] {
+		iv.idx = (iv.idx + 1) % len(iv.gens)
+		iv.used = 0
+	}
+	iv.used++
+	return iv.gens[iv.idx].Next()
+}

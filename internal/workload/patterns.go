@@ -1,0 +1,347 @@
+package workload
+
+import "dew/internal/trace"
+
+// Address-space layout used by the application models. Regions are far
+// apart so they never alias at the block sizes under study.
+const (
+	textBase  = 0x0040_0000 // instruction segment
+	dataBase  = 0x1000_0000 // static data / tables
+	heapBase  = 0x2000_0000 // frame buffers, large arrays
+	stackBase = 0x7FFF_0000 // downward-growing stack
+)
+
+// LoopIFetch models the instruction stream of loop-dominated code: the PC
+// advances by 4 bytes through a loop body, branches back to the loop head
+// for a number of iterations, and occasionally calls into another
+// function region. This produces the long sequential streaks that make
+// real instruction traces so cache-friendly.
+type LoopIFetch struct {
+	rng *rng
+	// Base is the start of the text region used by this stream.
+	base uint64
+	// bodyLen is the loop body length in instructions.
+	bodyLen int
+	// meanIters is the average number of iterations per loop visit.
+	meanIters int
+	// funcs is how many distinct loop sites the stream rotates over.
+	funcs int
+
+	pc    uint64
+	head  uint64
+	left  int // instructions left in current body pass
+	iters int // body passes left before moving on
+}
+
+// NewLoopIFetch builds a loop-structured instruction stream. bodyLen,
+// meanIters and funcs must be positive.
+func NewLoopIFetch(seed uint64, base uint64, bodyLen, meanIters, funcs int) *LoopIFetch {
+	if bodyLen <= 0 || meanIters <= 0 || funcs <= 0 {
+		panic("workload: LoopIFetch parameters must be positive")
+	}
+	l := &LoopIFetch{
+		rng:       newRNG(seed),
+		base:      base,
+		bodyLen:   bodyLen,
+		meanIters: meanIters,
+		funcs:     funcs,
+	}
+	l.newLoop()
+	return l
+}
+
+func (l *LoopIFetch) newLoop() {
+	site := l.rng.Intn(l.funcs)
+	l.head = l.base + uint64(site)*uint64(l.bodyLen*4)*4 // spaced-out loop sites
+	l.pc = l.head
+	l.left = l.bodyLen
+	l.iters = 1 + l.rng.Intn(2*l.meanIters)
+}
+
+// Next implements Generator.
+func (l *LoopIFetch) Next() trace.Access {
+	a := trace.Access{Addr: l.pc, Kind: trace.IFetch}
+	l.pc += 4
+	l.left--
+	if l.left == 0 {
+		l.iters--
+		if l.iters > 0 {
+			l.pc = l.head // branch back
+			l.left = l.bodyLen
+		} else {
+			l.newLoop()
+		}
+	}
+	return a
+}
+
+// Sequential sweeps a region with a fixed stride and element size,
+// wrapping at the region end: the classic streaming pattern of media
+// kernels (sample loops, scanline reads).
+type Sequential struct {
+	base   uint64
+	stride uint64
+	length uint64 // region length in bytes
+	kind   trace.Kind
+	off    uint64
+}
+
+// NewSequential builds a wrapping sequential sweep. stride and length
+// must be positive.
+func NewSequential(base, stride, length uint64, kind trace.Kind) *Sequential {
+	if stride == 0 || length == 0 {
+		panic("workload: Sequential stride and length must be positive")
+	}
+	return &Sequential{base: base, stride: stride, length: length, kind: kind}
+}
+
+// Next implements Generator.
+func (s *Sequential) Next() trace.Access {
+	a := trace.Access{Addr: s.base + s.off, Kind: s.kind}
+	s.off += s.stride
+	if s.off >= s.length {
+		s.off = 0
+	}
+	return a
+}
+
+// Blocked2D visits an H×W 2-D array in tile order (tile×tile elements of
+// elemSize bytes), the access shape of 8×8 DCT/IDCT kernels in JPEG and
+// MPEG coders: strong reuse inside a tile, strided jumps between rows.
+type Blocked2D struct {
+	base     uint64
+	w, h     int
+	elemSize int
+	tile     int
+	kind     trace.Kind
+
+	tx, ty int // current tile coordinates
+	ix, iy int // position within tile
+}
+
+// NewBlocked2D builds a tile-order sweep. All dimensions must be
+// positive; tile must divide nothing in particular (edges clip).
+func NewBlocked2D(base uint64, w, h, elemSize, tile int, kind trace.Kind) *Blocked2D {
+	if w <= 0 || h <= 0 || elemSize <= 0 || tile <= 0 {
+		panic("workload: Blocked2D dimensions must be positive")
+	}
+	return &Blocked2D{base: base, w: w, h: h, elemSize: elemSize, tile: tile, kind: kind}
+}
+
+// Next implements Generator.
+func (b *Blocked2D) Next() trace.Access {
+	x := b.tx*b.tile + b.ix
+	y := b.ty*b.tile + b.iy
+	addr := b.base + uint64(y*b.w+x)*uint64(b.elemSize)
+	a := trace.Access{Addr: addr, Kind: b.kind}
+
+	// Advance within the tile, then to the next tile, row-major.
+	b.ix++
+	if b.ix >= b.tile || b.tx*b.tile+b.ix >= b.w {
+		b.ix = 0
+		b.iy++
+		if b.iy >= b.tile || b.ty*b.tile+b.iy >= b.h {
+			b.iy = 0
+			b.tx++
+			if b.tx*b.tile >= b.w {
+				b.tx = 0
+				b.ty++
+				if b.ty*b.tile >= b.h {
+					b.ty = 0
+				}
+			}
+		}
+	}
+	return a
+}
+
+// TableLookup models data-dependent reads into lookup tables (quantizer
+// tables, Huffman tables, ADPCM step tables): a hot subset of entries
+// absorbs most lookups, the rest scatter over the full table.
+type TableLookup struct {
+	rng      *rng
+	base     uint64
+	entries  int
+	elemSize int
+	hotFrac  float64 // fraction of entries that are hot
+	hotProb  float64 // probability a lookup goes to the hot set
+	kind     trace.Kind
+}
+
+// NewTableLookup builds a skewed table-lookup stream. entries and
+// elemSize must be positive, fractions within (0,1].
+func NewTableLookup(seed uint64, base uint64, entries, elemSize int, hotFrac, hotProb float64, kind trace.Kind) *TableLookup {
+	if entries <= 0 || elemSize <= 0 {
+		panic("workload: TableLookup entries and elemSize must be positive")
+	}
+	if hotFrac <= 0 || hotFrac > 1 || hotProb < 0 || hotProb > 1 {
+		panic("workload: TableLookup fractions out of range")
+	}
+	return &TableLookup{
+		rng: newRNG(seed), base: base, entries: entries, elemSize: elemSize,
+		hotFrac: hotFrac, hotProb: hotProb, kind: kind,
+	}
+}
+
+// Next implements Generator.
+func (t *TableLookup) Next() trace.Access {
+	hot := int(float64(t.entries) * t.hotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	var idx int
+	if t.rng.Bool(t.hotProb) {
+		idx = t.rng.Intn(hot)
+	} else {
+		idx = t.rng.Intn(t.entries)
+	}
+	return trace.Access{Addr: t.base + uint64(idx*t.elemSize), Kind: t.kind}
+}
+
+// StackFrames models call/return traffic: writes on push, reads on pop,
+// within a window of frames near the stack base. Depth follows a
+// bounded random walk.
+type StackFrames struct {
+	rng       *rng
+	base      uint64
+	frameSize int
+	maxDepth  int
+	depth     int
+	pos       int // slot within current frame
+	pushing   bool
+}
+
+// NewStackFrames builds a stack-traffic stream. frameSize and maxDepth
+// must be positive.
+func NewStackFrames(seed uint64, frameSize, maxDepth int) *StackFrames {
+	if frameSize <= 0 || maxDepth <= 0 {
+		panic("workload: StackFrames parameters must be positive")
+	}
+	return &StackFrames{rng: newRNG(seed), base: stackBase, frameSize: frameSize, maxDepth: maxDepth, pushing: true}
+}
+
+// Next implements Generator.
+func (s *StackFrames) Next() trace.Access {
+	addr := s.base - uint64(s.depth*s.frameSize) - uint64(s.pos*4)
+	kind := trace.DataRead
+	if s.pushing {
+		kind = trace.DataWrite
+	}
+	a := trace.Access{Addr: addr, Kind: kind}
+
+	s.pos++
+	if s.pos*4 >= s.frameSize {
+		s.pos = 0
+		if s.pushing {
+			if s.depth < s.maxDepth-1 && s.rng.Bool(0.5) {
+				s.depth++
+			} else {
+				s.pushing = false
+			}
+		} else {
+			if s.depth > 0 && s.rng.Bool(0.5) {
+				s.depth--
+			} else {
+				s.pushing = true
+			}
+		}
+	}
+	return a
+}
+
+// PointerChase models dependent loads through a shuffled linked list in a
+// region: almost no spatial locality, bounded temporal locality. Used to
+// inject the cache-hostile component of large-footprint phases.
+type PointerChase struct {
+	rng      *rng
+	base     uint64
+	nodes    int
+	nodeSize int
+	cur      int
+	kind     trace.Kind
+}
+
+// NewPointerChase builds a pointer-chase stream over nodes of nodeSize
+// bytes. Both must be positive.
+func NewPointerChase(seed uint64, base uint64, nodes, nodeSize int) *PointerChase {
+	if nodes <= 0 || nodeSize <= 0 {
+		panic("workload: PointerChase parameters must be positive")
+	}
+	return &PointerChase{rng: newRNG(seed), base: base, nodes: nodes, nodeSize: nodeSize, kind: trace.DataRead}
+}
+
+// Next implements Generator.
+func (p *PointerChase) Next() trace.Access {
+	a := trace.Access{Addr: p.base + uint64(p.cur*p.nodeSize), Kind: p.kind}
+	// A deterministic pseudo-random successor; the multiplicative step
+	// visits all nodes when nodes is a power of two plus odd step, but
+	// exact coverage is not required — only poor locality is.
+	p.cur = (p.cur*5 + 1 + p.rng.Intn(7)) % p.nodes
+	return a
+}
+
+// MotionSearch models MPEG2 motion estimation: for each macroblock of the
+// current frame it reads a search window from the reference frame —
+// wide, strided reads over a multi-megabyte footprint with modest reuse,
+// the pattern that makes MPEG2 the slowest trace to simulate.
+type MotionSearch struct {
+	curFrame *Blocked2D
+	refRng   *rng
+	refBase  uint64
+	w, h     int
+	window   int
+	mbx, mby int
+	step     int
+}
+
+// NewMotionSearch builds a motion-estimation stream over w×h 1-byte
+// pixels with the given search window radius.
+func NewMotionSearch(seed uint64, curBase, refBase uint64, w, h, window int) *MotionSearch {
+	if w <= 0 || h <= 0 || window <= 0 {
+		panic("workload: MotionSearch parameters must be positive")
+	}
+	return &MotionSearch{
+		curFrame: NewBlocked2D(curBase, w, h, 1, 16, trace.DataRead),
+		refRng:   newRNG(seed),
+		refBase:  refBase,
+		w:        w, h: h, window: window,
+	}
+}
+
+// Next implements Generator.
+func (m *MotionSearch) Next() trace.Access {
+	// Alternate: one current-frame byte, one reference-window byte.
+	m.step++
+	if m.step%2 == 0 {
+		return m.curFrame.Next()
+	}
+	// Random candidate row within the window around the current
+	// macroblock; read strided bytes across it.
+	dx := m.refRng.Intn(2*m.window+1) - m.window
+	dy := m.refRng.Intn(2*m.window+1) - m.window
+	x := clamp(m.mbx*16+dx, 0, m.w-1)
+	y := clamp(m.mby*16+dy, 0, m.h-1)
+	addr := m.refBase + uint64(y*m.w+x)
+	// Advance macroblock occasionally.
+	if m.refRng.Bool(0.01) {
+		m.mbx++
+		if m.mbx*16 >= m.w {
+			m.mbx = 0
+			m.mby++
+			if m.mby*16 >= m.h {
+				m.mby = 0
+			}
+		}
+	}
+	return trace.Access{Addr: addr, Kind: trace.DataRead}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
