@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test vet bench fuzz
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench records the core perf trajectory into BENCH_core.{txt,json}.
+bench:
+	./scripts/bench.sh
+
+# fuzz gives each fuzz target a short budget beyond its seed corpus.
+fuzz:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzBatchEquivalence -fuzztime 20s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzExactness -fuzztime 20s

@@ -93,6 +93,124 @@ func BenchmarkTable3DEW(b *testing.B) {
 	}
 }
 
+// benchAccessOpt is the pass shape the core fast-path benchmarks share:
+// one representative Table 3 cell.
+var benchAccessOpt = core.Options{MaxLogSets: benchMaxLog, Assoc: 4, BlockSize: 16}
+
+// benchAccessApps are the workloads the perf trajectory is tracked on.
+var benchAccessApps = []workload.App{workload.CJPEG, workload.G721Dec}
+
+// BenchmarkAccessSingle measures the single-access pipeline exactly as
+// the seed ran it: one interface-dispatched Reader.Next call plus one
+// fully instrumented Access call per request. Compare with
+// BenchmarkAccessBatch; the ns/access pair is the perf trajectory
+// scripts/bench.sh records in BENCH_core.json.
+func BenchmarkAccessSingle(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			tr := benchTrace(b, app)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim := core.MustNew(benchAccessOpt)
+				var r trace.Reader = tr.NewSliceReader()
+				for {
+					a, err := r.Next()
+					if err != nil {
+						break
+					}
+					sim.Access(a)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr)), "ns/access")
+		})
+	}
+}
+
+// BenchmarkAccessBatch measures the counter-free batched fast path over
+// the same workloads and pass shape as BenchmarkAccessSingle.
+func BenchmarkAccessBatch(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			tr := benchTrace(b, app)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim := core.MustNew(benchAccessOpt)
+				sim.AccessBatch(tr)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr)), "ns/access")
+		})
+	}
+}
+
+// BenchmarkBatchedReaders measures trace delivery alone (simulation
+// excluded): the per-access Next loop against the ReadBatch loop, for
+// the in-memory reader and the workload generator stream.
+func BenchmarkBatchedReaders(b *testing.B) {
+	tr := benchTrace(b, workload.CJPEG)
+	b.Run("slice/next", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var r trace.Reader = tr.NewSliceReader()
+			for {
+				if _, err := r.Next(); err != nil {
+					break
+				}
+			}
+		}
+	})
+	b.Run("slice/batch", func(b *testing.B) {
+		buf := make([]trace.Access, trace.DefaultBatchSize)
+		for i := 0; i < b.N; i++ {
+			var r trace.BatchReader = tr.NewSliceReader()
+			for {
+				if _, err := r.ReadBatch(buf); err != nil {
+					break
+				}
+			}
+		}
+	})
+	b.Run("stream/next", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := workload.Stream(workload.CJPEG.Generator(1), benchRequests)
+			for {
+				if _, err := r.Next(); err != nil {
+					break
+				}
+			}
+		}
+	})
+	b.Run("stream/batch", func(b *testing.B) {
+		buf := make([]trace.Access, trace.DefaultBatchSize)
+		for i := 0; i < b.N; i++ {
+			r := trace.Batch(workload.Stream(workload.CJPEG.Generator(1), benchRequests))
+			for {
+				if _, err := r.ReadBatch(buf); err != nil {
+					break
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSweepCellWorkers measures one full comparison cell (DEW fast
+// pass + instrumented pass + all reference passes) serial vs parallel.
+func BenchmarkSweepCellWorkers(b *testing.B) {
+	tr := benchTrace(b, workload.MPEG2Dec)
+	p := sweep.Params{App: workload.MPEG2Dec, BlockSize: 16, Assoc: 4, MaxLogSets: benchMaxLog}
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		b.Run(name, func(b *testing.B) {
+			r := sweep.Runner{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := r.RunCellTrace(p, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable3Reference measures the baseline side of Table 3: one
 // reference pass per configuration (the Dinero IV methodology) for a
 // representative subset of cells.

@@ -9,4 +9,24 @@
 // paper-vs-measured record. The root package carries the repository-wide
 // benchmark harness (bench_test.go), one benchmark per table and figure
 // of the paper's evaluation.
+//
+// # Batching and parallelism
+//
+// The pipeline moves accesses in bulk end to end. Every trace source —
+// the in-memory trace, the .din text and DTB1 binary decoders, the
+// workload generator stream — implements trace.BatchReader, delivering
+// trace.DefaultBatchSize accesses per call; trace.Batch adapts any plain
+// Reader. On the consuming side core.Simulator offers two equivalent
+// paths: the instrumented Access/Simulate path that maintains the full
+// Table 3/4 counter set, and the counter-free AccessBatch/SimulateBatch
+// fast path, bit-identical in results and verified so on every
+// sweep.RunCell (≥1.5× the seed's single-access throughput; the
+// trajectory is recorded in BENCH_core.json by scripts/bench.sh).
+// Independent passes parallelize above the core: sweep.Runner.Workers
+// spreads reference passes and whole cells across a worker pool with
+// deterministic result ordering, and package explore does the same for
+// design-space DEW passes — exactness verification is unaffected because
+// every pass replays the same materialized read-only trace; only wall
+// times are scheduling-sensitive (use one worker for timing-faithful
+// Table 3 runs).
 package dew

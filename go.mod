@@ -1,0 +1,3 @@
+module dew
+
+go 1.24.0

@@ -27,6 +27,7 @@ func Experiments(env Env, args []string) error {
 		seeds      = fs.Int("seeds", 1, "replicate each cell across N consecutive seeds and combine")
 		maxLog     = fs.Int("maxlog", 14, "log2 of the largest simulated set count (14 = paper)")
 		extList    = fs.String("ext", "", "comma-separated extended experiments to run (1-4, beyond the paper)")
+		workers    = fs.Int("workers", 1, "worker pool size for sweep cells (1 = serial, timing-faithful; 0 = all cores)")
 		csv        = fs.Bool("csv", false, "emit tables as CSV")
 		quiet      = fs.Bool("quiet", false, "suppress progress output")
 	)
@@ -42,6 +43,7 @@ func Experiments(env Env, args []string) error {
 		seed:     *seed,
 		seeds:    *seeds,
 		maxLog:   *maxLog,
+		workers:  *workers,
 		csv:      *csv,
 		quiet:    *quiet,
 	}
@@ -130,6 +132,7 @@ type expConfig struct {
 	seed     uint64
 	seeds    int
 	maxLog   int
+	workers  int
 	csv      bool
 	quiet    bool
 }
@@ -163,28 +166,33 @@ func expRender(ec expConfig, t *report.Table) error {
 }
 
 func expSweep(ec expConfig, params []sweep.Params) ([]sweep.Cell, error) {
-	r := sweep.Runner{}
+	r := sweep.Runner{Workers: ec.workers}
 	if !ec.quiet {
 		r.Logf = func(f string, a ...interface{}) {
 			fmt.Fprintf(ec.env.Stderr, "  "+f+"\n", a...)
 		}
 	}
-	cells := make([]sweep.Cell, 0, len(params))
 	start := time.Now()
-	for _, p := range params {
-		if ec.seeds > 1 {
+	var cells []sweep.Cell
+	if ec.seeds > 1 {
+		// Multi-seed cells aggregate sequentially; the reference passes
+		// inside each cell still use the worker pool.
+		cells = make([]sweep.Cell, 0, len(params))
+		for _, p := range params {
 			agg, err := r.RunCellSeeds(p, sweep.Seeds(ec.seed, ec.seeds))
 			if err != nil {
 				return nil, err
 			}
 			cells = append(cells, agg.Combined())
-			continue
 		}
-		cell, err := r.RunCell(p)
+	} else {
+		// Independent cells spread across the worker pool, results in
+		// params order.
+		var err error
+		cells, err = r.RunCells(params)
 		if err != nil {
 			return nil, err
 		}
-		cells = append(cells, cell)
 	}
 	if !ec.quiet {
 		fmt.Fprintf(ec.env.Stderr, "sweep of %d cells finished in %v; every configuration verified exact\n",

@@ -218,7 +218,7 @@ func extVariability(ec expConfig) error {
 			App: app, Requests: ec.requestsFor(app),
 			BlockSize: 16, Assoc: 4, MaxLogSets: maxLog,
 		}
-		agg, err := (sweep.Runner{}).RunCellSeeds(p, sweep.Seeds(ec.seed, seeds))
+		agg, err := (sweep.Runner{Workers: ec.workers}).RunCellSeeds(p, sweep.Seeds(ec.seed, seeds))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"dew/internal/trace"
+)
+
+// AccessBatch simulates a slice of memory requests against every
+// configuration of the pass. With Options.Instrument unset and no
+// property ablated it takes the counter-free fast path — identical
+// Results to Access, with only Counters.Accesses maintained; otherwise
+// it feeds the instrumented per-access path so every counter moves
+// exactly as it would under Access.
+//
+// A trace.Trace is itself an []trace.Access, so a whole in-memory trace
+// can be passed in one call.
+func (s *Simulator) AccessBatch(batch []trace.Access) {
+	if s.opt.instrumented() {
+		for _, a := range batch {
+			s.Access(a)
+		}
+		return
+	}
+	s.counters.Accesses += uint64(len(batch))
+	off := s.offBits
+	prev, ok := s.lastBlk, s.lastOK
+	for k := range batch {
+		blk := batch[k].Addr >> off
+		if ok && blk == prev {
+			// A repeated block address is a guaranteed level-0 MRA hit:
+			// the previous access left its level-0 node's MRA equal to
+			// blk, and an MRA hit mutates nothing and stops the walk, so
+			// the whole access is a no-op.
+			continue
+		}
+		prev, ok = blk, true
+		s.accessFast(blk)
+	}
+	s.lastBlk, s.lastOK = prev, ok
+
+	// Fold the batch's exit-depth histogram into missDM: an exit at
+	// depth d means the walk MRA-missed (and so direct-mapped-missed)
+	// levels 0..d-1. Memoized skips are level-0 exits and contribute to
+	// no level, so they need no histogram entry at all.
+	var suffix uint64
+	for li := len(s.exitHist) - 1; li >= 1; li-- {
+		suffix += s.exitHist[li]
+		s.exitHist[li] = 0
+		s.missDM[li-1] += suffix
+	}
+}
+
+// SimulateBatch drains the reader through AccessBatch in
+// trace.DefaultBatchSize chunks. It is the fast-path counterpart of
+// Simulate.
+func (s *Simulator) SimulateBatch(r trace.Reader) error {
+	return trace.Drain(r, s.AccessBatch)
+}
+
+// accessFast is Access with the instrumentation compiled out: the same
+// walk down the simulation tree deciding each node by P2 (MRA), P3
+// (wave) or P4 (MRE) before falling back to a tag-list scan, mutating
+// exactly the same state in exactly the same order, so results are
+// bit-identical to the instrumented path.
+//
+// It walks the level-major arenas directly — the flattened level loop:
+// the per-level node mask and arena offsets are computed incrementally
+// in registers (mask doubles, offsets advance by the previous level's
+// size), so the only memory a level touches before its MRA verdict is
+// the node's own packed record. The arena slice headers are hoisted into
+// locals once, outside the loop. Relative to Access, the control flow is
+// also flattened: comparisons are ordered so the common case pays one
+// branch (tag first, validity flag second — both pure loads), the MRE
+// resurrection test is computed at a single site (re-checking
+// mre == blk is idempotent, so the two-site instrumented flow and this
+// one always agree), and the level-0 "no parent yet" case writes its
+// parent wave refresh into a dedicated scratch slot at the end of the
+// wave arena instead of branching on has-parent at every level.
+func (s *Simulator) accessFast(blk uint64) {
+	assoc := s.assoc
+	nodes := s.nodes
+	tags := s.tags
+	wave := s.wave
+	missA := s.missA
+	exitHist := s.exitHist
+	nLevels := len(s.levels)
+	isLRU := s.stamp != nil
+
+	mask := uint64(1)<<uint(s.opt.MinLogSets) - 1 // level-0 node mask, doubling per level
+	nodeOff := 0                                  // arena offset of the level's node records
+	wayOff := 0                                   // arena offset of the level's way entries
+
+	parentWave := int8(-1)     // wave pointer read from the parent's matching entry
+	parentIdx := len(wave) - 1 // arena index of the parent's matching entry; starts at the scratch slot
+
+	for li := 0; li < nLevels; li++ {
+		node := int(blk & mask)
+		nd := &nodes[nodeOff+node]
+		levelNodes := int(mask) + 1
+		nodeOff += levelNodes
+		base := wayOff + node*assoc
+		wayOff += levelNodes * assoc
+		mask = mask<<1 | 1
+
+		// Direct-mapped check, doubling as Property 2. nd is one packed
+		// record, so the usual outcome of a level — MRA hit, return — is
+		// decided from a single cache line.
+		if nd.mra == blk && nd.mraOK {
+			// P2: hit here and at every deeper level; FIFO and LRU state
+			// are unaffected by hits, so the walk stops. The exit depth
+			// stands in for the per-level missDM increments (see
+			// Simulator.exitHist).
+			exitHist[li]++
+			return
+		}
+
+		fill := int(nd.fill)
+
+		// Decide associativity-A membership: P3, then P4, then scan.
+		hitWay := -1
+		if parentWave >= 0 {
+			// P3: one probe decides hit or miss.
+			w := int(parentWave)
+			if w < fill && tags[base+w] == blk {
+				hitWay = w
+			}
+		} else if nd.mre == blk && nd.mreOK {
+			// P4: the most recently evicted tag cannot be resident —
+			// a decided miss, no scan. The eviction path below re-derives
+			// the resurrection from the same comparison.
+		} else {
+			if fill == 4 {
+				// Unrolled branch-light scan for the ubiquitous warm
+				// 4-way node: a node never holds duplicate tags
+				// (CheckInvariants invariant 2), so at most one
+				// comparison matches and scan order cannot change the
+				// outcome — these compile to conditional moves instead
+				// of a data-dependent break.
+				if tags[base+3] == blk {
+					hitWay = 3
+				}
+				if tags[base+2] == blk {
+					hitWay = 2
+				}
+				if tags[base+1] == blk {
+					hitWay = 1
+				}
+				if tags[base] == blk {
+					hitWay = 0
+				}
+			} else {
+				for w := 0; w < fill; w++ {
+					if tags[base+w] == blk {
+						hitWay = w
+						break
+					}
+				}
+			}
+		}
+
+		var n int
+		if hitWay >= 0 {
+			// Algorithm 1: Handle_hit.
+			n = hitWay
+		} else {
+			// Algorithm 2: Handle_miss.
+			missA[li]++
+			if fill < assoc {
+				// Cold fill: no eviction, wave pointer unknown.
+				n = fill
+				nd.fill++
+				tags[base+n] = blk
+				wave[base+n] = -1
+			} else {
+				if isLRU {
+					// LRU victim: oldest stamp; the stamp==0 guard is the
+					// same safety bound as in Access, and a warm miss
+					// still scans all A stamps (see the package comment).
+					stamp := s.stamp
+					n = 0
+					for w := 1; w < assoc; w++ {
+						if stamp[base+n] == 0 {
+							break
+						}
+						if stamp[base+w] < stamp[base+n] {
+							n = w
+						}
+					}
+				} else {
+					n = int(nd.head)
+					nd.head = int8((n + 1) & (assoc - 1))
+				}
+				victimTag := tags[base+n]
+				victimWave := wave[base+n]
+				if nd.mre == blk && nd.mreOK {
+					// Algorithm 2 lines 4-5: the requested tag is the
+					// MRE — exchange the victim with the MRE entry,
+					// restoring the tag's saved wave pointer.
+					tags[base+n] = blk
+					wave[base+n] = nd.mreWave
+					nd.mre = victimTag
+					nd.mreWave = victimWave
+				} else {
+					tags[base+n] = blk
+					wave[base+n] = -1
+					nd.mre = victimTag
+					nd.mreWave = victimWave
+					nd.mreOK = true
+				}
+			}
+		}
+
+		if isLRU {
+			// Refresh LRU recency; the way's position never changes, so
+			// wave pointers into and out of this entry stay valid.
+			lv := &s.levels[li]
+			lv.clock[node]++
+			s.stamp[base+n] = lv.clock[node]
+		}
+
+		nd.mra = blk
+		nd.mraOK = true
+		wave[parentIdx] = int8(n)
+		parentWave = wave[base+n]
+		parentIdx = base + n
+	}
+	exitHist[nLevels]++
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dew/internal/cache"
+	"dew/internal/trace"
+	"dew/internal/workload"
+)
+
+// runInstrumented drives the single-access instrumented path.
+func runInstrumented(t *testing.T, opt Options, tr trace.Trace) *Simulator {
+	t.Helper()
+	s := MustNew(opt)
+	for _, a := range tr {
+		s.Access(a)
+	}
+	return s
+}
+
+// assertSameResults fails unless the two simulators agree bit for bit on
+// every configuration's outcome and on the per-level miss splits.
+func assertSameResults(t *testing.T, label string, want, got *Simulator) {
+	t.Helper()
+	wr, gr := want.Results(), got.Results()
+	if len(wr) != len(gr) {
+		t.Fatalf("%s: %d results vs %d", label, len(wr), len(gr))
+	}
+	for i := range wr {
+		if wr[i] != gr[i] {
+			t.Errorf("%s: result %d: instrumented %+v, batched %+v", label, i, wr[i], gr[i])
+		}
+	}
+	for i := range want.levels {
+		if want.missDM[i] != got.missDM[i] {
+			t.Errorf("%s: level %d missDM: instrumented %d, batched %d",
+				label, i, want.missDM[i], got.missDM[i])
+		}
+		if want.missA[i] != got.missA[i] {
+			t.Errorf("%s: level %d missA: instrumented %d, batched %d",
+				label, i, want.missA[i], got.missA[i])
+		}
+	}
+}
+
+// TestAccessBatchEquivalence checks the counter-free fast path against
+// the instrumented path — including each single-property ablation of the
+// instrumented path, which must not change results — across both
+// policies and several pass shapes.
+func TestAccessBatchEquivalence(t *testing.T) {
+	apps := []workload.App{workload.CJPEG, workload.MPEG2Dec}
+	shapes := []Options{
+		{MaxLogSets: 6, Assoc: 4, BlockSize: 16},
+		{MaxLogSets: 4, Assoc: 8, BlockSize: 4},
+		{MinLogSets: 2, MaxLogSets: 7, Assoc: 2, BlockSize: 32},
+		{MaxLogSets: 5, Assoc: 1, BlockSize: 8},
+		{MaxLogSets: 6, Assoc: 4, BlockSize: 16, Policy: cache.LRU},
+		{MaxLogSets: 3, Assoc: 16, BlockSize: 4, Policy: cache.LRU},
+	}
+	ablations := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"full", func(*Options) {}},
+		{"noMRA", func(o *Options) { o.DisableMRA = true }},
+		{"noWave", func(o *Options) { o.DisableWave = true }},
+		{"noMRE", func(o *Options) { o.DisableMRE = true }},
+	}
+	for _, app := range apps {
+		tr := workload.Take(app.Generator(7), 30_000)
+		for _, opt := range shapes {
+			fast := MustNew(opt)
+			fast.AccessBatch(tr)
+			if err := fast.CheckInvariants(); err != nil {
+				t.Fatalf("%s %+v: fast-path invariants: %v", app.Name, opt, err)
+			}
+			if got := fast.Counters().Accesses; got != uint64(len(tr)) {
+				t.Errorf("%s %+v: fast path Accesses = %d, want %d", app.Name, opt, got, len(tr))
+			}
+			for _, ab := range ablations {
+				abOpt := opt
+				ab.mod(&abOpt)
+				label := fmt.Sprintf("%s/%s/A%d/B%d/%v", app.Name, ab.name, opt.Assoc, opt.BlockSize, opt.Policy)
+				inst := runInstrumented(t, abOpt, tr)
+				assertSameResults(t, label, inst, fast)
+			}
+		}
+	}
+}
+
+// TestAccessBatchChunking confirms that how a trace is split into
+// batches cannot affect results, and that Instrument routes AccessBatch
+// back onto the counted path.
+func TestAccessBatchChunking(t *testing.T) {
+	tr := workload.Take(workload.G721Enc.Generator(3), 20_000)
+	opt := Options{MaxLogSets: 6, Assoc: 4, BlockSize: 16}
+
+	whole := MustNew(opt)
+	whole.AccessBatch(tr)
+
+	for _, chunk := range []int{1, 7, 1024, trace.DefaultBatchSize} {
+		split := MustNew(opt)
+		for i := 0; i < len(tr); i += chunk {
+			end := i + chunk
+			if end > len(tr) {
+				end = len(tr)
+			}
+			split.AccessBatch(tr[i:end])
+		}
+		assertSameResults(t, fmt.Sprintf("chunk=%d", chunk), whole, split)
+	}
+
+	instOpt := opt
+	instOpt.Instrument = true
+	inst := MustNew(instOpt)
+	inst.AccessBatch(tr)
+	want := runInstrumented(t, opt, tr)
+	assertSameResults(t, "instrumented batch", want, inst)
+	if inst.Counters() != want.Counters() {
+		t.Errorf("Instrument: AccessBatch counters %+v, Access counters %+v",
+			inst.Counters(), want.Counters())
+	}
+}
+
+// TestAccessBatchInterleaved mixes the two exported entry points on one
+// Simulator: Access must keep the fast path's repeated-block memo sound,
+// so an interleaved sequence matches the pure single-access sequence.
+func TestAccessBatchInterleaved(t *testing.T) {
+	opt := Options{MaxLogSets: 2, Assoc: 2, BlockSize: 4}
+	a := trace.Access{Addr: 0}
+	b := trace.Access{Addr: 4}
+
+	mixed := MustNew(opt)
+	mixed.AccessBatch(trace.Trace{a})
+	mixed.Access(b)
+	mixed.AccessBatch(trace.Trace{a})
+
+	pure := MustNew(opt)
+	for _, acc := range []trace.Access{a, b, a} {
+		pure.Access(acc)
+	}
+	assertSameResults(t, "interleaved", pure, mixed)
+
+	// And the long way around: alternate entry points over a real trace.
+	tr := workload.Take(workload.CJPEG.Generator(11), 10_000)
+	opt = Options{MaxLogSets: 6, Assoc: 4, BlockSize: 16}
+	alt := MustNew(opt)
+	for i := 0; i < len(tr); i += 100 {
+		end := i + 100
+		if end > len(tr) {
+			end = len(tr)
+		}
+		if (i/100)%2 == 0 {
+			alt.AccessBatch(tr[i:end])
+		} else {
+			for _, acc := range tr[i:end] {
+				alt.Access(acc)
+			}
+		}
+	}
+	want := runInstrumented(t, opt, tr)
+	assertSameResults(t, "alternating", want, alt)
+}
+
+// TestSimulateBatchReaders runs the fast path through every batched
+// reader front end — in-memory slice, DTB1 binary round trip, workload
+// stream — and demands identical results from each.
+func TestSimulateBatchReaders(t *testing.T) {
+	const n = 15_000
+	app := workload.DJPEG
+	tr := workload.Take(app.Generator(5), n)
+	opt := Options{MaxLogSets: 6, Assoc: 8, BlockSize: 16}
+
+	want := runInstrumented(t, opt, tr)
+
+	var bin bytes.Buffer
+	bw := trace.NewBinWriter(&bin)
+	for _, a := range tr {
+		if err := bw.WriteAccess(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	readers := map[string]trace.Reader{
+		"slice":  tr.NewSliceReader(),
+		"binary": trace.NewBinReader(&bin),
+		"stream": workload.Stream(app.Generator(5), n),
+	}
+	for name, r := range readers {
+		s := MustNew(opt)
+		if err := s.SimulateBatch(r); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertSameResults(t, name, want, s)
+	}
+}
+
+// FuzzBatchEquivalence fuzzes the fast path against the instrumented
+// path: identical results for arbitrary folded address streams under
+// both policies.
+func FuzzBatchEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2), uint8(2), uint8(4), false)
+	f.Add([]byte{0, 0, 0, 0, 0, 0}, uint8(0), uint8(0), uint8(1), true)
+	f.Add([]byte{9, 9, 1, 1, 9, 9, 1, 1, 2, 2}, uint8(3), uint8(1), uint8(3), false)
+	f.Add([]byte{255, 0, 255, 1, 255, 2, 255, 3}, uint8(1), uint8(3), uint8(2), true)
+	f.Fuzz(func(t *testing.T, raw []byte, logAssoc, logBlock, maxLog uint8, lru bool) {
+		if len(raw) == 0 || len(raw) > 4096 {
+			return
+		}
+		opt := Options{
+			MaxLogSets: int(maxLog%5) + 1,
+			Assoc:      1 << (logAssoc % 4),
+			BlockSize:  1 << (logBlock % 4),
+		}
+		if lru {
+			opt.Policy = cache.LRU
+		}
+		tr := make(trace.Trace, 0, len(raw)/2+1)
+		for i := 0; i+1 < len(raw); i += 2 {
+			tr = append(tr, trace.Access{Addr: uint64(raw[i])<<3 | uint64(raw[i+1])&7})
+		}
+		if len(tr) == 0 {
+			return
+		}
+		inst := MustNew(opt)
+		for _, a := range tr {
+			inst.Access(a)
+		}
+		fast := MustNew(opt)
+		fast.AccessBatch(tr)
+		if err := fast.CheckInvariants(); err != nil {
+			t.Fatalf("fast-path invariants: %v", err)
+		}
+		wr, gr := inst.Results(), fast.Results()
+		for i := range wr {
+			if wr[i] != gr[i] {
+				t.Fatalf("result %d: instrumented %+v, batched %+v", i, wr[i], gr[i])
+			}
+		}
+	})
+}

@@ -50,12 +50,36 @@
 // Exactness does not depend on P2/P3/P4 being enabled — they only avoid
 // work — so Options provides per-property ablation switches used by the
 // ablation benchmarks.
+//
+// # Instrumented and fast paths
+//
+// The simulator exposes two equivalent evaluation paths. Access (and
+// Simulate, which batches its reads but still calls Access per request)
+// is the instrumented path: it maintains the full Counters set that
+// Tables 3 and 4 report. AccessBatch (and SimulateBatch) is the
+// counter-free fast path: the same node walk with the per-access counter
+// increments compiled out and the hot per-level slices (tags, wave,
+// fill, mra) hoisted into local slice headers, counting only
+// Counters.Accesses. The two paths are bit-identical in Results —
+// batch_test.go and FuzzBatchEquivalence enforce it — and sweep.RunCell
+// cross-checks them on every cell. Setting Options.Instrument (or any
+// ablation switch, whose whole point is moving counters) routes the
+// batched entry points back through Access.
+//
+// # LRU cost
+//
+// Under cache.LRU a miss in a full set still pays an O(A) victim scan
+// for the minimum recency stamp: FIFO's round-robin cursor does not
+// apply, and keeping ways position-stable (which the wave pointers
+// require) rules out the sorted recency list a dedicated LRU simulator
+// would use. The scan exits early at a never-stamped cold way
+// (stamp == 0), but a warm set always scans all A stamps; that residual
+// O(A) is the price of simulating LRU through a FIFO-shaped structure
+// and is why the paper expects DEW-LRU to trail Janapsatya's method.
 package core
 
 import (
-	"errors"
 	"fmt"
-	"io"
 	"math/bits"
 
 	"dew/internal/cache"
@@ -91,6 +115,22 @@ type Options struct {
 	DisableMRA  bool
 	DisableWave bool
 	DisableMRE  bool
+
+	// Instrument forces the batched entry points (AccessBatch,
+	// SimulateBatch) onto the instrumented per-access path, maintaining
+	// the full Counters set exactly as Access does. When false (the
+	// default) and no property is disabled, AccessBatch takes the
+	// counter-free fast path: identical Results, but only
+	// Counters.Accesses is maintained. Access and Simulate are always
+	// instrumented — they are the Table 3/4 measurement path.
+	Instrument bool
+}
+
+// instrumented reports whether the batched entry points must route
+// through the fully counted per-access path: explicitly requested, or
+// required because an ablation switch changes which counters move.
+func (o Options) instrumented() bool {
+	return o.Instrument || o.DisableMRA || o.DisableWave || o.DisableMRE
 }
 
 // Validate reports whether the options describe a simulatable pass.
@@ -116,9 +156,25 @@ func (o Options) Validate() error {
 // Levels returns the number of tree levels the pass simulates.
 func (o Options) Levels() int { return o.MaxLogSets - o.MinLogSets + 1 }
 
+// nodeState packs one node's (one cache set's) metadata into a single
+// 24-byte record: the MRA tag the direct-mapped check reads on every
+// visit, the MRE tag, and the small bookkeeping fields. Keeping them in
+// one record instead of seven parallel arrays means the per-level work
+// of the hot walk — which usually ends at the MRA comparison — touches
+// one cache line, not seven.
+type nodeState struct {
+	mra     uint64 // most recently accessed tag (= the DM configuration's content)
+	mre     uint64 // most recently evicted tag
+	mreWave int8   // wave pointer saved with the MRE tag
+	head    int8   // FIFO round-robin victim cursor
+	fill    int8   // number of valid ways
+	mraOK   bool   // mra holds a real tag
+	mreOK   bool   // mre holds a real tag
+}
+
 // level holds the flattened node arrays for one tree level (one set
 // count). Node i of a level with 2^log sets owns entries
-// [i*assoc, (i+1)*assoc) of the per-way slices.
+// [i*assoc, (i+1)*assoc) of the per-way slices and record i of node.
 type level struct {
 	mask uint64 // 2^log - 1
 
@@ -132,27 +188,54 @@ type level struct {
 	stamp []uint64
 
 	// Per-node state.
-	mra     []uint64
-	mraOK   []bool
-	mre     []uint64
-	mreWave []int8
-	mreOK   []bool
-	head    []int8 // FIFO round-robin victim cursor
-	fill    []int8 // number of valid ways
-	// clock is the per-node access counter stamping LRU recency.
+	node []nodeState
+	// clock is the per-node access counter stamping LRU recency (LRU
+	// passes only).
 	clock []uint64
-
-	missDM uint64 // misses of the associativity-1 configuration
-	missA  uint64 // misses of the associativity-A configuration
 }
 
 // Simulator is one DEW pass in progress. Create with New, feed with
 // Access or Simulate, then read Results and Counters.
+//
+// All per-way and per-node state lives in four level-major arenas
+// (nodes, tags, wave, stamp); each level's slices are views into them.
+// The instrumented path walks the per-level views, the fast path walks
+// the arenas directly with incrementally computed masks and offsets —
+// same memory, same results.
 type Simulator struct {
 	opt     Options
 	offBits uint
 	assoc   int
 	levels  []level
+
+	// Arenas backing every level's slices, concatenated in level order.
+	nodes []nodeState
+	tags  []uint64
+	wave  []int8
+	stamp []uint64 // LRU passes only
+
+	// missDM and missA hold each level's miss counts for the
+	// associativity-1 and associativity-A configurations. They live in
+	// two dense arrays — the hottest writes of the walk — so every level
+	// updates the same couple of cache lines.
+	missDM []uint64
+	missA  []uint64
+
+	// exitHist is the fast path's pending exit-depth histogram:
+	// exitHist[d] counts accesses whose walk ended with the MRA hit at
+	// level d (or d == Levels() for walks that ran through every level).
+	// A walk increments missDM at exactly the levels before its exit, so
+	// missDM[l] ≡ Σ_{d>l} exitHist[d]; the fast path pays one histogram
+	// increment per access instead of one missDM increment per level,
+	// and AccessBatch folds the suffix sums back into missDM after each
+	// batch (so missDM is current whenever AccessBatch is not running).
+	exitHist []uint64
+
+	// lastBlk memoizes the most recently simulated block address for the
+	// fast path: a repeated block is by construction a level-0 MRA hit,
+	// which mutates nothing, so the walk can be skipped outright.
+	lastBlk uint64
+	lastOK  bool
 
 	counters Counters
 }
@@ -168,24 +251,39 @@ func New(opt Options) (*Simulator, error) {
 		assoc:   opt.Assoc,
 		levels:  make([]level, opt.Levels()),
 	}
+	totalNodes := 0
+	for i := range s.levels {
+		totalNodes += 1 << (opt.MinLogSets + i)
+	}
+	totalWays := totalNodes * opt.Assoc
+	s.nodes = make([]nodeState, totalNodes)
+	s.tags = make([]uint64, totalWays)
+	// One extra scratch entry at the end of the wave arena: the fast
+	// path's level-0 iteration "refreshes its parent's wave pointer"
+	// into it unconditionally, which removes a has-parent branch from
+	// every level of the walk. The slot is never read.
+	s.wave = make([]int8, totalWays+1)
+	s.missDM = make([]uint64, opt.Levels())
+	s.missA = make([]uint64, opt.Levels())
+	s.exitHist = make([]uint64, opt.Levels()+1)
+	if opt.Policy == cache.LRU {
+		s.stamp = make([]uint64, totalWays)
+	}
+	nodeOff, wayOff := 0, 0
 	for i := range s.levels {
 		nodes := 1 << (opt.MinLogSets + i)
 		ways := nodes * opt.Assoc
 		lv := &s.levels[i]
 		lv.mask = uint64(nodes - 1)
-		lv.tags = make([]uint64, ways)
-		lv.wave = make([]int8, ways)
-		lv.mra = make([]uint64, nodes)
-		lv.mraOK = make([]bool, nodes)
-		lv.mre = make([]uint64, nodes)
-		lv.mreWave = make([]int8, nodes)
-		lv.mreOK = make([]bool, nodes)
-		lv.head = make([]int8, nodes)
-		lv.fill = make([]int8, nodes)
+		lv.node = s.nodes[nodeOff : nodeOff+nodes : nodeOff+nodes]
+		lv.tags = s.tags[wayOff : wayOff+ways : wayOff+ways]
+		lv.wave = s.wave[wayOff : wayOff+ways : wayOff+ways]
 		if opt.Policy == cache.LRU {
-			lv.stamp = make([]uint64, ways)
+			lv.stamp = s.stamp[wayOff : wayOff+ways : wayOff+ways]
 			lv.clock = make([]uint64, nodes)
 		}
+		nodeOff += nodes
+		wayOff += ways
 	}
 	return s, nil
 }
@@ -208,6 +306,11 @@ func (s *Simulator) Options() Options { return s.opt }
 func (s *Simulator) Access(a trace.Access) {
 	blk := a.Addr >> s.offBits
 	s.counters.Accesses++
+	// Keep the fast path's repeated-block memo sound when the two entry
+	// points are mixed on one Simulator: after this call, blk is the
+	// most recently simulated block, which is exactly the memo's
+	// invariant.
+	s.lastBlk, s.lastOK = blk, true
 
 	parentWave := int8(-1) // wave pointer read from the parent's matching entry
 	parentIdx := -1        // index of the parent's matching entry in its wave slice
@@ -216,6 +319,7 @@ func (s *Simulator) Access(a trace.Access) {
 	for li := range s.levels {
 		lv := &s.levels[li]
 		node := int(blk & lv.mask)
+		nd := &lv.node[node]
 		base := node * s.assoc
 		// One evaluation for the direct-mapped configuration plus one
 		// for the A-way configuration (the paper's Table 4 convention).
@@ -223,7 +327,7 @@ func (s *Simulator) Access(a trace.Access) {
 
 		// Direct-mapped check, doubling as Property 2.
 		s.counters.TagComparisons++
-		mraHit := lv.mraOK[node] && lv.mra[node] == blk
+		mraHit := nd.mraOK && nd.mra == blk
 		if mraHit && !s.opt.DisableMRA {
 			// P2: hit in this and every deeper configuration, for both
 			// associativity 1 and A; FIFO state is unaffected by hits.
@@ -231,7 +335,7 @@ func (s *Simulator) Access(a trace.Access) {
 			return
 		}
 		if !mraHit {
-			lv.missDM++
+			s.missDM[li]++
 		}
 
 		// Decide associativity-A membership.
@@ -244,16 +348,16 @@ func (s *Simulator) Access(a trace.Access) {
 			w := int(parentWave)
 			s.counters.TagComparisons++
 			s.counters.WaveCount++
-			if w < int(lv.fill[node]) && lv.tags[base+w] == blk {
+			if w < int(nd.fill) && lv.tags[base+w] == blk {
 				hitWay = w
 			}
 			decided = true
 		}
-		if !decided && !s.opt.DisableMRE && lv.mreOK[node] {
+		if !decided && !s.opt.DisableMRE && nd.mreOK {
 			// P4: the most recently evicted tag cannot be resident.
 			s.counters.TagComparisons++
 			mreChecked = true
-			if lv.mre[node] == blk {
+			if nd.mre == blk {
 				s.counters.MRECount++
 				decided = true
 				resurrect = true
@@ -264,7 +368,7 @@ func (s *Simulator) Access(a trace.Access) {
 			// MRA-matched case: the tag is resident by the P2 invariant,
 			// but its way is unknown without a search.)
 			s.counters.Searches++
-			for w := 0; w < int(lv.fill[node]); w++ {
+			for w := 0; w < int(nd.fill); w++ {
 				s.counters.TagComparisons++
 				if lv.tags[base+w] == blk {
 					hitWay = w
@@ -279,31 +383,40 @@ func (s *Simulator) Access(a trace.Access) {
 			n = hitWay
 		} else {
 			// Algorithm 2: Handle_miss.
-			lv.missA++
-			if int(lv.fill[node]) < s.assoc {
+			s.missA[li]++
+			if int(nd.fill) < s.assoc {
 				// Cold fill: no eviction, wave pointer unknown.
-				n = int(lv.fill[node])
-				lv.fill[node]++
+				n = int(nd.fill)
+				nd.fill++
 				lv.tags[base+n] = blk
 				lv.wave[base+n] = -1
 			} else {
 				if lv.stamp != nil {
-					// LRU victim: the way with the oldest stamp.
+					// LRU victim: the way with the oldest stamp. A zero
+					// stamp would mark a never-stamped cold way — nothing
+					// can be older, so the scan may stop there. Since the
+					// scan only runs on full sets, whose ways are all
+					// stamped (stamps start at 1), the guard is a safety
+					// bound and a warm miss still pays the full O(A) scan
+					// the package comment documents.
 					n = 0
 					for w := 1; w < s.assoc; w++ {
+						if lv.stamp[base+n] == 0 {
+							break
+						}
 						if lv.stamp[base+w] < lv.stamp[base+n] {
 							n = w
 						}
 					}
 				} else {
-					n = int(lv.head[node])
-					lv.head[node] = int8((n + 1) % s.assoc)
+					n = int(nd.head)
+					nd.head = int8((n + 1) & (s.assoc - 1))
 				}
-				if !s.opt.DisableMRE && !mreChecked && lv.mreOK[node] {
+				if !s.opt.DisableMRE && !mreChecked && nd.mreOK {
 					// Algorithm 2 line 4 when the miss was decided by P3
 					// or a scan: the MRE may still be the requested tag.
 					s.counters.TagComparisons++
-					resurrect = lv.mre[node] == blk
+					resurrect = nd.mre == blk
 				}
 				victimTag := lv.tags[base+n]
 				victimWave := lv.wave[base+n]
@@ -311,16 +424,16 @@ func (s *Simulator) Access(a trace.Access) {
 					// Exchange the victim with the MRE entry, restoring
 					// the requested tag's saved wave pointer.
 					lv.tags[base+n] = blk
-					lv.wave[base+n] = lv.mreWave[node]
-					lv.mre[node] = victimTag
-					lv.mreWave[node] = victimWave
+					lv.wave[base+n] = nd.mreWave
+					nd.mre = victimTag
+					nd.mreWave = victimWave
 				} else {
 					lv.tags[base+n] = blk
 					lv.wave[base+n] = -1
 					if !s.opt.DisableMRE {
-						lv.mre[node] = victimTag
-						lv.mreWave[node] = victimWave
-						lv.mreOK[node] = true
+						nd.mre = victimTag
+						nd.mreWave = victimWave
+						nd.mreOK = true
 					}
 				}
 			}
@@ -333,8 +446,8 @@ func (s *Simulator) Access(a trace.Access) {
 			lv.stamp[base+n] = lv.clock[node]
 		}
 
-		lv.mra[node] = blk
-		lv.mraOK[node] = true
+		nd.mra = blk
+		nd.mraOK = true
 		if parentIdx >= 0 {
 			parentLv.wave[parentIdx] = int8(n)
 		}
@@ -344,18 +457,16 @@ func (s *Simulator) Access(a trace.Access) {
 	}
 }
 
-// Simulate drains the reader through the simulator.
+// Simulate drains the reader through the instrumented per-access path.
+// Reads are batched (trace.BatchReader) so the reader is consulted once
+// per chunk, but every access still flows through Access and maintains
+// the full counter set. For the counter-free fast path use SimulateBatch.
 func (s *Simulator) Simulate(r trace.Reader) error {
-	for {
-		a, err := r.Next()
-		if errors.Is(err, io.EOF) {
-			return nil
+	return trace.Drain(r, func(batch []trace.Access) {
+		for _, a := range batch {
+			s.Access(a)
 		}
-		if err != nil {
-			return err
-		}
-		s.Access(a)
-	}
+	})
 }
 
 // Result pairs one configuration with its exact simulation outcome.
@@ -375,12 +486,12 @@ func (s *Simulator) Results() []Result {
 		if s.assoc > 1 {
 			out = append(out, Result{
 				Config: cache.Config{Sets: sets, Assoc: 1, BlockSize: s.opt.BlockSize},
-				Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.levels[i].missDM},
+				Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.missDM[i]},
 			})
 		}
 		out = append(out, Result{
 			Config: cache.Config{Sets: sets, Assoc: s.assoc, BlockSize: s.opt.BlockSize},
-			Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.levels[i].missA},
+			Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.missA[i]},
 		})
 	}
 	return out
@@ -401,11 +512,11 @@ func (s *Simulator) MissesFor(sets, assoc int) (uint64, error) {
 		return 0, fmt.Errorf("core: set count %d outside simulated range [2^%d, 2^%d]",
 			sets, s.opt.MinLogSets, s.opt.MaxLogSets)
 	}
-	lv := &s.levels[log-s.opt.MinLogSets]
+	li := log - s.opt.MinLogSets
 	if assoc == 1 {
-		return lv.missDM, nil
+		return s.missDM[li], nil
 	}
-	return lv.missA, nil
+	return s.missA[li], nil
 }
 
 // Run builds a Simulator, drains the reader and returns it.

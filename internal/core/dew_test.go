@@ -305,9 +305,9 @@ func TestAssocOneDMEqualsTagList(t *testing.T) {
 	if err := s.Simulate(tr.NewSliceReader()); err != nil {
 		t.Fatal(err)
 	}
-	for li, lv := range s.levels {
-		if lv.missDM != lv.missA {
-			t.Errorf("level %d: direct-mapped misses %d != tag-list misses %d", li, lv.missDM, lv.missA)
+	for li := range s.levels {
+		if s.missDM[li] != s.missA[li] {
+			t.Errorf("level %d: direct-mapped misses %d != tag-list misses %d", li, s.missDM[li], s.missA[li])
 		}
 	}
 }

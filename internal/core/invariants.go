@@ -25,11 +25,11 @@ func (s *Simulator) CheckInvariants() error {
 		nodes := int(lv.mask) + 1
 		for node := 0; node < nodes; node++ {
 			base := node * s.assoc
-			fill := int(lv.fill[node])
+			fill := int(lv.node[node].fill)
 			if fill < 0 || fill > s.assoc {
 				return fmt.Errorf("core: level %d node %d: fill %d out of range", li, node, fill)
 			}
-			if h := lv.head[node]; h < 0 || int(h) >= s.assoc {
+			if h := lv.node[node].head; h < 0 || int(h) >= s.assoc {
 				return fmt.Errorf("core: level %d node %d: head %d out of range", li, node, h)
 			}
 			for w := 0; w < fill; w++ {
@@ -54,7 +54,7 @@ func (s *Simulator) CheckInvariants() error {
 
 			find := func(l *level, n int, b uint64) int {
 				nb := n * s.assoc
-				for w := 0; w < int(l.fill[n]); w++ {
+				for w := 0; w < int(l.node[n].fill); w++ {
 					if l.tags[nb+w] == b {
 						return w
 					}
@@ -62,8 +62,8 @@ func (s *Simulator) CheckInvariants() error {
 				return -1
 			}
 
-			if lv.mraOK[node] {
-				b := lv.mra[node]
+			if lv.node[node].mraOK {
+				b := lv.node[node].mra
 				if find(lv, node, b) < 0 {
 					return fmt.Errorf("core: level %d node %d: MRA %#x not resident", li, node, b)
 				}
@@ -74,16 +74,16 @@ func (s *Simulator) CheckInvariants() error {
 						return fmt.Errorf("core: level %d node %d: MRA %#x maps to child %d off the node's subtree",
 							li, node, b, cn)
 					}
-					if !child.mraOK[cn] || child.mra[cn] != b {
+					if !child.node[cn].mraOK || child.node[cn].mra != b {
 						return fmt.Errorf("core: level %d node %d: MRA chain broken: child node %d MRA %#x (ok=%v), want %#x",
-							li, node, cn, child.mra[cn], child.mraOK[cn], b)
+							li, node, cn, child.node[cn].mra, child.node[cn].mraOK, b)
 					}
 				}
 			}
 
-			if lv.mreOK[node] {
-				if find(lv, node, lv.mre[node]) >= 0 {
-					return fmt.Errorf("core: level %d node %d: MRE %#x still resident", li, node, lv.mre[node])
+			if lv.node[node].mreOK {
+				if find(lv, node, lv.node[node].mre) >= 0 {
+					return fmt.Errorf("core: level %d node %d: MRE %#x still resident", li, node, lv.node[node].mre)
 				}
 			}
 

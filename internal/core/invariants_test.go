@@ -60,19 +60,19 @@ func TestInvariantsCatchCorruption(t *testing.T) {
 	}
 
 	s := build()
-	s.levels[0].fill[0] = int8(s.assoc + 1)
+	s.levels[0].node[0].fill = int8(s.assoc + 1)
 	if err := s.CheckInvariants(); err == nil {
 		t.Error("fill overflow undetected")
 	}
 
 	s = build()
-	s.levels[0].head[0] = 7
+	s.levels[0].node[0].head = 7
 	if err := s.CheckInvariants(); err == nil {
 		t.Error("head overflow undetected")
 	}
 
 	s = build()
-	if s.levels[0].fill[0] < 2 {
+	if s.levels[0].node[0].fill < 2 {
 		t.Fatal("test premise: root set should be full")
 	}
 	s.levels[0].tags[1] = s.levels[0].tags[0]
@@ -81,8 +81,8 @@ func TestInvariantsCatchCorruption(t *testing.T) {
 	}
 
 	s = build()
-	s.levels[0].mra[0] = 0xDEAD
-	s.levels[0].mraOK[0] = true
+	s.levels[0].node[0].mra = 0xDEAD
+	s.levels[0].node[0].mraOK = true
 	if err := s.CheckInvariants(); err == nil {
 		t.Error("non-resident MRA undetected")
 	}
@@ -90,22 +90,22 @@ func TestInvariantsCatchCorruption(t *testing.T) {
 	s = build()
 	// Break the MRA chain: point a child's MRA elsewhere while keeping
 	// the tag resident in the child so only the chain check can fire.
-	if !s.levels[0].mraOK[0] {
+	if !s.levels[0].node[0].mraOK {
 		t.Fatal("test premise: root MRA set")
 	}
-	b := s.levels[0].mra[0]
+	b := s.levels[0].node[0].mra
 	child := &s.levels[1]
 	cn := int(b & child.mask)
 	other := b + 1024 // different tag, same child unlikely; force value
-	child.mra[cn] = other
+	child.node[cn].mra = other
 	if err := s.CheckInvariants(); err == nil {
 		t.Error("broken MRA chain undetected")
 	}
 
 	s = build()
 	// MRE pointing at a resident tag must be caught.
-	s.levels[0].mre[0] = s.levels[0].tags[0]
-	s.levels[0].mreOK[0] = true
+	s.levels[0].node[0].mre = s.levels[0].tags[0]
+	s.levels[0].node[0].mreOK = true
 	if err := s.CheckInvariants(); err == nil {
 		t.Error("resident MRE undetected")
 	}
@@ -115,11 +115,11 @@ func TestInvariantsCatchCorruption(t *testing.T) {
 	lv := &s.levels[0]
 	childLv := &s.levels[1]
 	found := false
-	for w := 0; w < int(lv.fill[0]) && !found; w++ {
+	for w := 0; w < int(lv.node[0].fill) && !found; w++ {
 		bTag := lv.tags[w]
 		cn := int(bTag & childLv.mask)
 		cb := cn * s.assoc
-		for cw := 0; cw < int(childLv.fill[cn]); cw++ {
+		for cw := 0; cw < int(childLv.node[cn].fill); cw++ {
 			if childLv.tags[cb+cw] == bTag {
 				lv.wave[w] = int8((cw + 1) % s.assoc)
 				if int8(cw) != lv.wave[w] {

@@ -13,9 +13,7 @@
 package refsim
 
 import (
-	"errors"
 	"fmt"
-	"io"
 
 	"dew/internal/cache"
 	"dew/internal/trace"
@@ -228,18 +226,17 @@ func (s *Simulator) insert(set int, tag uint64) {
 }
 
 // Simulate drains the reader through the simulator and returns the final
-// statistics.
+// statistics. Reads are batched (trace.BatchReader), so a pass over an
+// in-memory trace or a trace file pays one reader call per
+// trace.DefaultBatchSize accesses; the per-access statistics are
+// unchanged.
 func (s *Simulator) Simulate(r trace.Reader) (Stats, error) {
-	for {
-		a, err := r.Next()
-		if errors.Is(err, io.EOF) {
-			return s.stats, nil
+	err := trace.Drain(r, func(batch []trace.Access) {
+		for _, a := range batch {
+			s.Access(a)
 		}
-		if err != nil {
-			return s.stats, err
-		}
-		s.Access(a)
-	}
+	})
+	return s.stats, err
 }
 
 // Run is a convenience that builds a Simulator and drains the reader.

@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"testing"
+
+	"dew/internal/workload"
+)
+
+// stripTimes zeroes the scheduling-sensitive fields so cells can be
+// compared for exact equality.
+func stripTimes(c Cell) Cell {
+	c.DEWTime, c.RefTime = 0, 0
+	return c
+}
+
+func cellsEquivalent(t *testing.T, label string, a, b Cell) {
+	t.Helper()
+	a, b = stripTimes(a), stripTimes(b)
+	if a.Requests != b.Requests || a.Verified != b.Verified ||
+		a.DEWComparisons != b.DEWComparisons || a.RefComparisons != b.RefComparisons ||
+		a.Counters != b.Counters {
+		t.Fatalf("%s: cells differ:\n%+v\n%+v", label, a, b)
+	}
+	if len(a.Results) != len(b.Results) {
+		t.Fatalf("%s: %d results vs %d", label, len(a.Results), len(b.Results))
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("%s: result %d: %+v vs %+v", label, i, a.Results[i], b.Results[i])
+		}
+	}
+}
+
+// TestRunCellWorkersEquivalence runs one cell serially and with a wide
+// worker pool; everything except wall time must be identical.
+func TestRunCellWorkersEquivalence(t *testing.T) {
+	p := Params{
+		App: workload.G721Dec, Seed: 2, Requests: 15000,
+		BlockSize: 16, Assoc: 4, MaxLogSets: 5,
+	}
+	serial, err := Runner{Workers: 1}.RunCell(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Runner{Workers: 8}.RunCell(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsEquivalent(t, "workers 1 vs 8", serial, parallel)
+	if serial.Verified != 12 {
+		t.Errorf("Verified = %d, want 12", serial.Verified)
+	}
+}
+
+// TestRunCells checks the batched cell runner returns results in params
+// order and identical (modulo timing) to individual RunCell calls.
+func TestRunCells(t *testing.T) {
+	var params []Params
+	for _, app := range []workload.App{workload.CJPEG, workload.DJPEG, workload.G721Enc} {
+		for _, assoc := range []int{2, 4} {
+			params = append(params, Params{
+				App: app, Seed: 1, Requests: 8000,
+				BlockSize: 16, Assoc: assoc, MaxLogSets: 4,
+			})
+		}
+	}
+	r := Runner{Workers: 4}
+	cells, err := r.RunCells(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(params) {
+		t.Fatalf("%d cells, want %d", len(cells), len(params))
+	}
+	for i, p := range params {
+		if cells[i].App.Name != p.App.Name || cells[i].Assoc != p.Assoc {
+			t.Fatalf("cell %d is %s/A%d, want %s/A%d (ordering not deterministic)",
+				i, cells[i].App.Name, cells[i].Assoc, p.App.Name, p.Assoc)
+		}
+		single, err := Runner{Workers: 1}.RunCell(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cellsEquivalent(t, p.String(), single, cells[i])
+	}
+}

@@ -6,10 +6,40 @@
 // times, tag comparisons and DEW's property counters, and cross-checks
 // every configuration's miss count between the two simulators (the
 // paper's exactness verification).
+//
+// # Batching and parallelism
+//
+// A cell materializes its workload trace exactly once; the timed DEW
+// pass, the instrumented DEW pass and every reference pass replay that
+// same read-only trace.Trace. The timed DEW pass takes the counter-free
+// batched fast path (core.AccessBatch over the whole trace), so DEWTime
+// measures pure simulation; the Table 3/4 counters come from a separate,
+// untimed instrumented pass whose per-configuration results must match
+// the fast pass bit for bit — a cell fails if the two paths ever
+// disagree, making every cell an exactness check of the fast path before
+// the reference comparison even starts.
+//
+// Runner.Workers bounds a worker pool. RunCell spreads the independent
+// per-configuration reference passes across it; RunCells spreads whole
+// cells (each cell then running its reference passes serially, so the
+// machine is not oversubscribed). Result ordering is deterministic
+// either way — outputs land in slices indexed by configuration or cell,
+// never in completion order, and exactness verification is unaffected
+// because every pass replays the same shared trace. Only the wall-time
+// fields are scheduling-sensitive: each reference pass is timed
+// individually, so RefTime remains the *summed* single-pass cost the
+// paper reports, but under Workers > 1 those passes contend for memory
+// bandwidth and the sum can drift upward. Benchmarking runs that feed
+// Table 3 should therefore use Workers = 1 — the experiments CLI's
+// -workers flag defaults to exactly that — while correctness-focused
+// runs can use all cores (-workers 0).
 package sweep
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dew/internal/cache"
@@ -85,8 +115,22 @@ func (c Cell) ComparisonReduction() float64 {
 
 // Runner executes comparison cells.
 type Runner struct {
-	// Logf, when non-nil, receives progress lines.
+	// Logf, when non-nil, receives progress lines. Calls are serialized.
 	Logf func(format string, args ...interface{})
+
+	// Workers bounds the worker pool used for the independent passes of
+	// a run: the per-configuration reference passes inside RunCell, and
+	// whole cells inside RunCells. 0 means GOMAXPROCS; 1 runs serially,
+	// which is what timing-faithful Table 3 runs should use (see the
+	// package comment).
+	Workers int
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (r Runner) logf(format string, args ...interface{}) {
@@ -95,10 +139,12 @@ func (r Runner) logf(format string, args ...interface{}) {
 	}
 }
 
-// RunCell materializes the trace, times one DEW pass against
-// per-configuration reference passes, and verifies exactness. It returns
-// an error if any configuration's miss counts disagree — which would
-// falsify the simulator, so it is checked on every run.
+// RunCell materializes the workload trace once, times one DEW pass
+// against per-configuration reference passes — every pass replaying the
+// same in-memory trace, so RefTime measures simulation and not trace
+// regeneration — and verifies exactness. It returns an error if any
+// configuration's miss counts disagree — which would falsify the
+// simulator, so it is checked on every run.
 func (r Runner) RunCell(p Params) (Cell, error) {
 	n := p.Requests
 	if n == 0 {
@@ -122,43 +168,151 @@ func (r Runner) runCellOn(p Params, tr trace.Trace) (Cell, error) {
 		MinLogSets: 0, MaxLogSets: p.MaxLogSets,
 		Assoc: p.Assoc, BlockSize: p.BlockSize,
 	}
-	dew, err := core.New(opt)
+
+	// Timed pass: the counter-free batched fast path over the whole
+	// materialized trace — what DEWTime reports.
+	fast, err := core.New(opt)
 	if err != nil {
 		return cell, err
 	}
 	start := time.Now()
+	fast.AccessBatch(tr)
+	cell.DEWTime = time.Since(start)
+	cell.Results = fast.Results()
+
+	// Instrumented pass (untimed): supplies the Table 3/4 counters and
+	// doubles as the fast path's exactness check — the two paths must
+	// agree bit for bit on every configuration.
+	dew, err := core.New(opt)
+	if err != nil {
+		return cell, err
+	}
 	if err := dew.Simulate(tr.NewSliceReader()); err != nil {
 		return cell, err
 	}
-	cell.DEWTime = time.Since(start)
 	cell.Counters = dew.Counters()
 	cell.UnoptimizedEvaluations = dew.UnoptimizedEvaluations()
 	cell.DEWComparisons = cell.Counters.TagComparisons
-	cell.Results = dew.Results()
-
-	// Reference baseline: one pass per configuration, Dinero-style.
-	for _, res := range cell.Results {
-		sim, err := refsim.New(res.Config, cache.FIFO)
-		if err != nil {
-			return cell, err
+	for i, res := range dew.Results() {
+		if res != cell.Results[i] {
+			return cell, fmt.Errorf("sweep: fast-path divergence at %v: batched %+v, instrumented %+v",
+				res.Config, cell.Results[i], res)
 		}
-		start := time.Now()
-		stats, err := sim.Simulate(tr.NewSliceReader())
-		if err != nil {
-			return cell, err
-		}
-		cell.RefTime += time.Since(start)
-		cell.RefComparisons += stats.TagComparisons
+	}
 
-		if stats.Misses != res.Misses {
+	// Reference baseline: one pass per configuration, Dinero-style, all
+	// replaying the shared read-only trace across the worker pool.
+	// Outputs are indexed by configuration, so ordering (and therefore
+	// every field of the Cell) is deterministic regardless of
+	// scheduling; only wall-time contention varies with Workers.
+	type refOut struct {
+		dur   time.Duration
+		stats refsim.Stats
+		err   error
+	}
+	outs := make([]refOut, len(cell.Results))
+	workers := r.workers()
+	if workers > len(cell.Results) {
+		workers = len(cell.Results)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sim, err := refsim.New(cell.Results[i].Config, cache.FIFO)
+				if err != nil {
+					outs[i].err = err
+					continue
+				}
+				start := time.Now()
+				stats, err := sim.Simulate(tr.NewSliceReader())
+				outs[i] = refOut{dur: time.Since(start), stats: stats, err: err}
+			}
+		}()
+	}
+	for i := range cell.Results {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, res := range cell.Results {
+		if outs[i].err != nil {
+			return cell, outs[i].err
+		}
+		cell.RefTime += outs[i].dur
+		cell.RefComparisons += outs[i].stats.TagComparisons
+		if outs[i].stats.Misses != res.Misses {
 			return cell, fmt.Errorf("sweep: exactness violation at %v: DEW %d misses, reference %d",
-				res.Config, res.Misses, stats.Misses)
+				res.Config, res.Misses, outs[i].stats.Misses)
 		}
 		cell.Verified++
 	}
 	r.logf("%s: %d requests, speedup %.1fx, comparisons -%.1f%%",
 		p, cell.Requests, cell.Speedup(), cell.ComparisonReduction())
 	return cell, nil
+}
+
+// RunCells executes independent cells across the worker pool and returns
+// their results in params order. Each cell runs its reference passes
+// serially (the cells themselves are the unit of parallelism here). The
+// first error — e.g. an exactness violation, which falsifies everything
+// else — stops further cells from being dispatched; cells already in
+// flight finish, and the first error in params order is returned. Logf
+// output is serialized by the per-cell runner but may interleave across
+// cells.
+func (r Runner) RunCells(params []Params) ([]Cell, error) {
+	cells := make([]Cell, len(params))
+	errs := make([]error, len(params))
+	var failed atomic.Bool
+
+	inner := r
+	inner.Workers = 1
+	var logMu sync.Mutex
+	if r.Logf != nil {
+		inner.Logf = func(format string, args ...interface{}) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			r.Logf(format, args...)
+		}
+	}
+
+	workers := r.workers()
+	if workers > len(params) {
+		workers = len(params)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				cells[i], errs[i] = inner.RunCell(params[i])
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range params {
+		if failed.Load() {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return cells, err
+		}
+	}
+	return cells, nil
 }
 
 // Table3Params enumerates the paper's Table 3 cells: every app × block

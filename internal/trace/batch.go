@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"errors"
+	"io"
+)
+
+// DefaultBatchSize is the chunk size the batched pipeline uses when it
+// has to pick one: large enough to amortize interface dispatch and
+// decoder state over thousands of accesses, small enough that a batch of
+// Access values (16 bytes each) stays comfortably inside the L2 cache.
+const DefaultBatchSize = 4096
+
+// BatchReader streams accesses in bulk. ReadBatch fills dst with up to
+// len(dst) accesses and returns how many it read. Like io.Reader, it may
+// return n > 0 together with a non-nil error; callers must consume
+// dst[:n] before acting on the error. After the final access has been
+// delivered, ReadBatch returns (0, io.EOF) — implementations in this
+// package never pair a positive count with io.EOF.
+//
+// Batching exists purely for throughput: one interface call decodes
+// thousands of accesses, instead of one dynamic dispatch (and, for the
+// file formats, one decoder-state round trip) per access.
+type BatchReader interface {
+	ReadBatch(dst []Access) (int, error)
+}
+
+// Batch adapts any Reader to a BatchReader. Readers that already
+// implement BatchReader (SliceReader, DinReader, BinReader, the workload
+// stream) are returned unchanged; everything else is wrapped in an
+// adapter that gathers Next calls into batches.
+func Batch(r Reader) BatchReader {
+	if br, ok := r.(BatchReader); ok {
+		return br
+	}
+	return &batchAdapter{r: r}
+}
+
+// batchAdapter turns a plain Reader into a BatchReader by looping Next.
+// It removes the per-access dispatch from the *consumer*'s hot loop; the
+// per-access call survives inside the adapter.
+type batchAdapter struct {
+	r Reader
+}
+
+// ReadBatch implements BatchReader.
+func (b *batchAdapter) ReadBatch(dst []Access) (int, error) {
+	for n := range dst {
+		a, err := b.r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) && n > 0 {
+				return n, nil
+			}
+			return n, err
+		}
+		dst[n] = a
+	}
+	return len(dst), nil
+}
+
+// Drain feeds every access from r to fn in DefaultBatchSize chunks,
+// reusing one buffer. It is the shared driving loop of the batched
+// simulators: fn is called with each non-empty chunk in stream order.
+func Drain(r Reader, fn func([]Access)) error {
+	br := Batch(r)
+	buf := make([]Access, DefaultBatchSize)
+	for {
+		n, err := br.ReadBatch(buf)
+		if n > 0 {
+			fn(buf[:n])
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func batchTestTrace(n int) Trace {
+	tr := make(Trace, n)
+	for i := range tr {
+		tr[i] = Access{Addr: uint64(i*61) % 4096, Kind: Kind(i % 3)}
+	}
+	return tr
+}
+
+// drainBatched collects everything a BatchReader yields using a small
+// destination buffer, exercising partial final batches.
+func drainBatched(t *testing.T, br BatchReader, dst int) Trace {
+	t.Helper()
+	var out Trace
+	buf := make([]Access, dst)
+	for {
+		n, err := br.ReadBatch(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("ReadBatch: %v", err)
+			}
+			if n != 0 {
+				t.Fatalf("ReadBatch returned %d accesses together with io.EOF", n)
+			}
+			return out
+		}
+		if n == 0 {
+			t.Fatal("ReadBatch returned 0, nil")
+		}
+	}
+}
+
+func assertTraceEqual(t *testing.T, label string, want, got Trace) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d accesses, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: access %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestReadBatchMatchesNext checks every BatchReader implementation
+// against the access-at-a-time stream of the same source.
+func TestReadBatchMatchesNext(t *testing.T) {
+	want := batchTestTrace(1000)
+
+	var din strings.Builder
+	dw := NewDinWriter(&din)
+	var bin bytes.Buffer
+	bw := NewBinWriter(&bin)
+	for _, a := range want {
+		if err := dw.WriteAccess(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.WriteAccess(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dst := range []int{1, 3, 256, 1000, 5000} {
+		cases := map[string]BatchReader{
+			"slice":   want.NewSliceReader(),
+			"din":     NewDinReader(strings.NewReader(din.String())),
+			"binary":  NewBinReader(bytes.NewReader(bin.Bytes())),
+			"adapter": Batch(FuncReader(want.NewSliceReader().Next)),
+		}
+		for name, br := range cases {
+			got := drainBatched(t, br, dst)
+			assertTraceEqual(t, name, want, got)
+		}
+	}
+}
+
+// TestBatchPassesThrough confirms Batch does not re-wrap readers that
+// already batch.
+func TestBatchPassesThrough(t *testing.T) {
+	sr := batchTestTrace(4).NewSliceReader()
+	if br := Batch(sr); br != BatchReader(sr) {
+		t.Errorf("Batch(*SliceReader) = %T, want the reader itself", br)
+	}
+}
+
+// TestReadBatchEmpty checks the EOF contract on empty sources.
+func TestReadBatchEmpty(t *testing.T) {
+	buf := make([]Access, 8)
+	for name, br := range map[string]BatchReader{
+		"slice":   Trace{}.NewSliceReader(),
+		"adapter": Batch(FuncReader(func() (Access, error) { return Access{}, io.EOF })),
+	} {
+		n, err := br.ReadBatch(buf)
+		if n != 0 || !errors.Is(err, io.EOF) {
+			t.Errorf("%s: ReadBatch = (%d, %v), want (0, io.EOF)", name, n, err)
+		}
+	}
+}
+
+// TestBatchAdapterError checks that a mid-stream decode error surfaces
+// after the accesses read before it.
+func TestBatchAdapterError(t *testing.T) {
+	fail := errors.New("boom")
+	calls := 0
+	r := FuncReader(func() (Access, error) {
+		calls++
+		if calls > 3 {
+			return Access{}, fail
+		}
+		return Access{Addr: uint64(calls)}, nil
+	})
+	buf := make([]Access, 8)
+	n, err := Batch(r).ReadBatch(buf)
+	if n != 3 || !errors.Is(err, fail) {
+		t.Fatalf("ReadBatch = (%d, %v), want (3, boom)", n, err)
+	}
+}
+
+// TestDrain checks chunked delivery preserves order and length.
+func TestDrain(t *testing.T) {
+	want := batchTestTrace(DefaultBatchSize + 123)
+	var got Trace
+	if err := Drain(want.NewSliceReader(), func(b []Access) {
+		got = append(got, b...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	assertTraceEqual(t, "drain", want, got)
+}
+
+// TestReadAllBatched confirms ReadAll (now batched) still round-trips.
+func TestReadAllBatched(t *testing.T) {
+	want := batchTestTrace(777)
+	got, err := ReadAll(want.NewSliceReader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTraceEqual(t, "readall", want, got)
+}

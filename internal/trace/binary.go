@@ -127,3 +127,20 @@ func (b *BinReader) Next() (Access, error) {
 	b.prev[kind] = addr
 	return Access{Addr: addr, Kind: kind}, nil
 }
+
+// ReadBatch implements BatchReader: it decodes up to len(dst) accesses
+// with one call, keeping the delta/varint decoder state hot across the
+// whole batch instead of crossing an interface boundary per access.
+func (b *BinReader) ReadBatch(dst []Access) (int, error) {
+	for n := range dst {
+		a, err := b.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) && n > 0 {
+				return n, nil
+			}
+			return n, err
+		}
+		dst[n] = a
+	}
+	return len(dst), nil
+}

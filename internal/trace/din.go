@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -57,6 +58,23 @@ func (d *DinReader) Next() (Access, error) {
 		return Access{}, err
 	}
 	return Access{}, io.EOF
+}
+
+// ReadBatch implements BatchReader: it decodes up to len(dst) lines with
+// one call, so consumers pay one dynamic dispatch per batch instead of
+// one per line.
+func (d *DinReader) ReadBatch(dst []Access) (int, error) {
+	for n := range dst {
+		a, err := d.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) && n > 0 {
+				return n, nil
+			}
+			return n, err
+		}
+		dst[n] = a
+	}
+	return len(dst), nil
 }
 
 // DinWriter encodes accesses in the .din format.

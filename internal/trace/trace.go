@@ -95,23 +95,32 @@ func (r *SliceReader) Next() (Access, error) {
 	return a, nil
 }
 
+// ReadBatch implements BatchReader with a bulk copy from the backing
+// slice.
+func (r *SliceReader) ReadBatch(dst []Access) (int, error) {
+	if r.pos >= len(r.trace) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.trace[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
 // Reset rewinds the reader to the first access.
 func (r *SliceReader) Reset() { r.pos = 0 }
 
 // ReadAll drains a Reader into a Trace. It fails on any error other than
-// io.EOF.
+// io.EOF. Reads go through the batched path, so decoding a large trace
+// file pays one interface call per DefaultBatchSize accesses.
 func ReadAll(r Reader) (Trace, error) {
 	var t Trace
-	for {
-		a, err := r.Next()
-		if errors.Is(err, io.EOF) {
-			return t, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		t = append(t, a)
+	err := Drain(r, func(batch []Access) {
+		t = append(t, batch...)
+	})
+	if err != nil {
+		return nil, err
 	}
+	return t, nil
 }
 
 // Copy streams every access from r to w and returns the number copied.

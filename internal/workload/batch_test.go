@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"dew/internal/trace"
+)
+
+// TestStreamReadBatch checks the batched stream against the
+// access-at-a-time stream of an identically seeded generator, across
+// batch sizes that divide the stream unevenly.
+func TestStreamReadBatch(t *testing.T) {
+	const n = 10_000
+	want, err := trace.ReadAll(Stream(CJPEG.Generator(9), n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != n {
+		t.Fatalf("stream yielded %d accesses, want %d", len(want), n)
+	}
+
+	for _, dst := range []int{1, 3, 4096, 2 * n} {
+		r := Stream(CJPEG.Generator(9), n).(*StreamReader)
+		var got trace.Trace
+		buf := make([]trace.Access, dst)
+		for {
+			k, err := r.ReadBatch(buf)
+			got = append(got, buf[:k]...)
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("dst=%d: %d accesses, want %d", dst, len(got), n)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("dst=%d: access %d = %+v, want %+v", dst, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStreamExhaustion checks both read paths agree on the stream bound.
+func TestStreamExhaustion(t *testing.T) {
+	r := Stream(DJPEG.Generator(1), 2)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after bound = %v, want io.EOF", err)
+	}
+	br := Stream(DJPEG.Generator(1), 0).(*StreamReader)
+	if n, err := br.ReadBatch(make([]trace.Access, 4)); n != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("ReadBatch on empty stream = (%d, %v), want (0, io.EOF)", n, err)
+	}
+}

@@ -16,16 +16,44 @@ type Generator interface {
 }
 
 // Stream adapts a Generator to a trace.Reader that yields exactly n
-// accesses.
+// accesses. The returned reader also implements trace.BatchReader, so
+// batched consumers pull thousands of accesses per call and pay the
+// Generator interface dispatch inside one tight loop instead of
+// crossing two interface boundaries per access.
 func Stream(g Generator, n uint64) trace.Reader {
-	remaining := n
-	return trace.FuncReader(func() (trace.Access, error) {
-		if remaining == 0 {
-			return trace.Access{}, io.EOF
-		}
-		remaining--
-		return g.Next(), nil
-	})
+	return &StreamReader{g: g, remaining: n}
+}
+
+// StreamReader is the reader Stream returns: a Generator bounded to a
+// fixed access count, readable one access at a time or in batches.
+type StreamReader struct {
+	g         Generator
+	remaining uint64
+}
+
+// Next implements trace.Reader.
+func (s *StreamReader) Next() (trace.Access, error) {
+	if s.remaining == 0 {
+		return trace.Access{}, io.EOF
+	}
+	s.remaining--
+	return s.g.Next(), nil
+}
+
+// ReadBatch implements trace.BatchReader.
+func (s *StreamReader) ReadBatch(dst []trace.Access) (int, error) {
+	if s.remaining == 0 {
+		return 0, io.EOF
+	}
+	n := len(dst)
+	if uint64(n) > s.remaining {
+		n = int(s.remaining)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = s.g.Next()
+	}
+	s.remaining -= uint64(n)
+	return n, nil
 }
 
 // Take materializes the first n accesses of g.

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# bench.sh — record the core perf trajectory.
+#
+# Runs the single-vs-batch access benchmarks and writes:
+#   BENCH_core.txt   raw `go test -bench` output (benchstat input)
+#   BENCH_core.json  summary with means, batch-over-single speedups and
+#                    speedups against the committed seed baseline
+#
+# Environment:
+#   COUNT  benchmark repetitions per name (default 5)
+#   OUT    output basename (default BENCH_core)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+OUT="${OUT:-BENCH_core}"
+REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+go test -run '^$' -bench 'BenchmarkAccess(Single|Batch)$' -benchmem -count "$COUNT" . | tee "$OUT.txt"
+
+go run ./scripts/benchjson -baseline scripts/seed_baseline.json -rev "$REV" \
+    < "$OUT.txt" > "$OUT.json"
+
+echo "wrote $OUT.txt and $OUT.json"

@@ -1,0 +1,186 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// benchstat-compatible JSON summary the repository tracks as
+// BENCH_core.json: per-benchmark run lists and means, plus derived
+// batch-over-single speedups and — when a seed baseline file is given —
+// speedups against the seed commit's single-access path.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkAccess(Single|Batch)$' . |
+//	    go run ./scripts/benchjson -baseline scripts/seed_baseline.json > BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// run is one benchmark line's measurements.
+type run struct {
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerAccess float64 `json:"ns_per_access,omitempty"`
+}
+
+// series aggregates every run of one benchmark name.
+type series struct {
+	Runs               []run   `json:"runs"`
+	NsPerOpMean        float64 `json:"ns_per_op_mean"`
+	NsPerAccessMean    float64 `json:"ns_per_access_mean,omitempty"`
+	NsPerAccessFastest float64 `json:"ns_per_access_fastest,omitempty"`
+}
+
+type output struct {
+	Generated  string             `json:"generated"`
+	Go         string             `json:"go"`
+	GitRev     string             `json:"git_rev,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks map[string]*series `json:"benchmarks"`
+	// SpeedupBatchOverSingle is ns_per_access(Single)/ns_per_access(Batch)
+	// per workload, both measured in this tree.
+	SpeedupBatchOverSingle map[string]float64 `json:"speedup_batch_over_single,omitempty"`
+	// SeedBaseline echoes the committed baseline measurements of the
+	// seed commit's single-access path.
+	SeedBaseline json.RawMessage `json:"seed_baseline,omitempty"`
+	// SpeedupVsSeed is seed ns_per_access / batch ns_per_access per
+	// workload the baseline covers.
+	SpeedupVsSeed map[string]float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+// baseline mirrors scripts/seed_baseline.json.
+type baseline struct {
+	NsPerAccess map[string]float64 `json:"ns_per_access"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "path to the seed baseline JSON (optional)")
+	gitRev := flag.String("rev", "", "git revision to record (optional)")
+	flag.Parse()
+
+	out := output{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Go:         runtime.Version(),
+		GitRev:     *gitRev,
+		Benchmarks: map[string]*series{},
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			out.CPU = cpu
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		r := run{Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = val
+			case "ns/access":
+				r.NsPerAccess = val
+			}
+		}
+		s := out.Benchmarks[name]
+		if s == nil {
+			s = &series{}
+			out.Benchmarks[name] = s
+		}
+		s.Runs = append(s.Runs, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	for _, s := range out.Benchmarks {
+		var opSum, accSum float64
+		for _, r := range s.Runs {
+			opSum += r.NsPerOp
+			accSum += r.NsPerAccess
+			if r.NsPerAccess > 0 && (s.NsPerAccessFastest == 0 || r.NsPerAccess < s.NsPerAccessFastest) {
+				s.NsPerAccessFastest = r.NsPerAccess
+			}
+		}
+		s.NsPerOpMean = opSum / float64(len(s.Runs))
+		s.NsPerAccessMean = accSum / float64(len(s.Runs))
+	}
+
+	// Pair Single/Batch sub-benchmarks by workload suffix.
+	out.SpeedupBatchOverSingle = map[string]float64{}
+	for name, s := range out.Benchmarks {
+		app, ok := strings.CutPrefix(name, "BenchmarkAccessBatch/")
+		if !ok || s.NsPerAccessMean <= 0 {
+			continue
+		}
+		if single, ok := out.Benchmarks["BenchmarkAccessSingle/"+app]; ok && single.NsPerAccessMean > 0 {
+			out.SpeedupBatchOverSingle[app] = round2(single.NsPerAccessMean / s.NsPerAccessMean)
+		}
+	}
+
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base baseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *baselinePath, err)
+			os.Exit(1)
+		}
+		out.SeedBaseline = json.RawMessage(raw)
+		out.SpeedupVsSeed = map[string]float64{}
+		apps := make([]string, 0, len(base.NsPerAccess))
+		for app := range base.NsPerAccess {
+			apps = append(apps, app)
+		}
+		sort.Strings(apps)
+		for _, app := range apps {
+			if batch, ok := out.Benchmarks["BenchmarkAccessBatch/"+app]; ok && batch.NsPerAccessMean > 0 {
+				out.SpeedupVsSeed[app] = round2(base.NsPerAccess[app] / batch.NsPerAccessMean)
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func round2(f float64) float64 {
+	return float64(int(f*100+0.5)) / 100
+}
