@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench fuzz
+.PHONY: all build test vet bench fuzz race
 
 all: build vet test
 
@@ -17,7 +17,14 @@ vet:
 bench:
 	./scripts/bench.sh
 
+# race runs the packages that share materialized streams across
+# goroutines under the race detector.
+race:
+	$(GO) test -race ./internal/sweep ./internal/explore
+
 # fuzz gives each fuzz target a short budget beyond its seed corpus.
 fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzBatchEquivalence -fuzztime 20s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzStreamEquivalence -fuzztime 20s
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzExactness -fuzztime 20s
+	$(GO) test ./internal/lrutree -run '^$$' -fuzz FuzzFastEquivalence -fuzztime 20s

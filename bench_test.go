@@ -1,7 +1,9 @@
 package dew
 
 // One benchmark per table and figure of the paper's evaluation section,
-// plus ablation benchmarks for the design choices DESIGN.md calls out.
+// plus ablation benchmarks for the DEW properties and the perf
+// trajectory of the access pipeline (single vs batch vs stream; see
+// README.md).
 // The figure benchmarks report the paper's derived metrics
 // (speedup, comparison reduction) via b.ReportMetric, so
 // `go test -bench=. -benchmem` regenerates every headline number in
@@ -140,6 +142,33 @@ func BenchmarkAccessBatch(b *testing.B) {
 				sim.AccessBatch(tr)
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr)), "ns/access")
+		})
+	}
+}
+
+// BenchmarkAccessStream measures the run-compressed stream fast path
+// over the same workloads and pass shape as BenchmarkAccessBatch. The
+// stream is materialized once outside the timed region — exactly how
+// the sweep and explore layers amortize it across a whole design space —
+// and the addr/run metric records the measured run-compression ratio.
+func BenchmarkAccessStream(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			tr := benchTrace(b, app)
+			bs, err := tr.BlockStream(benchAccessOpt.BlockSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim := core.MustNew(benchAccessOpt)
+				if err := sim.SimulateStream(bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr)), "ns/access")
+			b.ReportMetric(bs.CompressionRatio(), "addr/run")
 		})
 	}
 }
@@ -323,8 +352,8 @@ func BenchmarkFigure6ComparisonReduction(b *testing.B) {
 }
 
 // BenchmarkAblation quantifies each DEW property's contribution by
-// disabling them one at a time (and all together), the ablation DESIGN.md
-// calls out. Compare ns/op and cmp/access across sub-benchmarks.
+// disabling them one at a time (and all together). Compare ns/op and
+// cmp/access across sub-benchmarks.
 func BenchmarkAblation(b *testing.B) {
 	variants := []struct {
 		name string

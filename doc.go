@@ -4,29 +4,53 @@
 //
 // The library simulates many level-1 cache configurations exactly, in a
 // single pass over a memory-address trace, for caches using the FIFO
-// replacement policy. See README.md for the architecture overview,
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record. The root package carries the repository-wide
-// benchmark harness (bench_test.go), one benchmark per table and figure
-// of the paper's evaluation.
+// replacement policy. See README.md for the architecture overview and
+// package map. The root package carries the repository-wide benchmark
+// harness (bench_test.go), one benchmark per table and figure of the
+// paper's evaluation.
 //
-// # Batching and parallelism
+// # Batching, streams and parallelism
 //
 // The pipeline moves accesses in bulk end to end. Every trace source —
 // the in-memory trace, the .din text and DTB1 binary decoders, the
 // workload generator stream — implements trace.BatchReader, delivering
 // trace.DefaultBatchSize accesses per call; trace.Batch adapts any plain
-// Reader. On the consuming side core.Simulator offers two equivalent
-// paths: the instrumented Access/Simulate path that maintains the full
-// Table 3/4 counter set, and the counter-free AccessBatch/SimulateBatch
-// fast path, bit-identical in results and verified so on every
-// sweep.RunCell (≥1.5× the seed's single-access throughput; the
+// Reader.
+//
+// Above batching sits the columnar stream frontend: trace.BlockStream
+// materializes a trace once per block size into run-length-compressed
+// columns (block IDs plus run weights, consecutive same-block accesses
+// collapsed). A materialized stream is immutable and shared — the sweep
+// and explore layers hand one stream to every simulator pass, worker and
+// reference replay that needs that block size, so the per-access decode
+// and shift work is paid once per block size instead of once per pass.
+// Replaying weighted runs is exact: a repeated block address is a
+// most-recently-accessed hit in every configuration containing it
+// (Property 2 in the DEW core, same-block pruning in the LRU tree, a
+// plain hit in the reference simulator), and such hits change no
+// replacement state, so run weights fold arithmetically into the access
+// counters.
+//
+// On the consuming side core.Simulator offers equivalent paths with
+// different instrumentation: the instrumented Access/Simulate path that
+// maintains the full Table 3/4 counter set, the counter-free
+// AccessBatch/SimulateBatch fast path, and the fastest
+// AccessRuns/SimulateStream stream path, which consumes block IDs
+// directly — no per-access struct loads or shifts — and sheds the
+// wave-pointer and MRE bookkeeping (work-saving state, not result
+// state, reset to a sound "unknown" afterwards). All paths are
+// bit-identical in results, verified on every sweep.RunCell and fuzzed
+// against each other (≥1.3× the batched path and ≥2× the seed's
+// single-access throughput on the sequential-fetch workloads; the
 // trajectory is recorded in BENCH_core.json by scripts/bench.sh).
+// lrutree mirrors the same instrumented/fast/stream split for the LRU
+// tree.
+//
 // Independent passes parallelize above the core: sweep.Runner.Workers
 // spreads reference passes and whole cells across a worker pool with
 // deterministic result ordering, and package explore does the same for
 // design-space DEW passes — exactness verification is unaffected because
-// every pass replays the same materialized read-only trace; only wall
+// every pass replays the same materialized read-only stream; only wall
 // times are scheduling-sensitive (use one worker for timing-faithful
 // Table 3 runs).
 package dew

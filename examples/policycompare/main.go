@@ -5,7 +5,12 @@
 // FIFO caches are not inclusive across set counts, LRU caches are.
 //
 // It uses both single-pass multi-configuration simulators side by side:
-// the DEW core for FIFO and the Janapsatya/CRCB-style tree for LRU.
+// the DEW core for FIFO and the Janapsatya/CRCB-style tree for LRU. The
+// trace is materialized into one run-compressed block stream per app and
+// the *same* stream is replayed by both simulators — the stream frontend
+// shares the decode-and-shift work across the whole design space, and
+// both fast paths fold run weights exactly (DEW's Property 2, the tree's
+// same-block pruning).
 //
 // Run with:
 //
@@ -36,20 +41,22 @@ func main() {
 	for _, app := range workload.Apps() {
 		tr := workload.Take(app.Generator(seed), requests)
 
-		fifo, err := core.Run(
-			core.Options{MaxLogSets: maxLog, Assoc: assoc, BlockSize: block},
-			tr.NewSliceReader())
-		if err != nil {
-			log.Fatal(err)
-		}
-		lru, err := lrutree.Run(
-			lrutree.Options{MaxLogSets: maxLog, Assoc: assoc, BlockSize: block},
-			tr.NewSliceReader())
+		// One materialization, shared by both simulators.
+		stream, err := tr.BlockStream(block)
 		if err != nil {
 			log.Fatal(err)
 		}
 
-		fmt.Printf("%s:\n", app.Name)
+		fifo := core.MustNew(core.Options{MaxLogSets: maxLog, Assoc: assoc, BlockSize: block})
+		if err := fifo.SimulateStream(stream); err != nil {
+			log.Fatal(err)
+		}
+		lru := lrutree.MustNew(lrutree.Options{MaxLogSets: maxLog, Assoc: assoc, BlockSize: block})
+		if err := lru.SimulateStream(stream); err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s (stream %.1fx run-compressed):\n", app.Name, stream.CompressionRatio())
 		fmt.Printf("  %8s %12s %12s %8s\n", "sets", "FIFO misses", "LRU misses", "winner")
 		for _, sets := range []int{16, 64, 256, 1024} {
 			f, err := fifo.MissesFor(sets, assoc)

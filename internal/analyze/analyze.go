@@ -4,7 +4,7 @@
 // produces a synthetic clone with similar cache behaviour.
 //
 // This closes the loop on the repository's SimpleScalar substitution
-// (DESIGN.md §5): given any real trace in .din/.dtb form, Analyze +
+// (see package workload): given any real trace in .din/.dtb form, Analyze +
 // workload.NewClone yields a compact, shareable synthetic stand-in, the
 // standard methodology for distributing cache workloads when the
 // original traces are too large or proprietary.

@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 
 	"dew/internal/cache"
 	"dew/internal/energy"
@@ -93,8 +95,17 @@ func Explore(env Env, args []string) error {
 		return tbl.RenderCSV(env.Stdout)
 	}
 
-	fmt.Fprintf(env.Stdout, "explored %d configurations with %d DEW passes (%d tag comparisons)\n\n",
-		len(res.Stats), res.Passes, res.Comparisons)
+	blocks := make([]int, 0, len(res.StreamCompression))
+	for b := range res.StreamCompression {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	var comp []string
+	for _, b := range blocks {
+		comp = append(comp, fmt.Sprintf("B%d %.1fx", b, res.StreamCompression[b]))
+	}
+	fmt.Fprintf(env.Stdout, "explored %d configurations with %d DEW passes over %d shared block streams (run compression: %s)\n\n",
+		len(res.Stats), res.Passes, len(blocks), strings.Join(comp, ", "))
 
 	candidates := res.Stats
 	if *maxSize > 0 {

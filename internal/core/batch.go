@@ -36,11 +36,17 @@ func (s *Simulator) AccessBatch(batch []trace.Access) {
 		s.accessFast(blk)
 	}
 	s.lastBlk, s.lastOK = prev, ok
+	s.foldExitHist()
+}
 
-	// Fold the batch's exit-depth histogram into missDM: an exit at
-	// depth d means the walk MRA-missed (and so direct-mapped-missed)
-	// levels 0..d-1. Memoized skips are level-0 exits and contribute to
-	// no level, so they need no histogram entry at all.
+// foldExitHist folds the pending exit-depth histogram into missDM: an
+// exit at depth d means the walk MRA-missed (and so
+// direct-mapped-missed) levels 0..d-1. Memoized skips and folded run
+// weights are level-0 exits and contribute to no level, so they need no
+// histogram entry at all. Called at the end of every counter-free batch
+// or stream chunk, so missDM is current whenever no fast-path entry
+// point is running.
+func (s *Simulator) foldExitHist() {
 	var suffix uint64
 	for li := len(s.exitHist) - 1; li >= 1; li-- {
 		suffix += s.exitHist[li]
@@ -104,7 +110,7 @@ func (s *Simulator) accessFast(blk uint64) {
 		// Direct-mapped check, doubling as Property 2. nd is one packed
 		// record, so the usual outcome of a level — MRA hit, return — is
 		// decided from a single cache line.
-		if nd.mra == blk && nd.mraOK {
+		if nd.mra == blk && nd.fill > 0 {
 			// P2: hit here and at every deeper level; FIFO and LRU state
 			// are unaffected by hits, so the walk stops. The exit depth
 			// stands in for the per-level missDM increments (see
@@ -218,7 +224,6 @@ func (s *Simulator) accessFast(blk uint64) {
 		}
 
 		nd.mra = blk
-		nd.mraOK = true
 		wave[parentIdx] = int8(n)
 		parentWave = wave[base+n]
 		parentIdx = base + n

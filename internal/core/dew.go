@@ -116,11 +116,13 @@ type Options struct {
 	DisableWave bool
 	DisableMRE  bool
 
-	// Instrument forces the batched entry points (AccessBatch,
-	// SimulateBatch) onto the instrumented per-access path, maintaining
-	// the full Counters set exactly as Access does. When false (the
-	// default) and no property is disabled, AccessBatch takes the
-	// counter-free fast path: identical Results, but only
+	// Instrument forces the batched and stream entry points
+	// (AccessBatch, SimulateBatch, AccessRuns, SimulateStream) onto the
+	// instrumented path, maintaining the full Counters set exactly as
+	// Access does (the stream entry points fold run weights into the
+	// level-0 MRA counters arithmetically; see AccessRuns). When false
+	// (the default) and no property is disabled, they take the
+	// counter-free fast paths: identical Results, but only
 	// Counters.Accesses is maintained. Access and Simulate are always
 	// instrumented — they are the Table 3/4 measurement path.
 	Instrument bool
@@ -163,14 +165,25 @@ func (o Options) Levels() int { return o.MaxLogSets - o.MinLogSets + 1 }
 // of the hot walk — which usually ends at the MRA comparison — touches
 // one cache line, not seven.
 type nodeState struct {
+	// Field order is deliberate: the stream fast path touches only mra,
+	// head and fill (bytes 0..9), so with the 24-byte record stride
+	// those bytes stay on one cache line for 7 of every 8 records (only
+	// the offset-56-mod-64 record straddles a boundary); the MRE-domain
+	// fields the stream path never reads sit in the back half.
 	mra     uint64 // most recently accessed tag (= the DM configuration's content)
-	mre     uint64 // most recently evicted tag
-	mreWave int8   // wave pointer saved with the MRE tag
 	head    int8   // FIFO round-robin victim cursor
 	fill    int8   // number of valid ways
-	mraOK   bool   // mra holds a real tag
 	mreOK   bool   // mre holds a real tag
+	mreWave int8   // wave pointer saved with the MRE tag
+	mre     uint64 // most recently evicted tag
 }
+
+// mraValid reports whether the node's MRA entry holds a real tag. Every
+// walk through a node hits or inserts (fill > 0) and sets mra, and a
+// Property 2 exit at the node requires an earlier walk through it, so
+// "ever touched" — fill > 0 — is exactly "mra is real"; the flag needs
+// no storage or per-level store of its own.
+func (n *nodeState) mraValid() bool { return n.fill > 0 }
 
 // level holds the flattened node arrays for one tree level (one set
 // count). Node i of a level with 2^log sets owns entries
@@ -214,6 +227,16 @@ type Simulator struct {
 	wave  []int8
 	stamp []uint64 // LRU passes only
 
+	// lvlMask, lvlNodeOff and lvlWayOff are the per-level node masks and
+	// arena offsets, precomputed once. The per-access fast path computes
+	// them incrementally in registers instead (the serial chain is free
+	// there, hidden behind the node-record load); the columnar stream
+	// walk, which keeps many walks in flight per call, reads these tiny
+	// L1-resident tables to break the cross-level dependency chain.
+	lvlMask    []uint64
+	lvlNodeOff []int32
+	lvlWayOff  []int32
+
 	// missDM and missA hold each level's miss counts for the
 	// associativity-1 and associativity-A configurations. They live in
 	// two dense arrays — the hottest writes of the walk — so every level
@@ -236,6 +259,10 @@ type Simulator struct {
 	// which mutates nothing, so the walk can be skipped outright.
 	lastBlk uint64
 	lastOK  bool
+
+	// pfSink absorbs the stream walk's prefetch touches so the compiler
+	// cannot discard them; never read.
+	pfSink uint64
 
 	counters Counters
 }
@@ -269,12 +296,18 @@ func New(opt Options) (*Simulator, error) {
 	if opt.Policy == cache.LRU {
 		s.stamp = make([]uint64, totalWays)
 	}
+	s.lvlMask = make([]uint64, opt.Levels())
+	s.lvlNodeOff = make([]int32, opt.Levels())
+	s.lvlWayOff = make([]int32, opt.Levels())
 	nodeOff, wayOff := 0, 0
 	for i := range s.levels {
 		nodes := 1 << (opt.MinLogSets + i)
 		ways := nodes * opt.Assoc
 		lv := &s.levels[i]
 		lv.mask = uint64(nodes - 1)
+		s.lvlMask[i] = lv.mask
+		s.lvlNodeOff[i] = int32(nodeOff)
+		s.lvlWayOff[i] = int32(wayOff)
 		lv.node = s.nodes[nodeOff : nodeOff+nodes : nodeOff+nodes]
 		lv.tags = s.tags[wayOff : wayOff+ways : wayOff+ways]
 		lv.wave = s.wave[wayOff : wayOff+ways : wayOff+ways]
@@ -327,7 +360,7 @@ func (s *Simulator) Access(a trace.Access) {
 
 		// Direct-mapped check, doubling as Property 2.
 		s.counters.TagComparisons++
-		mraHit := nd.mraOK && nd.mra == blk
+		mraHit := nd.mra == blk && nd.mraValid()
 		if mraHit && !s.opt.DisableMRA {
 			// P2: hit in this and every deeper configuration, for both
 			// associativity 1 and A; FIFO state is unaffected by hits.
@@ -447,7 +480,6 @@ func (s *Simulator) Access(a trace.Access) {
 		}
 
 		nd.mra = blk
-		nd.mraOK = true
 		if parentIdx >= 0 {
 			parentLv.wave[parentIdx] = int8(n)
 		}

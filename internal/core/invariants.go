@@ -62,7 +62,7 @@ func (s *Simulator) CheckInvariants() error {
 				return -1
 			}
 
-			if lv.node[node].mraOK {
+			if lv.node[node].mraValid() {
 				b := lv.node[node].mra
 				if find(lv, node, b) < 0 {
 					return fmt.Errorf("core: level %d node %d: MRA %#x not resident", li, node, b)
@@ -74,9 +74,9 @@ func (s *Simulator) CheckInvariants() error {
 						return fmt.Errorf("core: level %d node %d: MRA %#x maps to child %d off the node's subtree",
 							li, node, b, cn)
 					}
-					if !child.node[cn].mraOK || child.node[cn].mra != b {
+					if !child.node[cn].mraValid() || child.node[cn].mra != b {
 						return fmt.Errorf("core: level %d node %d: MRA chain broken: child node %d MRA %#x (ok=%v), want %#x",
-							li, node, cn, child.node[cn].mra, child.node[cn].mraOK, b)
+							li, node, cn, child.node[cn].mra, child.node[cn].mraValid(), b)
 					}
 				}
 			}

@@ -82,7 +82,6 @@ func TestInvariantsCatchCorruption(t *testing.T) {
 
 	s = build()
 	s.levels[0].node[0].mra = 0xDEAD
-	s.levels[0].node[0].mraOK = true
 	if err := s.CheckInvariants(); err == nil {
 		t.Error("non-resident MRA undetected")
 	}
@@ -90,7 +89,7 @@ func TestInvariantsCatchCorruption(t *testing.T) {
 	s = build()
 	// Break the MRA chain: point a child's MRA elsewhere while keeping
 	// the tag resident in the child so only the chain check can fire.
-	if !s.levels[0].node[0].mraOK {
+	if !s.levels[0].node[0].mraValid() {
 		t.Fatal("test premise: root MRA set")
 	}
 	b := s.levels[0].node[0].mra

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+
+	"dew/internal/trace"
+)
+
+// SimulateStream replays a materialized block stream through the pass.
+// The stream must have been materialized at the pass's block size — the
+// simulator consumes block IDs directly, with no per-access address
+// shift or struct load. With Options.Instrument unset and no property
+// ablated this is the fastest entry point: one tree walk per run, with
+// run weights folded arithmetically into Counters.Accesses.
+//
+// The stream is only read, never written, so one stream may be shared
+// by any number of concurrent SimulateStream calls on distinct
+// simulators (the design-space layers rely on this).
+func (s *Simulator) SimulateStream(bs *trace.BlockStream) error {
+	if bs.BlockSize != s.opt.BlockSize {
+		return fmt.Errorf("core: stream materialized at block size %d, pass simulates %d",
+			bs.BlockSize, s.opt.BlockSize)
+	}
+	s.AccessRuns(bs.IDs, bs.Runs)
+	return nil
+}
+
+// AccessRuns simulates a run-length-compressed sequence of block IDs:
+// ids[i] — a block address already shifted by the pass's block size —
+// accessed runs[i] consecutive times. Entries with a zero run weight
+// are skipped. Callers normally obtain the columns from a
+// trace.BlockStream via SimulateStream; AccessRuns itself accepts any
+// split of a stream, including chunks that start mid-run (the repeated
+// head is recognized and folded like any other repeat).
+//
+// Exactness of run folding rests on Property 2: every access after the
+// first of a run repeats the previous block, which is by construction a
+// level-0 MRA hit — a hit at every simulated configuration that
+// mutates no replacement state (FIFO never reorders on hits; under LRU
+// the repeated block is already the newest stamp, so refreshing it
+// cannot change any victim choice). The counter-free fast path
+// therefore walks the tree once per run and adds the full run weight to
+// Counters.Accesses; the instrumented path walks once and folds the
+// remaining weight into the level-0 MRA-hit counters arithmetically,
+// exactly as per-access Access calls would have counted them. With a
+// property ablated the fold is invalid (ablations change which counters
+// move on a repeat), so each run is expanded through Access.
+func (s *Simulator) AccessRuns(ids []uint64, runs []uint32) {
+	if len(ids) != len(runs) {
+		// Fail loudly on every path: the fast path's weight pre-pass
+		// would otherwise silently disagree with its walk.
+		panic(fmt.Sprintf("core: AccessRuns columns disagree: %d ids, %d runs", len(ids), len(runs)))
+	}
+	if s.opt.DisableMRA || s.opt.DisableWave || s.opt.DisableMRE {
+		off := s.offBits
+		for i, id := range ids {
+			for k := uint32(0); k < runs[i]; k++ {
+				s.Access(trace.Access{Addr: id << off})
+			}
+		}
+		return
+	}
+	if s.opt.Instrument {
+		off := s.offBits
+		for i, id := range ids {
+			w := runs[i]
+			if w == 0 {
+				continue
+			}
+			s.Access(trace.Access{Addr: id << off})
+			// The remaining w-1 accesses are level-0 MRA hits: each
+			// would count one access, one node evaluation pair, one tag
+			// comparison and one Property 2 cut-off, then stop.
+			rest := uint64(w - 1)
+			s.counters.Accesses += rest
+			s.counters.NodeEvaluations += 2 * rest
+			s.counters.TagComparisons += rest
+			s.counters.MRACount += rest
+		}
+		return
+	}
+
+	if s.stamp == nil {
+		s.counters.Accesses += s.runsFastFIFO(ids, runs)
+	} else {
+		var total uint64
+		prev, ok := s.lastBlk, s.lastOK
+		for i, id := range ids {
+			w := runs[i]
+			if w == 0 {
+				continue
+			}
+			total += uint64(w)
+			if ok && id == prev {
+				// The run continues the previously simulated block — a
+				// chunk boundary mid-run, or a repeat across two
+				// AccessRuns calls. Guaranteed level-0 MRA hits,
+				// nothing to do.
+				continue
+			}
+			prev, ok = id, true
+			s.accessFast(id)
+		}
+		s.lastBlk, s.lastOK = prev, ok
+		s.counters.Accesses += total
+	}
+	s.foldExitHist()
+}
+
+// runsFastFIFO is the columnar FIFO walk: the counter-free fast path
+// over the raw ids column, returning the total access weight consumed.
+// Results are bit-identical to the instrumented path — batch_test.go
+// and the stream equivalence tests enforce it.
+//
+// The walk sheds every piece of work-saving state the per-access walk
+// maintains, keeping only the state results are made of:
+//
+//   - No wave pointers (Property 3). A level decided by a wave probe
+//     reaches exactly the same hit way or miss verdict as the tag-list
+//     scan it avoids, and the FIFO state evolves identically either
+//     way. Dropping the machinery removes the only value carried
+//     *across* levels (parentWave/parentIdx and the wave refresh — the
+//     hottest store of the per-access walk), so every level of a walk
+//     depends on blk alone and the CPU can overlap the levels' loads
+//     freely.
+//   - No MRE records (Property 4). The MRE tag check only spares scans,
+//     and the resurrection swap only restores a wave pointer; neither
+//     changes a verdict. Not maintaining them means a warm miss loads
+//     no victim tag and stores no MRE state — an eviction is just the
+//     cursor bump and the tag write.
+//
+// Both are work-saving devices, not result-changing ones, but leaving
+// them stale would be unsound for the entry points that still use them,
+// so the walk concludes by resetting the wave pointers and MRE records
+// to "unknown" — always sound, merely unhelpful until repopulated — one
+// sweep over two small arenas per call, amortized across the whole
+// column.
+//
+// The warm 4-way level (the steady state of the sweep shapes) updates
+// without a data-dependent branch: the hit/miss outcome of a warm level
+// is close to a coin flip on real traces, so branching on it would
+// mispredict on most visits; instead the unrolled scan (at most one
+// comparison can match) and the way/cursor/miss-count selections
+// compile to conditional moves, and the tag write is idempotent on a
+// hit (it rewrites the hit way's own tag).
+//
+// LRU passes take the generic accessFast loop instead: their victim
+// choice reads per-way stamps, which need the per-level view state this
+// hot loop deliberately avoids.
+func (s *Simulator) runsFastFIFO(ids []uint64, runs []uint32) uint64 {
+	assoc := s.assoc
+	nodes := s.nodes
+	tags := s.tags
+	missA := s.missA
+	exitHist := s.exitHist
+	lvlMask := s.lvlMask
+	nLevels := len(lvlMask)
+	lvlNodeOff := s.lvlNodeOff[:nLevels]
+	lvlWayOff := s.lvlWayOff[:nLevels]
+
+	warm4 := assoc == 4
+	var misses uint64 // insertions performed; any of them moves a way
+	prev, ok := s.lastBlk, s.lastOK
+
+	// One tight pre-pass folds the whole weight column: the walk loop
+	// then iterates over ids alone, with no per-run weight load.
+	// Zero-weight entries (impossible in a materialized BlockStream,
+	// where every run is at least 1, but legal in a hand-built call)
+	// must not be simulated; the rare column containing one is
+	// compacted first.
+	var total uint64
+	hasZero := false
+	for _, w := range runs {
+		total += uint64(w)
+		if w == 0 {
+			hasZero = true
+		}
+	}
+	if hasZero {
+		clean := make([]uint64, 0, len(ids))
+		for i, blk := range ids {
+			if runs[i] != 0 {
+				clean = append(clean, blk)
+			}
+		}
+		ids = clean
+	}
+
+	var pf uint64 // prefetch sink; forces the touch loads to issue
+
+walk:
+	for idx := 0; idx < len(ids); idx++ {
+		blk := ids[idx]
+		if ok && blk == prev {
+			continue
+		}
+		prev, ok = blk, true
+
+		// Touch the next id's mid-level node records while this walk
+		// runs: columnar materialization makes future block IDs visible,
+		// so their scattered record loads — the dominant stall of the
+		// walk — can start one walk early. The shallow levels' arenas
+		// are permanently cache-resident and need no help.
+		if idx+1 < len(ids) && nLevels > 6 {
+			nb := ids[idx+1]
+			pf += nodes[int(lvlNodeOff[4])+int(nb&lvlMask[4])].mra
+			pf += nodes[int(lvlNodeOff[5])+int(nb&lvlMask[5])].mra
+			pf += nodes[int(lvlNodeOff[6])+int(nb&lvlMask[6])].mra
+		}
+
+		for li := range lvlMask {
+			node := int(blk & lvlMask[li])
+			nd := &nodes[int(lvlNodeOff[li])+node]
+			fill := int(nd.fill)
+
+			// Direct-mapped check, doubling as Property 2: decided from
+			// the packed record alone (fill > 0 stands in for MRA
+			// validity; see nodeState.mraValid).
+			if nd.mra == blk && fill > 0 {
+				exitHist[li]++
+				continue walk
+			}
+
+			base := int(lvlWayOff[li]) + node*assoc
+			if fill == 4 && warm4 {
+				hitWay := -1
+				if tags[base+3] == blk {
+					hitWay = 3
+				}
+				if tags[base+2] == blk {
+					hitWay = 2
+				}
+				if tags[base+1] == blk {
+					hitWay = 1
+				}
+				if tags[base] == blk {
+					hitWay = 0
+				}
+				victim := int(nd.head)
+				miss := 0
+				if hitWay < 0 {
+					miss = 1
+				}
+				way := hitWay
+				if hitWay < 0 {
+					way = victim
+				}
+				misses += uint64(miss)
+				missA[li] += uint64(miss)
+				nd.head = int8((victim + miss) & 3)
+				tags[base+way] = blk
+				nd.mra = blk
+				continue
+			}
+
+			// Cold or non-4-way node: the transient (or generic-
+			// associativity) branchy path, the same decisions Access
+			// makes minus the counters and the wave/MRE bookkeeping.
+			hitWay := -1
+			for w := 0; w < fill; w++ {
+				if tags[base+w] == blk {
+					hitWay = w
+					break
+				}
+			}
+			if hitWay < 0 {
+				misses++
+				missA[li]++
+				if fill < assoc {
+					nd.fill++
+					tags[base+fill] = blk
+				} else {
+					way := int(nd.head)
+					nd.head = int8((way + 1) & (assoc - 1))
+					tags[base+way] = blk
+				}
+			}
+			nd.mra = blk
+		}
+		exitHist[nLevels]++
+	}
+
+	s.lastBlk, s.lastOK = prev, ok
+	s.pfSink = pf
+	if misses > 0 {
+		s.resetWaveDomain()
+	}
+	return total
+}
+
+// resetWaveDomain marks every wave pointer and MRE record "unknown".
+// The empty states are always sound — Property 3, Property 4 and the
+// resurrection restore simply fall back to scans until repopulated by
+// the entry points that maintain them.
+func (s *Simulator) resetWaveDomain() {
+	for i := range s.wave {
+		s.wave[i] = -1
+	}
+	for i := range s.nodes {
+		s.nodes[i].mreOK = false
+		s.nodes[i].mreWave = -1
+	}
+}

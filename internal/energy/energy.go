@@ -5,10 +5,10 @@
 // a designer ranks configurations by estimated energy or performance.
 //
 // The model is deliberately coarse — a CACTI-style analytical shape, not
-// a calibrated technology model — and is documented as a substitution in
-// DESIGN.md: the paper cites energy estimation (Wattch, AccuPower) as the
-// consumer of miss rates but does not itself define an energy model, so
-// any model monotone in the right directions demonstrates the workflow.
+// a calibrated technology model — a deliberate substitution: the paper
+// cites energy estimation (Wattch, AccuPower) as the consumer of miss
+// rates but does not itself define an energy model, so any model
+// monotone in the right directions demonstrates the workflow.
 package energy
 
 import (

@@ -1,11 +1,14 @@
 // Package explore turns DEW passes into a full design-space exploration:
 // given a parameter space like the paper's Table 1 (525 configurations)
-// and a replayable trace source, it schedules one DEW pass per
+// and a replayable trace source, it materializes one run-compressed
+// trace.BlockStream per block size and schedules one DEW pass per
 // (block size, associativity) pair — each pass covering every set count
 // plus the direct-mapped configurations for free — across a worker pool,
-// and merges the exact per-configuration results. This is the "finding
-// the optimal L1 cache" workflow of the paper's introduction, packaged
-// as a library (see cmd/explore and examples/designspace for front ends).
+// and merges the exact per-configuration results. Every pass for a block
+// size replays the same read-only stream, so the raw trace is decoded
+// once per block size instead of once per pass; this is the "finding the
+// optimal L1 cache" workflow of the paper's introduction, packaged as a
+// library (see cmd/explore and examples/designspace for front ends).
 package explore
 
 import (
@@ -19,9 +22,9 @@ import (
 	"dew/internal/workload"
 )
 
-// Source produces independent readers over the same trace; each worker
-// pass consumes one reader. Implementations must be safe for concurrent
-// calls.
+// Source produces independent readers over the same trace; each
+// materialization consumes one reader. Implementations must be safe for
+// concurrent calls.
 type Source func() trace.Reader
 
 // FromApp returns a Source that regenerates a workload-model trace
@@ -43,7 +46,8 @@ type Request struct {
 	Space cache.ParamSpace
 	// Source provides the trace.
 	Source Source
-	// Workers bounds concurrent DEW passes; 0 means GOMAXPROCS.
+	// Workers bounds concurrent DEW passes (and concurrent stream
+	// materializations); 0 means GOMAXPROCS.
 	Workers int
 	// Policy selects the replacement policy for every pass: cache.FIFO
 	// (the default, DEW's target) or cache.LRU (exact but slower; see
@@ -58,13 +62,19 @@ type Request struct {
 type Result struct {
 	// Stats maps every configuration in the space to its exact outcome.
 	Stats map[cache.Config]cache.Stats
-	// Passes is the number of DEW passes executed (trace reads), the
-	// quantity the single-pass technique minimizes: one per
+	// Passes is the number of DEW passes executed: one per
 	// (block size, associativity>1) pair, or one per block size in an
-	// associativity-1-only space.
+	// associativity-1-only space. Each pass replays a shared
+	// materialized stream, so the raw trace itself is read only
+	// len(StreamCompression) times — once per block size. The passes
+	// take the counter-free fast path, so no per-pass work counters are
+	// collected here; use core.Simulator directly (or the sweep package)
+	// when Table 3/4-style counters are wanted.
 	Passes int
-	// Comparisons is the total tag comparisons across all passes.
-	Comparisons uint64
+	// StreamCompression maps each block size to the run-compression
+	// ratio (accesses per stream entry) of its materialized stream —
+	// the work every pass at that block size was spared.
+	StreamCompression map[int]float64
 }
 
 // Run executes the exploration.
@@ -98,12 +108,32 @@ func Run(req Request) (*Result, error) {
 		}
 	}
 
+	// Materialize one stream per block size, in parallel across the
+	// worker pool; every pass at that block size replays it read-only.
+	streams, err := materialize(req.Source, req.Space.BlockSizes(), workers)
+	if err != nil {
+		return nil, err
+	}
+	// pending counts each block size's outstanding passes so its stream
+	// can be released (for large traces, a stream per block size is the
+	// run's dominant allocation) as soon as the last pass over it ends.
+	pending := make(map[int]int, len(streams))
+	for _, ps := range passes {
+		pending[ps.block]++
+	}
+
 	var (
 		mu       sync.Mutex
 		firstErr error
 		done     int
-		res      = &Result{Stats: make(map[cache.Config]cache.Stats, req.Space.Count())}
+		res      = &Result{
+			Stats:             make(map[cache.Config]cache.Stats, req.Space.Count()),
+			StreamCompression: make(map[int]float64, len(streams)),
+		}
 	)
+	for b, bs := range streams {
+		res.StreamCompression[b] = bs.CompressionRatio()
+	}
 	includeAssoc1 := req.Space.MinLogAssoc == 0
 
 	jobs := make(chan passSpec)
@@ -113,13 +143,19 @@ func Run(req Request) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for ps := range jobs {
-				sim, err := core.Run(core.Options{
+				mu.Lock()
+				bs := streams[ps.block]
+				mu.Unlock()
+				sim, err := core.New(core.Options{
 					MinLogSets: req.Space.MinLogSets,
 					MaxLogSets: req.Space.MaxLogSets,
 					Assoc:      ps.assoc,
 					BlockSize:  ps.block,
 					Policy:     req.Policy,
-				}, req.Source())
+				})
+				if err == nil {
+					err = sim.SimulateStream(bs)
+				}
 
 				mu.Lock()
 				if err != nil {
@@ -139,10 +175,13 @@ func Run(req Request) (*Result, error) {
 						}
 						res.Stats[r.Config] = r.Stats
 					}
-					res.Comparisons += sim.Counters().TagComparisons
 					res.Passes++
 				}
 				done++
+				pending[ps.block]--
+				if pending[ps.block] == 0 {
+					delete(streams, ps.block) // last pass over this stream: release it
+				}
 				if req.Progress != nil {
 					req.Progress(done, len(passes))
 				}
@@ -163,4 +202,44 @@ func Run(req Request) (*Result, error) {
 		return nil, fmt.Errorf("explore: covered %d of %d configurations", len(res.Stats), req.Space.Count())
 	}
 	return res, nil
+}
+
+// materialize builds the per-block-size streams, at most workers at a
+// time (each materialization is one full read of the source).
+func materialize(src Source, blocks []int, workers int) (map[int]*trace.BlockStream, error) {
+	streams := make(map[int]*trace.BlockStream, len(blocks))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, workers)
+	for _, b := range blocks {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break // a stream already failed; don't start more full-trace reads
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b int) {
+			defer func() { <-sem; wg.Done() }()
+			bs, err := trace.MaterializeBlockStream(src(), b)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("explore: materializing block-%d stream: %w", b, err)
+				}
+				return
+			}
+			streams[b] = bs
+		}(b)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return streams, nil
 }

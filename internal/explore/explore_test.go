@@ -42,8 +42,14 @@ func TestRunCoversSpaceExactly(t *testing.T) {
 	if res.Passes != 8 {
 		t.Errorf("Passes = %d, want 8", res.Passes)
 	}
-	if res.Comparisons == 0 {
-		t.Error("no comparisons recorded")
+	// Every block size materialized a shared stream.
+	if len(res.StreamCompression) != 4 {
+		t.Errorf("StreamCompression has %d block sizes, want 4", len(res.StreamCompression))
+	}
+	for b, ratio := range res.StreamCompression {
+		if ratio < 1 {
+			t.Errorf("block %d: compression ratio %v < 1", b, ratio)
+		}
 	}
 	// Exactness of the merged map against the reference simulator on a
 	// sample of configurations including direct-mapped ones.
@@ -86,8 +92,10 @@ func TestRunWorkersEquivalence(t *testing.T) {
 			t.Errorf("%v: sequential %+v vs parallel %+v", cfg, s, par.Stats[cfg])
 		}
 	}
-	if seq.Comparisons != par.Comparisons {
-		t.Errorf("comparisons differ: %d vs %d", seq.Comparisons, par.Comparisons)
+	for b, ratio := range seq.StreamCompression {
+		if par.StreamCompression[b] != ratio {
+			t.Errorf("block %d: compression differs: %v vs %v", b, ratio, par.StreamCompression[b])
+		}
 	}
 }
 

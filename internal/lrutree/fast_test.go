@@ -1,0 +1,253 @@
+package lrutree
+
+import (
+	"fmt"
+	"testing"
+
+	"dew/internal/trace"
+)
+
+// runInstrumented drives the single-access instrumented path.
+func runInstrumented(t *testing.T, opt Options, tr trace.Trace) *Simulator {
+	t.Helper()
+	s := MustNew(opt)
+	for _, a := range tr {
+		s.Access(a)
+	}
+	return s
+}
+
+// assertSameResults fails unless the two simulators agree bit for bit on
+// every configuration's outcome and on the per-level miss splits.
+func assertSameResults(t *testing.T, label string, want, got *Simulator) {
+	t.Helper()
+	wr, gr := want.Results(), got.Results()
+	if len(wr) != len(gr) {
+		t.Fatalf("%s: %d results vs %d", label, len(wr), len(gr))
+	}
+	for i := range wr {
+		if wr[i] != gr[i] {
+			t.Errorf("%s: result %d: instrumented %+v, fast %+v", label, i, wr[i], gr[i])
+		}
+	}
+	for i := range want.levels {
+		if want.missDM[i] != got.missDM[i] {
+			t.Errorf("%s: level %d missDM: instrumented %d, fast %d",
+				label, i, want.missDM[i], got.missDM[i])
+		}
+		if want.missA[i] != got.missA[i] {
+			t.Errorf("%s: level %d missA: instrumented %d, fast %d",
+				label, i, want.missA[i], got.missA[i])
+		}
+	}
+}
+
+var fastShapes = []Options{
+	{MaxLogSets: 6, Assoc: 4, BlockSize: 16},
+	{MaxLogSets: 4, Assoc: 8, BlockSize: 4},
+	{MinLogSets: 2, MaxLogSets: 7, Assoc: 2, BlockSize: 32},
+	{MaxLogSets: 5, Assoc: 1, BlockSize: 8},
+	{MinLogSets: 1, MaxLogSets: 4, Assoc: 16, BlockSize: 4},
+}
+
+// TestAccessBatchEquivalence checks the counter-free fast path against
+// the instrumented path across pass shapes, including forests.
+func TestAccessBatchEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		tr := streakyTrace(20_000, 1<<13, seed)
+		for _, opt := range fastShapes {
+			label := fmt.Sprintf("seed%d/min%d/A%d/B%d", seed, opt.MinLogSets, opt.Assoc, opt.BlockSize)
+			want := runInstrumented(t, opt, tr)
+
+			fast := MustNew(opt)
+			fast.AccessBatch(tr)
+			if got := fast.Counters().Accesses; got != uint64(len(tr)) {
+				t.Errorf("%s: fast path Accesses = %d, want %d", label, got, len(tr))
+			}
+			assertSameResults(t, label, want, fast)
+
+			// Chunked delivery cannot change results.
+			split := MustNew(opt)
+			for i := 0; i < len(tr); i += 997 {
+				end := i + 997
+				if end > len(tr) {
+					end = len(tr)
+				}
+				split.AccessBatch(tr[i:end])
+			}
+			assertSameResults(t, label+"/chunked", want, split)
+		}
+	}
+}
+
+// TestSimulateStreamEquivalence checks the stream entry point — run
+// weights folded, mid-run chunk starts — against the instrumented path.
+func TestSimulateStreamEquivalence(t *testing.T) {
+	tr := streakyTrace(20_000, 1<<13, 5)
+	for _, opt := range fastShapes {
+		label := fmt.Sprintf("min%d/A%d/B%d", opt.MinLogSets, opt.Assoc, opt.BlockSize)
+		bs, err := tr.BlockStream(opt.BlockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runInstrumented(t, opt, tr)
+
+		fast := MustNew(opt)
+		if err := fast.SimulateStream(bs); err != nil {
+			t.Fatal(err)
+		}
+		if got := fast.Counters().Accesses; got != uint64(len(tr)) {
+			t.Errorf("%s: stream Accesses = %d, want %d", label, got, len(tr))
+		}
+		assertSameResults(t, label, want, fast)
+
+		// Cut runs of weight > 1 in half: later chunks start mid-run.
+		var ids []uint64
+		var runs []uint32
+		for i, id := range bs.IDs {
+			w := bs.Runs[i]
+			if w > 1 {
+				ids = append(ids, id, id)
+				runs = append(runs, w/2, w-w/2)
+			} else {
+				ids = append(ids, id)
+				runs = append(runs, w)
+			}
+		}
+		split := MustNew(opt)
+		split.AccessRuns(ids, runs)
+		assertSameResults(t, label+"/mid-run", want, split)
+	}
+}
+
+// TestAccessRunsInstrumented checks the arithmetic fold on the counted
+// path and the expansion under ablations.
+func TestAccessRunsInstrumented(t *testing.T) {
+	tr := streakyTrace(10_000, 1<<12, 8)
+	mods := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"instrument", func(o *Options) { o.Instrument = true }},
+		{"noSameBlock", func(o *Options) { o.DisableSameBlock = true }},
+		{"noMRUCutoff", func(o *Options) { o.DisableMRUCutoff = true }},
+	}
+	base := Options{MaxLogSets: 5, Assoc: 4, BlockSize: 16}
+	bs, err := tr.BlockStream(base.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mods {
+		opt := base
+		m.mod(&opt)
+		want := runInstrumented(t, opt, tr)
+		got := MustNew(opt)
+		if err := got.SimulateStream(bs); err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, m.name, want, got)
+		if want.Counters() != got.Counters() {
+			t.Errorf("%s: stream counters %+v, per-access counters %+v",
+				m.name, got.Counters(), want.Counters())
+		}
+	}
+}
+
+// TestFastEntryPointsInterleaved mixes Access, AccessBatch and
+// AccessRuns on one simulator; the shared same-block memo must keep them
+// coherent.
+func TestFastEntryPointsInterleaved(t *testing.T) {
+	tr := streakyTrace(9_000, 1<<12, 13)
+	opt := Options{MaxLogSets: 6, Assoc: 4, BlockSize: 16}
+	want := runInstrumented(t, opt, tr)
+
+	third := len(tr) / 3
+	mixed := MustNew(opt)
+	mixed.AccessBatch(tr[:third])
+	mid, err := tr[third : 2*third].BlockStream(opt.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mixed.SimulateStream(mid); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range tr[2*third:] {
+		mixed.Access(a)
+	}
+	assertSameResults(t, "batch+stream+access", want, mixed)
+	if got := mixed.Counters().Accesses; got != uint64(len(tr)) {
+		t.Errorf("Accesses = %d, want %d", got, len(tr))
+	}
+}
+
+// TestSimulateStreamRejectsBlockMismatch mirrors the core's guard.
+func TestSimulateStreamRejectsBlockMismatch(t *testing.T) {
+	bs, err := trace.Trace{{Addr: 0}}.BlockStream(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustNew(Options{MaxLogSets: 3, Assoc: 2, BlockSize: 4})
+	if err := s.SimulateStream(bs); err == nil {
+		t.Fatal("block-size mismatch accepted")
+	}
+}
+
+// TestSimulateBatchMatchesSimulate runs the fast reader-draining loop
+// against the instrumented one.
+func TestSimulateBatchMatchesSimulate(t *testing.T) {
+	tr := randomTrace(8_000, 1<<12, 21)
+	opt := Options{MaxLogSets: 6, Assoc: 4, BlockSize: 8}
+	want := MustNew(opt)
+	if err := want.Simulate(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	got := MustNew(opt)
+	if err := got.SimulateBatch(tr.NewSliceReader()); err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "SimulateBatch", want, got)
+}
+
+// FuzzFastEquivalence fuzzes the lrutree fast path (batch and stream)
+// against the instrumented path.
+func FuzzFastEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2), uint8(2), uint8(4), uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 0, 0}, uint8(0), uint8(0), uint8(1), uint8(2))
+	f.Add([]byte{9, 9, 1, 1, 9, 9, 1, 1, 2, 2}, uint8(3), uint8(1), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, logAssoc, logBlock, maxLog, minLog uint8) {
+		if len(raw) == 0 || len(raw) > 4096 {
+			return
+		}
+		opt := Options{
+			MinLogSets: int(minLog % 4),
+			MaxLogSets: int(minLog%4) + int(maxLog%5),
+			Assoc:      1 << (logAssoc % 4),
+			BlockSize:  1 << (logBlock % 4),
+		}
+		tr := make(trace.Trace, 0, len(raw)/2+1)
+		for i := 0; i+1 < len(raw); i += 2 {
+			tr = append(tr, trace.Access{Addr: uint64(raw[i])<<3 | uint64(raw[i+1])&7})
+		}
+		if len(tr) == 0 {
+			return
+		}
+		inst := MustNew(opt)
+		for _, a := range tr {
+			inst.Access(a)
+		}
+
+		batch := MustNew(opt)
+		batch.AccessBatch(tr)
+		assertSameResults(t, "batch", inst, batch)
+
+		bs, err := tr.BlockStream(opt.BlockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := MustNew(opt)
+		if err := stream.SimulateStream(bs); err != nil {
+			t.Fatal(err)
+		}
+		assertSameResults(t, "stream", inst, stream)
+	})
+}

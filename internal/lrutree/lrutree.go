@@ -11,11 +11,12 @@
 // speed argument under a different policy.
 //
 // The simulation tree is the same binomial structure DEW uses: level L
-// holds the 2^L sets of the configuration with 2^L sets; an access visits
-// one node per level. Each node keeps its tag list in recency order (most
-// recently used first), so the node's head is simultaneously the content
-// of the direct-mapped configuration at that level, and searches touch
-// hot tags first (Janapsatya's temporal-locality search order).
+// holds the 2^L sets of the configuration with 2^L sets (a forest of
+// 2^MinLogSets trees when MinLogSets > 0); an access visits one node per
+// level. Each node keeps its tag list in recency order (most recently
+// used first), so the node's head is simultaneously the content of the
+// direct-mapped configuration at that level, and searches touch hot tags
+// first (Janapsatya's temporal-locality search order).
 //
 // Pruning rules (each an LRU-only property):
 //
@@ -32,12 +33,25 @@
 //     deeper levels take no miss counting — but their recency orders
 //     still need updating, which bounds how much work inclusion alone
 //     can save and motivates the cut-off rules.
+//
+// # Instrumented and fast paths
+//
+// Like the DEW core, the simulator exposes two equivalent evaluation
+// paths. Access (and Simulate) is the instrumented path, maintaining the
+// full Counters set. AccessBatch / SimulateBatch and the stream entry
+// points AccessRuns / SimulateStream are the counter-free fast path: the
+// same walk with per-access counter increments compiled out (only
+// Counters.Accesses is maintained), the per-node metadata packed into a
+// level-major nodeState arena — the same layout the DEW core's fast path
+// uses — and the per-level miss splits for the direct-mapped
+// configurations recovered from an exit-depth histogram. The two paths
+// are bit-identical in Results (fast_test.go enforces it). Setting
+// Options.Instrument, or disabling a pruning rule, routes the batched
+// entry points back through Access.
 package lrutree
 
 import (
-	"errors"
 	"fmt"
-	"io"
 	"math/bits"
 
 	"dew/internal/cache"
@@ -59,6 +73,21 @@ type Options struct {
 	// for ablation; results are unchanged.
 	DisableSameBlock bool
 	DisableMRUCutoff bool
+
+	// Instrument forces the batched entry points (AccessBatch,
+	// SimulateBatch, AccessRuns, SimulateStream) onto the instrumented
+	// per-access path, maintaining the full Counters set exactly as
+	// Access does. When false (the default) and no pruning rule is
+	// disabled, they take the counter-free fast path: identical Results,
+	// but only Counters.Accesses is maintained.
+	Instrument bool
+}
+
+// instrumented reports whether the batched entry points must route
+// through the fully counted per-access path: explicitly requested, or
+// required because an ablation switch changes which counters move.
+func (o Options) instrumented() bool {
+	return o.Instrument || o.DisableSameBlock || o.DisableMRUCutoff
 }
 
 // Validate reports whether the options are simulatable.
@@ -82,7 +111,7 @@ func (o Options) Validate() error {
 func (o Options) Levels() int { return o.MaxLogSets - o.MinLogSets + 1 }
 
 // Counters records the work one pass performed, comparable with the DEW
-// core's counters.
+// core's counters. The counter-free fast path maintains only Accesses.
 type Counters struct {
 	// Accesses is the number of requests processed (including skipped).
 	Accesses uint64
@@ -102,23 +131,63 @@ type Counters struct {
 	TagComparisons uint64
 }
 
-// level holds one tree level: per-node recency-ordered tag lists.
+// nodeState packs one node's (one cache set's) metadata into a single
+// record: the MRU tag the direct-mapped check reads on every visit —
+// always equal to the head of the node's recency list — plus the fill
+// count. The usual outcome of a level (MRU cut-off, walk stops) is
+// decided from this one record without touching the tag list, the same
+// trick the DEW core's nodeState plays with its MRA tag.
+type nodeState struct {
+	mru  uint64 // most recently used tag (= the DM configuration's content); valid when fill > 0
+	fill int8   // number of valid ways
+}
+
+// level holds the per-level views into the arenas: node i of a level
+// with 2^log sets owns entries [i*assoc, (i+1)*assoc) of tags and record
+// i of node, in recency order (tags[base] is MRU).
 type level struct {
-	mask   uint64
-	tags   []uint64 // recency order per node: tags[base] is MRU
-	fill   []int8
-	missDM uint64
-	missA  uint64
+	mask uint64 // 2^log - 1
+	tags []uint64
+	node []nodeState
 }
 
 // Simulator is one LRU tree pass in progress.
+//
+// All per-way and per-node state lives in two level-major arenas (nodes,
+// tags); each level's slices are views into them. The instrumented path
+// walks the per-level views, the fast path walks the arenas directly
+// with incrementally computed masks and offsets — same memory, same
+// results.
 type Simulator struct {
-	opt      Options
-	offBits  uint
-	assoc    int
-	levels   []level
+	opt     Options
+	offBits uint
+	assoc   int
+	levels  []level
+
+	// Arenas backing every level's slices, concatenated in level order.
+	nodes []nodeState
+	tags  []uint64
+
+	// missDM and missA hold each level's miss counts for the
+	// associativity-1 and associativity-A configurations, in two dense
+	// arrays (the hottest writes of the walk).
+	missDM []uint64
+	missA  []uint64
+
+	// exitHist is the fast path's pending exit-depth histogram:
+	// exitHist[d] counts accesses whose walk ended with the MRU cut-off
+	// at level d (or d == Levels() for full walks). A walk increments
+	// missDM at exactly the levels before its exit, so
+	// missDM[l] ≡ Σ_{d>l} exitHist[d]; foldExitHist folds the suffix
+	// sums back after each batch or stream chunk.
+	exitHist []uint64
+
+	// havePrev/prevBlk memoize the most recently simulated block for
+	// same-block pruning; the fast path shares them so entry points can
+	// be mixed on one Simulator.
 	havePrev bool
 	prevBlk  uint64
+
 	counters Counters
 }
 
@@ -133,13 +202,25 @@ func New(opt Options) (*Simulator, error) {
 		assoc:   opt.Assoc,
 		levels:  make([]level, opt.Levels()),
 	}
+	totalNodes := 0
+	for i := range s.levels {
+		totalNodes += 1 << (opt.MinLogSets + i)
+	}
+	s.nodes = make([]nodeState, totalNodes)
+	s.tags = make([]uint64, totalNodes*opt.Assoc)
+	s.missDM = make([]uint64, opt.Levels())
+	s.missA = make([]uint64, opt.Levels())
+	s.exitHist = make([]uint64, opt.Levels()+1)
+	nodeOff, wayOff := 0, 0
 	for i := range s.levels {
 		nodes := 1 << (opt.MinLogSets + i)
-		s.levels[i] = level{
-			mask: uint64(nodes - 1),
-			tags: make([]uint64, nodes*opt.Assoc),
-			fill: make([]int8, nodes),
-		}
+		ways := nodes * opt.Assoc
+		lv := &s.levels[i]
+		lv.mask = uint64(nodes - 1)
+		lv.node = s.nodes[nodeOff : nodeOff+nodes : nodeOff+nodes]
+		lv.tags = s.tags[wayOff : wayOff+ways : wayOff+ways]
+		nodeOff += nodes
+		wayOff += ways
 	}
 	return s, nil
 }
@@ -182,13 +263,14 @@ func (s *Simulator) Access(a trace.Access) {
 	for li := range s.levels {
 		lv := &s.levels[li]
 		node := int(blk & lv.mask)
+		nd := &lv.node[node]
 		base := node * s.assoc
 		s.counters.NodeEvaluations += 2
 
-		fill := int(lv.fill[node])
+		fill := int(nd.fill)
 		// Direct-mapped check: the MRU tag is the DM content.
 		s.counters.TagComparisons++
-		mruHit := fill > 0 && lv.tags[base] == blk
+		mruHit := fill > 0 && nd.mru == blk
 		if mruHit {
 			if !s.opt.DisableMRUCutoff {
 				// The tag is MRU here, hence MRU in every deeper set it
@@ -200,7 +282,7 @@ func (s *Simulator) Access(a trace.Access) {
 			// level; continue to the next level.
 			continue
 		}
-		lv.missDM++
+		s.missDM[li]++
 
 		// Scan the recency list (skipping the MRU slot already tested).
 		s.counters.Searches++
@@ -216,33 +298,33 @@ func (s *Simulator) Access(a trace.Access) {
 			// Hit: rotate the tag to the MRU position.
 			copy(lv.tags[base+1:base+hitAt+1], lv.tags[base:base+hitAt])
 			lv.tags[base] = blk
+			nd.mru = blk
 			continue
 		}
 
 		// Miss: insert at MRU, evicting the LRU tail if full.
-		lv.missA++
+		s.missA[li]++
 		if fill < s.assoc {
 			copy(lv.tags[base+1:base+fill+1], lv.tags[base:base+fill])
-			lv.fill[node]++
+			nd.fill++
 		} else {
 			copy(lv.tags[base+1:base+s.assoc], lv.tags[base:base+s.assoc-1])
 		}
 		lv.tags[base] = blk
+		nd.mru = blk
 	}
 }
 
-// Simulate drains the reader through the simulator.
+// Simulate drains the reader through the instrumented per-access path.
+// Reads are batched (trace.BatchReader) so the reader is consulted once
+// per chunk, but every access maintains the full counter set. For the
+// counter-free fast path use SimulateBatch or SimulateStream.
 func (s *Simulator) Simulate(r trace.Reader) error {
-	for {
-		a, err := r.Next()
-		if errors.Is(err, io.EOF) {
-			return nil
+	return trace.Drain(r, func(batch []trace.Access) {
+		for _, a := range batch {
+			s.Access(a)
 		}
-		if err != nil {
-			return err
-		}
-		s.Access(a)
-	}
+	})
 }
 
 // Result pairs a configuration with its outcome.
@@ -261,12 +343,12 @@ func (s *Simulator) Results() []Result {
 		if s.assoc > 1 {
 			out = append(out, Result{
 				Config: cache.Config{Sets: sets, Assoc: 1, BlockSize: s.opt.BlockSize},
-				Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.levels[i].missDM},
+				Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.missDM[i]},
 			})
 		}
 		out = append(out, Result{
 			Config: cache.Config{Sets: sets, Assoc: s.assoc, BlockSize: s.opt.BlockSize},
-			Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.levels[i].missA},
+			Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.missA[i]},
 		})
 	}
 	return out

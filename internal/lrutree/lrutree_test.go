@@ -124,16 +124,16 @@ func TestInclusionAcrossLevels(t *testing.T) {
 		t.Fatal(err)
 	}
 	var prevDM, prevA uint64
-	for i, lv := range s.levels {
+	for i := range s.levels {
 		if i > 0 {
-			if lv.missDM > prevDM {
-				t.Errorf("level %d: DM misses rose %d -> %d", i, prevDM, lv.missDM)
+			if s.missDM[i] > prevDM {
+				t.Errorf("level %d: DM misses rose %d -> %d", i, prevDM, s.missDM[i])
 			}
-			if lv.missA > prevA {
-				t.Errorf("level %d: A-way misses rose %d -> %d", i, prevA, lv.missA)
+			if s.missA[i] > prevA {
+				t.Errorf("level %d: A-way misses rose %d -> %d", i, prevA, s.missA[i])
 			}
 		}
-		prevDM, prevA = lv.missDM, lv.missA
+		prevDM, prevA = s.missDM[i], s.missA[i]
 	}
 }
 

@@ -182,8 +182,9 @@ func (s *Simulator) touchLRU(set, w int) {
 	}
 }
 
-// insert places tag into the set, evicting per policy if full.
-func (s *Simulator) insert(set int, tag uint64) {
+// insert places tag into the set, evicting per policy if full, and
+// returns the way used (the stream replay folds repeat costs from it).
+func (s *Simulator) insert(set int, tag uint64) int {
 	base := set * s.cfg.Assoc
 	assoc := s.cfg.Assoc
 
@@ -201,7 +202,7 @@ func (s *Simulator) insert(set int, tag uint64) {
 			// head tracks the oldest entry; while filling, oldest
 			// remains way 0, and head stays pointing at it.
 		}
-		return
+		return w
 	}
 
 	// Choose a victim.
@@ -223,6 +224,7 @@ func (s *Simulator) insert(set int, tag uint64) {
 	}
 	s.stats.Evictions++
 	s.tags[base+w] = tag
+	return w
 }
 
 // Simulate drains the reader through the simulator and returns the final

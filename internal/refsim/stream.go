@@ -1,0 +1,90 @@
+package refsim
+
+import (
+	"fmt"
+
+	"dew/internal/cache"
+	"dew/internal/trace"
+)
+
+// SimulateStream replays a run-length-compressed block stream and
+// returns the final statistics. The stream must have been materialized
+// at the simulator's block size; the simulator then consumes block IDs
+// directly, with no per-access address decode, and folds run weights
+// arithmetically — the same sharing the multi-configuration simulators
+// exploit, kept available here so the reference baseline can replay the
+// identical stream the DEW pass consumed.
+//
+// Folding is exact for the kind-free statistics: every access after the
+// first of a run re-requests the block the previous access just made
+// resident, so it hits, changes no replacement state (FIFO and Random
+// do nothing on hits; the LRU touch re-asserts an already-MRU block),
+// and costs a deterministic number of tag comparisons — one under LRU
+// (the block sits at the head of the recency-ordered search), and
+// way+1 under FIFO/Random's physical-order search, where way is where
+// the head access left the block. Accesses, Misses, CompulsoryMisses,
+// Evictions and TagComparisons are therefore bit-identical to replaying
+// the expanded trace.
+//
+// A BlockStream carries no request kinds, so AccessesByKind and
+// MissesByKind stay zero, and write-policy simulators (built with
+// NewSim), whose store handling must see kinds, reject the stream.
+func (s *Simulator) SimulateStream(bs *trace.BlockStream) (Stats, error) {
+	if bs.BlockSize != s.cfg.BlockSize {
+		return s.stats, fmt.Errorf("refsim: stream materialized at block size %d, configuration uses %d",
+			bs.BlockSize, s.cfg.BlockSize)
+	}
+	if s.dirty != nil {
+		return s.stats, fmt.Errorf("refsim: write-policy simulation needs per-kind accesses; replay the raw trace")
+	}
+	setMask := s.cfg.Sets - 1
+	idxBits := uint(s.cfg.IndexBits())
+	lru := s.policy == cache.LRU
+	for i, blk := range bs.IDs {
+		w := bs.Runs[i]
+		if w == 0 {
+			continue
+		}
+		set := int(blk) & setMask
+		tag := blk >> idxBits
+
+		s.stats.Accesses++
+		way := s.findWay(set, tag)
+		if way >= 0 {
+			if lru {
+				s.touchLRU(set, way)
+			}
+		} else {
+			s.stats.Misses++
+			if _, ok := s.seen[blk]; !ok {
+				s.seen[blk] = struct{}{}
+				s.stats.CompulsoryMisses++
+			}
+			way = s.insert(set, tag)
+		}
+
+		if w > 1 {
+			rest := uint64(w - 1)
+			s.stats.Accesses += rest
+			if lru {
+				// The block is MRU after the head access: each repeat's
+				// recency-ordered search hits on the first probe, and
+				// the MRU rotation is a no-op.
+				s.stats.TagComparisons += rest
+			} else {
+				// Physical-order search stops at the block's way.
+				s.stats.TagComparisons += rest * uint64(way+1)
+			}
+		}
+	}
+	return s.stats, nil
+}
+
+// RunStream builds a Simulator and replays the stream through it.
+func RunStream(cfg cache.Config, policy cache.Policy, bs *trace.BlockStream) (Stats, error) {
+	s, err := New(cfg, policy)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.SimulateStream(bs)
+}

@@ -1,0 +1,112 @@
+package refsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dew/internal/cache"
+	"dew/internal/trace"
+)
+
+// streamTestTrace mixes runs (sequential fetch inside a block) with
+// random jumps so both the fold and the walk paths are exercised.
+func streamTestTrace(n int, seed int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := make(trace.Trace, 0, n)
+	var addr uint64
+	for len(tr) < n {
+		switch rng.Intn(3) {
+		case 0: // sequential run
+			for k := 0; k < 2+rng.Intn(10) && len(tr) < n; k++ {
+				tr = append(tr, trace.Access{Addr: addr, Kind: trace.IFetch})
+				addr += 4
+			}
+		case 1: // re-touch nearby
+			addr = addr - uint64(rng.Intn(64))
+			tr = append(tr, trace.Access{Addr: addr, Kind: trace.DataRead})
+		default: // jump
+			addr = uint64(rng.Intn(1 << 14))
+			tr = append(tr, trace.Access{Addr: addr, Kind: trace.DataWrite})
+		}
+	}
+	return tr
+}
+
+// assertKindFreeStatsEqual compares the statistics a block stream can
+// reproduce (everything except the per-kind splits).
+func assertKindFreeStatsEqual(t *testing.T, label string, want, got Stats) {
+	t.Helper()
+	if want.Accesses != got.Accesses {
+		t.Errorf("%s: Accesses = %d, want %d", label, got.Accesses, want.Accesses)
+	}
+	if want.Misses != got.Misses {
+		t.Errorf("%s: Misses = %d, want %d", label, got.Misses, want.Misses)
+	}
+	if want.CompulsoryMisses != got.CompulsoryMisses {
+		t.Errorf("%s: CompulsoryMisses = %d, want %d", label, got.CompulsoryMisses, want.CompulsoryMisses)
+	}
+	if want.Evictions != got.Evictions {
+		t.Errorf("%s: Evictions = %d, want %d", label, got.Evictions, want.Evictions)
+	}
+	if want.TagComparisons != got.TagComparisons {
+		t.Errorf("%s: TagComparisons = %d, want %d", label, got.TagComparisons, want.TagComparisons)
+	}
+}
+
+// TestSimulateStreamEquivalence proves the stream replay bit-identical
+// to the trace replay for every policy across configurations, including
+// the per-repeat tag-comparison fold.
+func TestSimulateStreamEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		tr := streamTestTrace(12_000, seed)
+		for _, policy := range []cache.Policy{cache.FIFO, cache.LRU, cache.Random} {
+			for _, cfg := range []cache.Config{
+				cache.MustConfig(8, 4, 16),
+				cache.MustConfig(64, 2, 4),
+				cache.MustConfig(1, 8, 32),
+				cache.MustConfig(16, 1, 8),
+			} {
+				label := fmt.Sprintf("seed%d/%v/%v", seed, policy, cfg)
+				bs, err := tr.BlockStream(cfg.BlockSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := RunTrace(cfg, policy, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := RunStream(cfg, policy, bs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertKindFreeStatsEqual(t, label, want, got)
+			}
+		}
+	}
+}
+
+// TestSimulateStreamRejects guards the two invalid replays: a stream at
+// the wrong block size, and a write-policy simulator (which needs
+// kinds).
+func TestSimulateStreamRejects(t *testing.T) {
+	bs, err := trace.Trace{{Addr: 0}}.BlockStream(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustNew(cache.MustConfig(4, 2, 32), cache.FIFO)
+	if _, err := s.SimulateStream(bs); err == nil {
+		t.Error("block-size mismatch accepted")
+	}
+	ws, err := NewSim(Options{Config: cache.MustConfig(4, 2, 16), Replacement: cache.FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs16, err := trace.Trace{{Addr: 0}}.BlockStream(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.SimulateStream(bs16); err == nil {
+		t.Error("write-policy simulator accepted a kind-free stream")
+	}
+}

@@ -7,17 +7,28 @@
 // every configuration's miss count between the two simulators (the
 // paper's exactness verification).
 //
-// # Batching and parallelism
+// # Stream materialization and sharing
 //
-// A cell materializes its workload trace exactly once; the timed DEW
-// pass, the instrumented DEW pass and every reference pass replay that
-// same read-only trace.Trace. The timed DEW pass takes the counter-free
-// batched fast path (core.AccessBatch over the whole trace), so DEWTime
-// measures pure simulation; the Table 3/4 counters come from a separate,
-// untimed instrumented pass whose per-configuration results must match
-// the fast pass bit for bit — a cell fails if the two paths ever
-// disagree, making every cell an exactness check of the fast path before
+// A cell materializes its workload trace exactly once, and from it one
+// run-compressed trace.BlockStream at the cell's block size (see the
+// trace package: consecutive same-block accesses collapse into one
+// weighted run). Both timed sides replay that same read-only stream —
+// the timed DEW pass through core.SimulateStream, every reference pass
+// through refsim.SimulateStream — so DEWTime and RefTime measure pure
+// simulation over identical inputs, with the one-off decode-and-shift
+// cost of materialization charged to neither side. Run folding is exact
+// on both sides (DEW's Property 2; a deterministic fold in refsim), and
+// RunCells materializes each distinct trace and each distinct
+// (trace, block size) stream once for the whole batch, handing the same
+// immutable stream to every cell and worker that needs it.
+//
+// The untimed instrumented DEW pass still replays the raw trace through
+// the per-access path; its per-configuration results must match the
+// stream pass bit for bit — a cell fails if the two ever disagree,
+// making every cell an exactness check of the stream fast path before
 // the reference comparison even starts.
+//
+// # Parallelism
 //
 // Runner.Workers bounds a worker pool. RunCell spreads the independent
 // per-configuration reference passes across it; RunCells spreads whole
@@ -25,7 +36,7 @@
 // machine is not oversubscribed). Result ordering is deterministic
 // either way — outputs land in slices indexed by configuration or cell,
 // never in completion order, and exactness verification is unaffected
-// because every pass replays the same shared trace. Only the wall-time
+// because every pass replays the same shared stream. Only the wall-time
 // fields are scheduling-sensitive: each reference pass is timed
 // individually, so RefTime remains the *summed* single-pass cost the
 // paper reports, but under Workers > 1 those passes contend for memory
@@ -70,14 +81,27 @@ func (p Params) String() string {
 	return fmt.Sprintf("%s B=%d A=1&%d", p.App.Name, p.BlockSize, p.Assoc)
 }
 
+// requests resolves the effective trace length.
+func (p Params) requests() uint64 {
+	if p.Requests != 0 {
+		return p.Requests
+	}
+	return p.App.DefaultRequests()
+}
+
 // Cell is the measured outcome of one comparison cell.
 type Cell struct {
 	Params
 	// Trace length actually simulated.
 	Requests uint64
+	// StreamRuns is the length of the run-compressed block stream both
+	// timed sides replayed; Requests/StreamRuns is the compression
+	// ratio the stream frontend bought at this block size.
+	StreamRuns uint64
 
 	// DEWTime is the wall time of the single DEW pass; RefTime is the
-	// summed wall time of the per-configuration reference passes.
+	// summed wall time of the per-configuration reference passes. Both
+	// replay the shared materialized stream.
 	DEWTime, RefTime time.Duration
 
 	// DEWComparisons and RefComparisons are total tag comparisons
@@ -113,6 +137,15 @@ func (c Cell) ComparisonReduction() float64 {
 	return 100 * (1 - float64(c.DEWComparisons)/float64(c.RefComparisons))
 }
 
+// CompressionRatio returns accesses per stream run — how many raw
+// accesses the average replayed stream entry stood for.
+func (c Cell) CompressionRatio() float64 {
+	if c.StreamRuns == 0 {
+		return 0
+	}
+	return float64(c.Requests) / float64(c.StreamRuns)
+}
+
 // Runner executes comparison cells.
 type Runner struct {
 	// Logf, when non-nil, receives progress lines. Calls are serialized.
@@ -139,29 +172,73 @@ func (r Runner) logf(format string, args ...interface{}) {
 	}
 }
 
-// RunCell materializes the workload trace once, times one DEW pass
-// against per-configuration reference passes — every pass replaying the
-// same in-memory trace, so RefTime measures simulation and not trace
-// regeneration — and verifies exactness. It returns an error if any
-// configuration's miss counts disagree — which would falsify the
-// simulator, so it is checked on every run.
-func (r Runner) RunCell(p Params) (Cell, error) {
-	n := p.Requests
-	if n == 0 {
-		n = p.App.DefaultRequests()
+// runPool runs fn(0..n-1) across at most workers goroutines and waits
+// for all of them; the first error in index order is returned. Each
+// index must touch disjoint state — the final barrier publishes it to
+// the caller.
+func runPool(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
 	}
-	tr := workload.Take(p.App.Generator(p.Seed), int(n))
-	return r.runCellOn(p, tr)
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// RunCellTrace is RunCell over an explicit in-memory trace (used by tests
-// and by trace-file driven tools).
+// RunCell materializes the workload trace and its block stream once,
+// times one DEW pass against per-configuration reference passes — every
+// timed pass replaying the same in-memory stream, so the times measure
+// simulation and not trace regeneration or decoding — and verifies
+// exactness. It returns an error if any configuration's miss counts
+// disagree — which would falsify the simulator, so it is checked on
+// every run.
+func (r Runner) RunCell(p Params) (Cell, error) {
+	tr := workload.Take(p.App.Generator(p.Seed), int(p.requests()))
+	return r.RunCellTrace(p, tr)
+}
+
+// RunCellTrace is RunCell over an explicit in-memory trace (used by
+// tests and by trace-file driven tools). The block stream is
+// materialized here; callers holding a pre-materialized stream for this
+// trace and block size can pass it through RunCellStream.
 func (r Runner) RunCellTrace(p Params, tr trace.Trace) (Cell, error) {
-	return r.runCellOn(p, tr)
+	bs, err := tr.BlockStream(p.BlockSize)
+	if err != nil {
+		return Cell{Params: p}, err
+	}
+	return r.RunCellStream(p, tr, bs)
 }
 
-func (r Runner) runCellOn(p Params, tr trace.Trace) (Cell, error) {
-	cell := Cell{Params: p, Requests: uint64(len(tr))}
+// RunCellStream runs one cell over a trace and its pre-materialized
+// block stream. The stream must correspond to the trace at the cell's
+// block size; it is only read, so one stream may be shared across
+// concurrent cells.
+func (r Runner) RunCellStream(p Params, tr trace.Trace, bs *trace.BlockStream) (Cell, error) {
+	cell := Cell{Params: p, Requests: uint64(len(tr)), StreamRuns: uint64(bs.Len())}
+	if bs.BlockSize != p.BlockSize || bs.Accesses != uint64(len(tr)) {
+		return cell, fmt.Errorf("sweep: stream (block %d, %d accesses) does not match cell %v over %d requests",
+			bs.BlockSize, bs.Accesses, p, len(tr))
+	}
 
 	// One DEW pass covers assoc 1 and p.Assoc for every set count.
 	opt := core.Options{
@@ -169,20 +246,23 @@ func (r Runner) runCellOn(p Params, tr trace.Trace) (Cell, error) {
 		Assoc: p.Assoc, BlockSize: p.BlockSize,
 	}
 
-	// Timed pass: the counter-free batched fast path over the whole
-	// materialized trace — what DEWTime reports.
+	// Timed pass: the counter-free stream fast path over the shared
+	// materialized stream — what DEWTime reports.
 	fast, err := core.New(opt)
 	if err != nil {
 		return cell, err
 	}
 	start := time.Now()
-	fast.AccessBatch(tr)
+	if err := fast.SimulateStream(bs); err != nil {
+		return cell, err
+	}
 	cell.DEWTime = time.Since(start)
 	cell.Results = fast.Results()
 
 	// Instrumented pass (untimed): supplies the Table 3/4 counters and
-	// doubles as the fast path's exactness check — the two paths must
-	// agree bit for bit on every configuration.
+	// doubles as the stream path's exactness check — it replays the raw
+	// per-access trace, and the two paths must agree bit for bit on
+	// every configuration.
 	dew, err := core.New(opt)
 	if err != nil {
 		return cell, err
@@ -195,13 +275,13 @@ func (r Runner) runCellOn(p Params, tr trace.Trace) (Cell, error) {
 	cell.DEWComparisons = cell.Counters.TagComparisons
 	for i, res := range dew.Results() {
 		if res != cell.Results[i] {
-			return cell, fmt.Errorf("sweep: fast-path divergence at %v: batched %+v, instrumented %+v",
+			return cell, fmt.Errorf("sweep: fast-path divergence at %v: stream %+v, instrumented %+v",
 				res.Config, cell.Results[i], res)
 		}
 	}
 
 	// Reference baseline: one pass per configuration, Dinero-style, all
-	// replaying the shared read-only trace across the worker pool.
+	// replaying the shared read-only stream across the worker pool.
 	// Outputs are indexed by configuration, so ordering (and therefore
 	// every field of the Cell) is deterministic regardless of
 	// scheduling; only wall-time contention varies with Workers.
@@ -228,7 +308,7 @@ func (r Runner) runCellOn(p Params, tr trace.Trace) (Cell, error) {
 					continue
 				}
 				start := time.Now()
-				stats, err := sim.Simulate(tr.NewSliceReader())
+				stats, err := sim.SimulateStream(bs)
 				outs[i] = refOut{dur: time.Since(start), stats: stats, err: err}
 			}
 		}()
@@ -251,20 +331,84 @@ func (r Runner) runCellOn(p Params, tr trace.Trace) (Cell, error) {
 		}
 		cell.Verified++
 	}
-	r.logf("%s: %d requests, speedup %.1fx, comparisons -%.1f%%",
-		p, cell.Requests, cell.Speedup(), cell.ComparisonReduction())
+	r.logf("%s: %d requests (%.1fx run-compressed), speedup %.1fx, comparisons -%.1f%%",
+		p, cell.Requests, cell.CompressionRatio(), cell.Speedup(), cell.ComparisonReduction())
 	return cell, nil
 }
 
 // RunCells executes independent cells across the worker pool and returns
-// their results in params order. Each cell runs its reference passes
-// serially (the cells themselves are the unit of parallelism here). The
-// first error — e.g. an exactness violation, which falsifies everything
-// else — stops further cells from being dispatched; cells already in
-// flight finish, and the first error in params order is returned. Logf
-// output is serialized by the per-cell runner but may interleave across
-// cells.
+// their results in params order. Each distinct trace and each distinct
+// (trace, block size) stream is materialized exactly once up front and
+// shared read-only by every cell that needs it; each cell then runs its
+// reference passes serially (the cells themselves are the unit of
+// parallelism here). Traces are deduplicated by (App.Name, Seed,
+// Requests) — App.Name is the workload registry's identity (see
+// workload.Lookup), so two different generators must not share a name
+// within one batch. The first error — e.g. an exactness violation,
+// which falsifies everything else — stops further cells from being
+// dispatched; cells already in flight finish, and the first error in
+// params order is returned. Logf output is serialized by the per-cell
+// runner but may interleave across cells.
 func (r Runner) RunCells(params []Params) ([]Cell, error) {
+	// Materialize shared inputs, each distinct one once, in parallel
+	// across the worker pool. Keys deduplicate on the workload
+	// identity, not the App struct (which contains function values).
+	// References are handed to cells through per-cell slots (released
+	// as cells finish); the maps only wire up the sharing here.
+	type traceKey struct {
+		app      string
+		seed     uint64
+		requests uint64
+	}
+	type streamKey struct {
+		tk    traceKey
+		block int
+	}
+	var tKeys []traceKey
+	tGen := map[traceKey]workload.App{}
+	var sKeys []streamKey
+	seenS := map[streamKey]bool{}
+	for _, p := range params {
+		tk := traceKey{p.App.Name, p.Seed, p.requests()}
+		if _, ok := tGen[tk]; !ok {
+			tGen[tk] = p.App
+			tKeys = append(tKeys, tk)
+		}
+		sk := streamKey{tk, p.BlockSize}
+		if !seenS[sk] {
+			seenS[sk] = true
+			sKeys = append(sKeys, sk)
+		}
+	}
+	trVals := make([]trace.Trace, len(tKeys))
+	runPool(r.workers(), len(tKeys), func(i int) error {
+		tk := tKeys[i]
+		trVals[i] = workload.Take(tGen[tk].Generator(tk.seed), int(tk.requests))
+		return nil
+	})
+	traces := make(map[traceKey]trace.Trace, len(tKeys))
+	for i, tk := range tKeys {
+		traces[tk] = trVals[i]
+	}
+	bsVals := make([]*trace.BlockStream, len(sKeys))
+	if err := runPool(r.workers(), len(sKeys), func(i int) (err error) {
+		bsVals[i], err = traces[sKeys[i].tk].BlockStream(sKeys[i].block)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	streams := make(map[streamKey]*trace.BlockStream, len(sKeys))
+	for i, sk := range sKeys {
+		streams[sk] = bsVals[i]
+	}
+	cellTrace := make([]trace.Trace, len(params))
+	cellStream := make([]*trace.BlockStream, len(params))
+	for i, p := range params {
+		tk := traceKey{p.App.Name, p.Seed, p.requests()}
+		cellTrace[i] = traces[tk]
+		cellStream[i] = streams[streamKey{tk, p.BlockSize}]
+	}
+
 	cells := make([]Cell, len(params))
 	errs := make([]error, len(params))
 	var failed atomic.Bool
@@ -291,7 +435,13 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				cells[i], errs[i] = inner.RunCell(params[i])
+				cells[i], errs[i] = inner.RunCellStream(params[i], cellTrace[i], cellStream[i])
+				// Release this cell's references: a shared trace or
+				// stream becomes collectable as soon as its last
+				// consuming cell finishes. (Materialization is still
+				// up-front, so the batch's full input set is live at
+				// the start and memory falls as cells complete.)
+				cellTrace[i], cellStream[i] = nil, nil
 				if errs[i] != nil {
 					failed.Store(true)
 				}

@@ -2,11 +2,10 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // The Dinero .din trace format is one access per line:
@@ -33,24 +32,39 @@ func NewDinReader(r io.Reader) *DinReader {
 
 // Next implements Reader. It returns io.EOF at end of input and a
 // descriptive error (with line number) on malformed input.
+//
+// The hot path is allocation-free: fields are located by an index-based
+// two-field split over the scanner's byte view (no per-line string or
+// field-slice allocation), and the label and address parse directly
+// from the bytes. Only error construction allocates.
 func (d *DinReader) Next() (Access, error) {
 	for d.scanner.Scan() {
 		d.line++
-		line := strings.TrimSpace(d.scanner.Text())
-		if line == "" {
-			continue
+		b := d.scanner.Bytes()
+		// First field: the label.
+		i := skipSpace(b, 0)
+		if i == len(b) {
+			continue // blank line
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return Access{}, fmt.Errorf("trace: din line %d: need label and address, got %q", d.line, line)
+		labelStart := i
+		i = skipField(b, i)
+		labelEnd := i
+		// Second field: the address. Anything after it is ignored
+		// (Dinero IV tolerates trailing fields).
+		i = skipSpace(b, i)
+		addrStart := i
+		i = skipField(b, i)
+		addrEnd := i
+		if addrEnd == addrStart {
+			return Access{}, fmt.Errorf("trace: din line %d: need label and address, got %q", d.line, bytes.TrimSpace(b))
 		}
-		label, err := strconv.ParseUint(fields[0], 10, 8)
-		if err != nil || !Kind(label).Valid() {
-			return Access{}, fmt.Errorf("trace: din line %d: bad label %q", d.line, fields[0])
+		label, ok := parseLabel(b[labelStart:labelEnd])
+		if !ok || !Kind(label).Valid() {
+			return Access{}, fmt.Errorf("trace: din line %d: bad label %q", d.line, b[labelStart:labelEnd])
 		}
-		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
-		if err != nil {
-			return Access{}, fmt.Errorf("trace: din line %d: bad address %q: %v", d.line, fields[1], err)
+		addr, ok := parseHex(b[addrStart:addrEnd])
+		if !ok {
+			return Access{}, fmt.Errorf("trace: din line %d: bad address %q", d.line, b[addrStart:addrEnd])
 		}
 		return Access{Addr: addr, Kind: Kind(label)}, nil
 	}
@@ -58,6 +72,71 @@ func (d *DinReader) Next() (Access, error) {
 		return Access{}, err
 	}
 	return Access{}, io.EOF
+}
+
+// skipSpace advances past ASCII whitespace from i.
+func skipSpace(b []byte, i int) int {
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\r' || b[i] == '\v' || b[i] == '\f') {
+		i++
+	}
+	return i
+}
+
+// skipField advances past non-whitespace from i.
+func skipField(b []byte, i int) int {
+	for i < len(b) && b[i] != ' ' && b[i] != '\t' && b[i] != '\r' && b[i] != '\v' && b[i] != '\f' {
+		i++
+	}
+	return i
+}
+
+// parseLabel parses a small decimal integer (the din label column),
+// tolerating arbitrary leading zeros as strconv.ParseUint does.
+func parseLabel(b []byte) (uint8, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint32
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint32(c-'0')
+		if v > 255 {
+			return 0, false
+		}
+	}
+	return uint8(v), true
+}
+
+// parseHex parses a hexadecimal address, tolerating an optional 0x/0X
+// prefix, and reports overflow as failure.
+func parseHex(b []byte) (uint64, bool) {
+	if len(b) >= 2 && b[0] == '0' && (b[1] == 'x' || b[1] == 'X') {
+		b = b[2:]
+	}
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		if v >= 1<<60 {
+			return 0, false // next shift would overflow
+		}
+		v = v<<4 | d
+	}
+	return v, true
 }
 
 // ReadBatch implements BatchReader: it decodes up to len(dst) lines with

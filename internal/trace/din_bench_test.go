@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// dinInput renders n accesses in .din form, mixing prefixes and
+// trailing fields the decoder must tolerate.
+func dinInput(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&sb, "%d %x\n", i%3, uint64(i)*61)
+		case 1:
+			fmt.Fprintf(&sb, "%d 0x%x extra trailing\n", i%3, uint64(i)*61)
+		default:
+			fmt.Fprintf(&sb, "  %d\t%x\n", i%3, uint64(i)*61)
+		}
+	}
+	return sb.String()
+}
+
+// TestDinReaderDecodesAllocFree pins the decoder's allocation behavior:
+// decoding is allocation-free per line. The only allocations a full
+// decode performs are the fixed per-reader setup (reader, scanner and
+// its buffer), so the budget here is a small constant independent of
+// the line count — at 2000 lines even one allocation per line would
+// blow it by orders of magnitude.
+func TestDinReaderDecodesAllocFree(t *testing.T) {
+	const lines = 2000
+	data := dinInput(lines)
+	buf := make([]Access, DefaultBatchSize)
+	allocs := testing.AllocsPerRun(10, func() {
+		d := NewDinReader(strings.NewReader(data))
+		total := 0
+		for {
+			n, err := d.ReadBatch(buf)
+			total += n
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		if total != lines {
+			t.Fatalf("decoded %d accesses, want %d", total, lines)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("decoding %d lines allocated %.0f times; want a small per-reader constant (≤ 8)", lines, allocs)
+	}
+}
+
+// BenchmarkDinReader measures .din text decoding through the batched
+// path; allocs/op is reported and must stay flat (the per-reader setup
+// only; see TestDinReaderDecodesAllocFree for the hard assertion).
+func BenchmarkDinReader(b *testing.B) {
+	const lines = 10_000
+	data := dinInput(lines)
+	buf := make([]Access, DefaultBatchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDinReader(strings.NewReader(data))
+		for {
+			if _, err := d.ReadBatch(buf); err != nil {
+				break
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(lines), "ns/line")
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// BlockStream is a columnar, run-length-compressed view of an address
+// trace at one block size: IDs[i] is a block address (Addr >> log2 of
+// the block size) and Runs[i] counts how many consecutive accesses fell
+// into that block. Consecutive entries always carry distinct IDs except
+// where a run overflowed the uint32 run counter (then it continues in
+// the next entry).
+//
+// The stream is the shared frontend of the multi-configuration
+// simulators: instruction traces are dominated by sequential fetch, so
+// at a block size of B bytes roughly B/4 consecutive accesses share one
+// block, and collapsing those runs once per block size — instead of
+// re-shifting and re-comparing every raw address once per simulation
+// pass — removes the per-access work from every (associativity, policy)
+// pass that replays the stream. A materialized BlockStream is immutable
+// by convention: every consumer only reads it, so one stream can be
+// shared freely across goroutines (the parallel sweep hands the same
+// stream to every cell and reference pass).
+//
+// Folding runs is exact for the simulators in this repository: a
+// repeated block address hits the most-recently-accessed entry of every
+// configuration containing it (DEW's Property 2, lrutree's same-block
+// pruning, a plain hit in the reference simulator) and such hits change
+// no replacement state, so replaying "ID × weight" is bit-identical to
+// replaying the expanded accesses.
+//
+// Kinds are not retained: a run may collapse accesses of different
+// kinds, and none of the replacement policies simulated here consult
+// the kind. Consumers needing per-kind statistics must replay the raw
+// trace.
+type BlockStream struct {
+	// BlockSize is the block size in bytes the stream was materialized
+	// at (a positive power of two).
+	BlockSize int
+	// IDs holds the run-compressed block addresses.
+	IDs []uint64
+	// Runs holds the run length of each ID, parallel to IDs; every
+	// entry is at least 1.
+	Runs []uint32
+	// Accesses is the total access count, the sum over Runs.
+	Accesses uint64
+}
+
+// Len returns the number of runs in the stream.
+func (b *BlockStream) Len() int { return len(b.IDs) }
+
+// CompressionRatio returns accesses per run — how many raw accesses the
+// average stream entry stands for. 8 means a pass over the stream walks
+// one eighth of the trace length.
+func (b *BlockStream) CompressionRatio() float64 {
+	if len(b.IDs) == 0 {
+		return 0
+	}
+	return float64(b.Accesses) / float64(len(b.IDs))
+}
+
+// append adds one access's block ID, extending the current run when the
+// block repeats.
+func (b *BlockStream) append(id uint64) {
+	if n := len(b.IDs); n > 0 && b.IDs[n-1] == id && b.Runs[n-1] < math.MaxUint32 {
+		b.Runs[n-1]++
+	} else {
+		b.IDs = append(b.IDs, id)
+		b.Runs = append(b.Runs, 1)
+	}
+	b.Accesses++
+}
+
+// MaterializeBlockStream drains the reader into a run-compressed block
+// stream for the given block size. Reads go through the batched path
+// (trace.BatchReader), and runs are collapsed across batch boundaries.
+func MaterializeBlockStream(r Reader, blockSize int) (*BlockStream, error) {
+	if blockSize < 1 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("trace: block size must be a positive power of two, got %d", blockSize)
+	}
+	bs := &BlockStream{BlockSize: blockSize}
+	off := uint(bits.TrailingZeros(uint(blockSize)))
+	err := Drain(r, func(batch []Access) {
+		for _, a := range batch {
+			bs.append(a.Addr >> off)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bs, nil
+}
+
+// BlockStream materializes the in-memory trace at the given block size.
+func (t Trace) BlockStream(blockSize int) (*BlockStream, error) {
+	return MaterializeBlockStream(t.NewSliceReader(), blockSize)
+}

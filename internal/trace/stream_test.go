@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"io"
+	"testing"
+)
+
+// expand reconstructs the access-by-access block sequence of a stream.
+func expand(bs *BlockStream) []uint64 {
+	var out []uint64
+	for i, id := range bs.IDs {
+		for k := uint32(0); k < bs.Runs[i]; k++ {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestBlockStreamMaterialize(t *testing.T) {
+	tr := Trace{
+		{Addr: 0}, {Addr: 4}, {Addr: 8}, {Addr: 12}, // one 16-byte block
+		{Addr: 16}, {Addr: 20}, // next block
+		{Addr: 0},             // back to the first
+		{Addr: 0}, {Addr: 15}, // still the first
+	}
+	bs, err := tr.BlockStream(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []uint64{0, 1, 0}
+	wantRuns := []uint32{4, 2, 3}
+	if len(bs.IDs) != len(wantIDs) {
+		t.Fatalf("got %d runs, want %d", len(bs.IDs), len(wantIDs))
+	}
+	for i := range wantIDs {
+		if bs.IDs[i] != wantIDs[i] || bs.Runs[i] != wantRuns[i] {
+			t.Errorf("run %d = (%d, %d), want (%d, %d)", i, bs.IDs[i], bs.Runs[i], wantIDs[i], wantRuns[i])
+		}
+	}
+	if bs.Accesses != uint64(len(tr)) {
+		t.Errorf("Accesses = %d, want %d", bs.Accesses, len(tr))
+	}
+	if got := bs.CompressionRatio(); got != 3 {
+		t.Errorf("CompressionRatio = %v, want 3", got)
+	}
+	if bs.Len() != 3 {
+		t.Errorf("Len = %d, want 3", bs.Len())
+	}
+}
+
+// TestBlockStreamCollapsesAcrossBatches forces the materialization to
+// cross a batch boundary mid-run: the run must not be split.
+func TestBlockStreamCollapsesAcrossBatches(t *testing.T) {
+	tr := make(Trace, DefaultBatchSize+100)
+	for i := range tr {
+		tr[i] = Access{Addr: 32} // one single block
+	}
+	bs, err := MaterializeBlockStream(tr.NewSliceReader(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Len() != 1 || bs.Runs[0] != uint32(len(tr)) {
+		t.Errorf("got %d runs (first %d), want one run of %d", bs.Len(), bs.Runs[0], len(tr))
+	}
+}
+
+func TestBlockStreamExpandRoundTrip(t *testing.T) {
+	tr := batchTestTrace(5000)
+	for _, block := range []int{1, 4, 64} {
+		bs, err := tr.BlockStream(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := expand(bs)
+		if uint64(len(got)) != bs.Accesses || len(got) != len(tr) {
+			t.Fatalf("B=%d: expanded %d accesses, want %d", block, len(got), len(tr))
+		}
+		off := uint(0)
+		for b := block; b > 1; b >>= 1 {
+			off++
+		}
+		for i, a := range tr {
+			if got[i] != a.Addr>>off {
+				t.Fatalf("B=%d: access %d = block %d, want %d", block, i, got[i], a.Addr>>off)
+			}
+		}
+		// Consecutive runs carry distinct IDs (no uint32 overflow here).
+		for i := 1; i < bs.Len(); i++ {
+			if bs.IDs[i] == bs.IDs[i-1] {
+				t.Fatalf("B=%d: runs %d and %d share ID %d", block, i-1, i, bs.IDs[i])
+			}
+		}
+	}
+}
+
+func TestBlockStreamErrors(t *testing.T) {
+	if _, err := MaterializeBlockStream(Trace{}.NewSliceReader(), 3); err == nil {
+		t.Error("block size 3 accepted")
+	}
+	if _, err := MaterializeBlockStream(Trace{}.NewSliceReader(), 0); err == nil {
+		t.Error("block size 0 accepted")
+	}
+	boom := FuncReader(func() (Access, error) { return Access{}, io.ErrUnexpectedEOF })
+	if _, err := MaterializeBlockStream(boom, 4); err == nil {
+		t.Error("reader error not propagated")
+	}
+	empty, err := MaterializeBlockStream(Trace{}.NewSliceReader(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 || empty.CompressionRatio() != 0 {
+		t.Errorf("empty stream: %+v", empty)
+	}
+}

@@ -6,8 +6,8 @@
 // this package substitutes composable access-pattern models that
 // reproduce the *locality structure* the simulators are sensitive to:
 // instruction-fetch streaks, blocked 2-D sweeps, table lookups, stack
-// traffic and large strided working sets. See DESIGN.md §5 for the
-// substitution rationale.
+// traffic and large strided working sets (see the per-app models in
+// apps.go for how these compose).
 //
 // All generators are deterministic functions of their seed, so traces
 // are reproducible across runs and platforms.

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # bench.sh — record the core perf trajectory.
 #
-# Runs the single-vs-batch access benchmarks and writes:
+# Runs the single-vs-batch-vs-stream access benchmarks and writes:
 #   BENCH_core.txt   raw `go test -bench` output (benchstat input)
-#   BENCH_core.json  summary with means, batch-over-single speedups and
-#                    speedups against the committed seed baseline
+#   BENCH_core.json  summary with means, batch-over-single and
+#                    stream-over-batch speedups, per-workload stream
+#                    run-compression ratios, speedups against the
+#                    committed seed baseline, and a history of previous
+#                    recordings (appended, not overwritten)
 #
 # Environment:
 #   COUNT  benchmark repetitions per name (default 5)
@@ -16,9 +19,24 @@ COUNT="${COUNT:-5}"
 OUT="${OUT:-BENCH_core}"
 REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-go test -run '^$' -bench 'BenchmarkAccess(Single|Batch)$' -benchmem -count "$COUNT" . | tee "$OUT.txt"
+go test -run '^$' -bench 'BenchmarkAccess(Single|Batch|Stream)$' -benchmem -count "$COUNT" . | tee "$OUT.txt"
 
+# Preserve the previous recording as history: benchjson reads it from a
+# side copy (the shell truncates $OUT.json before benchjson runs).
+PREV_ARGS=()
+if [ -f "$OUT.json" ]; then
+    cp "$OUT.json" "$OUT.prev.json"
+    PREV_ARGS=(-prev "$OUT.prev.json")
+fi
+
+# Write to a temp file and move into place only on success, so a failed
+# or interrupted run cannot leave a truncated $OUT.json behind. (The
+# guarded expansion keeps `set -u` happy on bash < 4.4, where an empty
+# array would otherwise count as unbound.)
 go run ./scripts/benchjson -baseline scripts/seed_baseline.json -rev "$REV" \
-    < "$OUT.txt" > "$OUT.json"
+    ${PREV_ARGS[@]+"${PREV_ARGS[@]}"} \
+    < "$OUT.txt" > "$OUT.json.tmp"
+mv "$OUT.json.tmp" "$OUT.json"
+rm -f "$OUT.prev.json"
 
 echo "wrote $OUT.txt and $OUT.json"

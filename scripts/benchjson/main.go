@@ -1,13 +1,18 @@
 // Command benchjson converts `go test -bench` output on stdin into the
 // benchstat-compatible JSON summary the repository tracks as
-// BENCH_core.json: per-benchmark run lists and means, plus derived
-// batch-over-single speedups and — when a seed baseline file is given —
-// speedups against the seed commit's single-access path.
+// BENCH_core.json: per-benchmark run lists and means, derived
+// batch-over-single and stream-over-batch speedups, the stream's
+// measured per-workload run-compression ratios, and — when a seed
+// baseline file is given — speedups against the seed commit's
+// single-access path. With -prev pointing at the previous
+// BENCH_core.json, that recording is compacted into the new file's
+// history list (appending to, not overwriting, the trajectory).
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'BenchmarkAccess(Single|Batch)$' . |
-//	    go run ./scripts/benchjson -baseline scripts/seed_baseline.json > BENCH_core.json
+//	go test -run '^$' -bench 'BenchmarkAccess(Single|Batch|Stream)$' . |
+//	    go run ./scripts/benchjson -baseline scripts/seed_baseline.json \
+//	        -prev BENCH_core.prev.json > BENCH_core.json
 package main
 
 import (
@@ -28,6 +33,7 @@ type run struct {
 	Iters       int     `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	NsPerAccess float64 `json:"ns_per_access,omitempty"`
+	AddrPerRun  float64 `json:"addr_per_run,omitempty"`
 }
 
 // series aggregates every run of one benchmark name.
@@ -36,23 +42,79 @@ type series struct {
 	NsPerOpMean        float64 `json:"ns_per_op_mean"`
 	NsPerAccessMean    float64 `json:"ns_per_access_mean,omitempty"`
 	NsPerAccessFastest float64 `json:"ns_per_access_fastest,omitempty"`
+	AddrPerRunMean     float64 `json:"addr_per_run_mean,omitempty"`
+}
+
+// ratioBasis documents how the speedup maps of a recording were
+// computed; entries without the field predate it and used per-series
+// means.
+const ratioBasis = "fastest_ns_per_access"
+
+// historyEntry is the compact record of one previous bench.sh run.
+type historyEntry struct {
+	Generated              string             `json:"generated"`
+	GitRev                 string             `json:"git_rev,omitempty"`
+	CPU                    string             `json:"cpu,omitempty"`
+	RatioBasis             string             `json:"ratio_basis,omitempty"`
+	NsPerAccessMean        map[string]float64 `json:"ns_per_access_mean,omitempty"`
+	SpeedupBatchOverSingle map[string]float64 `json:"speedup_batch_over_single,omitempty"`
+	SpeedupStreamOverBatch map[string]float64 `json:"speedup_stream_over_batch,omitempty"`
+	RunCompression         map[string]float64 `json:"run_compression,omitempty"`
+	SpeedupVsSeed          map[string]float64 `json:"speedup_vs_seed,omitempty"`
 }
 
 type output struct {
-	Generated  string             `json:"generated"`
-	Go         string             `json:"go"`
-	GitRev     string             `json:"git_rev,omitempty"`
-	CPU        string             `json:"cpu,omitempty"`
+	Generated string `json:"generated"`
+	Go        string `json:"go"`
+	GitRev    string `json:"git_rev,omitempty"`
+	CPU       string `json:"cpu,omitempty"`
+	// RatioBasis names the statistic the speedup maps divide (absent in
+	// recordings that predate it, which divided per-series means).
+	RatioBasis string             `json:"ratio_basis,omitempty"`
 	Benchmarks map[string]*series `json:"benchmarks"`
 	// SpeedupBatchOverSingle is ns_per_access(Single)/ns_per_access(Batch)
 	// per workload, both measured in this tree.
 	SpeedupBatchOverSingle map[string]float64 `json:"speedup_batch_over_single,omitempty"`
+	// SpeedupStreamOverBatch is ns_per_access(Batch)/ns_per_access(Stream)
+	// per workload, both measured in this tree.
+	SpeedupStreamOverBatch map[string]float64 `json:"speedup_stream_over_batch,omitempty"`
+	// RunCompression is the stream benchmark's measured accesses-per-run
+	// ratio per workload.
+	RunCompression map[string]float64 `json:"run_compression,omitempty"`
 	// SeedBaseline echoes the committed baseline measurements of the
 	// seed commit's single-access path.
 	SeedBaseline json.RawMessage `json:"seed_baseline,omitempty"`
-	// SpeedupVsSeed is seed ns_per_access / batch ns_per_access per
-	// workload the baseline covers.
+	// SpeedupVsSeed is seed ns_per_access / best ns_per_access (stream
+	// when present, else batch) per workload the baseline covers. The
+	// numerator is the baseline file's single committed measurement of
+	// the seed path; the denominator follows RatioBasis.
 	SpeedupVsSeed map[string]float64 `json:"speedup_vs_seed,omitempty"`
+	// History holds compact records of previous recordings, most recent
+	// first (bench.sh appends rather than overwrites).
+	History []historyEntry `json:"history,omitempty"`
+}
+
+// summarize compacts a full previous output into a history entry.
+func (o *output) summarize() historyEntry {
+	h := historyEntry{
+		Generated:              o.Generated,
+		GitRev:                 o.GitRev,
+		CPU:                    o.CPU,
+		RatioBasis:             o.RatioBasis,
+		SpeedupBatchOverSingle: o.SpeedupBatchOverSingle,
+		SpeedupStreamOverBatch: o.SpeedupStreamOverBatch,
+		RunCompression:         o.RunCompression,
+		SpeedupVsSeed:          o.SpeedupVsSeed,
+	}
+	if len(o.Benchmarks) > 0 {
+		h.NsPerAccessMean = map[string]float64{}
+		for name, s := range o.Benchmarks {
+			if s.NsPerAccessMean > 0 {
+				h.NsPerAccessMean[name] = s.NsPerAccessMean
+			}
+		}
+	}
+	return h
 }
 
 // baseline mirrors scripts/seed_baseline.json.
@@ -62,6 +124,7 @@ type baseline struct {
 
 func main() {
 	baselinePath := flag.String("baseline", "", "path to the seed baseline JSON (optional)")
+	prevPath := flag.String("prev", "", "path to the previous BENCH_core.json to fold into history (optional)")
 	gitRev := flag.String("rev", "", "git revision to record (optional)")
 	flag.Parse()
 
@@ -69,6 +132,7 @@ func main() {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		Go:         runtime.Version(),
 		GitRev:     *gitRev,
+		RatioBasis: ratioBasis,
 		Benchmarks: map[string]*series{},
 	}
 
@@ -105,6 +169,8 @@ func main() {
 				r.NsPerOp = val
 			case "ns/access":
 				r.NsPerAccess = val
+			case "addr/run":
+				r.AddrPerRun = val
 			}
 		}
 		s := out.Benchmarks[name]
@@ -124,27 +190,41 @@ func main() {
 	}
 
 	for _, s := range out.Benchmarks {
-		var opSum, accSum float64
+		var opSum, accSum, cmpSum float64
 		for _, r := range s.Runs {
 			opSum += r.NsPerOp
 			accSum += r.NsPerAccess
+			cmpSum += r.AddrPerRun
 			if r.NsPerAccess > 0 && (s.NsPerAccessFastest == 0 || r.NsPerAccess < s.NsPerAccessFastest) {
 				s.NsPerAccessFastest = r.NsPerAccess
 			}
 		}
 		s.NsPerOpMean = opSum / float64(len(s.Runs))
 		s.NsPerAccessMean = accSum / float64(len(s.Runs))
+		s.AddrPerRunMean = cmpSum / float64(len(s.Runs))
 	}
 
-	// Pair Single/Batch sub-benchmarks by workload suffix.
+	// Pair Single/Batch/Stream sub-benchmarks by workload suffix. Ratios
+	// use each series' fastest sample: interference on a shared machine
+	// only ever slows a run, so the minimum is the least-contaminated
+	// estimate of the true cost (means drift with whatever else the
+	// host was doing while that series happened to run).
 	out.SpeedupBatchOverSingle = map[string]float64{}
+	out.SpeedupStreamOverBatch = map[string]float64{}
+	out.RunCompression = map[string]float64{}
 	for name, s := range out.Benchmarks {
-		app, ok := strings.CutPrefix(name, "BenchmarkAccessBatch/")
-		if !ok || s.NsPerAccessMean <= 0 {
-			continue
+		if app, ok := strings.CutPrefix(name, "BenchmarkAccessBatch/"); ok && s.NsPerAccessFastest > 0 {
+			if single, ok := out.Benchmarks["BenchmarkAccessSingle/"+app]; ok && single.NsPerAccessFastest > 0 {
+				out.SpeedupBatchOverSingle[app] = round2(single.NsPerAccessFastest / s.NsPerAccessFastest)
+			}
 		}
-		if single, ok := out.Benchmarks["BenchmarkAccessSingle/"+app]; ok && single.NsPerAccessMean > 0 {
-			out.SpeedupBatchOverSingle[app] = round2(single.NsPerAccessMean / s.NsPerAccessMean)
+		if app, ok := strings.CutPrefix(name, "BenchmarkAccessStream/"); ok && s.NsPerAccessFastest > 0 {
+			if batch, ok := out.Benchmarks["BenchmarkAccessBatch/"+app]; ok && batch.NsPerAccessFastest > 0 {
+				out.SpeedupStreamOverBatch[app] = round2(batch.NsPerAccessFastest / s.NsPerAccessFastest)
+			}
+			if s.AddrPerRunMean > 0 {
+				out.RunCompression[app] = round2(s.AddrPerRunMean)
+			}
 		}
 	}
 
@@ -167,8 +247,28 @@ func main() {
 		}
 		sort.Strings(apps)
 		for _, app := range apps {
-			if batch, ok := out.Benchmarks["BenchmarkAccessBatch/"+app]; ok && batch.NsPerAccessMean > 0 {
-				out.SpeedupVsSeed[app] = round2(base.NsPerAccess[app] / batch.NsPerAccessMean)
+			best, ok := out.Benchmarks["BenchmarkAccessStream/"+app]
+			if !ok || best.NsPerAccessFastest <= 0 {
+				best, ok = out.Benchmarks["BenchmarkAccessBatch/"+app]
+			}
+			if ok && best.NsPerAccessFastest > 0 {
+				out.SpeedupVsSeed[app] = round2(base.NsPerAccess[app] / best.NsPerAccessFastest)
+			}
+		}
+	}
+
+	// History is best-effort: an unreadable or corrupt previous file is
+	// reported but never blocks recording the current run (a wedged
+	// BENCH_core.json must not make every future bench run fail).
+	if *prevPath != "" {
+		if raw, err := os.ReadFile(*prevPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: skipping history: %v\n", err)
+		} else {
+			var prev output
+			if err := json.Unmarshal(raw, &prev); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: warning: skipping unparseable history %s: %v\n", *prevPath, err)
+			} else {
+				out.History = append([]historyEntry{prev.summarize()}, prev.History...)
 			}
 		}
 	}
