@@ -17,14 +17,16 @@ vet:
 bench:
 	./scripts/bench.sh
 
-# race runs the packages that share materialized streams across
-# goroutines under the race detector.
+# race runs the packages that share materialized streams (and shard
+# partitions) across goroutines under the race detector.
 race:
-	$(GO) test -race ./internal/sweep ./internal/explore
+	$(GO) test -race ./internal/sweep ./internal/explore ./internal/core ./internal/lrutree
 
 # fuzz gives each fuzz target a short budget beyond its seed corpus.
 fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzBatchEquivalence -fuzztime 20s
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzStreamEquivalence -fuzztime 20s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzShardedEquivalence -fuzztime 20s
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzExactness -fuzztime 20s
 	$(GO) test ./internal/lrutree -run '^$$' -fuzz FuzzFastEquivalence -fuzztime 20s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzShardBlockStream -fuzztime 20s

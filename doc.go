@@ -53,4 +53,21 @@
 // every pass replays the same materialized read-only stream; only wall
 // times are scheduling-sensitive (use one worker for timing-faithful
 // Table 3 runs).
+//
+// One pass also parallelizes *internally*, and exactly so, via set
+// sharding: below a shard level S the simulation tree is a forest of
+// 2^S trees that never share a node (a block address b walks only the
+// tree b mod 2^S), and every level of a pass is independently the exact
+// simulation of its own configuration. trace.ShardStream partitions a
+// block stream once into 2^S re-run-compressed substreams, and
+// core.Sharded (mirrored by lrutree.Sharded) replays them — one shallow
+// pass over the levels above S plus one compact tree pass per shard,
+// fanned across goroutines — stitching per-level miss tables back into
+// results bit-identical to the monolithic pass. sweep.Runner.Shards
+// cross-checks that identity against the instrumented pass on every
+// cell; the -shards CLI flag (0 = auto from GOMAXPROCS) exposes it in
+// dewsim, experiments and explore. Simulator.Reset (both simulators)
+// reuses the arena allocations across repeated passes, so benchmark
+// iterations, sweep cells and per-shard replays run allocation-free in
+// steady state.
 package dew

@@ -43,6 +43,33 @@ func TestDewSimCSV(t *testing.T) {
 	}
 }
 
+func TestDewSimSharded(t *testing.T) {
+	// The sharded pass must emit the same result table as the
+	// monolithic pass (only the timing line differs).
+	args := []string{"-app", "G721 Enc", "-n", "10000", "-assoc", "4", "-block", "16", "-maxlog", "6", "-csv"}
+	mono, _, err := run(t, DewSim, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, _, err := run(t, DewSim, append(args, "-shards", "4")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableOf := func(s string) string { return s[:strings.Index(s, "\nsimulated ")] }
+	if tableOf(mono) != tableOf(sharded) {
+		t.Errorf("sharded table differs from monolithic:\n%s\nvs\n%s", tableOf(sharded), tableOf(mono))
+	}
+	if !strings.Contains(sharded, "sharded across 4 trees") {
+		t.Error("sharded mode not echoed")
+	}
+	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-shards", "4", "-counters"); err == nil || !IsUsage(err) {
+		t.Error("-shards with -counters should be a usage error")
+	}
+	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-shards", "4", "-no-mra"); err == nil || !IsUsage(err) {
+		t.Error("-shards with an ablation should be a usage error")
+	}
+}
+
 func TestDewSimLRUPolicy(t *testing.T) {
 	out, _, err := run(t, DewSim,
 		"-app", "CJPEG", "-n", "5000", "-maxlog", "3", "-policy", "LRU")
@@ -263,6 +290,32 @@ func TestExperimentsTable4(t *testing.T) {
 	// Unoptimized evaluations are exactly 2 × 7 levels × 20000 = 0.28M.
 	if !strings.Contains(out, "0.28") {
 		t.Errorf("unoptimized evaluation constant missing:\n%s", out)
+	}
+}
+
+func TestExperimentsSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep-backed experiment test skipped in -short mode")
+	}
+	// The -shards knob must run (and verify) the sharded pass on every
+	// cell; the progress log reports its per-cell fan-out and speedup.
+	out, errOut, err := run(t, Experiments,
+		"-table", "4", "-requests", "15000", "-maxlog", "6", "-shards", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 4: effectiveness") {
+		t.Error("Table 4 missing")
+	}
+	if !strings.Contains(errOut, "4-shard pass") {
+		t.Errorf("progress log missing sharded-pass report:\n%s", errOut)
+	}
+	if _, _, err := run(t, Experiments, "-table", "1", "-shards", "-2"); err == nil {
+		t.Error("negative -shards should fail")
+	}
+	// -shards 0 resolves to the machine's fan-out and must still verify.
+	if _, _, err := run(t, Experiments, "-table", "2", "-shards", "0", "-quiet"); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"dew/internal/cache"
 	"dew/internal/core"
 	"dew/internal/report"
+	"dew/internal/sweep"
+	"dew/internal/trace"
 )
 
 // DewSim runs one DEW pass: exact simulation of every power-of-two set
@@ -23,6 +25,7 @@ func DewSim(env Env, args []string) error {
 		maxLog   = fs.Int("maxlog", 14, "log2 of the largest set count (14 = paper)")
 		policy   = fs.String("policy", "FIFO", "replacement policy: FIFO (DEW's target) or LRU")
 		counters = fs.Bool("counters", false, "print DEW property counters")
+		shards   = fs.Int("shards", 1, "run the pass set-sharded across this many parallel trees (1 = off, 0 = auto from GOMAXPROCS); counter-free, incompatible with -counters and ablations")
 		csv      = fs.Bool("csv", false, "emit results as CSV instead of an aligned table")
 		noMRA    = fs.Bool("no-mra", false, "ablation: disable Property 2 (MRA cut-off)")
 		noWave   = fs.Bool("no-wave", false, "ablation: disable Property 3 (wave pointers)")
@@ -45,6 +48,15 @@ func DewSim(env Env, args []string) error {
 	if err := opt.Validate(); err != nil {
 		return err
 	}
+	if *shards < 0 {
+		return usagef("-shards must be at least 0")
+	}
+	if *shards == 0 {
+		*shards = sweep.AutoShards()
+	}
+	if *shards > 1 && (*counters || *noMRA || *noWave || *noMRE) {
+		return usagef("-shards runs the counter-free parallel pass; drop -counters and the ablation switches")
+	}
 
 	r, closer, err := tf.open()
 	if err != nil {
@@ -54,15 +66,42 @@ func DewSim(env Env, args []string) error {
 		defer closer.Close()
 	}
 
+	var (
+		results  []core.Result
+		accesses uint64
+		mode     string
+		sim      *core.Simulator
+	)
 	start := time.Now()
-	sim, err := core.Run(opt, r)
-	if err != nil {
-		return err
+	if *shards > 1 {
+		// Sharded parallel pass: materialize the stream, partition it,
+		// and fan the trees out. Materialization is timed here — unlike
+		// the sweep, this tool has no second consumer to amortize it.
+		bs, err := trace.MaterializeBlockStream(r, *block)
+		if err != nil {
+			return err
+		}
+		ss, err := trace.ShardBlockStream(bs, trace.ShardLog(*shards, *maxLog))
+		if err != nil {
+			return err
+		}
+		sh, err := core.SimulateSharded(opt, ss, 0)
+		if err != nil {
+			return err
+		}
+		results, accesses = sh.Results(), sh.Accesses()
+		mode = fmt.Sprintf("single pass sharded across %d trees, %v", ss.NumShards(), pol)
+	} else {
+		if sim, err = core.Run(opt, r); err != nil {
+			return err
+		}
+		results, accesses = sim.Results(), sim.Counters().Accesses
+		mode = fmt.Sprintf("single pass, %v", pol)
 	}
 	elapsed := time.Since(start)
 
 	tbl := report.NewTable("", "sets", "assoc", "block", "size", "accesses", "misses", "missRate")
-	for _, res := range sim.Results() {
+	for _, res := range results {
 		tbl.AddRow(res.Config.Sets, res.Config.Assoc, res.Config.BlockSize,
 			cache.FormatSize(res.Config.SizeBytes()),
 			res.Accesses, res.Misses, fmt.Sprintf("%.4f", res.MissRate()))
@@ -76,10 +115,10 @@ func DewSim(env Env, args []string) error {
 		return err
 	}
 
-	c := sim.Counters()
-	fmt.Fprintf(env.Stdout, "\nsimulated %d configurations over %d requests in %v (single pass, %v)\n",
-		tbl.Rows(), c.Accesses, elapsed.Round(time.Millisecond), pol)
+	fmt.Fprintf(env.Stdout, "\nsimulated %d configurations over %d requests in %v (%s)\n",
+		tbl.Rows(), accesses, elapsed.Round(time.Millisecond), mode)
 	if *counters {
+		c := sim.Counters()
 		fmt.Fprintf(env.Stdout, "node evaluations:   %d (unoptimized bound %d)\n", c.NodeEvaluations, sim.UnoptimizedEvaluations())
 		fmt.Fprintf(env.Stdout, "P2 MRA cut-offs:    %d\n", c.MRACount)
 		fmt.Fprintf(env.Stdout, "P3 wave decisions:  %d\n", c.WaveCount)

@@ -28,6 +28,7 @@ func Experiments(env Env, args []string) error {
 		maxLog     = fs.Int("maxlog", 14, "log2 of the largest simulated set count (14 = paper)")
 		extList    = fs.String("ext", "", "comma-separated extended experiments to run (1-4, beyond the paper)")
 		workers    = fs.Int("workers", 1, "worker pool size for sweep cells (1 = serial, timing-faithful; 0 = all cores)")
+		shards     = fs.Int("shards", 1, "also run each cell's set-sharded parallel DEW pass with this fan-out, cross-checked against the monolithic pass (1 = off, 0 = auto from GOMAXPROCS)")
 		csv        = fs.Bool("csv", false, "emit tables as CSV")
 		quiet      = fs.Bool("quiet", false, "suppress progress output")
 	)
@@ -44,8 +45,15 @@ func Experiments(env Env, args []string) error {
 		seeds:    *seeds,
 		maxLog:   *maxLog,
 		workers:  *workers,
+		shards:   *shards,
 		csv:      *csv,
 		quiet:    *quiet,
+	}
+	if ec.shards == 0 {
+		ec.shards = sweep.AutoShards()
+	}
+	if ec.shards < 0 {
+		return usagef("-shards must be at least 0")
 	}
 	if *all {
 		for i := 1; i <= 4; i++ {
@@ -133,6 +141,7 @@ type expConfig struct {
 	seeds    int
 	maxLog   int
 	workers  int
+	shards   int
 	csv      bool
 	quiet    bool
 }
@@ -166,7 +175,7 @@ func expRender(ec expConfig, t *report.Table) error {
 }
 
 func expSweep(ec expConfig, params []sweep.Params) ([]sweep.Cell, error) {
-	r := sweep.Runner{Workers: ec.workers}
+	r := sweep.Runner{Workers: ec.workers, Shards: ec.shards}
 	if !ec.quiet {
 		r.Logf = func(f string, a ...interface{}) {
 			fmt.Fprintf(ec.env.Stderr, "  "+f+"\n", a...)

@@ -11,6 +11,7 @@ import (
 	"dew/internal/energy"
 	"dew/internal/explore"
 	"dew/internal/report"
+	"dew/internal/sweep"
 	"dew/internal/workload"
 )
 
@@ -21,6 +22,7 @@ func Explore(env Env, args []string) error {
 	fs.SetOutput(env.Stderr)
 	var (
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel DEW passes")
+		shards  = fs.Int("shards", 1, "run each DEW pass set-sharded with this fan-out instead of parallelizing across passes (1 = off, 0 = auto from GOMAXPROCS)")
 		maxLogS = fs.Int("maxlog-sets", 14, "largest set count as log2")
 		maxLogB = fs.Int("maxlog-block", 6, "largest block size as log2 bytes")
 		maxLogA = fs.Int("maxlog-assoc", 4, "largest associativity as log2")
@@ -70,7 +72,13 @@ func Explore(env Env, args []string) error {
 	if err != nil {
 		return err
 	}
-	req := explore.Request{Space: space, Source: src, Workers: *workers, Policy: pol}
+	if *shards < 0 {
+		return usagef("-shards must be at least 0")
+	}
+	if *shards == 0 {
+		*shards = sweep.AutoShards()
+	}
+	req := explore.Request{Space: space, Source: src, Workers: *workers, Shards: *shards, Policy: pol}
 	if !*quiet {
 		req.Progress = func(done, total int) {
 			fmt.Fprintf(env.Stderr, "\rpasses: %d/%d", done, total)
@@ -104,8 +112,12 @@ func Explore(env Env, args []string) error {
 	for _, b := range blocks {
 		comp = append(comp, fmt.Sprintf("B%d %.1fx", b, res.StreamCompression[b]))
 	}
-	fmt.Fprintf(env.Stdout, "explored %d configurations with %d DEW passes over %d shared block streams (run compression: %s)\n\n",
-		len(res.Stats), res.Passes, len(blocks), strings.Join(comp, ", "))
+	shardNote := ""
+	if res.Shards > 0 {
+		shardNote = fmt.Sprintf(", each pass sharded across %d trees", res.Shards)
+	}
+	fmt.Fprintf(env.Stdout, "explored %d configurations with %d DEW passes over %d shared block streams (run compression: %s)%s\n\n",
+		len(res.Stats), res.Passes, len(blocks), strings.Join(comp, ", "), shardNote)
 
 	candidates := res.Stats
 	if *maxSize > 0 {

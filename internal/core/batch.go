@@ -89,7 +89,7 @@ func (s *Simulator) accessFast(blk uint64) {
 	missA := s.missA
 	exitHist := s.exitHist
 	nLevels := len(s.levels)
-	isLRU := s.stamp != nil
+	isLRU := s.isLRU
 
 	mask := uint64(1)<<uint(s.opt.MinLogSets) - 1 // level-0 node mask, doubling per level
 	nodeOff := 0                                  // arena offset of the level's node records
@@ -164,6 +164,7 @@ func (s *Simulator) accessFast(blk uint64) {
 		}
 
 		var n int
+		coldFill := false
 		if hitWay >= 0 {
 			// Algorithm 1: Handle_hit.
 			n = hitWay
@@ -173,24 +174,14 @@ func (s *Simulator) accessFast(blk uint64) {
 			if fill < assoc {
 				// Cold fill: no eviction, wave pointer unknown.
 				n = fill
+				coldFill = true
 				nd.fill++
 				tags[base+n] = blk
 				wave[base+n] = -1
 			} else {
 				if isLRU {
-					// LRU victim: oldest stamp; the stamp==0 guard is the
-					// same safety bound as in Access, and a warm miss
-					// still scans all A stamps (see the package comment).
-					stamp := s.stamp
-					n = 0
-					for w := 1; w < assoc; w++ {
-						if stamp[base+n] == 0 {
-							break
-						}
-						if stamp[base+w] < stamp[base+n] {
-							n = w
-						}
-					}
+					// LRU victim: the recency list's LRU endpoint, O(1).
+					n = int(nd.lruWay)
 				} else {
 					n = int(nd.head)
 					nd.head = int8((n + 1) & (assoc - 1))
@@ -218,9 +209,11 @@ func (s *Simulator) accessFast(blk uint64) {
 		if isLRU {
 			// Refresh LRU recency; the way's position never changes, so
 			// wave pointers into and out of this entry stay valid.
-			lv := &s.levels[li]
-			lv.clock[node]++
-			s.stamp[base+n] = lv.clock[node]
+			if coldFill {
+				lruInsert(nd, s.older, s.newer, base, n)
+			} else {
+				lruTouch(nd, s.older, s.newer, base, n)
+			}
 		}
 
 		nd.mra = blk

@@ -66,16 +66,37 @@
 // ablation switch, whose whole point is moving counters) routes the
 // batched entry points back through Access.
 //
+// # Sharded parallel passes
+//
+// A third, parallel execution form of the same pass lives in Sharded:
+// the levels at and below a shard level S decompose into 2^S trees that
+// never share a node (the node index taken mod 2^S equals the block
+// address mod 2^S at every level ≥ S), so each tree can replay its own
+// substream of a trace.ShardStream on its own goroutine while a
+// shallow pass covers the levels above S; the stitched per-level miss
+// tables are bit-identical to the monolithic pass — shard_test.go and
+// FuzzShardedEquivalence enforce it, and sweep cells running with
+// Shards cross-check it against the instrumented pass at runtime.
+//
 // # LRU cost
 //
-// Under cache.LRU a miss in a full set still pays an O(A) victim scan
-// for the minimum recency stamp: FIFO's round-robin cursor does not
-// apply, and keeping ways position-stable (which the wave pointers
-// require) rules out the sorted recency list a dedicated LRU simulator
-// would use. The scan exits early at a never-stamped cold way
-// (stamp == 0), but a warm set always scans all A stamps; that residual
-// O(A) is the price of simulating LRU through a FIFO-shaped structure
-// and is why the paper expects DEW-LRU to trail Janapsatya's method.
+// Under cache.LRU FIFO's round-robin cursor does not apply, and keeping
+// ways position-stable (which the wave pointers require) rules out the
+// sorted recency list a dedicated LRU simulator would use. Earlier
+// versions paid an O(A) victim scan over per-way recency stamps on
+// every warm miss. (Tracking the min-stamp way incrementally cannot
+// remove that scan: every warm miss inserts at the min way, which
+// forces an O(A) recompute of the minimum — the scan just moves.) The
+// simulator instead threads an exact recency order through the
+// position-stable ways as a per-node doubly-linked list (older/newer
+// way indices plus the node's MRU/LRU endpoints): a hit unlinks and
+// relinks one way in O(1), and a warm miss reads the victim straight
+// from the node's LRU endpoint in O(1). Ways still never move, so the
+// wave pointers stay sound, and the list order equals the stamp order
+// (stamps were unique), so victim choice — and every result — is
+// bit-identical to the scanning implementation. The remaining LRU
+// overhead versus FIFO is the constant link maintenance per access,
+// not an O(A) term.
 package core
 
 import (
@@ -104,9 +125,9 @@ type Options struct {
 	// the paper's Section 2.1 notes DEW "can simulate caches with the
 	// LRU replacement policy, but will typically be slower than
 	// Janapsatya's method" — by keeping tags in position-stable ways
-	// (recency lives in per-way stamps, so hits never move entries and
-	// the wave pointers stay sound) at the cost of an O(A) victim scan
-	// per miss. Other policies are rejected.
+	// (recency lives in per-node linked recency order, so hits never
+	// move entries and the wave pointers stay sound) with O(1) victim
+	// selection (see the package comment). Other policies are rejected.
 	Policy cache.Policy
 
 	// DisableMRA, DisableWave and DisableMRE switch off properties 2, 3
@@ -169,12 +190,16 @@ type nodeState struct {
 	// head and fill (bytes 0..9), so with the 24-byte record stride
 	// those bytes stay on one cache line for 7 of every 8 records (only
 	// the offset-56-mod-64 record straddles a boundary); the MRE-domain
-	// fields the stream path never reads sit in the back half.
+	// fields the stream path never reads sit in the back half. The two
+	// LRU recency-list endpoints occupy what was padding, so LRU passes
+	// add no record growth.
 	mra     uint64 // most recently accessed tag (= the DM configuration's content)
 	head    int8   // FIFO round-robin victim cursor
 	fill    int8   // number of valid ways
 	mreOK   bool   // mre holds a real tag
 	mreWave int8   // wave pointer saved with the MRE tag
+	mruWay  int8   // most recently used way (LRU passes; valid when fill > 0)
+	lruWay  int8   // least recently used way = O(1) victim (LRU passes; valid when fill > 0)
 	mre     uint64 // most recently evicted tag
 }
 
@@ -194,24 +219,25 @@ type level struct {
 	// Per-way state.
 	tags []uint64 // stored block addresses
 	wave []int8   // way position of the same tag in the child; -1 empty
-	// stamp holds per-way recency (LRU passes only): the node-local
-	// clock value of the way's last access. Ways never move on hits, so
-	// wave pointers remain sound under LRU; the victim is the way with
-	// the minimum stamp.
-	stamp []uint64
+	// older and newer (LRU passes only) thread the node's exact recency
+	// order through its position-stable ways as a doubly-linked list:
+	// older[w]/newer[w] are way indices one step toward the LRU/MRU
+	// endpoint (-1 at the ends). Ways never move on hits, so wave
+	// pointers remain sound under LRU; the victim is the node's lruWay
+	// endpoint, read in O(1).
+	older []int8
+	newer []int8
 
 	// Per-node state.
 	node []nodeState
-	// clock is the per-node access counter stamping LRU recency (LRU
-	// passes only).
-	clock []uint64
 }
 
 // Simulator is one DEW pass in progress. Create with New, feed with
 // Access or Simulate, then read Results and Counters.
 //
-// All per-way and per-node state lives in four level-major arenas
-// (nodes, tags, wave, stamp); each level's slices are views into them.
+// All per-way and per-node state lives in level-major arenas (nodes,
+// tags, wave, and — for LRU passes — the older/newer recency links);
+// each level's slices are views into them.
 // The instrumented path walks the per-level views, the fast path walks
 // the arenas directly with incrementally computed masks and offsets —
 // same memory, same results.
@@ -219,13 +245,15 @@ type Simulator struct {
 	opt     Options
 	offBits uint
 	assoc   int
+	isLRU   bool
 	levels  []level
 
 	// Arenas backing every level's slices, concatenated in level order.
 	nodes []nodeState
 	tags  []uint64
 	wave  []int8
-	stamp []uint64 // LRU passes only
+	older []int8 // LRU passes only
+	newer []int8 // LRU passes only
 
 	// lvlMask, lvlNodeOff and lvlWayOff are the per-level node masks and
 	// arena offsets, precomputed once. The per-access fast path computes
@@ -276,6 +304,7 @@ func New(opt Options) (*Simulator, error) {
 		opt:     opt,
 		offBits: uint(bits.TrailingZeros(uint(opt.BlockSize))),
 		assoc:   opt.Assoc,
+		isLRU:   opt.Policy == cache.LRU,
 		levels:  make([]level, opt.Levels()),
 	}
 	totalNodes := 0
@@ -293,8 +322,9 @@ func New(opt Options) (*Simulator, error) {
 	s.missDM = make([]uint64, opt.Levels())
 	s.missA = make([]uint64, opt.Levels())
 	s.exitHist = make([]uint64, opt.Levels()+1)
-	if opt.Policy == cache.LRU {
-		s.stamp = make([]uint64, totalWays)
+	if s.isLRU {
+		s.older = make([]int8, totalWays)
+		s.newer = make([]int8, totalWays)
 	}
 	s.lvlMask = make([]uint64, opt.Levels())
 	s.lvlNodeOff = make([]int32, opt.Levels())
@@ -311,14 +341,70 @@ func New(opt Options) (*Simulator, error) {
 		lv.node = s.nodes[nodeOff : nodeOff+nodes : nodeOff+nodes]
 		lv.tags = s.tags[wayOff : wayOff+ways : wayOff+ways]
 		lv.wave = s.wave[wayOff : wayOff+ways : wayOff+ways]
-		if opt.Policy == cache.LRU {
-			lv.stamp = s.stamp[wayOff : wayOff+ways : wayOff+ways]
-			lv.clock = make([]uint64, nodes)
+		if s.isLRU {
+			lv.older = s.older[wayOff : wayOff+ways : wayOff+ways]
+			lv.newer = s.newer[wayOff : wayOff+ways : wayOff+ways]
 		}
 		nodeOff += nodes
 		wayOff += ways
 	}
 	return s, nil
+}
+
+// Reset returns the simulator to its freshly constructed state while
+// keeping every arena allocation, so repeated passes — benchmark
+// iterations, sweep cells, per-shard tree replays — run with zero
+// steady-state allocations. Only the node records and the result/counter
+// arrays are cleared: the per-way arenas (tags, wave, recency links) can
+// stay stale because every read of a way is gated on the owning node's
+// fill count, which Reset zeroes — a stale entry is unreachable until an
+// insertion rewrites it, exactly as an uninitialized entry is after New.
+func (s *Simulator) Reset() {
+	clear(s.nodes)
+	clear(s.missDM)
+	clear(s.missA)
+	clear(s.exitHist)
+	s.counters = Counters{}
+	s.lastBlk, s.lastOK = 0, false
+}
+
+// lruTouch moves the linked way n to the MRU end of the node's recency
+// list in O(1). older and newer may be either a level's views or the
+// arenas, with base the node's way offset in them. Shared by the
+// instrumented and fast paths so both make identical updates.
+func lruTouch(nd *nodeState, older, newer []int8, base, n int) {
+	mru := int(nd.mruWay)
+	if mru == n {
+		return
+	}
+	o, nw := older[base+n], newer[base+n]
+	if o >= 0 {
+		newer[base+int(o)] = nw
+	} else {
+		nd.lruWay = nw // n was the LRU endpoint
+	}
+	if nw >= 0 {
+		older[base+int(nw)] = o
+	}
+	older[base+n] = int8(mru)
+	newer[base+mru] = int8(n)
+	newer[base+n] = -1
+	nd.mruWay = int8(n)
+}
+
+// lruInsert links the newly filled way n (always the node's previous
+// fill count) at the MRU end of the recency list.
+func lruInsert(nd *nodeState, older, newer []int8, base, n int) {
+	if n == 0 {
+		nd.lruWay = 0
+		older[base] = -1
+	} else {
+		mru := int(nd.mruWay)
+		older[base+n] = int8(mru)
+		newer[base+mru] = int8(n)
+	}
+	newer[base+n] = -1
+	nd.mruWay = int8(n)
 }
 
 // MustNew is New but panics on error; for tests and examples.
@@ -411,6 +497,7 @@ func (s *Simulator) Access(a trace.Access) {
 		}
 
 		var n int
+		coldFill := false
 		if hitWay >= 0 {
 			// Algorithm 1: Handle_hit.
 			n = hitWay
@@ -420,27 +507,14 @@ func (s *Simulator) Access(a trace.Access) {
 			if int(nd.fill) < s.assoc {
 				// Cold fill: no eviction, wave pointer unknown.
 				n = int(nd.fill)
+				coldFill = true
 				nd.fill++
 				lv.tags[base+n] = blk
 				lv.wave[base+n] = -1
 			} else {
-				if lv.stamp != nil {
-					// LRU victim: the way with the oldest stamp. A zero
-					// stamp would mark a never-stamped cold way — nothing
-					// can be older, so the scan may stop there. Since the
-					// scan only runs on full sets, whose ways are all
-					// stamped (stamps start at 1), the guard is a safety
-					// bound and a warm miss still pays the full O(A) scan
-					// the package comment documents.
-					n = 0
-					for w := 1; w < s.assoc; w++ {
-						if lv.stamp[base+n] == 0 {
-							break
-						}
-						if lv.stamp[base+w] < lv.stamp[base+n] {
-							n = w
-						}
-					}
+				if s.isLRU {
+					// LRU victim: the recency list's LRU endpoint, O(1).
+					n = int(nd.lruWay)
 				} else {
 					n = int(nd.head)
 					nd.head = int8((n + 1) & (s.assoc - 1))
@@ -472,11 +546,14 @@ func (s *Simulator) Access(a trace.Access) {
 			}
 		}
 
-		if lv.stamp != nil {
+		if s.isLRU {
 			// Refresh LRU recency; the way's position never changes, so
 			// wave pointers into and out of this entry stay valid.
-			lv.clock[node]++
-			lv.stamp[base+n] = lv.clock[node]
+			if coldFill {
+				lruInsert(nd, lv.older, lv.newer, base, n)
+			} else {
+				lruTouch(nd, lv.older, lv.newer, base, n)
+			}
 		}
 
 		nd.mra = blk
@@ -512,18 +589,26 @@ type Result struct {
 // direct-mapped configuration it simulates for free, in ascending set
 // count with the direct-mapped entry first.
 func (s *Simulator) Results() []Result {
+	return buildResults(s.opt, s.counters.Accesses, s.missDM, s.missA)
+}
+
+// buildResults assembles the per-configuration Result layout shared by
+// the monolithic Simulator and the stitched sharded pass: per level, the
+// direct-mapped configuration (when Assoc > 1) followed by the A-way
+// configuration, in ascending set count.
+func buildResults(opt Options, accesses uint64, missDM, missA []uint64) []Result {
 	var out []Result
-	for i := range s.levels {
-		sets := 1 << (s.opt.MinLogSets + i)
-		if s.assoc > 1 {
+	for i := 0; i < opt.Levels(); i++ {
+		sets := 1 << (opt.MinLogSets + i)
+		if opt.Assoc > 1 {
 			out = append(out, Result{
-				Config: cache.Config{Sets: sets, Assoc: 1, BlockSize: s.opt.BlockSize},
-				Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.missDM[i]},
+				Config: cache.Config{Sets: sets, Assoc: 1, BlockSize: opt.BlockSize},
+				Stats:  cache.Stats{Accesses: accesses, Misses: missDM[i]},
 			})
 		}
 		out = append(out, Result{
-			Config: cache.Config{Sets: sets, Assoc: s.assoc, BlockSize: s.opt.BlockSize},
-			Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.missA[i]},
+			Config: cache.Config{Sets: sets, Assoc: opt.Assoc, BlockSize: opt.BlockSize},
+			Stats:  cache.Stats{Accesses: accesses, Misses: missA[i]},
 		})
 	}
 	return out
@@ -533,22 +618,28 @@ func (s *Simulator) Results() []Result {
 // configurations (assoc must be 1 or the pass associativity, sets a
 // simulated level).
 func (s *Simulator) MissesFor(sets, assoc int) (uint64, error) {
-	if assoc != 1 && assoc != s.assoc {
-		return 0, fmt.Errorf("core: pass simulates associativity 1 and %d, not %d", s.assoc, assoc)
+	return missesFor(s.opt, s.missDM, s.missA, sets, assoc)
+}
+
+// missesFor resolves one configuration's miss count from a pass's
+// per-level miss tables; shared by the monolithic and sharded passes.
+func missesFor(opt Options, missDM, missA []uint64, sets, assoc int) (uint64, error) {
+	if assoc != 1 && assoc != opt.Assoc {
+		return 0, fmt.Errorf("core: pass simulates associativity 1 and %d, not %d", opt.Assoc, assoc)
 	}
 	if sets < 1 || sets&(sets-1) != 0 {
 		return 0, fmt.Errorf("core: set count %d is not a power of two", sets)
 	}
 	log := bits.TrailingZeros(uint(sets))
-	if log < s.opt.MinLogSets || log > s.opt.MaxLogSets {
+	if log < opt.MinLogSets || log > opt.MaxLogSets {
 		return 0, fmt.Errorf("core: set count %d outside simulated range [2^%d, 2^%d]",
-			sets, s.opt.MinLogSets, s.opt.MaxLogSets)
+			sets, opt.MinLogSets, opt.MaxLogSets)
 	}
-	li := log - s.opt.MinLogSets
+	li := log - opt.MinLogSets
 	if assoc == 1 {
-		return s.missDM[li], nil
+		return missDM[li], nil
 	}
-	return s.missA[li], nil
+	return missA[li], nil
 }
 
 // Run builds a Simulator, drains the reader and returns it.

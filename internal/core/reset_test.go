@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"dew/internal/cache"
+	"dew/internal/workload"
+)
+
+// TestResetEquivalence replays the same trace on a Reset simulator and
+// on a fresh one, through every entry point and both policies; results
+// and counters must be identical (a Reset pass is a fresh pass).
+func TestResetEquivalence(t *testing.T) {
+	tr := workload.Take(workload.CJPEG.Generator(13), 15_000)
+	for _, opt := range []Options{
+		{MaxLogSets: 6, Assoc: 4, BlockSize: 16},
+		{MinLogSets: 2, MaxLogSets: 6, Assoc: 4, BlockSize: 16, Policy: cache.LRU},
+		{MaxLogSets: 5, Assoc: 8, BlockSize: 4, Instrument: true},
+	} {
+		bs := mustStream(t, tr, opt.BlockSize)
+		reused := MustNew(opt)
+		for round := 0; round < 3; round++ {
+			if round > 0 {
+				reused.Reset()
+			}
+			// Alternate entry points across rounds: Reset must restore
+			// the memo and histogram state they share.
+			switch round {
+			case 0:
+				reused.AccessBatch(tr)
+			default:
+				if err := reused.SimulateStream(bs); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fresh := MustNew(opt)
+			fresh.AccessBatch(tr)
+			assertSameResults(t, "reset round", fresh, reused)
+			if fresh.Counters() != reused.Counters() {
+				t.Errorf("round %d: counters %+v, want %+v", round, reused.Counters(), fresh.Counters())
+			}
+			if err := reused.CheckInvariants(); err != nil {
+				t.Errorf("round %d: %v", round, err)
+			}
+		}
+	}
+}
+
+// TestResetZeroAllocs is the satellite's acceptance check: a Reset +
+// full stream replay allocates nothing in steady state, for FIFO and
+// LRU.
+func TestResetZeroAllocs(t *testing.T) {
+	tr := workload.Take(workload.G721Dec.Generator(2), 20_000)
+	for _, opt := range []Options{
+		{MaxLogSets: 8, Assoc: 4, BlockSize: 16},
+		{MaxLogSets: 8, Assoc: 4, BlockSize: 16, Policy: cache.LRU},
+	} {
+		bs := mustStream(t, tr, opt.BlockSize)
+		s := MustNew(opt)
+		if err := s.SimulateStream(bs); err != nil {
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(5, func() {
+			s.Reset()
+			if err := s.SimulateStream(bs); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%v: %v allocs per Reset+replay, want 0", opt.Policy, avg)
+		}
+	}
+}

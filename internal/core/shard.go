@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dew/internal/trace"
+)
+
+// Sharded is one DEW pass decomposed for intra-pass parallelism at a
+// shard level S: a shallow pass over the levels above S replaying the
+// full block stream, plus 2^S independent tree passes — one per tree of
+// the MinLogSets=S forest — each replaying only its own substream of a
+// trace.ShardStream. Stitching the per-level miss tables back together
+// yields results bit-identical to the monolithic pass.
+//
+// Exactness needs no new argument beyond the simulation tree itself.
+// Each level of a DEW pass is the exact simulation of one configuration;
+// the tree is an acceleration structure, not a coupling between levels,
+// so any split of the level range across simulators is exact. For the
+// levels at and below S, a block address b evaluates node b mod 2^L,
+// and (b mod 2^L) mod 2^S == b mod 2^S for every L ≥ S: the forest's
+// 2^S trees never share a node, tree t is touched exactly by the
+// accesses with b mod 2^S == t, and a node's state transition depends
+// only on its own access subsequence — which the shard substream
+// preserves in order. The properties (P2/P3/P4) only save work inside
+// one tree walk, so they never couple trees either.
+//
+// Each tree runs as a compact simulator over tree-local IDs (the shard
+// level's bits shifted away; see trace.ShardStream): levels 0..maxLog-S
+// at block size BlockSize << S, reusing the packed-arena stream fast
+// path unchanged. Tree arenas are 2^S times smaller than the monolithic
+// deep levels, so a tree's working set is often cache-resident where the
+// monolithic pass's is not.
+//
+// The sharded pass is counter-free by construction: splitting the walk
+// changes where MRA cut-offs land and which scans run, so the property
+// counters of Tables 3 and 4 are only defined for the monolithic pass.
+// Results (and Accesses) are the only outputs, and they are exact.
+type Sharded struct {
+	opt     Options
+	log     int
+	workers int
+
+	// shallow simulates levels [MinLogSets, S) over the full stream;
+	// nil when S ≤ MinLogSets (every level belongs to a tree).
+	shallow *Simulator
+	// trees[t] simulates the original levels [max(MinLogSets, S),
+	// MaxLogSets] for the blocks with id mod 2^S == t, as a compact
+	// pass over tree-local IDs.
+	trees []*Simulator
+
+	// Stitched per-level miss tables, aligned with the monolithic
+	// pass's levels, plus the total access count.
+	missDM, missA []uint64
+	accesses      uint64
+
+	// errs collects per-task errors across replays (reused so a replay
+	// only allocates its transient worker pool).
+	errs []error
+}
+
+// NewSharded builds a sharded pass for the options at shard level log
+// (2^log trees). workers bounds the goroutines replaying substreams;
+// 0 means GOMAXPROCS. The options must describe a fast-path pass:
+// Instrument and the property ablation switches are rejected because
+// the sharded pass maintains no property counters (see the type
+// comment).
+func NewSharded(opt Options, log, workers int) (*Sharded, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.instrumented() {
+		return nil, fmt.Errorf("core: sharded pass is counter-free; Instrument and ablation switches need the monolithic pass")
+	}
+	if log < 0 || log > opt.MaxLogSets {
+		return nil, fmt.Errorf("core: shard level %d outside [0, MaxLogSets=%d]", log, opt.MaxLogSets)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sh := &Sharded{
+		opt:     opt,
+		log:     log,
+		workers: workers,
+		missDM:  make([]uint64, opt.Levels()),
+		missA:   make([]uint64, opt.Levels()),
+	}
+	if log > opt.MinLogSets {
+		shallowOpt := opt
+		shallowOpt.MaxLogSets = log - 1
+		var err error
+		if sh.shallow, err = New(shallowOpt); err != nil {
+			return nil, err
+		}
+	}
+	treeOpt := opt
+	treeOpt.MinLogSets = max(opt.MinLogSets-log, 0)
+	treeOpt.MaxLogSets = opt.MaxLogSets - log
+	treeOpt.BlockSize = opt.BlockSize << log
+	sh.trees = make([]*Simulator, 1<<log)
+	for t := range sh.trees {
+		var err error
+		if sh.trees[t], err = New(treeOpt); err != nil {
+			return nil, err
+		}
+	}
+	sh.errs = make([]error, len(sh.trees)+1)
+	return sh, nil
+}
+
+// Options returns the pass configuration (the monolithic shape the
+// sharded pass reproduces).
+func (sh *Sharded) Options() Options { return sh.opt }
+
+// ShardLog returns the shard level S; the pass fans out across 2^S
+// trees.
+func (sh *Sharded) ShardLog() int { return sh.log }
+
+// Accesses returns the number of requests simulated.
+func (sh *Sharded) Accesses() uint64 { return sh.accesses }
+
+// Reset returns the pass to its freshly constructed state, reusing the
+// shallow and per-tree arenas.
+func (sh *Sharded) Reset() {
+	if sh.shallow != nil {
+		sh.shallow.Reset()
+	}
+	for _, tree := range sh.trees {
+		tree.Reset()
+	}
+	clear(sh.missDM)
+	clear(sh.missA)
+	sh.accesses = 0
+}
+
+// SimulateStream replays a sharded block stream through the pass: the
+// shallow levels replay the parent stream, each tree replays its own
+// substream, all across the worker pool, and the per-level miss tables
+// are stitched back together. The shard stream must be partitioned at
+// exactly this pass's shard level and block size. The stream is only
+// read, so one ShardStream may be shared by any number of concurrent
+// sharded passes. Like the monolithic stream entry points, repeated
+// calls continue the pass (chunked replays accumulate); use Reset to
+// start a fresh one.
+func (sh *Sharded) SimulateStream(ss *trace.ShardStream) error {
+	if ss.Log != sh.log {
+		return fmt.Errorf("core: stream sharded at level %d, pass expects %d", ss.Log, sh.log)
+	}
+	if ss.BlockSize != sh.opt.BlockSize {
+		return fmt.Errorf("core: stream materialized at block size %d, pass simulates %d",
+			ss.BlockSize, sh.opt.BlockSize)
+	}
+	if ss.NumShards() != len(sh.trees) {
+		return fmt.Errorf("core: stream has %d shards, pass has %d trees", ss.NumShards(), len(sh.trees))
+	}
+
+	// Task -1 is the shallow pass; tasks 0..2^S-1 are the trees. Every
+	// task writes only its own simulator, and the final Wait publishes
+	// all of them to the stitching loop.
+	tasks := make(chan int)
+	errs := sh.errs
+	clear(errs)
+	var wg sync.WaitGroup
+	workers := sh.workers
+	if workers > len(errs) {
+		workers = len(errs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				if t < 0 {
+					errs[len(errs)-1] = sh.shallow.SimulateStream(ss.Source)
+				} else {
+					errs[t] = sh.trees[t].SimulateStream(&ss.Shards[t])
+				}
+			}
+		}()
+	}
+	if sh.shallow != nil {
+		tasks <- -1
+	}
+	for t := range sh.trees {
+		tasks <- t
+	}
+	close(tasks)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Stitch: shallow levels copy straight across; each tree's levels
+	// sum into the deep levels (trees partition the accesses, so their
+	// per-level miss counts add). The component simulators' tables are
+	// cumulative across replays, so the stitch recomputes from scratch
+	// — repeated SimulateStream calls (chunked replays, which the
+	// monolithic entry points also support) stay consistent.
+	clear(sh.missDM)
+	clear(sh.missA)
+	deepBase := 0
+	var total uint64
+	if sh.shallow != nil {
+		deepBase = copy(sh.missDM, sh.shallow.missDM)
+		copy(sh.missA, sh.shallow.missA)
+		total = sh.shallow.counters.Accesses
+	}
+	for _, tree := range sh.trees {
+		for l, m := range tree.missDM {
+			sh.missDM[deepBase+l] += m
+		}
+		for l, m := range tree.missA {
+			sh.missA[deepBase+l] += m
+		}
+		if sh.shallow == nil {
+			total += tree.counters.Accesses
+		}
+	}
+	sh.accesses = total
+	return nil
+}
+
+// Results returns the stitched per-configuration statistics, in exactly
+// the layout — and, by construction, with exactly the values — of the
+// monolithic Simulator.Results.
+func (sh *Sharded) Results() []Result {
+	return buildResults(sh.opt, sh.accesses, sh.missDM, sh.missA)
+}
+
+// MissesFor returns the exact miss count for one of the pass's
+// configurations, mirroring Simulator.MissesFor.
+func (sh *Sharded) MissesFor(sets, assoc int) (uint64, error) {
+	return missesFor(sh.opt, sh.missDM, sh.missA, sets, assoc)
+}
+
+// SimulateSharded builds a sharded pass matching the stream's shard
+// level, replays the stream and returns the pass.
+func SimulateSharded(opt Options, ss *trace.ShardStream, workers int) (*Sharded, error) {
+	sh, err := NewSharded(opt, ss.Log, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := sh.SimulateStream(ss); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}

@@ -37,8 +37,9 @@ func (s *Simulator) SimulateStream(bs *trace.BlockStream) error {
 // first of a run repeats the previous block, which is by construction a
 // level-0 MRA hit — a hit at every simulated configuration that
 // mutates no replacement state (FIFO never reorders on hits; under LRU
-// the repeated block is already the newest stamp, so refreshing it
-// cannot change any victim choice). The counter-free fast path
+// the repeated block is already at the MRU end of the recency order,
+// so touching it again moves nothing and cannot change any victim
+// choice). The counter-free fast path
 // therefore walks the tree once per run and adds the full run weight to
 // Counters.Accesses; the instrumented path walks once and folds the
 // remaining weight into the level-0 MRA-hit counters arithmetically,
@@ -80,7 +81,7 @@ func (s *Simulator) AccessRuns(ids []uint64, runs []uint32) {
 		return
 	}
 
-	if s.stamp == nil {
+	if !s.isLRU {
 		s.counters.Accesses += s.runsFastFIFO(ids, runs)
 	} else {
 		var total uint64
@@ -144,9 +145,9 @@ func (s *Simulator) AccessRuns(ids []uint64, runs []uint32) {
 // compile to conditional moves, and the tag write is idempotent on a
 // hit (it rewrites the hit way's own tag).
 //
-// LRU passes take the generic accessFast loop instead: their victim
-// choice reads per-way stamps, which need the per-level view state this
-// hot loop deliberately avoids.
+// LRU passes take the generic accessFast loop instead: every non-MRA
+// hit must reorder the node's recency links, update work this hot loop
+// has no slot for.
 func (s *Simulator) runsFastFIFO(ids []uint64, runs []uint32) uint64 {
 	assoc := s.assoc
 	nodes := s.nodes

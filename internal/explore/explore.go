@@ -49,6 +49,17 @@ type Request struct {
 	// Workers bounds concurrent DEW passes (and concurrent stream
 	// materializations); 0 means GOMAXPROCS.
 	Workers int
+	// Shards, when at least 2, runs every DEW pass in set-sharded
+	// parallel form: the stream of each block size is partitioned once
+	// into 2^S substreams (S the shard level, Shards rounded up to a
+	// power of two and capped at Space.MaxLogSets) shared by all passes
+	// at that block size, and the parallelism moves inside the pass —
+	// passes are scheduled one at a time, each fanning its trees across
+	// Workers goroutines. Prefer it when the space has few passes on
+	// many cores (wide spaces already saturate the machine with
+	// pass-level parallelism). Results are bit-identical either way.
+	// 0 or 1 keeps the monolithic per-pass replay.
+	Shards int
 	// Policy selects the replacement policy for every pass: cache.FIFO
 	// (the default, DEW's target) or cache.LRU (exact but slower; see
 	// core.Options.Policy).
@@ -75,6 +86,9 @@ type Result struct {
 	// ratio (accesses per stream entry) of its materialized stream —
 	// the work every pass at that block size was spared.
 	StreamCompression map[int]float64
+	// Shards is the number of trees each sharded pass fanned out
+	// across; 0 when the passes ran monolithic.
+	Shards int
 }
 
 // Run executes the exploration.
@@ -114,6 +128,46 @@ func Run(req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// With sharding on, partition each stream once — in parallel across
+	// the worker budget, like the streams themselves; every pass at the
+	// block size replays the same read-only partition, and the
+	// parallelism moves inside the pass: passes run one at a time, each
+	// spreading its trees across the worker budget.
+	shardLog := trace.ShardLog(req.Shards, req.Space.MaxLogSets)
+	passWorkers := workers
+	shardStreams := map[int]*trace.ShardStream{}
+	if shardLog >= 0 {
+		passWorkers = 1
+		var (
+			shardMu  sync.Mutex
+			shardErr error
+			shardWG  sync.WaitGroup
+		)
+		sem := make(chan struct{}, workers)
+		for b, bs := range streams {
+			shardWG.Add(1)
+			sem <- struct{}{}
+			go func(b int, bs *trace.BlockStream) {
+				defer func() { <-sem; shardWG.Done() }()
+				ss, err := trace.ShardBlockStream(bs, shardLog)
+				shardMu.Lock()
+				defer shardMu.Unlock()
+				if err != nil {
+					if shardErr == nil {
+						shardErr = fmt.Errorf("explore: sharding block-%d stream: %w", b, err)
+					}
+					return
+				}
+				shardStreams[b] = ss
+			}(b, bs)
+		}
+		shardWG.Wait()
+		if shardErr != nil {
+			return nil, shardErr
+		}
+	}
+
 	// pending counts each block size's outstanding passes so its stream
 	// can be released (for large traces, a stream per block size is the
 	// run's dominant allocation) as soon as the last pass over it ends.
@@ -134,27 +188,43 @@ func Run(req Request) (*Result, error) {
 	for b, bs := range streams {
 		res.StreamCompression[b] = bs.CompressionRatio()
 	}
+	if shardLog >= 0 {
+		res.Shards = 1 << shardLog
+	}
 	includeAssoc1 := req.Space.MinLogAssoc == 0
 
 	jobs := make(chan passSpec)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < passWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for ps := range jobs {
 				mu.Lock()
 				bs := streams[ps.block]
+				ss := shardStreams[ps.block]
 				mu.Unlock()
-				sim, err := core.New(core.Options{
+				opt := core.Options{
 					MinLogSets: req.Space.MinLogSets,
 					MaxLogSets: req.Space.MaxLogSets,
 					Assoc:      ps.assoc,
 					BlockSize:  ps.block,
 					Policy:     req.Policy,
-				})
-				if err == nil {
-					err = sim.SimulateStream(bs)
+				}
+				var results []core.Result
+				var err error
+				if ss != nil {
+					var sh *core.Sharded
+					if sh, err = core.SimulateSharded(opt, ss, workers); err == nil {
+						results = sh.Results()
+					}
+				} else {
+					var sim *core.Simulator
+					if sim, err = core.New(opt); err == nil {
+						if err = sim.SimulateStream(bs); err == nil {
+							results = sim.Results()
+						}
+					}
 				}
 
 				mu.Lock()
@@ -163,7 +233,7 @@ func Run(req Request) (*Result, error) {
 						firstErr = fmt.Errorf("explore: pass B=%d A=%d: %w", ps.block, ps.assoc, err)
 					}
 				} else {
-					for _, r := range sim.Results() {
+					for _, r := range results {
 						if r.Config.Assoc == 1 && !includeAssoc1 {
 							continue
 						}
@@ -180,7 +250,10 @@ func Run(req Request) (*Result, error) {
 				done++
 				pending[ps.block]--
 				if pending[ps.block] == 0 {
-					delete(streams, ps.block) // last pass over this stream: release it
+					// Last pass over this stream: release it and its
+					// shard partition.
+					delete(streams, ps.block)
+					delete(shardStreams, ps.block)
 				}
 				if req.Progress != nil {
 					req.Progress(done, len(passes))

@@ -99,6 +99,49 @@ func TestRunWorkersEquivalence(t *testing.T) {
 	}
 }
 
+// TestRunShardedEquivalence runs the same space monolithic and sharded
+// (both policies): the merged stats must be identical, and the shard
+// fan-out must be recorded.
+func TestRunShardedEquivalence(t *testing.T) {
+	space := smallSpace()
+	tr := randomTrace(4000, 5)
+	for _, policy := range []cache.Policy{cache.FIFO, cache.LRU} {
+		mono, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 2, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mono.Shards != 0 {
+			t.Errorf("monolithic run recorded %d shards", mono.Shards)
+		}
+		sharded, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 2, Shards: 4, Policy: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sharded.Shards != 4 {
+			t.Errorf("%v: Shards = %d, want 4", policy, sharded.Shards)
+		}
+		if len(sharded.Stats) != len(mono.Stats) {
+			t.Fatalf("%v: coverage differs: %d vs %d", policy, len(sharded.Stats), len(mono.Stats))
+		}
+		for cfg, s := range mono.Stats {
+			if sharded.Stats[cfg] != s {
+				t.Errorf("%v %v: monolithic %+v vs sharded %+v", policy, cfg, s, sharded.Stats[cfg])
+			}
+		}
+	}
+	// A shard request above the deepest level is capped, not rejected.
+	capped, err := Run(Request{
+		Space:  cache.ParamSpace{MaxLogSets: 1, MaxLogBlock: 1, MaxLogAssoc: 1},
+		Source: FromTrace(tr), Shards: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Shards != 2 {
+		t.Errorf("capped run fanned across %d trees, want 2", capped.Shards)
+	}
+}
+
 func TestRunAssocOneOnlySpace(t *testing.T) {
 	space := cache.ParamSpace{
 		MinLogSets: 0, MaxLogSets: 4,

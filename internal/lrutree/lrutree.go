@@ -48,6 +48,12 @@
 // are bit-identical in Results (fast_test.go enforces it). Setting
 // Options.Instrument, or disabling a pruning rule, routes the batched
 // entry points back through Access.
+//
+// Sharded mirrors the DEW core's set-sharded parallel pass for the LRU
+// tree: one shallow pass plus 2^S per-tree substream replays of a
+// trace.ShardStream, stitched bit-identical to the monolithic pass
+// (shard_test.go enforces it). Reset reuses the arenas across repeated
+// passes.
 package lrutree
 
 import (
@@ -225,6 +231,23 @@ func New(opt Options) (*Simulator, error) {
 	return s, nil
 }
 
+// Reset returns the simulator to its freshly constructed state while
+// keeping both arena allocations, so repeated passes — benchmark
+// iterations, sweep cells, per-shard tree replays — run with zero
+// steady-state allocations. The tag arena can stay stale: every read of
+// a way is gated on the owning node's fill count (and the MRU check on
+// fill > 0), which Reset zeroes, so a stale entry is unreachable until
+// an insertion rewrites it — exactly as an uninitialized entry is after
+// New.
+func (s *Simulator) Reset() {
+	clear(s.nodes)
+	clear(s.missDM)
+	clear(s.missA)
+	clear(s.exitHist)
+	s.counters = Counters{}
+	s.havePrev, s.prevBlk = false, 0
+}
+
 // MustNew is New but panics on error.
 func MustNew(opt Options) *Simulator {
 	s, err := New(opt)
@@ -337,18 +360,24 @@ type Result struct {
 // ascending set count, direct-mapped before A-way (matching the DEW
 // core's Results layout).
 func (s *Simulator) Results() []Result {
+	return buildResults(s.opt, s.counters.Accesses, s.missDM, s.missA)
+}
+
+// buildResults assembles the per-configuration Result layout shared by
+// the monolithic simulator and the stitched sharded pass.
+func buildResults(opt Options, accesses uint64, missDM, missA []uint64) []Result {
 	var out []Result
-	for i := range s.levels {
-		sets := 1 << (s.opt.MinLogSets + i)
-		if s.assoc > 1 {
+	for i := 0; i < opt.Levels(); i++ {
+		sets := 1 << (opt.MinLogSets + i)
+		if opt.Assoc > 1 {
 			out = append(out, Result{
-				Config: cache.Config{Sets: sets, Assoc: 1, BlockSize: s.opt.BlockSize},
-				Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.missDM[i]},
+				Config: cache.Config{Sets: sets, Assoc: 1, BlockSize: opt.BlockSize},
+				Stats:  cache.Stats{Accesses: accesses, Misses: missDM[i]},
 			})
 		}
 		out = append(out, Result{
-			Config: cache.Config{Sets: sets, Assoc: s.assoc, BlockSize: s.opt.BlockSize},
-			Stats:  cache.Stats{Accesses: s.counters.Accesses, Misses: s.missA[i]},
+			Config: cache.Config{Sets: sets, Assoc: opt.Assoc, BlockSize: opt.BlockSize},
+			Stats:  cache.Stats{Accesses: accesses, Misses: missA[i]},
 		})
 	}
 	return out

@@ -1,0 +1,214 @@
+package lrutree
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dew/internal/trace"
+)
+
+// Sharded is one LRU tree pass decomposed for intra-pass parallelism at
+// a shard level S, mirroring the DEW core's core.Sharded: a shallow
+// pass over the levels above S replaying the full block stream, plus
+// 2^S independent tree passes each replaying its own substream of a
+// trace.ShardStream, stitched back into per-level miss tables
+// bit-identical to the monolithic pass.
+//
+// The exactness argument is the same as the core's and does not depend
+// on the replacement policy: each level is the exact simulation of one
+// configuration, the forest's trees at levels ≥ S never share a node,
+// and a node's recency order evolves only with its own access
+// subsequence, whose order the shard substream preserves. The pruning
+// rules (same-block, MRU cut-off) only save work inside one tree walk.
+//
+// Like the core's, the sharded pass is counter-free: only Results (and
+// Accesses) are defined; the work counters need the monolithic pass.
+type Sharded struct {
+	opt     Options
+	log     int
+	workers int
+
+	// shallow simulates levels [MinLogSets, S) over the full stream;
+	// nil when S ≤ MinLogSets.
+	shallow *Simulator
+	// trees[t] simulates the original levels [max(MinLogSets, S),
+	// MaxLogSets] for the blocks with id mod 2^S == t, as a compact
+	// pass over tree-local IDs.
+	trees []*Simulator
+
+	missDM, missA []uint64
+	accesses      uint64
+
+	// errs collects per-task errors across replays (reused so a replay
+	// only allocates its transient worker pool).
+	errs []error
+}
+
+// NewSharded builds a sharded LRU tree pass at shard level log (2^log
+// trees). workers bounds the goroutines replaying substreams; 0 means
+// GOMAXPROCS. Instrument and the pruning ablation switches are
+// rejected: the sharded pass maintains no work counters.
+func NewSharded(opt Options, log, workers int) (*Sharded, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.instrumented() {
+		return nil, fmt.Errorf("lrutree: sharded pass is counter-free; Instrument and ablation switches need the monolithic pass")
+	}
+	if log < 0 || log > opt.MaxLogSets {
+		return nil, fmt.Errorf("lrutree: shard level %d outside [0, MaxLogSets=%d]", log, opt.MaxLogSets)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sh := &Sharded{
+		opt:     opt,
+		log:     log,
+		workers: workers,
+		missDM:  make([]uint64, opt.Levels()),
+		missA:   make([]uint64, opt.Levels()),
+	}
+	if log > opt.MinLogSets {
+		shallowOpt := opt
+		shallowOpt.MaxLogSets = log - 1
+		var err error
+		if sh.shallow, err = New(shallowOpt); err != nil {
+			return nil, err
+		}
+	}
+	treeOpt := opt
+	treeOpt.MinLogSets = max(opt.MinLogSets-log, 0)
+	treeOpt.MaxLogSets = opt.MaxLogSets - log
+	treeOpt.BlockSize = opt.BlockSize << log
+	sh.trees = make([]*Simulator, 1<<log)
+	for t := range sh.trees {
+		var err error
+		if sh.trees[t], err = New(treeOpt); err != nil {
+			return nil, err
+		}
+	}
+	sh.errs = make([]error, len(sh.trees)+1)
+	return sh, nil
+}
+
+// Options returns the pass configuration.
+func (sh *Sharded) Options() Options { return sh.opt }
+
+// ShardLog returns the shard level S.
+func (sh *Sharded) ShardLog() int { return sh.log }
+
+// Accesses returns the number of requests simulated.
+func (sh *Sharded) Accesses() uint64 { return sh.accesses }
+
+// Reset returns the pass to its freshly constructed state, reusing the
+// shallow and per-tree arenas.
+func (sh *Sharded) Reset() {
+	if sh.shallow != nil {
+		sh.shallow.Reset()
+	}
+	for _, tree := range sh.trees {
+		tree.Reset()
+	}
+	clear(sh.missDM)
+	clear(sh.missA)
+	sh.accesses = 0
+}
+
+// SimulateStream replays a sharded block stream through the pass and
+// stitches the per-level miss tables; see core.Sharded.SimulateStream.
+// The stream is only read, so one ShardStream may be shared by any
+// number of concurrent passes. Repeated calls continue the pass
+// (chunked replays accumulate); use Reset to start a fresh one.
+func (sh *Sharded) SimulateStream(ss *trace.ShardStream) error {
+	if ss.Log != sh.log {
+		return fmt.Errorf("lrutree: stream sharded at level %d, pass expects %d", ss.Log, sh.log)
+	}
+	if ss.BlockSize != sh.opt.BlockSize {
+		return fmt.Errorf("lrutree: stream materialized at block size %d, pass simulates %d",
+			ss.BlockSize, sh.opt.BlockSize)
+	}
+	if ss.NumShards() != len(sh.trees) {
+		return fmt.Errorf("lrutree: stream has %d shards, pass has %d trees", ss.NumShards(), len(sh.trees))
+	}
+
+	tasks := make(chan int)
+	errs := sh.errs
+	clear(errs)
+	var wg sync.WaitGroup
+	workers := sh.workers
+	if workers > len(errs) {
+		workers = len(errs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				if t < 0 {
+					errs[len(errs)-1] = sh.shallow.SimulateStream(ss.Source)
+				} else {
+					errs[t] = sh.trees[t].SimulateStream(&ss.Shards[t])
+				}
+			}
+		}()
+	}
+	if sh.shallow != nil {
+		tasks <- -1
+	}
+	for t := range sh.trees {
+		tasks <- t
+	}
+	close(tasks)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// The component simulators' tables are cumulative across replays,
+	// so the stitch recomputes from scratch — repeated SimulateStream
+	// calls (chunked replays) stay consistent.
+	clear(sh.missDM)
+	clear(sh.missA)
+	deepBase := 0
+	var total uint64
+	if sh.shallow != nil {
+		deepBase = copy(sh.missDM, sh.shallow.missDM)
+		copy(sh.missA, sh.shallow.missA)
+		total = sh.shallow.counters.Accesses
+	}
+	for _, tree := range sh.trees {
+		for l, m := range tree.missDM {
+			sh.missDM[deepBase+l] += m
+		}
+		for l, m := range tree.missA {
+			sh.missA[deepBase+l] += m
+		}
+		if sh.shallow == nil {
+			total += tree.counters.Accesses
+		}
+	}
+	sh.accesses = total
+	return nil
+}
+
+// Results returns the stitched per-configuration statistics in the
+// monolithic Results layout, with identical values by construction.
+func (sh *Sharded) Results() []Result {
+	return buildResults(sh.opt, sh.accesses, sh.missDM, sh.missA)
+}
+
+// SimulateSharded builds a sharded pass matching the stream's shard
+// level, replays the stream and returns the pass.
+func SimulateSharded(opt Options, ss *trace.ShardStream, workers int) (*Sharded, error) {
+	sh, err := NewSharded(opt, ss.Log, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := sh.SimulateStream(ss); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}

@@ -1,0 +1,188 @@
+package lrutree
+
+import (
+	"fmt"
+	"testing"
+
+	"dew/internal/trace"
+	"dew/internal/workload"
+)
+
+// runMonolithic drives the instrumented per-access path.
+func runMonolithic(t *testing.T, opt Options, tr trace.Trace) *Simulator {
+	t.Helper()
+	s := MustNew(opt)
+	for _, a := range tr {
+		s.Access(a)
+	}
+	return s
+}
+
+// TestShardedEquivalence proves the sharded LRU tree pass bit-identical
+// to the monolithic instrumented pass across every shard level,
+// including S=0, S=MaxLogSets and MinLogSets>0 forests.
+func TestShardedEquivalence(t *testing.T) {
+	apps := []workload.App{workload.CJPEG, workload.G721Enc}
+	shapes := []Options{
+		{MaxLogSets: 6, Assoc: 4, BlockSize: 16},
+		{MinLogSets: 2, MaxLogSets: 6, Assoc: 2, BlockSize: 8},
+		{MinLogSets: 1, MaxLogSets: 5, Assoc: 8, BlockSize: 32},
+		{MaxLogSets: 5, Assoc: 1, BlockSize: 4},
+	}
+	for _, app := range apps {
+		tr := workload.Take(app.Generator(7), 25_000)
+		for _, opt := range shapes {
+			bs, err := tr.BlockStream(opt.BlockSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runMonolithic(t, opt, tr)
+			for log := 0; log <= opt.MaxLogSets; log++ {
+				label := fmt.Sprintf("%s/min%d/A%d/B%d/S%d", app.Name, opt.MinLogSets, opt.Assoc, opt.BlockSize, log)
+				ss, err := trace.ShardBlockStream(bs, log)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sh, err := SimulateSharded(opt, ss, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wr, gr := want.Results(), sh.Results()
+				if len(wr) != len(gr) {
+					t.Fatalf("%s: %d results vs %d", label, len(wr), len(gr))
+				}
+				for i := range wr {
+					if wr[i] != gr[i] {
+						t.Errorf("%s: result %d: monolithic %+v, sharded %+v", label, i, wr[i], gr[i])
+					}
+				}
+				if sh.Accesses() != uint64(len(tr)) {
+					t.Errorf("%s: Accesses = %d, want %d", label, sh.Accesses(), len(tr))
+				}
+			}
+		}
+	}
+}
+
+// TestShardedReset reuses one sharded pass across replays.
+func TestShardedReset(t *testing.T) {
+	tr := workload.Take(workload.MPEG2Dec.Generator(4), 12_000)
+	opt := Options{MaxLogSets: 6, Assoc: 4, BlockSize: 16}
+	bs, err := tr.BlockStream(opt.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := trace.ShardBlockStream(bs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := SimulateSharded(opt, ss, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sh.Results()
+	for i := 0; i < 3; i++ {
+		sh.Reset()
+		if err := sh.SimulateStream(ss); err != nil {
+			t.Fatal(err)
+		}
+		for j, r := range sh.Results() {
+			if r != want[j] {
+				t.Fatalf("replay %d: result %d = %+v, want %+v", i, j, r, want[j])
+			}
+		}
+	}
+}
+
+// TestShardedRepeatedReplay replays the same shard stream twice without
+// Reset (a chunked replay) and demands agreement with the monolithic
+// simulator fed the stream twice.
+func TestShardedRepeatedReplay(t *testing.T) {
+	tr := workload.Take(workload.CJPEG.Generator(8), 10_000)
+	opt := Options{MaxLogSets: 6, Assoc: 4, BlockSize: 16}
+	bs, err := tr.BlockStream(opt.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := trace.ShardBlockStream(bs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := MustNew(opt)
+	sh, err := NewSharded(opt, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		if err := mono.SimulateStream(bs); err != nil {
+			t.Fatal(err)
+		}
+		if err := sh.SimulateStream(ss); err != nil {
+			t.Fatal(err)
+		}
+		wr, gr := mono.Results(), sh.Results()
+		for i := range wr {
+			if wr[i] != gr[i] {
+				t.Errorf("round %d result %d: monolithic %+v, sharded %+v", round, i, wr[i], gr[i])
+			}
+		}
+	}
+}
+
+// TestShardedRejects covers the guards.
+func TestShardedRejects(t *testing.T) {
+	opt := Options{MaxLogSets: 4, Assoc: 2, BlockSize: 16}
+	if _, err := NewSharded(opt, 5, 0); err == nil {
+		t.Error("shard level above MaxLogSets accepted")
+	}
+	inst := opt
+	inst.Instrument = true
+	if _, err := NewSharded(inst, 2, 0); err == nil {
+		t.Error("instrumented sharded pass accepted")
+	}
+	abl := opt
+	abl.DisableMRUCutoff = true
+	if _, err := NewSharded(abl, 2, 0); err == nil {
+		t.Error("ablated sharded pass accepted")
+	}
+}
+
+// TestResetEquivalence replays on a Reset simulator vs a fresh one and
+// asserts zero steady-state allocations — the lrutree half of the Reset
+// satellite.
+func TestResetEquivalence(t *testing.T) {
+	tr := workload.Take(workload.CJPEG.Generator(9), 15_000)
+	opt := Options{MaxLogSets: 7, Assoc: 4, BlockSize: 16}
+	bs, err := tr.BlockStream(opt.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := MustNew(opt)
+	for round := 0; round < 3; round++ {
+		if round > 0 {
+			reused.Reset()
+		}
+		if err := reused.SimulateStream(bs); err != nil {
+			t.Fatal(err)
+		}
+		fresh := MustNew(opt)
+		if err := fresh.SimulateStream(bs); err != nil {
+			t.Fatal(err)
+		}
+		fr, rr := fresh.Results(), reused.Results()
+		for i := range fr {
+			if fr[i] != rr[i] {
+				t.Fatalf("round %d: result %d = %+v, want %+v", round, i, rr[i], fr[i])
+			}
+		}
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		reused.Reset()
+		if err := reused.SimulateStream(bs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("%v allocs per Reset+replay, want 0", avg)
+	}
+}

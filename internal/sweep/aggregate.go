@@ -42,6 +42,8 @@ func (a Aggregate) Combined() Cell {
 		out.Requests += c.Requests
 		out.DEWTime += c.DEWTime
 		out.RefTime += c.RefTime
+		out.ShardTime += c.ShardTime
+		out.ShardRuns += c.ShardRuns
 		out.DEWComparisons += c.DEWComparisons
 		out.RefComparisons += c.RefComparisons
 		out.Verified += c.Verified

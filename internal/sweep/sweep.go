@@ -44,10 +44,29 @@
 // Table 3 should therefore use Workers = 1 — the experiments CLI's
 // -workers flag defaults to exactly that — while correctness-focused
 // runs can use all cores (-workers 0).
+//
+// # Sharded passes
+//
+// Workers parallelizes *across* passes; Runner.Shards parallelizes
+// *inside* one. With Shards ≥ 2 every cell additionally runs the
+// set-sharded parallel DEW pass (core.Sharded): the cell's stream is
+// partitioned once per (trace, block size) into a trace.ShardStream —
+// shared read-only across cells exactly like the streams — and 2^S
+// independent tree passes replay it across goroutines, with a shallow
+// pass covering the levels above the shard level. Tree independence
+// makes the decomposition exact (a block address walks only the tree
+// it is congruent to mod 2^S, and each level is independently the
+// exact simulation of its configuration), and the runner enforces it:
+// every sharded cell's results are compared bit for bit against the
+// instrumented monolithic pass, so a sharded sweep is a continuous
+// equivalence proof, not a trust exercise. Cell.ShardTime records the
+// parallel pass's wall time next to the single-thread DEWTime;
+// Cell.ShardSpeedup is their ratio.
 package sweep
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -104,6 +123,16 @@ type Cell struct {
 	// replay the shared materialized stream.
 	DEWTime, RefTime time.Duration
 
+	// Shards is the number of trees the sharded DEW pass fanned out
+	// across (0 when the runner ran no sharded pass); ShardTime is that
+	// pass's wall time, and ShardRuns the total run count of its shard
+	// substreams after per-shard re-compression (≤ StreamRuns). The
+	// sharded pass replays the same cell and is cross-checked
+	// bit-for-bit against the instrumented pass like the stream pass.
+	Shards    int
+	ShardTime time.Duration
+	ShardRuns uint64
+
 	// DEWComparisons and RefComparisons are total tag comparisons
 	// (Table 3's right half).
 	DEWComparisons, RefComparisons uint64
@@ -146,6 +175,16 @@ func (c Cell) CompressionRatio() float64 {
 	return float64(c.Requests) / float64(c.StreamRuns)
 }
 
+// ShardSpeedup returns DEWTime/ShardTime — how much faster the sharded
+// pass covered the cell than the single-thread stream pass. Zero when
+// no sharded pass ran.
+func (c Cell) ShardSpeedup() float64 {
+	if c.ShardTime <= 0 {
+		return 0
+	}
+	return float64(c.DEWTime) / float64(c.ShardTime)
+}
+
 // Runner executes comparison cells.
 type Runner struct {
 	// Logf, when non-nil, receives progress lines. Calls are serialized.
@@ -157,6 +196,37 @@ type Runner struct {
 	// which is what timing-faithful Table 3 runs should use (see the
 	// package comment).
 	Workers int
+
+	// Shards, when at least 2, additionally runs every cell through the
+	// set-sharded parallel DEW pass: the cell's stream is partitioned
+	// once per (trace, block size) into 2^S substreams (S the shard
+	// level, Shards rounded up to a power of two and capped at the
+	// cell's MaxLogSets) and replayed by 2^S independent tree passes
+	// across GOMAXPROCS goroutines — intra-pass parallelism, where
+	// Workers is inter-pass. The sharded pass's results are verified
+	// bit-identical to the instrumented monolithic pass on every cell,
+	// and its wall time lands in Cell.ShardTime next to the
+	// single-thread DEWTime. 0 or 1 disables sharding. Use AutoShards
+	// to derive a value from the machine.
+	Shards int
+}
+
+// AutoShards returns the shard count matched to the machine: the
+// largest power of two not above GOMAXPROCS (minimum 1, which leaves
+// sharding off on a single-core machine where a parallel pass cannot
+// win).
+func AutoShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(n)) - 1)
+}
+
+// shardLog resolves the runner's shard level for a cell via the shared
+// trace.ShardLog rounding rule. Negative when sharding is off.
+func (r Runner) shardLog(maxLogSets int) int {
+	return trace.ShardLog(r.Shards, maxLogSets)
 }
 
 func (r Runner) workers() int {
@@ -232,8 +302,15 @@ func (r Runner) RunCellTrace(p Params, tr trace.Trace) (Cell, error) {
 // RunCellStream runs one cell over a trace and its pre-materialized
 // block stream. The stream must correspond to the trace at the cell's
 // block size; it is only read, so one stream may be shared across
-// concurrent cells.
+// concurrent cells. With Runner.Shards ≥ 2 the shard partition is
+// materialized here; callers holding a pre-partitioned ShardStream for
+// this stream (RunCells builds one per distinct stream) use the
+// unexported path.
 func (r Runner) RunCellStream(p Params, tr trace.Trace, bs *trace.BlockStream) (Cell, error) {
+	return r.runCellStream(p, tr, bs, nil)
+}
+
+func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, ss *trace.ShardStream) (Cell, error) {
 	cell := Cell{Params: p, Requests: uint64(len(tr)), StreamRuns: uint64(bs.Len())}
 	if bs.BlockSize != p.BlockSize || bs.Accesses != uint64(len(tr)) {
 		return cell, fmt.Errorf("sweep: stream (block %d, %d accesses) does not match cell %v over %d requests",
@@ -277,6 +354,39 @@ func (r Runner) RunCellStream(p Params, tr trace.Trace, bs *trace.BlockStream) (
 		if res != cell.Results[i] {
 			return cell, fmt.Errorf("sweep: fast-path divergence at %v: stream %+v, instrumented %+v",
 				res.Config, cell.Results[i], res)
+		}
+	}
+
+	// Sharded pass (timed): the intra-pass parallel replay over the
+	// partitioned stream, cross-checked bit-for-bit against the
+	// instrumented pass exactly like the stream pass above. The
+	// partition itself is untimed shared input, like the stream.
+	if log := r.shardLog(p.MaxLogSets); log >= 0 {
+		if ss == nil {
+			var err error
+			if ss, err = trace.ShardBlockStream(bs, log); err != nil {
+				return cell, err
+			}
+		} else if ss.Log != log || ss.Source != bs {
+			return cell, fmt.Errorf("sweep: shard stream (level %d) does not match cell %v at level %d",
+				ss.Log, p, log)
+		}
+		sharded, err := core.NewSharded(opt, log, 0)
+		if err != nil {
+			return cell, err
+		}
+		cell.Shards = ss.NumShards()
+		cell.ShardRuns = uint64(ss.Runs())
+		start = time.Now()
+		if err := sharded.SimulateStream(ss); err != nil {
+			return cell, err
+		}
+		cell.ShardTime = time.Since(start)
+		for i, res := range sharded.Results() {
+			if res != cell.Results[i] {
+				return cell, fmt.Errorf("sweep: sharded-pass divergence at %v: sharded %+v, instrumented %+v",
+					res.Config, res, cell.Results[i])
+			}
 		}
 	}
 
@@ -331,8 +441,14 @@ func (r Runner) RunCellStream(p Params, tr trace.Trace, bs *trace.BlockStream) (
 		}
 		cell.Verified++
 	}
-	r.logf("%s: %d requests (%.1fx run-compressed), speedup %.1fx, comparisons -%.1f%%",
-		p, cell.Requests, cell.CompressionRatio(), cell.Speedup(), cell.ComparisonReduction())
+	if cell.Shards > 0 {
+		r.logf("%s: %d requests (%.1fx run-compressed), speedup %.1fx, comparisons -%.1f%%, %d-shard pass %.2fx vs stream",
+			p, cell.Requests, cell.CompressionRatio(), cell.Speedup(), cell.ComparisonReduction(),
+			cell.Shards, cell.ShardSpeedup())
+	} else {
+		r.logf("%s: %d requests (%.1fx run-compressed), speedup %.1fx, comparisons -%.1f%%",
+			p, cell.Requests, cell.CompressionRatio(), cell.Speedup(), cell.ComparisonReduction())
+	}
 	return cell, nil
 }
 
@@ -401,12 +517,48 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 	for i, sk := range sKeys {
 		streams[sk] = bsVals[i]
 	}
+
+	// With sharding on, partition each distinct stream once per shard
+	// level the batch needs (cells can differ in MaxLogSets, which caps
+	// the level) and share the partitions read-only like the streams.
+	type shardKey struct {
+		sk  streamKey
+		log int
+	}
+	shardStreams := map[shardKey]*trace.ShardStream{}
+	if r.Shards > 1 {
+		var shKeys []shardKey
+		seenSh := map[shardKey]bool{}
+		for _, p := range params {
+			log := r.shardLog(p.MaxLogSets)
+			k := shardKey{streamKey{traceKey{p.App.Name, p.Seed, p.requests()}, p.BlockSize}, log}
+			if !seenSh[k] {
+				seenSh[k] = true
+				shKeys = append(shKeys, k)
+			}
+		}
+		ssVals := make([]*trace.ShardStream, len(shKeys))
+		if err := runPool(r.workers(), len(shKeys), func(i int) (err error) {
+			ssVals[i], err = trace.ShardBlockStream(streams[shKeys[i].sk], shKeys[i].log)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		for i, k := range shKeys {
+			shardStreams[k] = ssVals[i]
+		}
+	}
+
 	cellTrace := make([]trace.Trace, len(params))
 	cellStream := make([]*trace.BlockStream, len(params))
+	cellShards := make([]*trace.ShardStream, len(params))
 	for i, p := range params {
 		tk := traceKey{p.App.Name, p.Seed, p.requests()}
 		cellTrace[i] = traces[tk]
 		cellStream[i] = streams[streamKey{tk, p.BlockSize}]
+		if r.Shards > 1 {
+			cellShards[i] = shardStreams[shardKey{streamKey{tk, p.BlockSize}, r.shardLog(p.MaxLogSets)}]
+		}
 	}
 
 	cells := make([]Cell, len(params))
@@ -435,13 +587,13 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				cells[i], errs[i] = inner.RunCellStream(params[i], cellTrace[i], cellStream[i])
+				cells[i], errs[i] = inner.runCellStream(params[i], cellTrace[i], cellStream[i], cellShards[i])
 				// Release this cell's references: a shared trace or
 				// stream becomes collectable as soon as its last
 				// consuming cell finishes. (Materialization is still
 				// up-front, so the batch's full input set is live at
 				// the start and memory falls as cells complete.)
-				cellTrace[i], cellStream[i] = nil, nil
+				cellTrace[i], cellStream[i], cellShards[i] = nil, nil, nil
 				if errs[i] != nil {
 					failed.Store(true)
 				}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ShardStream partitions a materialized BlockStream into 2^Log
+// independent substreams keyed by the low Log bits of the block ID —
+// the partition that makes one multi-configuration tree pass
+// parallelizable. In the binomial simulation tree, a block address b
+// evaluates node b mod 2^L at the level with 2^L sets, so for every
+// level L ≥ Log the node index taken mod 2^Log equals b mod 2^Log:
+// the levels at and below the shard level decompose into 2^Log trees
+// that never share a node, and tree t sees exactly the accesses with
+// b mod 2^Log == t, in their original relative order. Each shard of a
+// ShardStream is that subsequence, re-run-compressed (accesses that
+// were separated only by other shards' traffic collapse into one
+// weighted run) — so the shards usually total fewer runs than the
+// parent stream.
+//
+// Shard IDs are stored pre-shifted: Shards[t].IDs[i] is the parent
+// block ID shifted right by Log. Within shard t the low Log bits of
+// every parent ID equal t, so the shift is lossless (two parent IDs in
+// one shard are equal exactly when their shifted IDs are), and the
+// substream is literally the shard's sub-trace materialized at block
+// size BlockSize << Log. A per-tree simulator therefore replays its
+// shard with a plain compact pass — levels 0..maxLog-Log at block size
+// BlockSize << Log — and needs no shard-aware masking anywhere in the
+// walk.
+//
+// Like its parent, a materialized ShardStream is immutable by
+// convention: every consumer only reads it, so one ShardStream can be
+// shared across any number of concurrent sharded passes (the sweep and
+// explore layers materialize one per (trace, block size) and hand it
+// to every cell and pass that wants sharding).
+type ShardStream struct {
+	// BlockSize is the parent stream's block size in bytes.
+	BlockSize int
+	// Log is the shard level S: shard t holds the parent IDs with
+	// id mod 2^Log == t.
+	Log int
+	// Source is the parent stream the shards partition. The shallow
+	// levels of a sharded pass (those above the shard level) still
+	// replay it in full.
+	Source *BlockStream
+	// Shards holds the 2^Log substreams. Shards[t].BlockSize is
+	// BlockSize << Log and Shards[t].IDs are parent IDs shifted right
+	// by Log (see the type comment).
+	Shards []BlockStream
+}
+
+// NumShards returns the number of substreams, 2^Log.
+func (ss *ShardStream) NumShards() int { return len(ss.Shards) }
+
+// ShardLog resolves a requested shard count to a shard level: the
+// smallest S with 2^S ≥ count, capped at maxLog (a pass cannot shard
+// below its deepest level). Negative when count ≤ 1 — sharding off.
+// Every -shards knob resolves through this, so the tools agree on the
+// rounding rule.
+func ShardLog(count, maxLog int) int {
+	if count <= 1 {
+		return -1
+	}
+	log := bits.Len(uint(count - 1))
+	if log > maxLog {
+		log = maxLog
+	}
+	return log
+}
+
+// Accesses returns the total access count; sharding conserves it
+// exactly (every parent access lands in exactly one shard).
+func (ss *ShardStream) Accesses() uint64 { return ss.Source.Accesses }
+
+// Runs returns the total run count across all shards. Re-compression
+// can only merge runs, so Runs() ≤ Source.Len().
+func (ss *ShardStream) Runs() int {
+	n := 0
+	for i := range ss.Shards {
+		n += len(ss.Shards[i].IDs)
+	}
+	return n
+}
+
+// ShardBlockStream partitions bs into 2^log substreams. The partition
+// is exact: every run of bs lands, with its full weight, in the single
+// shard its ID belongs to, and per-shard order is the parent order.
+// Adjacent same-ID runs within a shard merge (unless the merged weight
+// would overflow the uint32 run counter, in which case the run splits
+// exactly as BlockStream materialization splits it).
+func ShardBlockStream(bs *BlockStream, log int) (*ShardStream, error) {
+	if log < 0 || log > 22 {
+		return nil, fmt.Errorf("trace: shard level %d outside supported [0, 22]", log)
+	}
+	n := 1 << log
+	mask := uint64(n - 1)
+	ss := &ShardStream{
+		BlockSize: bs.BlockSize,
+		Log:       log,
+		Source:    bs,
+		Shards:    make([]BlockStream, n),
+	}
+
+	// Counting pass: exact per-shard entry counts under the same merge
+	// rule the fill pass applies, so the fill pass never reallocates.
+	counts := make([]int, n)
+	lastID := make([]uint64, n)
+	lastRun := make([]uint32, n)
+	have := make([]bool, n)
+	for i, id := range bs.IDs {
+		t := id & mask
+		sid := id >> uint(log)
+		w := bs.Runs[i]
+		if have[t] && lastID[t] == sid && uint64(lastRun[t])+uint64(w) <= math.MaxUint32 {
+			lastRun[t] += w
+			continue
+		}
+		counts[t]++
+		lastID[t], lastRun[t], have[t] = sid, w, true
+	}
+
+	for t := 0; t < n; t++ {
+		ss.Shards[t] = BlockStream{
+			BlockSize: bs.BlockSize << uint(log),
+			IDs:       make([]uint64, 0, counts[t]),
+			Runs:      make([]uint32, 0, counts[t]),
+		}
+	}
+
+	// Fill pass: identical merge decisions, now writing the columns.
+	for i, id := range bs.IDs {
+		t := id & mask
+		sid := id >> uint(log)
+		w := bs.Runs[i]
+		sh := &ss.Shards[t]
+		sh.Accesses += uint64(w)
+		if last := len(sh.IDs) - 1; last >= 0 && sh.IDs[last] == sid &&
+			uint64(sh.Runs[last])+uint64(w) <= math.MaxUint32 {
+			sh.Runs[last] += w
+			continue
+		}
+		sh.IDs = append(sh.IDs, sid)
+		sh.Runs = append(sh.Runs, w)
+	}
+	return ss, nil
+}

@@ -1,10 +1,11 @@
 // Command benchjson converts `go test -bench` output on stdin into the
 // benchstat-compatible JSON summary the repository tracks as
 // BENCH_core.json: per-benchmark run lists and means, derived
-// batch-over-single and stream-over-batch speedups, the stream's
-// measured per-workload run-compression ratios, and — when a seed
-// baseline file is given — speedups against the seed commit's
-// single-access path. With -prev pointing at the previous
+// batch-over-single, stream-over-batch and sharded-over-stream speedup
+// curves (the latter per shard fan-out, from BenchmarkAccessSharded),
+// the stream's measured per-workload run-compression ratios, and —
+// when a seed baseline file is given — speedups against the seed
+// commit's single-access path. With -prev pointing at the previous
 // BENCH_core.json, that recording is compacted into the new file's
 // history list (appending to, not overwriting, the trajectory).
 //
@@ -52,15 +53,16 @@ const ratioBasis = "fastest_ns_per_access"
 
 // historyEntry is the compact record of one previous bench.sh run.
 type historyEntry struct {
-	Generated              string             `json:"generated"`
-	GitRev                 string             `json:"git_rev,omitempty"`
-	CPU                    string             `json:"cpu,omitempty"`
-	RatioBasis             string             `json:"ratio_basis,omitempty"`
-	NsPerAccessMean        map[string]float64 `json:"ns_per_access_mean,omitempty"`
-	SpeedupBatchOverSingle map[string]float64 `json:"speedup_batch_over_single,omitempty"`
-	SpeedupStreamOverBatch map[string]float64 `json:"speedup_stream_over_batch,omitempty"`
-	RunCompression         map[string]float64 `json:"run_compression,omitempty"`
-	SpeedupVsSeed          map[string]float64 `json:"speedup_vs_seed,omitempty"`
+	Generated                string                        `json:"generated"`
+	GitRev                   string                        `json:"git_rev,omitempty"`
+	CPU                      string                        `json:"cpu,omitempty"`
+	RatioBasis               string                        `json:"ratio_basis,omitempty"`
+	NsPerAccessMean          map[string]float64            `json:"ns_per_access_mean,omitempty"`
+	SpeedupBatchOverSingle   map[string]float64            `json:"speedup_batch_over_single,omitempty"`
+	SpeedupStreamOverBatch   map[string]float64            `json:"speedup_stream_over_batch,omitempty"`
+	SpeedupShardedOverStream map[string]map[string]float64 `json:"speedup_sharded_over_stream,omitempty"`
+	RunCompression           map[string]float64            `json:"run_compression,omitempty"`
+	SpeedupVsSeed            map[string]float64            `json:"speedup_vs_seed,omitempty"`
 }
 
 type output struct {
@@ -78,6 +80,13 @@ type output struct {
 	// SpeedupStreamOverBatch is ns_per_access(Batch)/ns_per_access(Stream)
 	// per workload, both measured in this tree.
 	SpeedupStreamOverBatch map[string]float64 `json:"speedup_stream_over_batch,omitempty"`
+	// SpeedupShardedOverStream is, per workload and per shard fan-out
+	// ("S2", "S4", ...), ns_per_access(Stream)/ns_per_access(Sharded) —
+	// the shard-count speedup curve of the set-sharded parallel pass
+	// over the single-thread stream path, both measured in this tree.
+	// Values below 1 on single-core hosts record the coordination
+	// overhead honestly.
+	SpeedupShardedOverStream map[string]map[string]float64 `json:"speedup_sharded_over_stream,omitempty"`
 	// RunCompression is the stream benchmark's measured accesses-per-run
 	// ratio per workload.
 	RunCompression map[string]float64 `json:"run_compression,omitempty"`
@@ -97,14 +106,15 @@ type output struct {
 // summarize compacts a full previous output into a history entry.
 func (o *output) summarize() historyEntry {
 	h := historyEntry{
-		Generated:              o.Generated,
-		GitRev:                 o.GitRev,
-		CPU:                    o.CPU,
-		RatioBasis:             o.RatioBasis,
-		SpeedupBatchOverSingle: o.SpeedupBatchOverSingle,
-		SpeedupStreamOverBatch: o.SpeedupStreamOverBatch,
-		RunCompression:         o.RunCompression,
-		SpeedupVsSeed:          o.SpeedupVsSeed,
+		Generated:                o.Generated,
+		GitRev:                   o.GitRev,
+		CPU:                      o.CPU,
+		RatioBasis:               o.RatioBasis,
+		SpeedupBatchOverSingle:   o.SpeedupBatchOverSingle,
+		SpeedupStreamOverBatch:   o.SpeedupStreamOverBatch,
+		SpeedupShardedOverStream: o.SpeedupShardedOverStream,
+		RunCompression:           o.RunCompression,
+		SpeedupVsSeed:            o.SpeedupVsSeed,
 	}
 	if len(o.Benchmarks) > 0 {
 		h.NsPerAccessMean = map[string]float64{}
@@ -169,7 +179,7 @@ func main() {
 				r.NsPerOp = val
 			case "ns/access":
 				r.NsPerAccess = val
-			case "addr/run":
+			case "addr/run", "addr/shardrun":
 				r.AddrPerRun = val
 			}
 		}
@@ -211,6 +221,7 @@ func main() {
 	// host was doing while that series happened to run).
 	out.SpeedupBatchOverSingle = map[string]float64{}
 	out.SpeedupStreamOverBatch = map[string]float64{}
+	out.SpeedupShardedOverStream = map[string]map[string]float64{}
 	out.RunCompression = map[string]float64{}
 	for name, s := range out.Benchmarks {
 		if app, ok := strings.CutPrefix(name, "BenchmarkAccessBatch/"); ok && s.NsPerAccessFastest > 0 {
@@ -224,6 +235,21 @@ func main() {
 			}
 			if s.AddrPerRunMean > 0 {
 				out.RunCompression[app] = round2(s.AddrPerRunMean)
+			}
+		}
+		// BenchmarkAccessSharded/<app>/S<k>: one curve point per fan-out.
+		if rest, ok := strings.CutPrefix(name, "BenchmarkAccessSharded/"); ok && s.NsPerAccessFastest > 0 {
+			app, fanout, found := strings.Cut(rest, "/")
+			if !found {
+				continue
+			}
+			if stream, ok := out.Benchmarks["BenchmarkAccessStream/"+app]; ok && stream.NsPerAccessFastest > 0 {
+				curve := out.SpeedupShardedOverStream[app]
+				if curve == nil {
+					curve = map[string]float64{}
+					out.SpeedupShardedOverStream[app] = curve
+				}
+				curve[fanout] = round2(stream.NsPerAccessFastest / s.NsPerAccessFastest)
 			}
 		}
 	}
