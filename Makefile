@@ -20,7 +20,7 @@ bench:
 # race runs the packages that share materialized streams (and shard
 # partitions) across goroutines under the race detector.
 race:
-	$(GO) test -race ./internal/sweep ./internal/explore ./internal/core ./internal/lrutree
+	$(GO) test -race ./internal/sweep ./internal/explore ./internal/core ./internal/lrutree ./internal/refsim ./internal/engine ./internal/trace
 
 # fuzz gives each fuzz target a short budget beyond its seed corpus.
 fuzz:
@@ -30,3 +30,4 @@ fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzExactness -fuzztime 20s
 	$(GO) test ./internal/lrutree -run '^$$' -fuzz FuzzFastEquivalence -fuzztime 20s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzShardBlockStream -fuzztime 20s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzIngestShards -fuzztime 20s

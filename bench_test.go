@@ -10,6 +10,7 @@ package dew
 // miniature. cmd/experiments produces the full tables.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -219,6 +220,85 @@ func BenchmarkAccessSharded(b *testing.B) {
 				b.ReportMetric(float64(bs.Accesses)/float64(ss.Runs()), "addr/shardrun")
 			})
 		}
+	}
+}
+
+// benchDinTexts caches each workload's .din encoding for the ingest
+// benchmarks.
+var benchDinTexts = map[string][]byte{}
+
+func benchDinText(b *testing.B, app workload.App) []byte {
+	b.Helper()
+	text, ok := benchDinTexts[app.Name]
+	if !ok {
+		var buf bytes.Buffer
+		w := trace.NewDinWriter(&buf)
+		for _, a := range benchTrace(b, app) {
+			if err := w.WriteAccess(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		text = buf.Bytes()
+		benchDinTexts[app.Name] = text
+	}
+	return text
+}
+
+// benchIngestLog is the shard level the ingest benchmarks build (8
+// substreams, the widest fan-out the shard benchmarks track).
+const benchIngestLog = 3
+
+// BenchmarkIngestShards measures the decode → shard ingest pipeline on
+// .din text: chunk-parallel parsing and run compression feeding
+// per-shard appenders, producing the parent stream and its 2^3-shard
+// partition in one pass. blocks/s is the end-to-end decode→appender
+// throughput (block references ingested per second) scripts/bench.sh
+// records per workload in BENCH_core.json; compare
+// BenchmarkIngestSerial, the materialize-then-shard serial path over
+// the same bytes.
+func BenchmarkIngestShards(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			text := benchDinText(b, app)
+			var accesses uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ss, err := trace.IngestDinShards(bytes.NewReader(text), benchAccessOpt.BlockSize, benchIngestLog, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				accesses = ss.Accesses()
+			}
+			b.ReportMetric(float64(accesses)*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+		})
+	}
+}
+
+// BenchmarkIngestSerial is the serial baseline for the pipeline: one
+// goroutine decodes the same .din bytes, materializes the block
+// stream, then partitions it with the two-pass ShardBlockStream walk.
+func BenchmarkIngestSerial(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			text := benchDinText(b, app)
+			var accesses uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bs, err := trace.MaterializeBlockStream(trace.NewDinReader(bytes.NewReader(text)), benchAccessOpt.BlockSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ss, err := trace.ShardBlockStream(bs, benchIngestLog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				accesses = ss.Accesses()
+			}
+			b.ReportMetric(float64(accesses)*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+		})
 	}
 }
 

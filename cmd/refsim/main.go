@@ -1,5 +1,7 @@
 // Command refsim — see dew/internal/cli.RefSim for the implementation
-// and flag documentation.
+// and flag documentation. One configuration per run, Dinero-style; with
+// -shards ≥ 2 (0 = auto) the replay runs the sharded reference engine
+// over set-substreams built by the decode → shard ingest pipeline.
 package main
 
 import (

@@ -63,11 +63,43 @@
 // core.Sharded (mirrored by lrutree.Sharded) replays them — one shallow
 // pass over the levels above S plus one compact tree pass per shard,
 // fanned across goroutines — stitching per-level miss tables back into
-// results bit-identical to the monolithic pass. sweep.Runner.Shards
-// cross-checks that identity against the instrumented pass on every
-// cell; the -shards CLI flag (0 = auto from GOMAXPROCS) exposes it in
-// dewsim, experiments and explore. Simulator.Reset (both simulators)
-// reuses the arena allocations across repeated passes, so benchmark
-// iterations, sweep cells and per-shard replays run allocation-free in
-// steady state.
+// results bit-identical to the monolithic pass. refsim.Sharded does the
+// same for the reference simulator: a configuration with 2^L sets
+// (L ≥ S) is the disjoint union of 2^S sub-caches, each replaying its
+// substream independently under FIFO/LRU (Random, whose replacement
+// stream is global, falls back to the exact monolithic replay).
+// sweep.Runner.Shards cross-checks both identities — sharded DEW
+// against the instrumented pass, sharded reference against the
+// monolithic reference — on every cell; the -shards CLI flag exposes
+// sharding in dewsim, refsim, experiments and explore, with 0 = auto
+// (per-cell from stream statistics in the sweep, see
+// sweep.AutoShardsStream; GOMAXPROCS elsewhere). Simulator.Reset (all
+// three simulators) reuses the arena allocations across repeated
+// passes, so benchmark iterations, sweep cells and per-shard replays
+// run allocation-free in steady state.
+//
+// # Pipeline architecture: decode → shard → engine → stitch
+//
+// A fully sharded run never materializes the raw trace and never walks
+// it twice. The ingest pipeline (trace.IngestShards / IngestDinShards /
+// IngestFileShards) decodes the trace in chunks — for .din text the
+// decode itself is chunk-parallel, the byte stream cut at line
+// boundaries and parsed by workers — run-compresses every chunk in
+// parallel, and feeds per-shard BlockStream appenders directly, with a
+// serial boundary-merge step applying the exact per-access run
+// semantics where chunks meet. The resulting parent stream and shard
+// partition are bit-identical — including uint32 run-overflow splits —
+// to the serial materialize-then-shard path (equivalence- and
+// fuzz-tested), so every downstream exactness argument carries over
+// unchanged.
+//
+// Simulation itself runs behind the engine seam: package engine wraps
+// the three simulators (dew, lrutree, ref) in one interface —
+// SimulateStream / SimulateSharded / Reset / Results — resolved by
+// name from a registry. The sweep, explore and cli layers each drive
+// every pass through a single engine-dispatch site, so registering a
+// new simulator or policy variant makes it drivable everywhere with no
+// new plumbing. Engines stitch their sharded replays back into
+// results bit-identical to the monolithic ones; the design-space
+// layers verify that identity at runtime rather than assume it.
 package dew

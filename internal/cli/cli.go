@@ -9,7 +9,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 
+	"dew/internal/engine"
 	"dew/internal/trace"
 	"dew/internal/workload"
 )
@@ -71,6 +73,31 @@ func (tf traceFlags) open() (trace.Reader, io.Closer, error) {
 	default:
 		return nil, nil, usagef("pass -trace FILE or -app NAME")
 	}
+}
+
+// engineFlagDoc builds the -engine usage string from the registry.
+// Tool passes replay through the engine package's one dispatch seam
+// (engine.TimedRun → engine.Replay), so a newly registered engine is
+// immediately drivable from every tool.
+func engineFlagDoc() string {
+	return fmt.Sprintf("simulation engine: %s", strings.Join(engine.Names(), ", "))
+}
+
+// ingestShards resolves the trace flags into a sharded stream via the
+// one-pass decode → shard ingest pipeline (chunk-parallel for .din
+// files).
+func (tf traceFlags) ingestShards(blockSize, log int) (*trace.ShardStream, error) {
+	if *tf.traceFile != "" {
+		return trace.IngestFileShards(*tf.traceFile, blockSize, log, 0)
+	}
+	r, closer, err := tf.open()
+	if err != nil {
+		return nil, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	return trace.IngestShards(r, blockSize, log, 0)
 }
 
 // load materializes the selected trace in memory (for tools that need

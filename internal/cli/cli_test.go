@@ -59,7 +59,7 @@ func TestDewSimSharded(t *testing.T) {
 	if tableOf(mono) != tableOf(sharded) {
 		t.Errorf("sharded table differs from monolithic:\n%s\nvs\n%s", tableOf(sharded), tableOf(mono))
 	}
-	if !strings.Contains(sharded, "sharded across 4 trees") {
+	if !strings.Contains(sharded, "sharded across 4 substreams") {
 		t.Error("sharded mode not echoed")
 	}
 	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-shards", "4", "-counters"); err == nil || !IsUsage(err) {
@@ -67,6 +67,36 @@ func TestDewSimSharded(t *testing.T) {
 	}
 	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-shards", "4", "-no-mra"); err == nil || !IsUsage(err) {
 		t.Error("-shards with an ablation should be a usage error")
+	}
+}
+
+func TestDewSimEngineFlag(t *testing.T) {
+	// The lrutree engine under LRU must emit the same result table as
+	// the dew engine, monolithic and sharded.
+	args := []string{"-app", "DJPEG", "-n", "8000", "-assoc", "2", "-block", "8",
+		"-maxlog", "5", "-policy", "LRU", "-csv"}
+	dew, _, err := run(t, DewSim, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{
+		{"-engine", "lrutree"},
+		{"-engine", "lrutree", "-shards", "2"},
+	} {
+		tree, _, err := run(t, DewSim, append(args, extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tableOf := func(s string) string { return s[:strings.Index(s, "\nsimulated ")] }
+		if tableOf(dew) != tableOf(tree) {
+			t.Errorf("%v: lrutree table differs from dew:\n%s\nvs\n%s", extra, tableOf(tree), tableOf(dew))
+		}
+	}
+	if _, _, err := run(t, DewSim, append(args, "-engine", "nope")...); err == nil {
+		t.Error("unknown engine should fail")
+	}
+	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-engine", "lrutree", "-counters"); err == nil || !IsUsage(err) {
+		t.Error("-counters with a non-dew engine should be a usage error")
 	}
 }
 
@@ -395,4 +425,62 @@ func TestExperimentsMultiSeedTable3(t *testing.T) {
 	if _, _, err := run(t, Experiments, "-table", "1", "-seeds", "0"); err == nil {
 		t.Error("-seeds 0 should fail")
 	}
+}
+
+func TestRefSimSharded(t *testing.T) {
+	// The sharded stream replay must agree with the monolithic
+	// per-access replay on the kind-free statistics.
+	args := []string{"-app", "G721 Enc", "-n", "15000", "-sets", "64", "-assoc", "2", "-block", "16"}
+	mono, _, err := run(t, RefSim, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, _, err := run(t, RefSim, append(args, "-shards", "4")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sharded, "4 set-substreams in parallel") {
+		t.Errorf("sharded replay not echoed:\n%s", sharded)
+	}
+	for _, line := range []string{"misses:", "compulsory:", "evictions:", "tag comparisons:"} {
+		want := lineWith(mono, line)
+		got := lineWith(sharded, line)
+		if want == "" || got != want {
+			t.Errorf("%s differs: %q vs %q", line, got, want)
+		}
+	}
+	// More shards than sets: rounding caps the fan-out at the set count.
+	capped, _, err := run(t, RefSim, "-app", "CJPEG", "-n", "5000", "-sets", "4", "-assoc", "2",
+		"-block", "16", "-shards", "64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(capped, "4 set-substreams in parallel") {
+		t.Errorf("fan-out not capped at the set count:\n%s", capped)
+	}
+	// Random replacement falls back to the monolithic replay but still runs.
+	random, _, err := run(t, RefSim, append(args, "-shards", "4", "-policy", "Random")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(random, "monolithic fallback") {
+		t.Errorf("Random fallback not echoed:\n%s", random)
+	}
+	// Explicit write flags need kinds, which the stream replay folds away.
+	if _, _, err := run(t, RefSim, append(args, "-shards", "4", "-write", "write-through")...); err == nil || !IsUsage(err) {
+		t.Error("-write with -shards should be a usage error")
+	}
+	if _, _, err := run(t, RefSim, append(args, "-shards", "4", "-alloc", "nwa")...); err == nil || !IsUsage(err) {
+		t.Error("-alloc with -shards should be a usage error")
+	}
+}
+
+// lineWith returns the first output line containing the marker.
+func lineWith(out, marker string) string {
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, marker) {
+			return strings.TrimSpace(l)
+		}
+	}
+	return ""
 }

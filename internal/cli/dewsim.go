@@ -7,6 +7,7 @@ import (
 
 	"dew/internal/cache"
 	"dew/internal/core"
+	"dew/internal/engine"
 	"dew/internal/report"
 	"dew/internal/sweep"
 	"dew/internal/trace"
@@ -24,7 +25,8 @@ func DewSim(env Env, args []string) error {
 		minLog   = fs.Int("minlog", 0, "log2 of the smallest set count")
 		maxLog   = fs.Int("maxlog", 14, "log2 of the largest set count (14 = paper)")
 		policy   = fs.String("policy", "FIFO", "replacement policy: FIFO (DEW's target) or LRU")
-		counters = fs.Bool("counters", false, "print DEW property counters")
+		engName  = fs.String("engine", "dew", engineFlagDoc())
+		counters = fs.Bool("counters", false, "print DEW property counters (runs the instrumented per-access pass)")
 		shards   = fs.Int("shards", 1, "run the pass set-sharded across this many parallel trees (1 = off, 0 = auto from GOMAXPROCS); counter-free, incompatible with -counters and ablations")
 		csv      = fs.Bool("csv", false, "emit results as CSV instead of an aligned table")
 		noMRA    = fs.Bool("no-mra", false, "ablation: disable Property 2 (MRA cut-off)")
@@ -40,65 +42,101 @@ func DewSim(env Env, args []string) error {
 	if err != nil {
 		return err
 	}
-	opt := core.Options{
-		MinLogSets: *minLog, MaxLogSets: *maxLog,
-		Assoc: *assoc, BlockSize: *block, Policy: pol,
-		DisableMRA: *noMRA, DisableWave: *noWave, DisableMRE: *noMRE,
-	}
-	if err := opt.Validate(); err != nil {
-		return err
-	}
 	if *shards < 0 {
 		return usagef("-shards must be at least 0")
 	}
 	if *shards == 0 {
 		*shards = sweep.AutoShards()
 	}
-	if *shards > 1 && (*counters || *noMRA || *noWave || *noMRE) {
+	instrumented := *counters || *noMRA || *noWave || *noMRE
+	if *shards > 1 && instrumented {
 		return usagef("-shards runs the counter-free parallel pass; drop -counters and the ablation switches")
 	}
-
-	r, closer, err := tf.open()
-	if err != nil {
-		return err
-	}
-	if closer != nil {
-		defer closer.Close()
+	if instrumented && *engName != "dew" {
+		return usagef("-counters and the ablation switches are DEW core instrumentation; drop -engine %s", *engName)
 	}
 
 	var (
-		results  []core.Result
+		results  []engine.Result
 		accesses uint64
 		mode     string
 		sim      *core.Simulator
+		elapsed  time.Duration
 	)
-	start := time.Now()
-	if *shards > 1 {
-		// Sharded parallel pass: materialize the stream, partition it,
-		// and fan the trees out. Materialization is timed here — unlike
-		// the sweep, this tool has no second consumer to amortize it.
-		bs, err := trace.MaterializeBlockStream(r, *block)
+	if instrumented {
+		// Instrumented per-access pass: the Table 3/4 measurement path,
+		// outside the engine seam by design (the engine contract is
+		// counter-free).
+		opt := core.Options{
+			MinLogSets: *minLog, MaxLogSets: *maxLog,
+			Assoc: *assoc, BlockSize: *block, Policy: pol,
+			DisableMRA: *noMRA, DisableWave: *noWave, DisableMRE: *noMRE,
+		}
+		if err := opt.Validate(); err != nil {
+			return err
+		}
+		r, closer, err := tf.open()
 		if err != nil {
 			return err
 		}
-		ss, err := trace.ShardBlockStream(bs, trace.ShardLog(*shards, *maxLog))
-		if err != nil {
-			return err
+		if closer != nil {
+			defer closer.Close()
 		}
-		sh, err := core.SimulateSharded(opt, ss, 0)
-		if err != nil {
-			return err
-		}
-		results, accesses = sh.Results(), sh.Accesses()
-		mode = fmt.Sprintf("single pass sharded across %d trees, %v", ss.NumShards(), pol)
-	} else {
+		start := time.Now()
 		if sim, err = core.Run(opt, r); err != nil {
 			return err
 		}
-		results, accesses = sim.Results(), sim.Counters().Accesses
-		mode = fmt.Sprintf("single pass, %v", pol)
+		elapsed = time.Since(start)
+		for _, res := range sim.Results() {
+			results = append(results, engine.Result(res))
+		}
+		accesses = sim.Counters().Accesses
+		mode = fmt.Sprintf("single instrumented pass, %v", pol)
+	} else {
+		// Engine fast path: materialize the run-compressed stream (and,
+		// when sharding, its partition via the one-pass decode → shard
+		// ingest pipeline) and replay it through the requested engine.
+		// Materialization is timed here — unlike the sweep, this tool
+		// has no second consumer to amortize it.
+		spec := engine.Spec{
+			MinLogSets: *minLog, MaxLogSets: *maxLog,
+			Assoc: *assoc, BlockSize: *block, Policy: pol,
+		}
+		// Fail fast on a bad spec or engine/policy combination before
+		// paying for the trace ingest (engine construction is cheap —
+		// the arenas build lazily on first replay).
+		if _, err := engine.New(*engName, spec); err != nil {
+			return err
+		}
+		start := time.Now()
+		var bs *trace.BlockStream
+		var ss *trace.ShardStream
+		if *shards > 1 {
+			if ss, err = tf.ingestShards(*block, trace.ShardLog(*shards, *maxLog)); err != nil {
+				return err
+			}
+			bs = ss.Source
+			mode = fmt.Sprintf("single %s pass sharded across %d substreams, %v", *engName, ss.NumShards(), pol)
+		} else {
+			r, closer, err := tf.open()
+			if err != nil {
+				return err
+			}
+			if closer != nil {
+				defer closer.Close()
+			}
+			if bs, err = trace.MaterializeBlockStream(r, *block); err != nil {
+				return err
+			}
+			mode = fmt.Sprintf("single %s stream pass, %v", *engName, pol)
+		}
+		eng, _, err := engine.TimedRun(*engName, spec, bs, ss)
+		if err != nil {
+			return err
+		}
+		elapsed = time.Since(start)
+		results, accesses = eng.Results(), eng.Accesses()
 	}
-	elapsed := time.Since(start)
 
 	tbl := report.NewTable("", "sets", "assoc", "block", "size", "accesses", "misses", "missRate")
 	for _, res := range results {
@@ -125,7 +163,7 @@ func DewSim(env Env, args []string) error {
 		fmt.Fprintf(env.Stdout, "P4 MRE decisions:   %d\n", c.MRECount)
 		fmt.Fprintf(env.Stdout, "tag-list searches:  %d\n", c.Searches)
 		fmt.Fprintf(env.Stdout, "tag comparisons:    %d\n", c.TagComparisons)
-		fmt.Fprintf(env.Stdout, "tree storage (paper accounting): %d bits\n", opt.PaperBits())
+		fmt.Fprintf(env.Stdout, "tree storage (paper accounting): %d bits\n", sim.Options().PaperBits())
 	}
 	return nil
 }

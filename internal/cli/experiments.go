@@ -28,7 +28,7 @@ func Experiments(env Env, args []string) error {
 		maxLog     = fs.Int("maxlog", 14, "log2 of the largest simulated set count (14 = paper)")
 		extList    = fs.String("ext", "", "comma-separated extended experiments to run (1-4, beyond the paper)")
 		workers    = fs.Int("workers", 1, "worker pool size for sweep cells (1 = serial, timing-faithful; 0 = all cores)")
-		shards     = fs.Int("shards", 1, "also run each cell's set-sharded parallel DEW pass with this fan-out, cross-checked against the monolithic pass (1 = off, 0 = auto from GOMAXPROCS)")
+		shards     = fs.Int("shards", 1, "also run each cell's set-sharded parallel DEW pass and sharded reference replays with this fan-out, cross-checked against the monolithic passes (1 = off, 0 = auto per cell from the stream's own statistics)")
 		csv        = fs.Bool("csv", false, "emit tables as CSV")
 		quiet      = fs.Bool("quiet", false, "suppress progress output")
 	)
@@ -49,11 +49,14 @@ func Experiments(env Env, args []string) error {
 		csv:      *csv,
 		quiet:    *quiet,
 	}
-	if ec.shards == 0 {
-		ec.shards = sweep.AutoShards()
-	}
 	if ec.shards < 0 {
 		return usagef("-shards must be at least 0")
+	}
+	if ec.shards == 0 {
+		// Auto: each cell sizes its fan-out from its own materialized
+		// stream (per-shard re-compression and balance), not the core
+		// count alone.
+		ec.shards = sweep.ShardsAuto
 	}
 	if *all {
 		for i := 1; i <= 4; i++ {

@@ -31,6 +31,7 @@ func Explore(env Env, args []string) error {
 		csv     = fs.Bool("csv", false, "dump every configuration as CSV instead of the ranking")
 		quiet   = fs.Bool("quiet", false, "suppress progress output")
 		policy  = fs.String("policy", "FIFO", "replacement policy for every pass: FIFO or LRU")
+		engName = fs.String("engine", "dew", engineFlagDoc())
 	)
 	tf := addTraceFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -78,7 +79,7 @@ func Explore(env Env, args []string) error {
 	if *shards == 0 {
 		*shards = sweep.AutoShards()
 	}
-	req := explore.Request{Space: space, Source: src, Workers: *workers, Shards: *shards, Policy: pol}
+	req := explore.Request{Space: space, Source: src, Workers: *workers, Shards: *shards, Policy: pol, Engine: *engName}
 	if !*quiet {
 		req.Progress = func(done, total int) {
 			fmt.Fprintf(env.Stderr, "\rpasses: %d/%d", done, total)

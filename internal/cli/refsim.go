@@ -3,15 +3,22 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"math/bits"
+	"time"
 
 	"dew/internal/cache"
+	"dew/internal/engine"
 	"dew/internal/refsim"
+	"dew/internal/sweep"
 	"dew/internal/trace"
 )
 
 // RefSim simulates a single cache configuration over a trace — the
 // Dinero IV role: one (sets, assoc, block, policy) combination per run,
-// full statistics including write-policy traffic.
+// full statistics including write-policy traffic. With -shards ≥ 2 the
+// replay instead runs the sharded reference engine over set-substreams
+// built by the decode → shard ingest pipeline (kind-free stream
+// statistics only; see the flag).
 func RefSim(env Env, args []string) error {
 	fs := flag.NewFlagSet("refsim", flag.ContinueOnError)
 	fs.SetOutput(env.Stderr)
@@ -22,6 +29,7 @@ func RefSim(env Env, args []string) error {
 		policyStr = fs.String("policy", "FIFO", "replacement policy: FIFO, LRU or Random")
 		wp        = fs.String("write", "write-back", "write policy: write-back or write-through")
 		alloc     = fs.String("alloc", "write-allocate", "allocation policy: write-allocate or no-write-allocate")
+		shards    = fs.Int("shards", 1, "replay this many set-substreams in parallel (1 = off, 0 = auto from GOMAXPROCS); stream statistics only — per-kind counts and write policies need the per-access replay")
 	)
 	tf := addTraceFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -35,6 +43,15 @@ func RefSim(env Env, args []string) error {
 	policy, err := cache.ParsePolicy(*policyStr)
 	if err != nil {
 		return err
+	}
+	if *shards < 0 {
+		return usagef("-shards must be at least 0")
+	}
+	if *shards == 0 {
+		*shards = sweep.AutoShards()
+	}
+	if *shards > 1 {
+		return refSimSharded(env, fs, tf, cfg, policy, *shards)
 	}
 	opts := refsim.Options{Config: cfg, Replacement: policy}
 	switch *wp {
@@ -86,5 +103,63 @@ func RefSim(env Env, args []string) error {
 	tr := sim.Traffic()
 	fmt.Fprintf(env.Stdout, "bytes from memory: %d\n", tr.BytesFromMemory)
 	fmt.Fprintf(env.Stdout, "bytes to memory:   %d (%d writebacks)\n", tr.BytesToMemory, tr.Writebacks)
+	return nil
+}
+
+// refSimSharded is the -shards ≥ 2 path: ingest the trace straight into
+// a shard partition (one pass, chunk-parallel decode) and replay it
+// through the sharded reference engine. The shard count resolves
+// through the same trace.ShardLog rounding every -shards knob uses,
+// capped at the configuration's set count; configurations with fewer
+// sets than the resolved fan-out fall back to the exact monolithic
+// stream replay inside the engine.
+func refSimSharded(env Env, fs *flag.FlagSet, tf traceFlags, cfg cache.Config, policy cache.Policy, shards int) error {
+	// The stream replay folds request kinds away, so the write-policy
+	// axes are meaningless here; reject them only when explicitly set.
+	var badFlag string
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "write" || f.Name == "alloc" {
+			badFlag = f.Name
+		}
+	})
+	if badFlag != "" {
+		return usagef("-%s needs the per-kind per-access replay; drop -shards", badFlag)
+	}
+
+	// shards ≥ 2 here, so the shared rounding rule always yields a
+	// level in [0, logSets].
+	logSets := bits.Len(uint(cfg.Sets)) - 1
+	log := trace.ShardLog(shards, logSets)
+	start := time.Now()
+	ss, err := tf.ingestShards(cfg.BlockSize, log)
+	if err != nil {
+		return err
+	}
+	ingested := time.Since(start)
+
+	spec := engine.Spec{
+		MinLogSets: logSets, MaxLogSets: logSets,
+		Assoc: cfg.Assoc, BlockSize: cfg.BlockSize, Policy: policy,
+	}
+	eng, replayed, err := engine.TimedRun("ref", spec, ss.Source, ss)
+	if err != nil {
+		return err
+	}
+	stats := eng.(engine.RefStatser).RefStats()
+	parallel := engine.Parallel(eng)
+
+	fmt.Fprintf(env.Stdout, "config:            %v, %v replacement\n", cfg, policy)
+	if parallel {
+		fmt.Fprintf(env.Stdout, "replay:            %d set-substreams in parallel (ingested in %v, replayed in %v)\n",
+			ss.NumShards(), ingested.Round(time.Millisecond), replayed.Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(env.Stdout, "replay:            monolithic fallback (%v policy or %d sets < %d shards; ingested in %v, replayed in %v)\n",
+			policy, cfg.Sets, ss.NumShards(), ingested.Round(time.Millisecond), replayed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(env.Stdout, "accesses:          %d (stream replay; kinds folded)\n", stats.Accesses)
+	fmt.Fprintf(env.Stdout, "misses:            %d (rate %.4f)\n", stats.Misses, stats.MissRate())
+	fmt.Fprintf(env.Stdout, "  compulsory:      %d\n", stats.CompulsoryMisses)
+	fmt.Fprintf(env.Stdout, "evictions:         %d\n", stats.Evictions)
+	fmt.Fprintf(env.Stdout, "tag comparisons:   %d\n", stats.TagComparisons)
 	return nil
 }

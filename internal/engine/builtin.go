@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"fmt"
+
+	"dew/internal/cache"
+	"dew/internal/core"
+	"dew/internal/lrutree"
+	"dew/internal/refsim"
+	"dew/internal/trace"
+)
+
+// The built-in engines: the three simulators of this repository, each
+// one registration. Tools resolve them by name, so a new simulator (or
+// policy specialization) becomes available everywhere by registering
+// here.
+func init() {
+	Register("dew", "DEW multi-configuration tree pass (FIFO or LRU, counter-free fast path)",
+		newDewEngine)
+	Register("lrutree", "LRU simulation tree pass (Janapsatya-style, exact LRU)",
+		newTreeEngine)
+	Register("ref", "Dinero-style single-configuration reference simulator (MinLogSets = MaxLogSets)",
+		newRefEngine)
+}
+
+// dewEngine adapts the DEW core: a monolithic core.Simulator for
+// stream replay and a core.Sharded for sharded replay, built lazily so
+// one engine only allocates the arenas it uses.
+type dewEngine struct {
+	opt     core.Options
+	workers int
+	mono    *core.Simulator
+	sharded *core.Sharded
+	// last points at the backend that ran most recently; Results and
+	// Accesses read it.
+	last interface {
+		Results() []core.Result
+	}
+}
+
+func newDewEngine(spec Spec) (Engine, error) {
+	opt := core.Options{
+		MinLogSets: spec.MinLogSets, MaxLogSets: spec.MaxLogSets,
+		Assoc: spec.Assoc, BlockSize: spec.BlockSize, Policy: spec.Policy,
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return &dewEngine{opt: opt, workers: spec.Workers}, nil
+}
+
+func (e *dewEngine) SimulateStream(bs *trace.BlockStream) error {
+	if e.mono == nil {
+		var err error
+		if e.mono, err = core.New(e.opt); err != nil {
+			return err
+		}
+	}
+	e.last = e.mono
+	return e.mono.SimulateStream(bs)
+}
+
+func (e *dewEngine) SimulateSharded(ss *trace.ShardStream) error {
+	if e.sharded == nil || e.sharded.ShardLog() != ss.Log {
+		var err error
+		if e.sharded, err = core.NewSharded(e.opt, ss.Log, e.workers); err != nil {
+			return err
+		}
+	}
+	e.last = e.sharded
+	return e.sharded.SimulateStream(ss)
+}
+
+func (e *dewEngine) Reset() {
+	if e.mono != nil {
+		e.mono.Reset()
+	}
+	if e.sharded != nil {
+		e.sharded.Reset()
+	}
+	e.last = nil
+}
+
+func (e *dewEngine) Results() []Result {
+	if e.last == nil {
+		return nil
+	}
+	return convertResults(e.last.Results())
+}
+
+func (e *dewEngine) Accesses() uint64 {
+	switch {
+	case e.last == nil:
+		return 0
+	case e.last == e.sharded:
+		return e.sharded.Accesses()
+	default:
+		return e.mono.Counters().Accesses
+	}
+}
+
+// treeEngine adapts the LRU simulation tree the same way.
+type treeEngine struct {
+	opt     lrutree.Options
+	workers int
+	mono    *lrutree.Simulator
+	sharded *lrutree.Sharded
+	last    interface {
+		Results() []lrutree.Result
+	}
+}
+
+func newTreeEngine(spec Spec) (Engine, error) {
+	if spec.Policy != cache.LRU {
+		return nil, fmt.Errorf("engine: lrutree simulates LRU only, got %v", spec.Policy)
+	}
+	opt := lrutree.Options{
+		MinLogSets: spec.MinLogSets, MaxLogSets: spec.MaxLogSets,
+		Assoc: spec.Assoc, BlockSize: spec.BlockSize,
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return &treeEngine{opt: opt, workers: spec.Workers}, nil
+}
+
+func (e *treeEngine) SimulateStream(bs *trace.BlockStream) error {
+	if e.mono == nil {
+		var err error
+		if e.mono, err = lrutree.New(e.opt); err != nil {
+			return err
+		}
+	}
+	e.last = e.mono
+	return e.mono.SimulateStream(bs)
+}
+
+func (e *treeEngine) SimulateSharded(ss *trace.ShardStream) error {
+	if e.sharded == nil || e.sharded.ShardLog() != ss.Log {
+		var err error
+		if e.sharded, err = lrutree.NewSharded(e.opt, ss.Log, e.workers); err != nil {
+			return err
+		}
+	}
+	e.last = e.sharded
+	return e.sharded.SimulateStream(ss)
+}
+
+func (e *treeEngine) Reset() {
+	if e.mono != nil {
+		e.mono.Reset()
+	}
+	if e.sharded != nil {
+		e.sharded.Reset()
+	}
+	e.last = nil
+}
+
+func (e *treeEngine) Results() []Result {
+	if e.last == nil {
+		return nil
+	}
+	return convertTreeResults(e.last.Results())
+}
+
+func (e *treeEngine) Accesses() uint64 {
+	switch {
+	case e.last == nil:
+		return 0
+	case e.last == e.sharded:
+		return e.sharded.Accesses()
+	default:
+		return e.mono.Counters().Accesses
+	}
+}
+
+// refEngine adapts the reference simulator: one configuration per
+// engine (MinLogSets == MaxLogSets), with refsim.Sharded supplying the
+// set-substream parallel replay and its exact monolithic fallback.
+type refEngine struct {
+	cfg     cache.Config
+	policy  cache.Policy
+	workers int
+	mono    *refsim.Simulator
+	sharded *refsim.Sharded
+	// last selects which backend's stats Results reads: 0 none,
+	// 1 mono, 2 sharded.
+	last int
+}
+
+func newRefEngine(spec Spec) (Engine, error) {
+	if spec.MinLogSets != spec.MaxLogSets {
+		return nil, fmt.Errorf("engine: ref simulates one configuration per pass; MinLogSets %d != MaxLogSets %d",
+			spec.MinLogSets, spec.MaxLogSets)
+	}
+	cfg, err := cache.NewConfig(1<<spec.MinLogSets, spec.Assoc, spec.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	return &refEngine{cfg: cfg, policy: spec.Policy, workers: spec.Workers}, nil
+}
+
+func (e *refEngine) SimulateStream(bs *trace.BlockStream) error {
+	if e.mono == nil {
+		var err error
+		if e.mono, err = refsim.New(e.cfg, e.policy); err != nil {
+			return err
+		}
+	}
+	e.last = 1
+	_, err := e.mono.SimulateStream(bs)
+	return err
+}
+
+func (e *refEngine) SimulateSharded(ss *trace.ShardStream) error {
+	if e.sharded == nil || e.sharded.ShardLog() != ss.Log {
+		var err error
+		if e.sharded, err = refsim.NewSharded(e.cfg, e.policy, ss.Log, e.workers); err != nil {
+			return err
+		}
+	}
+	e.last = 2
+	_, err := e.sharded.SimulateStream(ss)
+	return err
+}
+
+func (e *refEngine) Reset() {
+	if e.mono != nil {
+		e.mono.Reset()
+	}
+	if e.sharded != nil {
+		e.sharded.Reset()
+	}
+	e.last = 0
+}
+
+// RefStats implements RefStatser with the full Dinero-style record.
+func (e *refEngine) RefStats() refsim.Stats {
+	switch e.last {
+	case 1:
+		return e.mono.Stats()
+	case 2:
+		return e.sharded.Stats()
+	default:
+		return refsim.Stats{}
+	}
+}
+
+// Parallel reports whether the last sharded replay really decomposed
+// across substreams (false after a monolithic fallback or stream
+// replay).
+func (e *refEngine) Parallel() bool {
+	return e.last == 2 && e.sharded.Parallel()
+}
+
+func (e *refEngine) Results() []Result {
+	if e.last == 0 {
+		return nil
+	}
+	st := e.RefStats()
+	return []Result{{Config: e.cfg, Stats: st.Stats}}
+}
+
+func (e *refEngine) Accesses() uint64 { return e.RefStats().Accesses }
+
+func convertResults(in []core.Result) []Result {
+	out := make([]Result, len(in))
+	for i, r := range in {
+		out[i] = Result(r)
+	}
+	return out
+}
+
+func convertTreeResults(in []lrutree.Result) []Result {
+	out := make([]Result, len(in))
+	for i, r := range in {
+		out[i] = Result(r)
+	}
+	return out
+}

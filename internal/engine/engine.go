@@ -1,0 +1,200 @@
+// Package engine unifies the repository's trace-driven simulators —
+// the DEW core (FIFO/LRU multi-configuration tree pass), the LRU
+// simulation tree, and the Dinero-style reference simulator — behind
+// one replay interface, so the design-space layers (sweep, explore,
+// the CLI tools) drive every pass through a single dispatch seam
+// instead of re-implementing the stream-vs-sharded switch per
+// simulator and per call site.
+//
+// An Engine replays immutable trace streams: SimulateStream consumes a
+// run-compressed trace.BlockStream monolithically, SimulateSharded
+// consumes a trace.ShardStream with the pass's internal parallelism
+// fanned out across the partition's substreams. Both accumulate into
+// the same per-configuration results; Reset rewinds to the freshly
+// built state reusing the arenas. Replays of either kind must be
+// bit-identical: an engine that cannot decompose a configuration
+// exactly is expected to fall back to an exact monolithic replay
+// inside SimulateSharded (the reference engine does this for Random
+// replacement and for configurations with fewer sets than shards),
+// never to approximate.
+//
+// Engines register themselves by name in a package-level registry
+// (Register/New/Names); adding a policy or pass variant is one
+// registration, and every engine-driven tool picks it up without new
+// call sites. The interface carries the statistics every simulator
+// shares (cache.Stats per configuration); engines with richer
+// statistics expose them through optional interfaces the caller can
+// type-assert — see RefStatser.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dew/internal/cache"
+	"dew/internal/refsim"
+	"dew/internal/trace"
+)
+
+// Spec describes one pass: the set-count range 2^MinLogSets..
+// 2^MaxLogSets at one associativity and block size under one
+// replacement policy. Multi-configuration engines cover the whole
+// range (plus direct-mapped results) in one replay; single-
+// configuration engines require MinLogSets == MaxLogSets.
+type Spec struct {
+	// MinLogSets and MaxLogSets bound the simulated set counts as log2.
+	MinLogSets, MaxLogSets int
+	// Assoc is the associativity (power of two).
+	Assoc int
+	// BlockSize is the block size in bytes (power of two).
+	BlockSize int
+	// Policy is the replacement policy. Engines reject policies they
+	// cannot simulate exactly.
+	Policy cache.Policy
+	// Workers bounds the goroutines a sharded replay fans out across;
+	// 0 means GOMAXPROCS. Monolithic replays ignore it.
+	Workers int
+}
+
+// Result is one configuration's outcome, the statistics contract every
+// engine shares. It is structurally identical to core.Result and
+// lrutree.Result, which convert directly.
+type Result struct {
+	Config cache.Config
+	cache.Stats
+}
+
+// Engine replays immutable trace streams through one simulation pass.
+type Engine interface {
+	// SimulateStream replays a run-compressed block stream
+	// monolithically. The stream must be materialized at the pass's
+	// block size. Repeated calls accumulate (chunked replay).
+	SimulateStream(bs *trace.BlockStream) error
+	// SimulateSharded replays a shard partition with the pass's
+	// internal parallelism fanned out across the substreams, falling
+	// back to an exact monolithic replay of ss.Source when the pass
+	// cannot decompose. Results are bit-identical to SimulateStream
+	// over ss.Source either way. A single engine instance replays
+	// through one entry point at a time: call Reset before switching
+	// between SimulateStream and SimulateSharded, or between shard
+	// levels.
+	SimulateSharded(ss *trace.ShardStream) error
+	// Reset rewinds to the freshly constructed state, reusing arenas.
+	Reset()
+	// Results returns the accumulated per-configuration statistics.
+	Results() []Result
+	// Accesses returns the number of requests simulated so far.
+	Accesses() uint64
+}
+
+// RefStatser is the optional interface of engines that maintain the
+// full Dinero-style statistics set (the reference engine); callers
+// needing tag-comparison or eviction counts type-assert for it.
+type RefStatser interface {
+	RefStats() refsim.Stats
+}
+
+// Paralleler is the optional interface of engines whose sharded replay
+// may fall back to an exact monolithic pass: Parallel reports whether
+// the most recent replay really decomposed across substreams.
+type Paralleler interface {
+	Parallel() bool
+}
+
+// Parallel reports whether e's most recent replay decomposed across
+// substreams; engines without the capability report false.
+func Parallel(e Engine) bool {
+	p, ok := e.(Paralleler)
+	return ok && p.Parallel()
+}
+
+// Builder constructs an engine for a spec.
+type Builder func(Spec) (Engine, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]registration{}
+)
+
+type registration struct {
+	build Builder
+	doc   string
+}
+
+// Register adds an engine under a name; doc is a one-line description
+// for tool help text. Registering a duplicate name panics — engine
+// names are a flat global namespace the CLI exposes.
+func Register(name, doc string, build Builder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate registration of %q", name))
+	}
+	registry[name] = registration{build: build, doc: doc}
+}
+
+// New builds the named engine for the spec.
+func New(name string, spec Spec) (Engine, error) {
+	registryMu.RLock()
+	reg, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown engine %q (have %v)", name, Names())
+	}
+	return reg.build(spec)
+}
+
+// Names lists the registered engines, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Doc returns the registered one-line description, or "".
+func Doc(name string) string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return registry[name].doc
+}
+
+// Replay is the stream-vs-sharded dispatch seam: it replays the shard
+// partition when one is supplied and the parent stream otherwise.
+// Every engine-driven tool routes its replays through here — this is
+// the one place the choice is made.
+func Replay(e Engine, bs *trace.BlockStream, ss *trace.ShardStream) error {
+	if ss != nil {
+		return e.SimulateSharded(ss)
+	}
+	return e.SimulateStream(bs)
+}
+
+// Run builds the named engine, replays the stream (or its shard
+// partition) through it once, and returns the engine for inspection.
+func Run(name string, spec Spec, bs *trace.BlockStream, ss *trace.ShardStream) (Engine, error) {
+	e, _, err := TimedRun(name, spec, bs, ss)
+	return e, err
+}
+
+// TimedRun is Run with the replay's wall time measured: engine
+// construction is outside the timed region, the replay — including any
+// arenas the engine builds lazily on first use — inside it, so timed
+// comparisons across engines charge the per-pass setup identically.
+func TimedRun(name string, spec Spec, bs *trace.BlockStream, ss *trace.ShardStream) (Engine, time.Duration, error) {
+	e, err := New(name, spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	if err := Replay(e, bs, ss); err != nil {
+		return nil, 0, err
+	}
+	return e, time.Since(start), nil
+}

@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"dew/internal/cache"
+	"dew/internal/core"
+	"dew/internal/lrutree"
+	"dew/internal/refsim"
+	"dew/internal/trace"
+)
+
+func engineTrace(n int) trace.Trace {
+	rng := rand.New(rand.NewSource(13))
+	tr := make(trace.Trace, 0, n)
+	addr := uint64(0)
+	for len(tr) < n {
+		switch rng.Intn(4) {
+		case 0:
+			run := rng.Intn(50) + 1
+			for i := 0; i < run && len(tr) < n; i++ {
+				tr = append(tr, trace.Access{Addr: addr, Kind: trace.IFetch})
+				addr += 4
+			}
+		case 1:
+			addr = uint64(rng.Intn(1 << 13))
+			tr = append(tr, trace.Access{Addr: addr})
+		default:
+			addr += uint64(rng.Intn(80))
+			tr = append(tr, trace.Access{Addr: addr})
+		}
+	}
+	return tr
+}
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"dew": true, "lrutree": true, "ref": true}
+	for _, n := range names {
+		if Doc(n) == "" {
+			t.Errorf("engine %q has no doc line", n)
+		}
+		delete(want, n)
+	}
+	for n := range want {
+		t.Errorf("built-in engine %q not registered", n)
+	}
+	if _, err := New("nope", Spec{}); err == nil {
+		t.Error("want error for unknown engine")
+	}
+}
+
+// TestEnginesMatchDirectSimulators checks each adapter is a faithful
+// veneer: stream and sharded replays through the Engine interface
+// reproduce the direct simulator APIs bit for bit, and the two replay
+// modes agree with each other.
+func TestEnginesMatchDirectSimulators(t *testing.T) {
+	tr := engineTrace(25000)
+	const block, maxLog = 8, 6
+	bs, err := tr.BlockStream(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := trace.ShardBlockStream(bs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("dew", func(t *testing.T) {
+		for _, pol := range []cache.Policy{cache.FIFO, cache.LRU} {
+			spec := Spec{MaxLogSets: maxLog, Assoc: 4, BlockSize: block, Policy: pol, Workers: 2}
+			direct := core.MustNew(core.Options{MaxLogSets: maxLog, Assoc: 4, BlockSize: block, Policy: pol})
+			if err := direct.SimulateStream(bs); err != nil {
+				t.Fatal(err)
+			}
+			want := convertResults(direct.Results())
+
+			for _, sharded := range []bool{false, true} {
+				e, err := New("dew", spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var replay *trace.ShardStream
+				if sharded {
+					replay = ss
+				}
+				if err := Replay(e, bs, replay); err != nil {
+					t.Fatal(err)
+				}
+				got := e.Results()
+				if len(got) != len(want) {
+					t.Fatalf("%v sharded=%v: %d results, want %d", pol, sharded, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("%v sharded=%v: result %d = %+v, want %+v", pol, sharded, i, got[i], want[i])
+					}
+				}
+				if e.Accesses() != uint64(len(tr)) {
+					t.Errorf("%v sharded=%v: accesses %d, want %d", pol, sharded, e.Accesses(), len(tr))
+				}
+				e.Reset()
+				if e.Results() != nil || e.Accesses() != 0 {
+					t.Errorf("%v sharded=%v: state survives Reset", pol, sharded)
+				}
+				if err := Replay(e, bs, replay); err != nil {
+					t.Fatal(err)
+				}
+				if got2 := e.Results(); got2[0] != want[0] || got2[len(got2)-1] != want[len(want)-1] {
+					t.Errorf("%v sharded=%v: replay after Reset diverged", pol, sharded)
+				}
+			}
+		}
+	})
+
+	t.Run("lrutree", func(t *testing.T) {
+		if _, err := New("lrutree", Spec{MaxLogSets: 4, Assoc: 2, BlockSize: block, Policy: cache.FIFO}); err == nil {
+			t.Fatal("lrutree must reject FIFO")
+		}
+		spec := Spec{MaxLogSets: maxLog, Assoc: 4, BlockSize: block, Policy: cache.LRU, Workers: 2}
+		direct, err := lrutree.New(lrutree.Options{MaxLogSets: maxLog, Assoc: 4, BlockSize: block})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := direct.SimulateStream(bs); err != nil {
+			t.Fatal(err)
+		}
+		want := convertTreeResults(direct.Results())
+		for _, sharded := range []bool{false, true} {
+			var replay *trace.ShardStream
+			if sharded {
+				replay = ss
+			}
+			e, err := Run("lrutree", spec, bs, replay)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := e.Results()
+			if len(got) != len(want) {
+				t.Fatalf("sharded=%v: %d results, want %d", sharded, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("sharded=%v: result %d = %+v, want %+v", sharded, i, got[i], want[i])
+				}
+			}
+		}
+	})
+
+	t.Run("ref", func(t *testing.T) {
+		if _, err := New("ref", Spec{MinLogSets: 1, MaxLogSets: 3, Assoc: 2, BlockSize: block}); err == nil {
+			t.Fatal("ref must reject multi-configuration specs")
+		}
+		for _, logSets := range []int{0, 2, 4} {
+			spec := Spec{MinLogSets: logSets, MaxLogSets: logSets, Assoc: 2, BlockSize: block,
+				Policy: cache.FIFO, Workers: 2}
+			cfg := cache.MustConfig(1<<logSets, 2, block)
+			want, err := refsim.RunStream(cfg, cache.FIFO, bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sharded := range []bool{false, true} {
+				var replay *trace.ShardStream
+				if sharded {
+					replay = ss
+				}
+				e, err := Run("ref", spec, bs, replay)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs, ok := e.(RefStatser)
+				if !ok {
+					t.Fatal("ref engine must implement RefStatser")
+				}
+				if got := rs.RefStats(); got != want {
+					t.Errorf("sets=%d sharded=%v: stats %+v, want %+v", 1<<logSets, sharded, got, want)
+				}
+				res := e.Results()
+				if len(res) != 1 || res[0].Config != cfg || res[0].Stats != want.Stats {
+					t.Errorf("sets=%d sharded=%v: results %+v", 1<<logSets, sharded, res)
+				}
+				if par := Parallel(e); par != (sharded && logSets >= ss.Log) {
+					t.Errorf("sets=%d sharded=%v: Parallel()=%v", 1<<logSets, sharded, par)
+				}
+			}
+		}
+	})
+}
+
+// TestRefEngineShardLevelSwitch pins the Engine contract that
+// Reset-then-replay at a different shard level works on every engine
+// (the backend must rebuild for the new level).
+func TestRefEngineShardLevelSwitch(t *testing.T) {
+	tr := engineTrace(8000)
+	bs, err := tr.BlockStream(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss2, err := trace.ShardBlockStream(bs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss3, err := trace.ShardBlockStream(bs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		spec := Spec{MinLogSets: 4, MaxLogSets: 4, Assoc: 2, BlockSize: 8, Policy: cache.LRU, Workers: 2}
+		if name != "ref" {
+			spec.MinLogSets = 0
+		}
+		e, err := New(name, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SimulateSharded(ss2); err != nil {
+			t.Fatalf("%s at level 2: %v", name, err)
+		}
+		first := e.Results()
+		e.Reset()
+		if err := e.SimulateSharded(ss3); err != nil {
+			t.Fatalf("%s at level 3 after Reset: %v", name, err)
+		}
+		second := e.Results()
+		if len(first) != len(second) || first[0] != second[0] {
+			t.Errorf("%s: results differ across shard levels: %+v vs %+v", name, first[0], second[0])
+		}
+	}
+}

@@ -9,6 +9,13 @@
 // once per block size instead of once per pass; this is the "finding the
 // optimal L1 cache" workflow of the paper's introduction, packaged as a
 // library (see cmd/explore and examples/designspace for front ends).
+//
+// Passes run on a simulation engine resolved by name from the engine
+// registry (Request.Engine, default "dew"), through a single dispatch
+// site — a sharded exploration replays trace.ShardStream partitions
+// built by the one-pass decode → shard ingest pipeline, an unsharded
+// one replays plain materialized streams, and the engine neither knows
+// nor cares which workflow drove it.
 package explore
 
 import (
@@ -17,7 +24,7 @@ import (
 	"sync"
 
 	"dew/internal/cache"
-	"dew/internal/core"
+	"dew/internal/engine"
 	"dew/internal/trace"
 	"dew/internal/workload"
 )
@@ -64,6 +71,11 @@ type Request struct {
 	// (the default, DEW's target) or cache.LRU (exact but slower; see
 	// core.Options.Policy).
 	Policy cache.Policy
+	// Engine names the registered simulation engine every pass runs on
+	// (see the engine package); "" means "dew". Any multi-configuration
+	// engine registered under the chosen policy works — e.g. "lrutree"
+	// with Policy cache.LRU.
+	Engine string
 	// Progress, when non-nil, is called after each finished pass with
 	// the number of completed and total passes. Calls are serialized.
 	Progress func(done, total int)
@@ -103,6 +115,10 @@ func Run(req Request) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	name := req.Engine
+	if name == "" {
+		name = "dew"
+	}
 
 	// One pass per (block, assoc) with assoc > 1; the pass also yields
 	// the direct-mapped row. A space containing only associativity 1
@@ -122,49 +138,34 @@ func Run(req Request) (*Result, error) {
 		}
 	}
 
-	// Materialize one stream per block size, in parallel across the
-	// worker pool; every pass at that block size replays it read-only.
-	streams, err := materialize(req.Source, req.Space.BlockSizes(), workers)
-	if err != nil {
-		return nil, err
-	}
-
-	// With sharding on, partition each stream once — in parallel across
-	// the worker budget, like the streams themselves; every pass at the
-	// block size replays the same read-only partition, and the
-	// parallelism moves inside the pass: passes run one at a time, each
-	// spreading its trees across the worker budget.
+	// Build the per-block-size inputs. Without sharding, one stream per
+	// block size is materialized in parallel across the worker pool and
+	// every pass at that block size replays it read-only. With sharding
+	// on, the decode → shard ingest pipeline builds each block size's
+	// stream and its shard partition in one pass over the source
+	// (trace.IngestShards: chunk-parallel run compression feeding
+	// per-shard appenders, bit-identical to materialize-then-shard),
+	// and the parallelism moves inside the passes: passes run one at a
+	// time, each fanning out across the worker budget.
 	shardLog := trace.ShardLog(req.Shards, req.Space.MaxLogSets)
 	passWorkers := workers
+	var streams map[int]*trace.BlockStream
 	shardStreams := map[int]*trace.ShardStream{}
 	if shardLog >= 0 {
 		passWorkers = 1
-		var (
-			shardMu  sync.Mutex
-			shardErr error
-			shardWG  sync.WaitGroup
-		)
-		sem := make(chan struct{}, workers)
-		for b, bs := range streams {
-			shardWG.Add(1)
-			sem <- struct{}{}
-			go func(b int, bs *trace.BlockStream) {
-				defer func() { <-sem; shardWG.Done() }()
-				ss, err := trace.ShardBlockStream(bs, shardLog)
-				shardMu.Lock()
-				defer shardMu.Unlock()
-				if err != nil {
-					if shardErr == nil {
-						shardErr = fmt.Errorf("explore: sharding block-%d stream: %w", b, err)
-					}
-					return
-				}
-				shardStreams[b] = ss
-			}(b, bs)
+		streams = make(map[int]*trace.BlockStream, len(req.Space.BlockSizes()))
+		for _, b := range req.Space.BlockSizes() {
+			ss, err := trace.IngestShards(req.Source(), b, shardLog, workers)
+			if err != nil {
+				return nil, fmt.Errorf("explore: ingesting block-%d shard stream: %w", b, err)
+			}
+			shardStreams[b] = ss
+			streams[b] = ss.Source
 		}
-		shardWG.Wait()
-		if shardErr != nil {
-			return nil, shardErr
+	} else {
+		var err error
+		if streams, err = materialize(req.Source, req.Space.BlockSizes(), workers); err != nil {
+			return nil, err
 		}
 	}
 
@@ -204,27 +205,21 @@ func Run(req Request) (*Result, error) {
 				bs := streams[ps.block]
 				ss := shardStreams[ps.block]
 				mu.Unlock()
-				opt := core.Options{
+				spec := engine.Spec{
 					MinLogSets: req.Space.MinLogSets,
 					MaxLogSets: req.Space.MaxLogSets,
 					Assoc:      ps.assoc,
 					BlockSize:  ps.block,
 					Policy:     req.Policy,
+					Workers:    workers,
 				}
-				var results []core.Result
-				var err error
-				if ss != nil {
-					var sh *core.Sharded
-					if sh, err = core.SimulateSharded(opt, ss, workers); err == nil {
-						results = sh.Results()
-					}
-				} else {
-					var sim *core.Simulator
-					if sim, err = core.New(opt); err == nil {
-						if err = sim.SimulateStream(bs); err == nil {
-							results = sim.Results()
-						}
-					}
+				// The exploration's single engine-dispatch site: build
+				// the requested engine and replay the shared stream, or
+				// its shard partition when one was ingested.
+				var results []engine.Result
+				eng, err := engine.Run(name, spec, bs, ss)
+				if err == nil {
+					results = eng.Results()
 				}
 
 				mu.Lock()

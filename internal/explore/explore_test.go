@@ -283,3 +283,43 @@ func TestRunPaperSpaceSmallTrace(t *testing.T) {
 		t.Errorf("Passes = %d, want 28", res.Passes)
 	}
 }
+
+// TestRunEngineSelection drives the exploration through a non-default
+// registered engine: lrutree under LRU must reproduce the dew engine's
+// results exactly, in both monolithic and sharded (ingest-pipeline)
+// form, and unknown engines fail cleanly.
+func TestRunEngineSelection(t *testing.T) {
+	space := cache.ParamSpace{
+		MinLogSets: 0, MaxLogSets: 4,
+		MinLogBlock: 1, MaxLogBlock: 2,
+		MinLogAssoc: 0, MaxLogAssoc: 1,
+	}
+	tr := randomTrace(4000, 8)
+	want, err := Run(Request{Space: space, Source: FromTrace(tr), Policy: cache.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 4} {
+		got, err := Run(Request{
+			Space: space, Source: FromTrace(tr), Policy: cache.LRU,
+			Engine: "lrutree", Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Stats) != len(want.Stats) {
+			t.Fatalf("shards=%d: coverage %d vs %d", shards, len(got.Stats), len(want.Stats))
+		}
+		for cfg, s := range want.Stats {
+			if got.Stats[cfg] != s {
+				t.Errorf("shards=%d %v: lrutree %+v vs dew %+v", shards, cfg, got.Stats[cfg], s)
+			}
+		}
+	}
+	if _, err := Run(Request{Space: space, Source: FromTrace(tr), Engine: "nope"}); err == nil {
+		t.Error("unknown engine must fail")
+	}
+	if _, err := Run(Request{Space: space, Source: FromTrace(tr), Engine: "lrutree"}); err == nil {
+		t.Error("lrutree under FIFO must fail")
+	}
+}

@@ -113,6 +113,24 @@ func MustNew(cfg cache.Config, policy cache.Policy) *Simulator {
 	return s
 }
 
+// Reset returns the simulator to its freshly constructed state —
+// cold cache, empty reference history, zeroed statistics and a rewound
+// random-replacement stream — reusing the allocated arenas so a
+// build-once-replay-many loop settles into zero steady-state
+// allocations (the map of seen blocks is cleared, not reallocated).
+func (s *Simulator) Reset() {
+	clear(s.tags)
+	clear(s.valid)
+	clear(s.fill)
+	clear(s.head)
+	clear(s.order)
+	clear(s.seen)
+	clear(s.dirty)
+	s.rnd = 0x9E3779B97F4A7C15
+	s.traffic = Traffic{}
+	s.stats = Stats{}
+}
+
 // Config returns the simulated configuration.
 func (s *Simulator) Config() cache.Config { return s.cfg }
 

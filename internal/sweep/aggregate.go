@@ -44,6 +44,8 @@ func (a Aggregate) Combined() Cell {
 		out.RefTime += c.RefTime
 		out.ShardTime += c.ShardTime
 		out.ShardRuns += c.ShardRuns
+		out.RefShardTime += c.RefShardTime
+		out.RefParallel += c.RefParallel
 		out.DEWComparisons += c.DEWComparisons
 		out.RefComparisons += c.RefComparisons
 		out.Verified += c.Verified

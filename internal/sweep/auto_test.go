@@ -1,0 +1,66 @@
+package sweep
+
+import (
+	"testing"
+
+	"dew/internal/trace"
+)
+
+// uniformStream spreads runs evenly across the low ID bits — the shape
+// where sharding pays in full.
+func uniformStream(runs int) *trace.BlockStream {
+	tr := make(trace.Trace, runs)
+	for i := range tr {
+		tr[i] = trace.Access{Addr: uint64(i*4) % (1 << 14)}
+	}
+	bs, err := tr.BlockStream(4)
+	if err != nil {
+		panic(err)
+	}
+	return bs
+}
+
+// skewedStream funnels every access into shard 0 of any partition up
+// to level 5: all block IDs are multiples of 32, so the deeper shards
+// are empty and the critical path never shrinks.
+func skewedStream(runs int) *trace.BlockStream {
+	tr := make(trace.Trace, runs)
+	for i := range tr {
+		tr[i] = trace.Access{Addr: uint64(i) * 32 * 4}
+	}
+	bs, err := tr.BlockStream(4)
+	if err != nil {
+		panic(err)
+	}
+	return bs
+}
+
+func TestAutoShardsStream(t *testing.T) {
+	uni := uniformStream(4096)
+	skew := skewedStream(4096)
+
+	// A uniform trace with an 8-worker budget takes the full fan-out…
+	if got := AutoShardsStream(uni, 14, 8); got != 8 {
+		t.Errorf("uniform trace, 8 workers: AutoShardsStream = %d, want 8", got)
+	}
+	// …a skewed trace refuses to shard no matter how many cores ask:
+	// its critical path (shard 0) never shrinks.
+	if got := AutoShardsStream(skew, 14, 8); got != 1 {
+		t.Errorf("skewed trace, 8 workers: AutoShardsStream = %d, want 1", got)
+	}
+	// The worker budget floors the fan-out on uniform traces.
+	if got := AutoShardsStream(uni, 14, 2); got != 2 {
+		t.Errorf("uniform trace, 2 workers: AutoShardsStream = %d, want 2", got)
+	}
+	if got := AutoShardsStream(uni, 14, 1); got != 1 {
+		t.Errorf("1 worker: AutoShardsStream = %d, want 1", got)
+	}
+	// maxLogSets caps the level exactly like every other shard knob.
+	if got := AutoShardsStream(uni, 1, 64); got > 2 {
+		t.Errorf("maxLogSets=1: AutoShardsStream = %d, want ≤ 2", got)
+	}
+	// Empty streams cannot justify a partition.
+	if got := AutoShardsStream(&trace.BlockStream{BlockSize: 4}, 14, 8); got != 1 {
+		t.Errorf("empty stream: AutoShardsStream = %d, want 1", got)
+	}
+}

@@ -36,8 +36,21 @@ func TestRunCellSharded(t *testing.T) {
 	if sharded.ShardRuns == 0 || sharded.ShardRuns > sharded.StreamRuns {
 		t.Errorf("ShardRuns = %d outside (0, %d]", sharded.ShardRuns, sharded.StreamRuns)
 	}
+	// The sharded reference replays ran and cross-checked on every
+	// configuration; with MaxLogSets 6 and S=2, levels 2..6 decompose
+	// (both the assoc-A and direct-mapped rows).
+	if plain.RefShardTime != 0 || plain.RefParallel != 0 {
+		t.Errorf("unsharded cell has sharded-ref fields: %v, %d", plain.RefShardTime, plain.RefParallel)
+	}
+	if sharded.RefShardTime <= 0 {
+		t.Error("sharded reference replays not timed")
+	}
+	if wantPar := 2 * (6 - 2 + 1); sharded.RefParallel != wantPar {
+		t.Errorf("RefParallel = %d, want %d", sharded.RefParallel, wantPar)
+	}
 	// Shard bookkeeping aside, the cells must agree exactly.
 	sharded.Shards, sharded.ShardTime, sharded.ShardRuns = 0, 0, 0
+	sharded.RefShardTime, sharded.RefParallel = 0, 0
 	cellsEquivalent(t, "plain vs sharded", plain, sharded)
 }
 
@@ -87,9 +100,14 @@ func TestShardLogResolution(t *testing.T) {
 		{8, 10, 3}, {8, 2, 2}, {16, 10, 4},
 	}
 	for _, c := range cases {
-		if got := (Runner{Shards: c.shards}).shardLog(c.maxLog); got != c.want {
+		// A fixed shard count resolves without consulting the stream.
+		if got := (Runner{Shards: c.shards}).shardLog(c.maxLog, nil); got != c.want {
 			t.Errorf("shardLog(shards=%d, maxLog=%d) = %d, want %d", c.shards, c.maxLog, got, c.want)
 		}
+	}
+	// ShardsAuto consults the stream: a skewed one resolves to off.
+	if got := (Runner{Shards: ShardsAuto}).shardLog(10, skewedStream(2048)); got != -1 {
+		t.Errorf("auto shardLog over skewed stream = %d, want -1", got)
 	}
 	if got := AutoShards(); got < 1 || got > runtime.GOMAXPROCS(0) || got&(got-1) != 0 {
 		t.Errorf("AutoShards() = %d, want a power of two in [1, GOMAXPROCS]", got)

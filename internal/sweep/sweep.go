@@ -62,6 +62,28 @@
 // equivalence proof, not a trust exercise. Cell.ShardTime records the
 // parallel pass's wall time next to the single-thread DEWTime;
 // Cell.ShardSpeedup is their ratio.
+//
+// Sharding also parallelizes the reference side of every cell: each
+// configuration with at least 2^S sets decomposes into 2^S independent
+// sub-caches that replay the same shard substreams the DEW trees do
+// (refsim.Sharded; configurations with fewer sets fall back to the
+// exact monolithic replay), and every sharded reference replay is
+// cross-checked bit-for-bit against the monolithic reference pass.
+// Cell.RefShardTime records the summed sharded reference wall time
+// next to RefTime. Shards may be ShardsAuto, which sizes each cell's
+// fan-out from its own stream statistics (AutoShardsStream) instead of
+// a fixed count.
+//
+// # Engine dispatch
+//
+// Every timed pass of a cell — DEW stream, DEW sharded, and both
+// reference replays — is built and replayed through the engine
+// registry's one dispatch seam (engine.TimedRun → engine.Replay); the
+// simulators differ only by registered name and spec, so a new engine
+// or policy variant needs one registration, not new sweep plumbing.
+// Only the untimed instrumented pass talks to the core directly: it
+// exists to collect the property counters the engine contract
+// deliberately leaves out.
 package sweep
 
 import (
@@ -74,6 +96,7 @@ import (
 
 	"dew/internal/cache"
 	"dew/internal/core"
+	"dew/internal/engine"
 	"dew/internal/refsim"
 	"dew/internal/trace"
 	"dew/internal/workload"
@@ -133,6 +156,16 @@ type Cell struct {
 	ShardTime time.Duration
 	ShardRuns uint64
 
+	// RefShardTime is the summed wall time of the per-configuration
+	// sharded reference replays (refsim over set-substreams), run and
+	// cross-checked bit-for-bit against the monolithic reference passes
+	// whenever the runner shards; zero otherwise. RefParallel counts
+	// the configurations whose sharded replay really decomposed across
+	// substreams (those with at least 2^S sets — the rest fall back to
+	// the exact monolithic replay and still cross-check).
+	RefShardTime time.Duration
+	RefParallel  int
+
 	// DEWComparisons and RefComparisons are total tag comparisons
 	// (Table 3's right half).
 	DEWComparisons, RefComparisons uint64
@@ -142,8 +175,9 @@ type Cell struct {
 	// UnoptimizedEvaluations is the property-free node-evaluation bound.
 	UnoptimizedEvaluations uint64
 
-	// Results are DEW's per-configuration outcomes.
-	Results []core.Result
+	// Results are DEW's per-configuration outcomes, in the engine
+	// layer's shared statistics shape.
+	Results []engine.Result
 	// Verified is the number of configurations whose miss counts were
 	// cross-checked against the reference simulator (all of them).
 	Verified int
@@ -185,6 +219,16 @@ func (c Cell) ShardSpeedup() float64 {
 	return float64(c.DEWTime) / float64(c.ShardTime)
 }
 
+// RefShardSpeedup returns RefTime/RefShardTime — how much faster the
+// sharded reference replays covered the cell's configurations than the
+// monolithic reference passes. Zero when no sharded reference ran.
+func (c Cell) RefShardSpeedup() float64 {
+	if c.RefShardTime <= 0 {
+		return 0
+	}
+	return float64(c.RefTime) / float64(c.RefShardTime)
+}
+
 // Runner executes comparison cells.
 type Runner struct {
 	// Logf, when non-nil, receives progress lines. Calls are serialized.
@@ -203,31 +247,31 @@ type Runner struct {
 	// level, Shards rounded up to a power of two and capped at the
 	// cell's MaxLogSets) and replayed by 2^S independent tree passes
 	// across GOMAXPROCS goroutines — intra-pass parallelism, where
-	// Workers is inter-pass. The sharded pass's results are verified
-	// bit-identical to the instrumented monolithic pass on every cell,
-	// and its wall time lands in Cell.ShardTime next to the
-	// single-thread DEWTime. 0 or 1 disables sharding. Use AutoShards
-	// to derive a value from the machine.
+	// Workers is inter-pass. Sharding also turns on the sharded
+	// reference replays: every configuration's refsim pass additionally
+	// runs over the set-substreams (Cell.RefShardTime) and is
+	// cross-checked bit-for-bit against the monolithic reference pass.
+	// The sharded DEW pass's results are verified bit-identical to the
+	// instrumented monolithic pass on every cell, and its wall time
+	// lands in Cell.ShardTime next to the single-thread DEWTime. 0 or 1
+	// disables sharding; ShardsAuto picks a fan-out per cell from the
+	// cell's own stream statistics (AutoShardsStream).
 	Shards int
 }
 
-// AutoShards returns the shard count matched to the machine: the
-// largest power of two not above GOMAXPROCS (minimum 1, which leaves
-// sharding off on a single-core machine where a parallel pass cannot
-// win).
-func AutoShards() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 2 {
-		return 1
+// shardLog resolves the runner's shard level for a cell via the shared
+// trace.ShardLog rounding rule, consulting the cell's stream statistics
+// under ShardsAuto. Negative when sharding is off.
+func (r Runner) shardLog(maxLogSets int, bs *trace.BlockStream) int {
+	count := r.Shards
+	if count == ShardsAuto {
+		count = AutoShardsStream(bs, maxLogSets, 0)
 	}
-	return 1 << (bits.Len(uint(n)) - 1)
+	return trace.ShardLog(count, maxLogSets)
 }
 
-// shardLog resolves the runner's shard level for a cell via the shared
-// trace.ShardLog rounding rule. Negative when sharding is off.
-func (r Runner) shardLog(maxLogSets int) int {
-	return trace.ShardLog(r.Shards, maxLogSets)
-}
+// sharding reports whether the runner runs sharded passes at all.
+func (r Runner) sharding() bool { return r.Shards > 1 || r.Shards == ShardsAuto }
 
 func (r Runner) workers() int {
 	if r.Workers > 0 {
@@ -310,6 +354,16 @@ func (r Runner) RunCellStream(p Params, tr trace.Trace, bs *trace.BlockStream) (
 	return r.runCellStream(p, tr, bs, nil)
 }
 
+// refStats extracts the full Dinero-style statistics of a reference
+// engine replay.
+func refStats(e engine.Engine) (refsim.Stats, error) {
+	rs, ok := e.(engine.RefStatser)
+	if !ok {
+		return refsim.Stats{}, fmt.Errorf("sweep: engine %T does not expose reference statistics", e)
+	}
+	return rs.RefStats(), nil
+}
+
 func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, ss *trace.ShardStream) (Cell, error) {
 	cell := Cell{Params: p, Requests: uint64(len(tr)), StreamRuns: uint64(bs.Len())}
 	if bs.BlockSize != p.BlockSize || bs.Accesses != uint64(len(tr)) {
@@ -318,29 +372,28 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 	}
 
 	// One DEW pass covers assoc 1 and p.Assoc for every set count.
-	opt := core.Options{
+	spec := engine.Spec{
 		MinLogSets: 0, MaxLogSets: p.MaxLogSets,
-		Assoc: p.Assoc, BlockSize: p.BlockSize,
+		Assoc: p.Assoc, BlockSize: p.BlockSize, Policy: cache.FIFO,
 	}
 
 	// Timed pass: the counter-free stream fast path over the shared
 	// materialized stream — what DEWTime reports.
-	fast, err := core.New(opt)
+	fast, dur, err := engine.TimedRun("dew", spec, bs, nil)
 	if err != nil {
 		return cell, err
 	}
-	start := time.Now()
-	if err := fast.SimulateStream(bs); err != nil {
-		return cell, err
-	}
-	cell.DEWTime = time.Since(start)
+	cell.DEWTime = dur
 	cell.Results = fast.Results()
 
 	// Instrumented pass (untimed): supplies the Table 3/4 counters and
 	// doubles as the stream path's exactness check — it replays the raw
-	// per-access trace, and the two paths must agree bit for bit on
-	// every configuration.
-	dew, err := core.New(opt)
+	// per-access trace through the core's counted path, and the two
+	// paths must agree bit for bit on every configuration.
+	dew, err := core.New(core.Options{
+		MinLogSets: 0, MaxLogSets: p.MaxLogSets,
+		Assoc: p.Assoc, BlockSize: p.BlockSize,
+	})
 	if err != nil {
 		return cell, err
 	}
@@ -351,7 +404,7 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 	cell.UnoptimizedEvaluations = dew.UnoptimizedEvaluations()
 	cell.DEWComparisons = cell.Counters.TagComparisons
 	for i, res := range dew.Results() {
-		if res != cell.Results[i] {
+		if engine.Result(res) != cell.Results[i] {
 			return cell, fmt.Errorf("sweep: fast-path divergence at %v: stream %+v, instrumented %+v",
 				res.Config, cell.Results[i], res)
 		}
@@ -360,28 +413,40 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 	// Sharded pass (timed): the intra-pass parallel replay over the
 	// partitioned stream, cross-checked bit-for-bit against the
 	// instrumented pass exactly like the stream pass above. The
-	// partition itself is untimed shared input, like the stream.
-	if log := r.shardLog(p.MaxLogSets); log >= 0 {
+	// partition itself is untimed shared input, like the stream. A
+	// caller-supplied partition carries its own resolved level (RunCells
+	// resolves ShardsAuto once per shared stream); only a fixed shard
+	// count is re-checked against it.
+	log := -1
+	switch {
+	case ss != nil:
+		if ss.Source != bs {
+			return cell, fmt.Errorf("sweep: shard stream does not partition cell %v's block stream", p)
+		}
+		if r.Shards != ShardsAuto {
+			if want := trace.ShardLog(r.Shards, p.MaxLogSets); want != ss.Log {
+				return cell, fmt.Errorf("sweep: shard stream (level %d) does not match cell %v at level %d",
+					ss.Log, p, want)
+			}
+		}
+		log = ss.Log
+	case r.sharding():
+		log = r.shardLog(p.MaxLogSets, bs)
+	}
+	if log >= 0 {
 		if ss == nil {
 			var err error
 			if ss, err = trace.ShardBlockStream(bs, log); err != nil {
 				return cell, err
 			}
-		} else if ss.Log != log || ss.Source != bs {
-			return cell, fmt.Errorf("sweep: shard stream (level %d) does not match cell %v at level %d",
-				ss.Log, p, log)
 		}
-		sharded, err := core.NewSharded(opt, log, 0)
+		sharded, dur, err := engine.TimedRun("dew", spec, bs, ss)
 		if err != nil {
 			return cell, err
 		}
 		cell.Shards = ss.NumShards()
 		cell.ShardRuns = uint64(ss.Runs())
-		start = time.Now()
-		if err := sharded.SimulateStream(ss); err != nil {
-			return cell, err
-		}
-		cell.ShardTime = time.Since(start)
+		cell.ShardTime = dur
 		for i, res := range sharded.Results() {
 			if res != cell.Results[i] {
 				return cell, fmt.Errorf("sweep: sharded-pass divergence at %v: sharded %+v, instrumented %+v",
@@ -392,13 +457,18 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 
 	// Reference baseline: one pass per configuration, Dinero-style, all
 	// replaying the shared read-only stream across the worker pool.
-	// Outputs are indexed by configuration, so ordering (and therefore
-	// every field of the Cell) is deterministic regardless of
-	// scheduling; only wall-time contention varies with Workers.
+	// With sharding on, each configuration additionally replays its
+	// set-substreams through the sharded reference pass, cross-checked
+	// bit-for-bit against the monolithic pass. Outputs are indexed by
+	// configuration, so ordering (and therefore every field of the
+	// Cell) is deterministic regardless of scheduling; only wall-time
+	// contention varies with Workers.
 	type refOut struct {
-		dur   time.Duration
-		stats refsim.Stats
-		err   error
+		dur, shardDur time.Duration
+		stats         refsim.Stats
+		shardStats    refsim.Stats
+		parallel      bool
+		err           error
 	}
 	outs := make([]refOut, len(cell.Results))
 	workers := r.workers()
@@ -412,14 +482,36 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				sim, err := refsim.New(cell.Results[i].Config, cache.FIFO)
+				cfg := cell.Results[i].Config
+				logSets := bits.Len(uint(cfg.Sets)) - 1
+				refSpec := engine.Spec{
+					MinLogSets: logSets, MaxLogSets: logSets,
+					Assoc: cfg.Assoc, BlockSize: cfg.BlockSize, Policy: cache.FIFO,
+				}
+				eng, dur, err := engine.TimedRun("ref", refSpec, bs, nil)
 				if err != nil {
 					outs[i].err = err
 					continue
 				}
-				start := time.Now()
-				stats, err := sim.SimulateStream(bs)
-				outs[i] = refOut{dur: time.Since(start), stats: stats, err: err}
+				outs[i].dur = dur
+				if outs[i].stats, err = refStats(eng); err != nil {
+					outs[i].err = err
+					continue
+				}
+				if ss == nil {
+					continue
+				}
+				shardEng, shardDur, err := engine.TimedRun("ref", refSpec, bs, ss)
+				if err != nil {
+					outs[i].err = err
+					continue
+				}
+				outs[i].shardDur = shardDur
+				if outs[i].shardStats, err = refStats(shardEng); err != nil {
+					outs[i].err = err
+					continue
+				}
+				outs[i].parallel = engine.Parallel(shardEng)
 			}
 		}()
 	}
@@ -439,12 +531,22 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 			return cell, fmt.Errorf("sweep: exactness violation at %v: DEW %d misses, reference %d",
 				res.Config, res.Misses, outs[i].stats.Misses)
 		}
+		if ss != nil {
+			cell.RefShardTime += outs[i].shardDur
+			if outs[i].parallel {
+				cell.RefParallel++
+			}
+			if outs[i].shardStats != outs[i].stats {
+				return cell, fmt.Errorf("sweep: sharded reference divergence at %v: sharded %+v, monolithic %+v",
+					res.Config, outs[i].shardStats, outs[i].stats)
+			}
+		}
 		cell.Verified++
 	}
 	if cell.Shards > 0 {
-		r.logf("%s: %d requests (%.1fx run-compressed), speedup %.1fx, comparisons -%.1f%%, %d-shard pass %.2fx vs stream",
+		r.logf("%s: %d requests (%.1fx run-compressed), speedup %.1fx, comparisons -%.1f%%, %d-shard pass %.2fx vs stream, sharded ref %.2fx (%d/%d parallel)",
 			p, cell.Requests, cell.CompressionRatio(), cell.Speedup(), cell.ComparisonReduction(),
-			cell.Shards, cell.ShardSpeedup())
+			cell.Shards, cell.ShardSpeedup(), cell.RefShardSpeedup(), cell.RefParallel, cell.Verified)
 	} else {
 		r.logf("%s: %d requests (%.1fx run-compressed), speedup %.1fx, comparisons -%.1f%%",
 			p, cell.Requests, cell.CompressionRatio(), cell.Speedup(), cell.ComparisonReduction())
@@ -526,12 +628,32 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 		log int
 	}
 	shardStreams := map[shardKey]*trace.ShardStream{}
-	if r.Shards > 1 {
+	resolvedLog := make([]int, len(params))
+	if r.sharding() {
+		// Resolve each cell's shard level exactly once — under
+		// ShardsAuto the resolution reads the stream's statistics, so
+		// memoize it per (stream, MaxLogSets) rather than re-deriving
+		// it per cell and again at partition time.
+		type levelKey struct {
+			sk     streamKey
+			maxLog int
+		}
+		levels := map[levelKey]int{}
 		var shKeys []shardKey
 		seenSh := map[shardKey]bool{}
-		for _, p := range params {
-			log := r.shardLog(p.MaxLogSets)
-			k := shardKey{streamKey{traceKey{p.App.Name, p.Seed, p.requests()}, p.BlockSize}, log}
+		for i, p := range params {
+			sk := streamKey{traceKey{p.App.Name, p.Seed, p.requests()}, p.BlockSize}
+			lk := levelKey{sk, p.MaxLogSets}
+			log, ok := levels[lk]
+			if !ok {
+				log = r.shardLog(p.MaxLogSets, streams[sk])
+				levels[lk] = log
+			}
+			resolvedLog[i] = log
+			if log < 0 {
+				continue // auto tuning judged this stream not worth sharding
+			}
+			k := shardKey{sk, log}
 			if !seenSh[k] {
 				seenSh[k] = true
 				shKeys = append(shKeys, k)
@@ -556,8 +678,8 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 		tk := traceKey{p.App.Name, p.Seed, p.requests()}
 		cellTrace[i] = traces[tk]
 		cellStream[i] = streams[streamKey{tk, p.BlockSize}]
-		if r.Shards > 1 {
-			cellShards[i] = shardStreams[shardKey{streamKey{tk, p.BlockSize}, r.shardLog(p.MaxLogSets)}]
+		if r.sharding() && resolvedLog[i] >= 0 {
+			cellShards[i] = shardStreams[shardKey{streamKey{tk, p.BlockSize}, resolvedLog[i]}]
 		}
 	}
 

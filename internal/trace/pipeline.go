@@ -1,0 +1,594 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the streaming front half of the sharded pipeline: decode
+// → shard in one pass, with the decode chunked across workers. Where
+// the serial path materializes the full parent BlockStream and then
+// walks it twice (ShardBlockStream), the ingest pipeline decodes the
+// trace in chunks, run-compresses every chunk in parallel, and feeds
+// per-shard BlockStream appenders directly, merging runs across chunk
+// boundaries so the result is bit-identical — same IDs, same Runs,
+// same uint32 run-overflow splits — to ShardBlockStream over the
+// serially materialized stream. The raw trace (16 bytes per access) is
+// never materialized; the only O(trace) state is the run-compressed
+// columns themselves.
+//
+// # Exactness
+//
+// Run formation is a per-access state machine whose only mutable state
+// is the tail run (BlockStream.append: grow the tail while it holds the
+// same ID and is below MaxUint32, else start a new run). appendRun
+// applies w such steps at once, so replaying a chunk's locally formed
+// runs through appendRun reproduces the global machine exactly — the
+// boundary-merge step. Shard substreams are a second state machine over
+// the *parent* runs (ShardBlockStream's fill rule: merge a parent run
+// into the shard tail when the IDs match and the summed weight fits in
+// uint32). Its merge decisions depend on the exact parent-run split, so
+// a chunk's shard partials are computed only over the chunk's interior
+// parent runs — the runs that no boundary merge can change — and each
+// shard's leading same-ID span is kept as unmerged parent weights,
+// replayed through the global shard machine at stitch time. Everything
+// at the chunk edges (the leading and trailing same-ID spans of the
+// parent columns) goes through the serial machines directly.
+const (
+	// defaultIngestChunk is the number of accesses per pipeline chunk:
+	// large enough that per-chunk stitching cost is negligible, small
+	// enough that a handful of in-flight chunks fit in cache.
+	defaultIngestChunk = 1 << 16
+	// ingestDinChunkBytes is the byte granularity of the parallel .din
+	// text parser (chunks are cut at line boundaries).
+	ingestDinChunkBytes = 1 << 20
+	// maxIngestShardLog bounds the ingest shard level: each worker keeps
+	// a 4·2^log-byte shard index, so the pipeline stops well short of
+	// ShardBlockStream's 2^22 (fan-outs beyond the core count are
+	// pointless anyway).
+	maxIngestShardLog = 16
+)
+
+// appendRun appends a run of w consecutive accesses to block id with
+// exactly the per-access semantics of append: the tail run grows until
+// the uint32 counter saturates, then new runs are started greedily.
+func (b *BlockStream) appendRun(id uint64, w uint32) {
+	if w == 0 {
+		return
+	}
+	b.Accesses += uint64(w)
+	rem := uint64(w)
+	if n := len(b.IDs); n > 0 && b.IDs[n-1] == id && b.Runs[n-1] < math.MaxUint32 {
+		take := min(rem, uint64(math.MaxUint32-b.Runs[n-1]))
+		b.Runs[n-1] += uint32(take)
+		rem -= take
+	}
+	for rem > 0 {
+		take := min(rem, math.MaxUint32)
+		b.IDs = append(b.IDs, id)
+		b.Runs = append(b.Runs, uint32(take))
+		rem -= take
+	}
+}
+
+// shardPartial is one shard's view of a chunk's interior parent runs:
+// the leading same-ID span as unmerged parent-run weights (their merge
+// into the global shard tail depends on state only the stitcher has),
+// and the rest merged under the shard fill rule.
+type shardPartial struct {
+	shard  uint64
+	headID uint64
+	headW  []uint32
+	ids    []uint64
+	runs   []uint32
+	inHead bool
+}
+
+// runChunk is one chunk's locally run-compressed parent columns plus
+// its per-shard partials.
+type runChunk struct {
+	ids      []uint64
+	runs     []uint32
+	accesses uint64
+	// head is the length of the leading same-ID span; tail is the start
+	// of the trailing same-ID span. Runs in [head, tail) — the interior
+	// — are final regardless of what neighbouring chunks hold.
+	head, tail int
+	// partials covers the interior runs, one entry per shard that
+	// appears there, in first-appearance order.
+	partials []shardPartial
+}
+
+// ingestScratch is per-worker reusable state.
+type ingestScratch struct {
+	// index maps shard → position in the current chunk's partials, -1
+	// when the shard has not appeared yet.
+	index []int32
+}
+
+func newIngestScratch(log int) *ingestScratch {
+	sc := &ingestScratch{index: make([]int32, 1<<log)}
+	for i := range sc.index {
+		sc.index[i] = -1
+	}
+	return sc
+}
+
+// chunkCompressor builds a runChunk from a stream of (id, weight)
+// pairs, applying the per-access run-formation semantics locally.
+type chunkCompressor struct {
+	c runChunk
+}
+
+func (cc *chunkCompressor) add(id uint64, w uint32) {
+	if w == 0 {
+		return
+	}
+	cc.c.accesses += uint64(w)
+	rem := uint64(w)
+	if n := len(cc.c.ids); n > 0 && cc.c.ids[n-1] == id && cc.c.runs[n-1] < math.MaxUint32 {
+		take := min(rem, uint64(math.MaxUint32-cc.c.runs[n-1]))
+		cc.c.runs[n-1] += uint32(take)
+		rem -= take
+	}
+	for rem > 0 {
+		take := min(rem, math.MaxUint32)
+		cc.c.ids = append(cc.c.ids, id)
+		cc.c.runs = append(cc.c.runs, uint32(take))
+		rem -= take
+	}
+}
+
+// finish computes the edge spans and the interior shard partials.
+func (cc *chunkCompressor) finish(log int, sc *ingestScratch) *runChunk {
+	c := &cc.c
+	n := len(c.ids)
+	if n == 0 {
+		return c
+	}
+	head := 1
+	for head < n && c.ids[head] == c.ids[0] {
+		head++
+	}
+	tail := n - 1
+	for tail > 0 && c.ids[tail-1] == c.ids[n-1] {
+		tail--
+	}
+	if tail < head {
+		// Single span: the whole chunk is edge.
+		c.head, c.tail = n, n
+		return c
+	}
+	c.head, c.tail = head, tail
+
+	mask := uint64(1<<log - 1)
+	for i := head; i < tail; i++ {
+		id, w := c.ids[i], c.runs[i]
+		t := id & mask
+		sid := id >> uint(log)
+		pi := sc.index[t]
+		if pi < 0 {
+			pi = int32(len(c.partials))
+			sc.index[t] = pi
+			c.partials = append(c.partials, shardPartial{
+				shard: t, headID: sid, headW: []uint32{w}, inHead: true,
+			})
+			continue
+		}
+		p := &c.partials[pi]
+		if p.inHead && sid == p.headID {
+			p.headW = append(p.headW, w)
+			continue
+		}
+		p.inHead = false
+		if m := len(p.ids); m > 0 && p.ids[m-1] == sid && uint64(p.runs[m-1])+uint64(w) <= math.MaxUint32 {
+			p.runs[m-1] += w
+		} else {
+			p.ids = append(p.ids, sid)
+			p.runs = append(p.runs, w)
+		}
+	}
+	// Reset the scratch index for the worker's next chunk.
+	for i := range c.partials {
+		sc.index[c.partials[i].shard] = -1
+	}
+	return c
+}
+
+// shardStitcher consumes runChunks in stream order and maintains the
+// global parent stream plus the per-shard streams, with the serial
+// state machines applied exactly at the chunk edges.
+type shardStitcher struct {
+	ss   *ShardStream
+	log  uint
+	mask uint64
+	// fed is the count of parent runs already consumed by the shard
+	// fill machine.
+	fed int
+}
+
+func newShardStitcher(blockSize, log int) *shardStitcher {
+	n := 1 << log
+	ss := &ShardStream{
+		BlockSize: blockSize,
+		Log:       log,
+		Source:    &BlockStream{BlockSize: blockSize},
+		Shards:    make([]BlockStream, n),
+	}
+	for t := range ss.Shards {
+		ss.Shards[t].BlockSize = blockSize << uint(log)
+	}
+	return &shardStitcher{ss: ss, log: uint(log), mask: uint64(n - 1)}
+}
+
+// shardFeed applies ShardBlockStream's fill rule for one parent run.
+func (st *shardStitcher) shardFeed(id uint64, w uint32) {
+	sh := &st.ss.Shards[id&st.mask]
+	sid := id >> st.log
+	sh.Accesses += uint64(w)
+	if n := len(sh.IDs); n > 0 && sh.IDs[n-1] == sid && uint64(sh.Runs[n-1])+uint64(w) <= math.MaxUint32 {
+		sh.Runs[n-1] += w
+		return
+	}
+	sh.IDs = append(sh.IDs, sid)
+	sh.Runs = append(sh.Runs, w)
+}
+
+// feedParent runs the shard fill machine over parent runs [fed, k),
+// which the caller guarantees are final.
+func (st *shardStitcher) feedParent(k int) {
+	p := st.ss.Source
+	for i := st.fed; i < k; i++ {
+		st.shardFeed(p.IDs[i], p.Runs[i])
+	}
+	st.fed = k
+}
+
+// add appends one chunk in stream order.
+func (st *shardStitcher) add(c *runChunk) {
+	p := st.ss.Source
+	// Leading edge: per-access semantics against the global tail.
+	for i := 0; i < c.head; i++ {
+		p.appendRun(c.ids[i], c.runs[i])
+	}
+	if c.tail > c.head {
+		// The interior's first run has a different ID from the head
+		// span, so every parent run emitted so far is final: feed the
+		// shard machine up to here, then bulk-append the interior.
+		st.feedParent(len(p.IDs))
+		p.IDs = append(p.IDs, c.ids[c.head:c.tail]...)
+		p.Runs = append(p.Runs, c.runs[c.head:c.tail]...)
+		for _, w := range c.runs[c.head:c.tail] {
+			p.Accesses += uint64(w)
+		}
+		// Apply the interior's shard partials: each shard's leading
+		// span replays through the global fill machine (it may merge
+		// into runs fed above), the merged remainder appends wholesale.
+		for pi := range c.partials {
+			sp := &c.partials[pi]
+			sh := &st.ss.Shards[sp.shard]
+			pid := sp.headID<<st.log | sp.shard
+			for _, w := range sp.headW {
+				st.shardFeed(pid, w)
+			}
+			sh.IDs = append(sh.IDs, sp.ids...)
+			sh.Runs = append(sh.Runs, sp.runs...)
+			for _, w := range sp.runs {
+				sh.Accesses += uint64(w)
+			}
+		}
+		st.fed = len(p.IDs)
+	}
+	// Trailing edge (the whole chunk when it is a single span): back to
+	// per-access semantics; fed to the shard machine once a later chunk
+	// or finish finalizes it.
+	for i := max(c.tail, c.head); i < len(c.ids); i++ {
+		p.appendRun(c.ids[i], c.runs[i])
+	}
+}
+
+// finish finalizes the trailing edge and returns the stream.
+func (st *shardStitcher) finish() *ShardStream {
+	st.feedParent(len(st.ss.Source.IDs))
+	return st.ss
+}
+
+// ingestJob is one chunk's parallel work unit.
+type ingestJob struct {
+	seq int
+	run func(*ingestScratch) (*runChunk, error)
+}
+
+type ingestResult struct {
+	seq   int
+	chunk *runChunk
+	err   error
+}
+
+// ingestPipeline drives produce → compress workers → ordered stitcher.
+// produce emits jobs with consecutive seq from 0 and may stop early
+// when the abort flag is set (a downstream error).
+func ingestPipeline(blockSize, log, workers int,
+	produce func(emit func(ingestJob), abort *atomic.Bool) error) (*ShardStream, error) {
+	if blockSize < 1 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("trace: block size must be a positive power of two, got %d", blockSize)
+	}
+	if log < 0 || log > maxIngestShardLog {
+		return nil, fmt.Errorf("trace: ingest shard level %d outside supported [0, %d]", log, maxIngestShardLog)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	jobs := make(chan ingestJob, workers)
+	results := make(chan ingestResult, workers)
+	var abort atomic.Bool
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newIngestScratch(log)
+			for j := range jobs {
+				c, err := j.run(sc)
+				results <- ingestResult{seq: j.seq, chunk: c, err: err}
+			}
+		}()
+	}
+	prodErr := make(chan error, 1)
+	go func() {
+		err := produce(func(j ingestJob) { jobs <- j }, &abort)
+		close(jobs)
+		prodErr <- err
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	st := newShardStitcher(blockSize, log)
+	pending := map[int]*runChunk{}
+	next := 0
+	var firstErr error
+	for res := range results {
+		if firstErr != nil {
+			continue // drain
+		}
+		if res.err != nil {
+			firstErr = res.err
+			abort.Store(true)
+			continue
+		}
+		pending[res.seq] = res.chunk
+		for {
+			c, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			st.add(c)
+			next++
+		}
+	}
+	if err := <-prodErr; err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return st.finish(), nil
+}
+
+// IngestShards drains a trace reader and materializes both the parent
+// block stream and its 2^log shard partition in one pass: decode runs
+// on one goroutine (batched), run compression and shard partitioning
+// run chunk-parallel across workers, and a serial stitcher merges runs
+// at chunk boundaries. The result — Source and every shard — is
+// bit-identical to ShardBlockStream(MaterializeBlockStream(r), log),
+// without ever materializing the raw trace. workers ≤ 0 means
+// GOMAXPROCS. For .din input prefer IngestDinShards (or
+// IngestFileShards), which also parallelizes the text decode itself.
+func IngestShards(r Reader, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestReaderChunks(r, blockSize, log, workers, defaultIngestChunk)
+}
+
+func ingestReaderChunks(r Reader, blockSize, log, workers, chunkSize int) (*ShardStream, error) {
+	off := blockShift(blockSize)
+	return ingestPipeline(blockSize, log, workers, func(emit func(ingestJob), abort *atomic.Bool) error {
+		br := Batch(r)
+		seq := 0
+		for !abort.Load() {
+			buf := make([]Access, chunkSize)
+			filled := 0
+			var err error
+			for filled < chunkSize {
+				var n int
+				n, err = br.ReadBatch(buf[filled:])
+				filled += n
+				if err != nil {
+					break
+				}
+			}
+			if filled > 0 {
+				accs := buf[:filled]
+				emit(ingestJob{seq: seq, run: func(sc *ingestScratch) (*runChunk, error) {
+					cc := &chunkCompressor{}
+					for _, a := range accs {
+						cc.add(a.Addr>>off, 1)
+					}
+					return cc.finish(log, sc), nil
+				}})
+				seq++
+			}
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil
+				}
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ingestWeightedChunks is the test entry feeding pre-weighted (id, run)
+// columns through the pipeline machinery, one chunk per column pair —
+// the only way to exercise uint32 run-overflow splits without decoding
+// billions of accesses.
+func ingestWeightedChunks(blockSize, log, workers int, ids [][]uint64, runs [][]uint32) (*ShardStream, error) {
+	return ingestPipeline(blockSize, log, workers, func(emit func(ingestJob), abort *atomic.Bool) error {
+		for seq := range ids {
+			cids, cruns := ids[seq], runs[seq]
+			emit(ingestJob{seq: seq, run: func(sc *ingestScratch) (*runChunk, error) {
+				cc := &chunkCompressor{}
+				for i := range cids {
+					cc.add(cids[i], cruns[i])
+				}
+				return cc.finish(log, sc), nil
+			}})
+		}
+		return nil
+	})
+}
+
+// IngestDinShards decodes Dinero .din text and materializes the sharded
+// stream in one pass, with the text decode itself chunk-parallel: the
+// producer cuts the byte stream at line boundaries and workers parse
+// and run-compress each chunk independently. Semantics (including
+// error line numbers) match NewDinReader; results are bit-identical to
+// the serial materialize-then-shard path.
+func IngestDinShards(r io.Reader, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestDinChunks(r, blockSize, log, workers, ingestDinChunkBytes)
+}
+
+func ingestDinChunks(r io.Reader, blockSize, log, workers, chunkBytes int) (*ShardStream, error) {
+	if blockSize < 1 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("trace: block size must be a positive power of two, got %d", blockSize)
+	}
+	off := blockShift(blockSize)
+	return ingestPipeline(blockSize, log, workers, func(emit func(ingestJob), abort *atomic.Bool) error {
+		var rem []byte
+		seq := 0
+		startLine := 1
+		emitChunk := func(b []byte) {
+			lines := bytes.Count(b, []byte{'\n'})
+			base := startLine
+			startLine += lines
+			emit(ingestJob{seq: seq, run: func(sc *ingestScratch) (*runChunk, error) {
+				return parseDinChunk(b, base, off, log, sc)
+			}})
+			seq++
+		}
+		for !abort.Load() {
+			buf := make([]byte, len(rem)+chunkBytes)
+			copy(buf, rem)
+			n, err := io.ReadFull(r, buf[len(rem):])
+			buf = buf[:len(rem)+n]
+			rem = nil
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					return err
+				}
+				if len(buf) > 0 {
+					emitChunk(buf)
+				}
+				return nil
+			}
+			cut := bytes.LastIndexByte(buf, '\n')
+			if cut < 0 {
+				// No line boundary yet (pathological line longer than
+				// the chunk): keep accumulating.
+				rem = buf
+				continue
+			}
+			emitChunk(buf[:cut+1])
+			rem = append([]byte(nil), buf[cut+1:]...)
+		}
+		return nil
+	})
+}
+
+// parseDinChunk parses whole .din lines from b (the producer cuts at
+// line boundaries) with the same zero-allocation field split as
+// DinReader, feeding block IDs straight into the chunk compressor.
+func parseDinChunk(b []byte, startLine int, off uint, log int, sc *ingestScratch) (*runChunk, error) {
+	cc := &chunkCompressor{}
+	line := startLine - 1
+	for len(b) > 0 {
+		var ln []byte
+		if nl := bytes.IndexByte(b, '\n'); nl >= 0 {
+			ln, b = b[:nl], b[nl+1:]
+		} else {
+			ln, b = b, nil
+		}
+		line++
+		i := skipSpace(ln, 0)
+		if i == len(ln) {
+			continue // blank line
+		}
+		labelStart := i
+		i = skipField(ln, i)
+		labelEnd := i
+		i = skipSpace(ln, i)
+		addrStart := i
+		i = skipField(ln, i)
+		addrEnd := i
+		if addrEnd == addrStart {
+			return nil, fmt.Errorf("trace: din line %d: need label and address, got %q", line, bytes.TrimSpace(ln))
+		}
+		label, ok := parseLabel(ln[labelStart:labelEnd])
+		if !ok || !Kind(label).Valid() {
+			return nil, fmt.Errorf("trace: din line %d: bad label %q", line, ln[labelStart:labelEnd])
+		}
+		addr, ok := parseHex(ln[addrStart:addrEnd])
+		if !ok {
+			return nil, fmt.Errorf("trace: din line %d: bad address %q", line, ln[addrStart:addrEnd])
+		}
+		cc.add(addr>>off, 1)
+	}
+	return cc.finish(log, sc), nil
+}
+
+// IngestFileShards opens a trace file (transparently decompressing
+// ".gz") and ingests it sharded: the chunk-parallel text parser for
+// .din files, the pipelined generic decode for everything else.
+func IngestFileShards(name string, blockSize, log, workers int) (*ShardStream, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var src io.Reader = f
+	if strings.HasSuffix(name, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening %s: %w", name, err)
+		}
+		defer gz.Close()
+		src = gz
+	}
+	if DetectFormat(name) == FormatBin {
+		return IngestShards(NewBinReader(bufio.NewReader(src)), blockSize, log, workers)
+	}
+	return IngestDinShards(src, blockSize, log, workers)
+}
+
+// blockShift returns log2 of a validated block size.
+func blockShift(blockSize int) uint {
+	off := uint(0)
+	for 1<<off < blockSize {
+		off++
+	}
+	return off
+}

@@ -1,0 +1,332 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// serialShards is the oracle: the serial decode → materialize → shard
+// path the pipeline must reproduce bit for bit.
+func serialShards(t *testing.T, tr Trace, blockSize, log int) *ShardStream {
+	t.Helper()
+	bs, err := tr.BlockStream(blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := ShardBlockStream(bs, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+func sameBlockStream(t *testing.T, label string, got, want *BlockStream) {
+	t.Helper()
+	if got.BlockSize != want.BlockSize {
+		t.Errorf("%s: block size %d, want %d", label, got.BlockSize, want.BlockSize)
+	}
+	if got.Accesses != want.Accesses {
+		t.Errorf("%s: accesses %d, want %d", label, got.Accesses, want.Accesses)
+	}
+	if len(got.IDs) != len(want.IDs) || len(got.Runs) != len(want.Runs) {
+		t.Fatalf("%s: %d ids/%d runs, want %d/%d", label, len(got.IDs), len(got.Runs), len(want.IDs), len(want.Runs))
+	}
+	for i := range got.IDs {
+		if got.IDs[i] != want.IDs[i] || got.Runs[i] != want.Runs[i] {
+			t.Fatalf("%s: run %d = (%d, %d), want (%d, %d)", label, i, got.IDs[i], got.Runs[i], want.IDs[i], want.Runs[i])
+		}
+	}
+}
+
+func sameShardStream(t *testing.T, got, want *ShardStream) {
+	t.Helper()
+	if got.Log != want.Log || got.BlockSize != want.BlockSize || got.NumShards() != want.NumShards() {
+		t.Fatalf("shape: log %d block %d shards %d, want %d/%d/%d",
+			got.Log, got.BlockSize, got.NumShards(), want.Log, want.BlockSize, want.NumShards())
+	}
+	sameBlockStream(t, "source", got.Source, want.Source)
+	for s := range want.Shards {
+		sameBlockStream(t, fmt.Sprintf("shard %d", s), &got.Shards[s], &want.Shards[s])
+	}
+}
+
+// pipelineTrace builds a trace with heavy runs and shard skew so edge
+// spans, single-span chunks and empty shards all occur.
+func pipelineTrace(rng *rand.Rand, n int) Trace {
+	tr := make(Trace, 0, n)
+	addr := uint64(rng.Intn(1 << 12))
+	for len(tr) < n {
+		switch rng.Intn(5) {
+		case 0: // long sequential run (same block for a while)
+			run := rng.Intn(300) + 1
+			for i := 0; i < run && len(tr) < n; i++ {
+				tr = append(tr, Access{Addr: addr, Kind: IFetch})
+				addr++
+			}
+		case 1: // jump
+			addr = uint64(rng.Intn(1 << 14))
+			tr = append(tr, Access{Addr: addr, Kind: DataRead})
+		case 2: // skew: hammer one block
+			run := rng.Intn(64) + 1
+			for i := 0; i < run && len(tr) < n; i++ {
+				tr = append(tr, Access{Addr: 0x40, Kind: DataRead})
+			}
+		default:
+			addr += uint64(rng.Intn(64))
+			tr = append(tr, Access{Addr: addr, Kind: DataWrite})
+		}
+	}
+	return tr
+}
+
+func TestIngestShardsMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 5, 1000, 20000} {
+		tr := pipelineTrace(rng, n)
+		for _, block := range []int{1, 4, 32} {
+			for _, log := range []int{0, 1, 3, 5} {
+				want := serialShards(t, tr, block, log)
+				for _, chunk := range []int{1, 3, 64, 4096} {
+					got, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 4, chunk)
+					if err != nil {
+						t.Fatalf("n=%d block=%d log=%d chunk=%d: %v", n, block, log, chunk, err)
+					}
+					sameShardStream(t, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIngestWeightedOverflow drives crafted run weights near the uint32
+// limit through the pipeline, splitting them across chunk boundaries in
+// every way, and checks the overflow splits land exactly where the
+// serial machines put them.
+func TestIngestWeightedOverflow(t *testing.T) {
+	const m = math.MaxUint32
+	ids := []uint64{9, 9, 9, 5, 9, 9, 2, 9, 9, 9, 5, 5, 9}
+	runs := []uint32{m, m - 3, 7, 1, m - 1, 2, 3, 1, m, 4, m - 2, 10, m}
+
+	for log := 0; log <= 3; log++ {
+		// Oracle: one serial machine over the whole weighted sequence.
+		parent := &BlockStream{BlockSize: 4}
+		for i := range ids {
+			parent.appendRun(ids[i], runs[i])
+		}
+		want, err := ShardBlockStream(parent, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every split point (and a few multi-chunk splits).
+		for cut := 0; cut <= len(ids); cut++ {
+			got, err := ingestWeightedChunks(4, log, 3,
+				[][]uint64{ids[:cut], ids[cut:]},
+				[][]uint32{runs[:cut], runs[cut:]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameShardStream(t, got, want)
+		}
+		var cids [][]uint64
+		var cruns [][]uint32
+		for i := range ids {
+			cids = append(cids, ids[i:i+1])
+			cruns = append(cruns, runs[i:i+1])
+		}
+		got, err := ingestWeightedChunks(4, log, 3, cids, cruns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameShardStream(t, got, want)
+	}
+}
+
+func dinText(tr Trace) []byte {
+	var buf bytes.Buffer
+	w := NewDinWriter(&buf)
+	for _, a := range tr {
+		if err := w.WriteAccess(a); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func TestIngestDinMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := pipelineTrace(rng, 5000)
+	text := dinText(tr)
+	want := serialShards(t, tr, 16, 2)
+	for _, chunkBytes := range []int{1, 7, 100, 1 << 12} {
+		got, err := ingestDinChunks(bytes.NewReader(text), 16, 2, 4, chunkBytes)
+		if err != nil {
+			t.Fatalf("chunkBytes=%d: %v", chunkBytes, err)
+		}
+		sameShardStream(t, got, want)
+	}
+}
+
+func TestIngestDinBlankAndPrefixes(t *testing.T) {
+	text := "2 0x40\n\n  1   80  trailing junk\n0 a0\n"
+	r, err := ReadAll(NewDinReader(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialShards(t, r, 4, 1)
+	got, err := ingestDinChunks(strings.NewReader(text), 4, 1, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameShardStream(t, got, want)
+}
+
+func TestIngestDinErrorLineNumbers(t *testing.T) {
+	text := "2 40\n1 80\nbogus line\n2 c0\n"
+	_, err := ingestDinChunks(strings.NewReader(text), 4, 1, 2, 6)
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name line 3", err)
+	}
+	// The serial reader reports the same line.
+	_, serr := MaterializeBlockStream(NewDinReader(strings.NewReader(text)), 4)
+	if serr == nil || !strings.Contains(serr.Error(), "line 3") {
+		t.Fatalf("serial error %q does not name line 3", serr)
+	}
+}
+
+func TestIngestFileShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := pipelineTrace(rng, 3000)
+	want := serialShards(t, tr, 8, 2)
+	dir := t.TempDir()
+
+	for _, name := range []string{"t.din", "t.dtb", "t.din.gz", "t.dtb.gz"} {
+		path := filepath.Join(dir, name)
+		w, closer, err := CreateFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range tr {
+			if err := w.WriteAccess(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := closer.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := IngestFileShards(path, 8, 2, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameShardStream(t, got, want)
+	}
+
+	if _, err := IngestFileShards(filepath.Join(dir, "missing.din"), 8, 2, 0); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestShardsRejectsBadArgs(t *testing.T) {
+	tr := Trace{{Addr: 1}}
+	if _, err := IngestShards(tr.NewSliceReader(), 3, 1, 1); err == nil {
+		t.Error("want error for non-power-of-two block size")
+	}
+	if _, err := IngestShards(tr.NewSliceReader(), 4, -1, 1); err == nil {
+		t.Error("want error for negative shard level")
+	}
+	if _, err := IngestShards(tr.NewSliceReader(), 4, maxIngestShardLog+1, 1); err == nil {
+		t.Error("want error for oversized shard level")
+	}
+}
+
+// FuzzIngestShards cross-checks the chunk-parallel pipeline against the
+// serial decode over fuzzer-chosen traces, chunk sizes and shard
+// levels, including the weighted path that can reach uint32 overflow
+// splits at chunk boundaries.
+func FuzzIngestShards(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 200, 200, 200, 7}, uint8(2), uint8(3), uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 9}, uint8(0), uint8(1), uint8(0))
+	f.Add([]byte{255, 254, 253, 1, 1, 1, 40, 40}, uint8(4), uint8(7), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, logIn, chunkIn, blockIn uint8) {
+		log := int(logIn % 6)
+		chunk := int(chunkIn%16) + 1
+		block := 1 << (blockIn % 5)
+
+		// Interpret the bytes as a trace: each byte is an address step,
+		// with high values repeating the previous block to build runs.
+		tr := make(Trace, 0, len(data))
+		addr := uint64(0)
+		for _, b := range data {
+			if b >= 192 {
+				// repeat previous address (b-191) times
+				for i := 0; i < int(b-191); i++ {
+					tr = append(tr, Access{Addr: addr})
+				}
+				continue
+			}
+			addr += uint64(b)
+			tr = append(tr, Access{Addr: addr})
+		}
+
+		bs, err := tr.BlockStream(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ShardBlockStream(bs, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 3, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameShardStream(t, got, want)
+
+		// Weighted path: reinterpret byte pairs as (id, weight) with
+		// weights pushed up near the uint32 limit, split into chunks.
+		var wids []uint64
+		var wruns []uint32
+		for i := 0; i+1 < len(data); i += 2 {
+			w := uint32(data[i+1])
+			if w >= 128 {
+				w = math.MaxUint32 - uint32(data[i+1]-128)
+			}
+			wids = append(wids, uint64(data[i]%32))
+			wruns = append(wruns, w)
+		}
+		parent := &BlockStream{BlockSize: block}
+		for i := range wids {
+			parent.appendRun(wids[i], wruns[i])
+		}
+		wantW, err := ShardBlockStream(parent, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cids [][]uint64
+		var cruns [][]uint32
+		for i := 0; i < len(wids); i += chunk {
+			end := min(i+chunk, len(wids))
+			cids = append(cids, wids[i:end])
+			cruns = append(cruns, wruns[i:end])
+		}
+		gotW, err := ingestWeightedChunks(block, log, 3, cids, cruns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameShardStream(t, gotW, wantW)
+	})
+}

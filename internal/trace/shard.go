@@ -84,27 +84,20 @@ func (ss *ShardStream) Runs() int {
 	return n
 }
 
-// ShardBlockStream partitions bs into 2^log substreams. The partition
-// is exact: every run of bs lands, with its full weight, in the single
-// shard its ID belongs to, and per-shard order is the parent order.
-// Adjacent same-ID runs within a shard merge (unless the merged weight
-// would overflow the uint32 run counter, in which case the run splits
-// exactly as BlockStream materialization splits it).
-func ShardBlockStream(bs *BlockStream, log int) (*ShardStream, error) {
+// ShardRunCounts is ShardBlockStream's counting pass on its own: the
+// exact per-shard run counts the partition at level log would hold
+// after per-shard re-compression, without materializing the shards.
+// One cheap integer pass over the parent columns — the shard
+// auto-tuner uses it to estimate, per candidate level, both the
+// re-compression gain (sum of counts vs bs.Len()) and the critical
+// path of a sharded pass (the largest count) before committing to a
+// partition.
+func ShardRunCounts(bs *BlockStream, log int) ([]int, error) {
 	if log < 0 || log > 22 {
 		return nil, fmt.Errorf("trace: shard level %d outside supported [0, 22]", log)
 	}
 	n := 1 << log
 	mask := uint64(n - 1)
-	ss := &ShardStream{
-		BlockSize: bs.BlockSize,
-		Log:       log,
-		Source:    bs,
-		Shards:    make([]BlockStream, n),
-	}
-
-	// Counting pass: exact per-shard entry counts under the same merge
-	// rule the fill pass applies, so the fill pass never reallocates.
 	counts := make([]int, n)
 	lastID := make([]uint64, n)
 	lastRun := make([]uint32, n)
@@ -119,6 +112,30 @@ func ShardBlockStream(bs *BlockStream, log int) (*ShardStream, error) {
 		}
 		counts[t]++
 		lastID[t], lastRun[t], have[t] = sid, w, true
+	}
+	return counts, nil
+}
+
+// ShardBlockStream partitions bs into 2^log substreams. The partition
+// is exact: every run of bs lands, with its full weight, in the single
+// shard its ID belongs to, and per-shard order is the parent order.
+// Adjacent same-ID runs within a shard merge (unless the merged weight
+// would overflow the uint32 run counter, in which case the run splits
+// exactly as BlockStream materialization splits it).
+func ShardBlockStream(bs *BlockStream, log int) (*ShardStream, error) {
+	// Counting pass: exact per-shard entry counts under the same merge
+	// rule the fill pass applies, so the fill pass never reallocates.
+	counts, err := ShardRunCounts(bs, log)
+	if err != nil {
+		return nil, err
+	}
+	n := 1 << log
+	mask := uint64(n - 1)
+	ss := &ShardStream{
+		BlockSize: bs.BlockSize,
+		Log:       log,
+		Source:    bs,
+		Shards:    make([]BlockStream, n),
 	}
 
 	for t := 0; t < n; t++ {

@@ -35,6 +35,7 @@ type run struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	NsPerAccess float64 `json:"ns_per_access,omitempty"`
 	AddrPerRun  float64 `json:"addr_per_run,omitempty"`
+	BlocksPerS  float64 `json:"blocks_per_s,omitempty"`
 }
 
 // series aggregates every run of one benchmark name.
@@ -44,6 +45,7 @@ type series struct {
 	NsPerAccessMean    float64 `json:"ns_per_access_mean,omitempty"`
 	NsPerAccessFastest float64 `json:"ns_per_access_fastest,omitempty"`
 	AddrPerRunMean     float64 `json:"addr_per_run_mean,omitempty"`
+	BlocksPerSFastest  float64 `json:"blocks_per_s_fastest,omitempty"`
 }
 
 // ratioBasis documents how the speedup maps of a recording were
@@ -62,6 +64,8 @@ type historyEntry struct {
 	SpeedupStreamOverBatch   map[string]float64            `json:"speedup_stream_over_batch,omitempty"`
 	SpeedupShardedOverStream map[string]map[string]float64 `json:"speedup_sharded_over_stream,omitempty"`
 	RunCompression           map[string]float64            `json:"run_compression,omitempty"`
+	IngestBlocksPerS         map[string]float64            `json:"ingest_blocks_per_s,omitempty"`
+	SpeedupIngestOverSerial  map[string]float64            `json:"speedup_ingest_over_serial,omitempty"`
 	SpeedupVsSeed            map[string]float64            `json:"speedup_vs_seed,omitempty"`
 }
 
@@ -90,6 +94,14 @@ type output struct {
 	// RunCompression is the stream benchmark's measured accesses-per-run
 	// ratio per workload.
 	RunCompression map[string]float64 `json:"run_compression,omitempty"`
+	// IngestBlocksPerS is the decode → shard ingest pipeline's
+	// throughput per workload (block references ingested per second,
+	// fastest sample of BenchmarkIngestShards).
+	IngestBlocksPerS map[string]float64 `json:"ingest_blocks_per_s,omitempty"`
+	// SpeedupIngestOverSerial is, per workload, the pipeline's
+	// throughput over the serial materialize-then-shard baseline
+	// (BenchmarkIngestSerial), both measured in this tree.
+	SpeedupIngestOverSerial map[string]float64 `json:"speedup_ingest_over_serial,omitempty"`
 	// SeedBaseline echoes the committed baseline measurements of the
 	// seed commit's single-access path.
 	SeedBaseline json.RawMessage `json:"seed_baseline,omitempty"`
@@ -114,6 +126,8 @@ func (o *output) summarize() historyEntry {
 		SpeedupStreamOverBatch:   o.SpeedupStreamOverBatch,
 		SpeedupShardedOverStream: o.SpeedupShardedOverStream,
 		RunCompression:           o.RunCompression,
+		IngestBlocksPerS:         o.IngestBlocksPerS,
+		SpeedupIngestOverSerial:  o.SpeedupIngestOverSerial,
 		SpeedupVsSeed:            o.SpeedupVsSeed,
 	}
 	if len(o.Benchmarks) > 0 {
@@ -181,6 +195,8 @@ func main() {
 				r.NsPerAccess = val
 			case "addr/run", "addr/shardrun":
 				r.AddrPerRun = val
+			case "blocks/s":
+				r.BlocksPerS = val
 			}
 		}
 		s := out.Benchmarks[name]
@@ -208,6 +224,9 @@ func main() {
 			if r.NsPerAccess > 0 && (s.NsPerAccessFastest == 0 || r.NsPerAccess < s.NsPerAccessFastest) {
 				s.NsPerAccessFastest = r.NsPerAccess
 			}
+			if r.BlocksPerS > s.BlocksPerSFastest {
+				s.BlocksPerSFastest = r.BlocksPerS
+			}
 		}
 		s.NsPerOpMean = opSum / float64(len(s.Runs))
 		s.NsPerAccessMean = accSum / float64(len(s.Runs))
@@ -223,6 +242,8 @@ func main() {
 	out.SpeedupStreamOverBatch = map[string]float64{}
 	out.SpeedupShardedOverStream = map[string]map[string]float64{}
 	out.RunCompression = map[string]float64{}
+	out.IngestBlocksPerS = map[string]float64{}
+	out.SpeedupIngestOverSerial = map[string]float64{}
 	for name, s := range out.Benchmarks {
 		if app, ok := strings.CutPrefix(name, "BenchmarkAccessBatch/"); ok && s.NsPerAccessFastest > 0 {
 			if single, ok := out.Benchmarks["BenchmarkAccessSingle/"+app]; ok && single.NsPerAccessFastest > 0 {
@@ -235,6 +256,12 @@ func main() {
 			}
 			if s.AddrPerRunMean > 0 {
 				out.RunCompression[app] = round2(s.AddrPerRunMean)
+			}
+		}
+		if app, ok := strings.CutPrefix(name, "BenchmarkIngestShards/"); ok && s.BlocksPerSFastest > 0 {
+			out.IngestBlocksPerS[app] = round2(s.BlocksPerSFastest)
+			if serial, ok := out.Benchmarks["BenchmarkIngestSerial/"+app]; ok && serial.BlocksPerSFastest > 0 {
+				out.SpeedupIngestOverSerial[app] = round2(s.BlocksPerSFastest / serial.BlocksPerSFastest)
 			}
 		}
 		// BenchmarkAccessSharded/<app>/S<k>: one curve point per fan-out.
