@@ -31,3 +31,4 @@ fuzz:
 	$(GO) test ./internal/lrutree -run '^$$' -fuzz FuzzFastEquivalence -fuzztime 20s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzShardBlockStream -fuzztime 20s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzIngestShards -fuzztime 20s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzFoldBlockStream -fuzztime 20s

@@ -223,6 +223,75 @@ func BenchmarkAccessSharded(b *testing.B) {
 	}
 }
 
+// benchFoldBlocks is the block ladder the fold benchmarks walk; the
+// first entry is the single decode rung, the rest are fold-derived.
+var benchFoldBlocks = []int{4, 8, 16, 32, 64}
+
+// BenchmarkFoldLadder measures deriving every coarser block size of the
+// ladder from one stream at the finest size — what the design-space
+// frontends (explore.Run, sweep.RunCells) now do instead of re-decoding
+// the trace once per block size. The base stream is materialized once
+// outside the timed region (that single decode is the whole ladder's
+// trace cost); each iteration folds the full ladder through reusable
+// destinations, so steady state allocates nothing. ns/access divides by
+// the trace length — compare BenchmarkDecodeLadder, the deleted
+// decode-per-block-size baseline over the same sizes — and each rung's
+// run-compression ratio is reported as addr/run/B<size>
+// (scripts/bench.sh records both the speedup and the per-step
+// compression in BENCH_core.json).
+func BenchmarkFoldLadder(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			tr := benchTrace(b, app)
+			base, err := tr.BlockStream(benchFoldBlocks[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			rungs := make([]*trace.BlockStream, len(benchFoldBlocks)-1)
+			for i := range rungs {
+				rungs[i] = &trace.BlockStream{}
+			}
+			foldAll := func() {
+				cur := base
+				for _, dst := range rungs {
+					cur = trace.FoldBlockStreamInto(dst, cur)
+				}
+			}
+			foldAll() // size the destinations once
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				foldAll()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr)), "ns/access")
+			for _, dst := range rungs {
+				b.ReportMetric(dst.CompressionRatio(), fmt.Sprintf("addr/run/B%d", dst.BlockSize))
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeLadder is BenchmarkFoldLadder's baseline: the coarser
+// block sizes of the same ladder materialized by separate full decodes
+// of the in-memory trace — one O(accesses) pass per block size, the way
+// explore.Run and sweep.RunCells built their streams before folding.
+func BenchmarkDecodeLadder(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			tr := benchTrace(b, app)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, block := range benchFoldBlocks[1:] {
+					if _, err := tr.BlockStream(block); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr)), "ns/access")
+		})
+	}
+}
+
 // benchDinTexts caches each workload's .din encoding for the ingest
 // benchmarks.
 var benchDinTexts = map[string][]byte{}

@@ -18,12 +18,18 @@
 // Reader.
 //
 // Above batching sits the columnar stream frontend: trace.BlockStream
-// materializes a trace once per block size into run-length-compressed
-// columns (block IDs plus run weights, consecutive same-block accesses
-// collapsed). A materialized stream is immutable and shared — the sweep
-// and explore layers hand one stream to every simulator pass, worker and
-// reference replay that needs that block size, so the per-access decode
-// and shift work is paid once per block size instead of once per pass.
+// materializes a trace into run-length-compressed columns (block IDs
+// plus run weights, consecutive same-block accesses collapsed). The
+// trace is decoded exactly once, at the finest block size a run needs;
+// every coarser block size is fold-derived from that stream
+// (trace.FoldBlockStream / FoldLadder: halve every run ID and merge the
+// now-adjacent equal-ID runs — O(runs) per doubling, bit-identical to a
+// direct materialization at the coarser size, uint32 run-overflow
+// splits included). A materialized or folded stream is immutable and
+// shared — the sweep and explore layers hand one stream to every
+// simulator pass, worker and reference replay that needs that block
+// size, so the per-access decode and shift work is paid once per run,
+// not once per pass and not even once per block size.
 // Replaying weighted runs is exact: a repeated block address is a
 // most-recently-accessed hit in every configuration containing it
 // (Property 2 in the DEW core, same-block pruning in the LRU tree, a
@@ -78,7 +84,7 @@
 // passes, so benchmark iterations, sweep cells and per-shard replays
 // run allocation-free in steady state.
 //
-// # Pipeline architecture: decode → shard → engine → stitch
+// # Pipeline architecture: decode once → fold → shard → engine → stitch
 //
 // A fully sharded run never materializes the raw trace and never walks
 // it twice. The ingest pipeline (trace.IngestShards / IngestDinShards /
@@ -92,6 +98,15 @@
 // to the serial materialize-then-shard path (equivalence- and
 // fuzz-tested), so every downstream exactness argument carries over
 // unchanged.
+//
+// The block-size axis of a design space rides on that single decode:
+// explore.Run ingests the trace once at the space's finest block size
+// and fold-derives every coarser rung (re-sharding each folded stream
+// with the O(runs) ShardBlockStream walk when sharding), and
+// sweep.RunCells shares one folded ladder per trace across its cells —
+// both frontends read the raw trace exactly once per run no matter how
+// many block sizes the space spans, and both record the provenance
+// (explore.Result.Decodes/Folds, sweep.Cell.StreamFolded).
 //
 // Simulation itself runs behind the engine seam: package engine wraps
 // the three simulators (dew, lrutree, ref) in one interface —

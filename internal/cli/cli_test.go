@@ -70,6 +70,51 @@ func TestDewSimSharded(t *testing.T) {
 	}
 }
 
+// TestDewSimBlockLadder drives several block sizes off one decode: the
+// concatenated per-block tables must match the single-block runs row
+// for row, monolithic and sharded.
+func TestDewSimBlockLadder(t *testing.T) {
+	base := []string{"-app", "DJPEG", "-n", "10000", "-assoc", "4", "-maxlog", "5", "-csv"}
+	var want string
+	for _, block := range []string{"4", "16", "64"} {
+		out, _, err := run(t, DewSim, append(base, "-block", block)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := strings.TrimRight(out[:strings.Index(out, "\nsimulated ")], "\n")
+		if want == "" {
+			want = rows
+		} else {
+			// Drop the repeated CSV header before concatenating.
+			want += "\n" + rows[strings.Index(rows, "\n")+1:]
+		}
+	}
+	for _, extra := range [][]string{
+		{"-blocks", "64,4,16,16"}, // order and duplicates are normalized
+		{"-blocks", "4,16,64", "-shards", "4"},
+	} {
+		out, _, err := run(t, DewSim, append(base, extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows := strings.TrimRight(out[:strings.Index(out, "\nsimulated ")], "\n"); rows != want {
+			t.Errorf("%v: ladder table differs from single-block runs:\n%s\nvs\n%s", extra, rows, want)
+		}
+		if !strings.Contains(out, "1 decode + 2 folds") {
+			t.Errorf("%v: fold provenance missing: %s", extra, out)
+		}
+	}
+	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-blocks", "4,16", "-counters"); err == nil || !IsUsage(err) {
+		t.Error("-blocks with -counters should be a usage error")
+	}
+	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-blocks", "4,x"); err == nil || !IsUsage(err) {
+		t.Error("malformed -blocks should be a usage error")
+	}
+	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-blocks", "4,24"); err == nil {
+		t.Error("non-power-of-two -blocks entry should fail")
+	}
+}
+
 func TestDewSimEngineFlag(t *testing.T) {
 	// The lrutree engine under LRU must emit the same result table as
 	// the dew engine, monolithic and sharded.
@@ -225,6 +270,10 @@ func TestExploreSmall(t *testing.T) {
 	}
 	if !strings.Contains(out, "best 3 by modeled energy") {
 		t.Errorf("ranking missing: %s", out)
+	}
+	// Fold provenance: 3 block sizes from a single raw-trace decode.
+	if !strings.Contains(out, "1 trace decode + 2 folds") {
+		t.Errorf("fold provenance missing: %s", out)
 	}
 }
 

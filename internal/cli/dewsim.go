@@ -3,6 +3,10 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"dew/internal/cache"
@@ -22,6 +26,7 @@ func DewSim(env Env, args []string) error {
 	var (
 		assoc    = fs.Int("assoc", 4, "tag-list associativity (power of two)")
 		block    = fs.Int("block", 32, "block size in bytes (power of two)")
+		blocks   = fs.String("blocks", "", "comma-separated block-size ladder: one pass per size, every size fold-derived from a single trace decode at the finest one (engine fast path; overrides -block)")
 		minLog   = fs.Int("minlog", 0, "log2 of the smallest set count")
 		maxLog   = fs.Int("maxlog", 14, "log2 of the largest set count (14 = paper)")
 		policy   = fs.String("policy", "FIFO", "replacement policy: FIFO (DEW's target) or LRU")
@@ -54,6 +59,16 @@ func DewSim(env Env, args []string) error {
 	}
 	if instrumented && *engName != "dew" {
 		return usagef("-counters and the ablation switches are DEW core instrumentation; drop -engine %s", *engName)
+	}
+	blockLadder := []int{*block}
+	if *blocks != "" {
+		if instrumented {
+			return usagef("-blocks replays fold-derived streams on the engine fast path; drop -counters and the ablation switches")
+		}
+		var err error
+		if blockLadder, err = parseBlockLadder(*blocks); err != nil {
+			return err
+		}
 	}
 
 	var (
@@ -93,30 +108,51 @@ func DewSim(env Env, args []string) error {
 		accesses = sim.Counters().Accesses
 		mode = fmt.Sprintf("single instrumented pass, %v", pol)
 	} else {
-		// Engine fast path: materialize the run-compressed stream (and,
-		// when sharding, its partition via the one-pass decode → shard
-		// ingest pipeline) and replay it through the requested engine.
-		// Materialization is timed here — unlike the sweep, this tool
-		// has no second consumer to amortize it.
-		spec := engine.Spec{
-			MinLogSets: *minLog, MaxLogSets: *maxLog,
-			Assoc: *assoc, BlockSize: *block, Policy: pol,
+		// Engine fast path: decode the trace exactly once — into the
+		// run-compressed stream at the finest requested block size
+		// (via the one-pass decode → shard ingest pipeline when
+		// sharding) — fold-derive every coarser rung of the block
+		// ladder from it, and replay each rung through the requested
+		// engine. Ingest and folding are timed here — unlike the
+		// sweep, this tool has no second consumer to amortize them.
+		specFor := func(b int) engine.Spec {
+			return engine.Spec{
+				MinLogSets: *minLog, MaxLogSets: *maxLog,
+				Assoc: *assoc, BlockSize: b, Policy: pol,
+			}
 		}
 		// Fail fast on a bad spec or engine/policy combination before
 		// paying for the trace ingest (engine construction is cheap —
 		// the arenas build lazily on first replay).
-		if _, err := engine.New(*engName, spec); err != nil {
-			return err
-		}
-		start := time.Now()
-		var bs *trace.BlockStream
-		var ss *trace.ShardStream
-		if *shards > 1 {
-			if ss, err = tf.ingestShards(*block, trace.ShardLog(*shards, *maxLog)); err != nil {
+		for _, b := range blockLadder {
+			if _, err := engine.New(*engName, specFor(b)); err != nil {
 				return err
 			}
-			bs = ss.Source
-			mode = fmt.Sprintf("single %s pass sharded across %d substreams, %v", *engName, ss.NumShards(), pol)
+		}
+		start := time.Now()
+		var ladder map[int]*trace.BlockStream
+		shardStreams := map[int]*trace.ShardStream{}
+		if *shards > 1 {
+			log := trace.ShardLog(*shards, *maxLog)
+			ss, err := tf.ingestShards(blockLadder[0], log)
+			if err != nil {
+				return err
+			}
+			if ladder, err = trace.FoldLadder(ss.Source, blockLadder); err != nil {
+				return err
+			}
+			shardStreams[blockLadder[0]] = ss
+			for _, b := range blockLadder[1:] {
+				if shardStreams[b], err = trace.ShardBlockStream(ladder[b], log); err != nil {
+					return err
+				}
+			}
+			if len(blockLadder) == 1 {
+				mode = fmt.Sprintf("single %s pass sharded across %d substreams, %v", *engName, ss.NumShards(), pol)
+			} else {
+				mode = fmt.Sprintf("%d %s passes sharded across %d substreams over a fold-derived block ladder (1 decode + %d folds), %v",
+					len(blockLadder), *engName, ss.NumShards(), len(blockLadder)-1, pol)
+			}
 		} else {
 			r, closer, err := tf.open()
 			if err != nil {
@@ -125,17 +161,29 @@ func DewSim(env Env, args []string) error {
 			if closer != nil {
 				defer closer.Close()
 			}
-			if bs, err = trace.MaterializeBlockStream(r, *block); err != nil {
+			base, err := trace.MaterializeBlockStream(r, blockLadder[0])
+			if err != nil {
 				return err
 			}
-			mode = fmt.Sprintf("single %s stream pass, %v", *engName, pol)
+			if ladder, err = trace.FoldLadder(base, blockLadder); err != nil {
+				return err
+			}
+			if len(blockLadder) == 1 {
+				mode = fmt.Sprintf("single %s stream pass, %v", *engName, pol)
+			} else {
+				mode = fmt.Sprintf("%d %s stream passes over a fold-derived block ladder (1 decode + %d folds), %v",
+					len(blockLadder), *engName, len(blockLadder)-1, pol)
+			}
 		}
-		eng, _, err := engine.TimedRun(*engName, spec, bs, ss)
-		if err != nil {
-			return err
+		for _, b := range blockLadder {
+			eng, _, err := engine.TimedRun(*engName, specFor(b), ladder[b], shardStreams[b])
+			if err != nil {
+				return err
+			}
+			results = append(results, eng.Results()...)
+			accesses = eng.Accesses()
 		}
 		elapsed = time.Since(start)
-		results, accesses = eng.Results(), eng.Accesses()
 	}
 
 	tbl := report.NewTable("", "sets", "assoc", "block", "size", "accesses", "misses", "missRate")
@@ -166,4 +214,21 @@ func DewSim(env Env, args []string) error {
 		fmt.Fprintf(env.Stdout, "tree storage (paper accounting): %d bits\n", sim.Options().PaperBits())
 	}
 	return nil
+}
+
+// parseBlockLadder parses the -blocks list into ascending distinct
+// block sizes (the finest is the ladder's single decode rung; sizes are
+// validated as powers of two by the engine specs and the fold).
+func parseBlockLadder(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || b < 1 {
+			return nil, usagef("-blocks: bad block size %q", part)
+		}
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	out = slices.Compact(out)
+	return out, nil
 }

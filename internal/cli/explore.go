@@ -117,8 +117,8 @@ func Explore(env Env, args []string) error {
 	if res.Shards > 0 {
 		shardNote = fmt.Sprintf(", each pass sharded across %d trees", res.Shards)
 	}
-	fmt.Fprintf(env.Stdout, "explored %d configurations with %d DEW passes over %d shared block streams (run compression: %s)%s\n\n",
-		len(res.Stats), res.Passes, len(blocks), strings.Join(comp, ", "), shardNote)
+	fmt.Fprintf(env.Stdout, "explored %d configurations with %d DEW passes over %d shared block streams (%d trace decode + %d folds; run compression: %s)%s\n\n",
+		len(res.Stats), res.Passes, len(blocks), res.Decodes, res.Folds, strings.Join(comp, ", "), shardNote)
 
 	candidates := res.Stats
 	if *maxSize > 0 {

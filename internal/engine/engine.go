@@ -9,9 +9,14 @@
 // An Engine replays immutable trace streams: SimulateStream consumes a
 // run-compressed trace.BlockStream monolithically, SimulateSharded
 // consumes a trace.ShardStream with the pass's internal parallelism
-// fanned out across the partition's substreams. Both accumulate into
-// the same per-configuration results; Reset rewinds to the freshly
-// built state reusing the arenas. Replays of either kind must be
+// fanned out across the partition's substreams. How the stream came to
+// be is not the engine's concern — a directly materialized stream, a
+// fold-derived rung of a block-size ladder (trace.FoldBlockStream) and
+// a pipeline-ingested shard partition are bit-identical inputs, so the
+// frontends choose the cheapest construction and the engine contract
+// only sees BlockSize-consistent columns. Both replay kinds accumulate
+// into the same per-configuration results; Reset rewinds to the
+// freshly built state reusing the arenas. Replays of either kind must be
 // bit-identical: an engine that cannot decompose a configuration
 // exactly is expected to fall back to an exact monolithic replay
 // inside SimulateSharded (the reference engine does this for Random

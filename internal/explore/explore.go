@@ -1,14 +1,18 @@
 // Package explore turns DEW passes into a full design-space exploration:
 // given a parameter space like the paper's Table 1 (525 configurations)
-// and a replayable trace source, it materializes one run-compressed
-// trace.BlockStream per block size and schedules one DEW pass per
-// (block size, associativity) pair — each pass covering every set count
-// plus the direct-mapped configurations for free — across a worker pool,
-// and merges the exact per-configuration results. Every pass for a block
-// size replays the same read-only stream, so the raw trace is decoded
-// once per block size instead of once per pass; this is the "finding the
-// optimal L1 cache" workflow of the paper's introduction, packaged as a
-// library (see cmd/explore and examples/designspace for front ends).
+// and a replayable trace source, it decodes the trace exactly once — a
+// run-compressed trace.BlockStream at the space's finest block size —
+// derives every coarser block size from it by folding
+// (trace.FoldLadder, O(runs) per rung instead of a re-decode), and
+// schedules one DEW pass per (block size, associativity) pair — each
+// pass covering every set count plus the direct-mapped configurations
+// for free — across a worker pool, merging the exact per-configuration
+// results. Every pass for a block size replays the same read-only
+// stream, and the raw trace itself is read exactly once per exploration
+// regardless of how many block sizes the space spans; this is the
+// "finding the optimal L1 cache" workflow of the paper's introduction,
+// packaged as a library (see cmd/explore and examples/designspace for
+// front ends).
 //
 // Passes run on a simulation engine resolved by name from the engine
 // registry (Request.Engine, default "dew"), through a single dispatch
@@ -53,8 +57,8 @@ type Request struct {
 	Space cache.ParamSpace
 	// Source provides the trace.
 	Source Source
-	// Workers bounds concurrent DEW passes (and concurrent stream
-	// materializations); 0 means GOMAXPROCS.
+	// Workers bounds concurrent DEW passes (and, when sharding, the
+	// ingest pipeline's decode workers); 0 means GOMAXPROCS.
 	Workers int
 	// Shards, when at least 2, runs every DEW pass in set-sharded
 	// parallel form: the stream of each block size is partitioned once
@@ -87,16 +91,26 @@ type Result struct {
 	Stats map[cache.Config]cache.Stats
 	// Passes is the number of DEW passes executed: one per
 	// (block size, associativity>1) pair, or one per block size in an
-	// associativity-1-only space. Each pass replays a shared
-	// materialized stream, so the raw trace itself is read only
-	// len(StreamCompression) times — once per block size. The passes
-	// take the counter-free fast path, so no per-pass work counters are
-	// collected here; use core.Simulator directly (or the sweep package)
-	// when Table 3/4-style counters are wanted.
+	// associativity-1-only space. Each pass replays a shared stream —
+	// decoded once at the finest block size and fold-derived above it —
+	// so the raw trace itself is read exactly Decodes (= 1) times. The
+	// passes take the counter-free fast path, so no per-pass work
+	// counters are collected here; use core.Simulator directly (or the
+	// sweep package) when Table 3/4-style counters are wanted.
 	Passes int
+	// Decodes is the number of full raw-trace reads the exploration
+	// performed: always 1 — the finest block size's materialization (or
+	// sharded ingest). Every other block size's stream is fold-derived.
+	Decodes int
+	// Folds is the number of block sizes whose stream was derived by
+	// folding a finer rung instead of re-decoding the trace —
+	// len(StreamCompression) - Decodes.
+	Folds int
 	// StreamCompression maps each block size to the run-compression
-	// ratio (accesses per stream entry) of its materialized stream —
-	// the work every pass at that block size was spared.
+	// ratio (accesses per stream entry) of its stream — the work every
+	// pass at that block size was spared. Folding preserves the access
+	// count, so fold-derived rungs report exact ratios without the raw
+	// trace being re-counted; an empty trace reports 0 at every rung.
 	StreamCompression map[int]float64
 	// Shards is the number of trees each sharded pass fanned out
 	// across; 0 when the passes ran monolithic.
@@ -138,33 +152,44 @@ func Run(req Request) (*Result, error) {
 		}
 	}
 
-	// Build the per-block-size inputs. Without sharding, one stream per
-	// block size is materialized in parallel across the worker pool and
-	// every pass at that block size replays it read-only. With sharding
-	// on, the decode → shard ingest pipeline builds each block size's
-	// stream and its shard partition in one pass over the source
-	// (trace.IngestShards: chunk-parallel run compression feeding
-	// per-shard appenders, bit-identical to materialize-then-shard),
-	// and the parallelism moves inside the passes: passes run one at a
-	// time, each fanning out across the worker budget.
+	// Build the per-block-size inputs: one raw-trace decode at the
+	// finest block size, every coarser size fold-derived from it
+	// (trace.FoldLadder — O(runs) per rung, bit-identical to a direct
+	// materialization at that size). Without sharding, the decode is a
+	// plain materialization. With sharding on, the decode → shard ingest
+	// pipeline builds the finest stream and its shard partition in one
+	// pass over the source (trace.IngestShards: chunk-parallel run
+	// compression feeding per-shard appenders, bit-identical to
+	// materialize-then-shard), each folded rung is re-sharded with the
+	// O(runs) ShardBlockStream walk, and the parallelism moves inside
+	// the passes: passes run one at a time, each fanning out across the
+	// worker budget.
+	blocks := req.Space.BlockSizes() // ascending; blocks[0] is the decode rung
 	shardLog := trace.ShardLog(req.Shards, req.Space.MaxLogSets)
 	passWorkers := workers
 	var streams map[int]*trace.BlockStream
 	shardStreams := map[int]*trace.ShardStream{}
 	if shardLog >= 0 {
 		passWorkers = 1
-		streams = make(map[int]*trace.BlockStream, len(req.Space.BlockSizes()))
-		for _, b := range req.Space.BlockSizes() {
-			ss, err := trace.IngestShards(req.Source(), b, shardLog, workers)
-			if err != nil {
-				return nil, fmt.Errorf("explore: ingesting block-%d shard stream: %w", b, err)
+		ss, err := trace.IngestShards(req.Source(), blocks[0], shardLog, workers)
+		if err != nil {
+			return nil, fmt.Errorf("explore: ingesting block-%d shard stream: %w", blocks[0], err)
+		}
+		if streams, err = trace.FoldLadder(ss.Source, blocks); err != nil {
+			return nil, err
+		}
+		shardStreams[blocks[0]] = ss
+		for _, b := range blocks[1:] {
+			if shardStreams[b], err = trace.ShardBlockStream(streams[b], shardLog); err != nil {
+				return nil, fmt.Errorf("explore: sharding folded block-%d stream: %w", b, err)
 			}
-			shardStreams[b] = ss
-			streams[b] = ss.Source
 		}
 	} else {
-		var err error
-		if streams, err = materialize(req.Source, req.Space.BlockSizes(), workers); err != nil {
+		base, err := trace.MaterializeBlockStream(req.Source(), blocks[0])
+		if err != nil {
+			return nil, fmt.Errorf("explore: materializing block-%d stream: %w", blocks[0], err)
+		}
+		if streams, err = trace.FoldLadder(base, blocks); err != nil {
 			return nil, err
 		}
 	}
@@ -189,6 +214,8 @@ func Run(req Request) (*Result, error) {
 	for b, bs := range streams {
 		res.StreamCompression[b] = bs.CompressionRatio()
 	}
+	res.Decodes = 1
+	res.Folds = len(blocks) - 1
 	if shardLog >= 0 {
 		res.Shards = 1 << shardLog
 	}
@@ -270,44 +297,4 @@ func Run(req Request) (*Result, error) {
 		return nil, fmt.Errorf("explore: covered %d of %d configurations", len(res.Stats), req.Space.Count())
 	}
 	return res, nil
-}
-
-// materialize builds the per-block-size streams, at most workers at a
-// time (each materialization is one full read of the source).
-func materialize(src Source, blocks []int, workers int) (map[int]*trace.BlockStream, error) {
-	streams := make(map[int]*trace.BlockStream, len(blocks))
-	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	sem := make(chan struct{}, workers)
-	for _, b := range blocks {
-		mu.Lock()
-		failed := firstErr != nil
-		mu.Unlock()
-		if failed {
-			break // a stream already failed; don't start more full-trace reads
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(b int) {
-			defer func() { <-sem; wg.Done() }()
-			bs, err := trace.MaterializeBlockStream(src(), b)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("explore: materializing block-%d stream: %w", b, err)
-				}
-				return
-			}
-			streams[b] = bs
-		}(b)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return streams, nil
 }

@@ -3,6 +3,7 @@ package explore
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dew/internal/cache"
@@ -139,6 +140,39 @@ func TestRunShardedEquivalence(t *testing.T) {
 	}
 	if capped.Shards != 2 {
 		t.Errorf("capped run fanned across %d trees, want 2", capped.Shards)
+	}
+}
+
+// TestRunDecodesTraceOnce asserts the fold ladder's contract end to
+// end: no matter how many block sizes the space spans, and whether the
+// passes run monolithic or sharded, the raw trace source is consumed
+// exactly once per exploration — every other block size is fold-derived
+// (and the provenance fields record it).
+func TestRunDecodesTraceOnce(t *testing.T) {
+	space := smallSpace() // 4 block sizes
+	tr := randomTrace(4000, 11)
+	for _, shards := range []int{0, 4} {
+		var decodes atomic.Int32
+		src := func() trace.Reader {
+			decodes.Add(1)
+			return tr.NewSliceReader()
+		}
+		res, err := Run(Request{Space: space, Source: src, Workers: 4, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := decodes.Load(); got != 1 {
+			t.Errorf("shards=%d: source decoded %d times, want exactly 1", shards, got)
+		}
+		if res.Decodes != 1 {
+			t.Errorf("shards=%d: Decodes = %d, want 1", shards, res.Decodes)
+		}
+		if res.Folds != 3 {
+			t.Errorf("shards=%d: Folds = %d, want 3", shards, res.Folds)
+		}
+		if len(res.StreamCompression) != 4 {
+			t.Errorf("shards=%d: StreamCompression covers %d block sizes, want 4", shards, len(res.StreamCompression))
+		}
 	}
 }
 

@@ -52,6 +52,47 @@ func TestRunCellWorkersEquivalence(t *testing.T) {
 	}
 }
 
+// TestRunCellsFoldLadder spans several block sizes per trace: the batch
+// decodes each trace once at its finest block size and folds the
+// coarser rungs, so every cell above the finest block must carry the
+// fold provenance and still be identical (modulo timing) to an
+// individual RunCell, whose stream is decoded at the cell's own block
+// size. The stream-length and compression fields come from the folded
+// stream, so their equality doubles as a fold-exactness check at the
+// sweep layer.
+func TestRunCellsFoldLadder(t *testing.T) {
+	var params []Params
+	for _, block := range []int{4, 16, 64} {
+		params = append(params, Params{
+			App: workload.CJPEG, Seed: 3, Requests: 8000,
+			BlockSize: block, Assoc: 4, MaxLogSets: 4,
+		})
+	}
+	cells, err := Runner{Workers: 4}.RunCells(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range params {
+		if want := p.BlockSize != 4; cells[i].StreamFolded != want {
+			t.Errorf("%s: StreamFolded = %v, want %v", p, cells[i].StreamFolded, want)
+		}
+		single, err := Runner{Workers: 1}.RunCell(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.StreamFolded {
+			t.Errorf("%s: single-cell stream marked folded", p)
+		}
+		cellsEquivalent(t, p.String(), single, cells[i])
+		if cells[i].StreamRuns != single.StreamRuns {
+			t.Errorf("%s: folded stream has %d runs, direct decode %d", p, cells[i].StreamRuns, single.StreamRuns)
+		}
+		if cells[i].CompressionRatio() != single.CompressionRatio() {
+			t.Errorf("%s: compression %v vs %v", p, cells[i].CompressionRatio(), single.CompressionRatio())
+		}
+	}
+}
+
 // TestRunCells checks the batched cell runner returns results in params
 // order and identical (modulo timing) to individual RunCell calls.
 func TestRunCells(t *testing.T) {

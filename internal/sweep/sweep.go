@@ -17,10 +17,14 @@
 // through refsim.SimulateStream — so DEWTime and RefTime measure pure
 // simulation over identical inputs, with the one-off decode-and-shift
 // cost of materialization charged to neither side. Run folding is exact
-// on both sides (DEW's Property 2; a deterministic fold in refsim), and
-// RunCells materializes each distinct trace and each distinct
-// (trace, block size) stream once for the whole batch, handing the same
-// immutable stream to every cell and worker that needs it.
+// on both sides (DEW's Property 2; a deterministic fold in refsim).
+// RunCells materializes each distinct trace once, decodes it once at
+// the finest block size the batch needs, and derives every coarser
+// (trace, block size) stream by folding that ladder
+// (trace.FoldLadder — bit-identical to a direct materialization,
+// O(runs) per rung instead of one full decode per block size), handing
+// the same immutable stream to every cell and worker that needs it;
+// Cell.StreamFolded records which cells replayed a fold-derived rung.
 //
 // The untimed instrumented DEW pass still replays the raw trace through
 // the per-access path; its per-configuration results must match the
@@ -90,6 +94,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -140,6 +145,14 @@ type Cell struct {
 	// timed sides replayed; Requests/StreamRuns is the compression
 	// ratio the stream frontend bought at this block size.
 	StreamRuns uint64
+	// StreamFolded records the stream's provenance: true when the cell
+	// replayed a rung fold-derived from a finer block size's stream
+	// (RunCells decodes each trace once at its finest block size),
+	// false when the stream was materialized from the trace directly.
+	// Fold-derived streams are bit-identical to directly materialized
+	// ones, so only the materialization cost — not any result — depends
+	// on this.
+	StreamFolded bool
 
 	// DEWTime is the wall time of the single DEW pass; RefTime is the
 	// summed wall time of the per-configuration reference passes. Both
@@ -201,7 +214,11 @@ func (c Cell) ComparisonReduction() float64 {
 }
 
 // CompressionRatio returns accesses per stream run — how many raw
-// accesses the average replayed stream entry stood for.
+// accesses the average replayed stream entry stood for. Folding
+// preserves the stream's access count, so the ratio is exact whether
+// the cell's stream was decoded directly or fold-derived
+// (StreamFolded), without re-counting the raw trace; an empty trace
+// yields 0.
 func (c Cell) CompressionRatio() float64 {
 	if c.StreamRuns == 0 {
 		return 0
@@ -351,7 +368,7 @@ func (r Runner) RunCellTrace(p Params, tr trace.Trace) (Cell, error) {
 // this stream (RunCells builds one per distinct stream) use the
 // unexported path.
 func (r Runner) RunCellStream(p Params, tr trace.Trace, bs *trace.BlockStream) (Cell, error) {
-	return r.runCellStream(p, tr, bs, nil)
+	return r.runCellStream(p, tr, bs, nil, false)
 }
 
 // refStats extracts the full Dinero-style statistics of a reference
@@ -364,8 +381,8 @@ func refStats(e engine.Engine) (refsim.Stats, error) {
 	return rs.RefStats(), nil
 }
 
-func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, ss *trace.ShardStream) (Cell, error) {
-	cell := Cell{Params: p, Requests: uint64(len(tr)), StreamRuns: uint64(bs.Len())}
+func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, ss *trace.ShardStream, folded bool) (Cell, error) {
+	cell := Cell{Params: p, Requests: uint64(len(tr)), StreamRuns: uint64(bs.Len()), StreamFolded: folded}
 	if bs.BlockSize != p.BlockSize || bs.Accesses != uint64(len(tr)) {
 		return cell, fmt.Errorf("sweep: stream (block %d, %d accesses) does not match cell %v over %d requests",
 			bs.BlockSize, bs.Accesses, p, len(tr))
@@ -555,9 +572,11 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 }
 
 // RunCells executes independent cells across the worker pool and returns
-// their results in params order. Each distinct trace and each distinct
-// (trace, block size) stream is materialized exactly once up front and
-// shared read-only by every cell that needs it; each cell then runs its
+// their results in params order. Each distinct trace is materialized
+// exactly once up front and decoded into a block stream exactly once —
+// at the finest block size any of its cells needs — with every coarser
+// (trace, block size) stream fold-derived from that ladder and shared
+// read-only by every cell that needs it; each cell then runs its
 // reference passes serially (the cells themselves are the unit of
 // parallelism here). Traces are deduplicated by (App.Name, Seed,
 // Requests) — App.Name is the workload registry's identity (see
@@ -608,16 +627,38 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 	for i, tk := range tKeys {
 		traces[tk] = trVals[i]
 	}
-	bsVals := make([]*trace.BlockStream, len(sKeys))
-	if err := runPool(r.workers(), len(sKeys), func(i int) (err error) {
-		bsVals[i], err = traces[sKeys[i].tk].BlockStream(sKeys[i].block)
+	// One raw-trace decode per trace: group the distinct block sizes by
+	// trace, decode each trace once at its finest size, and fold the
+	// coarser rungs from it (trace.FoldLadder — bit-identical to direct
+	// materialization, O(runs) per rung instead of one O(accesses)
+	// decode per (trace, block size) key). The ladders build in
+	// parallel across traces; foldedBlock marks the rungs that were
+	// derived rather than decoded, for Cell.StreamFolded.
+	blocksByTrace := make(map[traceKey][]int, len(tKeys))
+	for _, sk := range sKeys {
+		blocksByTrace[sk.tk] = append(blocksByTrace[sk.tk], sk.block)
+	}
+	ladders := make([]map[int]*trace.BlockStream, len(tKeys))
+	if err := runPool(r.workers(), len(tKeys), func(i int) error {
+		blocks := blocksByTrace[tKeys[i]]
+		sort.Ints(blocks)
+		base, err := traces[tKeys[i]].BlockStream(blocks[0])
+		if err != nil {
+			return err
+		}
+		ladders[i], err = trace.FoldLadder(base, blocks)
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	streams := make(map[streamKey]*trace.BlockStream, len(sKeys))
-	for i, sk := range sKeys {
-		streams[sk] = bsVals[i]
+	foldedBlock := make(map[streamKey]bool, len(sKeys))
+	for i, tk := range tKeys {
+		for b, bs := range ladders[i] {
+			sk := streamKey{tk, b}
+			streams[sk] = bs
+			foldedBlock[sk] = b != blocksByTrace[tk][0]
+		}
 	}
 
 	// With sharding on, partition each distinct stream once per shard
@@ -674,10 +715,12 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 	cellTrace := make([]trace.Trace, len(params))
 	cellStream := make([]*trace.BlockStream, len(params))
 	cellShards := make([]*trace.ShardStream, len(params))
+	cellFolded := make([]bool, len(params))
 	for i, p := range params {
 		tk := traceKey{p.App.Name, p.Seed, p.requests()}
 		cellTrace[i] = traces[tk]
 		cellStream[i] = streams[streamKey{tk, p.BlockSize}]
+		cellFolded[i] = foldedBlock[streamKey{tk, p.BlockSize}]
 		if r.sharding() && resolvedLog[i] >= 0 {
 			cellShards[i] = shardStreams[shardKey{streamKey{tk, p.BlockSize}, resolvedLog[i]}]
 		}
@@ -709,7 +752,7 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				cells[i], errs[i] = inner.runCellStream(params[i], cellTrace[i], cellStream[i], cellShards[i])
+				cells[i], errs[i] = inner.runCellStream(params[i], cellTrace[i], cellStream[i], cellShards[i], cellFolded[i])
 				// Release this cell's references: a shared trace or
 				// stream becomes collectable as soon as its last
 				// consuming cell finishes. (Materialization is still

@@ -148,4 +148,13 @@ func TestCellDerivedMetricsZeroSafe(t *testing.T) {
 	if c.ComparisonReduction() != 0 {
 		t.Error("zero cell reduction should be 0")
 	}
+	// An empty trace produces an empty stream (zero runs) whether
+	// decoded or fold-derived; the ratio must stay 0, not divide by
+	// zero.
+	if c.CompressionRatio() != 0 {
+		t.Error("zero cell compression ratio should be 0")
+	}
+	if c.ShardSpeedup() != 0 || c.RefShardSpeedup() != 0 {
+		t.Error("zero cell shard speedups should be 0")
+	}
 }

@@ -65,3 +65,29 @@ func ExampleDedup() {
 	// Output:
 	// kept: 3 dropped: 2
 }
+
+// One decode covers the whole block-size axis: the trace is
+// materialized once at the finest block size and every coarser stream
+// is fold-derived from it, bit-identical to decoding again.
+func ExampleFoldLadder() {
+	tr := trace.Trace{
+		{Addr: 0}, {Addr: 4}, {Addr: 8}, {Addr: 12},
+		{Addr: 16}, {Addr: 20}, {Addr: 0},
+	}
+	base, err := tr.BlockStream(4) // the single decode
+	if err != nil {
+		log.Fatal(err)
+	}
+	ladder, err := trace.FoldLadder(base, []int{4, 8, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range []int{4, 8, 16} {
+		bs := ladder[b]
+		fmt.Printf("B=%-2d runs=%d compression=%.1fx\n", b, bs.Len(), bs.CompressionRatio())
+	}
+	// Output:
+	// B=4  runs=7 compression=1.0x
+	// B=8  runs=4 compression=1.8x
+	// B=16 runs=3 compression=2.3x
+}

@@ -16,13 +16,16 @@ import (
 // The stream is the shared frontend of the multi-configuration
 // simulators: instruction traces are dominated by sequential fetch, so
 // at a block size of B bytes roughly B/4 consecutive accesses share one
-// block, and collapsing those runs once per block size — instead of
-// re-shifting and re-comparing every raw address once per simulation
-// pass — removes the per-access work from every (associativity, policy)
-// pass that replays the stream. A materialized BlockStream is immutable
-// by convention: every consumer only reads it, so one stream can be
-// shared freely across goroutines (the parallel sweep hands the same
-// stream to every cell and reference pass).
+// block, and collapsing those runs once — instead of re-shifting and
+// re-comparing every raw address once per simulation pass — removes the
+// per-access work from every (associativity, policy) pass that replays
+// the stream. One materialization even covers the whole block-size
+// axis: the stream at any coarser power-of-two size is fold-derived in
+// O(runs) (FoldBlockStream, FoldLadder), bit-identical to decoding the
+// trace again at that size. A materialized BlockStream is immutable by
+// convention: every consumer only reads it, so one stream can be shared
+// freely across goroutines (the parallel sweep hands the same stream to
+// every cell and reference pass).
 //
 // Folding runs is exact for the simulators in this repository: a
 // repeated block address hits the most-recently-accessed entry of every

@@ -4,6 +4,16 @@
 // compact delta-encoded binary format in the spirit of compressed-trace
 // simulation work (Li et al., ICS'04, the paper's reference [16]).
 //
+// On top of the raw formats sits the decode-once stream frontend the
+// design-space layers ride: a trace is decoded exactly once into a
+// run-compressed BlockStream at the finest block size a run needs
+// (MaterializeBlockStream, or IngestShards for the one-pass sharded
+// ingest pipeline), every coarser block size is fold-derived from it
+// in O(runs) (FoldBlockStream, FoldLadder), and each rung can be
+// partitioned into independent per-tree substreams (ShardBlockStream)
+// for the parallel passes — decode once → fold → shard, each stage
+// bit-identical to re-decoding the trace at that stage's parameters.
+//
 // The DEW paper drives its simulators with SimpleScalar-generated traces
 // of byte-addressable memory requests (Table 2). This package plays that
 // role; package workload generates the trace contents.

@@ -2,16 +2,20 @@
 # bench.sh — record the core perf trajectory.
 #
 # Runs the single-vs-batch-vs-stream access benchmarks, the LRU-policy
-# stream benchmark, the set-sharded parallel pass at fan-outs 2/4/8 and
-# the decode→shard ingest pipeline vs its serial baseline, and writes:
+# stream benchmark, the set-sharded parallel pass at fan-outs 2/4/8,
+# the decode→shard ingest pipeline vs its serial baseline, and the
+# block-size fold ladder vs the decode-per-block-size baseline, and
+# writes:
 #   BENCH_core.txt   raw `go test -bench` output (benchstat input)
 #   BENCH_core.json  summary with means, batch-over-single,
 #                    stream-over-batch and sharded-over-stream speedup
 #                    curves, per-workload stream run-compression ratios,
 #                    per-workload ingest throughput (blocks/s,
 #                    decode→appender) and pipeline-over-serial ingest
-#                    speedups, speedups against the committed seed
-#                    baseline, and a history of previous recordings
+#                    speedups, the fold-over-decode speedup and per-rung
+#                    fold compression of the block ladder, the host core
+#                    count (num_cpu), speedups against the committed
+#                    seed baseline, and a history of previous recordings
 #                    (appended, not overwritten)
 #
 # Environment:
@@ -24,7 +28,7 @@ COUNT="${COUNT:-5}"
 OUT="${OUT:-BENCH_core}"
 REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-go test -run '^$' -bench 'Benchmark(Access(Single|Batch|Stream|StreamLRU|Sharded)|Ingest(Shards|Serial))$' -benchmem -count "$COUNT" . | tee "$OUT.txt"
+go test -run '^$' -bench 'Benchmark(Access(Single|Batch|Stream|StreamLRU|Sharded)|Ingest(Shards|Serial)|(Fold|Decode)Ladder)$' -benchmem -count "$COUNT" . | tee "$OUT.txt"
 
 # Preserve the previous recording as history: benchjson reads it from a
 # side copy (the shell truncates $OUT.json before benchjson runs).

@@ -3,7 +3,10 @@
 // BENCH_core.json: per-benchmark run lists and means, derived
 // batch-over-single, stream-over-batch and sharded-over-stream speedup
 // curves (the latter per shard fan-out, from BenchmarkAccessSharded),
-// the stream's measured per-workload run-compression ratios, and —
+// the fold-over-decode speedup and per-rung fold compression of the
+// block-size ladder (BenchmarkFoldLadder vs BenchmarkDecodeLadder),
+// the stream's measured per-workload run-compression ratios, the
+// host's core count (num_cpu — context for the parallel curves), and —
 // when a seed baseline file is given — speedups against the seed
 // commit's single-access path. With -prev pointing at the previous
 // BENCH_core.json, that recording is compacted into the new file's
@@ -36,16 +39,20 @@ type run struct {
 	NsPerAccess float64 `json:"ns_per_access,omitempty"`
 	AddrPerRun  float64 `json:"addr_per_run,omitempty"`
 	BlocksPerS  float64 `json:"blocks_per_s,omitempty"`
+	// FoldAddrPerRun holds BenchmarkFoldLadder's per-rung compression
+	// ratios, keyed "B8", "B16", ... (from addr/run/B<size> metrics).
+	FoldAddrPerRun map[string]float64 `json:"fold_addr_per_run,omitempty"`
 }
 
 // series aggregates every run of one benchmark name.
 type series struct {
-	Runs               []run   `json:"runs"`
-	NsPerOpMean        float64 `json:"ns_per_op_mean"`
-	NsPerAccessMean    float64 `json:"ns_per_access_mean,omitempty"`
-	NsPerAccessFastest float64 `json:"ns_per_access_fastest,omitempty"`
-	AddrPerRunMean     float64 `json:"addr_per_run_mean,omitempty"`
-	BlocksPerSFastest  float64 `json:"blocks_per_s_fastest,omitempty"`
+	Runs               []run              `json:"runs"`
+	NsPerOpMean        float64            `json:"ns_per_op_mean"`
+	NsPerAccessMean    float64            `json:"ns_per_access_mean,omitempty"`
+	NsPerAccessFastest float64            `json:"ns_per_access_fastest,omitempty"`
+	AddrPerRunMean     float64            `json:"addr_per_run_mean,omitempty"`
+	BlocksPerSFastest  float64            `json:"blocks_per_s_fastest,omitempty"`
+	FoldAddrPerRun     map[string]float64 `json:"fold_addr_per_run,omitempty"`
 }
 
 // ratioBasis documents how the speedup maps of a recording were
@@ -58,6 +65,7 @@ type historyEntry struct {
 	Generated                string                        `json:"generated"`
 	GitRev                   string                        `json:"git_rev,omitempty"`
 	CPU                      string                        `json:"cpu,omitempty"`
+	NumCPU                   int                           `json:"num_cpu,omitempty"`
 	RatioBasis               string                        `json:"ratio_basis,omitempty"`
 	NsPerAccessMean          map[string]float64            `json:"ns_per_access_mean,omitempty"`
 	SpeedupBatchOverSingle   map[string]float64            `json:"speedup_batch_over_single,omitempty"`
@@ -66,6 +74,8 @@ type historyEntry struct {
 	RunCompression           map[string]float64            `json:"run_compression,omitempty"`
 	IngestBlocksPerS         map[string]float64            `json:"ingest_blocks_per_s,omitempty"`
 	SpeedupIngestOverSerial  map[string]float64            `json:"speedup_ingest_over_serial,omitempty"`
+	SpeedupFoldOverDecode    map[string]float64            `json:"speedup_fold_over_decode,omitempty"`
+	FoldCompression          map[string]map[string]float64 `json:"fold_compression,omitempty"`
 	SpeedupVsSeed            map[string]float64            `json:"speedup_vs_seed,omitempty"`
 }
 
@@ -74,6 +84,11 @@ type output struct {
 	Go        string `json:"go"`
 	GitRev    string `json:"git_rev,omitempty"`
 	CPU       string `json:"cpu,omitempty"`
+	// NumCPU records the host's usable core count — the context the
+	// sharded/ingest speedup curves must be read in (near-1.0× curves
+	// on a 1-core host record coordination overhead, not a regression;
+	// see ROADMAP's multi-core-validation item).
+	NumCPU int `json:"num_cpu,omitempty"`
 	// RatioBasis names the statistic the speedup maps divide (absent in
 	// recordings that predate it, which divided per-series means).
 	RatioBasis string             `json:"ratio_basis,omitempty"`
@@ -102,6 +117,16 @@ type output struct {
 	// throughput over the serial materialize-then-shard baseline
 	// (BenchmarkIngestSerial), both measured in this tree.
 	SpeedupIngestOverSerial map[string]float64 `json:"speedup_ingest_over_serial,omitempty"`
+	// SpeedupFoldOverDecode is, per workload,
+	// ns_per_access(DecodeLadder)/ns_per_access(FoldLadder): how much
+	// cheaper deriving the coarser block sizes of the ladder by folding
+	// is than re-decoding the trace once per block size, both measured
+	// in this tree.
+	SpeedupFoldOverDecode map[string]float64 `json:"speedup_fold_over_decode,omitempty"`
+	// FoldCompression is, per workload and per fold rung ("B8", "B16",
+	// ...), the folded stream's measured accesses-per-run ratio — the
+	// per-step compression of the fold ladder.
+	FoldCompression map[string]map[string]float64 `json:"fold_compression,omitempty"`
 	// SeedBaseline echoes the committed baseline measurements of the
 	// seed commit's single-access path.
 	SeedBaseline json.RawMessage `json:"seed_baseline,omitempty"`
@@ -121,6 +146,7 @@ func (o *output) summarize() historyEntry {
 		Generated:                o.Generated,
 		GitRev:                   o.GitRev,
 		CPU:                      o.CPU,
+		NumCPU:                   o.NumCPU,
 		RatioBasis:               o.RatioBasis,
 		SpeedupBatchOverSingle:   o.SpeedupBatchOverSingle,
 		SpeedupStreamOverBatch:   o.SpeedupStreamOverBatch,
@@ -128,6 +154,8 @@ func (o *output) summarize() historyEntry {
 		RunCompression:           o.RunCompression,
 		IngestBlocksPerS:         o.IngestBlocksPerS,
 		SpeedupIngestOverSerial:  o.SpeedupIngestOverSerial,
+		SpeedupFoldOverDecode:    o.SpeedupFoldOverDecode,
+		FoldCompression:          o.FoldCompression,
 		SpeedupVsSeed:            o.SpeedupVsSeed,
 	}
 	if len(o.Benchmarks) > 0 {
@@ -156,6 +184,7 @@ func main() {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		Go:         runtime.Version(),
 		GitRev:     *gitRev,
+		NumCPU:     runtime.NumCPU(),
 		RatioBasis: ratioBasis,
 		Benchmarks: map[string]*series{},
 	}
@@ -188,7 +217,7 @@ func main() {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				r.NsPerOp = val
 			case "ns/access":
@@ -197,6 +226,14 @@ func main() {
 				r.AddrPerRun = val
 			case "blocks/s":
 				r.BlocksPerS = val
+			default:
+				// addr/run/B<size>: one fold rung's compression ratio.
+				if rung, ok := strings.CutPrefix(unit, "addr/run/"); ok {
+					if r.FoldAddrPerRun == nil {
+						r.FoldAddrPerRun = map[string]float64{}
+					}
+					r.FoldAddrPerRun[rung] = val
+				}
 			}
 		}
 		s := out.Benchmarks[name]
@@ -227,6 +264,11 @@ func main() {
 			if r.BlocksPerS > s.BlocksPerSFastest {
 				s.BlocksPerSFastest = r.BlocksPerS
 			}
+			// Fold-rung compression ratios are trace properties, not
+			// timings: identical across runs, so keep the last seen.
+			if r.FoldAddrPerRun != nil {
+				s.FoldAddrPerRun = r.FoldAddrPerRun
+			}
 		}
 		s.NsPerOpMean = opSum / float64(len(s.Runs))
 		s.NsPerAccessMean = accSum / float64(len(s.Runs))
@@ -244,6 +286,8 @@ func main() {
 	out.RunCompression = map[string]float64{}
 	out.IngestBlocksPerS = map[string]float64{}
 	out.SpeedupIngestOverSerial = map[string]float64{}
+	out.SpeedupFoldOverDecode = map[string]float64{}
+	out.FoldCompression = map[string]map[string]float64{}
 	for name, s := range out.Benchmarks {
 		if app, ok := strings.CutPrefix(name, "BenchmarkAccessBatch/"); ok && s.NsPerAccessFastest > 0 {
 			if single, ok := out.Benchmarks["BenchmarkAccessSingle/"+app]; ok && single.NsPerAccessFastest > 0 {
@@ -256,6 +300,18 @@ func main() {
 			}
 			if s.AddrPerRunMean > 0 {
 				out.RunCompression[app] = round2(s.AddrPerRunMean)
+			}
+		}
+		if app, ok := strings.CutPrefix(name, "BenchmarkFoldLadder/"); ok && s.NsPerAccessFastest > 0 {
+			if decode, ok := out.Benchmarks["BenchmarkDecodeLadder/"+app]; ok && decode.NsPerAccessFastest > 0 {
+				out.SpeedupFoldOverDecode[app] = round2(decode.NsPerAccessFastest / s.NsPerAccessFastest)
+			}
+			if len(s.FoldAddrPerRun) > 0 {
+				rungs := map[string]float64{}
+				for rung, ratio := range s.FoldAddrPerRun {
+					rungs[rung] = round2(ratio)
+				}
+				out.FoldCompression[app] = rungs
 			}
 		}
 		if app, ok := strings.CutPrefix(name, "BenchmarkIngestShards/"); ok && s.BlocksPerSFastest > 0 {
