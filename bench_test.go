@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+	"unsafe"
 
 	"dew/internal/cache"
 	"dew/internal/core"
@@ -399,6 +400,86 @@ func BenchmarkAccessStreamLRU(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr)), "ns/access")
+		})
+	}
+}
+
+// benchWriteSim builds the write-policy reference simulator the
+// write-replay benchmarks share: one representative configuration under
+// write-through / no-write-allocate — the combination whose
+// leading-store bypasses exercise every run shape of the kind-aware
+// fold (write-back/write-allocate degenerates to the kind-free fold
+// plus a dirty bit).
+func benchWriteSim(b *testing.B) *refsim.Simulator {
+	b.Helper()
+	sim, err := refsim.NewSim(refsim.Options{
+		Config:      cache.MustConfig(256, benchAccessOpt.Assoc, benchAccessOpt.BlockSize),
+		Replacement: cache.FIFO,
+		Write:       refsim.WriteThrough,
+		Alloc:       refsim.NoWriteAllocate,
+		StoreBytes:  4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim
+}
+
+// BenchmarkRefAccessWrite measures the write-policy reference simulator
+// on the per-access path: one interface-dispatched Reader.Next call
+// plus one Access call per request — the only way refsim could replay
+// the write/alloc axes before the kind-preserving stream. It is the
+// baseline for BenchmarkRefStreamWrite; scripts/bench.sh records the
+// pair's ratio as speedup_refwrite_stream_over_access in
+// BENCH_core.json.
+func BenchmarkRefAccessWrite(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			tr := benchTrace(b, app)
+			sim := benchWriteSim(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Reset()
+				if _, err := sim.Simulate(tr.NewSliceReader()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr)), "ns/access")
+		})
+	}
+}
+
+// BenchmarkRefStreamWrite measures the same write-policy replay over
+// the kind-preserving run stream: each repeated-block run folds exactly
+// under the write/alloc policy from its KindRun record instead of being
+// expanded per access. The stream is materialized once outside the
+// timed region — how sweep.RunWriteCell amortizes it across a design
+// space — and the kindB/access metric reports the kind channel's
+// memory cost per trace access (the price of keeping the write-policy
+// axes on the stream path), which bench.sh records per workload
+// alongside the stream-over-access speedup.
+func BenchmarkRefStreamWrite(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			tr := benchTrace(b, app)
+			bs, err := tr.BlockStreamWithKinds(benchAccessOpt.BlockSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim := benchWriteSim(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Reset()
+				if _, err := sim.SimulateStream(bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr)), "ns/access")
+			b.ReportMetric(bs.CompressionRatio(), "addr/run")
+			kindBytes := float64(len(bs.Kinds)) * float64(unsafe.Sizeof(trace.KindRun{}))
+			b.ReportMetric(kindBytes/float64(bs.Accesses), "kindB/access")
 		})
 	}
 }

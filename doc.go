@@ -108,6 +108,34 @@
 // many block sizes the space spans, and both record the provenance
 // (explore.Result.Decodes/Folds, sweep.Cell.StreamFolded).
 //
+// # Kind-preserving streams: write-policy and energy axes
+//
+// The stream's run compression drops request kinds by default — no
+// replacement policy consults them — but the pipeline can carry them:
+// trace.MaterializeBlockStreamWithKinds and IngestShardsWithKinds
+// populate an optional Kinds column (trace.KindRun: per-kind weights
+// plus the leading-store count and first non-store kind of each run)
+// whose ID and run columns are bit-identical to the kind-free stream,
+// and every stage — fold, shard, chunked ingest with its boundary
+// merges and uint32 overflow splits — preserves it exactly (fuzzed
+// alongside the kind-free invariants). A write-policy reference replay
+// (refsim.NewSim / NewShardedSim, the write-back/write-through ×
+// write-allocate/no-write-allocate axes) folds each run from its
+// KindRun record in O(1): a run is resident-at-head, an installing
+// miss, or a bypassing miss (no-write-allocate leading stores), and in
+// each shape the per-kind statistics, dirty-bit state and memory
+// traffic are arithmetic in the weights — bit-identical, per
+// statistic and per traffic counter, to expanding the run per access
+// (equivalence- and fuzz-tested over every policy combination, and
+// re-verified at runtime by sweep.RunWriteCell). The same channel
+// feeds the energy model's read/write split: per-kind totals are a
+// trace property (every configuration sees the same request mix), so
+// explore -kinds prices the store share of the whole design space from
+// one stream (energy.TotalSplit / RankSplit) with no per-configuration
+// kind bookkeeping. BenchmarkRefStreamWrite vs BenchmarkRefAccessWrite
+// tracks the stream-over-per-access speedup and the kind channel's
+// bytes-per-access footprint in BENCH_core.json.
+//
 // Simulation itself runs behind the engine seam: package engine wraps
 // the three simulators (dew, lrutree, ref) in one interface —
 // SimulateStream / SimulateSharded / Reset / Results — resolved by

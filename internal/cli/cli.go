@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"dew/internal/engine"
+	"dew/internal/refsim"
 	"dew/internal/trace"
 	"dew/internal/workload"
 )
@@ -98,6 +99,47 @@ func (tf traceFlags) ingestShards(blockSize, log int) (*trace.ShardStream, error
 		defer closer.Close()
 	}
 	return trace.IngestShards(r, blockSize, log, 0)
+}
+
+// ingestShardsWithKinds is ingestShards with the kind-preserving
+// channel carried through the pipeline (for write-policy and per-kind
+// consumers).
+func (tf traceFlags) ingestShardsWithKinds(blockSize, log int) (*trace.ShardStream, error) {
+	if *tf.traceFile != "" {
+		return trace.IngestFileShardsWithKinds(*tf.traceFile, blockSize, log, 0)
+	}
+	r, closer, err := tf.open()
+	if err != nil {
+		return nil, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	return trace.IngestShardsWithKinds(r, blockSize, log, 0)
+}
+
+// parseWritePolicy maps the -write flag's spellings; "" is the
+// write-back default.
+func parseWritePolicy(s string) (refsim.WritePolicy, error) {
+	switch s {
+	case "", "write-back", "wb":
+		return refsim.WriteBack, nil
+	case "write-through", "wt":
+		return refsim.WriteThrough, nil
+	}
+	return 0, usagef("unknown write policy %q", s)
+}
+
+// parseAllocPolicy maps the -alloc flag's spellings; "" is the
+// write-allocate default.
+func parseAllocPolicy(s string) (refsim.AllocPolicy, error) {
+	switch s {
+	case "", "write-allocate", "wa":
+		return refsim.WriteAllocate, nil
+	case "no-write-allocate", "nwa":
+		return refsim.NoWriteAllocate, nil
+	}
+	return 0, usagef("unknown allocation policy %q", s)
 }
 
 // load materializes the selected trace in memory (for tools that need

@@ -3,6 +3,7 @@ package cli
 import (
 	"bytes"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -303,6 +304,33 @@ func TestExploreCSVAndBudget(t *testing.T) {
 	}
 }
 
+func TestExploreKinds(t *testing.T) {
+	out, _, err := run(t, Explore,
+		"-app", "DJPEG", "-n", "10000", "-maxlog-sets", "4", "-maxlog-block", "2",
+		"-maxlog-assoc", "1", "-top", "3", "-kinds", "-quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := lineWith(out, "request mix:")
+	if mix == "" || !strings.Contains(mix, "stores priced at 1.15x") {
+		t.Errorf("kind mix line missing or unpriced: %q", mix)
+	}
+	if !strings.Contains(out, "explored 30 configurations") {
+		t.Errorf("coverage line missing: %s", out)
+	}
+	// The reported totals account for every request exactly.
+	var sum, n int
+	for _, f := range strings.Fields(mix) {
+		if v, err := strconv.Atoi(f); err == nil {
+			sum += v
+			n++
+		}
+	}
+	if n != 3 || sum != 10000 {
+		t.Errorf("kind totals %q do not sum to the trace length", mix)
+	}
+}
+
 func TestExploreErrors(t *testing.T) {
 	if _, _, err := run(t, Explore, "-quiet"); err == nil || !IsUsage(err) {
 		t.Error("no input should be a usage error")
@@ -476,9 +504,17 @@ func TestExperimentsMultiSeedTable3(t *testing.T) {
 	}
 }
 
+// refStatLines are the output lines the monolithic per-access replay
+// and the kind-preserving sharded stream replay must agree on, bit for
+// bit — the full record, per-kind counts and traffic included.
+var refStatLines = []string{
+	"accesses:", "misses:", "compulsory:", "by kind:", "evictions:",
+	"tag comparisons:", "bytes from memory:", "bytes to memory:",
+}
+
 func TestRefSimSharded(t *testing.T) {
-	// The sharded stream replay must agree with the monolithic
-	// per-access replay on the kind-free statistics.
+	// The sharded kind-preserving stream replay must agree with the
+	// monolithic per-access replay on the full statistics record.
 	args := []string{"-app", "G721 Enc", "-n", "15000", "-sets", "64", "-assoc", "2", "-block", "16"}
 	mono, _, err := run(t, RefSim, args...)
 	if err != nil {
@@ -491,7 +527,7 @@ func TestRefSimSharded(t *testing.T) {
 	if !strings.Contains(sharded, "4 set-substreams in parallel") {
 		t.Errorf("sharded replay not echoed:\n%s", sharded)
 	}
-	for _, line := range []string{"misses:", "compulsory:", "evictions:", "tag comparisons:"} {
+	for _, line := range refStatLines {
 		want := lineWith(mono, line)
 		got := lineWith(sharded, line)
 		if want == "" || got != want {
@@ -515,12 +551,102 @@ func TestRefSimSharded(t *testing.T) {
 	if !strings.Contains(random, "monolithic fallback") {
 		t.Errorf("Random fallback not echoed:\n%s", random)
 	}
-	// Explicit write flags need kinds, which the stream replay folds away.
-	if _, _, err := run(t, RefSim, append(args, "-shards", "4", "-write", "write-through")...); err == nil || !IsUsage(err) {
-		t.Error("-write with -shards should be a usage error")
+}
+
+func TestRefSimShardedWritePolicies(t *testing.T) {
+	// The write/alloc axes on the sharded stream path: every pairing
+	// must reproduce the per-access replay's statistics and traffic
+	// exactly (the kind channel preserves what a write-policy replay
+	// observes per run).
+	base := []string{"-app", "G721 Enc", "-n", "15000", "-sets", "64", "-assoc", "2",
+		"-block", "16", "-policy", "LRU", "-store-bytes", "2"}
+	for _, combo := range [][]string{
+		{"-write", "wb", "-alloc", "wa"},
+		{"-write", "wb", "-alloc", "nwa"},
+		{"-write", "wt", "-alloc", "wa"},
+		{"-write", "write-through", "-alloc", "no-write-allocate"},
+	} {
+		args := append(append([]string{}, base...), combo...)
+		mono, _, err := run(t, RefSim, args...)
+		if err != nil {
+			t.Fatalf("%v: %v", combo, err)
+		}
+		sharded, _, err := run(t, RefSim, append(args, "-shards", "4")...)
+		if err != nil {
+			t.Fatalf("%v -shards 4: %v", combo, err)
+		}
+		if !strings.Contains(sharded, "4 set-substreams in parallel") {
+			t.Errorf("%v: sharded replay not echoed:\n%s", combo, sharded)
+		}
+		for _, line := range refStatLines {
+			want := lineWith(mono, line)
+			got := lineWith(sharded, line)
+			if want == "" || got != want {
+				t.Errorf("%v: %s differs: %q vs %q", combo, line, got, want)
+			}
+		}
 	}
-	if _, _, err := run(t, RefSim, append(args, "-shards", "4", "-alloc", "nwa")...); err == nil || !IsUsage(err) {
-		t.Error("-alloc with -shards should be a usage error")
+	// Bad spellings are still usage errors, sharded or not.
+	if _, _, err := run(t, RefSim, append(append([]string{}, base...), "-shards", "4", "-write", "sideways")...); err == nil || !IsUsage(err) {
+		t.Error("bad -write should be a usage error")
+	}
+	if _, _, err := run(t, RefSim, append(append([]string{}, base...), "-alloc", "sometimes")...); err == nil || !IsUsage(err) {
+		t.Error("bad -alloc should be a usage error")
+	}
+}
+
+func TestDewSimWritePolicy(t *testing.T) {
+	// The write axes thread through dewsim's engine fast path: a ref
+	// write-policy replay over the kind-preserving stream must match
+	// refsim's per-access numbers, and traffic is reported per rung.
+	out, _, err := run(t, DewSim, "-app", "G721 Enc", "-n", "10000", "-engine", "ref",
+		"-minlog", "6", "-maxlog", "6", "-assoc", "2", "-block", "16",
+		"-write", "wt", "-alloc", "nwa", "-store-bytes", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "write-policy write-through/no-write-allocate") {
+		t.Errorf("write-policy mode not echoed:\n%s", out)
+	}
+	traffic := lineWith(out, "traffic B=16:")
+	if traffic == "" || strings.Contains(traffic, " 0 bytes from memory, 0 to memory") {
+		t.Errorf("no traffic reported: %q", traffic)
+	}
+	ref, _, err := run(t, RefSim, "-app", "G721 Enc", "-n", "10000", "-sets", "64",
+		"-assoc", "2", "-block", "16", "-write", "wt", "-alloc", "nwa", "-store-bytes", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missLine := lineWith(ref, "misses:")
+	wantMisses := strings.Fields(missLine)[1]
+	var row string
+	for _, l := range strings.Split(out, "\n") {
+		if f := strings.Fields(l); len(f) > 11 && f[0] == "|" && f[1] == "64" {
+			row = l
+			break
+		}
+	}
+	if row == "" || strings.Fields(row)[11] != wantMisses {
+		t.Errorf("dewsim row %q does not carry refsim's %s misses", row, wantMisses)
+	}
+	// Sharded write-policy replay agrees too.
+	shardOut, _, err := run(t, DewSim, "-app", "G721 Enc", "-n", "10000", "-engine", "ref",
+		"-minlog", "6", "-maxlog", "6", "-assoc", "2", "-block", "16",
+		"-write", "wt", "-alloc", "nwa", "-store-bytes", "2", "-shards", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lineWith(shardOut, "traffic B=16:"); got != traffic {
+		t.Errorf("sharded traffic %q != stream traffic %q", got, traffic)
+	}
+	// Multi-configuration engines cannot simulate write policies.
+	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-n", "1000", "-write", "wt"); err == nil ||
+		!strings.Contains(err.Error(), "use ref") {
+		t.Errorf("dew engine should reject write simulation, got %v", err)
+	}
+	// Instrumented passes fold kinds away.
+	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-n", "1000", "-counters", "-write", "wt"); err == nil || !IsUsage(err) {
+		t.Error("-write with -counters should be a usage error")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"dew/internal/cache"
 	"dew/internal/core"
 	"dew/internal/engine"
+	"dew/internal/refsim"
 	"dew/internal/report"
 	"dew/internal/sweep"
 	"dew/internal/trace"
@@ -37,6 +38,9 @@ func DewSim(env Env, args []string) error {
 		noMRA    = fs.Bool("no-mra", false, "ablation: disable Property 2 (MRA cut-off)")
 		noWave   = fs.Bool("no-wave", false, "ablation: disable Property 3 (wave pointers)")
 		noMRE    = fs.Bool("no-mre", false, "ablation: disable Property 4 (MRE entries)")
+		wp       = fs.String("write", "", "write policy — write-back (wb) or write-through (wt) — turning the pass into a write-policy replay over a kind-preserving stream (needs a single-configuration engine: -engine ref with -minlog = -maxlog)")
+		allocStr = fs.String("alloc", "", "allocation policy for the write-policy replay: write-allocate (wa) or no-write-allocate (nwa)")
+		sbytes   = fs.Int("store-bytes", 0, "store width in bytes for write-policy traffic accounting (0 = 4)")
 	)
 	tf := addTraceFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +61,23 @@ func DewSim(env Env, args []string) error {
 	if *shards > 1 && instrumented {
 		return usagef("-shards runs the counter-free parallel pass; drop -counters and the ablation switches")
 	}
+	writeSim := *wp != "" || *allocStr != "" || *sbytes != 0
+	var writePol refsim.WritePolicy
+	var allocPol refsim.AllocPolicy
+	if writeSim {
+		if instrumented {
+			return usagef("write-policy simulation replays kind-preserving streams on the engine fast path; drop -counters and the ablation switches")
+		}
+		if *sbytes < 0 {
+			return usagef("-store-bytes must be at least 0")
+		}
+		if writePol, err = parseWritePolicy(*wp); err != nil {
+			return err
+		}
+		if allocPol, err = parseAllocPolicy(*allocStr); err != nil {
+			return err
+		}
+	}
 	if instrumented && *engName != "dew" {
 		return usagef("-counters and the ablation switches are DEW core instrumentation; drop -engine %s", *engName)
 	}
@@ -71,12 +92,17 @@ func DewSim(env Env, args []string) error {
 		}
 	}
 
+	type rungTraffic struct {
+		block   int
+		traffic refsim.Traffic
+	}
 	var (
 		results  []engine.Result
 		accesses uint64
 		mode     string
 		sim      *core.Simulator
 		elapsed  time.Duration
+		traffics []rungTraffic
 	)
 	if instrumented {
 		// Instrumented per-access pass: the Table 3/4 measurement path,
@@ -119,6 +145,7 @@ func DewSim(env Env, args []string) error {
 			return engine.Spec{
 				MinLogSets: *minLog, MaxLogSets: *maxLog,
 				Assoc: *assoc, BlockSize: b, Policy: pol,
+				WriteSim: writeSim, Write: writePol, Alloc: allocPol, StoreBytes: *sbytes,
 			}
 		}
 		// Fail fast on a bad spec or engine/policy combination before
@@ -132,9 +159,19 @@ func DewSim(env Env, args []string) error {
 		start := time.Now()
 		var ladder map[int]*trace.BlockStream
 		shardStreams := map[int]*trace.ShardStream{}
+		ingest := tf.ingestShards
+		materialize := trace.MaterializeBlockStream
+		if writeSim {
+			// The write-policy replay folds repeated-block runs per
+			// write/alloc policy from the per-run kind records, so the
+			// stream must preserve them; the ID and run columns are
+			// identical either way.
+			ingest = tf.ingestShardsWithKinds
+			materialize = trace.MaterializeBlockStreamWithKinds
+		}
 		if *shards > 1 {
 			log := trace.ShardLog(*shards, *maxLog)
-			ss, err := tf.ingestShards(blockLadder[0], log)
+			ss, err := ingest(blockLadder[0], log)
 			if err != nil {
 				return err
 			}
@@ -161,7 +198,7 @@ func DewSim(env Env, args []string) error {
 			if closer != nil {
 				defer closer.Close()
 			}
-			base, err := trace.MaterializeBlockStream(r, blockLadder[0])
+			base, err := materialize(r, blockLadder[0])
 			if err != nil {
 				return err
 			}
@@ -182,8 +219,16 @@ func DewSim(env Env, args []string) error {
 			}
 			results = append(results, eng.Results()...)
 			accesses = eng.Accesses()
+			if writeSim {
+				if ts, ok := eng.(engine.TrafficStatser); ok {
+					traffics = append(traffics, rungTraffic{b, ts.RefTraffic()})
+				}
+			}
 		}
 		elapsed = time.Since(start)
+		if writeSim {
+			mode += fmt.Sprintf(", write-policy %v/%v", writePol, allocPol)
+		}
 	}
 
 	tbl := report.NewTable("", "sets", "assoc", "block", "size", "accesses", "misses", "missRate")
@@ -203,6 +248,10 @@ func DewSim(env Env, args []string) error {
 
 	fmt.Fprintf(env.Stdout, "\nsimulated %d configurations over %d requests in %v (%s)\n",
 		tbl.Rows(), accesses, elapsed.Round(time.Millisecond), mode)
+	for _, rt := range traffics {
+		fmt.Fprintf(env.Stdout, "traffic B=%d: %d bytes from memory, %d to memory (%d writebacks)\n",
+			rt.block, rt.traffic.BytesFromMemory, rt.traffic.BytesToMemory, rt.traffic.Writebacks)
+	}
 	if *counters {
 		c := sim.Counters()
 		fmt.Fprintf(env.Stdout, "node evaluations:   %d (unoptimized bound %d)\n", c.NodeEvaluations, sim.UnoptimizedEvaluations())

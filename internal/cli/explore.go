@@ -12,6 +12,7 @@ import (
 	"dew/internal/explore"
 	"dew/internal/report"
 	"dew/internal/sweep"
+	"dew/internal/trace"
 	"dew/internal/workload"
 )
 
@@ -32,6 +33,7 @@ func Explore(env Env, args []string) error {
 		quiet   = fs.Bool("quiet", false, "suppress progress output")
 		policy  = fs.String("policy", "FIFO", "replacement policy for every pass: FIFO or LRU")
 		engName = fs.String("engine", "dew", engineFlagDoc())
+		kinds   = fs.Bool("kinds", false, "materialize the kind-preserving stream and price the trace's store share at the model's write energy factor in the ranking")
 	)
 	tf := addTraceFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -79,7 +81,7 @@ func Explore(env Env, args []string) error {
 	if *shards == 0 {
 		*shards = sweep.AutoShards()
 	}
-	req := explore.Request{Space: space, Source: src, Workers: *workers, Shards: *shards, Policy: pol, Engine: *engName}
+	req := explore.Request{Space: space, Source: src, Workers: *workers, Shards: *shards, Policy: pol, Engine: *engName, Kinds: *kinds}
 	if !*quiet {
 		req.Progress = func(done, total int) {
 			fmt.Fprintf(env.Stderr, "\rpasses: %d/%d", done, total)
@@ -93,10 +95,20 @@ func Explore(env Env, args []string) error {
 		return err
 	}
 
+	// With -kinds the ranking prices the trace's store share at the
+	// write energy factor (the totals are a trace property, so they
+	// apply to every configuration); without it, the kind-free model.
+	model := energy.DefaultModel()
+	rank := func(results map[cache.Config]cache.Stats) []energy.Scored {
+		if *kinds {
+			return model.RankSplit(results, res.KindTotals)
+		}
+		return model.Rank(results)
+	}
+
 	if *csv {
 		tbl := report.NewTable("", "sets", "assoc", "block", "sizeBytes", "accesses", "misses", "missRate", "energyPJ")
-		model := energy.DefaultModel()
-		for _, s := range model.Rank(res.Stats) {
+		for _, s := range rank(res.Stats) {
 			tbl.AddRow(s.Config.Sets, s.Config.Assoc, s.Config.BlockSize, s.Config.SizeBytes(),
 				s.Stats.Accesses, s.Stats.Misses,
 				fmt.Sprintf("%.6f", s.Stats.MissRate()), fmt.Sprintf("%.1f", s.Energy))
@@ -119,6 +131,11 @@ func Explore(env Env, args []string) error {
 	}
 	fmt.Fprintf(env.Stdout, "explored %d configurations with %d DEW passes over %d shared block streams (%d trace decode + %d folds; run compression: %s)%s\n\n",
 		len(res.Stats), res.Passes, len(blocks), res.Decodes, res.Folds, strings.Join(comp, ", "), shardNote)
+	if *kinds {
+		fmt.Fprintf(env.Stdout, "request mix: %d reads, %d writes, %d ifetches (stores priced at %.2fx access energy)\n\n",
+			res.KindTotals[trace.DataRead], res.KindTotals[trace.DataWrite], res.KindTotals[trace.IFetch],
+			model.WriteEnergyFactor)
+	}
 
 	candidates := res.Stats
 	if *maxSize > 0 {
@@ -132,7 +149,7 @@ func Explore(env Env, args []string) error {
 			len(candidates), cache.FormatSize(*maxSize))
 	}
 
-	ranked := energy.DefaultModel().Rank(candidates)
+	ranked := rank(candidates)
 	n := *top
 	if n > len(ranked) {
 		n = len(ranked)

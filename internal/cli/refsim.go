@@ -3,6 +3,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/bits"
 	"time"
 
@@ -15,10 +16,12 @@ import (
 
 // RefSim simulates a single cache configuration over a trace — the
 // Dinero IV role: one (sets, assoc, block, policy) combination per run,
-// full statistics including write-policy traffic. With -shards ≥ 2 the
-// replay instead runs the sharded reference engine over set-substreams
-// built by the decode → shard ingest pipeline (kind-free stream
-// statistics only; see the flag).
+// full statistics including per-kind counts and write-policy traffic.
+// With -shards ≥ 2 the replay instead runs the sharded reference
+// engine over kind-preserving set-substreams built by the decode →
+// shard ingest pipeline; the write/alloc axes and the full statistics
+// set work identically there, because the kind channel preserves
+// exactly the per-run structure a write-policy replay observes.
 func RefSim(env Env, args []string) error {
 	fs := flag.NewFlagSet("refsim", flag.ContinueOnError)
 	fs.SetOutput(env.Stderr)
@@ -27,9 +30,10 @@ func RefSim(env Env, args []string) error {
 		assoc     = fs.Int("assoc", 4, "associativity (power of two)")
 		block     = fs.Int("block", 32, "block size in bytes (power of two)")
 		policyStr = fs.String("policy", "FIFO", "replacement policy: FIFO, LRU or Random")
-		wp        = fs.String("write", "write-back", "write policy: write-back or write-through")
-		alloc     = fs.String("alloc", "write-allocate", "allocation policy: write-allocate or no-write-allocate")
-		shards    = fs.Int("shards", 1, "replay this many set-substreams in parallel (1 = off, 0 = auto from GOMAXPROCS); stream statistics only — per-kind counts and write policies need the per-access replay")
+		wp        = fs.String("write", "write-back", "write policy: write-back (wb) or write-through (wt)")
+		alloc     = fs.String("alloc", "write-allocate", "allocation policy: write-allocate (wa) or no-write-allocate (nwa)")
+		sbytes    = fs.Int("store-bytes", 4, "store width in bytes charged for write-through and no-write-allocate traffic")
+		shards    = fs.Int("shards", 1, "replay this many set-substreams in parallel over the kind-preserving stream (1 = off, 0 = auto from GOMAXPROCS)")
 	)
 	tf := addTraceFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -50,25 +54,18 @@ func RefSim(env Env, args []string) error {
 	if *shards == 0 {
 		*shards = sweep.AutoShards()
 	}
+	opts := refsim.Options{Config: cfg, Replacement: policy, StoreBytes: *sbytes}
+	if opts.Write, err = parseWritePolicy(*wp); err != nil {
+		return err
+	}
+	if opts.Alloc, err = parseAllocPolicy(*alloc); err != nil {
+		return err
+	}
+	if *sbytes < 0 {
+		return usagef("-store-bytes must be at least 0")
+	}
 	if *shards > 1 {
-		return refSimSharded(env, fs, tf, cfg, policy, *shards)
-	}
-	opts := refsim.Options{Config: cfg, Replacement: policy}
-	switch *wp {
-	case "write-back", "wb":
-		opts.Write = refsim.WriteBack
-	case "write-through", "wt":
-		opts.Write = refsim.WriteThrough
-	default:
-		return usagef("unknown write policy %q", *wp)
-	}
-	switch *alloc {
-	case "write-allocate", "wa":
-		opts.Alloc = refsim.WriteAllocate
-	case "no-write-allocate", "nwa":
-		opts.Alloc = refsim.NoWriteAllocate
-	default:
-		return usagef("unknown allocation policy %q", *alloc)
+		return refSimSharded(env, tf, opts, policy, *shards)
 	}
 
 	r, closer, err := tf.open()
@@ -90,48 +87,44 @@ func RefSim(env Env, args []string) error {
 
 	fmt.Fprintf(env.Stdout, "config:            %v, %v replacement, %v, %v\n",
 		cfg, policy, opts.Write, opts.Alloc)
-	fmt.Fprintf(env.Stdout, "accesses:          %d (%d reads, %d writes, %d ifetches)\n",
-		stats.Accesses, stats.AccessesByKind[trace.DataRead],
-		stats.AccessesByKind[trace.DataWrite], stats.AccessesByKind[trace.IFetch])
-	fmt.Fprintf(env.Stdout, "misses:            %d (rate %.4f)\n", stats.Misses, stats.MissRate())
-	fmt.Fprintf(env.Stdout, "  compulsory:      %d\n", stats.CompulsoryMisses)
-	fmt.Fprintf(env.Stdout, "  by kind:         %d read, %d write, %d ifetch\n",
-		stats.MissesByKind[trace.DataRead], stats.MissesByKind[trace.DataWrite],
-		stats.MissesByKind[trace.IFetch])
-	fmt.Fprintf(env.Stdout, "evictions:         %d\n", stats.Evictions)
-	fmt.Fprintf(env.Stdout, "tag comparisons:   %d\n", stats.TagComparisons)
-	tr := sim.Traffic()
-	fmt.Fprintf(env.Stdout, "bytes from memory: %d\n", tr.BytesFromMemory)
-	fmt.Fprintf(env.Stdout, "bytes to memory:   %d (%d writebacks)\n", tr.BytesToMemory, tr.Writebacks)
+	printRefStats(env.Stdout, stats, sim.Traffic())
 	return nil
 }
 
-// refSimSharded is the -shards ≥ 2 path: ingest the trace straight into
-// a shard partition (one pass, chunk-parallel decode) and replay it
-// through the sharded reference engine. The shard count resolves
-// through the same trace.ShardLog rounding every -shards knob uses,
-// capped at the configuration's set count; configurations with fewer
-// sets than the resolved fan-out fall back to the exact monolithic
-// stream replay inside the engine.
-func refSimSharded(env Env, fs *flag.FlagSet, tf traceFlags, cfg cache.Config, policy cache.Policy, shards int) error {
-	// The stream replay folds request kinds away, so the write-policy
-	// axes are meaningless here; reject them only when explicitly set.
-	var badFlag string
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "write" || f.Name == "alloc" {
-			badFlag = f.Name
-		}
-	})
-	if badFlag != "" {
-		return usagef("-%s needs the per-kind per-access replay; drop -shards", badFlag)
-	}
+// printRefStats renders the full Dinero-style record — shared by the
+// per-access and sharded stream paths so their outputs are comparable
+// line for line.
+func printRefStats(w io.Writer, stats refsim.Stats, tr refsim.Traffic) {
+	fmt.Fprintf(w, "accesses:          %d (%d reads, %d writes, %d ifetches)\n",
+		stats.Accesses, stats.AccessesByKind[trace.DataRead],
+		stats.AccessesByKind[trace.DataWrite], stats.AccessesByKind[trace.IFetch])
+	fmt.Fprintf(w, "misses:            %d (rate %.4f)\n", stats.Misses, stats.MissRate())
+	fmt.Fprintf(w, "  compulsory:      %d\n", stats.CompulsoryMisses)
+	fmt.Fprintf(w, "  by kind:         %d read, %d write, %d ifetch\n",
+		stats.MissesByKind[trace.DataRead], stats.MissesByKind[trace.DataWrite],
+		stats.MissesByKind[trace.IFetch])
+	fmt.Fprintf(w, "evictions:         %d\n", stats.Evictions)
+	fmt.Fprintf(w, "tag comparisons:   %d\n", stats.TagComparisons)
+	fmt.Fprintf(w, "bytes from memory: %d\n", tr.BytesFromMemory)
+	fmt.Fprintf(w, "bytes to memory:   %d (%d writebacks)\n", tr.BytesToMemory, tr.Writebacks)
+}
 
+// refSimSharded is the -shards ≥ 2 path: ingest the trace straight into
+// a kind-preserving shard partition (one pass, chunk-parallel decode)
+// and replay it through the sharded write-policy reference engine. The
+// shard count resolves through the same trace.ShardLog rounding every
+// -shards knob uses, capped at the configuration's set count;
+// configurations with fewer sets than the resolved fan-out (and Random
+// replacement, whose decomposition is not exact) fall back to the
+// exact monolithic stream replay inside the engine.
+func refSimSharded(env Env, tf traceFlags, opts refsim.Options, policy cache.Policy, shards int) error {
+	cfg := opts.Config
 	// shards ≥ 2 here, so the shared rounding rule always yields a
 	// level in [0, logSets].
 	logSets := bits.Len(uint(cfg.Sets)) - 1
 	log := trace.ShardLog(shards, logSets)
 	start := time.Now()
-	ss, err := tf.ingestShards(cfg.BlockSize, log)
+	ss, err := tf.ingestShardsWithKinds(cfg.BlockSize, log)
 	if err != nil {
 		return err
 	}
@@ -140,15 +133,18 @@ func refSimSharded(env Env, fs *flag.FlagSet, tf traceFlags, cfg cache.Config, p
 	spec := engine.Spec{
 		MinLogSets: logSets, MaxLogSets: logSets,
 		Assoc: cfg.Assoc, BlockSize: cfg.BlockSize, Policy: policy,
+		WriteSim: true, Write: opts.Write, Alloc: opts.Alloc, StoreBytes: opts.StoreBytes,
 	}
 	eng, replayed, err := engine.TimedRun("ref", spec, ss.Source, ss)
 	if err != nil {
 		return err
 	}
 	stats := eng.(engine.RefStatser).RefStats()
+	traffic := eng.(engine.TrafficStatser).RefTraffic()
 	parallel := engine.Parallel(eng)
 
-	fmt.Fprintf(env.Stdout, "config:            %v, %v replacement\n", cfg, policy)
+	fmt.Fprintf(env.Stdout, "config:            %v, %v replacement, %v, %v\n",
+		cfg, policy, opts.Write, opts.Alloc)
 	if parallel {
 		fmt.Fprintf(env.Stdout, "replay:            %d set-substreams in parallel (ingested in %v, replayed in %v)\n",
 			ss.NumShards(), ingested.Round(time.Millisecond), replayed.Round(time.Millisecond))
@@ -156,10 +152,6 @@ func refSimSharded(env Env, fs *flag.FlagSet, tf traceFlags, cfg cache.Config, p
 		fmt.Fprintf(env.Stdout, "replay:            monolithic fallback (%v policy or %d sets < %d shards; ingested in %v, replayed in %v)\n",
 			policy, cfg.Sets, ss.NumShards(), ingested.Round(time.Millisecond), replayed.Round(time.Millisecond))
 	}
-	fmt.Fprintf(env.Stdout, "accesses:          %d (stream replay; kinds folded)\n", stats.Accesses)
-	fmt.Fprintf(env.Stdout, "misses:            %d (rate %.4f)\n", stats.Misses, stats.MissRate())
-	fmt.Fprintf(env.Stdout, "  compulsory:      %d\n", stats.CompulsoryMisses)
-	fmt.Fprintf(env.Stdout, "evictions:         %d\n", stats.Evictions)
-	fmt.Fprintf(env.Stdout, "tag comparisons:   %d\n", stats.TagComparisons)
+	printRefStats(env.Stdout, stats, traffic)
 	return nil
 }

@@ -17,6 +17,8 @@ import (
 	"sort"
 
 	"dew/internal/cache"
+	"dew/internal/refsim"
+	"dew/internal/trace"
 )
 
 // Model holds the analytical energy parameters, all in picojoules.
@@ -38,6 +40,11 @@ type Model struct {
 	// LeakagePerByteAccess models static energy proportional to cache
 	// capacity, charged per access as a proxy for runtime.
 	LeakagePerByteAccess float64
+	// WriteEnergyFactor scales the access energy of stores relative to
+	// loads and fetches (SRAM writes drive full bitline swings). Zero
+	// means 1 — writes cost the same as reads — so kind-free statistics
+	// keep their historical totals.
+	WriteEnergyFactor float64
 }
 
 // DefaultModel returns plausible embedded-SRAM-era constants tuned only
@@ -51,7 +58,16 @@ func DefaultModel() Model {
 		MissEnergy:           200,
 		MissEnergyPerByte:    4,
 		LeakagePerByteAccess: 0.0004,
+		WriteEnergyFactor:    1.15,
 	}
+}
+
+// writeFactor resolves the zero-defaulting of WriteEnergyFactor.
+func (m Model) writeFactor() float64 {
+	if m.WriteEnergyFactor == 0 {
+		return 1
+	}
+	return m.WriteEnergyFactor
 }
 
 // AccessEnergy returns the model's per-access (hit) energy for a
@@ -75,6 +91,41 @@ func (m Model) Total(cfg cache.Config, s cache.Stats) float64 {
 	return float64(s.Accesses)*m.AccessEnergy(cfg) + float64(s.Misses)*m.MissPenalty(cfg)
 }
 
+// TotalRef estimates total energy from a reference simulation's full
+// record: the read/write split prices stores at WriteEnergyFactor times
+// the access energy, and the per-byte refill charge is levied on the
+// actual memory traffic (fills, write-throughs, writebacks) instead of
+// assuming every miss moves one block — so write-policy and alloc-policy
+// choices show up in the ranking. With a zero factor, zero traffic and
+// kind-free statistics it degrades to Total.
+func (m Model) TotalRef(cfg cache.Config, s refsim.Stats, tr refsim.Traffic) float64 {
+	writes := float64(s.AccessesByKind[trace.DataWrite])
+	other := float64(s.Accesses) - writes
+	access := other*m.AccessEnergy(cfg) + writes*m.AccessEnergy(cfg)*m.writeFactor()
+	bytes := float64(tr.BytesFromMemory + tr.BytesToMemory)
+	if bytes == 0 {
+		// No traffic accounting (legacy simulator): fall back to the
+		// block-per-miss assumption.
+		bytes = float64(s.Misses) * float64(cfg.BlockSize)
+	}
+	return access + float64(s.Misses)*m.MissEnergy + bytes*m.MissEnergyPerByte
+}
+
+// TotalSplit prices a kind-free per-configuration outcome using
+// trace-wide kind totals: every configuration of an exploration
+// replays the same trace, so the store count is a property of the
+// trace (see trace.BlockStream.KindTotals), not of the configuration,
+// and the read/write split can be applied to multi-configuration
+// engine results that carry no per-kind statistics of their own. The
+// per-byte charge keeps the block-per-miss assumption — engines
+// without write-policy simulation account no traffic.
+func (m Model) TotalSplit(cfg cache.Config, s cache.Stats, writes uint64) float64 {
+	w := float64(writes)
+	other := float64(s.Accesses) - w
+	return other*m.AccessEnergy(cfg) + w*m.AccessEnergy(cfg)*m.writeFactor() +
+		float64(s.Misses)*m.MissPenalty(cfg)
+}
+
 // Scored pairs a configuration with its outcome and estimated energy.
 type Scored struct {
 	Config cache.Config
@@ -91,9 +142,23 @@ func (s Scored) String() string {
 // lexicographically by (sets, assoc, block size) so the order is total
 // and deterministic.
 func (m Model) Rank(results map[cache.Config]cache.Stats) []Scored {
+	return m.rank(results, m.Total)
+}
+
+// RankSplit is Rank with the trace's store share priced at the write
+// factor (TotalSplit); kinds are the trace-wide per-kind access totals,
+// indexed by trace.Kind.
+func (m Model) RankSplit(results map[cache.Config]cache.Stats, kinds [3]uint64) []Scored {
+	writes := kinds[trace.DataWrite]
+	return m.rank(results, func(cfg cache.Config, s cache.Stats) float64 {
+		return m.TotalSplit(cfg, s, writes)
+	})
+}
+
+func (m Model) rank(results map[cache.Config]cache.Stats, score func(cache.Config, cache.Stats) float64) []Scored {
 	out := make([]Scored, 0, len(results))
 	for cfg, st := range results {
-		out = append(out, Scored{Config: cfg, Stats: st, Energy: m.Total(cfg, st)})
+		out = append(out, Scored{Config: cfg, Stats: st, Energy: score(cfg, st)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Energy != out[j].Energy {

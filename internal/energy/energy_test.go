@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"dew/internal/cache"
+	"dew/internal/refsim"
+	"dew/internal/trace"
 )
 
 func TestAccessEnergyMonotoneInSize(t *testing.T) {
@@ -96,5 +98,109 @@ func TestScoredString(t *testing.T) {
 	s := Scored{Config: cache.MustConfig(4, 1, 4), Stats: cache.Stats{Accesses: 10, Misses: 5}, Energy: 12}
 	if out := s.String(); !strings.Contains(out, "missRate=0.5000") || !strings.Contains(out, "pJ") {
 		t.Errorf("String = %q", out)
+	}
+}
+
+func TestTotalSplitDegradesToTotal(t *testing.T) {
+	m := DefaultModel()
+	cfg := cache.MustConfig(64, 2, 16)
+	s := cache.Stats{Accesses: 1000, Misses: 100}
+	// No stores: TotalSplit must reproduce Total exactly.
+	if got, want := m.TotalSplit(cfg, s, 0), m.Total(cfg, s); got != want {
+		t.Errorf("TotalSplit(0 writes) = %f, want %f", got, want)
+	}
+	// Exact composition with a store share.
+	want := 700*m.AccessEnergy(cfg) + 300*m.AccessEnergy(cfg)*m.WriteEnergyFactor +
+		100*m.MissPenalty(cfg)
+	if got := m.TotalSplit(cfg, s, 300); got != want {
+		t.Errorf("TotalSplit = %f, want %f", got, want)
+	}
+	if m.TotalSplit(cfg, s, 600) <= m.TotalSplit(cfg, s, 300) {
+		t.Error("more stores should cost more under a factor > 1")
+	}
+}
+
+func TestRankSplitOrdersLikeRank(t *testing.T) {
+	m := DefaultModel()
+	a := cache.MustConfig(64, 2, 16)
+	b := cache.MustConfig(1, 1, 4)
+	results := map[cache.Config]cache.Stats{
+		a: {Accesses: 100000, Misses: 2000},
+		b: {Accesses: 100000, Misses: 60000},
+	}
+	kinds := [3]uint64{trace.DataRead: 60000, trace.DataWrite: 30000, trace.IFetch: 10000}
+	ranked := m.RankSplit(results, kinds)
+	if len(ranked) != 2 || ranked[0].Config != a {
+		t.Fatalf("RankSplit order wrong: %+v", ranked)
+	}
+	for _, s := range ranked {
+		if want := m.TotalSplit(s.Config, s.Stats, 30000); s.Energy != want {
+			t.Errorf("RankSplit energy for %v = %f, want %f", s.Config, s.Energy, want)
+		}
+	}
+	// All-zero kinds: RankSplit degrades to Rank's energies.
+	plain := m.Rank(results)
+	zero := m.RankSplit(results, [3]uint64{})
+	for i := range plain {
+		if plain[i] != zero[i] {
+			t.Errorf("RankSplit with no stores diverges at %d: %+v vs %+v", i, zero[i], plain[i])
+		}
+	}
+}
+
+func TestTotalRefDegradesToTotal(t *testing.T) {
+	// Kind-free stats, zero traffic, unit write factor: TotalRef must
+	// reproduce Total exactly.
+	m := DefaultModel()
+	m.WriteEnergyFactor = 1
+	cfg := cache.MustConfig(64, 2, 16)
+	s := refsim.Stats{Stats: cache.Stats{Accesses: 1000, Misses: 100}}
+	if got, want := m.TotalRef(cfg, s, refsim.Traffic{}), m.Total(cfg, s.Stats); got != want {
+		t.Errorf("TotalRef = %f, want %f", got, want)
+	}
+	// The zero factor defaults to 1 as well.
+	m.WriteEnergyFactor = 0
+	if got, want := m.TotalRef(cfg, s, refsim.Traffic{}), m.Total(cfg, s.Stats); got != want {
+		t.Errorf("TotalRef with zero factor = %f, want %f", got, want)
+	}
+}
+
+func TestTotalRefWriteSplit(t *testing.T) {
+	m := DefaultModel()
+	cfg := cache.MustConfig(64, 2, 16)
+	var s refsim.Stats
+	s.Accesses = 1000
+	s.AccessesByKind[trace.DataRead] = 600
+	s.AccessesByKind[trace.DataWrite] = 300
+	s.AccessesByKind[trace.IFetch] = 100
+	s.Misses = 50
+	tr := refsim.Traffic{BytesFromMemory: 800, BytesToMemory: 400}
+
+	want := 700*m.AccessEnergy(cfg) +
+		300*m.AccessEnergy(cfg)*m.WriteEnergyFactor +
+		50*m.MissEnergy +
+		1200*m.MissEnergyPerByte
+	if got := m.TotalRef(cfg, s, tr); got != want {
+		t.Errorf("TotalRef = %f, want %f", got, want)
+	}
+
+	// More store-heavy mixes must cost more under a factor > 1.
+	var s2 refsim.Stats
+	s2.Accesses = 1000
+	s2.AccessesByKind[trace.DataRead] = 300
+	s2.AccessesByKind[trace.DataWrite] = 600
+	s2.AccessesByKind[trace.IFetch] = 100
+	s2.Misses = 50
+	if m.WriteEnergyFactor <= 1 {
+		t.Fatal("DefaultModel write factor should exceed 1")
+	}
+	if m.TotalRef(cfg, s2, tr) <= m.TotalRef(cfg, s, tr) {
+		t.Error("store-heavy mix should cost more energy")
+	}
+
+	// Traffic-aware pricing: write-through traffic raises the bill.
+	heavier := refsim.Traffic{BytesFromMemory: 800, BytesToMemory: 4000}
+	if m.TotalRef(cfg, s, heavier) <= m.TotalRef(cfg, s, tr) {
+		t.Error("more memory traffic should cost more energy")
 	}
 }

@@ -39,6 +39,9 @@ type dewEngine struct {
 }
 
 func newDewEngine(spec Spec) (Engine, error) {
+	if spec.WriteSim {
+		return nil, fmt.Errorf("engine: dew does not simulate write policies; use ref")
+	}
 	opt := core.Options{
 		MinLogSets: spec.MinLogSets, MaxLogSets: spec.MaxLogSets,
 		Assoc: spec.Assoc, BlockSize: spec.BlockSize, Policy: spec.Policy,
@@ -114,6 +117,9 @@ func newTreeEngine(spec Spec) (Engine, error) {
 	if spec.Policy != cache.LRU {
 		return nil, fmt.Errorf("engine: lrutree simulates LRU only, got %v", spec.Policy)
 	}
+	if spec.WriteSim {
+		return nil, fmt.Errorf("engine: lrutree does not simulate write policies; use ref")
+	}
 	opt := lrutree.Options{
 		MinLogSets: spec.MinLogSets, MaxLogSets: spec.MaxLogSets,
 		Assoc: spec.Assoc, BlockSize: spec.BlockSize,
@@ -176,13 +182,18 @@ func (e *treeEngine) Accesses() uint64 {
 
 // refEngine adapts the reference simulator: one configuration per
 // engine (MinLogSets == MaxLogSets), with refsim.Sharded supplying the
-// set-substream parallel replay and its exact monolithic fallback.
+// set-substream parallel replay and its exact monolithic fallback. In
+// write-policy mode (Spec.WriteSim) the backends are built
+// fully-parameterized, maintain memory traffic, and need
+// kind-preserving streams.
 type refEngine struct {
-	cfg     cache.Config
-	policy  cache.Policy
-	workers int
-	mono    *refsim.Simulator
-	sharded *refsim.Sharded
+	cfg      cache.Config
+	policy   cache.Policy
+	workers  int
+	writeSim bool
+	opts     refsim.Options
+	mono     *refsim.Simulator
+	sharded  *refsim.Sharded
 	// last selects which backend's stats Results reads: 0 none,
 	// 1 mono, 2 sharded.
 	last int
@@ -197,13 +208,28 @@ func newRefEngine(spec Spec) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &refEngine{cfg: cfg, policy: spec.Policy, workers: spec.Workers}, nil
+	e := &refEngine{cfg: cfg, policy: spec.Policy, workers: spec.Workers, writeSim: spec.WriteSim}
+	if spec.WriteSim {
+		if spec.StoreBytes < 0 {
+			return nil, fmt.Errorf("engine: negative store width %d", spec.StoreBytes)
+		}
+		e.opts = refsim.Options{
+			Config: cfg, Replacement: spec.Policy,
+			Write: spec.Write, Alloc: spec.Alloc, StoreBytes: spec.StoreBytes,
+		}
+	}
+	return e, nil
 }
 
 func (e *refEngine) SimulateStream(bs *trace.BlockStream) error {
 	if e.mono == nil {
 		var err error
-		if e.mono, err = refsim.New(e.cfg, e.policy); err != nil {
+		if e.writeSim {
+			e.mono, err = refsim.NewSim(e.opts)
+		} else {
+			e.mono, err = refsim.New(e.cfg, e.policy)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -215,7 +241,12 @@ func (e *refEngine) SimulateStream(bs *trace.BlockStream) error {
 func (e *refEngine) SimulateSharded(ss *trace.ShardStream) error {
 	if e.sharded == nil || e.sharded.ShardLog() != ss.Log {
 		var err error
-		if e.sharded, err = refsim.NewSharded(e.cfg, e.policy, ss.Log, e.workers); err != nil {
+		if e.writeSim {
+			e.sharded, err = refsim.NewShardedSim(e.opts, ss.Log, e.workers)
+		} else {
+			e.sharded, err = refsim.NewSharded(e.cfg, e.policy, ss.Log, e.workers)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -243,6 +274,19 @@ func (e *refEngine) RefStats() refsim.Stats {
 		return e.sharded.Stats()
 	default:
 		return refsim.Stats{}
+	}
+}
+
+// RefTraffic implements TrafficStatser; zero unless the engine was
+// built in write-policy mode.
+func (e *refEngine) RefTraffic() refsim.Traffic {
+	switch e.last {
+	case 1:
+		return e.mono.Traffic()
+	case 2:
+		return e.sharded.Traffic()
+	default:
+		return refsim.Traffic{}
 	}
 }
 

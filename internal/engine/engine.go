@@ -61,6 +61,24 @@ type Spec struct {
 	// Workers bounds the goroutines a sharded replay fans out across;
 	// 0 means GOMAXPROCS. Monolithic replays ignore it.
 	Workers int
+
+	// WriteSim selects write-policy simulation: the pass honors Write,
+	// Alloc and StoreBytes, consumes kind-preserving streams, and
+	// maintains memory-traffic counters (see TrafficStatser). It is an
+	// explicit discriminator because the zero Write/Alloc values are the
+	// valid write-back/write-allocate defaults. Engines that cannot
+	// simulate write policies reject specs with WriteSim set.
+	WriteSim bool
+	// Write is the write policy (write-back or write-through); only
+	// read when WriteSim is set.
+	Write refsim.WritePolicy
+	// Alloc is the allocation policy (write-allocate or
+	// no-write-allocate); only read when WriteSim is set.
+	Alloc refsim.AllocPolicy
+	// StoreBytes is the store width for write-through and
+	// no-write-allocate traffic accounting; 0 defaults to 4. Only read
+	// when WriteSim is set.
+	StoreBytes int
 }
 
 // Result is one configuration's outcome, the statistics contract every
@@ -99,6 +117,13 @@ type Engine interface {
 // needing tag-comparison or eviction counts type-assert for it.
 type RefStatser interface {
 	RefStats() refsim.Stats
+}
+
+// TrafficStatser is the optional interface of engines that account
+// memory traffic (the reference engine in write-policy mode); callers
+// pricing bus energy or write-through bandwidth type-assert for it.
+type TrafficStatser interface {
+	RefTraffic() refsim.Traffic
 }
 
 // Paralleler is the optional interface of engines whose sharded replay

@@ -228,3 +228,112 @@ func TestRefEngineShardLevelSwitch(t *testing.T) {
 		}
 	}
 }
+
+// engineKindTrace is engineTrace with a deterministic kind mix so the
+// write-policy engine paths see stores.
+func engineKindTrace(n int) trace.Trace {
+	tr := engineTrace(n)
+	for i := range tr {
+		if tr[i].Kind == trace.IFetch {
+			continue
+		}
+		tr[i].Kind = trace.Kind(uint64(tr[i].Addr+uint64(i)) % 2) // reads and writes
+	}
+	return tr
+}
+
+// TestRefEngineWriteSim drives the ref engine in write-policy mode over
+// a kind-preserving stream, monolithically and sharded, and checks both
+// against the per-access fully-parameterized simulator — statistics and
+// traffic.
+func TestRefEngineWriteSim(t *testing.T) {
+	tr := engineKindTrace(20000)
+	const block = 8
+	spec := Spec{
+		MinLogSets: 4, MaxLogSets: 4, Assoc: 2, BlockSize: block, Policy: cache.LRU,
+		WriteSim: true, Write: refsim.WriteThrough, Alloc: refsim.NoWriteAllocate, StoreBytes: 2,
+	}
+	cfg := cache.MustConfig(16, 2, block)
+	ref, err := refsim.NewSim(refsim.Options{
+		Config: cfg, Replacement: cache.LRU,
+		Write: refsim.WriteThrough, Alloc: refsim.NoWriteAllocate, StoreBytes: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantS, err := ref.Simulate(tr.NewSliceReader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT := ref.Traffic()
+
+	bs, err := tr.BlockStreamWithKinds(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New("ref", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SimulateStream(bs); err != nil {
+		t.Fatal(err)
+	}
+	gotS := e.(RefStatser).RefStats()
+	gotT := e.(TrafficStatser).RefTraffic()
+	if gotS != wantS {
+		t.Errorf("stream stats = %+v, want %+v", gotS, wantS)
+	}
+	if gotT != wantT {
+		t.Errorf("stream traffic = %+v, want %+v", gotT, wantT)
+	}
+
+	ss, err := trace.IngestShardsWithKinds(tr.NewSliceReader(), block, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New("ref", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.SimulateSharded(ss); err != nil {
+		t.Fatal(err)
+	}
+	if !Parallel(e2) {
+		t.Error("sharded write-sim replay did not decompose")
+	}
+	if gotS := e2.(RefStatser).RefStats(); gotS != wantS {
+		t.Errorf("sharded stats = %+v, want %+v", gotS, wantS)
+	}
+	if gotT := e2.(TrafficStatser).RefTraffic(); gotT != wantT {
+		t.Errorf("sharded traffic = %+v, want %+v", gotT, wantT)
+	}
+
+	// A write-sim engine must refuse a kind-free stream.
+	plain, err := tr.BlockStream(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := New("ref", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e3.SimulateStream(plain); err == nil {
+		t.Error("write-sim engine accepted a kind-free stream")
+	}
+}
+
+// TestWriteSimRejections: the multi-configuration engines cannot model
+// write policies and must say so at build time.
+func TestWriteSimRejections(t *testing.T) {
+	spec := Spec{MinLogSets: 2, MaxLogSets: 4, Assoc: 2, BlockSize: 8, Policy: cache.LRU, WriteSim: true}
+	if _, err := New("dew", spec); err == nil {
+		t.Error("dew accepted WriteSim")
+	}
+	if _, err := New("lrutree", spec); err == nil {
+		t.Error("lrutree accepted WriteSim")
+	}
+	bad := Spec{MinLogSets: 2, MaxLogSets: 2, Assoc: 2, BlockSize: 8, Policy: cache.LRU, WriteSim: true, StoreBytes: -1}
+	if _, err := New("ref", bad); err == nil {
+		t.Error("ref accepted a negative store width")
+	}
+}

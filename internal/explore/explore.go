@@ -80,6 +80,14 @@ type Request struct {
 	// engine registered under the chosen policy works — e.g. "lrutree"
 	// with Policy cache.LRU.
 	Engine string
+	// Kinds, when set, materializes the kind-preserving stream
+	// (trace.MaterializeBlockStreamWithKinds, or IngestShardsWithKinds
+	// when sharding) instead of folding request kinds away, and reports
+	// the trace-wide per-kind access totals in Result.KindTotals. The
+	// ID and run columns — and therefore every pass result — are
+	// bit-identical either way; the totals feed the energy model's
+	// read/write split (energy.Model.RankSplit).
+	Kinds bool
 	// Progress, when non-nil, is called after each finished pass with
 	// the number of completed and total passes. Calls are serialized.
 	Progress func(done, total int)
@@ -115,6 +123,11 @@ type Result struct {
 	// Shards is the number of trees each sharded pass fanned out
 	// across; 0 when the passes ran monolithic.
 	Shards int
+	// KindTotals holds the trace-wide per-kind access totals (indexed
+	// by trace.Kind) when Request.Kinds materialized the kind channel;
+	// all zeros otherwise. Every configuration replays the same trace,
+	// so the totals apply to every entry of Stats.
+	KindTotals [3]uint64
 }
 
 // Run executes the exploration.
@@ -169,9 +182,15 @@ func Run(req Request) (*Result, error) {
 	passWorkers := workers
 	var streams map[int]*trace.BlockStream
 	shardStreams := map[int]*trace.ShardStream{}
+	ingest, materialize := trace.IngestShards, trace.MaterializeBlockStream
+	if req.Kinds {
+		// The kind channel rides along through ingest, folding and
+		// sharding; the engines' replay columns are unchanged.
+		ingest, materialize = trace.IngestShardsWithKinds, trace.MaterializeBlockStreamWithKinds
+	}
 	if shardLog >= 0 {
 		passWorkers = 1
-		ss, err := trace.IngestShards(req.Source(), blocks[0], shardLog, workers)
+		ss, err := ingest(req.Source(), blocks[0], shardLog, workers)
 		if err != nil {
 			return nil, fmt.Errorf("explore: ingesting block-%d shard stream: %w", blocks[0], err)
 		}
@@ -185,7 +204,7 @@ func Run(req Request) (*Result, error) {
 			}
 		}
 	} else {
-		base, err := trace.MaterializeBlockStream(req.Source(), blocks[0])
+		base, err := materialize(req.Source(), blocks[0])
 		if err != nil {
 			return nil, fmt.Errorf("explore: materializing block-%d stream: %w", blocks[0], err)
 		}
@@ -216,6 +235,12 @@ func Run(req Request) (*Result, error) {
 	}
 	res.Decodes = 1
 	res.Folds = len(blocks) - 1
+	if req.Kinds {
+		// Folding preserves per-kind weights exactly, so any rung
+		// reports the same totals; read them before passes release the
+		// streams.
+		res.KindTotals = streams[blocks[0]].KindTotals()
+	}
 	if shardLog >= 0 {
 		res.Shards = 1 << shardLog
 	}

@@ -357,3 +357,48 @@ func TestRunEngineSelection(t *testing.T) {
 		t.Error("lrutree under FIFO must fail")
 	}
 }
+
+func TestRunKindsTotalsAndEquivalence(t *testing.T) {
+	space := smallSpace()
+	tr := randomTrace(6000, 9)
+	var want [3]uint64
+	for _, a := range tr {
+		want[a.Kind]++
+	}
+	plain, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 2, Kinds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds.KindTotals != want {
+		t.Errorf("KindTotals = %v, want %v", kinds.KindTotals, want)
+	}
+	if plain.KindTotals != ([3]uint64{}) {
+		t.Errorf("kind-free run reported totals %v", plain.KindTotals)
+	}
+	// The kind channel must not perturb a single result.
+	if len(plain.Stats) != len(kinds.Stats) {
+		t.Fatalf("coverage differs: %d vs %d", len(plain.Stats), len(kinds.Stats))
+	}
+	for cfg, st := range plain.Stats {
+		if kinds.Stats[cfg] != st {
+			t.Errorf("%v: kind run %+v, plain %+v", cfg, kinds.Stats[cfg], st)
+		}
+	}
+	// Sharded ingest carries the channel too.
+	sharded, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 2, Shards: 4, Kinds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.KindTotals != want {
+		t.Errorf("sharded KindTotals = %v, want %v", sharded.KindTotals, want)
+	}
+	for cfg, st := range plain.Stats {
+		if sharded.Stats[cfg] != st {
+			t.Errorf("%v: sharded kind run %+v, plain %+v", cfg, sharded.Stats[cfg], st)
+		}
+	}
+}

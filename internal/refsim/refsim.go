@@ -71,8 +71,13 @@ type Simulator struct {
 	write      WritePolicy
 	alloc      AllocPolicy
 	storeBytes int
-	dirty      []bool
-	traffic    Traffic
+	// fillBytes is the memory-traffic cost of one block fill or dirty
+	// writeback. Normally cfg.BlockSize; a sharded sub-simulator runs at
+	// a widened block size that is an addressing trick, so NewShardedSim
+	// overrides it with the parent block size.
+	fillBytes int
+	dirty     []bool
+	traffic   Traffic
 
 	stats Stats
 }
@@ -89,14 +94,15 @@ func New(cfg cache.Config, policy cache.Policy) (*Simulator, error) {
 	}
 	n := cfg.Sets * cfg.Assoc
 	s := &Simulator{
-		cfg:    cfg,
-		policy: policy,
-		tags:   make([]uint64, n),
-		valid:  make([]bool, n),
-		fill:   make([]int32, cfg.Sets),
-		head:   make([]int32, cfg.Sets),
-		seen:   make(map[uint64]struct{}),
-		rnd:    0x9E3779B97F4A7C15,
+		cfg:       cfg,
+		policy:    policy,
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		fill:      make([]int32, cfg.Sets),
+		head:      make([]int32, cfg.Sets),
+		seen:      make(map[uint64]struct{}),
+		rnd:       0x9E3779B97F4A7C15,
+		fillBytes: cfg.BlockSize,
 	}
 	if policy == cache.LRU {
 		s.order = make([]int8, n)
@@ -179,7 +185,7 @@ func (s *Simulator) Access(a trace.Access) bool {
 		s.stats.CompulsoryMisses++
 	}
 	if s.dirty != nil {
-		s.traffic.BytesFromMemory += uint64(s.cfg.BlockSize)
+		s.traffic.BytesFromMemory += uint64(s.fillBytes)
 		s.insertAt(set, tag)
 	} else {
 		s.insert(set, tag)

@@ -43,8 +43,9 @@ type Sharded struct {
 	// whole is the fallback monolithic simulator; nil when subs is set.
 	whole *Simulator
 
-	stats Stats
-	errs  []error
+	stats   Stats
+	traffic Traffic
+	errs    []error
 }
 
 // NewSharded builds a sharded reference pass for the configuration and
@@ -85,6 +86,50 @@ func NewSharded(cfg cache.Config, policy cache.Policy, log, workers int) (*Shard
 	return sh, nil
 }
 
+// NewShardedSim is NewSharded for a fully-parameterized (write-policy)
+// reference pass: each sub-simulator is built with NewSim, so the
+// sharded replay keeps dirty bits, per-kind statistics and memory
+// traffic. The decomposition stays exact: dirty bits live per way of a
+// single set, the seen map partitions by block, and every traffic
+// counter is a sum of per-set contributions. The sub-simulators run at
+// the widened shard block size, which is an addressing trick rather
+// than a longer line, so their fill and writeback traffic is charged at
+// the parent block size.
+func NewShardedSim(o Options, log, workers int) (*Sharded, error) {
+	if err := o.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if log < 0 {
+		return nil, fmt.Errorf("refsim: negative shard level %d", log)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sh := &Sharded{cfg: o.Config, policy: o.Replacement, log: log, workers: workers}
+	if o.Replacement != cache.Random && log <= 30 && o.Config.Sets>>uint(log) >= 1 {
+		subCfg, err := cache.NewConfig(o.Config.Sets>>uint(log), o.Config.Assoc, o.Config.BlockSize<<uint(log))
+		if err != nil {
+			return nil, err
+		}
+		sub := o
+		sub.Config = subCfg
+		sh.subs = make([]*Simulator, 1<<log)
+		for t := range sh.subs {
+			if sh.subs[t], err = NewSim(sub); err != nil {
+				return nil, err
+			}
+			sh.subs[t].fillBytes = o.Config.BlockSize
+		}
+		sh.errs = make([]error, len(sh.subs))
+	} else {
+		var err error
+		if sh.whole, err = NewSim(o); err != nil {
+			return nil, err
+		}
+	}
+	return sh, nil
+}
+
 // Config returns the simulated configuration.
 func (sh *Sharded) Config() cache.Config { return sh.cfg }
 
@@ -101,6 +146,10 @@ func (sh *Sharded) Parallel() bool { return sh.subs != nil }
 // Stats returns the stitched statistics of the replays so far.
 func (sh *Sharded) Stats() Stats { return sh.stats }
 
+// Traffic returns the stitched memory-traffic counters; zero unless the
+// pass was built with NewShardedSim.
+func (sh *Sharded) Traffic() Traffic { return sh.traffic }
+
 // Reset returns the pass to its freshly constructed state.
 func (sh *Sharded) Reset() {
 	if sh.whole != nil {
@@ -110,6 +159,7 @@ func (sh *Sharded) Reset() {
 		sub.Reset()
 	}
 	sh.stats = Stats{}
+	sh.traffic = Traffic{}
 }
 
 // SimulateStream replays a sharded block stream: each sub-simulator
@@ -130,6 +180,7 @@ func (sh *Sharded) SimulateStream(ss *trace.ShardStream) (Stats, error) {
 	if sh.whole != nil {
 		stats, err := sh.whole.SimulateStream(ss.Source)
 		sh.stats = stats
+		sh.traffic = sh.whole.Traffic()
 		return sh.stats, err
 	}
 	if ss.NumShards() != len(sh.subs) {
@@ -166,6 +217,7 @@ func (sh *Sharded) SimulateStream(ss *trace.ShardStream) (Stats, error) {
 	// sub-simulators' stats are cumulative across replays, so the
 	// stitch recomputes from scratch.
 	var total Stats
+	var traffic Traffic
 	for _, sub := range sh.subs {
 		st := sub.Stats()
 		total.Accesses += st.Accesses
@@ -173,8 +225,17 @@ func (sh *Sharded) SimulateStream(ss *trace.ShardStream) (Stats, error) {
 		total.CompulsoryMisses += st.CompulsoryMisses
 		total.Evictions += st.Evictions
 		total.TagComparisons += st.TagComparisons
+		for k := range st.AccessesByKind {
+			total.AccessesByKind[k] += st.AccessesByKind[k]
+			total.MissesByKind[k] += st.MissesByKind[k]
+		}
+		tr := sub.Traffic()
+		traffic.BytesFromMemory += tr.BytesFromMemory
+		traffic.BytesToMemory += tr.BytesToMemory
+		traffic.Writebacks += tr.Writebacks
 	}
 	sh.stats = total
+	sh.traffic = traffic
 	return sh.stats, nil
 }
 

@@ -26,16 +26,23 @@ import (
 // Evictions and TagComparisons are therefore bit-identical to replaying
 // the expanded trace.
 //
-// A BlockStream carries no request kinds, so AccessesByKind and
-// MissesByKind stay zero, and write-policy simulators (built with
-// NewSim), whose store handling must see kinds, reject the stream.
+// A kind-free BlockStream carries no request kinds, so AccessesByKind
+// and MissesByKind stay zero on that path, and write-policy simulators
+// (built with NewSim), whose store handling must see kinds, reject it.
+// A kind-preserving stream (trace.MaterializeBlockStreamWithKinds)
+// replays through the kind-aware fold instead: per-kind statistics are
+// maintained, and write-policy simulators fold each run exactly under
+// their write/alloc policies (see simulateKindStream).
 func (s *Simulator) SimulateStream(bs *trace.BlockStream) (Stats, error) {
 	if bs.BlockSize != s.cfg.BlockSize {
 		return s.stats, fmt.Errorf("refsim: stream materialized at block size %d, configuration uses %d",
 			bs.BlockSize, s.cfg.BlockSize)
 	}
+	if bs.HasKinds() {
+		return s.simulateKindStream(bs)
+	}
 	if s.dirty != nil {
-		return s.stats, fmt.Errorf("refsim: write-policy simulation needs per-kind accesses; replay the raw trace")
+		return s.stats, fmt.Errorf("refsim: write-policy simulation needs a kind-preserving stream (materialize with kinds) or the raw trace")
 	}
 	setMask := s.cfg.Sets - 1
 	idxBits := uint(s.cfg.IndexBits())
@@ -74,6 +81,174 @@ func (s *Simulator) SimulateStream(bs *trace.BlockStream) (Stats, error) {
 			} else {
 				// Physical-order search stops at the block's way.
 				s.stats.TagComparisons += rest * uint64(way+1)
+			}
+		}
+	}
+	return s.stats, nil
+}
+
+// simulateKindStream replays a kind-preserving stream, folding each run
+// exactly under the simulator's policies. The fold extends the kind-free
+// argument: within a run every access touches one block, and once any
+// access installs it the block stays resident for the rest of the run,
+// so a run's per-access outcome is fully determined by its KindRun
+// record — the per-kind weights plus the leading-store count and first
+// non-store kind (see trace.KindRun). Three shapes cover every
+// WritePolicy × AllocPolicy combination:
+//
+//   - Resident at the head: every access hits. Stores mark the dirty
+//     bit (write-back) or each send storeBytes to memory
+//     (write-through).
+//   - Installing miss (write-allocate, or the run opens with a
+//     non-store): the first access misses, fills and installs; the rest
+//     hit, with the same repeat tag-comparison costs as the kind-free
+//     fold.
+//   - Bypassing miss (no-write-allocate and the run opens with stores):
+//     each of the Lead leading stores misses and bypasses without
+//     installing, re-scanning the set; the first non-store (if any)
+//     misses, fills and installs; the remainder hits.
+//
+// The results — every statistic and the traffic counters — are
+// bit-identical to replaying the expanded per-access trace through
+// Access.
+func (s *Simulator) simulateKindStream(bs *trace.BlockStream) (Stats, error) {
+	setMask := s.cfg.Sets - 1
+	idxBits := uint(s.cfg.IndexBits())
+	lru := s.policy == cache.LRU
+	for i, blk := range bs.IDs {
+		w := bs.Runs[i]
+		if w == 0 {
+			continue
+		}
+		kr := bs.Kinds[i]
+		set := int(blk) & setMask
+		tag := blk >> idxBits
+
+		s.stats.Accesses += uint64(w)
+		for k := range kr.W {
+			s.stats.AccessesByKind[k] += uint64(kr.W[k])
+		}
+
+		if s.dirty == nil {
+			// No write policies in play: the kind-free fold plus per-kind
+			// miss attribution (only the head access can miss, and its
+			// kind is the record's first).
+			way := s.findWay(set, tag)
+			if way >= 0 {
+				if lru {
+					s.touchLRU(set, way)
+				}
+			} else {
+				s.stats.Misses++
+				s.stats.MissesByKind[kr.FirstKind()]++
+				if _, ok := s.seen[blk]; !ok {
+					s.seen[blk] = struct{}{}
+					s.stats.CompulsoryMisses++
+				}
+				way = s.insert(set, tag)
+			}
+			if w > 1 {
+				rest := uint64(w - 1)
+				if lru {
+					s.stats.TagComparisons += rest
+				} else {
+					s.stats.TagComparisons += rest * uint64(way+1)
+				}
+			}
+			continue
+		}
+
+		writes := uint64(kr.W[trace.DataWrite])
+		base := set * s.cfg.Assoc
+		way := s.findWay(set, tag)
+		if way >= 0 {
+			// Resident: the whole run hits.
+			if lru {
+				s.touchLRU(set, way)
+			}
+			if w > 1 {
+				rest := uint64(w - 1)
+				if lru {
+					s.stats.TagComparisons += rest
+				} else {
+					s.stats.TagComparisons += rest * uint64(way+1)
+				}
+			}
+			if writes > 0 {
+				if s.write == WriteBack {
+					s.dirty[base+way] = true
+				} else {
+					s.traffic.BytesToMemory += writes * uint64(s.storeBytes)
+				}
+			}
+			continue
+		}
+
+		if s.alloc == NoWriteAllocate && kr.FirstKind() == trace.DataWrite {
+			// Bypassing miss: the Lead leading stores each miss without
+			// installing. Only the first can be compulsory; each re-scan
+			// of the unchanged set costs the same comparisons findWay
+			// just counted.
+			lead := uint64(kr.Lead)
+			s.stats.Misses += lead
+			s.stats.MissesByKind[trace.DataWrite] += lead
+			if _, ok := s.seen[blk]; !ok {
+				s.seen[blk] = struct{}{}
+				s.stats.CompulsoryMisses++
+			}
+			s.traffic.BytesToMemory += lead * uint64(s.storeBytes)
+			fillCount := uint64(s.fill[set])
+			s.stats.TagComparisons += (lead - 1) * fillCount
+			if kr.AllWrites() {
+				continue // nothing installs; the block stays cold
+			}
+			// The first non-store scans, misses and installs.
+			s.stats.TagComparisons += fillCount
+			s.stats.Misses++
+			s.stats.MissesByKind[kr.First]++
+			s.traffic.BytesFromMemory += uint64(s.fillBytes)
+			way = s.insertAt(set, tag)
+			if rest := uint64(w) - lead - 1; rest > 0 {
+				if lru {
+					s.stats.TagComparisons += rest
+				} else {
+					s.stats.TagComparisons += rest * uint64(way+1)
+				}
+			}
+			// Stores after the install hit the now-resident block.
+			if remWrites := writes - lead; remWrites > 0 {
+				if s.write == WriteBack {
+					s.dirty[base+way] = true
+				} else {
+					s.traffic.BytesToMemory += remWrites * uint64(s.storeBytes)
+				}
+			}
+			continue
+		}
+
+		// Installing miss: the head access misses, fills and installs;
+		// the rest of the run hits.
+		s.stats.Misses++
+		s.stats.MissesByKind[kr.FirstKind()]++
+		if _, ok := s.seen[blk]; !ok {
+			s.seen[blk] = struct{}{}
+			s.stats.CompulsoryMisses++
+		}
+		s.traffic.BytesFromMemory += uint64(s.fillBytes)
+		way = s.insertAt(set, tag)
+		if w > 1 {
+			rest := uint64(w - 1)
+			if lru {
+				s.stats.TagComparisons += rest
+			} else {
+				s.stats.TagComparisons += rest * uint64(way+1)
+			}
+		}
+		if writes > 0 {
+			if s.write == WriteBack {
+				s.dirty[base+way] = true
+			} else {
+				s.traffic.BytesToMemory += writes * uint64(s.storeBytes)
 			}
 		}
 	}

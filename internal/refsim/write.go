@@ -143,7 +143,7 @@ func (s *Simulator) accessWrite(set int, tag uint64, blk uint64) bool {
 		return false
 	}
 	// Allocate: fetch the block, install it, then apply the store.
-	s.traffic.BytesFromMemory += uint64(s.cfg.BlockSize)
+	s.traffic.BytesFromMemory += uint64(s.fillBytes)
 	w := s.insertAt(set, tag)
 	if s.write == WriteBack {
 		s.dirty[base+w] = true
@@ -212,7 +212,7 @@ func (s *Simulator) insertAt(set int, tag uint64) int {
 	}
 	s.stats.Evictions++
 	if s.dirty[base+w] {
-		s.traffic.BytesToMemory += uint64(s.cfg.BlockSize)
+		s.traffic.BytesToMemory += uint64(s.fillBytes)
 		s.traffic.Writebacks++
 		s.dirty[base+w] = false
 	}

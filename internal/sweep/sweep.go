@@ -78,6 +78,15 @@
 // fan-out from its own stream statistics (AutoShardsStream) instead of
 // a fixed count.
 //
+// # Write-policy cells
+//
+// The same stream-sharing and runtime-verification machinery extends
+// to the reference simulator's write/alloc axes: a write cell
+// (WriteParams, RunWriteCell) replays one kind-preserving stream
+// through the write-policy reference engine per configuration and
+// cross-checks statistics and memory traffic bit-for-bit against the
+// per-access replay — see write.go.
+//
 // # Engine dispatch
 //
 // Every timed pass of a cell — DEW stream, DEW sharded, and both

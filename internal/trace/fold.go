@@ -33,28 +33,60 @@ import (
 
 // foldInto runs the fold over bs, appending to dst's (reset) columns.
 // Each source run appends at most one entry, so the output never holds
-// more runs than the input.
+// more runs than the input. The kind channel, when present, folds
+// along: merged runs concatenate their kind records, and a uint32
+// overflow splits the source record at the same cut the weight split
+// lands on (per-access semantics under the canonical expansion — see
+// kind.go).
 func foldInto(dst, bs *BlockStream) {
+	kinds := bs.Kinds != nil
 	dst.BlockSize = bs.BlockSize << 1
 	dst.IDs = dst.IDs[:0]
 	dst.Runs = dst.Runs[:0]
+	if kinds {
+		if dst.Kinds == nil {
+			dst.Kinds = []KindRun{}
+		}
+		dst.Kinds = dst.Kinds[:0]
+	} else {
+		dst.Kinds = nil
+	}
 	dst.Accesses = bs.Accesses
 	for i, id := range bs.IDs {
 		fid := id >> 1
 		w := bs.Runs[i]
+		var kr KindRun
+		if kinds {
+			kr = bs.Kinds[i]
+		}
 		if n := len(dst.IDs) - 1; n >= 0 && dst.IDs[n] == fid {
 			if sum := uint64(dst.Runs[n]) + uint64(w); sum <= math.MaxUint32 {
 				dst.Runs[n] = uint32(sum)
+				if kinds {
+					dst.Kinds[n] = mergeKind(dst.Kinds[n], kr)
+				}
 				continue
 			} else {
 				// Per-access semantics at the counter boundary: the
 				// tail saturates, the remainder starts the next run.
+				if kinds {
+					// The cut lands inside this source run: the tail
+					// absorbs its first `take` accesses, the remainder
+					// record starts the next run.
+					take := math.MaxUint32 - dst.Runs[n]
+					var front KindRun
+					front, kr = splitKindRun(kr, take)
+					dst.Kinds[n] = mergeKind(dst.Kinds[n], front)
+				}
 				w = uint32(sum - math.MaxUint32)
 				dst.Runs[n] = math.MaxUint32
 			}
 		}
 		dst.IDs = append(dst.IDs, fid)
 		dst.Runs = append(dst.Runs, w)
+		if kinds {
+			dst.Kinds = append(dst.Kinds, kr)
+		}
 	}
 }
 
@@ -96,6 +128,9 @@ func FoldBlockStream(bs *BlockStream) *BlockStream {
 	dst := &BlockStream{
 		IDs:  make([]uint64, 0, n),
 		Runs: make([]uint32, 0, n),
+	}
+	if bs.Kinds != nil {
+		dst.Kinds = make([]KindRun, 0, n)
 	}
 	foldInto(dst, bs)
 	return dst

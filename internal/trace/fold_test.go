@@ -25,7 +25,8 @@ func foldTestTrace(n int, seed int64) Trace {
 }
 
 // assertSameStream fails unless the two streams are bit-identical:
-// same block size, same columns, same access count.
+// same block size, same columns (including the kind channel when
+// present), same access count.
 func assertSameStream(t *testing.T, ctx string, got, want *BlockStream) {
 	t.Helper()
 	if got.BlockSize != want.BlockSize || got.Accesses != want.Accesses || len(got.IDs) != len(want.IDs) {
@@ -36,6 +37,19 @@ func assertSameStream(t *testing.T, ctx string, got, want *BlockStream) {
 		if got.IDs[i] != want.IDs[i] || got.Runs[i] != want.Runs[i] {
 			t.Fatalf("%s: run %d = (%d, %d), want (%d, %d)",
 				ctx, i, got.IDs[i], got.Runs[i], want.IDs[i], want.Runs[i])
+		}
+	}
+	if got.HasKinds() != want.HasKinds() {
+		t.Fatalf("%s: kind channel present %v, want %v", ctx, got.HasKinds(), want.HasKinds())
+	}
+	if want.HasKinds() {
+		for i := range want.Kinds {
+			if got.Kinds[i] != want.Kinds[i] {
+				t.Fatalf("%s: run %d kinds = %+v, want %+v", ctx, i, got.Kinds[i], want.Kinds[i])
+			}
+			if got.Kinds[i].Total() != uint64(got.Runs[i]) {
+				t.Fatalf("%s: run %d kind total %d != weight %d", ctx, i, got.Kinds[i].Total(), got.Runs[i])
+			}
 		}
 	}
 }
@@ -56,6 +70,44 @@ func TestFoldBlockStreamEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		assertSameStream(t, "fold to B="+itoa(block), cur, want)
+	}
+}
+
+// TestFoldKindEquivalence walks the ladder on a kind-preserving stream:
+// every rung must be bit-identical — kind channel included — to direct
+// kind materialization at that size, and sharding a folded kind stream
+// must match the serial kind shard of the direct stream.
+func TestFoldKindEquivalence(t *testing.T) {
+	tr := foldTestTrace(20_000, 7)
+	for i := range tr {
+		tr[i].Kind = Kind(uint64(tr[i].Addr+uint64(i)) % 3)
+	}
+	cur, err := tr.BlockStreamWithKinds(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for block := 2; block <= 64; block <<= 1 {
+		cur = FoldBlockStream(cur)
+		want, err := tr.BlockStreamWithKinds(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameStream(t, "kind fold to B="+itoa(block), cur, want)
+	}
+	gotSS, err := ShardBlockStream(cur, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := tr.BlockStreamWithKinds(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSS, err := ShardBlockStream(direct, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range wantSS.Shards {
+		assertSameStream(t, "kind shard "+itoa(s), &gotSS.Shards[s], &wantSS.Shards[s])
 	}
 }
 
@@ -283,7 +335,10 @@ func TestFoldZeroAllocs(t *testing.T) {
 // FuzzFoldBlockStream checks the fold against the per-access run
 // machine (appendRun) on arbitrary weighted streams, with the weight
 // byte mapped into the near-MaxUint32 band so counter-overflow splits
-// land at fold merge points.
+// land at fold merge points. The same pairs drive a kind-weighted
+// stream (crafted per-kind records of the same totals) checked against
+// the appendKindRun machine, so overflow splits land inside kind
+// records too.
 func FuzzFoldBlockStream(f *testing.F) {
 	f.Add([]byte{2, 255, 3, 1, 2, 255}, true)
 	f.Add([]byte{0, 1, 1, 1, 0, 1}, false)
@@ -296,6 +351,7 @@ func FuzzFoldBlockStream(f *testing.F) {
 		// Build a weighted stream from (id, weight) byte pairs through
 		// the per-access machinery itself.
 		bs := &BlockStream{BlockSize: 2}
+		ks := &BlockStream{BlockSize: 2, Kinds: []KindRun{}}
 		for i := 0; i+1 < len(raw); i += 2 {
 			id := uint64(raw[i])
 			w := uint32(raw[i+1]%16) + 1
@@ -303,6 +359,7 @@ func FuzzFoldBlockStream(f *testing.F) {
 				w = math.MaxUint32 - uint32(255-raw[i+1])
 			}
 			bs.appendRun(id, w)
+			ks.appendKindRun(id, testKindRun(raw[i]/16, w))
 		}
 
 		got := FoldBlockStream(bs)
@@ -313,6 +370,15 @@ func FuzzFoldBlockStream(f *testing.F) {
 		}
 		assertSameStream(t, "fold vs appendRun machine", got, want)
 		assertSameStream(t, "fold into", FoldBlockStreamInto(&BlockStream{}, bs), want)
+
+		// Kind-weighted fold vs the appendKindRun machine.
+		gotK := FoldBlockStream(ks)
+		wantK := &BlockStream{BlockSize: ks.BlockSize << 1, Kinds: []KindRun{}}
+		for i, id := range ks.IDs {
+			wantK.appendKindRun(id>>1, ks.Kinds[i])
+		}
+		assertSameStream(t, "kind fold vs appendKindRun machine", gotK, wantK)
+		assertSameStream(t, "kind fold into", FoldBlockStreamInto(&BlockStream{}, ks), wantK)
 
 		// Invariants: weight conservation, no zero runs, no mergeable
 		// adjacency left behind.

@@ -84,13 +84,16 @@ func (b *BlockStream) appendRun(id uint64, w uint32) {
 // shardPartial is one shard's view of a chunk's interior parent runs:
 // the leading same-ID span as unmerged parent-run weights (their merge
 // into the global shard tail depends on state only the stitcher has),
-// and the rest merged under the shard fill rule.
+// and the rest merged under the shard fill rule. In kind mode headK
+// and kinds parallel headW and runs.
 type shardPartial struct {
 	shard  uint64
 	headID uint64
 	headW  []uint32
+	headK  []KindRun
 	ids    []uint64
 	runs   []uint32
+	kinds  []KindRun
 	inHead bool
 }
 
@@ -99,6 +102,7 @@ type shardPartial struct {
 type runChunk struct {
 	ids      []uint64
 	runs     []uint32
+	kinds    []KindRun // kind channel parallel to runs; nil in kind-free mode
 	accesses uint64
 	// head is the length of the leading same-ID span; tail is the start
 	// of the trailing same-ID span. Runs in [head, tail) — the interior
@@ -125,9 +129,12 @@ func newIngestScratch(log int) *ingestScratch {
 }
 
 // chunkCompressor builds a runChunk from a stream of (id, weight)
-// pairs, applying the per-access run-formation semantics locally.
+// pairs, applying the per-access run-formation semantics locally. In
+// kind mode (kinds set at construction) every addition goes through
+// addAccess or addKindRun, which keep the kind column parallel.
 type chunkCompressor struct {
-	c runChunk
+	c     runChunk
+	kinds bool
 }
 
 func (cc *chunkCompressor) add(id uint64, w uint32) {
@@ -147,6 +154,45 @@ func (cc *chunkCompressor) add(id uint64, w uint32) {
 		cc.c.runs = append(cc.c.runs, uint32(take))
 		rem -= take
 	}
+}
+
+// addAccess is add for one access in kind mode.
+func (cc *chunkCompressor) addAccess(id uint64, k Kind) {
+	cc.c.accesses++
+	if n := len(cc.c.ids); n > 0 && cc.c.ids[n-1] == id && cc.c.runs[n-1] < math.MaxUint32 {
+		cc.c.runs[n-1]++
+		cc.c.kinds[n-1].addSpan(k, 1)
+		return
+	}
+	cc.c.ids = append(cc.c.ids, id)
+	cc.c.runs = append(cc.c.runs, 1)
+	cc.c.kinds = append(cc.c.kinds, kindRunOf(k))
+}
+
+// addKindRun is add for a pre-weighted kind run (kr.Total() == w),
+// splitting the record at the uint32 counter boundary exactly where
+// the weight splits.
+func (cc *chunkCompressor) addKindRun(id uint64, w uint32, kr KindRun) {
+	if w == 0 {
+		return
+	}
+	cc.c.accesses += uint64(w)
+	if n := len(cc.c.ids); n > 0 && cc.c.ids[n-1] == id && cc.c.runs[n-1] < math.MaxUint32 {
+		space := math.MaxUint32 - cc.c.runs[n-1]
+		if w <= space {
+			cc.c.runs[n-1] += w
+			cc.c.kinds[n-1] = mergeKind(cc.c.kinds[n-1], kr)
+			return
+		}
+		var front KindRun
+		front, kr = splitKindRun(kr, space)
+		cc.c.runs[n-1] = math.MaxUint32
+		cc.c.kinds[n-1] = mergeKind(cc.c.kinds[n-1], front)
+		w -= space
+	}
+	cc.c.ids = append(cc.c.ids, id)
+	cc.c.runs = append(cc.c.runs, w)
+	cc.c.kinds = append(cc.c.kinds, kr)
 }
 
 // finish computes the edge spans and the interior shard partials.
@@ -174,28 +220,45 @@ func (cc *chunkCompressor) finish(log int, sc *ingestScratch) *runChunk {
 	mask := uint64(1<<log - 1)
 	for i := head; i < tail; i++ {
 		id, w := c.ids[i], c.runs[i]
+		var kr KindRun
+		if cc.kinds {
+			kr = c.kinds[i]
+		}
 		t := id & mask
 		sid := id >> uint(log)
 		pi := sc.index[t]
 		if pi < 0 {
 			pi = int32(len(c.partials))
 			sc.index[t] = pi
-			c.partials = append(c.partials, shardPartial{
+			p := shardPartial{
 				shard: t, headID: sid, headW: []uint32{w}, inHead: true,
-			})
+			}
+			if cc.kinds {
+				p.headK = []KindRun{kr}
+			}
+			c.partials = append(c.partials, p)
 			continue
 		}
 		p := &c.partials[pi]
 		if p.inHead && sid == p.headID {
 			p.headW = append(p.headW, w)
+			if cc.kinds {
+				p.headK = append(p.headK, kr)
+			}
 			continue
 		}
 		p.inHead = false
 		if m := len(p.ids); m > 0 && p.ids[m-1] == sid && uint64(p.runs[m-1])+uint64(w) <= math.MaxUint32 {
 			p.runs[m-1] += w
+			if cc.kinds {
+				p.kinds[m-1] = mergeKind(p.kinds[m-1], kr)
+			}
 		} else {
 			p.ids = append(p.ids, sid)
 			p.runs = append(p.runs, w)
+			if cc.kinds {
+				p.kinds = append(p.kinds, kr)
+			}
 		}
 	}
 	// Reset the scratch index for the worker's next chunk.
@@ -209,15 +272,16 @@ func (cc *chunkCompressor) finish(log int, sc *ingestScratch) *runChunk {
 // global parent stream plus the per-shard streams, with the serial
 // state machines applied exactly at the chunk edges.
 type shardStitcher struct {
-	ss   *ShardStream
-	log  uint
-	mask uint64
+	ss    *ShardStream
+	log   uint
+	mask  uint64
+	kinds bool
 	// fed is the count of parent runs already consumed by the shard
 	// fill machine.
 	fed int
 }
 
-func newShardStitcher(blockSize, log int) *shardStitcher {
+func newShardStitcher(blockSize, log int, kinds bool) *shardStitcher {
 	n := 1 << log
 	ss := &ShardStream{
 		BlockSize: blockSize,
@@ -225,23 +289,36 @@ func newShardStitcher(blockSize, log int) *shardStitcher {
 		Source:    &BlockStream{BlockSize: blockSize},
 		Shards:    make([]BlockStream, n),
 	}
+	if kinds {
+		ss.Source.Kinds = []KindRun{}
+	}
 	for t := range ss.Shards {
 		ss.Shards[t].BlockSize = blockSize << uint(log)
+		if kinds {
+			ss.Shards[t].Kinds = []KindRun{}
+		}
 	}
-	return &shardStitcher{ss: ss, log: uint(log), mask: uint64(n - 1)}
+	return &shardStitcher{ss: ss, log: uint(log), mask: uint64(n - 1), kinds: kinds}
 }
 
-// shardFeed applies ShardBlockStream's fill rule for one parent run.
-func (st *shardStitcher) shardFeed(id uint64, w uint32) {
+// shardFeed applies ShardBlockStream's fill rule for one parent run;
+// kr is the run's kind record in kind mode.
+func (st *shardStitcher) shardFeed(id uint64, w uint32, kr KindRun) {
 	sh := &st.ss.Shards[id&st.mask]
 	sid := id >> st.log
 	sh.Accesses += uint64(w)
 	if n := len(sh.IDs); n > 0 && sh.IDs[n-1] == sid && uint64(sh.Runs[n-1])+uint64(w) <= math.MaxUint32 {
 		sh.Runs[n-1] += w
+		if st.kinds {
+			sh.Kinds[n-1] = mergeKind(sh.Kinds[n-1], kr)
+		}
 		return
 	}
 	sh.IDs = append(sh.IDs, sid)
 	sh.Runs = append(sh.Runs, w)
+	if st.kinds {
+		sh.Kinds = append(sh.Kinds, kr)
+	}
 }
 
 // feedParent runs the shard fill machine over parent runs [fed, k),
@@ -249,9 +326,23 @@ func (st *shardStitcher) shardFeed(id uint64, w uint32) {
 func (st *shardStitcher) feedParent(k int) {
 	p := st.ss.Source
 	for i := st.fed; i < k; i++ {
-		st.shardFeed(p.IDs[i], p.Runs[i])
+		var kr KindRun
+		if st.kinds {
+			kr = p.Kinds[i]
+		}
+		st.shardFeed(p.IDs[i], p.Runs[i], kr)
 	}
 	st.fed = k
+}
+
+// appendEdge replays one chunk-edge parent run through the per-access
+// tail machine (the kind-preserving one in kind mode).
+func (st *shardStitcher) appendEdge(c *runChunk, i int) {
+	if st.kinds {
+		st.ss.Source.appendKindRun(c.ids[i], c.kinds[i])
+	} else {
+		st.ss.Source.appendRun(c.ids[i], c.runs[i])
+	}
 }
 
 // add appends one chunk in stream order.
@@ -259,7 +350,7 @@ func (st *shardStitcher) add(c *runChunk) {
 	p := st.ss.Source
 	// Leading edge: per-access semantics against the global tail.
 	for i := 0; i < c.head; i++ {
-		p.appendRun(c.ids[i], c.runs[i])
+		st.appendEdge(c, i)
 	}
 	if c.tail > c.head {
 		// The interior's first run has a different ID from the head
@@ -268,6 +359,9 @@ func (st *shardStitcher) add(c *runChunk) {
 		st.feedParent(len(p.IDs))
 		p.IDs = append(p.IDs, c.ids[c.head:c.tail]...)
 		p.Runs = append(p.Runs, c.runs[c.head:c.tail]...)
+		if st.kinds {
+			p.Kinds = append(p.Kinds, c.kinds[c.head:c.tail]...)
+		}
 		for _, w := range c.runs[c.head:c.tail] {
 			p.Accesses += uint64(w)
 		}
@@ -278,11 +372,18 @@ func (st *shardStitcher) add(c *runChunk) {
 			sp := &c.partials[pi]
 			sh := &st.ss.Shards[sp.shard]
 			pid := sp.headID<<st.log | sp.shard
-			for _, w := range sp.headW {
-				st.shardFeed(pid, w)
+			for j, w := range sp.headW {
+				var kr KindRun
+				if st.kinds {
+					kr = sp.headK[j]
+				}
+				st.shardFeed(pid, w, kr)
 			}
 			sh.IDs = append(sh.IDs, sp.ids...)
 			sh.Runs = append(sh.Runs, sp.runs...)
+			if st.kinds {
+				sh.Kinds = append(sh.Kinds, sp.kinds...)
+			}
 			for _, w := range sp.runs {
 				sh.Accesses += uint64(w)
 			}
@@ -293,7 +394,7 @@ func (st *shardStitcher) add(c *runChunk) {
 	// per-access semantics; fed to the shard machine once a later chunk
 	// or finish finalizes it.
 	for i := max(c.tail, c.head); i < len(c.ids); i++ {
-		p.appendRun(c.ids[i], c.runs[i])
+		st.appendEdge(c, i)
 	}
 }
 
@@ -318,7 +419,7 @@ type ingestResult struct {
 // ingestPipeline drives produce → compress workers → ordered stitcher.
 // produce emits jobs with consecutive seq from 0 and may stop early
 // when the abort flag is set (a downstream error).
-func ingestPipeline(blockSize, log, workers int,
+func ingestPipeline(blockSize, log, workers int, kinds bool,
 	produce func(emit func(ingestJob), abort *atomic.Bool) error) (*ShardStream, error) {
 	if blockSize < 1 || blockSize&(blockSize-1) != 0 {
 		return nil, fmt.Errorf("trace: block size must be a positive power of two, got %d", blockSize)
@@ -357,7 +458,7 @@ func ingestPipeline(blockSize, log, workers int,
 		close(results)
 	}()
 
-	st := newShardStitcher(blockSize, log)
+	st := newShardStitcher(blockSize, log, kinds)
 	pending := map[int]*runChunk{}
 	next := 0
 	var firstErr error
@@ -400,12 +501,21 @@ func ingestPipeline(blockSize, log, workers int,
 // GOMAXPROCS. For .din input prefer IngestDinShards (or
 // IngestFileShards), which also parallelizes the text decode itself.
 func IngestShards(r Reader, blockSize, log, workers int) (*ShardStream, error) {
-	return ingestReaderChunks(r, blockSize, log, workers, defaultIngestChunk)
+	return ingestReaderChunks(r, blockSize, log, workers, defaultIngestChunk, false)
 }
 
-func ingestReaderChunks(r Reader, blockSize, log, workers, chunkSize int) (*ShardStream, error) {
+// IngestShardsWithKinds is IngestShards with the kind-preserving
+// channel materialized on the parent stream and every shard. The ID
+// and run columns are bit-identical to the kind-free ingest (and to
+// ShardBlockStream over MaterializeBlockStreamWithKinds); accesses
+// with invalid kinds are rejected.
+func IngestShardsWithKinds(r Reader, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestReaderChunks(r, blockSize, log, workers, defaultIngestChunk, true)
+}
+
+func ingestReaderChunks(r Reader, blockSize, log, workers, chunkSize int, kinds bool) (*ShardStream, error) {
 	off := blockShift(blockSize)
-	return ingestPipeline(blockSize, log, workers, func(emit func(ingestJob), abort *atomic.Bool) error {
+	return ingestPipeline(blockSize, log, workers, kinds, func(emit func(ingestJob), abort *atomic.Bool) error {
 		br := Batch(r)
 		seq := 0
 		for !abort.Load() {
@@ -423,9 +533,18 @@ func ingestReaderChunks(r Reader, blockSize, log, workers, chunkSize int) (*Shar
 			if filled > 0 {
 				accs := buf[:filled]
 				emit(ingestJob{seq: seq, run: func(sc *ingestScratch) (*runChunk, error) {
-					cc := &chunkCompressor{}
-					for _, a := range accs {
-						cc.add(a.Addr>>off, 1)
+					cc := &chunkCompressor{kinds: kinds}
+					if kinds {
+						for _, a := range accs {
+							if !a.Kind.Valid() {
+								return nil, fmt.Errorf("trace: invalid access kind %v at address %#x", a.Kind, a.Addr)
+							}
+							cc.addAccess(a.Addr>>off, a.Kind)
+						}
+					} else {
+						for _, a := range accs {
+							cc.add(a.Addr>>off, 1)
+						}
 					}
 					return cc.finish(log, sc), nil
 				}})
@@ -445,15 +564,25 @@ func ingestReaderChunks(r Reader, blockSize, log, workers, chunkSize int) (*Shar
 // ingestWeightedChunks is the test entry feeding pre-weighted (id, run)
 // columns through the pipeline machinery, one chunk per column pair —
 // the only way to exercise uint32 run-overflow splits without decoding
-// billions of accesses.
-func ingestWeightedChunks(blockSize, log, workers int, ids [][]uint64, runs [][]uint32) (*ShardStream, error) {
-	return ingestPipeline(blockSize, log, workers, func(emit func(ingestJob), abort *atomic.Bool) error {
+// billions of accesses. kinds, when non-nil, parallels runs and runs
+// the pipeline in kind mode (each record's Total must equal its run
+// weight).
+func ingestWeightedChunks(blockSize, log, workers int, ids [][]uint64, runs [][]uint32, kinds [][]KindRun) (*ShardStream, error) {
+	return ingestPipeline(blockSize, log, workers, kinds != nil, func(emit func(ingestJob), abort *atomic.Bool) error {
 		for seq := range ids {
 			cids, cruns := ids[seq], runs[seq]
+			var ckinds []KindRun
+			if kinds != nil {
+				ckinds = kinds[seq]
+			}
 			emit(ingestJob{seq: seq, run: func(sc *ingestScratch) (*runChunk, error) {
-				cc := &chunkCompressor{}
+				cc := &chunkCompressor{kinds: ckinds != nil}
 				for i := range cids {
-					cc.add(cids[i], cruns[i])
+					if ckinds != nil {
+						cc.addKindRun(cids[i], cruns[i], ckinds[i])
+					} else {
+						cc.add(cids[i], cruns[i])
+					}
 				}
 				return cc.finish(log, sc), nil
 			}})
@@ -469,15 +598,22 @@ func ingestWeightedChunks(blockSize, log, workers int, ids [][]uint64, runs [][]
 // error line numbers) match NewDinReader; results are bit-identical to
 // the serial materialize-then-shard path.
 func IngestDinShards(r io.Reader, blockSize, log, workers int) (*ShardStream, error) {
-	return ingestDinChunks(r, blockSize, log, workers, ingestDinChunkBytes)
+	return ingestDinChunks(r, blockSize, log, workers, ingestDinChunkBytes, false)
 }
 
-func ingestDinChunks(r io.Reader, blockSize, log, workers, chunkBytes int) (*ShardStream, error) {
+// IngestDinShardsWithKinds is IngestDinShards with the kind-preserving
+// channel: the .din label column, already parsed for validation, is
+// retained per run instead of dropped.
+func IngestDinShardsWithKinds(r io.Reader, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestDinChunks(r, blockSize, log, workers, ingestDinChunkBytes, true)
+}
+
+func ingestDinChunks(r io.Reader, blockSize, log, workers, chunkBytes int, kinds bool) (*ShardStream, error) {
 	if blockSize < 1 || blockSize&(blockSize-1) != 0 {
 		return nil, fmt.Errorf("trace: block size must be a positive power of two, got %d", blockSize)
 	}
 	off := blockShift(blockSize)
-	return ingestPipeline(blockSize, log, workers, func(emit func(ingestJob), abort *atomic.Bool) error {
+	return ingestPipeline(blockSize, log, workers, kinds, func(emit func(ingestJob), abort *atomic.Bool) error {
 		var rem []byte
 		seq := 0
 		startLine := 1
@@ -486,7 +622,7 @@ func ingestDinChunks(r io.Reader, blockSize, log, workers, chunkBytes int) (*Sha
 			base := startLine
 			startLine += lines
 			emit(ingestJob{seq: seq, run: func(sc *ingestScratch) (*runChunk, error) {
-				return parseDinChunk(b, base, off, log, sc)
+				return parseDinChunk(b, base, off, log, kinds, sc)
 			}})
 			seq++
 		}
@@ -522,8 +658,8 @@ func ingestDinChunks(r io.Reader, blockSize, log, workers, chunkBytes int) (*Sha
 // parseDinChunk parses whole .din lines from b (the producer cuts at
 // line boundaries) with the same zero-allocation field split as
 // DinReader, feeding block IDs straight into the chunk compressor.
-func parseDinChunk(b []byte, startLine int, off uint, log int, sc *ingestScratch) (*runChunk, error) {
-	cc := &chunkCompressor{}
+func parseDinChunk(b []byte, startLine int, off uint, log int, kinds bool, sc *ingestScratch) (*runChunk, error) {
+	cc := &chunkCompressor{kinds: kinds}
 	line := startLine - 1
 	for len(b) > 0 {
 		var ln []byte
@@ -555,7 +691,11 @@ func parseDinChunk(b []byte, startLine int, off uint, log int, sc *ingestScratch
 		if !ok {
 			return nil, fmt.Errorf("trace: din line %d: bad address %q", line, ln[addrStart:addrEnd])
 		}
-		cc.add(addr>>off, 1)
+		if kinds {
+			cc.addAccess(addr>>off, Kind(label))
+		} else {
+			cc.add(addr>>off, 1)
+		}
 	}
 	return cc.finish(log, sc), nil
 }
@@ -564,6 +704,16 @@ func parseDinChunk(b []byte, startLine int, off uint, log int, sc *ingestScratch
 // ".gz") and ingests it sharded: the chunk-parallel text parser for
 // .din files, the pipelined generic decode for everything else.
 func IngestFileShards(name string, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestFileShards(name, blockSize, log, workers, false)
+}
+
+// IngestFileShardsWithKinds is IngestFileShards with the
+// kind-preserving channel.
+func IngestFileShardsWithKinds(name string, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestFileShards(name, blockSize, log, workers, true)
+}
+
+func ingestFileShards(name string, blockSize, log, workers int, kinds bool) (*ShardStream, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		return nil, err
@@ -579,7 +729,14 @@ func IngestFileShards(name string, blockSize, log, workers int) (*ShardStream, e
 		src = gz
 	}
 	if DetectFormat(name) == FormatBin {
-		return IngestShards(NewBinReader(bufio.NewReader(src)), blockSize, log, workers)
+		r := NewBinReader(bufio.NewReader(src))
+		if kinds {
+			return IngestShardsWithKinds(r, blockSize, log, workers)
+		}
+		return IngestShards(r, blockSize, log, workers)
+	}
+	if kinds {
+		return IngestDinShardsWithKinds(src, blockSize, log, workers)
 	}
 	return IngestDinShards(src, blockSize, log, workers)
 }

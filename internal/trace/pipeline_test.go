@@ -42,6 +42,22 @@ func sameBlockStream(t *testing.T, label string, got, want *BlockStream) {
 			t.Fatalf("%s: run %d = (%d, %d), want (%d, %d)", label, i, got.IDs[i], got.Runs[i], want.IDs[i], want.Runs[i])
 		}
 	}
+	if got.HasKinds() != want.HasKinds() {
+		t.Fatalf("%s: kind channel present %v, want %v", label, got.HasKinds(), want.HasKinds())
+	}
+	if want.HasKinds() {
+		if len(got.Kinds) != len(got.IDs) || len(want.Kinds) != len(want.IDs) {
+			t.Fatalf("%s: kind column length %d/%d, runs %d", label, len(got.Kinds), len(want.Kinds), len(want.IDs))
+		}
+		for i := range got.Kinds {
+			if got.Kinds[i] != want.Kinds[i] {
+				t.Fatalf("%s: run %d kinds = %+v, want %+v", label, i, got.Kinds[i], want.Kinds[i])
+			}
+			if got.Kinds[i].Total() != uint64(got.Runs[i]) {
+				t.Fatalf("%s: run %d kind total %d != weight %d", label, i, got.Kinds[i].Total(), got.Runs[i])
+			}
+		}
+	}
 }
 
 func sameShardStream(t *testing.T, got, want *ShardStream) {
@@ -93,7 +109,7 @@ func TestIngestShardsMatchesSerial(t *testing.T) {
 			for _, log := range []int{0, 1, 3, 5} {
 				want := serialShards(t, tr, block, log)
 				for _, chunk := range []int{1, 3, 64, 4096} {
-					got, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 4, chunk)
+					got, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 4, chunk, false)
 					if err != nil {
 						t.Fatalf("n=%d block=%d log=%d chunk=%d: %v", n, block, log, chunk, err)
 					}
@@ -101,6 +117,56 @@ func TestIngestShardsMatchesSerial(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// serialKindShards is the kind-preserving oracle: materialize with
+// kinds, then shard.
+func serialKindShards(t *testing.T, tr Trace, blockSize, log int) *ShardStream {
+	t.Helper()
+	bs, err := tr.BlockStreamWithKinds(blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := ShardBlockStream(bs, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+func TestIngestShardsWithKindsMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{0, 1, 5, 1000, 20000} {
+		tr := pipelineTrace(rng, n)
+		for _, block := range []int{1, 4, 32} {
+			for _, log := range []int{0, 2, 4} {
+				want := serialKindShards(t, tr, block, log)
+				// The kind channel is a strict superset: the weight
+				// columns must match the kind-free materialization.
+				kindFree := serialShards(t, tr, block, log)
+				if len(want.Source.IDs) != len(kindFree.Source.IDs) {
+					t.Fatalf("kind channel changed run count: %d vs %d", len(want.Source.IDs), len(kindFree.Source.IDs))
+				}
+				for _, chunk := range []int{1, 3, 64, 4096} {
+					got, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 4, chunk, true)
+					if err != nil {
+						t.Fatalf("n=%d block=%d log=%d chunk=%d: %v", n, block, log, chunk, err)
+					}
+					sameShardStream(t, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIngestWithKindsRejectsInvalidKind(t *testing.T) {
+	tr := Trace{{Addr: 4, Kind: DataRead}, {Addr: 8, Kind: Kind(7)}}
+	if _, err := IngestShardsWithKinds(tr.NewSliceReader(), 4, 1, 2); err == nil {
+		t.Error("want error for invalid kind on ingest path")
+	}
+	if _, err := tr.BlockStreamWithKinds(4); err == nil {
+		t.Error("want error for invalid kind on materialize path")
 	}
 }
 
@@ -127,7 +193,7 @@ func TestIngestWeightedOverflow(t *testing.T) {
 		for cut := 0; cut <= len(ids); cut++ {
 			got, err := ingestWeightedChunks(4, log, 3,
 				[][]uint64{ids[:cut], ids[cut:]},
-				[][]uint32{runs[:cut], runs[cut:]})
+				[][]uint32{runs[:cut], runs[cut:]}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -139,7 +205,7 @@ func TestIngestWeightedOverflow(t *testing.T) {
 			cids = append(cids, ids[i:i+1])
 			cruns = append(cruns, runs[i:i+1])
 		}
-		got, err := ingestWeightedChunks(4, log, 3, cids, cruns)
+		got, err := ingestWeightedChunks(4, log, 3, cids, cruns, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,11 +233,24 @@ func TestIngestDinMatchesSerial(t *testing.T) {
 	text := dinText(tr)
 	want := serialShards(t, tr, 16, 2)
 	for _, chunkBytes := range []int{1, 7, 100, 1 << 12} {
-		got, err := ingestDinChunks(bytes.NewReader(text), 16, 2, 4, chunkBytes)
+		got, err := ingestDinChunks(bytes.NewReader(text), 16, 2, 4, chunkBytes, false)
 		if err != nil {
 			t.Fatalf("chunkBytes=%d: %v", chunkBytes, err)
 		}
 		sameShardStream(t, got, want)
+	}
+
+	// Kind-preserving variant: the din labels carry the kinds through.
+	wantK := serialKindShards(t, tr, 16, 2)
+	for _, chunkBytes := range []int{7, 1 << 12} {
+		got, err := ingestDinChunks(bytes.NewReader(text), 16, 2, 4, chunkBytes, true)
+		if err != nil {
+			t.Fatalf("kinds chunkBytes=%d: %v", chunkBytes, err)
+		}
+		sameShardStream(t, got, wantK)
+	}
+	if _, err := IngestDinShardsWithKinds(bytes.NewReader(text), 16, 2, 4); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -182,7 +261,7 @@ func TestIngestDinBlankAndPrefixes(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := serialShards(t, r, 4, 1)
-	got, err := ingestDinChunks(strings.NewReader(text), 4, 1, 2, 5)
+	got, err := ingestDinChunks(strings.NewReader(text), 4, 1, 2, 5, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +270,7 @@ func TestIngestDinBlankAndPrefixes(t *testing.T) {
 
 func TestIngestDinErrorLineNumbers(t *testing.T) {
 	text := "2 40\n1 80\nbogus line\n2 c0\n"
-	_, err := ingestDinChunks(strings.NewReader(text), 4, 1, 2, 6)
+	_, err := ingestDinChunks(strings.NewReader(text), 4, 1, 2, 6, false)
 	if err == nil {
 		t.Fatal("want parse error")
 	}
@@ -230,6 +309,12 @@ func TestIngestFileShards(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		sameShardStream(t, got, want)
+
+		gotK, err := IngestFileShardsWithKinds(path, 8, 2, 0)
+		if err != nil {
+			t.Fatalf("%s with kinds: %v", name, err)
+		}
+		sameShardStream(t, gotK, serialKindShards(t, tr, 8, 2))
 	}
 
 	if _, err := IngestFileShards(filepath.Join(dir, "missing.din"), 8, 2, 0); err == nil {
@@ -253,10 +338,43 @@ func TestIngestShardsRejectsBadArgs(t *testing.T) {
 	}
 }
 
+// testKindRun derives a kind record of total weight w from a fuzzer
+// selector byte, covering single-kind runs, store-led mixes (Lead > 0)
+// and non-store-led mixes.
+func testKindRun(sel uint8, w uint32) KindRun {
+	var kr KindRun
+	if w == 0 {
+		return kr
+	}
+	switch sel % 5 {
+	case 0:
+		kr.addSpan(DataRead, w)
+	case 1:
+		kr.addSpan(DataWrite, w)
+	case 2:
+		kr.addSpan(IFetch, w)
+	case 3:
+		lead := w / 2
+		kr.addSpan(DataWrite, lead)
+		if rest := w - lead; rest > 0 {
+			kr.addSpan(DataRead, (rest+1)/2)
+			kr.addSpan(IFetch, rest/2)
+		}
+	default:
+		h := (w + 1) / 2
+		kr.addSpan(IFetch, h)
+		kr.addSpan(DataWrite, w-h)
+	}
+	return kr
+}
+
 // FuzzIngestShards cross-checks the chunk-parallel pipeline against the
 // serial decode over fuzzer-chosen traces, chunk sizes and shard
 // levels, including the weighted path that can reach uint32 overflow
-// splits at chunk boundaries.
+// splits at chunk boundaries. Both the kind-free and the kind-preserving
+// channels are checked; the weighted kind path crafts near-MaxUint32
+// per-kind weights so splits land inside kind records at chunk and merge
+// boundaries.
 func FuzzIngestShards(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 200, 200, 200, 7}, uint8(2), uint8(3), uint8(1))
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 9}, uint8(0), uint8(1), uint8(0))
@@ -268,18 +386,20 @@ func FuzzIngestShards(f *testing.F) {
 
 		// Interpret the bytes as a trace: each byte is an address step,
 		// with high values repeating the previous block to build runs.
+		// Kinds cycle through all three so runs mix kinds.
 		tr := make(Trace, 0, len(data))
 		addr := uint64(0)
-		for _, b := range data {
+		for j, b := range data {
+			k := Kind((uint64(b) + uint64(j)) % 3)
 			if b >= 192 {
 				// repeat previous address (b-191) times
 				for i := 0; i < int(b-191); i++ {
-					tr = append(tr, Access{Addr: addr})
+					tr = append(tr, Access{Addr: addr, Kind: k})
 				}
 				continue
 			}
 			addr += uint64(b)
-			tr = append(tr, Access{Addr: addr})
+			tr = append(tr, Access{Addr: addr, Kind: k})
 		}
 
 		bs, err := tr.BlockStream(block)
@@ -290,16 +410,27 @@ func FuzzIngestShards(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 3, chunk)
+		got, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 3, chunk, false)
 		if err != nil {
 			t.Fatal(err)
 		}
 		sameShardStream(t, got, want)
 
+		// Per-access kind path against the serial kind machine.
+		wantK := serialKindShards(t, tr, block, log)
+		gotK, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 3, chunk, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameShardStream(t, gotK, wantK)
+
 		// Weighted path: reinterpret byte pairs as (id, weight) with
 		// weights pushed up near the uint32 limit, split into chunks.
+		// Each run also gets a crafted kind record of the same total so
+		// the kind-preserving weighted path sees splits inside records.
 		var wids []uint64
 		var wruns []uint32
+		var wkinds []KindRun
 		for i := 0; i+1 < len(data); i += 2 {
 			w := uint32(data[i+1])
 			if w >= 128 {
@@ -307,6 +438,7 @@ func FuzzIngestShards(f *testing.F) {
 			}
 			wids = append(wids, uint64(data[i]%32))
 			wruns = append(wruns, w)
+			wkinds = append(wkinds, testKindRun(data[i]/32, w))
 		}
 		parent := &BlockStream{BlockSize: block}
 		for i := range wids {
@@ -318,15 +450,33 @@ func FuzzIngestShards(f *testing.F) {
 		}
 		var cids [][]uint64
 		var cruns [][]uint32
+		ckinds := [][]KindRun{} // non-nil: kind mode even with zero chunks
 		for i := 0; i < len(wids); i += chunk {
 			end := min(i+chunk, len(wids))
 			cids = append(cids, wids[i:end])
 			cruns = append(cruns, wruns[i:end])
+			ckinds = append(ckinds, wkinds[i:end])
 		}
-		gotW, err := ingestWeightedChunks(block, log, 3, cids, cruns)
+		gotW, err := ingestWeightedChunks(block, log, 3, cids, cruns, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		sameShardStream(t, gotW, wantW)
+
+		// Kind-preserving weighted oracle: one serial appendKindRun
+		// machine, then the shard partition.
+		parentK := &BlockStream{BlockSize: block, Kinds: []KindRun{}}
+		for i := range wids {
+			parentK.appendKindRun(wids[i], wkinds[i])
+		}
+		wantWK, err := ShardBlockStream(parentK, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotWK, err := ingestWeightedChunks(block, log, 3, cids, cruns, ckinds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameShardStream(t, gotWK, wantWK)
 	})
 }

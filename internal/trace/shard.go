@@ -138,15 +138,22 @@ func ShardBlockStream(bs *BlockStream, log int) (*ShardStream, error) {
 		Shards:    make([]BlockStream, n),
 	}
 
+	kinds := bs.Kinds != nil
 	for t := 0; t < n; t++ {
 		ss.Shards[t] = BlockStream{
 			BlockSize: bs.BlockSize << uint(log),
 			IDs:       make([]uint64, 0, counts[t]),
 			Runs:      make([]uint32, 0, counts[t]),
 		}
+		if kinds {
+			ss.Shards[t].Kinds = make([]KindRun, 0, counts[t])
+		}
 	}
 
 	// Fill pass: identical merge decisions, now writing the columns.
+	// The kind channel follows the weight merges: a parent run either
+	// merges whole into the shard tail (concatenating kind records) or
+	// appends whole, so shard paths never split a record.
 	for i, id := range bs.IDs {
 		t := id & mask
 		sid := id >> uint(log)
@@ -156,10 +163,16 @@ func ShardBlockStream(bs *BlockStream, log int) (*ShardStream, error) {
 		if last := len(sh.IDs) - 1; last >= 0 && sh.IDs[last] == sid &&
 			uint64(sh.Runs[last])+uint64(w) <= math.MaxUint32 {
 			sh.Runs[last] += w
+			if kinds {
+				sh.Kinds[last] = mergeKind(sh.Kinds[last], bs.Kinds[i])
+			}
 			continue
 		}
 		sh.IDs = append(sh.IDs, sid)
 		sh.Runs = append(sh.Runs, w)
+		if kinds {
+			sh.Kinds = append(sh.Kinds, bs.Kinds[i])
+		}
 	}
 	return ss, nil
 }

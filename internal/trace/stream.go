@@ -34,10 +34,17 @@ import (
 // no replacement state, so replaying "ID × weight" is bit-identical to
 // replaying the expanded accesses.
 //
-// Kinds are not retained: a run may collapse accesses of different
-// kinds, and none of the replacement policies simulated here consult
-// the kind. Consumers needing per-kind statistics must replay the raw
-// trace.
+// Kinds are optional: none of the replacement policies simulated here
+// consult the request kind, so the default materialization drops kinds
+// and a run may collapse accesses of different kinds. Consumers that
+// need per-kind statistics or write-policy semantics (refsim's
+// write/alloc axes, the energy model's read/write split) materialize
+// the stream with the kind-preserving channel instead
+// (MaterializeBlockStreamWithKinds, IngestShardsWithKinds): a parallel
+// Kinds column records each run's per-kind weights plus the ordering a
+// write-policy replay needs (see KindRun). The channel is a strict
+// superset — the ID and run columns are bit-identical either way — and
+// every pipeline stage (fold, shard, ingest stitching) preserves it.
 type BlockStream struct {
 	// BlockSize is the block size in bytes the stream was materialized
 	// at (a positive power of two).
@@ -47,9 +54,17 @@ type BlockStream struct {
 	// Runs holds the run length of each ID, parallel to IDs; every
 	// entry is at least 1.
 	Runs []uint32
+	// Kinds is the optional kind-preserving channel, parallel to IDs;
+	// nil when the stream was materialized without kinds. When present,
+	// Kinds[i].Total() == Runs[i].
+	Kinds []KindRun
 	// Accesses is the total access count, the sum over Runs.
 	Accesses uint64
 }
+
+// HasKinds reports whether the stream carries the kind-preserving
+// channel.
+func (b *BlockStream) HasKinds() bool { return b.Kinds != nil }
 
 // Len returns the number of runs in the stream.
 func (b *BlockStream) Len() int { return len(b.IDs) }
@@ -64,6 +79,22 @@ func (b *BlockStream) CompressionRatio() float64 {
 	return float64(b.Accesses) / float64(len(b.IDs))
 }
 
+// KindTotals returns the stream's per-kind access totals, indexed by
+// Kind. All zeros when the stream carries no kind channel; otherwise
+// the totals sum to Accesses. Every configuration replaying the stream
+// sees the same request mix, so the totals are a property of the trace
+// — the energy model's read/write split prices stores from them
+// without any per-configuration kind bookkeeping.
+func (b *BlockStream) KindTotals() [3]uint64 {
+	var t [3]uint64
+	for i := range b.Kinds {
+		for k, w := range b.Kinds[i].W {
+			t[k] += uint64(w)
+		}
+	}
+	return t
+}
+
 // append adds one access's block ID, extending the current run when the
 // block repeats.
 func (b *BlockStream) append(id uint64) {
@@ -74,6 +105,58 @@ func (b *BlockStream) append(id uint64) {
 		b.Runs = append(b.Runs, 1)
 	}
 	b.Accesses++
+}
+
+// appendKind adds one access's block ID and kind, extending the
+// current run (and its kind record) when the block repeats.
+func (b *BlockStream) appendKind(id uint64, k Kind) {
+	if n := len(b.IDs); n > 0 && b.IDs[n-1] == id && b.Runs[n-1] < math.MaxUint32 {
+		b.Runs[n-1]++
+		b.Kinds[n-1].addSpan(k, 1)
+	} else {
+		b.IDs = append(b.IDs, id)
+		b.Runs = append(b.Runs, 1)
+		b.Kinds = append(b.Kinds, kindRunOf(k))
+	}
+	b.Accesses++
+}
+
+// appendKindRun appends a weighted kind run with exactly the per-access
+// semantics of appendKind over kr's canonical expansion: the tail run
+// grows until the uint32 counter saturates (splitting the kind record
+// at the same cut), then new runs are started greedily. It is the
+// kind-preserving counterpart of appendRun and the oracle the weighted
+// fuzz tests replay.
+func (b *BlockStream) appendKindRun(id uint64, kr KindRun) {
+	rem := kr.Total()
+	if rem == 0 {
+		return
+	}
+	b.Accesses += rem
+	if n := len(b.IDs); n > 0 && b.IDs[n-1] == id && b.Runs[n-1] < math.MaxUint32 {
+		space := uint64(math.MaxUint32 - b.Runs[n-1])
+		if rem <= space {
+			b.Runs[n-1] += uint32(rem)
+			b.Kinds[n-1] = mergeKind(b.Kinds[n-1], kr)
+			return
+		}
+		var front KindRun
+		front, kr = splitKindRun(kr, uint32(space))
+		b.Runs[n-1] = math.MaxUint32
+		b.Kinds[n-1] = mergeKind(b.Kinds[n-1], front)
+		rem -= space
+	}
+	for rem > math.MaxUint32 {
+		var front KindRun
+		front, kr = splitKindRun(kr, math.MaxUint32)
+		b.IDs = append(b.IDs, id)
+		b.Runs = append(b.Runs, math.MaxUint32)
+		b.Kinds = append(b.Kinds, front)
+		rem -= math.MaxUint32
+	}
+	b.IDs = append(b.IDs, id)
+	b.Runs = append(b.Runs, uint32(rem))
+	b.Kinds = append(b.Kinds, kr)
 }
 
 // MaterializeBlockStream drains the reader into a run-compressed block
@@ -96,7 +179,47 @@ func MaterializeBlockStream(r Reader, blockSize int) (*BlockStream, error) {
 	return bs, nil
 }
 
+// MaterializeBlockStreamWithKinds is MaterializeBlockStream with the
+// kind-preserving channel: the ID and run columns are bit-identical to
+// the kind-free materialization, and Kinds records each run's per-kind
+// weights and write-policy ordering. Accesses with invalid kinds are
+// rejected (the kind-free path tolerates them because it never reads
+// the kind).
+func MaterializeBlockStreamWithKinds(r Reader, blockSize int) (*BlockStream, error) {
+	if blockSize < 1 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("trace: block size must be a positive power of two, got %d", blockSize)
+	}
+	bs := &BlockStream{BlockSize: blockSize, Kinds: []KindRun{}}
+	off := uint(bits.TrailingZeros(uint(blockSize)))
+	var badKind error
+	err := Drain(r, func(batch []Access) {
+		if badKind != nil {
+			return
+		}
+		for _, a := range batch {
+			if !a.Kind.Valid() {
+				badKind = fmt.Errorf("trace: invalid access kind %v at address %#x", a.Kind, a.Addr)
+				return
+			}
+			bs.appendKind(a.Addr>>off, a.Kind)
+		}
+	})
+	if err == nil {
+		err = badKind
+	}
+	if err != nil {
+		return nil, err
+	}
+	return bs, nil
+}
+
 // BlockStream materializes the in-memory trace at the given block size.
 func (t Trace) BlockStream(blockSize int) (*BlockStream, error) {
 	return MaterializeBlockStream(t.NewSliceReader(), blockSize)
+}
+
+// BlockStreamWithKinds materializes the in-memory trace at the given
+// block size with the kind-preserving channel.
+func (t Trace) BlockStreamWithKinds(blockSize int) (*BlockStream, error) {
+	return MaterializeBlockStreamWithKinds(t.NewSliceReader(), blockSize)
 }

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"dew/internal/trace"
+)
+
+func TestKindMixRatios(t *testing.T) {
+	const n = 60000
+	g := NewKindMix(42, NewSequential(0x1000, 4, 1024, trace.DataRead), 6, 3, 1)
+	var counts [3]int
+	base := NewSequential(0x1000, 4, 1024, trace.DataRead)
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		if want := base.Next().Addr; a.Addr != want {
+			t.Fatalf("access %d: KindMix changed the address stream: %#x, want %#x", i, a.Addr, want)
+		}
+		counts[a.Kind]++
+	}
+	// Each kind's share must be near its weight share (±2%).
+	for k, want := range []float64{0.6, 0.3, 0.1} {
+		got := float64(counts[k]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("kind %v share %.3f, want ~%.2f", trace.Kind(k), got, want)
+		}
+	}
+
+	// Deterministic in the seed.
+	a := Take(NewKindMix(7, NewSequential(0, 4, 1024, trace.DataRead), 1, 1, 1), 500)
+	b := Take(NewKindMix(7, NewSequential(0, 4, 1024, trace.DataRead), 1, 1, 1), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("access %d differs across same-seed runs", i)
+		}
+	}
+
+	// A zero weight removes the kind entirely.
+	ro := NewKindMix(9, NewSequential(0, 4, 1024, trace.DataRead), 1, 0, 0)
+	for i := 0; i < 1000; i++ {
+		if k := ro.Next().Kind; k != trace.DataRead {
+			t.Fatalf("read-only mix produced kind %v", k)
+		}
+	}
+}
+
+func TestKindMixValidation(t *testing.T) {
+	for _, tc := range [][3]int{{-1, 1, 1}, {0, 0, 0}, {1, -2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weights %v accepted", tc)
+				}
+			}()
+			NewKindMix(1, NewSequential(0, 4, 1024, trace.DataRead), tc[0], tc[1], tc[2])
+		}()
+	}
+}

@@ -6,7 +6,10 @@
 // the fold-over-decode speedup and per-rung fold compression of the
 // block-size ladder (BenchmarkFoldLadder vs BenchmarkDecodeLadder),
 // the stream's measured per-workload run-compression ratios, the
-// host's core count (num_cpu — context for the parallel curves), and —
+// write-policy replay's stream-over-per-access speedup and the kind
+// channel's per-access memory cost (BenchmarkRefStreamWrite vs
+// BenchmarkRefAccessWrite), the host's core count (num_cpu — context
+// for the parallel curves), and —
 // when a seed baseline file is given — speedups against the seed
 // commit's single-access path. With -prev pointing at the previous
 // BENCH_core.json, that recording is compacted into the new file's
@@ -42,6 +45,9 @@ type run struct {
 	// FoldAddrPerRun holds BenchmarkFoldLadder's per-rung compression
 	// ratios, keyed "B8", "B16", ... (from addr/run/B<size> metrics).
 	FoldAddrPerRun map[string]float64 `json:"fold_addr_per_run,omitempty"`
+	// KindBPerAccess is BenchmarkRefStreamWrite's kind-channel memory
+	// cost per trace access (from the kindB/access metric).
+	KindBPerAccess float64 `json:"kind_b_per_access,omitempty"`
 }
 
 // series aggregates every run of one benchmark name.
@@ -53,6 +59,7 @@ type series struct {
 	AddrPerRunMean     float64            `json:"addr_per_run_mean,omitempty"`
 	BlocksPerSFastest  float64            `json:"blocks_per_s_fastest,omitempty"`
 	FoldAddrPerRun     map[string]float64 `json:"fold_addr_per_run,omitempty"`
+	KindBPerAccess     float64            `json:"kind_b_per_access,omitempty"`
 }
 
 // ratioBasis documents how the speedup maps of a recording were
@@ -76,6 +83,8 @@ type historyEntry struct {
 	SpeedupIngestOverSerial  map[string]float64            `json:"speedup_ingest_over_serial,omitempty"`
 	SpeedupFoldOverDecode    map[string]float64            `json:"speedup_fold_over_decode,omitempty"`
 	FoldCompression          map[string]map[string]float64 `json:"fold_compression,omitempty"`
+	SpeedupRefWriteStream    map[string]float64            `json:"speedup_refwrite_stream_over_access,omitempty"`
+	KindChannelBPerAccess    map[string]float64            `json:"kind_channel_bytes_per_access,omitempty"`
 	SpeedupVsSeed            map[string]float64            `json:"speedup_vs_seed,omitempty"`
 }
 
@@ -127,6 +136,17 @@ type output struct {
 	// ...), the folded stream's measured accesses-per-run ratio — the
 	// per-step compression of the fold ladder.
 	FoldCompression map[string]map[string]float64 `json:"fold_compression,omitempty"`
+	// SpeedupRefWriteStream is, per workload,
+	// ns_per_access(RefAccessWrite)/ns_per_access(RefStreamWrite): how
+	// much cheaper the write-policy reference replay is over the
+	// kind-preserving run stream than per access, both measured in this
+	// tree under write-through/no-write-allocate.
+	SpeedupRefWriteStream map[string]float64 `json:"speedup_refwrite_stream_over_access,omitempty"`
+	// KindChannelBPerAccess is, per workload, the kind channel's memory
+	// cost in bytes per trace access (kind-run records divided by
+	// accesses) — the footprint the write-policy stream path pays over
+	// the kind-free stream.
+	KindChannelBPerAccess map[string]float64 `json:"kind_channel_bytes_per_access,omitempty"`
 	// SeedBaseline echoes the committed baseline measurements of the
 	// seed commit's single-access path.
 	SeedBaseline json.RawMessage `json:"seed_baseline,omitempty"`
@@ -156,6 +176,8 @@ func (o *output) summarize() historyEntry {
 		SpeedupIngestOverSerial:  o.SpeedupIngestOverSerial,
 		SpeedupFoldOverDecode:    o.SpeedupFoldOverDecode,
 		FoldCompression:          o.FoldCompression,
+		SpeedupRefWriteStream:    o.SpeedupRefWriteStream,
+		KindChannelBPerAccess:    o.KindChannelBPerAccess,
 		SpeedupVsSeed:            o.SpeedupVsSeed,
 	}
 	if len(o.Benchmarks) > 0 {
@@ -226,6 +248,8 @@ func main() {
 				r.AddrPerRun = val
 			case "blocks/s":
 				r.BlocksPerS = val
+			case "kindB/access":
+				r.KindBPerAccess = val
 			default:
 				// addr/run/B<size>: one fold rung's compression ratio.
 				if rung, ok := strings.CutPrefix(unit, "addr/run/"); ok {
@@ -264,10 +288,14 @@ func main() {
 			if r.BlocksPerS > s.BlocksPerSFastest {
 				s.BlocksPerSFastest = r.BlocksPerS
 			}
-			// Fold-rung compression ratios are trace properties, not
-			// timings: identical across runs, so keep the last seen.
+			// Fold-rung compression ratios and the kind channel's
+			// per-access footprint are trace properties, not timings:
+			// identical across runs, so keep the last seen.
 			if r.FoldAddrPerRun != nil {
 				s.FoldAddrPerRun = r.FoldAddrPerRun
+			}
+			if r.KindBPerAccess > 0 {
+				s.KindBPerAccess = r.KindBPerAccess
 			}
 		}
 		s.NsPerOpMean = opSum / float64(len(s.Runs))
@@ -288,6 +316,8 @@ func main() {
 	out.SpeedupIngestOverSerial = map[string]float64{}
 	out.SpeedupFoldOverDecode = map[string]float64{}
 	out.FoldCompression = map[string]map[string]float64{}
+	out.SpeedupRefWriteStream = map[string]float64{}
+	out.KindChannelBPerAccess = map[string]float64{}
 	for name, s := range out.Benchmarks {
 		if app, ok := strings.CutPrefix(name, "BenchmarkAccessBatch/"); ok && s.NsPerAccessFastest > 0 {
 			if single, ok := out.Benchmarks["BenchmarkAccessSingle/"+app]; ok && single.NsPerAccessFastest > 0 {
@@ -312,6 +342,16 @@ func main() {
 					rungs[rung] = round2(ratio)
 				}
 				out.FoldCompression[app] = rungs
+			}
+		}
+		if app, ok := strings.CutPrefix(name, "BenchmarkRefStreamWrite/"); ok {
+			if s.NsPerAccessFastest > 0 {
+				if access, ok := out.Benchmarks["BenchmarkRefAccessWrite/"+app]; ok && access.NsPerAccessFastest > 0 {
+					out.SpeedupRefWriteStream[app] = round2(access.NsPerAccessFastest / s.NsPerAccessFastest)
+				}
+			}
+			if s.KindBPerAccess > 0 {
+				out.KindChannelBPerAccess[app] = round2(s.KindBPerAccess)
 			}
 		}
 		if app, ok := strings.CutPrefix(name, "BenchmarkIngestShards/"); ok && s.BlocksPerSFastest > 0 {
