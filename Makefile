@@ -33,3 +33,7 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzIngestShards -fuzztime 20s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzFoldBlockStream -fuzztime 20s
 	$(GO) test ./internal/refsim -run '^$$' -fuzz FuzzKindStreamWrite -fuzztime 20s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzDinCorrupt -fuzztime 20s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzBinCorrupt -fuzztime 20s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCheckpointResume -fuzztime 20s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCheckpointUnmarshal -fuzztime 20s

@@ -11,6 +11,7 @@ package dew
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"unsafe"
@@ -213,7 +214,7 @@ func BenchmarkAccessSharded(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					sh.Reset()
-					if err := sh.SimulateStream(ss); err != nil {
+					if err := sh.SimulateStream(context.Background(), ss); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -336,7 +337,7 @@ func BenchmarkIngestShards(b *testing.B) {
 			var accesses uint64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ss, err := trace.IngestDinShards(bytes.NewReader(text), benchAccessOpt.BlockSize, benchIngestLog, 0)
+				ss, err := trace.IngestDinShards(context.Background(), bytes.NewReader(text), benchAccessOpt.BlockSize, benchIngestLog, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -413,7 +414,7 @@ func BenchmarkAccessStreamLRU(b *testing.B) {
 func benchWriteSim(b *testing.B) *refsim.Simulator {
 	b.Helper()
 	sim, err := refsim.NewSim(refsim.Options{
-		Config:      cache.MustConfig(256, benchAccessOpt.Assoc, benchAccessOpt.BlockSize),
+		Config:      cache.Config{Sets: 256, Assoc: benchAccessOpt.Assoc, BlockSize: benchAccessOpt.BlockSize},
 		Replacement: cache.FIFO,
 		Write:       refsim.WriteThrough,
 		Alloc:       refsim.NoWriteAllocate,
@@ -543,7 +544,7 @@ func BenchmarkSweepCellWorkers(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			r := sweep.Runner{Workers: workers}
 			for i := 0; i < b.N; i++ {
-				if _, err := r.RunCellTrace(p, tr); err != nil {
+				if _, err := r.RunCellTrace(context.Background(), p, tr); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -567,7 +568,7 @@ func BenchmarkTable3Reference(b *testing.B) {
 						cmps = 0
 						for log := 0; log <= benchMaxLog; log++ {
 							for _, a := range []int{1, assoc} {
-								cfg := cache.MustConfig(1<<log, a, block)
+								cfg := cache.Config{Sets: 1 << log, Assoc: a, BlockSize: block}
 								stats, err := refsim.RunTrace(cfg, cache.FIFO, tr)
 								if err != nil {
 									b.Fatal(err)
@@ -627,7 +628,7 @@ func BenchmarkFigure5Speedup(b *testing.B) {
 				p := sweep.Params{App: app, BlockSize: block, Assoc: 4, MaxLogSets: benchMaxLog}
 				var speedup float64
 				for i := 0; i < b.N; i++ {
-					cell, err := (sweep.Runner{}).RunCellTrace(p, tr)
+					cell, err := (sweep.Runner{}).RunCellTrace(context.Background(), p, tr)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -650,7 +651,7 @@ func BenchmarkFigure6ComparisonReduction(b *testing.B) {
 				p := sweep.Params{App: app, BlockSize: block, Assoc: 4, MaxLogSets: benchMaxLog}
 				var red float64
 				for i := 0; i < b.N; i++ {
-					cell, err := (sweep.Runner{}).RunCellTrace(p, tr)
+					cell, err := (sweep.Runner{}).RunCellTrace(context.Background(), p, tr)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -710,7 +711,10 @@ func BenchmarkLRUTreeVsDEW(b *testing.B) {
 	})
 	b.Run("Tree-LRU", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			sim := lrutree.MustNew(lrutree.Options{MaxLogSets: benchMaxLog, Assoc: 4, BlockSize: 16})
+			sim, err := lrutree.New(lrutree.Options{MaxLogSets: benchMaxLog, Assoc: 4, BlockSize: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
 			if err := sim.Simulate(tr.NewSliceReader()); err != nil {
 				b.Fatal(err)
 			}

@@ -3,20 +3,14 @@
 package main
 
 import (
-	"fmt"
+	"context"
 	"os"
 
 	"dew/internal/cli"
 )
 
 func main() {
-	err := cli.Dinero(cli.Env{Stdout: os.Stdout, Stderr: os.Stderr}, os.Stdin, os.Args[1:])
-	if err == nil {
-		return
-	}
-	fmt.Fprintln(os.Stderr, "dinero:", err)
-	if cli.IsUsage(err) {
-		os.Exit(2)
-	}
-	os.Exit(1)
+	cli.Main("dinero", func(ctx context.Context, env cli.Env, args []string) error {
+		return cli.Dinero(ctx, env, os.Stdin, args)
+	})
 }

@@ -1,22 +1,7 @@
-// Command experiments — see dew/internal/cli.Experiments for the implementation
-// and flag documentation.
+// Command experiments — see dew/internal/cli.Experiments for the
+// implementation and flag documentation.
 package main
 
-import (
-	"fmt"
-	"os"
+import "dew/internal/cli"
 
-	"dew/internal/cli"
-)
-
-func main() {
-	err := cli.Experiments(cli.Env{Stdout: os.Stdout, Stderr: os.Stderr}, os.Args[1:])
-	if err == nil {
-		return
-	}
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	if cli.IsUsage(err) {
-		os.Exit(2)
-	}
-	os.Exit(1)
-}
+func main() { cli.Main("experiments", cli.Experiments) }

@@ -2,21 +2,6 @@
 // and flag documentation.
 package main
 
-import (
-	"fmt"
-	"os"
+import "dew/internal/cli"
 
-	"dew/internal/cli"
-)
-
-func main() {
-	err := cli.Explore(cli.Env{Stdout: os.Stdout, Stderr: os.Stderr}, os.Args[1:])
-	if err == nil {
-		return
-	}
-	fmt.Fprintln(os.Stderr, "explore:", err)
-	if cli.IsUsage(err) {
-		os.Exit(2)
-	}
-	os.Exit(1)
-}
+func main() { cli.Main("explore", cli.Explore) }

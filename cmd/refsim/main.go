@@ -4,21 +4,6 @@
 // over set-substreams built by the decode → shard ingest pipeline.
 package main
 
-import (
-	"fmt"
-	"os"
+import "dew/internal/cli"
 
-	"dew/internal/cli"
-)
-
-func main() {
-	err := cli.RefSim(cli.Env{Stdout: os.Stdout, Stderr: os.Stderr}, os.Args[1:])
-	if err == nil {
-		return
-	}
-	fmt.Fprintln(os.Stderr, "refsim:", err)
-	if cli.IsUsage(err) {
-		os.Exit(2)
-	}
-	os.Exit(1)
-}
+func main() { cli.Main("refsim", cli.RefSim) }

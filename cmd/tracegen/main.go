@@ -1,22 +1,7 @@
-// Command tracegen — see dew/internal/cli.TraceGen for the implementation
-// and flag documentation.
+// Command tracegen — see dew/internal/cli.TraceGen for the
+// implementation and flag documentation.
 package main
 
-import (
-	"fmt"
-	"os"
+import "dew/internal/cli"
 
-	"dew/internal/cli"
-)
-
-func main() {
-	err := cli.TraceGen(cli.Env{Stdout: os.Stdout, Stderr: os.Stderr}, os.Args[1:])
-	if err == nil {
-		return
-	}
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	if cli.IsUsage(err) {
-		os.Exit(2)
-	}
-	os.Exit(1)
-}
+func main() { cli.Main("tracegen", cli.TraceGen) }

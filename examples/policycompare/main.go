@@ -51,7 +51,10 @@ func main() {
 		if err := fifo.SimulateStream(stream); err != nil {
 			log.Fatal(err)
 		}
-		lru := lrutree.MustNew(lrutree.Options{MaxLogSets: maxLog, Assoc: assoc, BlockSize: block})
+		lru, err := lrutree.New(lrutree.Options{MaxLogSets: maxLog, Assoc: assoc, BlockSize: block})
+		if err != nil {
+			log.Fatal(err)
+		}
 		if err := lru.SimulateStream(stream); err != nil {
 			log.Fatal(err)
 		}
@@ -84,14 +87,20 @@ func main() {
 	// access that hits a small FIFO cache but misses a larger one.
 	fmt.Println("\nFIFO non-inclusion demonstration (the reason LRU-style")
 	fmt.Println("single-pass pruning cannot be used for FIFO):")
-	small := cache.MustConfig(1, 2, 1)
-	big := cache.MustConfig(2, 2, 1)
+	small := cache.Config{Sets: 1, Assoc: 2, BlockSize: 1}
+	big := cache.Config{Sets: 2, Assoc: 2, BlockSize: 1}
 	for s := uint64(0); s < 50; s++ {
 		// High-contention stream: uniform lookups into 8 hot entries.
 		gen := workload.NewTableLookup(s, 0, 8, 1, 1, 1, 0)
 		tr := workload.Take(gen, 5_000)
-		s1 := refsim.MustNew(small, cache.FIFO)
-		s2 := refsim.MustNew(big, cache.FIFO)
+		s1, err := refsim.New(small, cache.FIFO)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s2, err := refsim.New(big, cache.FIFO)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for i, a := range tr {
 			h1 := s1.Access(a)
 			h2 := s2.Access(a)

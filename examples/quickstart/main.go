@@ -51,5 +51,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nexample lookup: %v -> %d misses\n", cache.MustConfig(256, 4, 32), misses)
+	fmt.Printf("\nexample lookup: %v -> %d misses\n", cache.Config{Sets: 256, Assoc: 4, BlockSize: 32}, misses)
 }

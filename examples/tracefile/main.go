@@ -92,9 +92,9 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, cfg := range []cache.Config{
-		cache.MustConfig(16, 4, 16),
-		cache.MustConfig(64, 1, 16),
-		cache.MustConfig(256, 4, 16),
+		{Sets: 16, Assoc: 4, BlockSize: 16},
+		{Sets: 64, Assoc: 1, BlockSize: 16},
+		{Sets: 256, Assoc: 4, BlockSize: 16},
 	} {
 		stats, err := refsim.RunTrace(cfg, cache.FIFO, tr)
 		if err != nil {

@@ -39,16 +39,6 @@ func NewConfig(sets, assoc, blockSize int) (Config, error) {
 	return c, nil
 }
 
-// MustConfig is like NewConfig but panics on invalid parameters. It is
-// intended for tests, examples and literals built from constants.
-func MustConfig(sets, assoc, blockSize int) Config {
-	c, err := NewConfig(sets, assoc, blockSize)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
 
 // Validate reports whether the configuration is simulatable: every

@@ -49,17 +49,14 @@ func TestNewConfigInvalid(t *testing.T) {
 	}
 }
 
-func TestMustConfigPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustConfig(3,1,1) did not panic")
-		}
-	}()
-	MustConfig(3, 1, 1)
+func TestNewConfigRejectsInvalid(t *testing.T) {
+	if _, err := NewConfig(3, 1, 1); err == nil {
+		t.Fatal("NewConfig(3,1,1) accepted non-power-of-two sets")
+	}
 }
 
 func TestAddressMapping(t *testing.T) {
-	cfg := MustConfig(256, 4, 32) // 8 index bits, 5 offset bits
+	cfg := mustCfg(256, 4, 32) // 8 index bits, 5 offset bits
 	if got := cfg.IndexBits(); got != 8 {
 		t.Fatalf("IndexBits = %d, want 8", got)
 	}
@@ -80,7 +77,7 @@ func TestAddressMapping(t *testing.T) {
 
 func TestAddressMappingDegenerate(t *testing.T) {
 	// 1 set, block size 1: index is always 0, tag is the full address.
-	cfg := MustConfig(1, 2, 1)
+	cfg := mustCfg(1, 2, 1)
 	for _, addr := range []uint64{0, 1, 12345, 1 << 40} {
 		if cfg.Index(addr) != 0 {
 			t.Errorf("Index(%d) = %d, want 0", addr, cfg.Index(addr))
@@ -98,7 +95,7 @@ func TestTagIndexReconstruction(t *testing.T) {
 	f := func(addr uint64, lsRaw, lbRaw uint8) bool {
 		ls := int(lsRaw % 15)
 		lb := int(lbRaw % 7)
-		cfg := MustConfig(1<<ls, 1, 1<<lb)
+		cfg := mustCfg(1<<ls, 1, 1<<lb)
 		rebuilt := cfg.Tag(addr)<<uint(ls) | cfg.Index(addr)
 		return rebuilt == cfg.BlockAddr(addr)
 	}
@@ -110,7 +107,7 @@ func TestTagIndexReconstruction(t *testing.T) {
 // Two addresses inside the same block must map to the same set and tag.
 func TestSameBlockSameSet(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	cfg := MustConfig(64, 2, 16)
+	cfg := mustCfg(64, 2, 16)
 	for i := 0; i < 1000; i++ {
 		base := uint64(rng.Int63()) &^ 15 // block-aligned
 		off := uint64(rng.Intn(16))
@@ -125,9 +122,9 @@ func TestConfigString(t *testing.T) {
 		cfg  Config
 		want string
 	}{
-		{MustConfig(256, 4, 32), "S=256 A=4 B=32 (32KiB)"},
-		{MustConfig(1, 1, 1), "S=1 A=1 B=1 (1B)"},
-		{MustConfig(16384, 16, 64), "S=16384 A=16 B=64 (16MiB)"},
+		{mustCfg(256, 4, 32), "S=256 A=4 B=32 (32KiB)"},
+		{mustCfg(1, 1, 1), "S=1 A=1 B=1 (1B)"},
+		{mustCfg(16384, 16, 64), "S=16384 A=16 B=64 (16MiB)"},
 	}
 	for _, c := range cases {
 		if got := c.cfg.String(); got != c.want {
@@ -171,4 +168,14 @@ func TestPolicyRoundTrip(t *testing.T) {
 	if s := Policy(99).String(); !strings.Contains(s, "99") {
 		t.Errorf("unknown policy string = %q", s)
 	}
+}
+
+// mustCfg builds a Config test fixture, panicking on parameters that
+// could only be wrong at authoring time.
+func mustCfg(sets, assoc, blockSize int) Config {
+	c, err := NewConfig(sets, assoc, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

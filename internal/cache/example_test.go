@@ -2,12 +2,16 @@ package cache_test
 
 import (
 	"fmt"
+	"log"
 
 	"dew/internal/cache"
 )
 
 func ExampleConfig() {
-	cfg := cache.MustConfig(256, 4, 32)
+	cfg, err := cache.NewConfig(256, 4, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(cfg)
 	fmt.Println("capacity:", cfg.SizeBytes(), "bytes")
 	fmt.Println("index bits:", cfg.IndexBits(), "offset bits:", cfg.OffsetBits())
@@ -18,7 +22,10 @@ func ExampleConfig() {
 }
 
 func ExampleConfig_Index() {
-	cfg := cache.MustConfig(8, 2, 16)
+	cfg, err := cache.NewConfig(8, 2, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
 	addr := uint64(0x12345)
 	fmt.Printf("block %#x -> set %d, tag %#x\n", cfg.BlockAddr(addr), cfg.Index(addr), cfg.Tag(addr))
 	// Output:

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -13,7 +14,7 @@ import (
 // Analyze profiles a trace's locality (request mix, strides, streaks,
 // reuse times, footprint) and can emit a calibrated synthetic clone — a
 // compact stand-in for traces too large or proprietary to share.
-func Analyze(env Env, args []string) error {
+func Analyze(_ context.Context, env Env, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	fs.SetOutput(env.Stderr)
 	var (

@@ -6,6 +6,8 @@
 package cli
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,10 +29,11 @@ type Env struct {
 // wrappers exit with status 2 for these.
 type usageError struct{ error }
 
-// IsUsage reports whether err is a usage-level error (exit status 2).
+// IsUsage reports whether err is a usage-level error (ExitUsage),
+// anywhere in its wrap chain.
 func IsUsage(err error) bool {
-	_, ok := err.(usageError)
-	return ok
+	var ue usageError
+	return errors.As(err, &ue)
 }
 
 func usagef(format string, args ...interface{}) error {
@@ -87,9 +90,9 @@ func engineFlagDoc() string {
 // ingestShards resolves the trace flags into a sharded stream via the
 // one-pass decode → shard ingest pipeline (chunk-parallel for .din
 // files).
-func (tf traceFlags) ingestShards(blockSize, log int) (*trace.ShardStream, error) {
+func (tf traceFlags) ingestShards(ctx context.Context, blockSize, log int) (*trace.ShardStream, error) {
 	if *tf.traceFile != "" {
-		return trace.IngestFileShards(*tf.traceFile, blockSize, log, 0)
+		return trace.IngestFileShards(ctx, *tf.traceFile, blockSize, log, 0)
 	}
 	r, closer, err := tf.open()
 	if err != nil {
@@ -98,15 +101,15 @@ func (tf traceFlags) ingestShards(blockSize, log int) (*trace.ShardStream, error
 	if closer != nil {
 		defer closer.Close()
 	}
-	return trace.IngestShards(r, blockSize, log, 0)
+	return trace.IngestShards(ctx, r, blockSize, log, 0)
 }
 
 // ingestShardsWithKinds is ingestShards with the kind-preserving
 // channel carried through the pipeline (for write-policy and per-kind
 // consumers).
-func (tf traceFlags) ingestShardsWithKinds(blockSize, log int) (*trace.ShardStream, error) {
+func (tf traceFlags) ingestShardsWithKinds(ctx context.Context, blockSize, log int) (*trace.ShardStream, error) {
 	if *tf.traceFile != "" {
-		return trace.IngestFileShardsWithKinds(*tf.traceFile, blockSize, log, 0)
+		return trace.IngestFileShardsWithKinds(ctx, *tf.traceFile, blockSize, log, 0)
 	}
 	r, closer, err := tf.open()
 	if err != nil {
@@ -115,7 +118,7 @@ func (tf traceFlags) ingestShardsWithKinds(blockSize, log int) (*trace.ShardStre
 	if closer != nil {
 		defer closer.Close()
 	}
-	return trace.IngestShardsWithKinds(r, blockSize, log, 0)
+	return trace.IngestShardsWithKinds(ctx, r, blockSize, log, 0)
 }
 
 // parseWritePolicy maps the -write flag's spellings; "" is the

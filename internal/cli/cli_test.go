@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -9,10 +10,10 @@ import (
 )
 
 // run executes a tool function with buffered streams.
-func run(t *testing.T, tool func(Env, []string) error, args ...string) (string, string, error) {
+func run(t *testing.T, tool func(context.Context, Env, []string) error, args ...string) (string, string, error) {
 	t.Helper()
 	var out, errBuf bytes.Buffer
-	err := tool(Env{Stdout: &out, Stderr: &errBuf}, args)
+	err := tool(context.Background(), Env{Stdout: &out, Stderr: &errBuf}, args)
 	return out.String(), errBuf.String(), err
 }
 

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"slices"
@@ -20,8 +21,10 @@ import (
 
 // DewSim runs one DEW pass: exact simulation of every power-of-two set
 // count (plus direct-mapped results) for one (associativity, block size)
-// pair in a single pass over the trace.
-func DewSim(env Env, args []string) error {
+// pair in a single pass over the trace. Cancelling ctx stops the
+// sharded ingest at chunk granularity and a sharded replay at shard
+// granularity; the monolithic replay checks ctx between passes.
+func DewSim(ctx context.Context, env Env, args []string) error {
 	fs := flag.NewFlagSet("dewsim", flag.ContinueOnError)
 	fs.SetOutput(env.Stderr)
 	var (
@@ -171,7 +174,7 @@ func DewSim(env Env, args []string) error {
 		}
 		if *shards > 1 {
 			log := trace.ShardLog(*shards, *maxLog)
-			ss, err := ingest(blockLadder[0], log)
+			ss, err := ingest(ctx, blockLadder[0], log)
 			if err != nil {
 				return err
 			}
@@ -213,7 +216,7 @@ func DewSim(env Env, args []string) error {
 			}
 		}
 		for _, b := range blockLadder {
-			eng, _, err := engine.TimedRun(*engName, specFor(b), ladder[b], shardStreams[b])
+			eng, _, err := engine.TimedRun(ctx, *engName, specFor(b), ladder[b], shardStreams[b])
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -17,7 +18,7 @@ import (
 // (unified L1 cache) and a .din trace on stdin, and prints a
 // Dinero-flavoured metrics summary. It exists so existing Dinero IV
 // invocations can be pointed at this codebase with minimal change.
-func Dinero(env Env, stdin io.Reader, args []string) error {
+func Dinero(_ context.Context, env Env, stdin io.Reader, args []string) error {
 	fs := flag.NewFlagSet("dinero", flag.ContinueOnError)
 	fs.SetOutput(env.Stderr)
 	var (

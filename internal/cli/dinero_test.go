@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 func runDinero(t *testing.T, stdin string, args ...string) (string, error) {
 	t.Helper()
 	var out, errBuf bytes.Buffer
-	err := Dinero(Env{Stdout: &out, Stderr: &errBuf}, strings.NewReader(stdin), args)
+	err := Dinero(context.Background(), Env{Stdout: &out, Stderr: &errBuf}, strings.NewReader(stdin), args)
 	return out.String(), err
 }
 

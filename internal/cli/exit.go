@@ -1,0 +1,71 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dew/internal/trace"
+)
+
+// Exit codes shared by every cmd/<tool> wrapper. The distinction the
+// codes draw is whose fault the failure is: the invocation (usage), the
+// input data (a corrupt, truncated or unreadable trace), or this
+// program (anything else — including a contained panic surfacing as a
+// *pool.PanicError).
+const (
+	// ExitOK is the success status.
+	ExitOK = 0
+	// ExitInternal is the status for internal failures: simulator
+	// errors, exactness violations, contained panics — anything that is
+	// not the user's invocation or input.
+	ExitInternal = 1
+	// ExitUsage is the status for invocation errors (bad flags, missing
+	// arguments); the conventional flag-parse failure code.
+	ExitUsage = 2
+	// ExitInput is the status for bad input data: corrupt or truncated
+	// traces (trace.ErrCorrupt, trace.ErrTruncated) and unreadable or
+	// unwritable files (fs.PathError).
+	ExitInput = 3
+)
+
+// ExitCode maps a tool function's error to the process exit status.
+// Classification walks the wrap chain, so an ingest error annotated
+// with context still lands on ExitInput.
+func ExitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	if IsUsage(err) {
+		return ExitUsage
+	}
+	// TruncatedError matches ErrCorrupt too, so one sentinel check
+	// covers the whole trace error taxonomy; file-system errors (file
+	// not found, permission, unwritable output) classify as input.
+	var pathErr *fs.PathError
+	if errors.Is(err, trace.ErrCorrupt) || errors.As(err, &pathErr) {
+		return ExitInput
+	}
+	return ExitInternal
+}
+
+// Main runs a tool function as a command main: os streams, os.Args,
+// and a context cancelled on SIGINT or SIGTERM so a long ingest or
+// sweep shuts down at its cancellation grain (chunk, cell, shard)
+// instead of being killed mid-write. The error, if any, is printed
+// prefixed with the tool name and mapped to the exit status by
+// ExitCode.
+func Main(name string, run func(context.Context, Env, []string) error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, Env{Stdout: os.Stdout, Stderr: os.Stderr}, os.Args[1:])
+	stop()
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	os.Exit(ExitCode(err))
+}

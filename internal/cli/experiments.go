@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"strings"
@@ -15,7 +16,7 @@ import (
 // Experiments regenerates the tables and figures of the paper's
 // evaluation (Section 5). Every DEW result is cross-checked against the
 // reference simulator during the run; a mismatch aborts.
-func Experiments(env Env, args []string) error {
+func Experiments(ctx context.Context, env Env, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(env.Stderr)
 	var (
@@ -95,7 +96,7 @@ func Experiments(env Env, args []string) error {
 	// Table 3 and both figures share one sweep.
 	var t3 []sweep.Cell
 	if ec.tables[3] || ec.figures[5] || ec.figures[6] {
-		cells, err := expSweep(ec, sweep.Table3Params(workload.Apps(), ec.seed, ec.requests, ec.maxLog))
+		cells, err := expSweep(ctx, ec, sweep.Table3Params(workload.Apps(), ec.seed, ec.requests, ec.maxLog))
 		if err != nil {
 			return err
 		}
@@ -107,7 +108,7 @@ func Experiments(env Env, args []string) error {
 		}
 	}
 	if ec.tables[4] {
-		cells, err := expSweep(ec, sweep.Table4Params(workload.Apps(), ec.seed, ec.requests, ec.maxLog))
+		cells, err := expSweep(ctx, ec, sweep.Table4Params(workload.Apps(), ec.seed, ec.requests, ec.maxLog))
 		if err != nil {
 			return err
 		}
@@ -127,7 +128,7 @@ func Experiments(env Env, args []string) error {
 	}
 	for e := 1; e <= 4; e++ {
 		if exts[e] {
-			if err := expExtended(ec, e); err != nil {
+			if err := expExtended(ctx, ec, e); err != nil {
 				return err
 			}
 		}
@@ -177,7 +178,7 @@ func expRender(ec expConfig, t *report.Table) error {
 	return err
 }
 
-func expSweep(ec expConfig, params []sweep.Params) ([]sweep.Cell, error) {
+func expSweep(ctx context.Context, ec expConfig, params []sweep.Params) ([]sweep.Cell, error) {
 	r := sweep.Runner{Workers: ec.workers, Shards: ec.shards}
 	if !ec.quiet {
 		r.Logf = func(f string, a ...interface{}) {
@@ -191,7 +192,7 @@ func expSweep(ec expConfig, params []sweep.Params) ([]sweep.Cell, error) {
 		// inside each cell still use the worker pool.
 		cells = make([]sweep.Cell, 0, len(params))
 		for _, p := range params {
-			agg, err := r.RunCellSeeds(p, sweep.Seeds(ec.seed, ec.seeds))
+			agg, err := r.RunCellSeeds(ctx, p, sweep.Seeds(ec.seed, ec.seeds))
 			if err != nil {
 				return nil, err
 			}
@@ -201,7 +202,7 @@ func expSweep(ec expConfig, params []sweep.Params) ([]sweep.Cell, error) {
 		// Independent cells spread across the worker pool, results in
 		// params order.
 		var err error
-		cells, err = r.RunCells(params)
+		cells, err = r.RunCells(ctx, params)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"runtime"
@@ -18,7 +19,7 @@ import (
 
 // Explore runs a full design-space exploration and ranks configurations
 // with the parametric energy model.
-func Explore(env Env, args []string) error {
+func Explore(ctx context.Context, env Env, args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
 	fs.SetOutput(env.Stderr)
 	var (
@@ -90,7 +91,7 @@ func Explore(env Env, args []string) error {
 			}
 		}
 	}
-	res, err := explore.Run(req)
+	res, err := explore.Run(ctx, req)
 	if err != nil {
 		return err
 	}

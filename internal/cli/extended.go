@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,7 +26,7 @@ import (
 // paper sweep's -maxlog.
 const extMaxLog = 10
 
-func expExtended(ec expConfig, which int) error {
+func expExtended(ctx context.Context, ec expConfig, which int) error {
 	switch which {
 	case 1:
 		return extSplitID(ec)
@@ -34,7 +35,7 @@ func expExtended(ec expConfig, which int) error {
 	case 3:
 		return extFractional(ec)
 	case 4:
-		return extVariability(ec)
+		return extVariability(ctx, ec)
 	default:
 		return usagef("unknown extended experiment %d (valid: 1-4)", which)
 	}
@@ -204,7 +205,7 @@ func extFractional(ec expConfig) error {
 
 // extVariability replicates one Table 3 cell per app across seeds to
 // show the headline ratios are not seed artifacts.
-func extVariability(ec expConfig) error {
+func extVariability(ctx context.Context, ec expConfig) error {
 	seeds := ec.seeds
 	if seeds < 3 {
 		seeds = 3
@@ -218,7 +219,7 @@ func extVariability(ec expConfig) error {
 			App: app, Requests: ec.requestsFor(app),
 			BlockSize: 16, Assoc: 4, MaxLogSets: maxLog,
 		}
-		agg, err := (sweep.Runner{Workers: ec.workers}).RunCellSeeds(p, sweep.Seeds(ec.seed, seeds))
+		agg, err := (sweep.Runner{Workers: ec.workers}).RunCellSeeds(ctx, p, sweep.Seeds(ec.seed, seeds))
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,7 +23,7 @@ import (
 // shard ingest pipeline; the write/alloc axes and the full statistics
 // set work identically there, because the kind channel preserves
 // exactly the per-run structure a write-policy replay observes.
-func RefSim(env Env, args []string) error {
+func RefSim(ctx context.Context, env Env, args []string) error {
 	fs := flag.NewFlagSet("refsim", flag.ContinueOnError)
 	fs.SetOutput(env.Stderr)
 	var (
@@ -65,7 +66,7 @@ func RefSim(env Env, args []string) error {
 		return usagef("-store-bytes must be at least 0")
 	}
 	if *shards > 1 {
-		return refSimSharded(env, tf, opts, policy, *shards)
+		return refSimSharded(ctx, env, tf, opts, policy, *shards)
 	}
 
 	r, closer, err := tf.open()
@@ -117,14 +118,14 @@ func printRefStats(w io.Writer, stats refsim.Stats, tr refsim.Traffic) {
 // configurations with fewer sets than the resolved fan-out (and Random
 // replacement, whose decomposition is not exact) fall back to the
 // exact monolithic stream replay inside the engine.
-func refSimSharded(env Env, tf traceFlags, opts refsim.Options, policy cache.Policy, shards int) error {
+func refSimSharded(ctx context.Context, env Env, tf traceFlags, opts refsim.Options, policy cache.Policy, shards int) error {
 	cfg := opts.Config
 	// shards ≥ 2 here, so the shared rounding rule always yields a
 	// level in [0, logSets].
 	logSets := bits.Len(uint(cfg.Sets)) - 1
 	log := trace.ShardLog(shards, logSets)
 	start := time.Now()
-	ss, err := tf.ingestShardsWithKinds(cfg.BlockSize, log)
+	ss, err := tf.ingestShardsWithKinds(ctx, cfg.BlockSize, log)
 	if err != nil {
 		return err
 	}
@@ -135,7 +136,7 @@ func refSimSharded(env Env, tf traceFlags, opts refsim.Options, policy cache.Pol
 		Assoc: cfg.Assoc, BlockSize: cfg.BlockSize, Policy: policy,
 		WriteSim: true, Write: opts.Write, Alloc: opts.Alloc, StoreBytes: opts.StoreBytes,
 	}
-	eng, replayed, err := engine.TimedRun("ref", spec, ss.Source, ss)
+	eng, replayed, err := engine.TimedRun(ctx, "ref", spec, ss.Source, ss)
 	if err != nil {
 		return err
 	}

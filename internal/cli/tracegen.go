@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -10,7 +11,7 @@ import (
 
 // TraceGen generates a synthetic Mediabench-style trace to a file and/or
 // prints its profile.
-func TraceGen(env Env, args []string) error {
+func TraceGen(_ context.Context, env Env, args []string) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	fs.SetOutput(env.Stderr)
 	var (

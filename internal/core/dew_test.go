@@ -334,7 +334,7 @@ func TestMissesFor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := refsim.RunTrace(cache.MustConfig(8, 4, 4), cache.FIFO, tr)
+	want, err := refsim.RunTrace(mustCfg(8, 4, 4), cache.FIFO, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,4 +412,14 @@ func TestCountersString(t *testing.T) {
 	if s.Options().Assoc != 2 {
 		t.Error("Options accessor mismatch")
 	}
+}
+
+// mustCfg builds a cache.Config test fixture, panicking on parameters
+// that could only be wrong at authoring time.
+func mustCfg(sets, assoc, blockSize int) cache.Config {
+	c, err := cache.NewConfig(sets, assoc, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

@@ -1,10 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
+	"dew/internal/pool"
 	"dew/internal/trace"
 )
 
@@ -55,10 +56,6 @@ type Sharded struct {
 	// pass's levels, plus the total access count.
 	missDM, missA []uint64
 	accesses      uint64
-
-	// errs collects per-task errors across replays (reused so a replay
-	// only allocates its transient worker pool).
-	errs []error
 }
 
 // NewSharded builds a sharded pass for the options at shard level log
@@ -106,7 +103,6 @@ func NewSharded(opt Options, log, workers int) (*Sharded, error) {
 			return nil, err
 		}
 	}
-	sh.errs = make([]error, len(sh.trees)+1)
 	return sh, nil
 }
 
@@ -144,7 +140,13 @@ func (sh *Sharded) Reset() {
 // sharded passes. Like the monolithic stream entry points, repeated
 // calls continue the pass (chunked replays accumulate); use Reset to
 // start a fresh one.
-func (sh *Sharded) SimulateStream(ss *trace.ShardStream) error {
+//
+// Cancelling ctx stops claiming tree replays (each tree is one task;
+// an individual tree's replay runs to completion) and returns ctx's
+// error with the pool drained; the pass state is then inconsistent —
+// Reset before reusing it. A panic inside a replay surfaces as a
+// *pool.PanicError instead of crashing the process.
+func (sh *Sharded) SimulateStream(ctx context.Context, ss *trace.ShardStream) error {
 	if ss.Log != sh.log {
 		return fmt.Errorf("core: stream sharded at level %d, pass expects %d", ss.Log, sh.log)
 	}
@@ -156,42 +158,21 @@ func (sh *Sharded) SimulateStream(ss *trace.ShardStream) error {
 		return fmt.Errorf("core: stream has %d shards, pass has %d trees", ss.NumShards(), len(sh.trees))
 	}
 
-	// Task -1 is the shallow pass; tasks 0..2^S-1 are the trees. Every
-	// task writes only its own simulator, and the final Wait publishes
-	// all of them to the stitching loop.
-	tasks := make(chan int)
-	errs := sh.errs
-	clear(errs)
-	var wg sync.WaitGroup
-	workers := sh.workers
-	if workers > len(errs) {
-		workers = len(errs)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				if t < 0 {
-					errs[len(errs)-1] = sh.shallow.SimulateStream(ss.Source)
-				} else {
-					errs[t] = sh.trees[t].SimulateStream(&ss.Shards[t])
-				}
-			}
-		}()
-	}
+	// Tasks 0..2^S-1 are the trees; the last task is the shallow pass.
+	// Every task writes only its own simulator, and the pool's final
+	// wait publishes all of them to the stitching loop.
+	n := len(sh.trees)
 	if sh.shallow != nil {
-		tasks <- -1
+		n++
 	}
-	for t := range sh.trees {
-		tasks <- t
-	}
-	close(tasks)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	err := pool.Run(ctx, sh.workers, n, func(t int) error {
+		if t == len(sh.trees) {
+			return sh.shallow.SimulateStream(ss.Source)
 		}
+		return sh.trees[t].SimulateStream(&ss.Shards[t])
+	})
+	if err != nil {
+		return err
 	}
 
 	// Stitch: shallow levels copy straight across; each tree's levels
@@ -239,12 +220,12 @@ func (sh *Sharded) MissesFor(sets, assoc int) (uint64, error) {
 
 // SimulateSharded builds a sharded pass matching the stream's shard
 // level, replays the stream and returns the pass.
-func SimulateSharded(opt Options, ss *trace.ShardStream, workers int) (*Sharded, error) {
+func SimulateSharded(ctx context.Context, opt Options, ss *trace.ShardStream, workers int) (*Sharded, error) {
 	sh, err := NewSharded(opt, ss.Log, workers)
 	if err != nil {
 		return nil, err
 	}
-	if err := sh.SimulateStream(ss); err != nil {
+	if err := sh.SimulateStream(ctx, ss); err != nil {
 		return nil, err
 	}
 	return sh, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestShardedEquivalence(t *testing.T) {
 				label := fmt.Sprintf("%s/min%d/max%d/A%d/B%d/%v/S%d",
 					app.Name, opt.MinLogSets, opt.MaxLogSets, opt.Assoc, opt.BlockSize, opt.Policy, log)
 				ss := mustShard(t, bs, log)
-				sh, err := SimulateSharded(opt, ss, 4)
+				sh, err := SimulateSharded(context.Background(), opt, ss, 4)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -119,7 +120,7 @@ func TestShardedMidRunBoundaries(t *testing.T) {
 		}
 		// Stitch by rerunning the public path on a fresh pass and
 		// comparing the hand-fed simulators' tables against it.
-		pub, err := SimulateSharded(opt, ss, 2)
+		pub, err := SimulateSharded(context.Background(), opt, ss, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func TestShardedReset(t *testing.T) {
 	opt := Options{MaxLogSets: 6, Assoc: 4, BlockSize: 16}
 	bs := mustStream(t, tr, opt.BlockSize)
 	ss := mustShard(t, bs, 3)
-	sh, err := SimulateSharded(opt, ss, 2)
+	sh, err := SimulateSharded(context.Background(), opt, ss, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestShardedReset(t *testing.T) {
 		if sh.Accesses() != 0 {
 			t.Fatal("Reset left a nonzero access count")
 		}
-		if err := sh.SimulateStream(ss); err != nil {
+		if err := sh.SimulateStream(context.Background(), ss); err != nil {
 			t.Fatal(err)
 		}
 		for j, r := range sh.Results() {
@@ -186,7 +187,7 @@ func TestShardedRepeatedReplay(t *testing.T) {
 			if err := mono.SimulateStream(bs); err != nil {
 				t.Fatal(err)
 			}
-			if err := sh.SimulateStream(ss); err != nil {
+			if err := sh.SimulateStream(context.Background(), ss); err != nil {
 				t.Fatal(err)
 			}
 			wr, gr := mono.Results(), sh.Results()
@@ -225,11 +226,11 @@ func TestShardedRejects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sh.SimulateStream(mustShard(t, bs, 3)); err == nil {
+	if err := sh.SimulateStream(context.Background(), mustShard(t, bs, 3)); err == nil {
 		t.Error("shard-level mismatch accepted")
 	}
 	wrongBlock := mustStream(t, tr, 4)
-	if err := sh.SimulateStream(mustShard(t, wrongBlock, 2)); err == nil {
+	if err := sh.SimulateStream(context.Background(), mustShard(t, wrongBlock, 2)); err == nil {
 		t.Error("block-size mismatch accepted")
 	}
 }
@@ -275,7 +276,7 @@ func FuzzShardedEquivalence(f *testing.F) {
 		for _, a := range tr {
 			inst.Access(a)
 		}
-		sh, err := SimulateSharded(opt, ss, 3)
+		sh, err := SimulateSharded(context.Background(), opt, ss, 3)
 		if err != nil {
 			t.Fatal(err)
 		}

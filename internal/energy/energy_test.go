@@ -11,13 +11,13 @@ import (
 
 func TestAccessEnergyMonotoneInSize(t *testing.T) {
 	m := DefaultModel()
-	small := m.AccessEnergy(cache.MustConfig(16, 1, 16))
-	large := m.AccessEnergy(cache.MustConfig(1024, 1, 16))
+	small := m.AccessEnergy(mustCfg(16, 1, 16))
+	large := m.AccessEnergy(mustCfg(1024, 1, 16))
 	if large <= small {
 		t.Errorf("access energy should grow with size: %f vs %f", small, large)
 	}
-	lowAssoc := m.AccessEnergy(cache.MustConfig(64, 1, 16))
-	highAssoc := m.AccessEnergy(cache.MustConfig(64, 8, 16))
+	lowAssoc := m.AccessEnergy(mustCfg(64, 1, 16))
+	highAssoc := m.AccessEnergy(mustCfg(64, 8, 16))
 	if highAssoc <= lowAssoc {
 		t.Errorf("access energy should grow with associativity: %f vs %f", lowAssoc, highAssoc)
 	}
@@ -25,14 +25,14 @@ func TestAccessEnergyMonotoneInSize(t *testing.T) {
 
 func TestMissPenaltyGrowsWithBlock(t *testing.T) {
 	m := DefaultModel()
-	if m.MissPenalty(cache.MustConfig(1, 1, 64)) <= m.MissPenalty(cache.MustConfig(1, 1, 4)) {
+	if m.MissPenalty(mustCfg(1, 1, 64)) <= m.MissPenalty(mustCfg(1, 1, 4)) {
 		t.Error("miss penalty should grow with block size")
 	}
 }
 
 func TestTotalComposition(t *testing.T) {
 	m := DefaultModel()
-	cfg := cache.MustConfig(64, 2, 16)
+	cfg := mustCfg(64, 2, 16)
 	s := cache.Stats{Accesses: 1000, Misses: 100}
 	want := 1000*m.AccessEnergy(cfg) + 100*m.MissPenalty(cfg)
 	if got := m.Total(cfg, s); got != want {
@@ -43,8 +43,8 @@ func TestTotalComposition(t *testing.T) {
 func TestRankPrefersFewMissesOverTinySize(t *testing.T) {
 	m := DefaultModel()
 	// Tiny cache thrashing vs a modest cache hitting: misses dominate.
-	thrash := cache.MustConfig(1, 1, 4)
-	decent := cache.MustConfig(64, 2, 16)
+	thrash := mustCfg(1, 1, 4)
+	decent := mustCfg(64, 2, 16)
 	results := map[cache.Config]cache.Stats{
 		thrash: {Accesses: 100000, Misses: 60000},
 		decent: {Accesses: 100000, Misses: 2000},
@@ -65,8 +65,8 @@ func TestRankPenalizesOversizedCache(t *testing.T) {
 	m := DefaultModel()
 	// Identical miss counts: the smaller cache must win on access
 	// energy + leakage.
-	smaller := cache.MustConfig(256, 2, 16)
-	huge := cache.MustConfig(16384, 16, 64)
+	smaller := mustCfg(256, 2, 16)
+	huge := mustCfg(16384, 16, 64)
 	results := map[cache.Config]cache.Stats{
 		smaller: {Accesses: 100000, Misses: 500},
 		huge:    {Accesses: 100000, Misses: 500},
@@ -79,9 +79,9 @@ func TestRankPenalizesOversizedCache(t *testing.T) {
 
 func TestRankDeterministicOnTies(t *testing.T) {
 	var m Model // zero model: every energy is 0, exercising tie-breaks
-	a := cache.MustConfig(2, 1, 4)
-	b := cache.MustConfig(1, 2, 4)
-	c := cache.MustConfig(1, 1, 8)
+	a := mustCfg(2, 1, 4)
+	b := mustCfg(1, 2, 4)
+	c := mustCfg(1, 1, 8)
 	results := map[cache.Config]cache.Stats{a: {}, b: {}, c: {}}
 	first := m.Rank(results)
 	for i := 0; i < 5; i++ {
@@ -95,7 +95,7 @@ func TestRankDeterministicOnTies(t *testing.T) {
 }
 
 func TestScoredString(t *testing.T) {
-	s := Scored{Config: cache.MustConfig(4, 1, 4), Stats: cache.Stats{Accesses: 10, Misses: 5}, Energy: 12}
+	s := Scored{Config: mustCfg(4, 1, 4), Stats: cache.Stats{Accesses: 10, Misses: 5}, Energy: 12}
 	if out := s.String(); !strings.Contains(out, "missRate=0.5000") || !strings.Contains(out, "pJ") {
 		t.Errorf("String = %q", out)
 	}
@@ -103,7 +103,7 @@ func TestScoredString(t *testing.T) {
 
 func TestTotalSplitDegradesToTotal(t *testing.T) {
 	m := DefaultModel()
-	cfg := cache.MustConfig(64, 2, 16)
+	cfg := mustCfg(64, 2, 16)
 	s := cache.Stats{Accesses: 1000, Misses: 100}
 	// No stores: TotalSplit must reproduce Total exactly.
 	if got, want := m.TotalSplit(cfg, s, 0), m.Total(cfg, s); got != want {
@@ -122,8 +122,8 @@ func TestTotalSplitDegradesToTotal(t *testing.T) {
 
 func TestRankSplitOrdersLikeRank(t *testing.T) {
 	m := DefaultModel()
-	a := cache.MustConfig(64, 2, 16)
-	b := cache.MustConfig(1, 1, 4)
+	a := mustCfg(64, 2, 16)
+	b := mustCfg(1, 1, 4)
 	results := map[cache.Config]cache.Stats{
 		a: {Accesses: 100000, Misses: 2000},
 		b: {Accesses: 100000, Misses: 60000},
@@ -153,7 +153,7 @@ func TestTotalRefDegradesToTotal(t *testing.T) {
 	// reproduce Total exactly.
 	m := DefaultModel()
 	m.WriteEnergyFactor = 1
-	cfg := cache.MustConfig(64, 2, 16)
+	cfg := mustCfg(64, 2, 16)
 	s := refsim.Stats{Stats: cache.Stats{Accesses: 1000, Misses: 100}}
 	if got, want := m.TotalRef(cfg, s, refsim.Traffic{}), m.Total(cfg, s.Stats); got != want {
 		t.Errorf("TotalRef = %f, want %f", got, want)
@@ -167,7 +167,7 @@ func TestTotalRefDegradesToTotal(t *testing.T) {
 
 func TestTotalRefWriteSplit(t *testing.T) {
 	m := DefaultModel()
-	cfg := cache.MustConfig(64, 2, 16)
+	cfg := mustCfg(64, 2, 16)
 	var s refsim.Stats
 	s.Accesses = 1000
 	s.AccessesByKind[trace.DataRead] = 600
@@ -203,4 +203,14 @@ func TestTotalRefWriteSplit(t *testing.T) {
 	if m.TotalRef(cfg, s, heavier) <= m.TotalRef(cfg, s, tr) {
 		t.Error("more memory traffic should cost more energy")
 	}
+}
+
+// mustCfg builds a cache.Config test fixture, panicking on parameters
+// that could only be wrong at authoring time.
+func mustCfg(sets, assoc, blockSize int) cache.Config {
+	c, err := cache.NewConfig(sets, assoc, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

@@ -12,9 +12,9 @@ import (
 func ExampleModel_Rank() {
 	m := energy.DefaultModel()
 	results := map[cache.Config]cache.Stats{
-		cache.MustConfig(1, 1, 4):       {Accesses: 100000, Misses: 60000}, // thrashes
-		cache.MustConfig(64, 2, 16):     {Accesses: 100000, Misses: 2000},  // balanced
-		cache.MustConfig(16384, 16, 64): {Accesses: 100000, Misses: 900},   // oversized
+		cache.Config{Sets: 1, Assoc: 1, BlockSize: 4}:       {Accesses: 100000, Misses: 60000}, // thrashes
+		cache.Config{Sets: 64, Assoc: 2, BlockSize: 16}:     {Accesses: 100000, Misses: 2000},  // balanced
+		cache.Config{Sets: 16384, Assoc: 16, BlockSize: 64}: {Accesses: 100000, Misses: 900},   // oversized
 	}
 	for i, s := range m.Rank(results) {
 		fmt.Printf("%d. %v\n", i+1, s.Config)

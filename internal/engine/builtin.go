@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"dew/internal/cache"
@@ -63,7 +64,7 @@ func (e *dewEngine) SimulateStream(bs *trace.BlockStream) error {
 	return e.mono.SimulateStream(bs)
 }
 
-func (e *dewEngine) SimulateSharded(ss *trace.ShardStream) error {
+func (e *dewEngine) SimulateSharded(ctx context.Context, ss *trace.ShardStream) error {
 	if e.sharded == nil || e.sharded.ShardLog() != ss.Log {
 		var err error
 		if e.sharded, err = core.NewSharded(e.opt, ss.Log, e.workers); err != nil {
@@ -71,7 +72,7 @@ func (e *dewEngine) SimulateSharded(ss *trace.ShardStream) error {
 		}
 	}
 	e.last = e.sharded
-	return e.sharded.SimulateStream(ss)
+	return e.sharded.SimulateStream(ctx, ss)
 }
 
 func (e *dewEngine) Reset() {
@@ -141,7 +142,7 @@ func (e *treeEngine) SimulateStream(bs *trace.BlockStream) error {
 	return e.mono.SimulateStream(bs)
 }
 
-func (e *treeEngine) SimulateSharded(ss *trace.ShardStream) error {
+func (e *treeEngine) SimulateSharded(ctx context.Context, ss *trace.ShardStream) error {
 	if e.sharded == nil || e.sharded.ShardLog() != ss.Log {
 		var err error
 		if e.sharded, err = lrutree.NewSharded(e.opt, ss.Log, e.workers); err != nil {
@@ -149,7 +150,7 @@ func (e *treeEngine) SimulateSharded(ss *trace.ShardStream) error {
 		}
 	}
 	e.last = e.sharded
-	return e.sharded.SimulateStream(ss)
+	return e.sharded.SimulateStream(ctx, ss)
 }
 
 func (e *treeEngine) Reset() {
@@ -238,7 +239,7 @@ func (e *refEngine) SimulateStream(bs *trace.BlockStream) error {
 	return err
 }
 
-func (e *refEngine) SimulateSharded(ss *trace.ShardStream) error {
+func (e *refEngine) SimulateSharded(ctx context.Context, ss *trace.ShardStream) error {
 	if e.sharded == nil || e.sharded.ShardLog() != ss.Log {
 		var err error
 		if e.writeSim {
@@ -251,7 +252,7 @@ func (e *refEngine) SimulateSharded(ss *trace.ShardStream) error {
 		}
 	}
 	e.last = 2
-	_, err := e.sharded.SimulateStream(ss)
+	_, err := e.sharded.SimulateStream(ctx, ss)
 	return err
 }
 

@@ -33,6 +33,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -103,7 +104,14 @@ type Engine interface {
 	// through one entry point at a time: call Reset before switching
 	// between SimulateStream and SimulateSharded, or between shard
 	// levels.
-	SimulateSharded(ss *trace.ShardStream) error
+	//
+	// Cancelling ctx stops the replay's worker pool at substream
+	// granularity and returns ctx's error with the pool drained; the
+	// pass state is then inconsistent — Reset before reusing the
+	// engine. (SimulateStream is a monolithic tight loop and takes no
+	// context; cancellation granularity in this repository is the
+	// chunk, the cell and the shard, never the individual access.)
+	SimulateSharded(ctx context.Context, ss *trace.ShardStream) error
 	// Reset rewinds to the freshly constructed state, reusing arenas.
 	Reset()
 	// Results returns the accumulated per-configuration statistics.
@@ -198,18 +206,23 @@ func Doc(name string) string {
 // Replay is the stream-vs-sharded dispatch seam: it replays the shard
 // partition when one is supplied and the parent stream otherwise.
 // Every engine-driven tool routes its replays through here — this is
-// the one place the choice is made.
-func Replay(e Engine, bs *trace.BlockStream, ss *trace.ShardStream) error {
+// the one place the choice is made. A monolithic replay checks ctx
+// once up front (the stream loop itself is not interruptible); a
+// sharded replay honours ctx at substream granularity.
+func Replay(ctx context.Context, e Engine, bs *trace.BlockStream, ss *trace.ShardStream) error {
 	if ss != nil {
-		return e.SimulateSharded(ss)
+		return e.SimulateSharded(ctx, ss)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return e.SimulateStream(bs)
 }
 
 // Run builds the named engine, replays the stream (or its shard
 // partition) through it once, and returns the engine for inspection.
-func Run(name string, spec Spec, bs *trace.BlockStream, ss *trace.ShardStream) (Engine, error) {
-	e, _, err := TimedRun(name, spec, bs, ss)
+func Run(ctx context.Context, name string, spec Spec, bs *trace.BlockStream, ss *trace.ShardStream) (Engine, error) {
+	e, _, err := TimedRun(ctx, name, spec, bs, ss)
 	return e, err
 }
 
@@ -217,13 +230,13 @@ func Run(name string, spec Spec, bs *trace.BlockStream, ss *trace.ShardStream) (
 // construction is outside the timed region, the replay — including any
 // arenas the engine builds lazily on first use — inside it, so timed
 // comparisons across engines charge the per-pass setup identically.
-func TimedRun(name string, spec Spec, bs *trace.BlockStream, ss *trace.ShardStream) (Engine, time.Duration, error) {
+func TimedRun(ctx context.Context, name string, spec Spec, bs *trace.BlockStream, ss *trace.ShardStream) (Engine, time.Duration, error) {
 	e, err := New(name, spec)
 	if err != nil {
 		return nil, 0, err
 	}
 	start := time.Now()
-	if err := Replay(e, bs, ss); err != nil {
+	if err := Replay(ctx, e, bs, ss); err != nil {
 		return nil, 0, err
 	}
 	return e, time.Since(start), nil

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -85,7 +86,7 @@ func TestEnginesMatchDirectSimulators(t *testing.T) {
 				if sharded {
 					replay = ss
 				}
-				if err := Replay(e, bs, replay); err != nil {
+				if err := Replay(context.Background(), e, bs, replay); err != nil {
 					t.Fatal(err)
 				}
 				got := e.Results()
@@ -104,7 +105,7 @@ func TestEnginesMatchDirectSimulators(t *testing.T) {
 				if e.Results() != nil || e.Accesses() != 0 {
 					t.Errorf("%v sharded=%v: state survives Reset", pol, sharded)
 				}
-				if err := Replay(e, bs, replay); err != nil {
+				if err := Replay(context.Background(), e, bs, replay); err != nil {
 					t.Fatal(err)
 				}
 				if got2 := e.Results(); got2[0] != want[0] || got2[len(got2)-1] != want[len(want)-1] {
@@ -132,7 +133,7 @@ func TestEnginesMatchDirectSimulators(t *testing.T) {
 			if sharded {
 				replay = ss
 			}
-			e, err := Run("lrutree", spec, bs, replay)
+			e, err := Run(context.Background(), "lrutree", spec, bs, replay)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -155,7 +156,7 @@ func TestEnginesMatchDirectSimulators(t *testing.T) {
 		for _, logSets := range []int{0, 2, 4} {
 			spec := Spec{MinLogSets: logSets, MaxLogSets: logSets, Assoc: 2, BlockSize: block,
 				Policy: cache.FIFO, Workers: 2}
-			cfg := cache.MustConfig(1<<logSets, 2, block)
+			cfg := mustCfg(1<<logSets, 2, block)
 			want, err := refsim.RunStream(cfg, cache.FIFO, bs)
 			if err != nil {
 				t.Fatal(err)
@@ -165,7 +166,7 @@ func TestEnginesMatchDirectSimulators(t *testing.T) {
 				if sharded {
 					replay = ss
 				}
-				e, err := Run("ref", spec, bs, replay)
+				e, err := Run(context.Background(), "ref", spec, bs, replay)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -214,12 +215,12 @@ func TestRefEngineShardLevelSwitch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := e.SimulateSharded(ss2); err != nil {
+		if err := e.SimulateSharded(context.Background(), ss2); err != nil {
 			t.Fatalf("%s at level 2: %v", name, err)
 		}
 		first := e.Results()
 		e.Reset()
-		if err := e.SimulateSharded(ss3); err != nil {
+		if err := e.SimulateSharded(context.Background(), ss3); err != nil {
 			t.Fatalf("%s at level 3 after Reset: %v", name, err)
 		}
 		second := e.Results()
@@ -253,7 +254,7 @@ func TestRefEngineWriteSim(t *testing.T) {
 		MinLogSets: 4, MaxLogSets: 4, Assoc: 2, BlockSize: block, Policy: cache.LRU,
 		WriteSim: true, Write: refsim.WriteThrough, Alloc: refsim.NoWriteAllocate, StoreBytes: 2,
 	}
-	cfg := cache.MustConfig(16, 2, block)
+	cfg := mustCfg(16, 2, block)
 	ref, err := refsim.NewSim(refsim.Options{
 		Config: cfg, Replacement: cache.LRU,
 		Write: refsim.WriteThrough, Alloc: refsim.NoWriteAllocate, StoreBytes: 2,
@@ -287,7 +288,7 @@ func TestRefEngineWriteSim(t *testing.T) {
 		t.Errorf("stream traffic = %+v, want %+v", gotT, wantT)
 	}
 
-	ss, err := trace.IngestShardsWithKinds(tr.NewSliceReader(), block, 2, 4)
+	ss, err := trace.IngestShardsWithKinds(context.Background(), tr.NewSliceReader(), block, 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestRefEngineWriteSim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e2.SimulateSharded(ss); err != nil {
+	if err := e2.SimulateSharded(context.Background(), ss); err != nil {
 		t.Fatal(err)
 	}
 	if !Parallel(e2) {
@@ -336,4 +337,14 @@ func TestWriteSimRejections(t *testing.T) {
 	if _, err := New("ref", bad); err == nil {
 		t.Error("ref accepted a negative store width")
 	}
+}
+
+// mustCfg builds a cache.Config test fixture, panicking on parameters
+// that could only be wrong at authoring time.
+func mustCfg(sets, assoc, blockSize int) cache.Config {
+	c, err := cache.NewConfig(sets, assoc, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

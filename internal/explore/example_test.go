@@ -1,6 +1,7 @@
 package explore_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func Example() {
 		MinLogBlock: 4, MaxLogBlock: 5,
 		MinLogAssoc: 0, MaxLogAssoc: 2,
 	}
-	res, err := explore.Run(explore.Request{
+	res, err := explore.Run(context.Background(), explore.Request{
 		Space:   space,
 		Source:  explore.FromApp(workload.DJPEG, 1, 50_000),
 		Workers: 2,

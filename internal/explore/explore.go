@@ -23,12 +23,14 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"dew/internal/cache"
 	"dew/internal/engine"
+	"dew/internal/pool"
 	"dew/internal/trace"
 	"dew/internal/workload"
 )
@@ -131,7 +133,12 @@ type Result struct {
 }
 
 // Run executes the exploration.
-func Run(req Request) (*Result, error) {
+//
+// Cancelling ctx stops the run at its natural grain — the ingest
+// pipeline's chunk during the one raw-trace decode, then the pass — and
+// returns ctx's error with the worker pool drained and no goroutines
+// left behind. A panic inside a pass surfaces as a *pool.PanicError.
+func Run(ctx context.Context, req Request) (*Result, error) {
 	if err := req.Space.Validate(); err != nil {
 		return nil, err
 	}
@@ -190,7 +197,7 @@ func Run(req Request) (*Result, error) {
 	}
 	if shardLog >= 0 {
 		passWorkers = 1
-		ss, err := ingest(req.Source(), blocks[0], shardLog, workers)
+		ss, err := ingest(ctx, req.Source(), blocks[0], shardLog, workers)
 		if err != nil {
 			return nil, fmt.Errorf("explore: ingesting block-%d shard stream: %w", blocks[0], err)
 		}
@@ -222,10 +229,9 @@ func Run(req Request) (*Result, error) {
 	}
 
 	var (
-		mu       sync.Mutex
-		firstErr error
-		done     int
-		res      = &Result{
+		mu   sync.Mutex
+		done int
+		res  = &Result{
 			Stats:             make(map[cache.Config]cache.Stats, req.Space.Count()),
 			StreamCompression: make(map[int]float64, len(streams)),
 		}
@@ -246,77 +252,58 @@ func Run(req Request) (*Result, error) {
 	}
 	includeAssoc1 := req.Space.MinLogAssoc == 0
 
-	jobs := make(chan passSpec)
-	var wg sync.WaitGroup
-	for w := 0; w < passWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ps := range jobs {
-				mu.Lock()
-				bs := streams[ps.block]
-				ss := shardStreams[ps.block]
-				mu.Unlock()
-				spec := engine.Spec{
-					MinLogSets: req.Space.MinLogSets,
-					MaxLogSets: req.Space.MaxLogSets,
-					Assoc:      ps.assoc,
-					BlockSize:  ps.block,
-					Policy:     req.Policy,
-					Workers:    workers,
-				}
-				// The exploration's single engine-dispatch site: build
-				// the requested engine and replay the shared stream, or
-				// its shard partition when one was ingested.
-				var results []engine.Result
-				eng, err := engine.Run(name, spec, bs, ss)
-				if err == nil {
-					results = eng.Results()
-				}
+	if err := pool.Run(ctx, passWorkers, len(passes), func(i int) error {
+		ps := passes[i]
+		mu.Lock()
+		bs := streams[ps.block]
+		ss := shardStreams[ps.block]
+		mu.Unlock()
+		spec := engine.Spec{
+			MinLogSets: req.Space.MinLogSets,
+			MaxLogSets: req.Space.MaxLogSets,
+			Assoc:      ps.assoc,
+			BlockSize:  ps.block,
+			Policy:     req.Policy,
+			Workers:    workers,
+		}
+		// The exploration's single engine-dispatch site: build the
+		// requested engine and replay the shared stream, or its shard
+		// partition when one was ingested.
+		eng, err := engine.Run(ctx, name, spec, bs, ss)
+		if err != nil {
+			return fmt.Errorf("explore: pass B=%d A=%d: %w", ps.block, ps.assoc, err)
+		}
+		results := eng.Results()
 
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("explore: pass B=%d A=%d: %w", ps.block, ps.assoc, err)
-					}
-				} else {
-					for _, r := range results {
-						if r.Config.Assoc == 1 && !includeAssoc1 {
-							continue
-						}
-						if prev, ok := res.Stats[r.Config]; ok && prev != r.Stats {
-							// Direct-mapped rows arrive from several
-							// passes and must agree exactly.
-							firstErr = fmt.Errorf("explore: inconsistent results for %v: %+v vs %+v",
-								r.Config, prev, r.Stats)
-						}
-						res.Stats[r.Config] = r.Stats
-					}
-					res.Passes++
-				}
-				done++
-				pending[ps.block]--
-				if pending[ps.block] == 0 {
-					// Last pass over this stream: release it and its
-					// shard partition.
-					delete(streams, ps.block)
-					delete(shardStreams, ps.block)
-				}
-				if req.Progress != nil {
-					req.Progress(done, len(passes))
-				}
-				mu.Unlock()
+		mu.Lock()
+		defer mu.Unlock()
+		for _, r := range results {
+			if r.Config.Assoc == 1 && !includeAssoc1 {
+				continue
 			}
-		}()
-	}
-	for _, ps := range passes {
-		jobs <- ps
-	}
-	close(jobs)
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, firstErr
+			if prev, ok := res.Stats[r.Config]; ok && prev != r.Stats {
+				// Direct-mapped rows arrive from several passes and must
+				// agree exactly.
+				return fmt.Errorf("explore: inconsistent results for %v: %+v vs %+v",
+					r.Config, prev, r.Stats)
+			}
+			res.Stats[r.Config] = r.Stats
+		}
+		res.Passes++
+		done++
+		pending[ps.block]--
+		if pending[ps.block] == 0 {
+			// Last pass over this stream: release it and its shard
+			// partition.
+			delete(streams, ps.block)
+			delete(shardStreams, ps.block)
+		}
+		if req.Progress != nil {
+			req.Progress(done, len(passes))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if len(res.Stats) != req.Space.Count() {
 		return nil, fmt.Errorf("explore: covered %d of %d configurations", len(res.Stats), req.Space.Count())

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -32,7 +33,7 @@ func randomTrace(n int, seed int64) trace.Trace {
 func TestRunCoversSpaceExactly(t *testing.T) {
 	space := smallSpace()
 	tr := randomTrace(5000, 1)
-	res, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 4})
+	res, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,10 +56,10 @@ func TestRunCoversSpaceExactly(t *testing.T) {
 	// Exactness of the merged map against the reference simulator on a
 	// sample of configurations including direct-mapped ones.
 	for _, cfg := range []cache.Config{
-		cache.MustConfig(1, 1, 1),
-		cache.MustConfig(8, 1, 4),
-		cache.MustConfig(32, 4, 8),
-		cache.MustConfig(4, 2, 2),
+		mustCfg(1, 1, 1),
+		mustCfg(8, 1, 4),
+		mustCfg(32, 4, 8),
+		mustCfg(4, 2, 2),
 	} {
 		want, err := refsim.RunTrace(cfg, cache.FIFO, tr)
 		if err != nil {
@@ -77,11 +78,11 @@ func TestRunCoversSpaceExactly(t *testing.T) {
 func TestRunWorkersEquivalence(t *testing.T) {
 	space := smallSpace()
 	tr := randomTrace(3000, 2)
-	seq, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 1})
+	seq, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 8})
+	par, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,14 +108,14 @@ func TestRunShardedEquivalence(t *testing.T) {
 	space := smallSpace()
 	tr := randomTrace(4000, 5)
 	for _, policy := range []cache.Policy{cache.FIFO, cache.LRU} {
-		mono, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 2, Policy: policy})
+		mono, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Workers: 2, Policy: policy})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if mono.Shards != 0 {
 			t.Errorf("monolithic run recorded %d shards", mono.Shards)
 		}
-		sharded, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 2, Shards: 4, Policy: policy})
+		sharded, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Workers: 2, Shards: 4, Policy: policy})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestRunShardedEquivalence(t *testing.T) {
 		}
 	}
 	// A shard request above the deepest level is capped, not rejected.
-	capped, err := Run(Request{
+	capped, err := Run(context.Background(), Request{
 		Space:  cache.ParamSpace{MaxLogSets: 1, MaxLogBlock: 1, MaxLogAssoc: 1},
 		Source: FromTrace(tr), Shards: 64,
 	})
@@ -157,7 +158,7 @@ func TestRunDecodesTraceOnce(t *testing.T) {
 			decodes.Add(1)
 			return tr.NewSliceReader()
 		}
-		res, err := Run(Request{Space: space, Source: src, Workers: 4, Shards: shards})
+		res, err := Run(context.Background(), Request{Space: space, Source: src, Workers: 4, Shards: shards})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestRunAssocOneOnlySpace(t *testing.T) {
 		MinLogBlock: 2, MaxLogBlock: 2,
 		MinLogAssoc: 0, MaxLogAssoc: 0,
 	}
-	res, err := Run(Request{Space: space, Source: FromTrace(randomTrace(2000, 3))})
+	res, err := Run(context.Background(), Request{Space: space, Source: FromTrace(randomTrace(2000, 3))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestRunExcludesAssocOneWhenOutOfSpace(t *testing.T) {
 		MinLogBlock: 0, MaxLogBlock: 0,
 		MinLogAssoc: 1, MaxLogAssoc: 2, // assoc 2 and 4 only
 	}
-	res, err := Run(Request{Space: space, Source: FromTrace(randomTrace(2000, 4))})
+	res, err := Run(context.Background(), Request{Space: space, Source: FromTrace(randomTrace(2000, 4))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestRunExcludesAssocOneWhenOutOfSpace(t *testing.T) {
 func TestRunProgressMonotone(t *testing.T) {
 	var mu sync.Mutex
 	var seen []int
-	_, err := Run(Request{
+	_, err := Run(context.Background(), Request{
 		Space:  smallSpace(),
 		Source: FromTrace(randomTrace(1000, 5)),
 		Progress: func(done, total int) {
@@ -243,10 +244,10 @@ func TestRunProgressMonotone(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(Request{Space: cache.ParamSpace{MinLogSets: 3, MaxLogSets: 1}}); err == nil {
+	if _, err := Run(context.Background(), Request{Space: cache.ParamSpace{MinLogSets: 3, MaxLogSets: 1}}); err == nil {
 		t.Error("want error for invalid space")
 	}
-	if _, err := Run(Request{Space: smallSpace()}); err == nil {
+	if _, err := Run(context.Background(), Request{Space: smallSpace()}); err == nil {
 		t.Error("want error for nil source")
 	}
 }
@@ -278,13 +279,13 @@ func TestRunLRUPolicy(t *testing.T) {
 		MinLogAssoc: 0, MaxLogAssoc: 2,
 	}
 	tr := randomTrace(4000, 6)
-	res, err := Run(Request{Space: space, Source: FromTrace(tr), Policy: cache.LRU})
+	res, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Policy: cache.LRU})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, cfg := range []cache.Config{
-		cache.MustConfig(4, 2, 4),
-		cache.MustConfig(16, 1, 4),
+		mustCfg(4, 2, 4),
+		mustCfg(16, 1, 4),
 	} {
 		want, err := refsim.RunTrace(cfg, cache.LRU, tr)
 		if err != nil {
@@ -294,7 +295,7 @@ func TestRunLRUPolicy(t *testing.T) {
 			t.Errorf("%v: LRU explore %d misses, refsim %d", cfg, got.Misses, want.Misses)
 		}
 	}
-	if _, err := Run(Request{Space: space, Source: FromTrace(tr), Policy: cache.Random}); err == nil {
+	if _, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Policy: cache.Random}); err == nil {
 		t.Error("Random policy should be rejected by the passes")
 	}
 }
@@ -303,7 +304,7 @@ func TestRunPaperSpaceSmallTrace(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 525-config space skipped in -short mode")
 	}
-	res, err := Run(Request{
+	res, err := Run(context.Background(), Request{
 		Space:  cache.PaperSpace(),
 		Source: FromApp(workload.CJPEG, 1, 20_000),
 	})
@@ -329,12 +330,12 @@ func TestRunEngineSelection(t *testing.T) {
 		MinLogAssoc: 0, MaxLogAssoc: 1,
 	}
 	tr := randomTrace(4000, 8)
-	want, err := Run(Request{Space: space, Source: FromTrace(tr), Policy: cache.LRU})
+	want, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Policy: cache.LRU})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, shards := range []int{0, 4} {
-		got, err := Run(Request{
+		got, err := Run(context.Background(), Request{
 			Space: space, Source: FromTrace(tr), Policy: cache.LRU,
 			Engine: "lrutree", Shards: shards,
 		})
@@ -350,10 +351,10 @@ func TestRunEngineSelection(t *testing.T) {
 			}
 		}
 	}
-	if _, err := Run(Request{Space: space, Source: FromTrace(tr), Engine: "nope"}); err == nil {
+	if _, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Engine: "nope"}); err == nil {
 		t.Error("unknown engine must fail")
 	}
-	if _, err := Run(Request{Space: space, Source: FromTrace(tr), Engine: "lrutree"}); err == nil {
+	if _, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Engine: "lrutree"}); err == nil {
 		t.Error("lrutree under FIFO must fail")
 	}
 }
@@ -365,11 +366,11 @@ func TestRunKindsTotalsAndEquivalence(t *testing.T) {
 	for _, a := range tr {
 		want[a.Kind]++
 	}
-	plain, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 2})
+	plain, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	kinds, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 2, Kinds: true})
+	kinds, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Workers: 2, Kinds: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +390,7 @@ func TestRunKindsTotalsAndEquivalence(t *testing.T) {
 		}
 	}
 	// Sharded ingest carries the channel too.
-	sharded, err := Run(Request{Space: space, Source: FromTrace(tr), Workers: 2, Shards: 4, Kinds: true})
+	sharded, err := Run(context.Background(), Request{Space: space, Source: FromTrace(tr), Workers: 2, Shards: 4, Kinds: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,4 +402,14 @@ func TestRunKindsTotalsAndEquivalence(t *testing.T) {
 			t.Errorf("%v: sharded kind run %+v, plain %+v", cfg, sharded.Stats[cfg], st)
 		}
 	}
+}
+
+// mustCfg builds a cache.Config test fixture, panicking on parameters
+// that could only be wrong at authoring time.
+func mustCfg(sets, assoc, blockSize int) cache.Config {
+	c, err := cache.NewConfig(sets, assoc, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

@@ -1,0 +1,39 @@
+// Package leakcheck asserts that a test leaves no goroutines behind.
+// The robustness contract of every pool in this repository (see
+// internal/pool) is that cancellation drains the pool before the entry
+// point returns; these checks are how the trace, sweep and refsim
+// cancellation tests enforce that under -race.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the goroutine count and returns a function to defer:
+// it fails the test if, after a grace period for exiting goroutines to
+// unwind, more goroutines exist than at the snapshot. Tests using it
+// must not call t.Parallel (a sibling test's goroutines would be
+// counted).
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak: %d before, %d after\n%s",
+			before, runtime.NumGoroutine(), buf[:n])
+	}
+}

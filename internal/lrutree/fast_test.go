@@ -10,7 +10,7 @@ import (
 // runInstrumented drives the single-access instrumented path.
 func runInstrumented(t *testing.T, opt Options, tr trace.Trace) *Simulator {
 	t.Helper()
-	s := MustNew(opt)
+	s := mustSim(opt)
 	for _, a := range tr {
 		s.Access(a)
 	}
@@ -59,7 +59,7 @@ func TestAccessBatchEquivalence(t *testing.T) {
 			label := fmt.Sprintf("seed%d/min%d/A%d/B%d", seed, opt.MinLogSets, opt.Assoc, opt.BlockSize)
 			want := runInstrumented(t, opt, tr)
 
-			fast := MustNew(opt)
+			fast := mustSim(opt)
 			fast.AccessBatch(tr)
 			if got := fast.Counters().Accesses; got != uint64(len(tr)) {
 				t.Errorf("%s: fast path Accesses = %d, want %d", label, got, len(tr))
@@ -67,7 +67,7 @@ func TestAccessBatchEquivalence(t *testing.T) {
 			assertSameResults(t, label, want, fast)
 
 			// Chunked delivery cannot change results.
-			split := MustNew(opt)
+			split := mustSim(opt)
 			for i := 0; i < len(tr); i += 997 {
 				end := i + 997
 				if end > len(tr) {
@@ -92,7 +92,7 @@ func TestSimulateStreamEquivalence(t *testing.T) {
 		}
 		want := runInstrumented(t, opt, tr)
 
-		fast := MustNew(opt)
+		fast := mustSim(opt)
 		if err := fast.SimulateStream(bs); err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestSimulateStreamEquivalence(t *testing.T) {
 				runs = append(runs, w)
 			}
 		}
-		split := MustNew(opt)
+		split := mustSim(opt)
 		split.AccessRuns(ids, runs)
 		assertSameResults(t, label+"/mid-run", want, split)
 	}
@@ -141,7 +141,7 @@ func TestAccessRunsInstrumented(t *testing.T) {
 		opt := base
 		m.mod(&opt)
 		want := runInstrumented(t, opt, tr)
-		got := MustNew(opt)
+		got := mustSim(opt)
 		if err := got.SimulateStream(bs); err != nil {
 			t.Fatal(err)
 		}
@@ -162,7 +162,7 @@ func TestFastEntryPointsInterleaved(t *testing.T) {
 	want := runInstrumented(t, opt, tr)
 
 	third := len(tr) / 3
-	mixed := MustNew(opt)
+	mixed := mustSim(opt)
 	mixed.AccessBatch(tr[:third])
 	mid, err := tr[third : 2*third].BlockStream(opt.BlockSize)
 	if err != nil {
@@ -186,7 +186,7 @@ func TestSimulateStreamRejectsBlockMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := MustNew(Options{MaxLogSets: 3, Assoc: 2, BlockSize: 4})
+	s := mustSim(Options{MaxLogSets: 3, Assoc: 2, BlockSize: 4})
 	if err := s.SimulateStream(bs); err == nil {
 		t.Fatal("block-size mismatch accepted")
 	}
@@ -197,11 +197,11 @@ func TestSimulateStreamRejectsBlockMismatch(t *testing.T) {
 func TestSimulateBatchMatchesSimulate(t *testing.T) {
 	tr := randomTrace(8_000, 1<<12, 21)
 	opt := Options{MaxLogSets: 6, Assoc: 4, BlockSize: 8}
-	want := MustNew(opt)
+	want := mustSim(opt)
 	if err := want.Simulate(tr.NewSliceReader()); err != nil {
 		t.Fatal(err)
 	}
-	got := MustNew(opt)
+	got := mustSim(opt)
 	if err := got.SimulateBatch(tr.NewSliceReader()); err != nil {
 		t.Fatal(err)
 	}
@@ -231,12 +231,12 @@ func FuzzFastEquivalence(f *testing.F) {
 		if len(tr) == 0 {
 			return
 		}
-		inst := MustNew(opt)
+		inst := mustSim(opt)
 		for _, a := range tr {
 			inst.Access(a)
 		}
 
-		batch := MustNew(opt)
+		batch := mustSim(opt)
 		batch.AccessBatch(tr)
 		assertSameResults(t, "batch", inst, batch)
 
@@ -244,7 +244,7 @@ func FuzzFastEquivalence(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		stream := MustNew(opt)
+		stream := mustSim(opt)
 		if err := stream.SimulateStream(bs); err != nil {
 			t.Fatal(err)
 		}

@@ -248,15 +248,6 @@ func (s *Simulator) Reset() {
 	s.havePrev, s.prevBlk = false, 0
 }
 
-// MustNew is New but panics on error.
-func MustNew(opt Options) *Simulator {
-	s, err := New(opt)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Options returns the pass configuration.
 func (s *Simulator) Options() Options { return s.opt }
 

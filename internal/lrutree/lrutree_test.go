@@ -39,7 +39,7 @@ func streakyTrace(n int, addrSpace int64, seed int64) trace.Trace {
 
 func checkExact(t *testing.T, opt Options, tr trace.Trace) {
 	t.Helper()
-	s := MustNew(opt)
+	s := mustSim(opt)
 	if err := s.Simulate(tr.NewSliceReader()); err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestExactnessForest(t *testing.T) {
 
 func TestAblationEquivalence(t *testing.T) {
 	tr := streakyTrace(8000, 1<<12, 40)
-	base := MustNew(Options{MaxLogSets: 7, Assoc: 4, BlockSize: 4})
+	base := mustSim(Options{MaxLogSets: 7, Assoc: 4, BlockSize: 4})
 	if err := base.Simulate(tr.NewSliceReader()); err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestAblationEquivalence(t *testing.T) {
 		{MaxLogSets: 7, Assoc: 4, BlockSize: 4, DisableSameBlock: true, DisableMRUCutoff: true},
 	}
 	for _, opt := range variants {
-		v := MustNew(opt)
+		v := mustSim(opt)
 		if err := v.Simulate(tr.NewSliceReader()); err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +119,7 @@ func TestAblationEquivalence(t *testing.T) {
 // count for both associativities.
 func TestInclusionAcrossLevels(t *testing.T) {
 	tr := randomTrace(20000, 1<<13, 50)
-	s := MustNew(Options{MaxLogSets: 8, Assoc: 4, BlockSize: 4})
+	s := mustSim(Options{MaxLogSets: 8, Assoc: 4, BlockSize: 4})
 	if err := s.Simulate(tr.NewSliceReader()); err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestInclusionAcrossLevels(t *testing.T) {
 }
 
 func TestSameBlockSkip(t *testing.T) {
-	s := MustNew(Options{MaxLogSets: 5, Assoc: 4, BlockSize: 16})
+	s := mustSim(Options{MaxLogSets: 5, Assoc: 4, BlockSize: 16})
 	// Addresses within one 16-byte block.
 	for i := 0; i < 50; i++ {
 		s.Access(trace.Access{Addr: uint64(i % 16)})
@@ -159,7 +159,7 @@ func TestSameBlockSkip(t *testing.T) {
 }
 
 func TestMRUCutoff(t *testing.T) {
-	s := MustNew(Options{MaxLogSets: 5, Assoc: 4, BlockSize: 1, DisableSameBlock: true})
+	s := mustSim(Options{MaxLogSets: 5, Assoc: 4, BlockSize: 1, DisableSameBlock: true})
 	for i := 0; i < 50; i++ {
 		s.Access(trace.Access{Addr: 7})
 	}
@@ -173,7 +173,7 @@ func TestMRUCutoff(t *testing.T) {
 }
 
 func TestResultsShape(t *testing.T) {
-	s := MustNew(Options{MinLogSets: 1, MaxLogSets: 3, Assoc: 2, BlockSize: 4})
+	s := mustSim(Options{MinLogSets: 1, MaxLogSets: 3, Assoc: 2, BlockSize: 4})
 	s.Access(trace.Access{Addr: 0})
 	res := s.Results()
 	if len(res) != 6 {
@@ -182,7 +182,7 @@ func TestResultsShape(t *testing.T) {
 	if res[0].Config.Assoc != 1 || res[1].Config.Assoc != 2 || res[0].Config.Sets != 2 {
 		t.Errorf("unexpected leading results: %+v, %+v", res[0], res[1])
 	}
-	sAssoc1 := MustNew(Options{MaxLogSets: 2, Assoc: 1, BlockSize: 4})
+	sAssoc1 := mustSim(Options{MaxLogSets: 2, Assoc: 1, BlockSize: 4})
 	sAssoc1.Access(trace.Access{Addr: 0})
 	if got := len(sAssoc1.Results()); got != 3 {
 		t.Errorf("assoc-1 results = %d, want 3", got)
@@ -205,13 +205,10 @@ func TestOptionsValidate(t *testing.T) {
 	}
 }
 
-func TestMustNewPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew should panic")
-		}
-	}()
-	MustNew(Options{Assoc: 0, BlockSize: 1})
+func TestNewRejectsInvalidOptions(t *testing.T) {
+	if _, err := New(Options{Assoc: 0, BlockSize: 1}); err == nil {
+		t.Fatal("New accepted zero associativity")
+	}
 }
 
 func TestRunAndErrors(t *testing.T) {
@@ -252,7 +249,7 @@ func TestQuickExactness(t *testing.T) {
 		for i, a := range addrs {
 			tr[i] = trace.Access{Addr: uint64(a) % 2048}
 		}
-		s := MustNew(opt)
+		s := mustSim(opt)
 		if err := s.Simulate(tr.NewSliceReader()); err != nil {
 			return false
 		}
@@ -271,7 +268,7 @@ func TestQuickExactness(t *testing.T) {
 
 func TestWorkBelowUnoptimized(t *testing.T) {
 	tr := streakyTrace(10000, 1<<12, 70)
-	s := MustNew(Options{MaxLogSets: 8, Assoc: 4, BlockSize: 4})
+	s := mustSim(Options{MaxLogSets: 8, Assoc: 4, BlockSize: 4})
 	if err := s.Simulate(tr.NewSliceReader()); err != nil {
 		t.Fatal(err)
 	}
@@ -279,4 +276,14 @@ func TestWorkBelowUnoptimized(t *testing.T) {
 	if c.NodeEvaluations >= s.UnoptimizedEvaluations() {
 		t.Errorf("pruning saved nothing: %d >= %d", c.NodeEvaluations, s.UnoptimizedEvaluations())
 	}
+}
+
+// mustSim builds a Simulator test fixture, panicking on options that
+// could only be wrong at authoring time.
+func mustSim(opt Options) *Simulator {
+	s, err := New(opt)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }

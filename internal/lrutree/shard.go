@@ -1,10 +1,11 @@
 package lrutree
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
+	"dew/internal/pool"
 	"dew/internal/trace"
 )
 
@@ -39,10 +40,6 @@ type Sharded struct {
 
 	missDM, missA []uint64
 	accesses      uint64
-
-	// errs collects per-task errors across replays (reused so a replay
-	// only allocates its transient worker pool).
-	errs []error
 }
 
 // NewSharded builds a sharded LRU tree pass at shard level log (2^log
@@ -88,7 +85,6 @@ func NewSharded(opt Options, log, workers int) (*Sharded, error) {
 			return nil, err
 		}
 	}
-	sh.errs = make([]error, len(sh.trees)+1)
 	return sh, nil
 }
 
@@ -116,11 +112,14 @@ func (sh *Sharded) Reset() {
 }
 
 // SimulateStream replays a sharded block stream through the pass and
-// stitches the per-level miss tables; see core.Sharded.SimulateStream.
-// The stream is only read, so one ShardStream may be shared by any
-// number of concurrent passes. Repeated calls continue the pass
-// (chunked replays accumulate); use Reset to start a fresh one.
-func (sh *Sharded) SimulateStream(ss *trace.ShardStream) error {
+// stitches the per-level miss tables; see core.Sharded.SimulateStream
+// (including its cancellation and panic-containment contract: ctx
+// stops the pool at tree granularity and leaves the pass needing a
+// Reset; a replay panic surfaces as a *pool.PanicError). The stream is
+// only read, so one ShardStream may be shared by any number of
+// concurrent passes. Repeated calls continue the pass (chunked replays
+// accumulate); use Reset to start a fresh one.
+func (sh *Sharded) SimulateStream(ctx context.Context, ss *trace.ShardStream) error {
 	if ss.Log != sh.log {
 		return fmt.Errorf("lrutree: stream sharded at level %d, pass expects %d", ss.Log, sh.log)
 	}
@@ -132,39 +131,18 @@ func (sh *Sharded) SimulateStream(ss *trace.ShardStream) error {
 		return fmt.Errorf("lrutree: stream has %d shards, pass has %d trees", ss.NumShards(), len(sh.trees))
 	}
 
-	tasks := make(chan int)
-	errs := sh.errs
-	clear(errs)
-	var wg sync.WaitGroup
-	workers := sh.workers
-	if workers > len(errs) {
-		workers = len(errs)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				if t < 0 {
-					errs[len(errs)-1] = sh.shallow.SimulateStream(ss.Source)
-				} else {
-					errs[t] = sh.trees[t].SimulateStream(&ss.Shards[t])
-				}
-			}
-		}()
-	}
+	n := len(sh.trees)
 	if sh.shallow != nil {
-		tasks <- -1
+		n++
 	}
-	for t := range sh.trees {
-		tasks <- t
-	}
-	close(tasks)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	err := pool.Run(ctx, sh.workers, n, func(t int) error {
+		if t == len(sh.trees) {
+			return sh.shallow.SimulateStream(ss.Source)
 		}
+		return sh.trees[t].SimulateStream(&ss.Shards[t])
+	})
+	if err != nil {
+		return err
 	}
 
 	// The component simulators' tables are cumulative across replays,
@@ -202,12 +180,12 @@ func (sh *Sharded) Results() []Result {
 
 // SimulateSharded builds a sharded pass matching the stream's shard
 // level, replays the stream and returns the pass.
-func SimulateSharded(opt Options, ss *trace.ShardStream, workers int) (*Sharded, error) {
+func SimulateSharded(ctx context.Context, opt Options, ss *trace.ShardStream, workers int) (*Sharded, error) {
 	sh, err := NewSharded(opt, ss.Log, workers)
 	if err != nil {
 		return nil, err
 	}
-	if err := sh.SimulateStream(ss); err != nil {
+	if err := sh.SimulateStream(ctx, ss); err != nil {
 		return nil, err
 	}
 	return sh, nil

@@ -1,6 +1,7 @@
 package lrutree
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 // runMonolithic drives the instrumented per-access path.
 func runMonolithic(t *testing.T, opt Options, tr trace.Trace) *Simulator {
 	t.Helper()
-	s := MustNew(opt)
+	s := mustSim(opt)
 	for _, a := range tr {
 		s.Access(a)
 	}
@@ -43,7 +44,7 @@ func TestShardedEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				sh, err := SimulateSharded(opt, ss, 4)
+				sh, err := SimulateSharded(context.Background(), opt, ss, 4)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -76,14 +77,14 @@ func TestShardedReset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := SimulateSharded(opt, ss, 2)
+	sh, err := SimulateSharded(context.Background(), opt, ss, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := sh.Results()
 	for i := 0; i < 3; i++ {
 		sh.Reset()
-		if err := sh.SimulateStream(ss); err != nil {
+		if err := sh.SimulateStream(context.Background(), ss); err != nil {
 			t.Fatal(err)
 		}
 		for j, r := range sh.Results() {
@@ -108,7 +109,7 @@ func TestShardedRepeatedReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mono := MustNew(opt)
+	mono := mustSim(opt)
 	sh, err := NewSharded(opt, 2, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -117,7 +118,7 @@ func TestShardedRepeatedReplay(t *testing.T) {
 		if err := mono.SimulateStream(bs); err != nil {
 			t.Fatal(err)
 		}
-		if err := sh.SimulateStream(ss); err != nil {
+		if err := sh.SimulateStream(context.Background(), ss); err != nil {
 			t.Fatal(err)
 		}
 		wr, gr := mono.Results(), sh.Results()
@@ -157,7 +158,7 @@ func TestResetEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reused := MustNew(opt)
+	reused := mustSim(opt)
 	for round := 0; round < 3; round++ {
 		if round > 0 {
 			reused.Reset()
@@ -165,7 +166,7 @@ func TestResetEquivalence(t *testing.T) {
 		if err := reused.SimulateStream(bs); err != nil {
 			t.Fatal(err)
 		}
-		fresh := MustNew(opt)
+		fresh := mustSim(opt)
 		if err := fresh.SimulateStream(bs); err != nil {
 			t.Fatal(err)
 		}

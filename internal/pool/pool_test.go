@@ -1,0 +1,155 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAllTasks(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var done [100]atomic.Bool
+		if err := Run(context.Background(), workers, len(done), func(i int) error {
+			done[i].Store(true)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range done {
+			if !done[i].Load() {
+				t.Fatalf("workers=%d: task %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunFirstErrorInIndexOrder(t *testing.T) {
+	errOdd := errors.New("odd")
+	err := Run(context.Background(), 4, 16, func(i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("task %d: %w", i, errOdd)
+		}
+		return nil
+	})
+	if !errors.Is(err, errOdd) {
+		t.Fatalf("err = %v, want wrapped errOdd", err)
+	}
+	// With 4 workers, task 1 always starts in the first wave, so the
+	// lowest failing index is deterministic.
+	if want := "task 1:"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %q, want first error in index order (%q)", err, want)
+	}
+}
+
+func TestRunStopsAfterError(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	err := Run(context.Background(), 1, 1000, func(i int) error {
+		started.Add(1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := started.Load(); n > 3 {
+		t.Fatalf("started %d tasks after error on task 2", n)
+	}
+}
+
+func TestRunPanicBecomesError(t *testing.T) {
+	err := Run(context.Background(), 2, 8, func(i int) error {
+		if i == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "kaboom" {
+		t.Fatalf("PanicError.Value = %v, want kaboom", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "pool_test.go") {
+		t.Fatalf("PanicError.Stack does not reference the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("Error() = %q, want panic value included", err)
+	}
+}
+
+func TestProtectNilPointerPanic(t *testing.T) {
+	type s struct{ n int }
+	var p *s
+	err := Protect(func() error { _ = p.n; return nil })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError from nil dereference", err)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	launched := make(chan struct{})
+	var once atomic.Bool
+	err := Run(ctx, 2, 1000, func(i int) error {
+		started.Add(1)
+		if once.CompareAndSwap(false, true) {
+			close(launched)
+		}
+		<-launched
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop the pool (%d tasks ran)", n)
+	}
+}
+
+func TestRunPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var started atomic.Int64
+	err := Run(ctx, 4, 100, func(i int) error {
+		started.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n != 0 {
+		t.Fatalf("pre-cancelled pool ran %d tasks", n)
+	}
+}
+
+func TestRunDrainsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	_ = Run(ctx, 8, 1<<20, func(i int) error {
+		time.Sleep(10 * time.Microsecond)
+		return nil
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

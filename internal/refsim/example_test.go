@@ -19,7 +19,7 @@ func Example() {
 		{Addr: 128, Kind: trace.DataWrite},
 		{Addr: 64, Kind: trace.DataRead},
 	}
-	stats, err := refsim.RunTrace(cache.MustConfig(1, 2, 64), cache.FIFO, tr)
+	stats, err := refsim.RunTrace(cache.Config{Sets: 1, Assoc: 2, BlockSize: 64}, cache.FIFO, tr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func Example() {
 // Write policies add Dinero-style memory-traffic accounting.
 func ExampleNewSim() {
 	sim, err := refsim.NewSim(refsim.Options{
-		Config:      cache.MustConfig(1, 1, 16),
+		Config:      cache.Config{Sets: 1, Assoc: 1, BlockSize: 16},
 		Replacement: cache.FIFO,
 		Write:       refsim.WriteBack,
 		Alloc:       refsim.WriteAllocate,

@@ -1,6 +1,7 @@
 package refsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -88,10 +89,10 @@ func TestKindStreamEquivalence(t *testing.T) {
 		tr := kindTestTrace(12_000, seed)
 		for _, policy := range []cache.Policy{cache.FIFO, cache.LRU, cache.Random} {
 			for _, cfg := range []cache.Config{
-				cache.MustConfig(8, 4, 16),
-				cache.MustConfig(64, 2, 4),
-				cache.MustConfig(1, 8, 32),
-				cache.MustConfig(16, 1, 8),
+				mustCfg(8, 4, 16),
+				mustCfg(64, 2, 4),
+				mustCfg(1, 8, 32),
+				mustCfg(16, 1, 8),
 			} {
 				bs, err := tr.BlockStreamWithKinds(cfg.BlockSize)
 				if err != nil {
@@ -129,7 +130,7 @@ func TestKindStreamEquivalence(t *testing.T) {
 func TestKindStreamPerKindStats(t *testing.T) {
 	tr := kindTestTrace(10_000, 9)
 	for _, policy := range []cache.Policy{cache.FIFO, cache.LRU, cache.Random} {
-		cfg := cache.MustConfig(16, 2, 8)
+		cfg := mustCfg(16, 2, 8)
 		want, err := RunTrace(cfg, policy, tr)
 		if err != nil {
 			t.Fatal(err)
@@ -153,10 +154,10 @@ func TestKindStreamPerKindStats(t *testing.T) {
 func TestShardedSimEquivalence(t *testing.T) {
 	gen := workload.NewKindMix(11, workload.NewTableLookup(3, 0, 512, 8, 0.1, 0.8, trace.DataRead), 5, 4, 1)
 	tr := workload.Take(gen, 15_000)
-	cfg := cache.MustConfig(64, 2, 8)
+	cfg := mustCfg(64, 2, 8)
 	for _, policy := range []cache.Policy{cache.FIFO, cache.LRU, cache.Random} {
 		for _, log := range []int{0, 2, 3} {
-			ss, err := trace.IngestShardsWithKinds(tr.NewSliceReader(), cfg.BlockSize, log, 4)
+			ss, err := trace.IngestShardsWithKinds(context.Background(), tr.NewSliceReader(), cfg.BlockSize, log, 4)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -178,7 +179,7 @@ func TestShardedSimEquivalence(t *testing.T) {
 				if sh.Parallel() == (policy == cache.Random) {
 					t.Fatalf("%s: Parallel() = %v", label, sh.Parallel())
 				}
-				gotS, err := sh.SimulateStream(ss)
+				gotS, err := sh.SimulateStream(context.Background(), ss)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -186,7 +187,7 @@ func TestShardedSimEquivalence(t *testing.T) {
 
 				// Reset and replay must reproduce the pass.
 				sh.Reset()
-				gotS, err = sh.SimulateStream(ss)
+				gotS, err = sh.SimulateStream(context.Background(), ss)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -201,7 +202,7 @@ func TestShardedSimEquivalence(t *testing.T) {
 // reason about: all-store runs leave the block cold, store-led runs
 // install at the first non-store, and repeated bypasses re-scan the set.
 func TestKindStreamCraftedRuns(t *testing.T) {
-	cfg := cache.MustConfig(1, 2, 4)
+	cfg := mustCfg(1, 2, 4)
 	mk := func(kinds ...trace.Kind) trace.Trace {
 		tr := make(trace.Trace, len(kinds))
 		for i, k := range kinds {
@@ -308,7 +309,7 @@ func FuzzKindStreamWrite(f *testing.F) {
 		// The sharded pass over the same stream must stitch identically.
 		if len(tr) > 0 {
 			log := int(geom/8) % 3
-			ss, err := trace.IngestShardsWithKinds(tr.NewSliceReader(), cfg.BlockSize, log, 2)
+			ss, err := trace.IngestShardsWithKinds(context.Background(), tr.NewSliceReader(), cfg.BlockSize, log, 2)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -316,7 +317,7 @@ func FuzzKindStreamWrite(f *testing.F) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			gotSh, err := sh.SimulateStream(ss)
+			gotSh, err := sh.SimulateStream(context.Background(), ss)
 			if err != nil {
 				t.Fatal(err)
 			}

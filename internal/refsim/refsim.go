@@ -110,15 +110,6 @@ func New(cfg cache.Config, policy cache.Policy) (*Simulator, error) {
 	return s, nil
 }
 
-// MustNew is New but panics on error; for tests and examples.
-func MustNew(cfg cache.Config, policy cache.Policy) *Simulator {
-	s, err := New(cfg, policy)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Reset returns the simulator to its freshly constructed state —
 // cold cache, empty reference history, zeroed statistics and a rewound
 // random-replacement stream — reusing the allocated arenas so a

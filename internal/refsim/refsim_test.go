@@ -54,8 +54,8 @@ func randomTrace(n int, addrSpace int64, seed int64) trace.Trace {
 
 func TestFIFOHandSequence(t *testing.T) {
 	// S=1, A=2, B=1. FIFO evicts in insertion order regardless of hits.
-	cfg := cache.MustConfig(1, 2, 1)
-	s := MustNew(cfg, cache.FIFO)
+	cfg := mustCfg(1, 2, 1)
+	s := mustSim(cfg, cache.FIFO)
 	steps := []struct {
 		addr    uint64
 		wantHit bool
@@ -91,9 +91,9 @@ func TestFIFOHandSequence(t *testing.T) {
 func TestLRUHandSequence(t *testing.T) {
 	// Same S=1, A=2 cache under LRU: the A B A C A pattern where LRU
 	// beats FIFO.
-	cfg := cache.MustConfig(1, 2, 1)
-	fifo := MustNew(cfg, cache.FIFO)
-	lru := MustNew(cfg, cache.LRU)
+	cfg := mustCfg(1, 2, 1)
+	fifo := mustSim(cfg, cache.FIFO)
+	lru := mustSim(cfg, cache.LRU)
 	seq := []uint64{1, 2, 1, 3, 1}
 	for _, a := range seq {
 		fifo.Access(trace.Access{Addr: a})
@@ -109,19 +109,19 @@ func TestLRUHandSequence(t *testing.T) {
 
 func TestAgainstNaiveOracle(t *testing.T) {
 	configs := []cache.Config{
-		cache.MustConfig(1, 1, 1),
-		cache.MustConfig(1, 4, 4),
-		cache.MustConfig(4, 1, 2),
-		cache.MustConfig(8, 2, 4),
-		cache.MustConfig(16, 4, 8),
-		cache.MustConfig(2, 8, 16),
-		cache.MustConfig(64, 16, 32),
+		mustCfg(1, 1, 1),
+		mustCfg(1, 4, 4),
+		mustCfg(4, 1, 2),
+		mustCfg(8, 2, 4),
+		mustCfg(16, 4, 8),
+		mustCfg(2, 8, 16),
+		mustCfg(64, 16, 32),
 	}
 	for _, policy := range []cache.Policy{cache.FIFO, cache.LRU} {
 		for _, cfg := range configs {
 			for seed := int64(0); seed < 3; seed++ {
 				tr := randomTrace(5000, 4096, seed)
-				sim := MustNew(cfg, policy)
+				sim := mustSim(cfg, policy)
 				oracle := newNaive(cfg, policy)
 				for i, a := range tr {
 					got := sim.Access(a)
@@ -139,8 +139,8 @@ func TestAgainstNaiveOracle(t *testing.T) {
 func TestCompulsoryMatchesUniqueBlocks(t *testing.T) {
 	tr := randomTrace(20000, 1<<16, 7)
 	for _, cfg := range []cache.Config{
-		cache.MustConfig(4, 2, 4),
-		cache.MustConfig(256, 4, 32),
+		mustCfg(4, 2, 4),
+		mustCfg(256, 4, 32),
 	} {
 		stats, err := RunTrace(cfg, cache.FIFO, tr)
 		if err != nil {
@@ -166,7 +166,7 @@ func TestPerKindCounts(t *testing.T) {
 		{Addr: 0, Kind: trace.IFetch},
 		{Addr: 0, Kind: trace.DataRead},
 	}
-	cfg := cache.MustConfig(1, 2, 64)
+	cfg := mustCfg(1, 2, 64)
 	stats, err := RunTrace(cfg, cache.FIFO, tr)
 	if err != nil {
 		t.Fatal(err)
@@ -190,7 +190,7 @@ func TestPerKindCounts(t *testing.T) {
 func TestLRUInclusion(t *testing.T) {
 	tr := randomTrace(30000, 1<<14, 11)
 	missesAt := func(sets, assoc int) uint64 {
-		stats, err := RunTrace(cache.MustConfig(sets, assoc, 4), cache.LRU, tr)
+		stats, err := RunTrace(mustCfg(sets, assoc, 4), cache.LRU, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -224,13 +224,13 @@ func TestLRUInclusion(t *testing.T) {
 // inclusion properties"), and it is why DEW cannot prune like LRU
 // simulators do.
 func TestFIFONonInclusion(t *testing.T) {
-	small := cache.MustConfig(1, 2, 1)
-	big := cache.MustConfig(2, 2, 1)
+	small := mustCfg(1, 2, 1)
+	big := mustCfg(2, 2, 1)
 	found := false
 	for seed := int64(0); seed < 50 && !found; seed++ {
 		tr := randomTrace(2000, 8, seed)
-		s1 := MustNew(small, cache.FIFO)
-		s2 := MustNew(big, cache.FIFO)
+		s1 := mustSim(small, cache.FIFO)
+		s2 := mustSim(big, cache.FIFO)
 		for _, a := range tr {
 			h1 := s1.Access(a)
 			h2 := s2.Access(a)
@@ -247,7 +247,7 @@ func TestFIFONonInclusion(t *testing.T) {
 
 func TestRandomPolicyDeterministic(t *testing.T) {
 	tr := randomTrace(20000, 1<<12, 13)
-	cfg := cache.MustConfig(8, 4, 8)
+	cfg := mustCfg(8, 4, 8)
 	a, err := RunTrace(cfg, cache.Random, tr)
 	if err != nil {
 		t.Fatal(err)
@@ -267,8 +267,8 @@ func TestRandomPolicyDeterministic(t *testing.T) {
 func TestTagComparisonAccounting(t *testing.T) {
 	// S=1, A=4, B=1; fill with 1,2,3,4 then hit 3: search order is
 	// physical for FIFO, so comparisons to hit 3 = 3.
-	cfg := cache.MustConfig(1, 4, 1)
-	s := MustNew(cfg, cache.FIFO)
+	cfg := mustCfg(1, 4, 1)
+	s := mustSim(cfg, cache.FIFO)
 	for _, a := range []uint64{1, 2, 3, 4} {
 		s.Access(trace.Access{Addr: a})
 	}
@@ -290,8 +290,8 @@ func TestTagComparisonAccounting(t *testing.T) {
 func TestLRUSearchOrderAffectsComparisons(t *testing.T) {
 	// Under LRU the most recently used block is compared first, so
 	// re-hitting the MRU block costs exactly one comparison.
-	cfg := cache.MustConfig(1, 4, 1)
-	s := MustNew(cfg, cache.LRU)
+	cfg := mustCfg(1, 4, 1)
+	s := mustSim(cfg, cache.LRU)
 	for _, a := range []uint64{1, 2, 3, 4} {
 		s.Access(trace.Access{Addr: a})
 	}
@@ -315,20 +315,17 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	}
 }
 
-func TestMustNewPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew should panic on invalid config")
-		}
-	}()
-	MustNew(cache.Config{}, cache.FIFO)
+func TestNewRejectsZeroConfig(t *testing.T) {
+	if _, err := New(cache.Config{}, cache.FIFO); err == nil {
+		t.Fatal("New accepted a zero Config")
+	}
 }
 
 func TestSimulateReaderError(t *testing.T) {
 	boom := trace.FuncReader(func() (trace.Access, error) {
 		return trace.Access{}, errTest
 	})
-	s := MustNew(cache.MustConfig(1, 1, 1), cache.FIFO)
+	s := mustSim(mustCfg(1, 1, 1), cache.FIFO)
 	if _, err := s.Simulate(boom); err != errTest {
 		t.Fatalf("err = %v, want errTest", err)
 	}
@@ -341,12 +338,32 @@ type errorString string
 func (e errorString) Error() string { return string(e) }
 
 func TestAccessorMethods(t *testing.T) {
-	cfg := cache.MustConfig(4, 2, 8)
-	s := MustNew(cfg, cache.LRU)
+	cfg := mustCfg(4, 2, 8)
+	s := mustSim(cfg, cache.LRU)
 	if s.Config() != cfg {
 		t.Error("Config mismatch")
 	}
 	if s.Policy() != cache.LRU {
 		t.Error("Policy mismatch")
 	}
+}
+
+// mustCfg builds a cache.Config test fixture, panicking on parameters
+// that could only be wrong at authoring time.
+func mustCfg(sets, assoc, blockSize int) cache.Config {
+	c, err := cache.NewConfig(sets, assoc, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustSim builds a Simulator test fixture, panicking on a config that
+// could only be wrong at authoring time.
+func mustSim(cfg cache.Config, policy cache.Policy) *Simulator {
+	s, err := New(cfg, policy)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }

@@ -1,11 +1,12 @@
 package refsim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"dew/internal/cache"
+	"dew/internal/pool"
 	"dew/internal/trace"
 )
 
@@ -45,7 +46,6 @@ type Sharded struct {
 
 	stats   Stats
 	traffic Traffic
-	errs    []error
 }
 
 // NewSharded builds a sharded reference pass for the configuration and
@@ -76,7 +76,6 @@ func NewSharded(cfg cache.Config, policy cache.Policy, log, workers int) (*Shard
 				return nil, err
 			}
 		}
-		sh.errs = make([]error, len(sh.subs))
 	} else {
 		var err error
 		if sh.whole, err = New(cfg, policy); err != nil {
@@ -120,7 +119,6 @@ func NewShardedSim(o Options, log, workers int) (*Sharded, error) {
 			}
 			sh.subs[t].fillBytes = o.Config.BlockSize
 		}
-		sh.errs = make([]error, len(sh.subs))
 	} else {
 		var err error
 		if sh.whole, err = NewSim(o); err != nil {
@@ -169,7 +167,13 @@ func (sh *Sharded) Reset() {
 // materialized at its block size. Results are bit-identical to
 // Simulator.SimulateStream over the parent stream. Like that entry
 // point, repeated calls continue the pass (chunked replays accumulate).
-func (sh *Sharded) SimulateStream(ss *trace.ShardStream) (Stats, error) {
+//
+// Cancelling ctx stops claiming sub-cache replays (each sub-cache is
+// one task) and returns ctx's error with the pool drained; the pass
+// state is then inconsistent — Reset before reusing it. A panic inside
+// a replay surfaces as a *pool.PanicError instead of crashing the
+// process.
+func (sh *Sharded) SimulateStream(ctx context.Context, ss *trace.ShardStream) (Stats, error) {
 	if ss.Log != sh.log {
 		return sh.stats, fmt.Errorf("refsim: stream sharded at level %d, pass expects %d", ss.Log, sh.log)
 	}
@@ -178,6 +182,9 @@ func (sh *Sharded) SimulateStream(ss *trace.ShardStream) (Stats, error) {
 			ss.BlockSize, sh.cfg.BlockSize)
 	}
 	if sh.whole != nil {
+		if err := ctx.Err(); err != nil {
+			return sh.stats, err
+		}
 		stats, err := sh.whole.SimulateStream(ss.Source)
 		sh.stats = stats
 		sh.traffic = sh.whole.Traffic()
@@ -187,29 +194,11 @@ func (sh *Sharded) SimulateStream(ss *trace.ShardStream) (Stats, error) {
 		return sh.stats, fmt.Errorf("refsim: stream has %d shards, pass has %d sub-caches", ss.NumShards(), len(sh.subs))
 	}
 
-	tasks := make(chan int)
-	errs := sh.errs
-	clear(errs)
-	var wg sync.WaitGroup
-	workers := min(sh.workers, len(sh.subs))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				_, errs[t] = sh.subs[t].SimulateStream(&ss.Shards[t])
-			}
-		}()
-	}
-	for t := range sh.subs {
-		tasks <- t
-	}
-	close(tasks)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return sh.stats, err
-		}
+	if err := pool.Run(ctx, sh.workers, len(sh.subs), func(t int) error {
+		_, err := sh.subs[t].SimulateStream(&ss.Shards[t])
+		return err
+	}); err != nil {
+		return sh.stats, err
 	}
 
 	// Stitch: every stream-replay statistic is a sum of per-set
@@ -241,10 +230,10 @@ func (sh *Sharded) SimulateStream(ss *trace.ShardStream) (Stats, error) {
 
 // RunSharded builds a sharded pass matching the stream's shard level,
 // replays the stream and returns the final statistics.
-func RunSharded(cfg cache.Config, policy cache.Policy, ss *trace.ShardStream, workers int) (Stats, error) {
+func RunSharded(ctx context.Context, cfg cache.Config, policy cache.Policy, ss *trace.ShardStream, workers int) (Stats, error) {
 	sh, err := NewSharded(cfg, policy, ss.Log, workers)
 	if err != nil {
 		return Stats{}, err
 	}
-	return sh.SimulateStream(ss)
+	return sh.SimulateStream(ctx, ss)
 }

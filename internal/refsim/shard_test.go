@@ -1,6 +1,7 @@
 package refsim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestShardedMatchesMonolithic(t *testing.T) {
 					if wantPar := log <= logSets; sh.Parallel() != wantPar {
 						t.Fatalf("sets=%d log=%d: Parallel()=%v, want %v", cfg.Sets, log, sh.Parallel(), wantPar)
 					}
-					got, err := sh.SimulateStream(ss)
+					got, err := sh.SimulateStream(context.Background(), ss)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -92,7 +93,7 @@ func TestShardedRandomFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := cache.MustConfig(64, 2, 4)
+	cfg := mustCfg(64, 2, 4)
 	sh, err := NewSharded(cfg, cache.Random, 2, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +101,7 @@ func TestShardedRandomFallsBack(t *testing.T) {
 	if sh.Parallel() {
 		t.Fatal("Random policy must fall back to the monolithic replay")
 	}
-	got, err := sh.SimulateStream(ss)
+	got, err := sh.SimulateStream(context.Background(), ss)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,12 +125,12 @@ func TestShardedReset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := cache.MustConfig(16, 2, 4)
+	cfg := mustCfg(16, 2, 4)
 	sh, err := NewSharded(cfg, cache.LRU, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := sh.SimulateStream(ss)
+	first, err := sh.SimulateStream(context.Background(), ss)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestShardedReset(t *testing.T) {
 	if got := sh.Stats(); got != (Stats{}) {
 		t.Fatalf("stats after Reset: %+v", got)
 	}
-	second, err := sh.SimulateStream(ss)
+	second, err := sh.SimulateStream(context.Background(), ss)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestSimulatorReset(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	tr := shardTrace(rng, 4000)
 	for _, policy := range []cache.Policy{cache.FIFO, cache.LRU, cache.Random} {
-		sim := MustNew(cache.MustConfig(32, 4, 8), policy)
+		sim := mustSim(mustCfg(32, 4, 8), policy)
 		first, err := sim.Simulate(tr.NewSliceReader())
 		if err != nil {
 			t.Fatal(err)
@@ -170,18 +171,18 @@ func TestShardedStreamMismatch(t *testing.T) {
 	tr := trace.Trace{{Addr: 0}, {Addr: 64}}
 	bs, _ := tr.BlockStream(4)
 	ss, _ := trace.ShardBlockStream(bs, 1)
-	sh, err := NewSharded(cache.MustConfig(8, 1, 4), cache.FIFO, 2, 1)
+	sh, err := NewSharded(mustCfg(8, 1, 4), cache.FIFO, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sh.SimulateStream(ss); err == nil {
+	if _, err := sh.SimulateStream(context.Background(), ss); err == nil {
 		t.Error("want shard-level mismatch error")
 	}
-	sh8, err := NewSharded(cache.MustConfig(8, 1, 8), cache.FIFO, 1, 1)
+	sh8, err := NewSharded(mustCfg(8, 1, 8), cache.FIFO, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sh8.SimulateStream(ss); err == nil {
+	if _, err := sh8.SimulateStream(context.Background(), ss); err == nil {
 		t.Error("want block-size mismatch error")
 	}
 }

@@ -62,10 +62,10 @@ func TestSimulateStreamEquivalence(t *testing.T) {
 		tr := streamTestTrace(12_000, seed)
 		for _, policy := range []cache.Policy{cache.FIFO, cache.LRU, cache.Random} {
 			for _, cfg := range []cache.Config{
-				cache.MustConfig(8, 4, 16),
-				cache.MustConfig(64, 2, 4),
-				cache.MustConfig(1, 8, 32),
-				cache.MustConfig(16, 1, 8),
+				mustCfg(8, 4, 16),
+				mustCfg(64, 2, 4),
+				mustCfg(1, 8, 32),
+				mustCfg(16, 1, 8),
 			} {
 				label := fmt.Sprintf("seed%d/%v/%v", seed, policy, cfg)
 				bs, err := tr.BlockStream(cfg.BlockSize)
@@ -94,11 +94,11 @@ func TestSimulateStreamRejects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := MustNew(cache.MustConfig(4, 2, 32), cache.FIFO)
+	s := mustSim(mustCfg(4, 2, 32), cache.FIFO)
 	if _, err := s.SimulateStream(bs); err == nil {
 		t.Error("block-size mismatch accepted")
 	}
-	ws, err := NewSim(Options{Config: cache.MustConfig(4, 2, 16), Replacement: cache.FIFO})
+	ws, err := NewSim(Options{Config: mustCfg(4, 2, 16), Replacement: cache.FIFO})
 	if err != nil {
 		t.Fatal(err)
 	}

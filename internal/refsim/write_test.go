@@ -15,7 +15,7 @@ func TestWriteBackDirtyEviction(t *testing.T) {
 	// S=1, A=1, B=8: write block 0 (dirty), then read block 8 evicting
 	// it: one writeback of 8 bytes plus two 8-byte fills.
 	s, err := NewSim(Options{
-		Config:      cache.MustConfig(1, 1, 8),
+		Config:      mustCfg(1, 1, 8),
 		Replacement: cache.FIFO,
 		Write:       WriteBack,
 		Alloc:       WriteAllocate,
@@ -39,7 +39,7 @@ func TestWriteBackDirtyEviction(t *testing.T) {
 
 func TestWriteBackCleanEviction(t *testing.T) {
 	s, err := NewSim(Options{
-		Config:      cache.MustConfig(1, 1, 8),
+		Config:      mustCfg(1, 1, 8),
 		Replacement: cache.FIFO,
 	})
 	if err != nil {
@@ -56,7 +56,7 @@ func TestWriteBackCleanEviction(t *testing.T) {
 func TestWriteThroughTraffic(t *testing.T) {
 	// Every store goes to memory at the store width; blocks never dirty.
 	s, err := NewSim(Options{
-		Config:      cache.MustConfig(1, 2, 8),
+		Config:      mustCfg(1, 2, 8),
 		Replacement: cache.FIFO,
 		Write:       WriteThrough,
 		Alloc:       WriteAllocate,
@@ -84,7 +84,7 @@ func TestNoWriteAllocateBypasses(t *testing.T) {
 	// A write miss must not install the block: the following read of the
 	// same block still misses.
 	s, err := NewSim(Options{
-		Config:      cache.MustConfig(1, 2, 8),
+		Config:      mustCfg(1, 2, 8),
 		Replacement: cache.FIFO,
 		Write:       WriteThrough,
 		Alloc:       NoWriteAllocate,
@@ -116,8 +116,8 @@ func TestWriteAllocateMatchesLegacyCounts(t *testing.T) {
 	// With write-back + write-allocate, hit/miss counts must equal the
 	// legacy New() simulator on any trace (the multi-config simulators
 	// model exactly that behaviour).
-	cfg := cache.MustConfig(8, 2, 4)
-	legacy := MustNew(cfg, cache.FIFO)
+	cfg := mustCfg(8, 2, 4)
+	legacy := mustSim(cfg, cache.FIFO)
 	full, err := NewSim(Options{Config: cfg, Replacement: cache.FIFO})
 	if err != nil {
 		t.Fatal(err)
@@ -139,7 +139,7 @@ func TestWriteAllocateMatchesLegacyCounts(t *testing.T) {
 func TestWriteBackTotalTrafficConservation(t *testing.T) {
 	// Every dirty block is written back at most once per residency, so
 	// BytesToMemory <= writes*B and Writebacks <= write misses + hits.
-	cfg := cache.MustConfig(4, 2, 16)
+	cfg := mustCfg(4, 2, 16)
 	s, err := NewSim(Options{Config: cfg, Replacement: cache.LRU})
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +169,7 @@ func TestNewSimValidation(t *testing.T) {
 	if _, err := NewSim(Options{Config: cache.Config{Sets: 3}}); err == nil {
 		t.Error("want error for invalid config")
 	}
-	if _, err := NewSim(Options{Config: cache.MustConfig(1, 1, 1), StoreBytes: -1}); err == nil {
+	if _, err := NewSim(Options{Config: mustCfg(1, 1, 1), StoreBytes: -1}); err == nil {
 		t.Error("want error for negative store width")
 	}
 }
@@ -190,7 +190,7 @@ func TestPolicyStrings(t *testing.T) {
 // oracle (the store installs the block exactly like a read would).
 func TestWritePathAgainstOracle(t *testing.T) {
 	for _, policy := range []cache.Policy{cache.FIFO, cache.LRU} {
-		cfg := cache.MustConfig(4, 2, 4)
+		cfg := mustCfg(4, 2, 4)
 		sim, err := NewSim(Options{Config: cfg, Replacement: policy})
 		if err != nil {
 			t.Fatal(err)

@@ -70,15 +70,6 @@ func New(sets, blockSize, maxTrack int) (*Simulator, error) {
 	}, nil
 }
 
-// MustNew is New but panics on error.
-func MustNew(sets, blockSize, maxTrack int) *Simulator {
-	s, err := New(sets, blockSize, maxTrack)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Access records one request and returns its stack distance (-1 for a
 // cold first reference).
 func (s *Simulator) Access(a trace.Access) int {

@@ -21,7 +21,7 @@ func randomTrace(n int, addrSpace int64, seed int64) trace.Trace {
 
 func TestStackDistanceHandSequence(t *testing.T) {
 	// Single set, block 1: distances are textbook.
-	s := MustNew(1, 1, 8)
+	s := mustSim(1, 1, 8)
 	seq := []struct {
 		addr uint64
 		want int
@@ -55,7 +55,7 @@ func TestAllAssociativityExactness(t *testing.T) {
 		for _, block := range []int{1, 8} {
 			for seed := int64(0); seed < 3; seed++ {
 				tr := randomTrace(6000, 1<<12, seed)
-				s := MustNew(sets, block, 16)
+				s := mustSim(sets, block, 16)
 				if err := s.Simulate(tr.NewSliceReader()); err != nil {
 					t.Fatal(err)
 				}
@@ -64,7 +64,7 @@ func TestAllAssociativityExactness(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					want, err := refsim.RunTrace(cache.MustConfig(sets, assoc, block), cache.LRU, tr)
+					want, err := refsim.RunTrace(mustCfg(sets, assoc, block), cache.LRU, tr)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -80,7 +80,7 @@ func TestAllAssociativityExactness(t *testing.T) {
 
 func TestColdMissesMatchUniqueBlocks(t *testing.T) {
 	tr := randomTrace(10000, 1<<10, 9)
-	s := MustNew(8, 4, 8)
+	s := mustSim(8, 4, 8)
 	if err := s.Simulate(tr.NewSliceReader()); err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestQuickMissesMonotoneInAssoc(t *testing.T) {
 		if len(addrs) == 0 {
 			return true
 		}
-		s := MustNew(4, 4, 32)
+		s := mustSim(4, 4, 32)
 		for _, a := range addrs {
 			s.Access(trace.Access{Addr: uint64(a)})
 		}
@@ -126,7 +126,7 @@ func TestQuickMissesMonotoneInAssoc(t *testing.T) {
 }
 
 func TestResultsLayout(t *testing.T) {
-	s := MustNew(2, 4, 8)
+	s := mustSim(2, 4, 8)
 	s.Access(trace.Access{Addr: 0})
 	res := s.Results()
 	if len(res) != 4 { // A = 1, 2, 4, 8
@@ -142,7 +142,7 @@ func TestResultsLayout(t *testing.T) {
 func TestOverflowBucket(t *testing.T) {
 	// maxTrack 2: distances >= 2 overflow, so only A in {1, 2} are
 	// answerable; A=4 must error.
-	s := MustNew(1, 1, 2)
+	s := mustSim(1, 1, 2)
 	for _, a := range []uint64{1, 2, 3, 1} { // distance of final access: 2 -> overflow
 		s.Access(trace.Access{Addr: a})
 	}
@@ -174,18 +174,15 @@ func TestValidation(t *testing.T) {
 			t.Errorf("New(%d,%d,%d) should fail", c.sets, c.block, c.track)
 		}
 	}
-	if _, err := MustNew(1, 1, 4).MissesFor(0); err == nil {
+	if _, err := mustSim(1, 1, 4).MissesFor(0); err == nil {
 		t.Error("MissesFor(0) should fail")
 	}
 }
 
-func TestMustNewPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNew should panic")
-		}
-	}()
-	MustNew(0, 1, 1)
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(0, 1, 1); err == nil {
+		t.Fatal("New(0,1,1) accepted zero sets")
+	}
 }
 
 func TestRunAndErrors(t *testing.T) {
@@ -216,7 +213,7 @@ func (e errorString) Error() string { return string(e) }
 // reference simulator must all agree on shared configurations.
 func TestTriangleAgreement(t *testing.T) {
 	tr := randomTrace(8000, 1<<11, 13)
-	s := MustNew(8, 4, 8)
+	s := mustSim(8, 4, 8)
 	if err := s.Simulate(tr.NewSliceReader()); err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +222,7 @@ func TestTriangleAgreement(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rs, err := refsim.RunTrace(cache.MustConfig(8, assoc, 4), cache.LRU, tr)
+		rs, err := refsim.RunTrace(mustCfg(8, assoc, 4), cache.LRU, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,4 +230,24 @@ func TestTriangleAgreement(t *testing.T) {
 			t.Errorf("A=%d: stackdist %d vs refsim %d", assoc, sd, rs.Misses)
 		}
 	}
+}
+
+// mustCfg builds a cache.Config test fixture, panicking on parameters
+// that could only be wrong at authoring time.
+func mustCfg(sets, assoc, blockSize int) cache.Config {
+	c, err := cache.NewConfig(sets, assoc, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mustSim builds a Simulator test fixture, panicking on parameters that
+// could only be wrong at authoring time.
+func mustSim(sets, blockSize, maxTrack int) *Simulator {
+	s, err := New(sets, blockSize, maxTrack)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }

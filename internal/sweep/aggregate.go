@@ -1,6 +1,9 @@
 package sweep
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Aggregate is the outcome of one comparison cell replicated across
 // several trace seeds, for reporting variability (the paper reports
@@ -12,7 +15,7 @@ type Aggregate struct {
 }
 
 // RunCellSeeds runs the cell once per seed and aggregates.
-func (r Runner) RunCellSeeds(p Params, seeds []uint64) (Aggregate, error) {
+func (r Runner) RunCellSeeds(ctx context.Context, p Params, seeds []uint64) (Aggregate, error) {
 	if len(seeds) == 0 {
 		return Aggregate{}, fmt.Errorf("sweep: RunCellSeeds needs at least one seed")
 	}
@@ -20,7 +23,7 @@ func (r Runner) RunCellSeeds(p Params, seeds []uint64) (Aggregate, error) {
 	for _, seed := range seeds {
 		ps := p
 		ps.Seed = seed
-		cell, err := r.RunCell(ps)
+		cell, err := r.RunCell(ctx, ps)
 		if err != nil {
 			return agg, err
 		}

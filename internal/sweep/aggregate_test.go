@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -9,7 +10,7 @@ import (
 
 func TestRunCellSeeds(t *testing.T) {
 	p := Params{App: workload.DJPEG, Requests: 10000, BlockSize: 16, Assoc: 4, MaxLogSets: 4}
-	agg, err := (Runner{}).RunCellSeeds(p, Seeds(1, 3))
+	agg, err := (Runner{}).RunCellSeeds(context.Background(), p, Seeds(1, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestRunCellSeeds(t *testing.T) {
 }
 
 func TestRunCellSeedsEmpty(t *testing.T) {
-	if _, err := (Runner{}).RunCellSeeds(Params{}, nil); err == nil {
+	if _, err := (Runner{}).RunCellSeeds(context.Background(), Params{}, nil); err == nil {
 		t.Error("empty seed list should fail")
 	}
 }

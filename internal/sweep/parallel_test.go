@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"dew/internal/workload"
@@ -38,11 +39,11 @@ func TestRunCellWorkersEquivalence(t *testing.T) {
 		App: workload.G721Dec, Seed: 2, Requests: 15000,
 		BlockSize: 16, Assoc: 4, MaxLogSets: 5,
 	}
-	serial, err := Runner{Workers: 1}.RunCell(p)
+	serial, err := Runner{Workers: 1}.RunCell(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Runner{Workers: 8}.RunCell(p)
+	parallel, err := Runner{Workers: 8}.RunCell(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestRunCellsFoldLadder(t *testing.T) {
 			BlockSize: block, Assoc: 4, MaxLogSets: 4,
 		})
 	}
-	cells, err := Runner{Workers: 4}.RunCells(params)
+	cells, err := Runner{Workers: 4}.RunCells(context.Background(), params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestRunCellsFoldLadder(t *testing.T) {
 		if want := p.BlockSize != 4; cells[i].StreamFolded != want {
 			t.Errorf("%s: StreamFolded = %v, want %v", p, cells[i].StreamFolded, want)
 		}
-		single, err := Runner{Workers: 1}.RunCell(p)
+		single, err := Runner{Workers: 1}.RunCell(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func TestRunCells(t *testing.T) {
 		}
 	}
 	r := Runner{Workers: 4}
-	cells, err := r.RunCells(params)
+	cells, err := r.RunCells(context.Background(), params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestRunCells(t *testing.T) {
 			t.Fatalf("cell %d is %s/A%d, want %s/A%d (ordering not deterministic)",
 				i, cells[i].App.Name, cells[i].Assoc, p.App.Name, p.Assoc)
 		}
-		single, err := Runner{Workers: 1}.RunCell(p)
+		single, err := Runner{Workers: 1}.RunCell(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}

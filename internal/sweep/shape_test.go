@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"dew/internal/workload"
@@ -18,7 +19,7 @@ func TestComparisonReductionShape(t *testing.T) {
 	for _, app := range workload.Apps() {
 		var prev float64
 		for i, block := range []int{4, 16, 64} {
-			cell, err := (Runner{}).RunCell(Params{
+			cell, err := (Runner{}).RunCell(context.Background(), Params{
 				App: app, Seed: 1, Requests: requests,
 				BlockSize: block, Assoc: 4, MaxLogSets: 9,
 			})
@@ -54,7 +55,7 @@ func TestComparisonReductionGrowsWithAssoc(t *testing.T) {
 	for _, app := range []workload.App{workload.CJPEG, workload.MPEG2Dec} {
 		var prev float64
 		for i, assoc := range []int{4, 8, 16} {
-			cell, err := (Runner{}).RunCell(Params{
+			cell, err := (Runner{}).RunCell(context.Background(), Params{
 				App: app, Seed: 1, Requests: requests,
 				BlockSize: 16, Assoc: assoc, MaxLogSets: 9,
 			})

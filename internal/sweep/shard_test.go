@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -16,11 +17,11 @@ func TestRunCellSharded(t *testing.T) {
 		App: workload.CJPEG, Seed: 3, Requests: 15000,
 		BlockSize: 16, Assoc: 4, MaxLogSets: 6,
 	}
-	plain, err := Runner{Workers: 1}.RunCell(p)
+	plain, err := Runner{Workers: 1}.RunCell(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharded, err := Runner{Workers: 1, Shards: 4}.RunCell(p)
+	sharded, err := Runner{Workers: 1, Shards: 4}.RunCell(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,12 +68,12 @@ func TestRunCellsShardedSharing(t *testing.T) {
 		{App: workload.G721Dec, Seed: 2, Requests: 8000, BlockSize: 16, Assoc: 4, MaxLogSets: 1},
 	}
 	r := Runner{Workers: 2, Shards: 4}
-	cells, err := r.RunCells(params)
+	cells, err := r.RunCells(context.Background(), params)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, c := range cells {
-		single, err := r.RunCell(params[i])
+		single, err := r.RunCell(context.Background(), params[i])
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -100,17 +100,18 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dew/internal/cache"
 	"dew/internal/core"
 	"dew/internal/engine"
+	"dew/internal/pool"
 	"dew/internal/refsim"
 	"dew/internal/trace"
 	"dew/internal/workload"
@@ -312,39 +313,6 @@ func (r Runner) logf(format string, args ...interface{}) {
 	}
 }
 
-// runPool runs fn(0..n-1) across at most workers goroutines and waits
-// for all of them; the first error in index order is returned. Each
-// index must touch disjoint state — the final barrier publishes it to
-// the caller.
-func runPool(workers, n int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	errs := make([]error, n)
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // RunCell materializes the workload trace and its block stream once,
 // times one DEW pass against per-configuration reference passes — every
 // timed pass replaying the same in-memory stream, so the times measure
@@ -352,21 +320,27 @@ func runPool(workers, n int, fn func(i int) error) error {
 // exactness. It returns an error if any configuration's miss counts
 // disagree — which would falsify the simulator, so it is checked on
 // every run.
-func (r Runner) RunCell(p Params) (Cell, error) {
+//
+// Cancelling ctx stops the cell between passes and between reference
+// configurations — the cell's cancellation granularity is the pass, a
+// running replay finishes — and returns ctx's error with every pool
+// goroutine drained. A panic inside a pooled pass surfaces as a
+// *pool.PanicError rather than crashing the process.
+func (r Runner) RunCell(ctx context.Context, p Params) (Cell, error) {
 	tr := workload.Take(p.App.Generator(p.Seed), int(p.requests()))
-	return r.RunCellTrace(p, tr)
+	return r.RunCellTrace(ctx, p, tr)
 }
 
 // RunCellTrace is RunCell over an explicit in-memory trace (used by
 // tests and by trace-file driven tools). The block stream is
 // materialized here; callers holding a pre-materialized stream for this
 // trace and block size can pass it through RunCellStream.
-func (r Runner) RunCellTrace(p Params, tr trace.Trace) (Cell, error) {
+func (r Runner) RunCellTrace(ctx context.Context, p Params, tr trace.Trace) (Cell, error) {
 	bs, err := tr.BlockStream(p.BlockSize)
 	if err != nil {
 		return Cell{Params: p}, err
 	}
-	return r.RunCellStream(p, tr, bs)
+	return r.RunCellStream(ctx, p, tr, bs)
 }
 
 // RunCellStream runs one cell over a trace and its pre-materialized
@@ -376,8 +350,8 @@ func (r Runner) RunCellTrace(p Params, tr trace.Trace) (Cell, error) {
 // materialized here; callers holding a pre-partitioned ShardStream for
 // this stream (RunCells builds one per distinct stream) use the
 // unexported path.
-func (r Runner) RunCellStream(p Params, tr trace.Trace, bs *trace.BlockStream) (Cell, error) {
-	return r.runCellStream(p, tr, bs, nil, false)
+func (r Runner) RunCellStream(ctx context.Context, p Params, tr trace.Trace, bs *trace.BlockStream) (Cell, error) {
+	return r.runCellStream(ctx, p, tr, bs, nil, false)
 }
 
 // refStats extracts the full Dinero-style statistics of a reference
@@ -390,7 +364,7 @@ func refStats(e engine.Engine) (refsim.Stats, error) {
 	return rs.RefStats(), nil
 }
 
-func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, ss *trace.ShardStream, folded bool) (Cell, error) {
+func (r Runner) runCellStream(ctx context.Context, p Params, tr trace.Trace, bs *trace.BlockStream, ss *trace.ShardStream, folded bool) (Cell, error) {
 	cell := Cell{Params: p, Requests: uint64(len(tr)), StreamRuns: uint64(bs.Len()), StreamFolded: folded}
 	if bs.BlockSize != p.BlockSize || bs.Accesses != uint64(len(tr)) {
 		return cell, fmt.Errorf("sweep: stream (block %d, %d accesses) does not match cell %v over %d requests",
@@ -405,7 +379,7 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 
 	// Timed pass: the counter-free stream fast path over the shared
 	// materialized stream — what DEWTime reports.
-	fast, dur, err := engine.TimedRun("dew", spec, bs, nil)
+	fast, dur, err := engine.TimedRun(ctx, "dew", spec, bs, nil)
 	if err != nil {
 		return cell, err
 	}
@@ -421,6 +395,9 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 		Assoc: p.Assoc, BlockSize: p.BlockSize,
 	})
 	if err != nil {
+		return cell, err
+	}
+	if err := ctx.Err(); err != nil {
 		return cell, err
 	}
 	if err := dew.Simulate(tr.NewSliceReader()); err != nil {
@@ -466,7 +443,7 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 				return cell, err
 			}
 		}
-		sharded, dur, err := engine.TimedRun("dew", spec, bs, ss)
+		sharded, dur, err := engine.TimedRun(ctx, "dew", spec, bs, ss)
 		if err != nil {
 			return cell, err
 		}
@@ -494,63 +471,41 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 		stats         refsim.Stats
 		shardStats    refsim.Stats
 		parallel      bool
-		err           error
 	}
 	outs := make([]refOut, len(cell.Results))
-	workers := r.workers()
-	if workers > len(cell.Results) {
-		workers = len(cell.Results)
+	if err := pool.Run(ctx, r.workers(), len(cell.Results), func(i int) error {
+		cfg := cell.Results[i].Config
+		logSets := bits.Len(uint(cfg.Sets)) - 1
+		refSpec := engine.Spec{
+			MinLogSets: logSets, MaxLogSets: logSets,
+			Assoc: cfg.Assoc, BlockSize: cfg.BlockSize, Policy: cache.FIFO,
+		}
+		eng, dur, err := engine.TimedRun(ctx, "ref", refSpec, bs, nil)
+		if err != nil {
+			return err
+		}
+		outs[i].dur = dur
+		if outs[i].stats, err = refStats(eng); err != nil {
+			return err
+		}
+		if ss == nil {
+			return nil
+		}
+		shardEng, shardDur, err := engine.TimedRun(ctx, "ref", refSpec, bs, ss)
+		if err != nil {
+			return err
+		}
+		outs[i].shardDur = shardDur
+		if outs[i].shardStats, err = refStats(shardEng); err != nil {
+			return err
+		}
+		outs[i].parallel = engine.Parallel(shardEng)
+		return nil
+	}); err != nil {
+		return cell, err
 	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				cfg := cell.Results[i].Config
-				logSets := bits.Len(uint(cfg.Sets)) - 1
-				refSpec := engine.Spec{
-					MinLogSets: logSets, MaxLogSets: logSets,
-					Assoc: cfg.Assoc, BlockSize: cfg.BlockSize, Policy: cache.FIFO,
-				}
-				eng, dur, err := engine.TimedRun("ref", refSpec, bs, nil)
-				if err != nil {
-					outs[i].err = err
-					continue
-				}
-				outs[i].dur = dur
-				if outs[i].stats, err = refStats(eng); err != nil {
-					outs[i].err = err
-					continue
-				}
-				if ss == nil {
-					continue
-				}
-				shardEng, shardDur, err := engine.TimedRun("ref", refSpec, bs, ss)
-				if err != nil {
-					outs[i].err = err
-					continue
-				}
-				outs[i].shardDur = shardDur
-				if outs[i].shardStats, err = refStats(shardEng); err != nil {
-					outs[i].err = err
-					continue
-				}
-				outs[i].parallel = engine.Parallel(shardEng)
-			}
-		}()
-	}
-	for i := range cell.Results {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
 
 	for i, res := range cell.Results {
-		if outs[i].err != nil {
-			return cell, outs[i].err
-		}
 		cell.RefTime += outs[i].dur
 		cell.RefComparisons += outs[i].stats.TagComparisons
 		if outs[i].stats.Misses != res.Misses {
@@ -595,7 +550,13 @@ func (r Runner) runCellStream(p Params, tr trace.Trace, bs *trace.BlockStream, s
 // dispatched; cells already in flight finish, and the first error in
 // params order is returned. Logf output is serialized by the per-cell
 // runner but may interleave across cells.
-func (r Runner) RunCells(params []Params) ([]Cell, error) {
+//
+// Cancelling ctx stops dispatching cells (the batch's cancellation
+// granularity is the cell; in-flight cells stop at their own pass
+// granularity) and returns ctx's error with the pool drained and no
+// goroutines left behind. A panic inside a cell surfaces as a
+// *pool.PanicError.
+func (r Runner) RunCells(ctx context.Context, params []Params) ([]Cell, error) {
 	// Materialize shared inputs, each distinct one once, in parallel
 	// across the worker pool. Keys deduplicate on the workload
 	// identity, not the App struct (which contains function values).
@@ -627,11 +588,13 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 		}
 	}
 	trVals := make([]trace.Trace, len(tKeys))
-	runPool(r.workers(), len(tKeys), func(i int) error {
+	if err := pool.Run(ctx, r.workers(), len(tKeys), func(i int) error {
 		tk := tKeys[i]
 		trVals[i] = workload.Take(tGen[tk].Generator(tk.seed), int(tk.requests))
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	traces := make(map[traceKey]trace.Trace, len(tKeys))
 	for i, tk := range tKeys {
 		traces[tk] = trVals[i]
@@ -648,7 +611,7 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 		blocksByTrace[sk.tk] = append(blocksByTrace[sk.tk], sk.block)
 	}
 	ladders := make([]map[int]*trace.BlockStream, len(tKeys))
-	if err := runPool(r.workers(), len(tKeys), func(i int) error {
+	if err := pool.Run(ctx, r.workers(), len(tKeys), func(i int) error {
 		blocks := blocksByTrace[tKeys[i]]
 		sort.Ints(blocks)
 		base, err := traces[tKeys[i]].BlockStream(blocks[0])
@@ -710,7 +673,7 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 			}
 		}
 		ssVals := make([]*trace.ShardStream, len(shKeys))
-		if err := runPool(r.workers(), len(shKeys), func(i int) (err error) {
+		if err := pool.Run(ctx, r.workers(), len(shKeys), func(i int) (err error) {
 			ssVals[i], err = trace.ShardBlockStream(streams[shKeys[i].sk], shKeys[i].log)
 			return err
 		}); err != nil {
@@ -736,8 +699,6 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 	}
 
 	cells := make([]Cell, len(params))
-	errs := make([]error, len(params))
-	var failed atomic.Bool
 
 	inner := r
 	inner.Workers = 1
@@ -750,45 +711,18 @@ func (r Runner) RunCells(params []Params) ([]Cell, error) {
 		}
 	}
 
-	workers := r.workers()
-	if workers > len(params) {
-		workers = len(params)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				cells[i], errs[i] = inner.runCellStream(params[i], cellTrace[i], cellStream[i], cellShards[i], cellFolded[i])
-				// Release this cell's references: a shared trace or
-				// stream becomes collectable as soon as its last
-				// consuming cell finishes. (Materialization is still
-				// up-front, so the batch's full input set is live at
-				// the start and memory falls as cells complete.)
-				cellTrace[i], cellStream[i], cellShards[i] = nil, nil, nil
-				if errs[i] != nil {
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	for i := range params {
-		if failed.Load() {
-			break
-		}
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return cells, err
-		}
-	}
-	return cells, nil
+	err := pool.Run(ctx, r.workers(), len(params), func(i int) error {
+		var cellErr error
+		cells[i], cellErr = inner.runCellStream(ctx, params[i], cellTrace[i], cellStream[i], cellShards[i], cellFolded[i])
+		// Release this cell's references: a shared trace or stream
+		// becomes collectable as soon as its last consuming cell
+		// finishes. (Materialization is still up-front, so the batch's
+		// full input set is live at the start and memory falls as cells
+		// complete.)
+		cellTrace[i], cellStream[i], cellShards[i] = nil, nil, nil
+		return cellErr
+	})
+	return cells, err
 }
 
 // Table3Params enumerates the paper's Table 3 cells: every app × block

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestRunCellSmall(t *testing.T) {
 	r := Runner{Logf: func(f string, a ...interface{}) {
 		logged = append(logged, f)
 	}}
-	cell, err := r.RunCell(p)
+	cell, err := r.RunCell(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestRunCellDefaultRequests(t *testing.T) {
 	// using a custom trace instead for most checks; here just confirm
 	// the default kicks in via a very small app run.
 	p := Params{App: workload.DJPEG, Seed: 2, BlockSize: 64, Assoc: 4, MaxLogSets: 2}
-	cell, err := Runner{}.RunCell(p)
+	cell, err := Runner{}.RunCell(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestRunCellTrace(t *testing.T) {
 		tr[i] = trace.Access{Addr: uint64(i*7) % 4096}
 	}
 	p := Params{App: workload.CJPEG, BlockSize: 4, Assoc: 2, MaxLogSets: 4}
-	cell, err := Runner{}.RunCellTrace(p, tr)
+	cell, err := Runner{}.RunCellTrace(context.Background(), p, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestRunCellTrace(t *testing.T) {
 
 func TestRunCellRejectsBadParams(t *testing.T) {
 	p := Params{App: workload.CJPEG, BlockSize: 3, Assoc: 2, MaxLogSets: 2}
-	if _, err := (Runner{}).RunCellTrace(p, trace.Trace{{Addr: 1}}); err == nil {
+	if _, err := (Runner{}).RunCellTrace(context.Background(), p, trace.Trace{{Addr: 1}}); err == nil {
 		t.Error("want error for bad block size")
 	}
 }

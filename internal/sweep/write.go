@@ -15,12 +15,14 @@ package sweep
 // run-compressed replay cost.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"dew/internal/cache"
 	"dew/internal/energy"
 	"dew/internal/engine"
+	"dew/internal/pool"
 	"dew/internal/refsim"
 	"dew/internal/trace"
 	"dew/internal/workload"
@@ -117,10 +119,12 @@ func (c WriteCell) CompressionRatio() float64 {
 }
 
 // RunWriteCell materializes the workload trace and runs one
-// write-policy cell over it.
-func (r Runner) RunWriteCell(p WriteParams) (WriteCell, error) {
+// write-policy cell over it. Cancellation follows the miss-rate cells'
+// contract: ctx stops the cell between configuration replays and
+// returns its error with the pool drained.
+func (r Runner) RunWriteCell(ctx context.Context, p WriteParams) (WriteCell, error) {
 	tr := workload.Take(p.App.Generator(p.Seed), int(p.requests()))
-	return r.RunWriteCellTrace(p, tr)
+	return r.RunWriteCellTrace(ctx, p, tr)
 }
 
 // RunWriteCellTrace is RunWriteCell over an explicit in-memory trace.
@@ -130,7 +134,7 @@ func (r Runner) RunWriteCell(p WriteParams) (WriteCell, error) {
 // is materialized once as well and every configuration additionally
 // replays it through the sharded write-policy engine, cross-checked
 // bit-for-bit like the stream pass.
-func (r Runner) RunWriteCellTrace(p WriteParams, tr trace.Trace) (WriteCell, error) {
+func (r Runner) RunWriteCellTrace(ctx context.Context, p WriteParams, tr trace.Trace) (WriteCell, error) {
 	cell := WriteCell{WriteParams: p, Requests: uint64(len(tr))}
 	bs, err := tr.BlockStreamWithKinds(p.BlockSize)
 	if err != nil {
@@ -165,7 +169,7 @@ func (r Runner) RunWriteCellTrace(p WriteParams, tr trace.Trace) (WriteCell, err
 		parallel                       bool
 	}
 	outs := make([]out, len(jobs))
-	if err := runPool(r.workers(), len(jobs), func(i int) error {
+	if err := pool.Run(ctx, r.workers(), len(jobs), func(i int) error {
 		jb := jobs[i]
 		cfg, err := cache.NewConfig(1<<jb.logSets, jb.assoc, p.BlockSize)
 		if err != nil {
@@ -178,7 +182,7 @@ func (r Runner) RunWriteCellTrace(p WriteParams, tr trace.Trace) (WriteCell, err
 		}
 
 		// Timed kind-stream replay — what StreamTime reports.
-		eng, dur, err := engine.TimedRun("ref", spec, bs, nil)
+		eng, dur, err := engine.TimedRun(ctx, "ref", spec, bs, nil)
 		if err != nil {
 			return err
 		}
@@ -221,7 +225,7 @@ func (r Runner) RunWriteCellTrace(p WriteParams, tr trace.Trace) (WriteCell, err
 		// Sharded replay (when the runner shards), held to the same
 		// standard.
 		if ss != nil {
-			shardEng, shardDur, err := engine.TimedRun("ref", spec, bs, ss)
+			shardEng, shardDur, err := engine.TimedRun(ctx, "ref", spec, bs, ss)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestRunWriteCellCombos(t *testing.T) {
 			Params: Params{App: workload.CJPEG, BlockSize: 16, Assoc: 4, MaxLogSets: 4},
 			Policy: cache.LRU, Write: combo.w, Alloc: combo.a, StoreBytes: 2,
 		}
-		cell, err := Runner{}.RunWriteCellTrace(p, tr)
+		cell, err := Runner{}.RunWriteCellTrace(context.Background(), p, tr)
 		if err != nil {
 			t.Fatalf("%v/%v: %v", combo.w, combo.a, err)
 		}
@@ -78,7 +79,7 @@ func TestRunWriteCellSharded(t *testing.T) {
 	}
 	var logged []string
 	r := Runner{Shards: 4, Logf: func(f string, a ...interface{}) { logged = append(logged, f) }}
-	cell, err := r.RunWriteCellTrace(p, tr)
+	cell, err := r.RunWriteCellTrace(context.Background(), p, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestRunWriteCellFromApp(t *testing.T) {
 	p := WriteParams{
 		Params: Params{App: workload.CJPEG, Seed: 1, Requests: 4000, BlockSize: 32, Assoc: 2, MaxLogSets: 3},
 	}
-	cell, err := Runner{}.RunWriteCell(p)
+	cell, err := Runner{}.RunWriteCell(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,14 +130,14 @@ func TestWriteCellMetricsZeroSafe(t *testing.T) {
 
 func TestRunWriteCellRejectsBadParams(t *testing.T) {
 	p := WriteParams{Params: Params{App: workload.CJPEG, BlockSize: 3, Assoc: 2, MaxLogSets: 2}}
-	if _, err := (Runner{}).RunWriteCellTrace(p, trace.Trace{{Addr: 1}}); err == nil {
+	if _, err := (Runner{}).RunWriteCellTrace(context.Background(), p, trace.Trace{{Addr: 1}}); err == nil {
 		t.Error("want error for bad block size")
 	}
 	bad := WriteParams{
 		Params:     Params{App: workload.CJPEG, BlockSize: 4, Assoc: 2, MaxLogSets: 2},
 		StoreBytes: -1,
 	}
-	if _, err := (Runner{}).RunWriteCellTrace(bad, trace.Trace{{Addr: 1}}); err == nil {
+	if _, err := (Runner{}).RunWriteCellTrace(context.Background(), bad, trace.Trace{{Addr: 1}}); err == nil {
 		t.Error("want error for negative store width")
 	}
 }

@@ -79,9 +79,11 @@ func (b *BinWriter) Flush() error {
 
 // BinReader decodes the DTB1 format.
 type BinReader struct {
-	r       *bufio.Reader
-	prev    [3]uint64
-	started bool
+	r        *bufio.Reader
+	prev     [3]uint64
+	started  bool
+	off      int64  // bytes consumed from the stream
+	accesses uint64 // accesses decoded so far
 }
 
 // NewBinReader returns a BinReader wrapping r. The magic is checked on
@@ -90,21 +92,27 @@ func NewBinReader(r io.Reader) *BinReader {
 	return &BinReader{r: bufio.NewReader(r)}
 }
 
-// Next implements Reader.
+// Next implements Reader. Decode failures carry the exact byte offset
+// of the failing record: a malformed kind byte or bad magic is a
+// *CorruptError and a stream that ends mid-record is a
+// *TruncatedError (both match ErrCorrupt; see errors.go).
 func (b *BinReader) Next() (Access, error) {
 	if !b.started {
 		var magic [4]byte
-		if _, err := io.ReadFull(b.r, magic[:]); err != nil {
+		n, err := io.ReadFull(b.r, magic[:])
+		b.off += int64(n)
+		if err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
-				return Access{}, ErrBadMagic
+				return Access{}, &CorruptError{Format: "dtb1", Offset: 0, Msg: "bad magic", Err: ErrBadMagic}
 			}
 			return Access{}, err
 		}
 		if magic != binaryMagic {
-			return Access{}, ErrBadMagic
+			return Access{}, &CorruptError{Format: "dtb1", Offset: 0, Msg: "bad magic", Err: ErrBadMagic}
 		}
 		b.started = true
 	}
+	recordStart := b.off
 	kindByte, err := b.r.ReadByte()
 	if err != nil {
 		if errors.Is(err, io.EOF) {
@@ -112,19 +120,36 @@ func (b *BinReader) Next() (Access, error) {
 		}
 		return Access{}, err
 	}
+	b.off++
 	kind := Kind(kindByte)
 	if !kind.Valid() {
-		return Access{}, fmt.Errorf("trace: corrupt binary trace: kind byte %d", kindByte)
+		return Access{}, &CorruptError{Format: "dtb1", Offset: recordStart,
+			Msg: fmt.Sprintf("bad kind byte %d", kindByte)}
 	}
-	u, err := binary.ReadUvarint(b.r)
-	if err != nil {
-		if errors.Is(err, io.EOF) {
-			return Access{}, io.ErrUnexpectedEOF
+	// Decode the uvarint byte by byte so b.off tracks the exact
+	// position (binary.ReadUvarint would hide how much it consumed).
+	var u uint64
+	for shift := 0; ; shift += 7 {
+		c, err := b.r.ReadByte()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return Access{}, &TruncatedError{Format: "dtb1", Offset: recordStart,
+					Accesses: b.accesses, Err: io.ErrUnexpectedEOF}
+			}
+			return Access{}, err
 		}
-		return Access{}, err
+		b.off++
+		if shift >= 63 && c > 1 {
+			return Access{}, &CorruptError{Format: "dtb1", Offset: recordStart, Msg: "varint overflows 64 bits"}
+		}
+		u |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			break
+		}
 	}
 	addr := b.prev[kind] + uint64(unzigzag(u))
 	b.prev[kind] = addr
+	b.accesses++
 	return Access{Addr: addr, Kind: kind}, nil
 }
 

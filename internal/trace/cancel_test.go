@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"dew/internal/leakcheck"
+	"dew/internal/pool"
+)
+
+// cancelReader serves a trace and fires cancel once n accesses have
+// been read — a deterministic mid-stream cancellation.
+type cancelReader struct {
+	r      Reader
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelReader) Next() (Access, error) {
+	if c.n == 0 {
+		c.cancel()
+	}
+	c.n--
+	return c.r.Next()
+}
+
+func TestIngestCancelMidStream(t *testing.T) {
+	defer leakcheck.Check(t)()
+	const n = 20000
+	tr := checkpointTrace(7, n)
+	want, err := IngestShards(context.Background(), tr.NewSliceReader(), 16, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in, err := NewIngestor(16, 2, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 512
+	r := &cancelReader{r: tr.NewSliceReader(), n: 5000, cancel: cancel}
+	if err := in.ingestReader(ctx, r, chunk); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ingest returned %v, want context.Canceled", err)
+	}
+
+	// The stitched state is an exact chunk-boundary prefix: resumable
+	// to a stream bit-identical to the uninterrupted ingest.
+	got := in.Accesses()
+	if got%chunk != 0 && got != n {
+		t.Errorf("stitched prefix %d is not chunk-aligned", got)
+	}
+	cp, err := in.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint after cancellation: %v", err)
+	}
+	in2, err := ResumeIngest(cp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := tr.NewSliceReader()
+	if err := SkipAccesses(r2, cp.Accesses()); err != nil {
+		t.Fatal(err)
+	}
+	if err := in2.IngestReader(context.Background(), r2); err != nil {
+		t.Fatal(err)
+	}
+	sameShardStream(t, in2.Finish(), want)
+}
+
+func TestIngestCancelBeforeStart(t *testing.T) {
+	defer leakcheck.Check(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ss, err := IngestShards(ctx, checkpointTrace(1, 100).NewSliceReader(), 16, 1, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ss != nil {
+		t.Error("cancelled ingest returned a partial stream")
+	}
+}
+
+// cancelByteReader cancels once n bytes have been served — the .din
+// text pipeline's mid-stream cancellation.
+type cancelByteReader struct {
+	r      *strings.Reader
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelByteReader) Read(p []byte) (int, error) {
+	if c.n <= 0 {
+		c.cancel()
+	}
+	k, err := c.r.Read(p)
+	c.n -= k
+	return k, err
+}
+
+func TestIngestDinCancelMidStream(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var sb strings.Builder
+	for i := 0; i < 20000; i++ {
+		sb.WriteString("0 ")
+		sb.WriteString([]string{"1000", "1004", "2000"}[i%3])
+		sb.WriteString("\n")
+	}
+	text := sb.String()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	in, err := NewIngestor(16, 1, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &cancelByteReader{r: strings.NewReader(text), n: len(text) / 3, cancel: cancel}
+	if err := in.ingestDin(ctx, r, 4096); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled din ingest returned %v, want context.Canceled", err)
+	}
+	if in.Accesses() > 20000 {
+		t.Errorf("stitched %d accesses from a cancelled ingest", in.Accesses())
+	}
+}
+
+// panicAccessReader panics after serving n accesses — a crash inside
+// the decode producer.
+type panicAccessReader struct{ n int }
+
+func (p *panicAccessReader) Next() (Access, error) {
+	if p.n <= 0 {
+		panic("reader exploded")
+	}
+	p.n--
+	return Access{Addr: uint64(p.n) * 16, Kind: DataRead}, nil
+}
+
+func TestIngestProducerPanic(t *testing.T) {
+	defer leakcheck.Check(t)()
+	ss, err := IngestShards(context.Background(), &panicAccessReader{n: 1000}, 16, 1, 3)
+	var pe *pool.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *pool.PanicError", err)
+	}
+	if pe.Value != "reader exploded" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError carries %v with %d stack bytes", pe.Value, len(pe.Stack))
+	}
+	if ss != nil {
+		t.Error("panicked ingest returned a partial stream")
+	}
+}
+
+func TestIngestWorkerPanic(t *testing.T) {
+	defer leakcheck.Check(t)()
+	in, err := NewIngestor(16, 1, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = in.run(context.Background(), func(emit func(ingestJob), stop func() bool) error {
+		emit(ingestJob{seq: 0, run: func(*ingestScratch) (*runChunk, error) {
+			panic("worker exploded")
+		}})
+		return nil
+	})
+	var pe *pool.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *pool.PanicError", err)
+	}
+	// A worker panic discards the chunk but does not poison the
+	// stitcher: the Ingestor can still checkpoint its intact prefix.
+	if _, err := in.Checkpoint(); err != nil {
+		t.Errorf("checkpoint after contained worker panic: %v", err)
+	}
+}
+
+func TestIngestStitcherPanicPoisons(t *testing.T) {
+	defer leakcheck.Check(t)()
+	in, err := NewIngestor(16, 1, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A kind-mode chunk with no kind column makes the stitcher index
+	// out of range mid-apply: exactly the torn-state case the poison
+	// guard exists for.
+	err = in.run(context.Background(), func(emit func(ingestJob), stop func() bool) error {
+		emit(ingestJob{seq: 0, run: func(*ingestScratch) (*runChunk, error) {
+			return &runChunk{ids: []uint64{1}, runs: []uint32{1}, accesses: 1, head: 1, tail: 1}, nil
+		}})
+		return nil
+	})
+	var pe *pool.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *pool.PanicError", err)
+	}
+	if _, err := in.Checkpoint(); err == nil {
+		t.Error("poisoned Ingestor must refuse to checkpoint")
+	}
+	if err := in.IngestReader(context.Background(), Trace{}.NewSliceReader()); err == nil {
+		t.Error("poisoned Ingestor must refuse to ingest")
+	}
+}

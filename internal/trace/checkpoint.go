@@ -1,0 +1,339 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Checkpoint is a serializable snapshot of an Ingestor's stitched
+// state: the run-compressed parent columns, every per-shard appender's
+// columns, and the stitcher's feed position. An ingest killed at any
+// chunk boundary can persist a Checkpoint, later ResumeIngest it,
+// re-position the input at Accesses() (SkipAccesses), and continue —
+// the finished stream is bit-identical to the uninterrupted run,
+// including uint32 run-overflow splits and kind-channel merges at the
+// cut (the fuzz suite in checkpoint_test.go drives every cut point).
+//
+// Binary format (MarshalBinary, all integers unsigned varints unless
+// noted):
+//
+//	magic "DCP1" (4 bytes)
+//	flags (1 byte): bit0 = kind channel present
+//	blockSize, shard log, fed (parent runs already fed to the shard machine)
+//	then 1 + 2^log streams (parent first, then each shard):
+//	  accesses, run count n, n block IDs, n run weights,
+//	  and with kinds: n records of (W0, W1, W2, Lead, First byte)
+type Checkpoint struct {
+	blockSize int
+	log       int
+	kinds     bool
+	fed       int
+	source    BlockStream
+	shards    []BlockStream
+}
+
+var checkpointMagic = [4]byte{'D', 'C', 'P', '1'}
+
+// Accesses returns how many input accesses the snapshot covers — the
+// position at which to resume reading the trace.
+func (cp *Checkpoint) Accesses() uint64 { return cp.source.Accesses }
+
+// BlockSize returns the snapshot's parent block size.
+func (cp *Checkpoint) BlockSize() int { return cp.blockSize }
+
+// ShardLog returns the snapshot's shard level.
+func (cp *Checkpoint) ShardLog() int { return cp.log }
+
+// HasKinds reports whether the snapshot carries the kind channel.
+func (cp *Checkpoint) HasKinds() bool { return cp.kinds }
+
+// cloneCol copies a column preserving nil-ness (a nil column and an
+// empty one are distinct: HasKinds and DeepEqual both care).
+func cloneCol[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
+}
+
+func cloneStream(b *BlockStream) BlockStream {
+	return BlockStream{
+		BlockSize: b.BlockSize,
+		IDs:       cloneCol(b.IDs),
+		Runs:      cloneCol(b.Runs),
+		Kinds:     cloneCol(b.Kinds),
+		Accesses:  b.Accesses,
+	}
+}
+
+// Checkpoint snapshots the Ingestor's stitched state. The snapshot is
+// an independent deep copy: the Ingestor may keep ingesting (or be
+// discarded) without disturbing it. The state is well defined — an
+// exact chunk-boundary prefix of the input — after any Ingest* call
+// that returned nil, a context error, or a decode error; only a
+// stitcher panic (a poisoned Ingestor) refuses to checkpoint.
+func (in *Ingestor) Checkpoint() (*Checkpoint, error) {
+	if in.broken {
+		return nil, errors.New("trace: checkpoint of an Ingestor whose stitcher failed")
+	}
+	if in.finished {
+		return nil, errors.New("trace: checkpoint after Finish")
+	}
+	cp := &Checkpoint{
+		blockSize: in.blockSize,
+		log:       in.log,
+		kinds:     in.kinds,
+		fed:       in.st.fed,
+		source:    cloneStream(in.st.ss.Source),
+		shards:    make([]BlockStream, len(in.st.ss.Shards)),
+	}
+	for i := range in.st.ss.Shards {
+		cp.shards[i] = cloneStream(&in.st.ss.Shards[i])
+	}
+	return cp, nil
+}
+
+// ResumeIngest reconstructs an Ingestor from a Checkpoint (its own
+// copy — the Checkpoint stays reusable). workers ≤ 0 means GOMAXPROCS.
+// The caller re-positions the input at cp.Accesses() and continues
+// with Ingest* calls as usual.
+func ResumeIngest(cp *Checkpoint, workers int) (*Ingestor, error) {
+	in, err := NewIngestor(cp.blockSize, cp.log, workers, cp.kinds)
+	if err != nil {
+		return nil, err
+	}
+	if len(cp.shards) != len(in.st.ss.Shards) {
+		return nil, fmt.Errorf("trace: checkpoint has %d shards, want %d", len(cp.shards), len(in.st.ss.Shards))
+	}
+	if cp.fed < 0 || cp.fed > len(cp.source.IDs) {
+		return nil, fmt.Errorf("trace: checkpoint feed position %d outside [0, %d]", cp.fed, len(cp.source.IDs))
+	}
+	*in.st.ss.Source = cloneStream(&cp.source)
+	for i := range cp.shards {
+		in.st.ss.Shards[i] = cloneStream(&cp.shards[i])
+	}
+	in.st.fed = cp.fed
+	return in, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (cp *Checkpoint) MarshalBinary() ([]byte, error) {
+	var buf []byte
+	buf = append(buf, checkpointMagic[:]...)
+	var flags byte
+	if cp.kinds {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(cp.blockSize))
+	buf = binary.AppendUvarint(buf, uint64(cp.log))
+	buf = binary.AppendUvarint(buf, uint64(cp.fed))
+	streams := append([]BlockStream{cp.source}, cp.shards...)
+	for _, s := range streams {
+		buf = binary.AppendUvarint(buf, s.Accesses)
+		buf = binary.AppendUvarint(buf, uint64(len(s.IDs)))
+		for _, id := range s.IDs {
+			buf = binary.AppendUvarint(buf, id)
+		}
+		for _, w := range s.Runs {
+			buf = binary.AppendUvarint(buf, uint64(w))
+		}
+		if cp.kinds {
+			if len(s.Kinds) != len(s.IDs) {
+				return nil, fmt.Errorf("trace: checkpoint kind column length %d != %d runs", len(s.Kinds), len(s.IDs))
+			}
+			for _, kr := range s.Kinds {
+				buf = binary.AppendUvarint(buf, uint64(kr.W[0]))
+				buf = binary.AppendUvarint(buf, uint64(kr.W[1]))
+				buf = binary.AppendUvarint(buf, uint64(kr.W[2]))
+				buf = binary.AppendUvarint(buf, uint64(kr.Lead))
+				buf = append(buf, byte(kr.First))
+			}
+		}
+	}
+	return buf, nil
+}
+
+// cpDecoder decodes the checkpoint wire format with bounds checking so
+// a corrupt snapshot fails cleanly instead of panicking or allocating
+// unbounded memory.
+type cpDecoder struct {
+	b   []byte
+	off int
+}
+
+func (d *cpDecoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, &CorruptError{Format: "checkpoint", Offset: int64(d.off),
+			Msg: fmt.Sprintf("bad varint for %s", what)}
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *cpDecoder) byteVal(what string) (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, &TruncatedError{Format: "checkpoint", Offset: int64(d.off), Err: io.ErrUnexpectedEOF}
+	}
+	c := d.b[d.off]
+	d.off++
+	return c, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Corrupt
+// snapshots return position-carrying errors matching ErrCorrupt.
+func (cp *Checkpoint) UnmarshalBinary(data []byte) error {
+	if len(data) < len(checkpointMagic)+1 || [4]byte(data[:4]) != checkpointMagic {
+		return &CorruptError{Format: "checkpoint", Offset: 0, Msg: "bad magic"}
+	}
+	d := &cpDecoder{b: data, off: len(checkpointMagic)}
+	flags, err := d.byteVal("flags")
+	if err != nil {
+		return err
+	}
+	if flags&^1 != 0 {
+		return &CorruptError{Format: "checkpoint", Offset: int64(d.off - 1),
+			Msg: fmt.Sprintf("unknown flags %#x", flags)}
+	}
+	kinds := flags&1 != 0
+	blockSize, err := d.uvarint("block size")
+	if err != nil {
+		return err
+	}
+	log, err := d.uvarint("shard log")
+	if err != nil {
+		return err
+	}
+	if blockSize < 1 || blockSize > 1<<30 || blockSize&(blockSize-1) != 0 {
+		return &CorruptError{Format: "checkpoint", Offset: int64(d.off), Msg: fmt.Sprintf("bad block size %d", blockSize)}
+	}
+	if log > maxIngestShardLog {
+		return &CorruptError{Format: "checkpoint", Offset: int64(d.off), Msg: fmt.Sprintf("bad shard log %d", log)}
+	}
+	fed, err := d.uvarint("feed position")
+	if err != nil {
+		return err
+	}
+	out := Checkpoint{
+		blockSize: int(blockSize),
+		log:       int(log),
+		kinds:     kinds,
+		fed:       int(fed),
+		shards:    make([]BlockStream, 1<<log),
+	}
+	for si := 0; si <= len(out.shards); si++ {
+		s := &out.source
+		s.BlockSize = out.blockSize
+		if si > 0 {
+			s = &out.shards[si-1]
+			s.BlockSize = out.blockSize << log
+		}
+		if s.Accesses, err = d.uvarint("accesses"); err != nil {
+			return err
+		}
+		n, err := d.uvarint("run count")
+		if err != nil {
+			return err
+		}
+		// Each run costs at least 2 bytes (ID + weight), so n is
+		// bounded by the remaining input — rejects allocation bombs.
+		if n > uint64(len(data)-d.off) {
+			return &CorruptError{Format: "checkpoint", Offset: int64(d.off), Msg: fmt.Sprintf("run count %d exceeds input", n)}
+		}
+		if n > 0 {
+			s.IDs = make([]uint64, n)
+			s.Runs = make([]uint32, n)
+		}
+		for i := range s.IDs {
+			if s.IDs[i], err = d.uvarint("block ID"); err != nil {
+				return err
+			}
+		}
+		for i := range s.Runs {
+			w, err := d.uvarint("run weight")
+			if err != nil {
+				return err
+			}
+			if w == 0 || w > 1<<32-1 {
+				return &CorruptError{Format: "checkpoint", Offset: int64(d.off), Msg: fmt.Sprintf("bad run weight %d", w)}
+			}
+			s.Runs[i] = uint32(w)
+		}
+		if kinds {
+			s.Kinds = make([]KindRun, n)
+			for i := range s.Kinds {
+				kr := &s.Kinds[i]
+				for wi := range kr.W {
+					w, err := d.uvarint("kind weight")
+					if err != nil {
+						return err
+					}
+					if w > 1<<32-1 {
+						return &CorruptError{Format: "checkpoint", Offset: int64(d.off), Msg: fmt.Sprintf("bad kind weight %d", w)}
+					}
+					kr.W[wi] = uint32(w)
+				}
+				lead, err := d.uvarint("kind lead")
+				if err != nil {
+					return err
+				}
+				if lead > 1<<32-1 {
+					return &CorruptError{Format: "checkpoint", Offset: int64(d.off), Msg: fmt.Sprintf("bad kind lead %d", lead)}
+				}
+				kr.Lead = uint32(lead)
+				first, err := d.byteVal("kind first")
+				if err != nil {
+					return err
+				}
+				if !Kind(first).Valid() {
+					return &CorruptError{Format: "checkpoint", Offset: int64(d.off - 1), Msg: fmt.Sprintf("bad kind %d", first)}
+				}
+				kr.First = Kind(first)
+			}
+		}
+	}
+	if d.off != len(data) {
+		return &CorruptError{Format: "checkpoint", Offset: int64(d.off), Msg: "trailing bytes"}
+	}
+	if out.fed > len(out.source.IDs) {
+		return &CorruptError{Format: "checkpoint", Offset: int64(d.off),
+			Msg: fmt.Sprintf("feed position %d outside [0, %d]", out.fed, len(out.source.IDs))}
+	}
+	*cp = out
+	return nil
+}
+
+// SkipAccesses reads and discards n accesses from r — how a caller
+// re-positions a reopened trace at Checkpoint.Accesses() before
+// resuming. An input that ends early returns a TruncatedError.
+func SkipAccesses(r Reader, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	br := Batch(r)
+	buf := make([]Access, DefaultBatchSize)
+	var seen uint64
+	for seen < n {
+		want := uint64(len(buf))
+		if rem := n - seen; rem < want {
+			want = rem
+		}
+		k, err := br.ReadBatch(buf[:want])
+		seen += uint64(k)
+		if err != nil {
+			if errors.Is(err, io.EOF) && seen < n {
+				return &TruncatedError{Format: "trace", Offset: -1, Accesses: seen, Err: io.ErrUnexpectedEOF}
+			}
+			if seen >= n {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}

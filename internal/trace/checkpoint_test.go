@@ -1,0 +1,368 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// checkpointTrace builds a run-heavy trace whose shape exercises chunk
+// edges and kind merges around arbitrary cut points.
+func checkpointTrace(seed uint64, n int) Trace {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	return pipelineTrace(rng, n)
+}
+
+// resumeThrough ingests tr up to cut accesses, checkpoints through a
+// marshal/unmarshal round trip, resumes, and finishes the rest — the
+// full kill-and-restart story, with small chunks so the cut lands in
+// the middle of live pipeline state.
+func resumeThrough(t *testing.T, tr Trace, cut, blockSize, log int, kinds bool) *ShardStream {
+	t.Helper()
+	ctx := context.Background()
+	in, err := NewIngestor(blockSize, log, 3, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := tr[:cut]
+	if err := in.ingestReader(ctx, prefix.NewSliceReader(), 64); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := in.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.Accesses(); got != uint64(cut) {
+		t.Fatalf("checkpoint covers %d accesses, want %d", got, cut)
+	}
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp2 Checkpoint
+	if err := cp2.UnmarshalBinary(data); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(cp, &cp2) {
+		t.Fatal("checkpoint wire round trip is not identity")
+	}
+	in2, err := ResumeIngest(&cp2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tr.NewSliceReader()
+	if err := SkipAccesses(r, cp2.Accesses()); err != nil {
+		t.Fatal(err)
+	}
+	if err := in2.ingestReader(ctx, r, 64); err != nil {
+		t.Fatal(err)
+	}
+	return in2.Finish()
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	const n = 3000
+	tr := checkpointTrace(11, n)
+	for _, kinds := range []bool{false, true} {
+		var want *ShardStream
+		var err error
+		if kinds {
+			want, err = IngestShardsWithKinds(context.Background(), tr.NewSliceReader(), 16, 2, 4)
+		} else {
+			want, err = IngestShards(context.Background(), tr.NewSliceReader(), 16, 2, 4)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cut := range []int{0, 1, 63, 64, 65, 1000, n - 1, n} {
+			got := resumeThrough(t, tr, cut, 16, 2, kinds)
+			sameShardStream(t, got, want)
+		}
+	}
+}
+
+// TestCheckpointResumeOverflow cuts a weighted ingest between chunks
+// whose runs straddle the uint32 counter: the resumed stitch must
+// reproduce the exact overflow splits of the uninterrupted run.
+func TestCheckpointResumeOverflow(t *testing.T) {
+	const bigW = math.MaxUint32 - 3
+	ids := [][]uint64{
+		{5, 5, 9},
+		{9, 9, 5},
+		{5, 5, 5},
+		{2, 5, 5},
+	}
+	runs := [][]uint32{
+		{bigW, 7, 1},
+		{bigW, bigW, 3},
+		{bigW, 2, bigW},
+		{4, bigW, bigW},
+	}
+	var kinds [][]KindRun
+	for ci := range runs {
+		var col []KindRun
+		for i, w := range runs[ci] {
+			col = append(col, testKindRun(uint8(ci*3+i), w))
+		}
+		kinds = append(kinds, col)
+	}
+	for _, withKinds := range []bool{false, true} {
+		var kcols [][]KindRun
+		if withKinds {
+			kcols = kinds
+		}
+		want, err := ingestWeightedChunks(4, 1, 3, ids, runs, kcols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut <= len(ids); cut++ {
+			in, err := NewIngestor(4, 1, 3, withKinds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var kHead, kTail [][]KindRun
+			if withKinds {
+				kHead, kTail = kinds[:cut], kinds[cut:]
+			}
+			if err := in.ingestWeighted(context.Background(), ids[:cut], runs[:cut], kHead); err != nil {
+				t.Fatal(err)
+			}
+			cp, err := in.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := cp.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cp2 Checkpoint
+			if err := cp2.UnmarshalBinary(data); err != nil {
+				t.Fatalf("cut %d: unmarshal: %v", cut, err)
+			}
+			in2, err := ResumeIngest(&cp2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := in2.ingestWeighted(context.Background(), ids[cut:], runs[cut:], kTail); err != nil {
+				t.Fatal(err)
+			}
+			sameShardStream(t, in2.Finish(), want)
+		}
+	}
+}
+
+func TestCheckpointLifecycleErrors(t *testing.T) {
+	in, err := NewIngestor(16, 1, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := in.Checkpoint()
+	if err != nil {
+		t.Fatalf("empty Ingestor should checkpoint: %v", err)
+	}
+	if cp.Accesses() != 0 || cp.BlockSize() != 16 || cp.ShardLog() != 1 || cp.HasKinds() {
+		t.Fatalf("empty checkpoint metadata wrong: %+v", cp)
+	}
+	in.Finish()
+	if _, err := in.Checkpoint(); err == nil {
+		t.Error("Checkpoint after Finish should fail")
+	}
+	if err := in.IngestReader(context.Background(), Trace{}.NewSliceReader()); err == nil {
+		t.Error("Ingest after Finish should fail")
+	}
+}
+
+func TestResumeIngestValidation(t *testing.T) {
+	// Shard count disagreeing with the log, and a feed position past
+	// the parent columns: both must be rejected, not trusted.
+	cp := &Checkpoint{blockSize: 16, log: 2, shards: make([]BlockStream, 3)}
+	if _, err := ResumeIngest(cp, 1); err == nil {
+		t.Error("shard count mismatch accepted")
+	}
+	cp = &Checkpoint{blockSize: 16, log: 0, fed: 2, shards: make([]BlockStream, 1)}
+	if _, err := ResumeIngest(cp, 1); err == nil {
+		t.Error("out-of-range feed position accepted")
+	}
+	cp = &Checkpoint{blockSize: 3, log: 0, shards: make([]BlockStream, 1)}
+	if _, err := ResumeIngest(cp, 1); err == nil {
+		t.Error("bad block size accepted")
+	}
+}
+
+// mustMarshal marshals a hand-built (possibly invalid) checkpoint.
+func mustMarshal(t *testing.T, cp *Checkpoint) []byte {
+	t.Helper()
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCheckpointUnmarshalCorrupt(t *testing.T) {
+	valid := mustMarshal(t, &Checkpoint{
+		blockSize: 16, log: 1, fed: 1,
+		source: BlockStream{BlockSize: 16, IDs: []uint64{7, 300}, Runs: []uint32{2, 1}, Accesses: 3},
+		shards: make([]BlockStream, 2),
+	})
+	var cp Checkpoint
+	if err := cp.UnmarshalBinary(valid); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte("NOPE"), valid[4:]...)},
+		{"unknown flags", append(append(append([]byte{}, valid[:4]...), valid[4]|2), valid[5:]...)},
+		{"trailing bytes", append(append([]byte{}, valid...), 0)},
+		{"run count bomb", append(append([]byte{}, valid[:5]...), 16, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F)},
+		{"zero run weight", mustMarshal(t, &Checkpoint{
+			blockSize: 16, log: 0,
+			source: BlockStream{IDs: []uint64{1}, Runs: []uint32{0}, Accesses: 0},
+			shards: make([]BlockStream, 1),
+		})},
+		{"bad kind byte", func() []byte {
+			cp := &Checkpoint{
+				blockSize: 16, log: 0, kinds: true,
+				source: BlockStream{IDs: []uint64{1}, Runs: []uint32{1},
+					Kinds: []KindRun{{W: [3]uint32{1, 0, 0}, First: Kind(7)}}, Accesses: 1},
+				shards: []BlockStream{{Kinds: []KindRun{}}},
+			}
+			return mustMarshal(t, cp)
+		}()},
+		{"bad block size", mustMarshal(t, &Checkpoint{
+			blockSize: 3, log: 0, shards: make([]BlockStream, 1),
+		})},
+		{"bad shard log", mustMarshal(t, &Checkpoint{
+			blockSize: 16, log: maxIngestShardLog + 1, shards: make([]BlockStream, 1),
+		})},
+		{"feed past parent", mustMarshal(t, &Checkpoint{
+			blockSize: 16, log: 0, fed: 9, shards: make([]BlockStream, 1),
+		})},
+	}
+	for _, c := range cases {
+		var cp Checkpoint
+		err := cp.UnmarshalBinary(c.data)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not match ErrCorrupt", c.name, err)
+		}
+	}
+
+	// Every proper prefix of a valid snapshot is itself invalid: the
+	// format is self-delimiting, so a cut anywhere must be detected.
+	for i := 0; i < len(valid); i++ {
+		var cp Checkpoint
+		if err := cp.UnmarshalBinary(valid[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", i, len(valid))
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix of %d bytes: error %v does not match ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestSkipAccesses(t *testing.T) {
+	tr := checkpointTrace(3, 500)
+	r := tr.NewSliceReader()
+	if err := SkipAccesses(r, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := SkipAccesses(r, 123); err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Next()
+	if err != nil || a != tr[123] {
+		t.Fatalf("after skip: access %v err %v, want %v", a, err, tr[123])
+	}
+	err = SkipAccesses(tr.NewSliceReader(), uint64(len(tr))+1)
+	var te *TruncatedError
+	if !errors.As(err, &te) {
+		t.Fatalf("skip past EOF: %v, want TruncatedError", err)
+	}
+	if te.Accesses != uint64(len(tr)) {
+		t.Errorf("TruncatedError.Accesses = %d, want %d", te.Accesses, len(tr))
+	}
+	if !errors.Is(err, ErrTruncated) || !errors.Is(err, ErrCorrupt) {
+		t.Error("TruncatedError must match both sentinels")
+	}
+}
+
+// FuzzCheckpointResume drives the kill-and-restart story over fuzzed
+// traces and cut points, in both kind modes: the resumed ingest must be
+// bit-identical to the uninterrupted one at every cut.
+func FuzzCheckpointResume(f *testing.F) {
+	f.Add(uint64(1), uint16(300), uint16(0), false)
+	f.Add(uint64(2), uint16(300), uint16(65), true)
+	f.Add(uint64(3), uint16(2000), uint16(999), true)
+	f.Add(uint64(4), uint16(1), uint16(1), false)
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, cutRaw uint16, kinds bool) {
+		n := int(nRaw)%2048 + 1
+		tr := checkpointTrace(seed, n)
+		cut := int(cutRaw) % (n + 1)
+		var want *ShardStream
+		var err error
+		if kinds {
+			want, err = IngestShardsWithKinds(context.Background(), tr.NewSliceReader(), 16, 2, 3)
+		} else {
+			want, err = IngestShards(context.Background(), tr.NewSliceReader(), 16, 2, 3)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resumeThrough(t, tr, cut, 16, 2, kinds)
+		sameShardStream(t, got, want)
+	})
+}
+
+// FuzzCheckpointUnmarshal feeds arbitrary bytes to the checkpoint
+// decoder: it must reject or accept without panicking or allocating
+// unboundedly, and every rejection must match ErrCorrupt.
+func FuzzCheckpointUnmarshal(f *testing.F) {
+	f.Add([]byte("DCP1"))
+	f.Add(mustMarshalFuzz(&Checkpoint{blockSize: 16, log: 1, shards: make([]BlockStream, 2)}))
+	f.Add(mustMarshalFuzz(&Checkpoint{
+		blockSize: 4, log: 0, kinds: true,
+		source: BlockStream{IDs: []uint64{1}, Runs: []uint32{2},
+			Kinds: []KindRun{{W: [3]uint32{2, 0, 0}, First: DataRead}}, Accesses: 2},
+		shards: []BlockStream{{Kinds: []KindRun{}}},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cp Checkpoint
+		if err := cp.UnmarshalBinary(data); err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection %v does not match ErrCorrupt", err)
+			}
+			return
+		}
+		// Accepted snapshots must survive a marshal/unmarshal cycle and
+		// be resumable.
+		out, err := cp.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted snapshot: %v", err)
+		}
+		var cp2 Checkpoint
+		if err := cp2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-unmarshal of accepted snapshot: %v", err)
+		}
+		if _, err := ResumeIngest(&cp, 1); err != nil {
+			t.Fatalf("accepted snapshot not resumable: %v", err)
+		}
+	})
+}
+
+func mustMarshalFuzz(cp *Checkpoint) []byte {
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	return data
+}

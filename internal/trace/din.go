@@ -56,19 +56,26 @@ func (d *DinReader) Next() (Access, error) {
 		i = skipField(b, i)
 		addrEnd := i
 		if addrEnd == addrStart {
-			return Access{}, fmt.Errorf("trace: din line %d: need label and address, got %q", d.line, bytes.TrimSpace(b))
+			return Access{}, &CorruptError{Format: "din", Line: d.line, Offset: -1,
+				Msg: fmt.Sprintf("need label and address, got %q", bytes.TrimSpace(b))}
 		}
 		label, ok := parseLabel(b[labelStart:labelEnd])
 		if !ok || !Kind(label).Valid() {
-			return Access{}, fmt.Errorf("trace: din line %d: bad label %q", d.line, b[labelStart:labelEnd])
+			return Access{}, &CorruptError{Format: "din", Line: d.line, Offset: -1,
+				Msg: fmt.Sprintf("bad label %q", b[labelStart:labelEnd])}
 		}
 		addr, ok := parseHex(b[addrStart:addrEnd])
 		if !ok {
-			return Access{}, fmt.Errorf("trace: din line %d: bad address %q", d.line, b[addrStart:addrEnd])
+			return Access{}, &CorruptError{Format: "din", Line: d.line, Offset: -1,
+				Msg: fmt.Sprintf("bad address %q", b[addrStart:addrEnd])}
 		}
 		return Access{Addr: addr, Kind: Kind(label)}, nil
 	}
 	if err := d.scanner.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return Access{}, &CorruptError{Format: "din", Line: d.line + 1, Offset: -1,
+				Msg: "line too long", Err: err}
+		}
 		return Access{}, err
 	}
 	return Access{}, io.EOF

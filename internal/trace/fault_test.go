@@ -1,0 +1,214 @@
+// Fault-injection integration: every fault faultreader can inject into
+// a trace decode must surface as a typed, position-carrying error — and
+// never as a partial, silently-wrong stream. This file is the
+// executable form of the contract in errors.go.
+package trace_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"dew/internal/leakcheck"
+	"dew/internal/trace"
+	"dew/internal/trace/faultreader"
+)
+
+// binPayload encodes n accesses in DTB1 and returns the bytes plus the
+// decoded oracle.
+func binPayload(t testing.TB, n int) ([]byte, trace.Trace) {
+	t.Helper()
+	tr := make(trace.Trace, n)
+	for i := range tr {
+		tr[i] = trace.Access{Addr: uint64(i%97) * 64, Kind: trace.Kind(i % 3)}
+	}
+	var buf bytes.Buffer
+	w := trace.NewBinWriter(&buf)
+	for _, a := range tr {
+		if err := w.WriteAccess(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tr
+}
+
+// TestBinTruncationEveryOffset cuts the encoded stream at every byte:
+// the decoder must either stop cleanly at a record boundary with a
+// correct prefix, or report a typed truncation with the offset of the
+// record that was cut — never panic, never emit a wrong access.
+func TestBinTruncationEveryOffset(t *testing.T) {
+	data, tr := binPayload(t, 200)
+	for cut := 0; cut <= len(data); cut++ {
+		cfg := faultreader.Passthrough()
+		cfg.TruncateAt = int64(cut)
+		r := trace.NewBinReader(faultreader.New(bytes.NewReader(data), cfg))
+		var got trace.Trace
+		var err error
+		for {
+			var a trace.Access
+			if a, err = r.Next(); err != nil {
+				break
+			}
+			got = append(got, a)
+		}
+		if errors.Is(err, io.EOF) {
+			err = nil
+		}
+		for i, a := range got {
+			if a != tr[i] {
+				t.Fatalf("cut %d: access %d decoded as %v, want %v", cut, i, a, tr[i])
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, trace.ErrCorrupt) {
+				t.Fatalf("cut %d: error %v does not match ErrCorrupt", cut, err)
+			}
+			var te *trace.TruncatedError
+			var ce *trace.CorruptError
+			switch {
+			case errors.As(err, &te):
+				if te.Offset < 0 || te.Accesses != uint64(len(got)) {
+					t.Fatalf("cut %d: truncation carries offset %d accesses %d, decoded %d",
+						cut, te.Offset, te.Accesses, len(got))
+				}
+			case errors.As(err, &ce):
+				if ce.Offset < 0 {
+					t.Fatalf("cut %d: corruption without a position: %v", cut, err)
+				}
+			default:
+				t.Fatalf("cut %d: untyped error %v", cut, err)
+			}
+		} else if cut < len(data) && len(got) == len(tr) {
+			t.Fatalf("cut %d: full decode from truncated input", cut)
+		}
+	}
+}
+
+func TestBinFlipFaults(t *testing.T) {
+	data, _ := binPayload(t, 100)
+
+	// A flipped magic byte must be a positioned corruption error.
+	cfg := faultreader.Passthrough()
+	cfg.FlipAt = 2
+	_, err := trace.ReadAll(trace.NewBinReader(faultreader.New(bytes.NewReader(data), cfg)))
+	if !errors.Is(err, trace.ErrBadMagic) || !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("flipped magic: %v, want ErrBadMagic and ErrCorrupt", err)
+	}
+
+	// Flipping a high bit into the first kind byte makes it invalid:
+	// the error must carry the record's byte offset.
+	cfg = faultreader.Passthrough()
+	cfg.FlipAt, cfg.FlipMask = 4, 0x80
+	_, err = trace.ReadAll(trace.NewBinReader(faultreader.New(bytes.NewReader(data), cfg)))
+	var ce *trace.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("flipped kind byte: %v, want *trace.CorruptError", err)
+	}
+	if ce.Offset != 4 {
+		t.Errorf("corruption at offset %d, want 4", ce.Offset)
+	}
+}
+
+func TestBinDeferredIOError(t *testing.T) {
+	defer leakcheck.Check(t)()
+	data, _ := binPayload(t, 5000)
+	boom := errors.New("nfs went away")
+	cfg := faultreader.Passthrough()
+	cfg.FailAt, cfg.Err = int64(len(data)/2), boom
+	r := trace.NewBinReader(faultreader.New(bytes.NewReader(data), cfg))
+	ss, err := trace.IngestShards(context.Background(), r, 16, 1, 3)
+	if !errors.Is(err, boom) {
+		t.Fatalf("ingest over dying reader: %v, want the injected error", err)
+	}
+	if ss != nil {
+		t.Error("failed ingest returned a partial stream")
+	}
+}
+
+// TestBinShortReadsIdentical proves decode and ingest are insensitive
+// to read fragmentation: a pathological byte-at-a-time stream yields a
+// bit-identical ShardStream.
+func TestBinShortReadsIdentical(t *testing.T) {
+	data, tr := binPayload(t, 5000)
+	want, err := trace.IngestShards(context.Background(), tr.NewSliceReader(), 16, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faultreader.Passthrough()
+	cfg.ShortReads, cfg.Seed = true, 99
+	r := trace.NewBinReader(faultreader.New(bytes.NewReader(data), cfg))
+	got, err := trace.IngestShards(context.Background(), r, 16, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source.Accesses != want.Source.Accesses || len(got.Source.IDs) != len(want.Source.IDs) {
+		t.Fatalf("short reads changed the stream: %d accesses %d runs, want %d/%d",
+			got.Source.Accesses, len(got.Source.IDs), want.Source.Accesses, len(want.Source.IDs))
+	}
+	for i := range want.Source.IDs {
+		if got.Source.IDs[i] != want.Source.IDs[i] || got.Source.Runs[i] != want.Source.Runs[i] {
+			t.Fatalf("run %d differs under short reads", i)
+		}
+	}
+}
+
+func TestDinFlipFault(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString("0 1000\n")
+	}
+	text := sb.String()
+	// Flip the address digit of line 51 into a non-hex character: the
+	// error must name that exact line.
+	cfg := faultreader.Passthrough()
+	cfg.FlipAt, cfg.FlipMask = int64(50*7+2), 0x40 // '1' -> 'q'
+	ss, err := trace.IngestDinShards(context.Background(), faultreader.New(strings.NewReader(text), cfg), 16, 1, 3)
+	var ce *trace.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("flipped din digit: %v, want *trace.CorruptError", err)
+	}
+	if ce.Line != 51 {
+		t.Errorf("corruption reported at line %d, want 51", ce.Line)
+	}
+	if ss != nil {
+		t.Error("corrupt din ingest returned a partial stream")
+	}
+}
+
+func TestDinDeferredIOError(t *testing.T) {
+	defer leakcheck.Check(t)()
+	text := strings.Repeat("0 1000\n1 2000\n", 5000)
+	boom := errors.New("disk pulled")
+	cfg := faultreader.Passthrough()
+	cfg.FailAt, cfg.Err = int64(len(text)/2), boom
+	ss, err := trace.IngestDinShards(context.Background(), faultreader.New(strings.NewReader(text), cfg), 16, 1, 3)
+	if !errors.Is(err, boom) {
+		t.Fatalf("din ingest over dying reader: %v, want the injected error", err)
+	}
+	if ss != nil {
+		t.Error("failed din ingest returned a partial stream")
+	}
+}
+
+func TestAccessLevelFault(t *testing.T) {
+	defer leakcheck.Check(t)()
+	_, tr := binPayload(t, 8000)
+	boom := errors.New("generator wedged")
+	fr := faultreader.NewAccess(tr.NewSliceReader(), 6000, boom)
+	ss, err := trace.IngestShards(context.Background(), fr, 16, 1, 3)
+	if !errors.Is(err, boom) {
+		t.Fatalf("ingest over failing access source: %v, want the injected error", err)
+	}
+	if ss != nil {
+		t.Error("failed ingest returned a partial stream")
+	}
+	if fr.Served() != 6000 {
+		t.Errorf("fault fired after %d accesses, want 6000", fr.Served())
+	}
+}

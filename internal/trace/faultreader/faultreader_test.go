@@ -1,0 +1,158 @@
+package faultreader
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"dew/internal/trace"
+)
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	return b
+}
+
+func TestPassthrough(t *testing.T) {
+	want := payload(4096)
+	got, err := io.ReadAll(New(bytes.NewReader(want), Passthrough()))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("passthrough changed the stream (err %v, %d bytes)", err, len(got))
+	}
+}
+
+func TestTruncateAt(t *testing.T) {
+	cfg := Passthrough()
+	cfg.TruncateAt = 100
+	r := New(bytes.NewReader(payload(4096)), cfg)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 || !bytes.Equal(got, payload(4096)[:100]) {
+		t.Fatalf("truncation served %d bytes, want exactly 100", len(got))
+	}
+	if r.Offset() != 100 {
+		t.Errorf("Offset = %d, want 100", r.Offset())
+	}
+}
+
+func TestFailAt(t *testing.T) {
+	boom := errors.New("boom")
+	cfg := Passthrough()
+	cfg.FailAt, cfg.Err = 64, boom
+	r := New(bytes.NewReader(payload(4096)), cfg)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(got) != 64 || !bytes.Equal(got, payload(4096)[:64]) {
+		t.Fatalf("failure served %d clean bytes, want exactly 64", len(got))
+	}
+}
+
+func TestFailAtDefaultErr(t *testing.T) {
+	cfg := Passthrough()
+	cfg.FailAt = 0
+	_, err := io.ReadAll(New(bytes.NewReader(payload(16)), cfg))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFlipAt(t *testing.T) {
+	want := payload(4096)
+	cfg := Passthrough()
+	cfg.FlipAt, cfg.FlipMask = 1000, 0x40
+	got, err := io.ReadAll(New(bytes.NewReader(want), cfg))
+	if err != nil || len(got) != len(want) {
+		t.Fatalf("flip read: %v, %d bytes", err, len(got))
+	}
+	for i := range want {
+		exp := want[i]
+		if i == 1000 {
+			exp ^= 0x40
+		}
+		if got[i] != exp {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], exp)
+		}
+	}
+}
+
+func TestShortReadsDeterministic(t *testing.T) {
+	want := payload(4096)
+	cfg := Passthrough()
+	cfg.ShortReads, cfg.Seed = true, 42
+	lens := func() []int {
+		r := New(bytes.NewReader(want), cfg)
+		var out []int
+		buf := make([]byte, 64)
+		var got []byte
+		for {
+			n, err := r.Read(buf)
+			got = append(got, buf[:n]...)
+			if n > 0 {
+				out = append(out, n)
+			}
+			if err != nil {
+				break
+			}
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("short reads corrupted the stream")
+		}
+		return out
+	}
+	a, b := lens(), lens()
+	if len(a) <= len(want)/64 {
+		t.Fatalf("short reads never shortened anything: %d reads", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different sequences: %d vs %d reads", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d: %d vs %d bytes", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStallAt(t *testing.T) {
+	cfg := Passthrough()
+	cfg.StallAt, cfg.Stall = 8, 30*time.Millisecond
+	r := New(bytes.NewReader(payload(64)), cfg)
+	start := time.Now()
+	got, err := io.ReadAll(r)
+	if err != nil || len(got) != 64 {
+		t.Fatalf("stalled read: %v, %d bytes", err, len(got))
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("stall not applied: finished in %v", d)
+	}
+}
+
+func TestAccessReader(t *testing.T) {
+	boom := errors.New("link down")
+	tr := make(trace.Trace, 10)
+	for i := range tr {
+		tr[i] = trace.Access{Addr: uint64(i) * 64, Kind: trace.DataRead}
+	}
+	r := NewAccess(tr.NewSliceReader(), 4, boom)
+	for i := 0; i < 4; i++ {
+		a, err := r.Next()
+		if err != nil || a != tr[i] {
+			t.Fatalf("access %d: %v, %v", i, a, err)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if r.Served() != 4 {
+		t.Errorf("Served = %d, want 4", r.Served())
+	}
+}

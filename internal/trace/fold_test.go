@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -282,7 +283,7 @@ func TestFoldShardEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := IngestShards(tr.NewSliceReader(), 8, log, 4)
+		want, err := IngestShards(context.Background(), tr.NewSliceReader(), 8, log, 4)
 		if err != nil {
 			t.Fatal(err)
 		}

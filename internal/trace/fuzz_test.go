@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -107,4 +109,80 @@ func FuzzRoundTrip(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzDinCorrupt drives arbitrary bytes through the full din ingest
+// path: every failure must be a typed, position-carrying error from the
+// taxonomy in errors.go, and a failed ingest must never hand back a
+// partial stream.
+func FuzzDinCorrupt(f *testing.F) {
+	f.Add("0 1000\n1 1004\n2 2000\n")
+	f.Add("0 zz\n")
+	f.Add("garbage here\n")
+	f.Add("0 1000")
+	f.Add(strings.Repeat("1 40\n", 300))
+	f.Fuzz(func(t *testing.T, in string) {
+		ss, err := IngestDinShards(context.Background(), strings.NewReader(in), 16, 1, 2)
+		if err == nil {
+			if ss == nil {
+				t.Fatal("clean ingest returned no stream")
+			}
+			return
+		}
+		if ss != nil {
+			t.Fatal("failed ingest returned a partial stream")
+		}
+		requireTypedPositioned(t, err)
+	})
+}
+
+// FuzzBinCorrupt is FuzzDinCorrupt for the binary format, where
+// positions are byte offsets instead of line numbers.
+func FuzzBinCorrupt(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	for i := 0; i < 100; i++ {
+		w.WriteAccess(Access{Addr: uint64(i) * 32, Kind: Kind(i % 3)})
+	}
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("DTB1\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ss, err := IngestShards(context.Background(), NewBinReader(bytes.NewReader(in)), 16, 1, 2)
+		if err == nil {
+			if ss == nil {
+				t.Fatal("clean ingest returned no stream")
+			}
+			return
+		}
+		if ss != nil {
+			t.Fatal("failed ingest returned a partial stream")
+		}
+		requireTypedPositioned(t, err)
+	})
+}
+
+// requireTypedPositioned asserts err belongs to the corrupt-input
+// taxonomy and carries a usable position.
+func requireTypedPositioned(t *testing.T, err error) {
+	t.Helper()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error %v does not match ErrCorrupt", err)
+	}
+	var te *TruncatedError
+	var ce *CorruptError
+	switch {
+	case errors.As(err, &te):
+		// Accesses counts the clean prefix; Offset may be -1 for the
+		// line-oriented format.
+	case errors.As(err, &ce):
+		if ce.Line <= 0 && ce.Offset < 0 {
+			t.Fatalf("corruption without a position: %#v", ce)
+		}
+	default:
+		t.Fatalf("untyped corrupt-input error %v", err)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"compress/gzip"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"dew/internal/pool"
 )
 
 // This file is the streaming front half of the sharded pipeline: decode
@@ -416,11 +419,29 @@ type ingestResult struct {
 	err   error
 }
 
-// ingestPipeline drives produce → compress workers → ordered stitcher.
-// produce emits jobs with consecutive seq from 0 and may stop early
-// when the abort flag is set (a downstream error).
-func ingestPipeline(blockSize, log, workers int, kinds bool,
-	produce func(emit func(ingestJob), abort *atomic.Bool) error) (*ShardStream, error) {
+// Ingestor is the resumable form of the ingest pipeline: it owns a
+// shard stitcher whose state persists across Ingest* calls, so a trace
+// can be fed in several sittings — or checkpointed between them (see
+// Checkpoint/ResumeIngest in checkpoint.go) — and still stitch to a
+// stream bit-identical to a single uninterrupted ingest. Every Ingest*
+// call is itself the full chunk-parallel pipeline (decode → compress
+// workers → ordered stitch); the Ingestor only carries the boundary
+// state between calls. Call Finish exactly once, after the last
+// Ingest* call, to finalize the trailing edge and take the stream.
+type Ingestor struct {
+	blockSize int
+	log       int
+	workers   int
+	kinds     bool
+	st        *shardStitcher
+	finished  bool
+	broken    bool
+}
+
+// NewIngestor validates the geometry and returns an empty Ingestor.
+// workers ≤ 0 means GOMAXPROCS; kinds selects the kind-preserving
+// channel (as IngestShardsWithKinds does for the one-shot path).
+func NewIngestor(blockSize, log, workers int, kinds bool) (*Ingestor, error) {
 	if blockSize < 1 || blockSize&(blockSize-1) != 0 {
 		return nil, fmt.Errorf("trace: block size must be a positive power of two, got %d", blockSize)
 	}
@@ -430,26 +451,78 @@ func ingestPipeline(blockSize, log, workers int, kinds bool,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	return &Ingestor{
+		blockSize: blockSize, log: log, workers: workers, kinds: kinds,
+		st: newShardStitcher(blockSize, log, kinds),
+	}, nil
+}
 
+// Accesses returns the number of accesses stitched so far. After a
+// cancelled or failed Ingest* call this is the exact resume position:
+// the stitched state covers precisely the first Accesses() accesses of
+// the input (cancellation and decode errors discard whole in-flight
+// chunks, never partial ones).
+func (in *Ingestor) Accesses() uint64 { return in.st.ss.Source.Accesses }
+
+// Finish finalizes the trailing edge and returns the stream. The
+// Ingestor must not be used afterwards.
+func (in *Ingestor) Finish() *ShardStream {
+	in.finished = true
+	return in.st.finish()
+}
+
+// IngestReader feeds the accesses of r through the chunk-parallel
+// pipeline into the Ingestor's stitched state. It may be called
+// multiple times (the streams concatenate); ctx cancellation is
+// honoured at chunk granularity and returns context.Canceled with the
+// pool fully drained and the stitched state intact at a chunk
+// boundary.
+func (in *Ingestor) IngestReader(ctx context.Context, r Reader) error {
+	return in.ingestReader(ctx, r, defaultIngestChunk)
+}
+
+// run drives produce → compress workers → ordered stitcher for one
+// Ingest* call. produce emits jobs with consecutive seq from 0 and
+// must stop (returning ctx.Err()) once stop() reports true — set on
+// cancellation or a downstream error. Every goroutine body runs under
+// pool.Protect, so a panic anywhere in the pipeline surfaces as a
+// *pool.PanicError after the pool has drained, never as a crash; run
+// never returns with pipeline goroutines still live.
+func (in *Ingestor) run(ctx context.Context, produce func(emit func(ingestJob), stop func() bool) error) error {
+	if in.finished {
+		return errors.New("trace: ingest after Finish")
+	}
+	if in.broken {
+		return errors.New("trace: ingest on an Ingestor whose stitcher failed")
+	}
+	workers := in.workers
 	jobs := make(chan ingestJob, workers)
 	results := make(chan ingestResult, workers)
 	var abort atomic.Bool
+	stop := func() bool { return abort.Load() || ctx.Err() != nil }
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := newIngestScratch(log)
+			sc := newIngestScratch(in.log)
 			for j := range jobs {
-				c, err := j.run(sc)
+				var c *runChunk
+				err := pool.Protect(func() error {
+					var err error
+					c, err = j.run(sc)
+					return err
+				})
 				results <- ingestResult{seq: j.seq, chunk: c, err: err}
 			}
 		}()
 	}
 	prodErr := make(chan error, 1)
 	go func() {
-		err := produce(func(j ingestJob) { jobs <- j }, &abort)
+		err := pool.Protect(func() error {
+			return produce(func(j ingestJob) { jobs <- j }, stop)
+		})
 		close(jobs)
 		prodErr <- err
 	}()
@@ -458,7 +531,9 @@ func ingestPipeline(blockSize, log, workers int, kinds bool,
 		close(results)
 	}()
 
-	st := newShardStitcher(blockSize, log, kinds)
+	// Ordered stitch on the calling goroutine: chunks apply strictly in
+	// seq order, so on any exit the stitched state is an exact prefix
+	// of the input at a chunk boundary.
 	pending := map[int]*runChunk{}
 	next := 0
 	var firstErr error
@@ -472,23 +547,31 @@ func ingestPipeline(blockSize, log, workers int, kinds bool,
 			continue
 		}
 		pending[res.seq] = res.chunk
-		for {
-			c, ok := pending[next]
-			if !ok {
-				break
+		if err := pool.Protect(func() error {
+			for {
+				c, ok := pending[next]
+				if !ok {
+					return nil
+				}
+				delete(pending, next)
+				in.st.add(c)
+				next++
 			}
-			delete(pending, next)
-			st.add(c)
-			next++
+		}); err != nil {
+			// A stitcher panic can tear mid-chunk state; poison the
+			// Ingestor so it cannot checkpoint or continue.
+			in.broken = true
+			firstErr = err
+			abort.Store(true)
 		}
 	}
 	if err := <-prodErr; err != nil && firstErr == nil {
 		firstErr = err
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if firstErr == nil {
+		firstErr = ctx.Err()
 	}
-	return st.finish(), nil
+	return firstErr
 }
 
 // IngestShards drains a trace reader and materializes both the parent
@@ -498,10 +581,12 @@ func ingestPipeline(blockSize, log, workers int, kinds bool,
 // at chunk boundaries. The result — Source and every shard — is
 // bit-identical to ShardBlockStream(MaterializeBlockStream(r), log),
 // without ever materializing the raw trace. workers ≤ 0 means
-// GOMAXPROCS. For .din input prefer IngestDinShards (or
+// GOMAXPROCS. Cancelling ctx aborts at chunk granularity: the call
+// returns ctx's error with every pipeline goroutine drained and no
+// partial stream. For .din input prefer IngestDinShards (or
 // IngestFileShards), which also parallelizes the text decode itself.
-func IngestShards(r Reader, blockSize, log, workers int) (*ShardStream, error) {
-	return ingestReaderChunks(r, blockSize, log, workers, defaultIngestChunk, false)
+func IngestShards(ctx context.Context, r Reader, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestReaderChunks(ctx, r, blockSize, log, workers, defaultIngestChunk, false)
 }
 
 // IngestShardsWithKinds is IngestShards with the kind-preserving
@@ -509,16 +594,28 @@ func IngestShards(r Reader, blockSize, log, workers int) (*ShardStream, error) {
 // and run columns are bit-identical to the kind-free ingest (and to
 // ShardBlockStream over MaterializeBlockStreamWithKinds); accesses
 // with invalid kinds are rejected.
-func IngestShardsWithKinds(r Reader, blockSize, log, workers int) (*ShardStream, error) {
-	return ingestReaderChunks(r, blockSize, log, workers, defaultIngestChunk, true)
+func IngestShardsWithKinds(ctx context.Context, r Reader, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestReaderChunks(ctx, r, blockSize, log, workers, defaultIngestChunk, true)
 }
 
-func ingestReaderChunks(r Reader, blockSize, log, workers, chunkSize int, kinds bool) (*ShardStream, error) {
-	off := blockShift(blockSize)
-	return ingestPipeline(blockSize, log, workers, kinds, func(emit func(ingestJob), abort *atomic.Bool) error {
+func ingestReaderChunks(ctx context.Context, r Reader, blockSize, log, workers, chunkSize int, kinds bool) (*ShardStream, error) {
+	in, err := NewIngestor(blockSize, log, workers, kinds)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.ingestReader(ctx, r, chunkSize); err != nil {
+		return nil, err
+	}
+	return in.Finish(), nil
+}
+
+func (in *Ingestor) ingestReader(ctx context.Context, r Reader, chunkSize int) error {
+	off := blockShift(in.blockSize)
+	kinds, log := in.kinds, in.log
+	return in.run(ctx, func(emit func(ingestJob), stop func() bool) error {
 		br := Batch(r)
 		seq := 0
-		for !abort.Load() {
+		for !stop() {
 			buf := make([]Access, chunkSize)
 			filled := 0
 			var err error
@@ -557,7 +654,7 @@ func ingestReaderChunks(r Reader, blockSize, log, workers, chunkSize int, kinds 
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	})
 }
 
@@ -568,8 +665,26 @@ func ingestReaderChunks(r Reader, blockSize, log, workers, chunkSize int, kinds 
 // the pipeline in kind mode (each record's Total must equal its run
 // weight).
 func ingestWeightedChunks(blockSize, log, workers int, ids [][]uint64, runs [][]uint32, kinds [][]KindRun) (*ShardStream, error) {
-	return ingestPipeline(blockSize, log, workers, kinds != nil, func(emit func(ingestJob), abort *atomic.Bool) error {
+	in, err := NewIngestor(blockSize, log, workers, kinds != nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.ingestWeighted(context.Background(), ids, runs, kinds); err != nil {
+		return nil, err
+	}
+	return in.Finish(), nil
+}
+
+// ingestWeighted feeds pre-weighted columns through one pipeline pass
+// on an existing Ingestor — the checkpoint tests' lever for cutting an
+// ingest between (or inside) overflow-heavy chunks.
+func (in *Ingestor) ingestWeighted(ctx context.Context, ids [][]uint64, runs [][]uint32, kinds [][]KindRun) error {
+	log := in.log
+	return in.run(ctx, func(emit func(ingestJob), stop func() bool) error {
 		for seq := range ids {
+			if stop() {
+				return ctx.Err()
+			}
 			cids, cruns := ids[seq], runs[seq]
 			var ckinds []KindRun
 			if kinds != nil {
@@ -597,23 +712,39 @@ func ingestWeightedChunks(blockSize, log, workers int, ids [][]uint64, runs [][]
 // and run-compress each chunk independently. Semantics (including
 // error line numbers) match NewDinReader; results are bit-identical to
 // the serial materialize-then-shard path.
-func IngestDinShards(r io.Reader, blockSize, log, workers int) (*ShardStream, error) {
-	return ingestDinChunks(r, blockSize, log, workers, ingestDinChunkBytes, false)
+func IngestDinShards(ctx context.Context, r io.Reader, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestDinChunks(ctx, r, blockSize, log, workers, ingestDinChunkBytes, false)
 }
 
 // IngestDinShardsWithKinds is IngestDinShards with the kind-preserving
 // channel: the .din label column, already parsed for validation, is
 // retained per run instead of dropped.
-func IngestDinShardsWithKinds(r io.Reader, blockSize, log, workers int) (*ShardStream, error) {
-	return ingestDinChunks(r, blockSize, log, workers, ingestDinChunkBytes, true)
+func IngestDinShardsWithKinds(ctx context.Context, r io.Reader, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestDinChunks(ctx, r, blockSize, log, workers, ingestDinChunkBytes, true)
 }
 
-func ingestDinChunks(r io.Reader, blockSize, log, workers, chunkBytes int, kinds bool) (*ShardStream, error) {
-	if blockSize < 1 || blockSize&(blockSize-1) != 0 {
-		return nil, fmt.Errorf("trace: block size must be a positive power of two, got %d", blockSize)
+func ingestDinChunks(ctx context.Context, r io.Reader, blockSize, log, workers, chunkBytes int, kinds bool) (*ShardStream, error) {
+	in, err := NewIngestor(blockSize, log, workers, kinds)
+	if err != nil {
+		return nil, err
 	}
-	off := blockShift(blockSize)
-	return ingestPipeline(blockSize, log, workers, kinds, func(emit func(ingestJob), abort *atomic.Bool) error {
+	if err := in.ingestDin(ctx, r, chunkBytes); err != nil {
+		return nil, err
+	}
+	return in.Finish(), nil
+}
+
+// IngestDin feeds .din text through the chunk-parallel text parser
+// into the Ingestor's stitched state (the resumable form of
+// IngestDinShards).
+func (in *Ingestor) IngestDin(ctx context.Context, r io.Reader) error {
+	return in.ingestDin(ctx, r, ingestDinChunkBytes)
+}
+
+func (in *Ingestor) ingestDin(ctx context.Context, r io.Reader, chunkBytes int) error {
+	off := blockShift(in.blockSize)
+	kinds, log := in.kinds, in.log
+	return in.run(ctx, func(emit func(ingestJob), stop func() bool) error {
 		var rem []byte
 		seq := 0
 		startLine := 1
@@ -626,7 +757,7 @@ func ingestDinChunks(r io.Reader, blockSize, log, workers, chunkBytes int, kinds
 			}})
 			seq++
 		}
-		for !abort.Load() {
+		for !stop() {
 			buf := make([]byte, len(rem)+chunkBytes)
 			copy(buf, rem)
 			n, err := io.ReadFull(r, buf[len(rem):])
@@ -651,7 +782,7 @@ func ingestDinChunks(r io.Reader, blockSize, log, workers, chunkBytes int, kinds
 			emitChunk(buf[:cut+1])
 			rem = append([]byte(nil), buf[cut+1:]...)
 		}
-		return nil
+		return ctx.Err()
 	})
 }
 
@@ -681,15 +812,18 @@ func parseDinChunk(b []byte, startLine int, off uint, log int, kinds bool, sc *i
 		i = skipField(ln, i)
 		addrEnd := i
 		if addrEnd == addrStart {
-			return nil, fmt.Errorf("trace: din line %d: need label and address, got %q", line, bytes.TrimSpace(ln))
+			return nil, &CorruptError{Format: "din", Line: line, Offset: -1,
+				Msg: fmt.Sprintf("need label and address, got %q", bytes.TrimSpace(ln))}
 		}
 		label, ok := parseLabel(ln[labelStart:labelEnd])
 		if !ok || !Kind(label).Valid() {
-			return nil, fmt.Errorf("trace: din line %d: bad label %q", line, ln[labelStart:labelEnd])
+			return nil, &CorruptError{Format: "din", Line: line, Offset: -1,
+				Msg: fmt.Sprintf("bad label %q", ln[labelStart:labelEnd])}
 		}
 		addr, ok := parseHex(ln[addrStart:addrEnd])
 		if !ok {
-			return nil, fmt.Errorf("trace: din line %d: bad address %q", line, ln[addrStart:addrEnd])
+			return nil, &CorruptError{Format: "din", Line: line, Offset: -1,
+				Msg: fmt.Sprintf("bad address %q", ln[addrStart:addrEnd])}
 		}
 		if kinds {
 			cc.addAccess(addr>>off, Kind(label))
@@ -703,17 +837,17 @@ func parseDinChunk(b []byte, startLine int, off uint, log int, kinds bool, sc *i
 // IngestFileShards opens a trace file (transparently decompressing
 // ".gz") and ingests it sharded: the chunk-parallel text parser for
 // .din files, the pipelined generic decode for everything else.
-func IngestFileShards(name string, blockSize, log, workers int) (*ShardStream, error) {
-	return ingestFileShards(name, blockSize, log, workers, false)
+func IngestFileShards(ctx context.Context, name string, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestFileShards(ctx, name, blockSize, log, workers, false)
 }
 
 // IngestFileShardsWithKinds is IngestFileShards with the
 // kind-preserving channel.
-func IngestFileShardsWithKinds(name string, blockSize, log, workers int) (*ShardStream, error) {
-	return ingestFileShards(name, blockSize, log, workers, true)
+func IngestFileShardsWithKinds(ctx context.Context, name string, blockSize, log, workers int) (*ShardStream, error) {
+	return ingestFileShards(ctx, name, blockSize, log, workers, true)
 }
 
-func ingestFileShards(name string, blockSize, log, workers int, kinds bool) (*ShardStream, error) {
+func ingestFileShards(ctx context.Context, name string, blockSize, log, workers int, kinds bool) (*ShardStream, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		return nil, err
@@ -731,14 +865,14 @@ func ingestFileShards(name string, blockSize, log, workers int, kinds bool) (*Sh
 	if DetectFormat(name) == FormatBin {
 		r := NewBinReader(bufio.NewReader(src))
 		if kinds {
-			return IngestShardsWithKinds(r, blockSize, log, workers)
+			return IngestShardsWithKinds(ctx, r, blockSize, log, workers)
 		}
-		return IngestShards(r, blockSize, log, workers)
+		return IngestShards(ctx, r, blockSize, log, workers)
 	}
 	if kinds {
-		return IngestDinShardsWithKinds(src, blockSize, log, workers)
+		return IngestDinShardsWithKinds(ctx, src, blockSize, log, workers)
 	}
-	return IngestDinShards(src, blockSize, log, workers)
+	return IngestDinShards(ctx, src, blockSize, log, workers)
 }
 
 // blockShift returns log2 of a validated block size.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -109,7 +110,7 @@ func TestIngestShardsMatchesSerial(t *testing.T) {
 			for _, log := range []int{0, 1, 3, 5} {
 				want := serialShards(t, tr, block, log)
 				for _, chunk := range []int{1, 3, 64, 4096} {
-					got, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 4, chunk, false)
+					got, err := ingestReaderChunks(context.Background(), tr.NewSliceReader(), block, log, 4, chunk, false)
 					if err != nil {
 						t.Fatalf("n=%d block=%d log=%d chunk=%d: %v", n, block, log, chunk, err)
 					}
@@ -149,7 +150,7 @@ func TestIngestShardsWithKindsMatchesSerial(t *testing.T) {
 					t.Fatalf("kind channel changed run count: %d vs %d", len(want.Source.IDs), len(kindFree.Source.IDs))
 				}
 				for _, chunk := range []int{1, 3, 64, 4096} {
-					got, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 4, chunk, true)
+					got, err := ingestReaderChunks(context.Background(), tr.NewSliceReader(), block, log, 4, chunk, true)
 					if err != nil {
 						t.Fatalf("n=%d block=%d log=%d chunk=%d: %v", n, block, log, chunk, err)
 					}
@@ -162,7 +163,7 @@ func TestIngestShardsWithKindsMatchesSerial(t *testing.T) {
 
 func TestIngestWithKindsRejectsInvalidKind(t *testing.T) {
 	tr := Trace{{Addr: 4, Kind: DataRead}, {Addr: 8, Kind: Kind(7)}}
-	if _, err := IngestShardsWithKinds(tr.NewSliceReader(), 4, 1, 2); err == nil {
+	if _, err := IngestShardsWithKinds(context.Background(), tr.NewSliceReader(), 4, 1, 2); err == nil {
 		t.Error("want error for invalid kind on ingest path")
 	}
 	if _, err := tr.BlockStreamWithKinds(4); err == nil {
@@ -233,7 +234,7 @@ func TestIngestDinMatchesSerial(t *testing.T) {
 	text := dinText(tr)
 	want := serialShards(t, tr, 16, 2)
 	for _, chunkBytes := range []int{1, 7, 100, 1 << 12} {
-		got, err := ingestDinChunks(bytes.NewReader(text), 16, 2, 4, chunkBytes, false)
+		got, err := ingestDinChunks(context.Background(), bytes.NewReader(text), 16, 2, 4, chunkBytes, false)
 		if err != nil {
 			t.Fatalf("chunkBytes=%d: %v", chunkBytes, err)
 		}
@@ -243,13 +244,13 @@ func TestIngestDinMatchesSerial(t *testing.T) {
 	// Kind-preserving variant: the din labels carry the kinds through.
 	wantK := serialKindShards(t, tr, 16, 2)
 	for _, chunkBytes := range []int{7, 1 << 12} {
-		got, err := ingestDinChunks(bytes.NewReader(text), 16, 2, 4, chunkBytes, true)
+		got, err := ingestDinChunks(context.Background(), bytes.NewReader(text), 16, 2, 4, chunkBytes, true)
 		if err != nil {
 			t.Fatalf("kinds chunkBytes=%d: %v", chunkBytes, err)
 		}
 		sameShardStream(t, got, wantK)
 	}
-	if _, err := IngestDinShardsWithKinds(bytes.NewReader(text), 16, 2, 4); err != nil {
+	if _, err := IngestDinShardsWithKinds(context.Background(), bytes.NewReader(text), 16, 2, 4); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -261,7 +262,7 @@ func TestIngestDinBlankAndPrefixes(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := serialShards(t, r, 4, 1)
-	got, err := ingestDinChunks(strings.NewReader(text), 4, 1, 2, 5, false)
+	got, err := ingestDinChunks(context.Background(), strings.NewReader(text), 4, 1, 2, 5, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestIngestDinBlankAndPrefixes(t *testing.T) {
 
 func TestIngestDinErrorLineNumbers(t *testing.T) {
 	text := "2 40\n1 80\nbogus line\n2 c0\n"
-	_, err := ingestDinChunks(strings.NewReader(text), 4, 1, 2, 6, false)
+	_, err := ingestDinChunks(context.Background(), strings.NewReader(text), 4, 1, 2, 6, false)
 	if err == nil {
 		t.Fatal("want parse error")
 	}
@@ -304,20 +305,20 @@ func TestIngestFileShards(t *testing.T) {
 		if err := closer.Close(); err != nil {
 			t.Fatal(err)
 		}
-		got, err := IngestFileShards(path, 8, 2, 0)
+		got, err := IngestFileShards(context.Background(), path, 8, 2, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		sameShardStream(t, got, want)
 
-		gotK, err := IngestFileShardsWithKinds(path, 8, 2, 0)
+		gotK, err := IngestFileShardsWithKinds(context.Background(), path, 8, 2, 0)
 		if err != nil {
 			t.Fatalf("%s with kinds: %v", name, err)
 		}
 		sameShardStream(t, gotK, serialKindShards(t, tr, 8, 2))
 	}
 
-	if _, err := IngestFileShards(filepath.Join(dir, "missing.din"), 8, 2, 0); err == nil {
+	if _, err := IngestFileShards(context.Background(), filepath.Join(dir, "missing.din"), 8, 2, 0); err == nil {
 		t.Fatal("want error for missing file")
 	}
 	if _, err := os.Stat(dir); err != nil {
@@ -327,13 +328,13 @@ func TestIngestFileShards(t *testing.T) {
 
 func TestIngestShardsRejectsBadArgs(t *testing.T) {
 	tr := Trace{{Addr: 1}}
-	if _, err := IngestShards(tr.NewSliceReader(), 3, 1, 1); err == nil {
+	if _, err := IngestShards(context.Background(), tr.NewSliceReader(), 3, 1, 1); err == nil {
 		t.Error("want error for non-power-of-two block size")
 	}
-	if _, err := IngestShards(tr.NewSliceReader(), 4, -1, 1); err == nil {
+	if _, err := IngestShards(context.Background(), tr.NewSliceReader(), 4, -1, 1); err == nil {
 		t.Error("want error for negative shard level")
 	}
-	if _, err := IngestShards(tr.NewSliceReader(), 4, maxIngestShardLog+1, 1); err == nil {
+	if _, err := IngestShards(context.Background(), tr.NewSliceReader(), 4, maxIngestShardLog+1, 1); err == nil {
 		t.Error("want error for oversized shard level")
 	}
 }
@@ -410,7 +411,7 @@ func FuzzIngestShards(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 3, chunk, false)
+		got, err := ingestReaderChunks(context.Background(), tr.NewSliceReader(), block, log, 3, chunk, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -418,7 +419,7 @@ func FuzzIngestShards(f *testing.F) {
 
 		// Per-access kind path against the serial kind machine.
 		wantK := serialKindShards(t, tr, block, log)
-		gotK, err := ingestReaderChunks(tr.NewSliceReader(), block, log, 3, chunk, true)
+		gotK, err := ingestReaderChunks(context.Background(), tr.NewSliceReader(), block, log, 3, chunk, true)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,6 +14,16 @@
 // for the parallel passes — decode once → fold → shard, each stage
 // bit-identical to re-decoding the trace at that stage's parameters.
 //
+// The frontend is built to fail loudly and resumably rather than
+// silently: decode errors are typed and position-carrying
+// (CorruptError, TruncatedError, both matching the ErrCorrupt
+// sentinel — see errors.go), the ingest pipeline honours context
+// cancellation at chunk granularity and contains worker panics as
+// *pool.PanicError, and a long ingest can be snapshotted at any chunk
+// boundary (Ingestor.Checkpoint) and resumed bit-identically
+// (ResumeIngest, SkipAccesses). The faultreader subpackage injects
+// deterministic I/O faults for testing these paths.
+//
 // The DEW paper drives its simulators with SimpleScalar-generated traces
 // of byte-addressable memory requests (Table 2). This package plays that
 // role; package workload generates the trace contents.
