@@ -20,7 +20,7 @@ bench:
 # race runs the packages that share materialized streams (and shard
 # partitions) across goroutines under the race detector.
 race:
-	$(GO) test -race ./internal/sweep ./internal/explore ./internal/core ./internal/lrutree ./internal/refsim ./internal/engine ./internal/trace
+	$(GO) test -race ./internal/sweep ./internal/explore ./internal/core ./internal/lrutree ./internal/refsim ./internal/engine ./internal/trace ./internal/store
 
 # fuzz gives each fuzz target a short budget beyond its seed corpus.
 fuzz:
@@ -37,3 +37,4 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzBinCorrupt -fuzztime 20s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCheckpointResume -fuzztime 20s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCheckpointUnmarshal -fuzztime 20s
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzStreamUnmarshal -fuzztime 20s

@@ -18,8 +18,10 @@ import (
 
 	"dew/internal/cache"
 	"dew/internal/core"
+	"dew/internal/explore"
 	"dew/internal/lrutree"
 	"dew/internal/refsim"
+	"dew/internal/store"
 	"dew/internal/sweep"
 	"dew/internal/trace"
 	"dew/internal/workload"
@@ -748,5 +750,154 @@ func TestPaperScaleOptions(t *testing.T) {
 		if got := len(sim.Results()); got != 30 {
 			t.Errorf("B=%d: results = %d, want 30", block, got)
 		}
+	}
+}
+
+// benchStreams memoizes the finest-rung (16-byte block) kind-free
+// stream of each benchmark workload, mirroring benchTraces.
+var benchStreams = map[string]*trace.BlockStream{}
+
+func benchStream(b *testing.B, app workload.App) *trace.BlockStream {
+	b.Helper()
+	bs, ok := benchStreams[app.Name]
+	if !ok {
+		var err error
+		bs, err = trace.MaterializeBlockStream(benchTrace(b, app).NewSliceReader(), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchStreams[app.Name] = bs
+	}
+	return bs
+}
+
+// BenchmarkStreamMarshal measures encoding the finest-rung block stream
+// into its DBS1 artifact form — the store's publish cost on a cold run.
+func BenchmarkStreamMarshal(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			bs := benchStream(b, app)
+			b.ReportAllocs()
+			var blob []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				blob, err = bs.MarshalBinary()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(blob)))
+		})
+	}
+}
+
+// BenchmarkStreamLoad measures decoding a DBS1 artifact back into a
+// block stream — the store's warm-hit cost. The blocks/s metric is the
+// cache-load throughput recorded as cache_load_blocks_per_s in
+// BENCH_core.json.
+func BenchmarkStreamLoad(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			bs := benchStream(b, app)
+			blob, err := bs.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(blob)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var got trace.BlockStream
+				if _, err := got.ReadFrom(bytes.NewReader(blob)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(bs.Len())*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+		})
+	}
+}
+
+// benchExploreReq builds the exploration both cache benchmarks share: a
+// narrow one-block-size space over a .din-text rendering of the trace,
+// the format real trace files arrive in, so the cold run pays the parse
+// the warm run skips. The request arrives cache-free (cold form).
+func benchExploreReq(b *testing.B, app workload.App) explore.Request {
+	b.Helper()
+	tr := benchTrace(b, app)
+	var buf bytes.Buffer
+	w := trace.NewDinWriter(&buf)
+	for _, a := range tr {
+		if err := w.WriteAccess(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	din := buf.Bytes()
+	return explore.Request{
+		Space: cache.ParamSpace{
+			MinLogSets: 0, MaxLogSets: 6,
+			MinLogBlock: 4, MaxLogBlock: 4,
+			MinLogAssoc: 1, MaxLogAssoc: 1,
+		},
+		Source:  func() trace.Reader { return trace.NewDinReader(bytes.NewReader(din)) },
+		Workers: 1,
+	}
+}
+
+// BenchmarkExploreCold measures an exploration that decodes the raw
+// trace every run (no artifact store).
+func BenchmarkExploreCold(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			req := benchExploreReq(b, app)
+			nAccesses := len(benchTrace(b, app))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := explore.Run(context.Background(), req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Decodes != 1 {
+					b.Fatalf("cold run decoded %d times, want 1", res.Decodes)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nAccesses), "ns/access")
+		})
+	}
+}
+
+// BenchmarkExploreWarm measures the same exploration served from a
+// pre-populated artifact store: zero trace decodes, results
+// bit-identical to the cold run. The ns/access ratio against
+// BenchmarkExploreCold is recorded as speedup_warm_over_cold in
+// BENCH_core.json.
+func BenchmarkExploreWarm(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			st, err := store.Open(b.TempDir(), store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := benchExploreReq(b, app)
+			req.Cache = st
+			req.SourceID = store.TraceID(benchTrace(b, app))
+			if _, err := explore.Run(context.Background(), req); err != nil {
+				b.Fatal(err) // untimed populating run
+			}
+			nAccesses := len(benchTrace(b, app))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := explore.Run(context.Background(), req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.CacheHit || res.Decodes != 0 {
+					b.Fatalf("warm run missed the cache (hit=%v decodes=%d)", res.CacheHit, res.Decodes)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nAccesses), "ns/access")
+		})
 	}
 }

@@ -1,0 +1,8 @@
+// Command dew — umbrella maintenance tool; see dew/internal/cli.Dew
+// for the subcommands (currently the artifact cache: stats, gc,
+// clear).
+package main
+
+import "dew/internal/cli"
+
+func main() { cli.Main("dew", cli.Dew) }

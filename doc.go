@@ -84,7 +84,7 @@
 // passes, so benchmark iterations, sweep cells and per-shard replays
 // run allocation-free in steady state.
 //
-// # Pipeline architecture: decode once → fold → shard → engine → stitch
+// # Pipeline architecture: store? → decode once → fold → shard → engine → stitch
 //
 // A fully sharded run never materializes the raw trace and never walks
 // it twice. The ingest pipeline (trace.IngestShards / IngestDinShards /
@@ -135,6 +135,31 @@
 // kind bookkeeping. BenchmarkRefStreamWrite vs BenchmarkRefAccessWrite
 // tracks the stream-over-per-access speedup and the kind channel's
 // bytes-per-access footprint in BENCH_core.json.
+//
+// # The artifact store: zero-decode warm paths
+//
+// The decode stage itself sits behind an optional content-addressed
+// artifact store (package store): the finest-rung stream a run
+// materializes is published as a self-describing DBS1 blob
+// (trace.BlockStream.MarshalBinary / WriteTo, CRC-32-sealed, sharing
+// its column codec with the DCP1 checkpoint format), keyed by the
+// SHA-256 of the trace's content identity plus the block size, kind
+// flag and format version. A later run with the same identity loads
+// the stream in O(runs) — zero trace decodes, results bit-identical —
+// and every derived artifact (fold ladder, shard partition) is
+// re-derived from the loaded stream at stream speed. Entries are
+// written atomically (temp file + rename), deduplicated across
+// concurrent runs by a single-flight gate, evicted
+// least-recently-used under a size cap, and verified on load:
+// a corrupt or truncated entry is quarantined and the run falls back
+// to a fresh decode transparently. explore.Run (Request.Cache /
+// SourceID) and the sweep runner (sweep.Runner.Cache) consult the
+// store before decoding and record provenance
+// (Result.CacheHit/CacheKey, Cell.CacheHit/CacheKey); the CLIs expose
+// it as -cache DIR (or DEW_CACHE), and `dew cache stats|gc|clear`
+// administers a directory. BenchmarkExploreWarm vs
+// BenchmarkExploreCold tracks the warm-over-cold speedup and
+// BenchmarkStreamLoad the load throughput in BENCH_core.json.
 //
 // Simulation itself runs behind the engine seam: package engine wraps
 // the three simulators (dew, lrutree, ref) in one interface —

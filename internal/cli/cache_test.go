@@ -1,0 +1,252 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDewSimCacheWarm: a cold dewsim run decodes and publishes, the
+// warm run loads — identical result tables, provenance in the mode
+// line.
+func TestDewSimCacheWarm(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-cache", dir, "-app", "CJPEG", "-n", "8000", "-assoc", "2", "-block", "16", "-maxlog", "4"}
+	cold, _, err := run(t, DewSim, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold, "1 trace decode") {
+		t.Errorf("cold mode line lacks decode provenance:\n%s", cold)
+	}
+	warm, _, err := run(t, DewSim, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm, "cache load, 0 trace decodes") {
+		t.Errorf("warm mode line lacks cache provenance:\n%s", warm)
+	}
+	tableOf := func(s string) string { return s[:strings.Index(s, "\nsimulated ")] }
+	if tableOf(cold) != tableOf(warm) {
+		t.Errorf("warm table differs from cold:\n%s\nvs\n%s", tableOf(warm), tableOf(cold))
+	}
+	// Sharded warm run folds the same cached stream.
+	sharded, _, err := run(t, DewSim, append(args, "-shards", "2")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sharded, "cache load, 0 trace decodes") {
+		t.Errorf("sharded warm mode line lacks cache provenance:\n%s", sharded)
+	}
+	if tableOf(cold) != tableOf(sharded) {
+		t.Error("sharded warm table differs from cold")
+	}
+}
+
+// TestDewSimCacheWriteSimSeparation: -write uses the kind-preserving
+// stream, which must not collide with the kind-free entry.
+func TestDewSimCacheWriteSimSeparation(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-cache", dir, "-app", "CJPEG", "-n", "5000", "-block", "16", "-maxlog", "3"}
+	if _, _, err := run(t, DewSim, base...); err != nil {
+		t.Fatal(err)
+	}
+	wargs := append(append([]string{}, base...),
+		"-engine", "ref", "-minlog", "3", "-write", "wt", "-alloc", "nwa")
+	out, _, err := run(t, DewSim, wargs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First write-policy run after a kind-free run must still decode.
+	if !strings.Contains(out, "1 trace decode") {
+		t.Errorf("write-policy run hit the kind-free entry:\n%s", out)
+	}
+	out, _, err = run(t, DewSim, wargs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cache load, 0 trace decodes") {
+		t.Errorf("second write-policy run missed:\n%s", out)
+	}
+}
+
+// TestExploreCacheWarm: explore's -csv output must be byte-identical
+// between cold and warm runs (the CSV has no timing), and the default
+// output must report load provenance.
+func TestExploreCacheWarm(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-cache", dir, "-app", "CJPEG", "-n", "6000",
+		"-maxlog-sets", "4", "-maxlog-block", "4", "-maxlog-assoc", "1", "-quiet"}
+	coldCSV, _, err := run(t, Explore, append(args, "-csv")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCSV, _, err := run(t, Explore, append(args, "-csv")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldCSV != warmCSV {
+		t.Error("warm explore CSV differs from cold")
+	}
+	out, _, err := run(t, Explore, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cache load + ") || !strings.Contains(out, "0 trace decodes") {
+		t.Errorf("warm explore output lacks cache provenance:\n%s", out)
+	}
+}
+
+// TestExploreCacheTraceFile: file-backed warm runs key on the file's
+// content hash, so a renamed copy still hits.
+func TestExploreCacheTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	din := filepath.Join(dir, "t.din")
+	var sb strings.Builder
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&sb, "%d %x\n", i%3, (i*56)%4096)
+	}
+	if err := os.WriteFile(din, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(dir, "cache")
+	args := func(path string) []string {
+		return []string{"-cache", cacheDir, "-trace", path,
+			"-maxlog-sets", "3", "-maxlog-block", "3", "-maxlog-assoc", "1", "-quiet", "-csv"}
+	}
+	cold, _, err := run(t, Explore, args(din)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyPath := filepath.Join(dir, "renamed.din")
+	data, err := os.ReadFile(din)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(copyPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm, warmErr, err := run(t, Explore, args(copyPath)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = warmErr
+	if cold != warm {
+		t.Error("renamed identical trace file did not produce identical results")
+	}
+	out, _, err := run(t, Explore, args(copyPath)[:len(args(copyPath))-1]...) // drop -csv
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cache load") {
+		t.Errorf("renamed trace file missed the cache:\n%s", out)
+	}
+}
+
+// TestRefSimShardedCacheWarm: the sharded reference replay loads the
+// kind-preserving stream on the second run.
+func TestRefSimShardedCacheWarm(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-cache", dir, "-app", "CJPEG", "-n", "6000",
+		"-sets", "16", "-assoc", "2", "-block", "16", "-shards", "2"}
+	cold, _, err := run(t, RefSim, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cold, "ingested in ") {
+		t.Errorf("cold refsim lacks ingest provenance:\n%s", cold)
+	}
+	warm, _, err := run(t, RefSim, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warm, "cache-loaded in ") {
+		t.Errorf("warm refsim lacks load provenance:\n%s", warm)
+	}
+	statsOf := func(s string) string { return s[strings.Index(s, "accesses:"):] }
+	if statsOf(cold) != statsOf(warm) {
+		t.Error("warm refsim statistics differ from cold")
+	}
+}
+
+// TestDewCacheSubcommand drives stats → gc → clear over a populated
+// cache directory.
+func TestDewCacheSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := run(t, DewSim, "-cache", dir, "-app", "CJPEG", "-n", "4000", "-maxlog", "3"); err != nil {
+		t.Fatal(err)
+	}
+	// Plant junk for gc.
+	if err := os.WriteFile(filepath.Join(dir, "tmp-orphan"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := run(t, Dew, "cache", "stats", "-cache", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "entries") || !strings.Contains(out, "1 entries") {
+		t.Errorf("stats output unexpected:\n%s", out)
+	}
+	out, _, err = run(t, Dew, "cache", "gc", "-cache", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "gc removed 1 files") {
+		t.Errorf("gc output unexpected:\n%s", out)
+	}
+	out, _, err = run(t, Dew, "cache", "clear", "-cache", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cleared 1 files") {
+		t.Errorf("clear output unexpected:\n%s", out)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("%d files left after clear", len(ents))
+	}
+}
+
+// TestDewCacheUsageErrors pins the subcommand's usage surface.
+func TestDewCacheUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"cache"},
+		{"cache", "bogus", "-cache", t.TempDir()},
+		{"cache", "stats"}, // no -cache and no DEW_CACHE
+	} {
+		t.Setenv("DEW_CACHE", "")
+		if _, _, err := run(t, Dew, args...); err == nil || !IsUsage(err) {
+			t.Errorf("Dew(%q) = %v, want usage error", args, err)
+		}
+	}
+}
+
+// TestCacheEnvFallback: DEW_CACHE stands in for -cache.
+func TestCacheEnvFallback(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("DEW_CACHE", dir)
+	if _, _, err := run(t, DewSim, "-app", "CJPEG", "-n", "3000", "-maxlog", "2"); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := run(t, DewSim, "-app", "CJPEG", "-n", "3000", "-maxlog", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cache load, 0 trace decodes") {
+		t.Errorf("DEW_CACHE fallback did not hit:\n%s", out)
+	}
+	out, _, err = run(t, Dew, "cache", "stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, dir) {
+		t.Errorf("stats did not resolve DEW_CACHE:\n%s", out)
+	}
+}

@@ -11,10 +11,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"dew/internal/engine"
+	"dew/internal/explore"
 	"dew/internal/refsim"
+	"dew/internal/store"
 	"dew/internal/trace"
 	"dew/internal/workload"
 )
@@ -77,6 +80,74 @@ func (tf traceFlags) open() (trace.Reader, io.Closer, error) {
 	default:
 		return nil, nil, usagef("pass -trace FILE or -app NAME")
 	}
+}
+
+// addCacheFlag adds the -cache flag shared by every stream-replaying
+// tool. An empty value falls back to $DEW_CACHE; both empty disables
+// the artifact store.
+func addCacheFlag(fs *flag.FlagSet) *string {
+	return fs.String("cache", "", "content-addressed artifact cache directory (default $DEW_CACHE; empty = no cache)")
+}
+
+// openCache resolves the -cache flag (falling back to $DEW_CACHE) into
+// an artifact store; a nil store means caching is off.
+func openCache(dir string) (*store.Store, error) {
+	if dir == "" {
+		dir = os.Getenv("DEW_CACHE")
+	}
+	if dir == "" {
+		return nil, nil
+	}
+	return store.Open(dir, store.Options{})
+}
+
+// sourceID derives the cache identity of the selected trace input: a
+// content digest for files, the (name, seed, count) triple for
+// generated workloads. The file digest reads the file once — cheap
+// next to the decode it lets a warm run skip.
+func (tf traceFlags) sourceID() (string, error) {
+	switch {
+	case *tf.traceFile != "":
+		return store.FileID(*tf.traceFile)
+	case *tf.appName != "":
+		app, err := workload.Lookup(*tf.appName)
+		if err != nil {
+			return "", err
+		}
+		count := *tf.n
+		if count == 0 {
+			count = app.DefaultRequests()
+		}
+		return store.AppID(app.Name, *tf.seed, count), nil
+	default:
+		return "", usagef("pass -trace FILE or -app NAME")
+	}
+}
+
+// materializeCached consults the store (when non-nil) before paying
+// fn's decode; a nil store degrades to calling fn directly. The
+// returned bool reports a cache hit — a stream loaded with zero
+// decodes.
+func materializeCached(ctx context.Context, st *store.Store, key string, blockSize int, kinds bool, fn func(context.Context) (*trace.BlockStream, error)) (*trace.BlockStream, bool, error) {
+	if st == nil {
+		bs, err := fn(ctx)
+		return bs, false, err
+	}
+	return st.GetOrMaterialize(ctx, key, blockSize, kinds, fn)
+}
+
+// decodeNote renders stream provenance for the tools' mode lines:
+// where the finest-rung stream came from (artifact-cache load or trace
+// decode) and how many coarser fold rungs were derived from it.
+func decodeNote(cacheHit bool, folds int) string {
+	src := "1 trace decode"
+	if cacheHit {
+		src = "cache load, 0 trace decodes"
+	}
+	if folds > 0 {
+		return fmt.Sprintf("%s + %d folds", src, folds)
+	}
+	return src
 }
 
 // engineFlagDoc builds the -engine usage string from the registry.
@@ -143,6 +214,75 @@ func parseAllocPolicy(s string) (refsim.AllocPolicy, error) {
 		return refsim.NoWriteAllocate, nil
 	}
 	return 0, usagef("unknown allocation policy %q", s)
+}
+
+// fileSource is a lazy explore.Source over a trace file: the file is
+// opened only when the source is called, and the reader closes it on
+// the first error or EOF. On a warm artifact-cache run the source is
+// never called, so the trace file is never opened, let alone decoded.
+func fileSource(path string) explore.Source {
+	return func() trace.Reader {
+		r, closer, err := trace.OpenFile(path)
+		if err != nil {
+			return errorReader{err}
+		}
+		return &selfClosingReader{r: r, closer: closer}
+	}
+}
+
+// errorReader surfaces a deferred open failure through the Reader
+// contract.
+type errorReader struct{ err error }
+
+func (e errorReader) Next() (trace.Access, error) { return trace.Access{}, e.err }
+
+// selfClosingReader forwards Next and ReadBatch — keeping the chunked
+// .din batch fast path visible to consumers — and closes the
+// underlying file at the first error or EOF, since a func() Reader
+// source has no separate closer to hand back.
+type selfClosingReader struct {
+	r      trace.Reader
+	closer io.Closer
+}
+
+func (s *selfClosingReader) Next() (trace.Access, error) {
+	a, err := s.r.Next()
+	if err != nil {
+		s.close()
+	}
+	return a, err
+}
+
+// ReadBatch implements trace.BatchReader, delegating to the underlying
+// reader's batch path when it has one and falling back to Next
+// otherwise.
+func (s *selfClosingReader) ReadBatch(dst []trace.Access) (int, error) {
+	if br, ok := s.r.(trace.BatchReader); ok {
+		n, err := br.ReadBatch(dst)
+		if err != nil {
+			s.close()
+		}
+		return n, err
+	}
+	for i := range dst {
+		a, err := s.r.Next()
+		if err != nil {
+			s.close()
+			if i > 0 && errors.Is(err, io.EOF) {
+				return i, nil
+			}
+			return i, err
+		}
+		dst[i] = a
+	}
+	return len(dst), nil
+}
+
+func (s *selfClosingReader) close() {
+	if s.closer != nil {
+		s.closer.Close()
+		s.closer = nil
+	}
 }
 
 // load materializes the selected trace in memory (for tools that need

@@ -102,7 +102,7 @@ func TestDewSimBlockLadder(t *testing.T) {
 		if rows := strings.TrimRight(out[:strings.Index(out, "\nsimulated ")], "\n"); rows != want {
 			t.Errorf("%v: ladder table differs from single-block runs:\n%s\nvs\n%s", extra, rows, want)
 		}
-		if !strings.Contains(out, "1 decode + 2 folds") {
+		if !strings.Contains(out, "1 trace decode + 2 folds") {
 			t.Errorf("%v: fold provenance missing: %s", extra, out)
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"dew/internal/engine"
 	"dew/internal/refsim"
 	"dew/internal/report"
+	"dew/internal/store"
 	"dew/internal/sweep"
 	"dew/internal/trace"
 )
@@ -45,6 +46,7 @@ func DewSim(ctx context.Context, env Env, args []string) error {
 		allocStr = fs.String("alloc", "", "allocation policy for the write-policy replay: write-allocate (wa) or no-write-allocate (nwa)")
 		sbytes   = fs.Int("store-bytes", 0, "store width in bytes for write-policy traffic accounting (0 = 4)")
 	)
+	cacheDir := addCacheFlag(fs)
 	tf := addTraceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -159,6 +161,18 @@ func DewSim(ctx context.Context, env Env, args []string) error {
 				return err
 			}
 		}
+		cacheStore, err := openCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		var cacheKey string
+		if cacheStore != nil {
+			srcID, err := tf.sourceID()
+			if err != nil {
+				return err
+			}
+			cacheKey = store.Key(srcID, blockLadder[0], 0, writeSim)
+		}
 		start := time.Now()
 		var ladder map[int]*trace.BlockStream
 		shardStreams := map[int]*trace.ShardStream{}
@@ -174,11 +188,28 @@ func DewSim(ctx context.Context, env Env, args []string) error {
 		}
 		if *shards > 1 {
 			log := trace.ShardLog(*shards, *maxLog)
-			ss, err := ingest(ctx, blockLadder[0], log)
+			var ss *trace.ShardStream
+			base, cacheHit, err := materializeCached(ctx, cacheStore, cacheKey, blockLadder[0], writeSim,
+				func(ctx context.Context) (*trace.BlockStream, error) {
+					s, ierr := ingest(ctx, blockLadder[0], log)
+					if ierr != nil {
+						return nil, ierr
+					}
+					ss = s
+					return s.Source, nil
+				})
 			if err != nil {
 				return err
 			}
-			if ladder, err = trace.FoldLadder(ss.Source, blockLadder); err != nil {
+			if ss == nil {
+				// Cache hit (or a concurrent caller's decode): only the
+				// finest unsharded stream is stored — re-derive the
+				// partition, O(runs).
+				if ss, err = trace.ShardBlockStream(base, log); err != nil {
+					return err
+				}
+			}
+			if ladder, err = trace.FoldLadder(base, blockLadder); err != nil {
 				return err
 			}
 			shardStreams[blockLadder[0]] = ss
@@ -188,20 +219,24 @@ func DewSim(ctx context.Context, env Env, args []string) error {
 				}
 			}
 			if len(blockLadder) == 1 {
-				mode = fmt.Sprintf("single %s pass sharded across %d substreams, %v", *engName, ss.NumShards(), pol)
+				mode = fmt.Sprintf("single %s pass sharded across %d substreams (%s), %v",
+					*engName, ss.NumShards(), decodeNote(cacheHit, 0), pol)
 			} else {
-				mode = fmt.Sprintf("%d %s passes sharded across %d substreams over a fold-derived block ladder (1 decode + %d folds), %v",
-					len(blockLadder), *engName, ss.NumShards(), len(blockLadder)-1, pol)
+				mode = fmt.Sprintf("%d %s passes sharded across %d substreams over a fold-derived block ladder (%s), %v",
+					len(blockLadder), *engName, ss.NumShards(), decodeNote(cacheHit, len(blockLadder)-1), pol)
 			}
 		} else {
-			r, closer, err := tf.open()
-			if err != nil {
-				return err
-			}
-			if closer != nil {
-				defer closer.Close()
-			}
-			base, err := materialize(r, blockLadder[0])
+			base, cacheHit, err := materializeCached(ctx, cacheStore, cacheKey, blockLadder[0], writeSim,
+				func(context.Context) (*trace.BlockStream, error) {
+					r, closer, err := tf.open()
+					if err != nil {
+						return nil, err
+					}
+					if closer != nil {
+						defer closer.Close()
+					}
+					return materialize(r, blockLadder[0])
+				})
 			if err != nil {
 				return err
 			}
@@ -209,10 +244,10 @@ func DewSim(ctx context.Context, env Env, args []string) error {
 				return err
 			}
 			if len(blockLadder) == 1 {
-				mode = fmt.Sprintf("single %s stream pass, %v", *engName, pol)
+				mode = fmt.Sprintf("single %s stream pass (%s), %v", *engName, decodeNote(cacheHit, 0), pol)
 			} else {
-				mode = fmt.Sprintf("%d %s stream passes over a fold-derived block ladder (1 decode + %d folds), %v",
-					len(blockLadder), *engName, len(blockLadder)-1, pol)
+				mode = fmt.Sprintf("%d %s stream passes over a fold-derived block ladder (%s), %v",
+					len(blockLadder), *engName, decodeNote(cacheHit, len(blockLadder)-1), pol)
 			}
 		}
 		for _, b := range blockLadder {

@@ -9,6 +9,7 @@ import (
 
 	"dew/internal/cache"
 	"dew/internal/report"
+	"dew/internal/store"
 	"dew/internal/sweep"
 	"dew/internal/workload"
 )
@@ -33,11 +34,17 @@ func Experiments(ctx context.Context, env Env, args []string) error {
 		csv        = fs.Bool("csv", false, "emit tables as CSV")
 		quiet      = fs.Bool("quiet", false, "suppress progress output")
 	)
+	cacheDir := addCacheFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
 
+	cacheStore, err := openCache(*cacheDir)
+	if err != nil {
+		return err
+	}
 	ec := expConfig{
+		cache:    cacheStore,
 		env:      env,
 		tables:   map[int]bool{},
 		figures:  map[int]bool{},
@@ -138,6 +145,7 @@ func Experiments(ctx context.Context, env Env, args []string) error {
 
 type expConfig struct {
 	env      Env
+	cache    *store.Store
 	tables   map[int]bool
 	figures  map[int]bool
 	requests uint64
@@ -179,7 +187,7 @@ func expRender(ec expConfig, t *report.Table) error {
 }
 
 func expSweep(ctx context.Context, ec expConfig, params []sweep.Params) ([]sweep.Cell, error) {
-	r := sweep.Runner{Workers: ec.workers, Shards: ec.shards}
+	r := sweep.Runner{Workers: ec.workers, Shards: ec.shards, Cache: ec.cache}
 	if !ec.quiet {
 		r.Logf = func(f string, a ...interface{}) {
 			fmt.Fprintf(ec.env.Stderr, "  "+f+"\n", a...)

@@ -36,6 +36,7 @@ func Explore(ctx context.Context, env Env, args []string) error {
 		engName = fs.String("engine", "dew", engineFlagDoc())
 		kinds   = fs.Bool("kinds", false, "materialize the kind-preserving stream and price the trace's store share at the model's write energy factor in the ranking")
 	)
+	cacheDir := addCacheFlag(fs)
 	tf := addTraceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -53,11 +54,9 @@ func Explore(ctx context.Context, env Env, args []string) error {
 	var src explore.Source
 	switch {
 	case *tf.traceFile != "":
-		tr, err := tf.load()
-		if err != nil {
-			return err
-		}
-		src = explore.FromTrace(tr)
+		// Lazy: the file is opened only if the exploration actually
+		// decodes — a warm cache run never reads the trace.
+		src = fileSource(*tf.traceFile)
 	case *tf.appName != "":
 		app, err := workload.Lookup(*tf.appName)
 		if err != nil {
@@ -83,6 +82,17 @@ func Explore(ctx context.Context, env Env, args []string) error {
 		*shards = sweep.AutoShards()
 	}
 	req := explore.Request{Space: space, Source: src, Workers: *workers, Shards: *shards, Policy: pol, Engine: *engName, Kinds: *kinds}
+	cacheStore, err := openCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	if cacheStore != nil {
+		srcID, err := tf.sourceID()
+		if err != nil {
+			return err
+		}
+		req.Cache, req.SourceID = cacheStore, srcID
+	}
 	if !*quiet {
 		req.Progress = func(done, total int) {
 			fmt.Fprintf(env.Stderr, "\rpasses: %d/%d", done, total)
@@ -130,8 +140,12 @@ func Explore(ctx context.Context, env Env, args []string) error {
 	if res.Shards > 0 {
 		shardNote = fmt.Sprintf(", each pass sharded across %d trees", res.Shards)
 	}
-	fmt.Fprintf(env.Stdout, "explored %d configurations with %d DEW passes over %d shared block streams (%d trace decode + %d folds; run compression: %s)%s\n\n",
-		len(res.Stats), res.Passes, len(blocks), res.Decodes, res.Folds, strings.Join(comp, ", "), shardNote)
+	prov := fmt.Sprintf("%d trace decode + %d folds", res.Decodes, res.Folds)
+	if res.CacheHit {
+		prov = fmt.Sprintf("cache load + %d folds, 0 trace decodes", res.Folds)
+	}
+	fmt.Fprintf(env.Stdout, "explored %d configurations with %d DEW passes over %d shared block streams (%s; run compression: %s)%s\n\n",
+		len(res.Stats), res.Passes, len(blocks), prov, strings.Join(comp, ", "), shardNote)
 	if *kinds {
 		fmt.Fprintf(env.Stdout, "request mix: %d reads, %d writes, %d ifetches (stores priced at %.2fx access energy)\n\n",
 			res.KindTotals[trace.DataRead], res.KindTotals[trace.DataWrite], res.KindTotals[trace.IFetch],

@@ -219,7 +219,7 @@ func extVariability(ctx context.Context, ec expConfig) error {
 			App: app, Requests: ec.requestsFor(app),
 			BlockSize: 16, Assoc: 4, MaxLogSets: maxLog,
 		}
-		agg, err := (sweep.Runner{Workers: ec.workers}).RunCellSeeds(ctx, p, sweep.Seeds(ec.seed, seeds))
+		agg, err := (sweep.Runner{Workers: ec.workers, Cache: ec.cache}).RunCellSeeds(ctx, p, sweep.Seeds(ec.seed, seeds))
 		if err != nil {
 			return err
 		}

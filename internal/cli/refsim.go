@@ -11,6 +11,7 @@ import (
 	"dew/internal/cache"
 	"dew/internal/engine"
 	"dew/internal/refsim"
+	"dew/internal/store"
 	"dew/internal/sweep"
 	"dew/internal/trace"
 )
@@ -36,6 +37,7 @@ func RefSim(ctx context.Context, env Env, args []string) error {
 		sbytes    = fs.Int("store-bytes", 4, "store width in bytes charged for write-through and no-write-allocate traffic")
 		shards    = fs.Int("shards", 1, "replay this many set-substreams in parallel over the kind-preserving stream (1 = off, 0 = auto from GOMAXPROCS)")
 	)
+	cacheDir := addCacheFlag(fs)
 	tf := addTraceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -66,7 +68,7 @@ func RefSim(ctx context.Context, env Env, args []string) error {
 		return usagef("-store-bytes must be at least 0")
 	}
 	if *shards > 1 {
-		return refSimSharded(ctx, env, tf, opts, policy, *shards)
+		return refSimSharded(ctx, env, tf, opts, policy, *shards, *cacheDir)
 	}
 
 	r, closer, err := tf.open()
@@ -117,17 +119,45 @@ func printRefStats(w io.Writer, stats refsim.Stats, tr refsim.Traffic) {
 // -shards knob uses, capped at the configuration's set count;
 // configurations with fewer sets than the resolved fan-out (and Random
 // replacement, whose decomposition is not exact) fall back to the
-// exact monolithic stream replay inside the engine.
-func refSimSharded(ctx context.Context, env Env, tf traceFlags, opts refsim.Options, policy cache.Policy, shards int) error {
+// exact monolithic stream replay inside the engine. With an artifact
+// cache, the kind-preserving finest stream is loaded instead of
+// ingested when present (the shard partition re-derives in O(runs)).
+func refSimSharded(ctx context.Context, env Env, tf traceFlags, opts refsim.Options, policy cache.Policy, shards int, cacheDir string) error {
 	cfg := opts.Config
 	// shards ≥ 2 here, so the shared rounding rule always yields a
 	// level in [0, logSets].
 	logSets := bits.Len(uint(cfg.Sets)) - 1
 	log := trace.ShardLog(shards, logSets)
-	start := time.Now()
-	ss, err := tf.ingestShardsWithKinds(ctx, cfg.BlockSize, log)
+	cacheStore, err := openCache(cacheDir)
 	if err != nil {
 		return err
+	}
+	var cacheKey string
+	if cacheStore != nil {
+		srcID, err := tf.sourceID()
+		if err != nil {
+			return err
+		}
+		cacheKey = store.Key(srcID, cfg.BlockSize, 0, true)
+	}
+	start := time.Now()
+	var ss *trace.ShardStream
+	base, cacheHit, err := materializeCached(ctx, cacheStore, cacheKey, cfg.BlockSize, true,
+		func(ctx context.Context) (*trace.BlockStream, error) {
+			s, ierr := tf.ingestShardsWithKinds(ctx, cfg.BlockSize, log)
+			if ierr != nil {
+				return nil, ierr
+			}
+			ss = s
+			return s.Source, nil
+		})
+	if err != nil {
+		return err
+	}
+	if ss == nil {
+		if ss, err = trace.ShardBlockStream(base, log); err != nil {
+			return err
+		}
 	}
 	ingested := time.Since(start)
 
@@ -146,12 +176,16 @@ func refSimSharded(ctx context.Context, env Env, tf traceFlags, opts refsim.Opti
 
 	fmt.Fprintf(env.Stdout, "config:            %v, %v replacement, %v, %v\n",
 		cfg, policy, opts.Write, opts.Alloc)
+	ingestVerb := "ingested"
+	if cacheHit {
+		ingestVerb = "cache-loaded"
+	}
 	if parallel {
-		fmt.Fprintf(env.Stdout, "replay:            %d set-substreams in parallel (ingested in %v, replayed in %v)\n",
-			ss.NumShards(), ingested.Round(time.Millisecond), replayed.Round(time.Millisecond))
+		fmt.Fprintf(env.Stdout, "replay:            %d set-substreams in parallel (%s in %v, replayed in %v)\n",
+			ss.NumShards(), ingestVerb, ingested.Round(time.Millisecond), replayed.Round(time.Millisecond))
 	} else {
-		fmt.Fprintf(env.Stdout, "replay:            monolithic fallback (%v policy or %d sets < %d shards; ingested in %v, replayed in %v)\n",
-			policy, cfg.Sets, ss.NumShards(), ingested.Round(time.Millisecond), replayed.Round(time.Millisecond))
+		fmt.Fprintf(env.Stdout, "replay:            monolithic fallback (%v policy or %d sets < %d shards; %s in %v, replayed in %v)\n",
+			policy, cfg.Sets, ss.NumShards(), ingestVerb, ingested.Round(time.Millisecond), replayed.Round(time.Millisecond))
 	}
 	printRefStats(env.Stdout, stats, traffic)
 	return nil

@@ -31,6 +31,7 @@ import (
 	"dew/internal/cache"
 	"dew/internal/engine"
 	"dew/internal/pool"
+	"dew/internal/store"
 	"dew/internal/trace"
 	"dew/internal/workload"
 )
@@ -93,6 +94,19 @@ type Request struct {
 	// Progress, when non-nil, is called after each finished pass with
 	// the number of completed and total passes. Calls are serialized.
 	Progress func(done, total int)
+	// Cache, when non-nil together with a non-empty SourceID, is the
+	// content-addressed artifact store consulted before the raw-trace
+	// decode: a hit loads the finest-rung stream from disk (the fold
+	// ladder is still derived in O(runs)) and the exploration performs
+	// zero decodes; a miss decodes once and publishes the stream for
+	// every later run. Corrupt entries are quarantined and re-decoded
+	// transparently.
+	Cache *store.Store
+	// SourceID is the content identity of the trace behind Source
+	// (store.FileID / store.AppID / store.TraceID) — the caller vouches
+	// that Source and SourceID describe the same bytes. "" disables the
+	// cache even when Cache is set.
+	SourceID string
 }
 
 // Result holds the merged outcome of an exploration.
@@ -109,8 +123,10 @@ type Result struct {
 	// sweep package) when Table 3/4-style counters are wanted.
 	Passes int
 	// Decodes is the number of full raw-trace reads the exploration
-	// performed: always 1 — the finest block size's materialization (or
-	// sharded ingest). Every other block size's stream is fold-derived.
+	// performed: 1 on a cold run — the finest block size's
+	// materialization (or sharded ingest) — and 0 on a warm run whose
+	// finest-rung stream came from the artifact store (CacheHit). Every
+	// other block size's stream is always fold-derived.
 	Decodes int
 	// Folds is the number of block sizes whose stream was derived by
 	// folding a finer rung instead of re-decoding the trace —
@@ -130,6 +146,13 @@ type Result struct {
 	// all zeros otherwise. Every configuration replays the same trace,
 	// so the totals apply to every entry of Stats.
 	KindTotals [3]uint64
+	// CacheHit reports that the finest-rung stream was loaded from the
+	// artifact store (or shared from a concurrent materialization)
+	// instead of decoded from the raw trace; Decodes is 0 in that case.
+	CacheHit bool
+	// CacheKey is the store key consulted for the finest-rung stream;
+	// "" when the run had no cache.
+	CacheKey string
 }
 
 // Run executes the exploration.
@@ -195,10 +218,40 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 		// sharding; the engines' replay columns are unchanged.
 		ingest, materialize = trace.IngestShardsWithKinds, trace.MaterializeBlockStreamWithKinds
 	}
+	// With a cache, the store is consulted before the decode: only the
+	// unsharded finest-rung stream is stored (shard partitioning, like
+	// folding, re-derives in O(runs)), so the key always carries shard
+	// log 0, and a warm sharded run loads + re-partitions.
+	cacheKey, cacheHit := "", false
+	if req.Cache != nil && req.SourceID != "" {
+		cacheKey = store.Key(req.SourceID, blocks[0], 0, req.Kinds)
+	}
 	if shardLog >= 0 {
 		passWorkers = 1
-		ss, err := ingest(ctx, req.Source(), blocks[0], shardLog, workers)
-		if err != nil {
+		var ss *trace.ShardStream
+		var err error
+		if cacheKey != "" {
+			var base *trace.BlockStream
+			base, cacheHit, err = req.Cache.GetOrMaterialize(ctx, cacheKey, blocks[0], req.Kinds,
+				func(ctx context.Context) (*trace.BlockStream, error) {
+					s, ierr := ingest(ctx, req.Source(), blocks[0], shardLog, workers)
+					if ierr != nil {
+						return nil, ierr
+					}
+					ss = s
+					return s.Source, nil
+				})
+			if err != nil {
+				return nil, fmt.Errorf("explore: ingesting block-%d shard stream: %w", blocks[0], err)
+			}
+			if ss == nil {
+				// The stream was loaded (or shared), not ingested here:
+				// derive the partition from it.
+				if ss, err = trace.ShardBlockStream(base, shardLog); err != nil {
+					return nil, fmt.Errorf("explore: sharding cached block-%d stream: %w", blocks[0], err)
+				}
+			}
+		} else if ss, err = ingest(ctx, req.Source(), blocks[0], shardLog, workers); err != nil {
 			return nil, fmt.Errorf("explore: ingesting block-%d shard stream: %w", blocks[0], err)
 		}
 		if streams, err = trace.FoldLadder(ss.Source, blocks); err != nil {
@@ -211,7 +264,16 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 			}
 		}
 	} else {
-		base, err := materialize(req.Source(), blocks[0])
+		var base *trace.BlockStream
+		var err error
+		if cacheKey != "" {
+			base, cacheHit, err = req.Cache.GetOrMaterialize(ctx, cacheKey, blocks[0], req.Kinds,
+				func(ctx context.Context) (*trace.BlockStream, error) {
+					return materialize(req.Source(), blocks[0])
+				})
+		} else {
+			base, err = materialize(req.Source(), blocks[0])
+		}
 		if err != nil {
 			return nil, fmt.Errorf("explore: materializing block-%d stream: %w", blocks[0], err)
 		}
@@ -241,6 +303,11 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 	}
 	res.Decodes = 1
 	res.Folds = len(blocks) - 1
+	res.CacheKey = cacheKey
+	if cacheHit {
+		res.CacheHit = true
+		res.Decodes = 0
+	}
 	if req.Kinds {
 		// Folding preserves per-kind weights exactly, so any rung
 		// reports the same totals; read them before passes release the

@@ -1,0 +1,181 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dew/internal/cache"
+	"dew/internal/refsim"
+	"dew/internal/store"
+	"dew/internal/trace"
+	"dew/internal/workload"
+)
+
+func cacheTestTrace(n int) trace.Trace {
+	tr := make(trace.Trace, n)
+	for i := range tr {
+		tr[i] = trace.Access{Addr: uint64(i*13) % 8192, Kind: trace.Kind(i % 3)}
+	}
+	return tr
+}
+
+// TestRunCellTraceCacheWarm: the second identical cell loads its
+// stream from the store — provenance says so, and every verified
+// result is bit-identical (the cross-check against the per-access
+// replay still runs on the warm cell, so this is a full proof).
+func TestRunCellTraceCacheWarm(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cacheTestTrace(6000)
+	p := Params{App: workload.CJPEG, BlockSize: 8, Assoc: 2, MaxLogSets: 4}
+
+	var logged []string
+	r := Runner{Cache: st, Logf: func(f string, a ...interface{}) {
+		logged = append(logged, fmt.Sprintf(f, a...))
+	}}
+	cold, err := r.RunCellTrace(context.Background(), p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Fatal("cold cell reported a cache hit")
+	}
+	if cold.CacheKey == "" {
+		t.Fatal("cold cell has no cache key")
+	}
+
+	warm, err := r.RunCellTrace(context.Background(), p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("warm cell missed the cache")
+	}
+	if warm.CacheKey != cold.CacheKey {
+		t.Fatal("cache key changed between identical cells")
+	}
+	if !reflect.DeepEqual(warm.Results, cold.Results) {
+		t.Fatal("warm results differ from cold")
+	}
+	if warm.Verified != cold.Verified || warm.Verified == 0 {
+		t.Fatalf("warm verified %d configs, cold %d", warm.Verified, cold.Verified)
+	}
+	hitLogged := false
+	for _, l := range logged {
+		if strings.Contains(l, "cache-hit") {
+			hitLogged = true
+		}
+	}
+	if !hitLogged {
+		t.Fatal("cache hit not reported in progress output")
+	}
+}
+
+// TestRunWriteCellTraceCacheWarm is the same contract for the
+// kind-preserving write-policy cells.
+func TestRunWriteCellTraceCacheWarm(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cacheTestTrace(6000)
+	p := WriteParams{
+		Params: Params{App: workload.CJPEG, BlockSize: 8, Assoc: 2, MaxLogSets: 3},
+		Policy: cache.FIFO, Write: refsim.WriteThrough, Alloc: refsim.NoWriteAllocate,
+	}
+	r := Runner{Cache: st}
+	cold, err := r.RunWriteCellTrace(context.Background(), p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit || cold.CacheKey == "" {
+		t.Fatalf("cold write cell: hit=%v key=%q", cold.CacheHit, cold.CacheKey)
+	}
+	warm, err := r.RunWriteCellTrace(context.Background(), p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("warm write cell missed the cache")
+	}
+	if !reflect.DeepEqual(warm.Results, cold.Results) {
+		t.Fatal("warm write results differ from cold")
+	}
+	if warm.StreamRuns != cold.StreamRuns {
+		t.Fatalf("stream shape changed: %d vs %d runs", warm.StreamRuns, cold.StreamRuns)
+	}
+}
+
+// TestRunWriteCellKeySeparation: the write cells' kind-preserving
+// stream must not collide with a kind-free miss-rate cell of the same
+// trace and block size.
+func TestRunWriteCellKeySeparation(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cacheTestTrace(3000)
+	r := Runner{Cache: st}
+	plainCell, err := r.RunCellTrace(context.Background(),
+		Params{App: workload.CJPEG, BlockSize: 8, Assoc: 2, MaxLogSets: 2}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeCell, err := r.RunWriteCellTrace(context.Background(), WriteParams{
+		Params: Params{App: workload.CJPEG, BlockSize: 8, Assoc: 2, MaxLogSets: 2},
+		Policy: cache.FIFO,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if writeCell.CacheHit {
+		t.Fatal("kind-preserving cell hit the kind-free entry")
+	}
+	if plainCell.CacheKey == writeCell.CacheKey {
+		t.Fatal("kind axis is not part of the cell cache key")
+	}
+}
+
+// TestRunCellsCacheWarm runs a small cell matrix twice against one
+// store: the warm pass must report hits on every cell whose stream was
+// materialized (finest rung per trace) and produce identical results.
+func TestRunCellsCacheWarm(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []Params{
+		{App: workload.CJPEG, Seed: 1, Requests: 4000, BlockSize: 8, Assoc: 2, MaxLogSets: 3},
+		{App: workload.CJPEG, Seed: 1, Requests: 4000, BlockSize: 16, Assoc: 2, MaxLogSets: 3},
+		{App: workload.DJPEG, Seed: 1, Requests: 4000, BlockSize: 8, Assoc: 2, MaxLogSets: 3},
+	}
+	r := Runner{Cache: st}
+	cold, err := r.RunCells(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cold {
+		if c.CacheHit {
+			t.Fatalf("cold cell %d reported a cache hit", i)
+		}
+	}
+	warm, err := r.RunCells(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm {
+		// Finest-rung cells load from the store; coarser rungs fold
+		// from the loaded stream and inherit its provenance.
+		if !warm[i].CacheHit {
+			t.Fatalf("warm cell %d (%s) missed the cache", i, warm[i].Params)
+		}
+		if !reflect.DeepEqual(warm[i].Results, cold[i].Results) {
+			t.Fatalf("warm cell %d results differ from cold", i)
+		}
+	}
+}

@@ -113,6 +113,7 @@ import (
 	"dew/internal/engine"
 	"dew/internal/pool"
 	"dew/internal/refsim"
+	"dew/internal/store"
 	"dew/internal/trace"
 	"dew/internal/workload"
 )
@@ -163,6 +164,14 @@ type Cell struct {
 	// ones, so only the materialization cost — not any result — depends
 	// on this.
 	StreamFolded bool
+	// CacheHit records that the cell's stream (for fold-derived rungs:
+	// its trace's ladder base) was loaded from the runner's artifact
+	// store — or shared from a concurrent materialization — instead of
+	// decoded from the trace; CacheKey is the store key consulted (""
+	// when the runner has no cache). Loaded streams are bit-identical
+	// to decoded ones, so like StreamFolded this is provenance only.
+	CacheHit bool
+	CacheKey string
 
 	// DEWTime is the wall time of the single DEW pass; RefTime is the
 	// summed wall time of the per-configuration reference passes. Both
@@ -284,6 +293,42 @@ type Runner struct {
 	// disables sharding; ShardsAuto picks a fan-out per cell from the
 	// cell's own stream statistics (AutoShardsStream).
 	Shards int
+
+	// Cache, when non-nil, is the content-addressed artifact store
+	// consulted before every stream materialization (keyed by
+	// store.TraceID — a digest of the in-memory trace's content — plus
+	// the block size and kinds flag): a hit loads the stream from disk,
+	// a miss materializes once and publishes it for every later run.
+	// Only the raw-trace decode is skipped on a hit — the instrumented
+	// cross-check pass still replays the raw trace, so a warm cell
+	// remains a full exactness proof. Cell.CacheHit/CacheKey record the
+	// provenance.
+	Cache *store.Store
+}
+
+// streamProv carries a stream's provenance (fold-derived? loaded from
+// the artifact store?) into the cell it feeds.
+type streamProv struct {
+	folded   bool
+	cacheHit bool
+	cacheKey string
+}
+
+// materializeStream builds tr's stream at blockSize, consulting the
+// runner's artifact store when one is configured.
+func (r Runner) materializeStream(ctx context.Context, tr trace.Trace, blockSize int, kinds bool) (*trace.BlockStream, streamProv, error) {
+	mat := tr.BlockStream
+	if kinds {
+		mat = tr.BlockStreamWithKinds
+	}
+	if r.Cache == nil {
+		bs, err := mat(blockSize)
+		return bs, streamProv{}, err
+	}
+	key := store.Key(store.TraceID(tr), blockSize, 0, kinds)
+	bs, hit, err := r.Cache.GetOrMaterialize(ctx, key, blockSize, kinds,
+		func(context.Context) (*trace.BlockStream, error) { return mat(blockSize) })
+	return bs, streamProv{cacheHit: hit, cacheKey: key}, err
 }
 
 // shardLog resolves the runner's shard level for a cell via the shared
@@ -336,11 +381,11 @@ func (r Runner) RunCell(ctx context.Context, p Params) (Cell, error) {
 // materialized here; callers holding a pre-materialized stream for this
 // trace and block size can pass it through RunCellStream.
 func (r Runner) RunCellTrace(ctx context.Context, p Params, tr trace.Trace) (Cell, error) {
-	bs, err := tr.BlockStream(p.BlockSize)
+	bs, prov, err := r.materializeStream(ctx, tr, p.BlockSize, false)
 	if err != nil {
 		return Cell{Params: p}, err
 	}
-	return r.RunCellStream(ctx, p, tr, bs)
+	return r.runCellStream(ctx, p, tr, bs, nil, prov)
 }
 
 // RunCellStream runs one cell over a trace and its pre-materialized
@@ -351,7 +396,7 @@ func (r Runner) RunCellTrace(ctx context.Context, p Params, tr trace.Trace) (Cel
 // this stream (RunCells builds one per distinct stream) use the
 // unexported path.
 func (r Runner) RunCellStream(ctx context.Context, p Params, tr trace.Trace, bs *trace.BlockStream) (Cell, error) {
-	return r.runCellStream(ctx, p, tr, bs, nil, false)
+	return r.runCellStream(ctx, p, tr, bs, nil, streamProv{})
 }
 
 // refStats extracts the full Dinero-style statistics of a reference
@@ -364,8 +409,9 @@ func refStats(e engine.Engine) (refsim.Stats, error) {
 	return rs.RefStats(), nil
 }
 
-func (r Runner) runCellStream(ctx context.Context, p Params, tr trace.Trace, bs *trace.BlockStream, ss *trace.ShardStream, folded bool) (Cell, error) {
-	cell := Cell{Params: p, Requests: uint64(len(tr)), StreamRuns: uint64(bs.Len()), StreamFolded: folded}
+func (r Runner) runCellStream(ctx context.Context, p Params, tr trace.Trace, bs *trace.BlockStream, ss *trace.ShardStream, prov streamProv) (Cell, error) {
+	cell := Cell{Params: p, Requests: uint64(len(tr)), StreamRuns: uint64(bs.Len()),
+		StreamFolded: prov.folded, CacheHit: prov.cacheHit, CacheKey: prov.cacheKey}
 	if bs.BlockSize != p.BlockSize || bs.Accesses != uint64(len(tr)) {
 		return cell, fmt.Errorf("sweep: stream (block %d, %d accesses) does not match cell %v over %d requests",
 			bs.BlockSize, bs.Accesses, p, len(tr))
@@ -524,13 +570,17 @@ func (r Runner) runCellStream(ctx context.Context, p Params, tr trace.Trace, bs 
 		}
 		cell.Verified++
 	}
+	cacheNote := ""
+	if cell.CacheHit {
+		cacheNote = ", stream cache-hit"
+	}
 	if cell.Shards > 0 {
-		r.logf("%s: %d requests (%.1fx run-compressed), speedup %.1fx, comparisons -%.1f%%, %d-shard pass %.2fx vs stream, sharded ref %.2fx (%d/%d parallel)",
+		r.logf("%s: %d requests (%.1fx run-compressed), speedup %.1fx, comparisons -%.1f%%, %d-shard pass %.2fx vs stream, sharded ref %.2fx (%d/%d parallel)%s",
 			p, cell.Requests, cell.CompressionRatio(), cell.Speedup(), cell.ComparisonReduction(),
-			cell.Shards, cell.ShardSpeedup(), cell.RefShardSpeedup(), cell.RefParallel, cell.Verified)
+			cell.Shards, cell.ShardSpeedup(), cell.RefShardSpeedup(), cell.RefParallel, cell.Verified, cacheNote)
 	} else {
-		r.logf("%s: %d requests (%.1fx run-compressed), speedup %.1fx, comparisons -%.1f%%",
-			p, cell.Requests, cell.CompressionRatio(), cell.Speedup(), cell.ComparisonReduction())
+		r.logf("%s: %d requests (%.1fx run-compressed), speedup %.1fx, comparisons -%.1f%%%s",
+			p, cell.Requests, cell.CompressionRatio(), cell.Speedup(), cell.ComparisonReduction(), cacheNote)
 	}
 	return cell, nil
 }
@@ -610,26 +660,33 @@ func (r Runner) RunCells(ctx context.Context, params []Params) ([]Cell, error) {
 	for _, sk := range sKeys {
 		blocksByTrace[sk.tk] = append(blocksByTrace[sk.tk], sk.block)
 	}
+	// With a cache configured, each ladder base is looked up in the
+	// artifact store first — a warm batch folds its whole ladder from
+	// loaded streams without one raw-trace decode.
 	ladders := make([]map[int]*trace.BlockStream, len(tKeys))
+	ladderProv := make([]streamProv, len(tKeys))
 	if err := pool.Run(ctx, r.workers(), len(tKeys), func(i int) error {
 		blocks := blocksByTrace[tKeys[i]]
 		sort.Ints(blocks)
-		base, err := traces[tKeys[i]].BlockStream(blocks[0])
+		base, prov, err := r.materializeStream(ctx, traces[tKeys[i]], blocks[0], false)
 		if err != nil {
 			return err
 		}
+		ladderProv[i] = prov
 		ladders[i], err = trace.FoldLadder(base, blocks)
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	streams := make(map[streamKey]*trace.BlockStream, len(sKeys))
-	foldedBlock := make(map[streamKey]bool, len(sKeys))
+	streamProvs := make(map[streamKey]streamProv, len(sKeys))
 	for i, tk := range tKeys {
 		for b, bs := range ladders[i] {
 			sk := streamKey{tk, b}
 			streams[sk] = bs
-			foldedBlock[sk] = b != blocksByTrace[tk][0]
+			prov := ladderProv[i]
+			prov.folded = b != blocksByTrace[tk][0]
+			streamProvs[sk] = prov
 		}
 	}
 
@@ -687,12 +744,12 @@ func (r Runner) RunCells(ctx context.Context, params []Params) ([]Cell, error) {
 	cellTrace := make([]trace.Trace, len(params))
 	cellStream := make([]*trace.BlockStream, len(params))
 	cellShards := make([]*trace.ShardStream, len(params))
-	cellFolded := make([]bool, len(params))
+	cellProv := make([]streamProv, len(params))
 	for i, p := range params {
 		tk := traceKey{p.App.Name, p.Seed, p.requests()}
 		cellTrace[i] = traces[tk]
 		cellStream[i] = streams[streamKey{tk, p.BlockSize}]
-		cellFolded[i] = foldedBlock[streamKey{tk, p.BlockSize}]
+		cellProv[i] = streamProvs[streamKey{tk, p.BlockSize}]
 		if r.sharding() && resolvedLog[i] >= 0 {
 			cellShards[i] = shardStreams[shardKey{streamKey{tk, p.BlockSize}, resolvedLog[i]}]
 		}
@@ -713,7 +770,7 @@ func (r Runner) RunCells(ctx context.Context, params []Params) ([]Cell, error) {
 
 	err := pool.Run(ctx, r.workers(), len(params), func(i int) error {
 		var cellErr error
-		cells[i], cellErr = inner.runCellStream(ctx, params[i], cellTrace[i], cellStream[i], cellShards[i], cellFolded[i])
+		cells[i], cellErr = inner.runCellStream(ctx, params[i], cellTrace[i], cellStream[i], cellShards[i], cellProv[i])
 		// Release this cell's references: a shared trace or stream
 		// becomes collectable as soon as its last consuming cell
 		// finishes. (Materialization is still up-front, so the batch's

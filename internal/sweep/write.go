@@ -75,6 +75,13 @@ type WriteCell struct {
 	// stream pass replayed.
 	Requests   uint64
 	StreamRuns uint64
+	// CacheHit records that the kind-preserving stream was loaded from
+	// the runner's artifact store instead of materialized from the
+	// trace; CacheKey is the store key consulted ("" without a cache).
+	// Provenance only: loaded streams are bit-identical, and the
+	// per-access cross-check still replays the raw trace.
+	CacheHit bool
+	CacheKey string
 
 	// StreamTime is the summed wall time of the per-configuration
 	// kind-stream replays; AccessTime the summed wall time of the
@@ -136,11 +143,12 @@ func (r Runner) RunWriteCell(ctx context.Context, p WriteParams) (WriteCell, err
 // bit-for-bit like the stream pass.
 func (r Runner) RunWriteCellTrace(ctx context.Context, p WriteParams, tr trace.Trace) (WriteCell, error) {
 	cell := WriteCell{WriteParams: p, Requests: uint64(len(tr))}
-	bs, err := tr.BlockStreamWithKinds(p.BlockSize)
+	bs, prov, err := r.materializeStream(ctx, tr, p.BlockSize, true)
 	if err != nil {
 		return cell, err
 	}
 	cell.StreamRuns = uint64(bs.Len())
+	cell.CacheHit, cell.CacheKey = prov.cacheHit, prov.cacheKey
 
 	var ss *trace.ShardStream
 	if r.sharding() {
@@ -261,13 +269,17 @@ func (r Runner) RunWriteCellTrace(ctx context.Context, p WriteParams, tr trace.T
 		}
 		cell.Verified++
 	}
+	cacheNote := ""
+	if cell.CacheHit {
+		cacheNote = ", stream cache-hit"
+	}
 	if cell.Shards > 0 {
-		r.logf("%s: %d requests (%.1fx run-compressed), stream %.1fx vs per-access, %d-shard replays (%d/%d parallel), %d configs verified",
+		r.logf("%s: %d requests (%.1fx run-compressed), stream %.1fx vs per-access, %d-shard replays (%d/%d parallel), %d configs verified%s",
 			p, cell.Requests, cell.CompressionRatio(), cell.StreamSpeedup(),
-			cell.Shards, cell.Parallel, cell.Verified, cell.Verified)
+			cell.Shards, cell.Parallel, cell.Verified, cell.Verified, cacheNote)
 	} else {
-		r.logf("%s: %d requests (%.1fx run-compressed), stream %.1fx vs per-access, %d configs verified",
-			p, cell.Requests, cell.CompressionRatio(), cell.StreamSpeedup(), cell.Verified)
+		r.logf("%s: %d requests (%.1fx run-compressed), stream %.1fx vs per-access, %d configs verified%s",
+			p, cell.Requests, cell.CompressionRatio(), cell.StreamSpeedup(), cell.Verified, cacheNote)
 	}
 	return cell, nil
 }

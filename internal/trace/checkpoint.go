@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -120,69 +119,27 @@ func ResumeIngest(cp *Checkpoint, workers int) (*Ingestor, error) {
 	return in, nil
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler. The per-stream
+// columns share the codec (codec.go) with the DBS1 stream format.
 func (cp *Checkpoint) MarshalBinary() ([]byte, error) {
-	var buf []byte
-	buf = append(buf, checkpointMagic[:]...)
+	cw := newColWriter(nil)
+	cw.bytes(checkpointMagic[:])
 	var flags byte
 	if cp.kinds {
 		flags |= 1
 	}
-	buf = append(buf, flags)
-	buf = binary.AppendUvarint(buf, uint64(cp.blockSize))
-	buf = binary.AppendUvarint(buf, uint64(cp.log))
-	buf = binary.AppendUvarint(buf, uint64(cp.fed))
-	streams := append([]BlockStream{cp.source}, cp.shards...)
-	for _, s := range streams {
-		buf = binary.AppendUvarint(buf, s.Accesses)
-		buf = binary.AppendUvarint(buf, uint64(len(s.IDs)))
-		for _, id := range s.IDs {
-			buf = binary.AppendUvarint(buf, id)
-		}
-		for _, w := range s.Runs {
-			buf = binary.AppendUvarint(buf, uint64(w))
-		}
-		if cp.kinds {
-			if len(s.Kinds) != len(s.IDs) {
-				return nil, fmt.Errorf("trace: checkpoint kind column length %d != %d runs", len(s.Kinds), len(s.IDs))
-			}
-			for _, kr := range s.Kinds {
-				buf = binary.AppendUvarint(buf, uint64(kr.W[0]))
-				buf = binary.AppendUvarint(buf, uint64(kr.W[1]))
-				buf = binary.AppendUvarint(buf, uint64(kr.W[2]))
-				buf = binary.AppendUvarint(buf, uint64(kr.Lead))
-				buf = append(buf, byte(kr.First))
-			}
-		}
+	cw.byteVal(flags)
+	cw.uvarint(uint64(cp.blockSize))
+	cw.uvarint(uint64(cp.log))
+	cw.uvarint(uint64(cp.fed))
+	cw.writeStreamColumns(&cp.source, cp.kinds)
+	for i := range cp.shards {
+		cw.writeStreamColumns(&cp.shards[i], cp.kinds)
 	}
-	return buf, nil
-}
-
-// cpDecoder decodes the checkpoint wire format with bounds checking so
-// a corrupt snapshot fails cleanly instead of panicking or allocating
-// unbounded memory.
-type cpDecoder struct {
-	b   []byte
-	off int
-}
-
-func (d *cpDecoder) uvarint(what string) (uint64, error) {
-	v, n := binary.Uvarint(d.b[d.off:])
-	if n <= 0 {
-		return 0, &CorruptError{Format: "checkpoint", Offset: int64(d.off),
-			Msg: fmt.Sprintf("bad varint for %s", what)}
+	if cw.err != nil {
+		return nil, fmt.Errorf("trace: checkpoint %w", cw.err)
 	}
-	d.off += n
-	return v, nil
-}
-
-func (d *cpDecoder) byteVal(what string) (byte, error) {
-	if d.off >= len(d.b) {
-		return 0, &TruncatedError{Format: "checkpoint", Offset: int64(d.off), Err: io.ErrUnexpectedEOF}
-	}
-	c := d.b[d.off]
-	d.off++
-	return c, nil
+	return cw.buf, nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler. Corrupt
@@ -191,7 +148,7 @@ func (cp *Checkpoint) UnmarshalBinary(data []byte) error {
 	if len(data) < len(checkpointMagic)+1 || [4]byte(data[:4]) != checkpointMagic {
 		return &CorruptError{Format: "checkpoint", Offset: 0, Msg: "bad magic"}
 	}
-	d := &cpDecoder{b: data, off: len(checkpointMagic)}
+	d := &colDecoder{b: data, off: len(checkpointMagic), format: "checkpoint"}
 	flags, err := d.byteVal("flags")
 	if err != nil {
 		return err
@@ -233,68 +190,8 @@ func (cp *Checkpoint) UnmarshalBinary(data []byte) error {
 			s = &out.shards[si-1]
 			s.BlockSize = out.blockSize << log
 		}
-		if s.Accesses, err = d.uvarint("accesses"); err != nil {
+		if err := d.readStreamColumns(s, kinds); err != nil {
 			return err
-		}
-		n, err := d.uvarint("run count")
-		if err != nil {
-			return err
-		}
-		// Each run costs at least 2 bytes (ID + weight), so n is
-		// bounded by the remaining input — rejects allocation bombs.
-		if n > uint64(len(data)-d.off) {
-			return &CorruptError{Format: "checkpoint", Offset: int64(d.off), Msg: fmt.Sprintf("run count %d exceeds input", n)}
-		}
-		if n > 0 {
-			s.IDs = make([]uint64, n)
-			s.Runs = make([]uint32, n)
-		}
-		for i := range s.IDs {
-			if s.IDs[i], err = d.uvarint("block ID"); err != nil {
-				return err
-			}
-		}
-		for i := range s.Runs {
-			w, err := d.uvarint("run weight")
-			if err != nil {
-				return err
-			}
-			if w == 0 || w > 1<<32-1 {
-				return &CorruptError{Format: "checkpoint", Offset: int64(d.off), Msg: fmt.Sprintf("bad run weight %d", w)}
-			}
-			s.Runs[i] = uint32(w)
-		}
-		if kinds {
-			s.Kinds = make([]KindRun, n)
-			for i := range s.Kinds {
-				kr := &s.Kinds[i]
-				for wi := range kr.W {
-					w, err := d.uvarint("kind weight")
-					if err != nil {
-						return err
-					}
-					if w > 1<<32-1 {
-						return &CorruptError{Format: "checkpoint", Offset: int64(d.off), Msg: fmt.Sprintf("bad kind weight %d", w)}
-					}
-					kr.W[wi] = uint32(w)
-				}
-				lead, err := d.uvarint("kind lead")
-				if err != nil {
-					return err
-				}
-				if lead > 1<<32-1 {
-					return &CorruptError{Format: "checkpoint", Offset: int64(d.off), Msg: fmt.Sprintf("bad kind lead %d", lead)}
-				}
-				kr.Lead = uint32(lead)
-				first, err := d.byteVal("kind first")
-				if err != nil {
-					return err
-				}
-				if !Kind(first).Valid() {
-					return &CorruptError{Format: "checkpoint", Offset: int64(d.off - 1), Msg: fmt.Sprintf("bad kind %d", first)}
-				}
-				kr.First = Kind(first)
-			}
 		}
 	}
 	if d.off != len(data) {

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// This file holds the varint/column codec shared by the two on-disk
+// formats: DCP1 ingest checkpoints (checkpoint.go) and DBS1 stream
+// blobs (streamio.go). Both serialize BlockStream columns the same way
+// — accesses, run count n, n block IDs, n run weights, and with kinds
+// n records of (W0, W1, W2, Lead, First byte), all unsigned varints
+// except the trailing kind byte — and both decode through the same
+// allocation-hardened reader: every column length is bounded by the
+// remaining input before allocating, so a corrupt length prefix fails
+// cleanly instead of ballooning memory.
+
+// colWriter appends varint/byte fields, either accumulating in memory
+// (w == nil: the DCP1 MarshalBinary path returns the buffer directly)
+// or flushing to an io.Writer in chunks while folding the flushed
+// bytes into a running CRC-32 (the DBS1 WriteTo path, so a blob larger
+// than the chunk never double-buffers). Errors are sticky: the first
+// write error silences all later ops and is returned by finish.
+type colWriter struct {
+	w       io.Writer
+	buf     []byte
+	crc     uint32
+	flushed int64
+	err     error
+}
+
+const colWriterChunk = 1 << 16
+
+func newColWriter(w io.Writer) *colWriter {
+	cw := &colWriter{w: w}
+	if w != nil {
+		cw.buf = make([]byte, 0, colWriterChunk)
+	}
+	return cw
+}
+
+func (cw *colWriter) maybeFlush() {
+	if cw.w != nil && len(cw.buf) >= colWriterChunk {
+		cw.flush()
+	}
+}
+
+// flush folds the pending bytes into the CRC and writes them out.
+func (cw *colWriter) flush() {
+	if cw.err != nil || cw.w == nil || len(cw.buf) == 0 {
+		return
+	}
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, cw.buf)
+	n, err := cw.w.Write(cw.buf)
+	cw.flushed += int64(n)
+	cw.err = err
+	cw.buf = cw.buf[:0]
+}
+
+func (cw *colWriter) bytes(p []byte) {
+	if cw.err != nil {
+		return
+	}
+	cw.buf = append(cw.buf, p...)
+	cw.maybeFlush()
+}
+
+func (cw *colWriter) byteVal(b byte) {
+	if cw.err != nil {
+		return
+	}
+	cw.buf = append(cw.buf, b)
+	cw.maybeFlush()
+}
+
+func (cw *colWriter) uvarint(v uint64) {
+	if cw.err != nil {
+		return
+	}
+	cw.buf = binary.AppendUvarint(cw.buf, v)
+	cw.maybeFlush()
+}
+
+// sum32 flushes everything written so far and returns its CRC-32
+// (IEEE). Bytes appended afterwards (the checksum trailer itself) are
+// written but not folded into the sum.
+func (cw *colWriter) sum32() uint32 {
+	cw.flush()
+	return cw.crc
+}
+
+// finish writes any pending bytes without touching the CRC and returns
+// the total byte count handed to w plus the sticky error.
+func (cw *colWriter) finish() (int64, error) {
+	if cw.err == nil && cw.w != nil && len(cw.buf) > 0 {
+		n, err := cw.w.Write(cw.buf)
+		cw.flushed += int64(n)
+		cw.err = err
+		cw.buf = cw.buf[:0]
+	}
+	return cw.flushed, cw.err
+}
+
+// writeStreamColumns appends one stream's columns: accesses, run count,
+// IDs, run weights, and (when kinds is set) the kind records.
+func (cw *colWriter) writeStreamColumns(s *BlockStream, kinds bool) {
+	if cw.err != nil {
+		return
+	}
+	if kinds && len(s.Kinds) != len(s.IDs) {
+		cw.err = fmt.Errorf("trace: kind column length %d != %d runs", len(s.Kinds), len(s.IDs))
+		return
+	}
+	cw.uvarint(s.Accesses)
+	cw.uvarint(uint64(len(s.IDs)))
+	for _, id := range s.IDs {
+		cw.uvarint(id)
+	}
+	for _, w := range s.Runs {
+		cw.uvarint(uint64(w))
+	}
+	if kinds {
+		for i := range s.Kinds {
+			kr := &s.Kinds[i]
+			cw.uvarint(uint64(kr.W[0]))
+			cw.uvarint(uint64(kr.W[1]))
+			cw.uvarint(uint64(kr.W[2]))
+			cw.uvarint(uint64(kr.Lead))
+			cw.byteVal(byte(kr.First))
+		}
+	}
+}
+
+// colDecoder decodes the shared wire format from a byte slice with
+// bounds checking so a corrupt blob fails cleanly — with a
+// position-carrying error naming the format — instead of panicking or
+// allocating unbounded memory.
+type colDecoder struct {
+	b      []byte
+	off    int
+	format string
+}
+
+func (d *colDecoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, &CorruptError{Format: d.format, Offset: int64(d.off),
+			Msg: fmt.Sprintf("bad varint for %s", what)}
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *colDecoder) byteVal(what string) (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, &TruncatedError{Format: d.format, Offset: int64(d.off), Err: io.ErrUnexpectedEOF}
+	}
+	c := d.b[d.off]
+	d.off++
+	return c, nil
+}
+
+// readStreamColumns decodes one stream's columns into s (BlockSize is
+// the caller's to set). Exact-sized allocation: the run count is
+// checked against the remaining input — each run costs at least 2
+// bytes (ID + weight) — before any column is allocated.
+func (d *colDecoder) readStreamColumns(s *BlockStream, kinds bool) error {
+	var err error
+	if s.Accesses, err = d.uvarint("accesses"); err != nil {
+		return err
+	}
+	n, err := d.uvarint("run count")
+	if err != nil {
+		return err
+	}
+	if n > uint64(len(d.b)-d.off) {
+		return &CorruptError{Format: d.format, Offset: int64(d.off), Msg: fmt.Sprintf("run count %d exceeds input", n)}
+	}
+	if n > 0 {
+		s.IDs = make([]uint64, n)
+		s.Runs = make([]uint32, n)
+	}
+	for i := range s.IDs {
+		if s.IDs[i], err = d.uvarint("block ID"); err != nil {
+			return err
+		}
+	}
+	for i := range s.Runs {
+		w, err := d.uvarint("run weight")
+		if err != nil {
+			return err
+		}
+		if w == 0 || w > math.MaxUint32 {
+			return &CorruptError{Format: d.format, Offset: int64(d.off), Msg: fmt.Sprintf("bad run weight %d", w)}
+		}
+		s.Runs[i] = uint32(w)
+	}
+	if kinds {
+		s.Kinds = make([]KindRun, n)
+		for i := range s.Kinds {
+			if err := d.readKindRun(&s.Kinds[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (d *colDecoder) readKindRun(kr *KindRun) error {
+	for wi := range kr.W {
+		w, err := d.uvarint("kind weight")
+		if err != nil {
+			return err
+		}
+		if w > math.MaxUint32 {
+			return &CorruptError{Format: d.format, Offset: int64(d.off), Msg: fmt.Sprintf("bad kind weight %d", w)}
+		}
+		kr.W[wi] = uint32(w)
+	}
+	lead, err := d.uvarint("kind lead")
+	if err != nil {
+		return err
+	}
+	if lead > math.MaxUint32 {
+		return &CorruptError{Format: d.format, Offset: int64(d.off), Msg: fmt.Sprintf("bad kind lead %d", lead)}
+	}
+	kr.Lead = uint32(lead)
+	first, err := d.byteVal("kind first")
+	if err != nil {
+		return err
+	}
+	if !Kind(first).Valid() {
+		return &CorruptError{Format: d.format, Offset: int64(d.off - 1), Msg: fmt.Sprintf("bad kind %d", first)}
+	}
+	kr.First = Kind(first)
+	return nil
+}

@@ -6,7 +6,8 @@
 # the decode→shard ingest pipeline vs its serial baseline, the
 # block-size fold ladder vs the decode-per-block-size baseline, and the
 # write-policy reference replay over the kind-preserving stream vs its
-# per-access baseline, and writes:
+# per-access baseline, the DBS1 artifact marshal/load costs, and the
+# artifact-store warm-vs-cold exploration pair, and writes:
 #   BENCH_core.txt   raw `go test -bench` output (benchstat input)
 #   BENCH_core.json  summary with means, batch-over-single,
 #                    stream-over-batch and sharded-over-stream speedup
@@ -16,7 +17,9 @@
 #                    speedups, the fold-over-decode speedup and per-rung
 #                    fold compression of the block ladder, the
 #                    write-policy stream-over-access speedup and the kind
-#                    channel's bytes-per-access footprint, the host core
+#                    channel's bytes-per-access footprint, the artifact
+#                    cache's warm-over-cold exploration speedup and
+#                    load throughput (cache_load_blocks_per_s), the host core
 #                    count (num_cpu), speedups against the committed
 #                    seed baseline, and a history of previous recordings
 #                    (appended, not overwritten)
@@ -31,7 +34,7 @@ COUNT="${COUNT:-5}"
 OUT="${OUT:-BENCH_core}"
 REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-go test -run '^$' -bench 'Benchmark(Access(Single|Batch|Stream|StreamLRU|Sharded)|Ingest(Shards|Serial)|(Fold|Decode)Ladder|Ref(Access|Stream)Write)$' -benchmem -count "$COUNT" . | tee "$OUT.txt"
+go test -run '^$' -bench 'Benchmark(Access(Single|Batch|Stream|StreamLRU|Sharded)|Ingest(Shards|Serial)|(Fold|Decode)Ladder|Ref(Access|Stream)Write|Stream(Marshal|Load)|Explore(Cold|Warm))$' -benchmem -count "$COUNT" . | tee "$OUT.txt"
 
 # Preserve the previous recording as history: benchjson reads it from a
 # side copy (the shell truncates $OUT.json before benchjson runs).

@@ -85,6 +85,8 @@ type historyEntry struct {
 	FoldCompression          map[string]map[string]float64 `json:"fold_compression,omitempty"`
 	SpeedupRefWriteStream    map[string]float64            `json:"speedup_refwrite_stream_over_access,omitempty"`
 	KindChannelBPerAccess    map[string]float64            `json:"kind_channel_bytes_per_access,omitempty"`
+	SpeedupWarmOverCold      map[string]float64            `json:"speedup_warm_over_cold,omitempty"`
+	CacheLoadBlocksPerS      map[string]float64            `json:"cache_load_blocks_per_s,omitempty"`
 	SpeedupVsSeed            map[string]float64            `json:"speedup_vs_seed,omitempty"`
 }
 
@@ -147,6 +149,16 @@ type output struct {
 	// accesses) — the footprint the write-policy stream path pays over
 	// the kind-free stream.
 	KindChannelBPerAccess map[string]float64 `json:"kind_channel_bytes_per_access,omitempty"`
+	// SpeedupWarmOverCold is, per workload,
+	// ns_per_access(ExploreCold)/ns_per_access(ExploreWarm): how much
+	// faster an exploration served from the content-addressed artifact
+	// store runs than one that decodes the raw trace, both measured in
+	// this tree over the same one-pass space.
+	SpeedupWarmOverCold map[string]float64 `json:"speedup_warm_over_cold,omitempty"`
+	// CacheLoadBlocksPerS is the DBS1 artifact load throughput per
+	// workload (stream entries decoded per second, fastest sample of
+	// BenchmarkStreamLoad) — the warm path's raw read speed.
+	CacheLoadBlocksPerS map[string]float64 `json:"cache_load_blocks_per_s,omitempty"`
 	// SeedBaseline echoes the committed baseline measurements of the
 	// seed commit's single-access path.
 	SeedBaseline json.RawMessage `json:"seed_baseline,omitempty"`
@@ -178,6 +190,8 @@ func (o *output) summarize() historyEntry {
 		FoldCompression:          o.FoldCompression,
 		SpeedupRefWriteStream:    o.SpeedupRefWriteStream,
 		KindChannelBPerAccess:    o.KindChannelBPerAccess,
+		SpeedupWarmOverCold:      o.SpeedupWarmOverCold,
+		CacheLoadBlocksPerS:      o.CacheLoadBlocksPerS,
 		SpeedupVsSeed:            o.SpeedupVsSeed,
 	}
 	if len(o.Benchmarks) > 0 {
@@ -318,6 +332,8 @@ func main() {
 	out.FoldCompression = map[string]map[string]float64{}
 	out.SpeedupRefWriteStream = map[string]float64{}
 	out.KindChannelBPerAccess = map[string]float64{}
+	out.SpeedupWarmOverCold = map[string]float64{}
+	out.CacheLoadBlocksPerS = map[string]float64{}
 	for name, s := range out.Benchmarks {
 		if app, ok := strings.CutPrefix(name, "BenchmarkAccessBatch/"); ok && s.NsPerAccessFastest > 0 {
 			if single, ok := out.Benchmarks["BenchmarkAccessSingle/"+app]; ok && single.NsPerAccessFastest > 0 {
@@ -353,6 +369,14 @@ func main() {
 			if s.KindBPerAccess > 0 {
 				out.KindChannelBPerAccess[app] = round2(s.KindBPerAccess)
 			}
+		}
+		if app, ok := strings.CutPrefix(name, "BenchmarkExploreWarm/"); ok && s.NsPerAccessFastest > 0 {
+			if cold, ok := out.Benchmarks["BenchmarkExploreCold/"+app]; ok && cold.NsPerAccessFastest > 0 {
+				out.SpeedupWarmOverCold[app] = round2(cold.NsPerAccessFastest / s.NsPerAccessFastest)
+			}
+		}
+		if app, ok := strings.CutPrefix(name, "BenchmarkStreamLoad/"); ok && s.BlocksPerSFastest > 0 {
+			out.CacheLoadBlocksPerS[app] = round2(s.BlocksPerSFastest)
 		}
 		if app, ok := strings.CutPrefix(name, "BenchmarkIngestShards/"); ok && s.BlocksPerSFastest > 0 {
 			out.IngestBlocksPerS[app] = round2(s.BlocksPerSFastest)
