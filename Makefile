@@ -38,3 +38,4 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCheckpointResume -fuzztime 20s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzCheckpointUnmarshal -fuzztime 20s
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzStreamUnmarshal -fuzztime 20s
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzResultUnmarshal -fuzztime 20s

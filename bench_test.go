@@ -901,3 +901,77 @@ func BenchmarkExploreWarm(b *testing.B) {
 		})
 	}
 }
+
+// benchSweepParams is the small cell grid both sweep cache benchmarks
+// share: two associativity pairs at one block size, full reference
+// cross-check per cell as always.
+func benchSweepParams(app workload.App) []sweep.Params {
+	var params []sweep.Params
+	for _, assoc := range []int{2, 4} {
+		params = append(params, sweep.Params{
+			App: app, Seed: 1, Requests: benchRequests,
+			BlockSize: 16, Assoc: assoc, MaxLogSets: 8,
+		})
+	}
+	return params
+}
+
+// BenchmarkSweepCold measures the full sweep with no artifact store:
+// every cell materializes its stream and runs the DEW pass plus both
+// reference passes.
+func BenchmarkSweepCold(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			params := benchSweepParams(app)
+			nAccesses := benchRequests * len(params)
+			r := sweep.Runner{Workers: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cells, err := r.RunCells(context.Background(), params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(cells) != len(params) {
+					b.Fatalf("%d cells, want %d", len(cells), len(params))
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nAccesses), "ns/access")
+		})
+	}
+}
+
+// BenchmarkSweepWarm measures the same sweep served entirely from the
+// result tier of a pre-populated artifact store: zero simulations,
+// zero trace decodes (the sampled live re-check is disabled so the
+// benchmark times the pure warm path). The ns/access ratio against
+// BenchmarkSweepCold is recorded as speedup_sweep_warm_over_cold in
+// BENCH_core.json, and the cells/s metric as
+// result_cache_hit_cells_per_s.
+func BenchmarkSweepWarm(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			st, err := store.Open(b.TempDir(), store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			params := benchSweepParams(app)
+			r := sweep.Runner{Workers: 1, Cache: st, NoWarmCheck: true}
+			if _, err := r.RunCells(context.Background(), params); err != nil {
+				b.Fatal(err) // untimed populating run
+			}
+			nAccesses := benchRequests * len(params)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cells, err := r.RunCells(context.Background(), params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sim, cached, _ := sweep.Provenance(cells); sim != 0 || cached != len(params) {
+					b.Fatalf("warm sweep simulated %d cells (%d cached), want all %d cached", sim, cached, len(params))
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nAccesses), "ns/access")
+			b.ReportMetric(float64(len(params))*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}

@@ -84,7 +84,7 @@
 // passes, so benchmark iterations, sweep cells and per-shard replays
 // run allocation-free in steady state.
 //
-// # Pipeline architecture: store? → decode once → fold → shard → engine → stitch
+// # Pipeline architecture: result cache? → store? → decode once → fold → shard → engine → stitch
 //
 // A fully sharded run never materializes the raw trace and never walks
 // it twice. The ingest pipeline (trace.IngestShards / IngestDinShards /
@@ -136,7 +136,7 @@
 // tracks the stream-over-per-access speedup and the kind channel's
 // bytes-per-access footprint in BENCH_core.json.
 //
-// # The artifact store: zero-decode warm paths
+// # The artifact store: zero-decode, zero-simulation warm paths
 //
 // The decode stage itself sits behind an optional content-addressed
 // artifact store (package store): the finest-rung stream a run
@@ -152,14 +152,37 @@
 // concurrent runs by a single-flight gate, evicted
 // least-recently-used under a size cap, and verified on load:
 // a corrupt or truncated entry is quarantined and the run falls back
-// to a fresh decode transparently. explore.Run (Request.Cache /
-// SourceID) and the sweep runner (sweep.Runner.Cache) consult the
-// store before decoding and record provenance
-// (Result.CacheHit/CacheKey, Cell.CacheHit/CacheKey); the CLIs expose
-// it as -cache DIR (or DEW_CACHE), and `dew cache stats|gc|clear`
-// administers a directory. BenchmarkExploreWarm vs
-// BenchmarkExploreCold tracks the warm-over-cold speedup and
-// BenchmarkStreamLoad the load throughput in BENCH_core.json.
+// to a fresh decode transparently.
+//
+// Above the stream tier sits a result tier under the same key scheme:
+// a completed pass's counter tables are published as a DRS1 blob
+// (same uvarint column codec, CRC-32-sealed, the engine name and
+// config axes echoed inside the blob and verified on load), keyed by
+// store.ResultKey — the SHA-256 of the stream key × the engine name ×
+// the full config-axis string from engine.Spec.CacheKey, so any axis
+// change (sets range, associativity, block size, policy, write axes)
+// is a different key, while scheduling knobs like worker count are
+// not. The sweep and explore layers schedule deltas against it:
+// sweep.RunCells / RunWriteCell and explore.Run probe the result tier
+// per cell first, simulate only the missing cells, and publish on
+// completion — a fully-warm run performs zero engine simulations and
+// zero trace decodes and emits byte-identical tables (recorded wall
+// times ride along as cached scalars). Warm cells are cross-checked
+// against one sampled live re-simulation per run (Runner.NoWarmCheck
+// opts out), and provenance is recorded end to end
+// (Cell.ResultCacheHit, Result.CellsSimulated/CellsCached). Both blob
+// kinds share one MaxBytes budget and one LRU eviction, quarantine
+// and `dew cache stats|gc|clear` accounting, broken out per kind; an
+// in-process LRU of decoded streams (Options.MemBytes, enabled by the
+// CLIs) additionally serves repeat materializations within a process
+// without touching disk. explore.Run (Request.Cache / SourceID) and
+// the sweep runner (sweep.Runner.Cache) consult the store before
+// decoding or simulating; the CLIs expose it as -cache DIR (or
+// DEW_CACHE). BenchmarkExploreWarm vs BenchmarkExploreCold tracks the
+// stream tier's warm-over-cold speedup, BenchmarkStreamLoad the load
+// throughput, and BenchmarkSweepWarm vs BenchmarkSweepCold the result
+// tier's warm-over-cold sweep speedup and warm cell-serve throughput
+// in BENCH_core.json.
 //
 // Simulation itself runs behind the engine seam: package engine wraps
 // the three simulators (dew, lrutree, ref) in one interface —

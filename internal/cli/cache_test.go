@@ -25,20 +25,21 @@ func TestDewSimCacheWarm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(warm, "cache load, 0 trace decodes") {
-		t.Errorf("warm mode line lacks cache provenance:\n%s", warm)
+	if !strings.Contains(warm, "fully result-cached (0 simulations, 0 trace decodes)") {
+		t.Errorf("warm mode line lacks result-cache provenance:\n%s", warm)
 	}
 	tableOf := func(s string) string { return s[:strings.Index(s, "\nsimulated ")] }
 	if tableOf(cold) != tableOf(warm) {
 		t.Errorf("warm table differs from cold:\n%s\nvs\n%s", tableOf(warm), tableOf(cold))
 	}
-	// Sharded warm run folds the same cached stream.
+	// The sharded warm run answers from the same result entries — the
+	// shard fan-out is scheduling, not identity, for a dewsim rung.
 	sharded, _, err := run(t, DewSim, append(args, "-shards", "2")...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sharded, "cache load, 0 trace decodes") {
-		t.Errorf("sharded warm mode line lacks cache provenance:\n%s", sharded)
+	if !strings.Contains(sharded, "0 simulations, 0 trace decodes") {
+		t.Errorf("sharded warm mode line lacks result-cache provenance:\n%s", sharded)
 	}
 	if tableOf(cold) != tableOf(sharded) {
 		t.Error("sharded warm table differs from cold")
@@ -67,7 +68,7 @@ func TestDewSimCacheWriteSimSeparation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "cache load, 0 trace decodes") {
+	if !strings.Contains(out, "0 simulations, 0 trace decodes") {
 		t.Errorf("second write-policy run missed:\n%s", out)
 	}
 }
@@ -96,6 +97,9 @@ func TestExploreCacheWarm(t *testing.T) {
 	}
 	if !strings.Contains(out, "cache load + ") || !strings.Contains(out, "0 trace decodes") {
 		t.Errorf("warm explore output lacks cache provenance:\n%s", out)
+	}
+	if !strings.Contains(out, "0 simulated") || !strings.Contains(out, "result-cached") {
+		t.Errorf("warm explore output lacks result-tier provenance:\n%s", out)
 	}
 }
 
@@ -162,8 +166,8 @@ func TestRefSimShardedCacheWarm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(warm, "cache-loaded in ") {
-		t.Errorf("warm refsim lacks load provenance:\n%s", warm)
+	if !strings.Contains(warm, "result-cached (0 simulations, 0 trace decodes)") {
+		t.Errorf("warm refsim lacks result-cache provenance:\n%s", warm)
 	}
 	statsOf := func(s string) string { return s[strings.Index(s, "accesses:"):] }
 	if statsOf(cold) != statsOf(warm) {
@@ -186,21 +190,23 @@ func TestDewCacheSubcommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "entries") || !strings.Contains(out, "1 entries") {
+	// One dewsim run leaves one stream entry and one result entry.
+	if !strings.Contains(out, "stream entries") || !strings.Contains(out, "result entries") ||
+		!strings.Contains(out, "2 entries") || !strings.Contains(out, "1 stream, 1 result") {
 		t.Errorf("stats output unexpected:\n%s", out)
 	}
 	out, _, err = run(t, Dew, "cache", "gc", "-cache", dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "gc removed 1 files") {
+	if !strings.Contains(out, "gc removed 1 files") || !strings.Contains(out, "reclaimed") {
 		t.Errorf("gc output unexpected:\n%s", out)
 	}
 	out, _, err = run(t, Dew, "cache", "clear", "-cache", dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "cleared 1 files") {
+	if !strings.Contains(out, "cleared 2 files") {
 		t.Errorf("clear output unexpected:\n%s", out)
 	}
 	ents, err := os.ReadDir(dir)
@@ -239,7 +245,7 @@ func TestCacheEnvFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "cache load, 0 trace decodes") {
+	if !strings.Contains(out, "0 simulations, 0 trace decodes") {
 		t.Errorf("DEW_CACHE fallback did not hit:\n%s", out)
 	}
 	out, _, err = run(t, Dew, "cache", "stats")

@@ -218,6 +218,11 @@ func expSweep(ctx context.Context, ec expConfig, params []sweep.Params) ([]sweep
 	if !ec.quiet {
 		fmt.Fprintf(ec.env.Stderr, "sweep of %d cells finished in %v; every configuration verified exact\n",
 			len(cells), time.Since(start).Round(time.Millisecond))
+		if ec.cache != nil {
+			sim, cached, verified := sweep.Provenance(cells)
+			fmt.Fprintf(ec.env.Stderr, "cells: %d simulated, %d result-cached (%d live re-verified)\n",
+				sim, cached, verified)
+		}
 	}
 	return cells, nil
 }

@@ -141,8 +141,15 @@ func Explore(ctx context.Context, env Env, args []string) error {
 		shardNote = fmt.Sprintf(", each pass sharded across %d trees", res.Shards)
 	}
 	prov := fmt.Sprintf("%d trace decode + %d folds", res.Decodes, res.Folds)
-	if res.CacheHit {
+	switch {
+	case res.Decodes == 0 && !res.CacheHit:
+		prov = "fully result-cached, 0 trace decodes"
+	case res.CacheHit:
 		prov = fmt.Sprintf("cache load + %d folds, 0 trace decodes", res.Folds)
+	}
+	if res.CellsCached > 0 {
+		prov += fmt.Sprintf("; passes: %d simulated, %d result-cached (%d live re-verified)",
+			res.CellsSimulated, res.CellsCached, res.WarmVerified)
 	}
 	fmt.Fprintf(env.Stdout, "explored %d configurations with %d DEW passes over %d shared block streams (%s; run compression: %s)%s\n\n",
 		len(res.Stats), res.Passes, len(blocks), prov, strings.Join(comp, ", "), shardNote)

@@ -132,13 +132,32 @@ func refSimSharded(ctx context.Context, env Env, tf traceFlags, opts refsim.Opti
 	if err != nil {
 		return err
 	}
-	var cacheKey string
+	spec := engine.Spec{
+		MinLogSets: logSets, MaxLogSets: logSets,
+		Assoc: cfg.Assoc, BlockSize: cfg.BlockSize, Policy: policy,
+		WriteSim: true, Write: opts.Write, Alloc: opts.Alloc, StoreBytes: opts.StoreBytes,
+	}
+	var cacheKey, resultKey string
 	if cacheStore != nil {
 		srcID, err := tf.sourceID()
 		if err != nil {
 			return err
 		}
 		cacheKey = store.Key(srcID, cfg.BlockSize, 0, true)
+		// Result-tier probe first: a warm run prints the full reference
+		// record with zero simulations and zero trace decodes. The shard
+		// fan-out is not a key axis — the statistics are bit-identical
+		// across shard settings (and verified so by the sharded engine's
+		// own cross-check on the run that published the entry).
+		resultKey = store.ResultKey(cacheKey, "ref", spec.CacheKey())
+		rb, err := cacheStore.GetResult(ctx, resultKey, "ref", spec.CacheKey())
+		if err == nil && rb.HasRef && len(rb.Records) == 1 && rb.Records[0].Ref != nil && rb.Records[0].Traffic != nil {
+			fmt.Fprintf(env.Stdout, "config:            %v, %v replacement, %v, %v\n",
+				cfg, policy, opts.Write, opts.Alloc)
+			fmt.Fprintf(env.Stdout, "replay:            result-cached (0 simulations, 0 trace decodes)\n")
+			printRefStats(env.Stdout, *rb.Records[0].Ref, *rb.Records[0].Traffic)
+			return nil
+		}
 	}
 	start := time.Now()
 	var ss *trace.ShardStream
@@ -161,11 +180,6 @@ func refSimSharded(ctx context.Context, env Env, tf traceFlags, opts refsim.Opti
 	}
 	ingested := time.Since(start)
 
-	spec := engine.Spec{
-		MinLogSets: logSets, MaxLogSets: logSets,
-		Assoc: cfg.Assoc, BlockSize: cfg.BlockSize, Policy: policy,
-		WriteSim: true, Write: opts.Write, Alloc: opts.Alloc, StoreBytes: opts.StoreBytes,
-	}
 	eng, replayed, err := engine.TimedRun(ctx, "ref", spec, ss.Source, ss)
 	if err != nil {
 		return err
@@ -173,6 +187,14 @@ func refSimSharded(ctx context.Context, env Env, tf traceFlags, opts refsim.Opti
 	stats := eng.(engine.RefStatser).RefStats()
 	traffic := eng.(engine.TrafficStatser).RefTraffic()
 	parallel := engine.Parallel(eng)
+	if resultKey != "" {
+		// Publish the finished record for later runs; best-effort.
+		cacheStore.PutResult(ctx, resultKey, &store.ResultBlob{
+			Engine: "ref", SpecKey: spec.CacheKey(), HasRef: true,
+			Scalars: []uint64{stats.Accesses},
+			Records: []store.ResultRecord{{Config: cfg, Stats: stats.Stats, Ref: &stats, Traffic: &traffic}},
+		})
+	}
 
 	fmt.Fprintf(env.Stdout, "config:            %v, %v replacement, %v, %v\n",
 		cfg, policy, opts.Write, opts.Alloc)

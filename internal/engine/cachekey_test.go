@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"testing"
+
+	"dew/internal/cache"
+	"dew/internal/refsim"
+)
+
+// TestSpecCacheKey pins the result-cache key contract: every axis that
+// can change a pass's results produces a distinct serialization, and
+// scheduling knobs that cannot (Workers, and the zero StoreBytes
+// resolving to its documented default) do not.
+func TestSpecCacheKey(t *testing.T) {
+	base := Spec{MinLogSets: 0, MaxLogSets: 4, Assoc: 2, BlockSize: 16, Policy: cache.FIFO}
+
+	keys := map[string]string{}
+	distinct := func(desc string, s Spec) {
+		k := s.CacheKey()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("cache key collision between %s and %s: %q", prev, desc, k)
+		}
+		keys[k] = desc
+	}
+	distinct("base", base)
+	distinct("min-log-sets", Spec{MinLogSets: 1, MaxLogSets: 4, Assoc: 2, BlockSize: 16, Policy: cache.FIFO})
+	distinct("max-log-sets", Spec{MaxLogSets: 5, Assoc: 2, BlockSize: 16, Policy: cache.FIFO})
+	distinct("assoc", Spec{MaxLogSets: 4, Assoc: 4, BlockSize: 16, Policy: cache.FIFO})
+	distinct("block", Spec{MaxLogSets: 4, Assoc: 2, BlockSize: 32, Policy: cache.FIFO})
+	distinct("policy", Spec{MaxLogSets: 4, Assoc: 2, BlockSize: 16, Policy: cache.LRU})
+
+	writeSim := base
+	writeSim.WriteSim = true
+	distinct("write-sim", writeSim)
+	wt := writeSim
+	wt.Write = refsim.WriteThrough
+	distinct("write-through", wt)
+	nwa := writeSim
+	nwa.Alloc = refsim.NoWriteAllocate
+	distinct("no-write-allocate", nwa)
+	sb8 := writeSim
+	sb8.StoreBytes = 8
+	distinct("store-bytes", sb8)
+
+	// Workers is scheduling, never identity.
+	workers := base
+	workers.Workers = 7
+	if workers.CacheKey() != base.CacheKey() {
+		t.Error("Workers leaked into the cache key")
+	}
+
+	// The zero StoreBytes is documented to mean 4; the two spellings of
+	// the same pass must share a key.
+	sb4 := writeSim
+	sb4.StoreBytes = 4
+	if sb4.CacheKey() != writeSim.CacheKey() {
+		t.Errorf("StoreBytes 0 and 4 derive different keys: %q vs %q",
+			writeSim.CacheKey(), sb4.CacheKey())
+	}
+
+	// The write axes must be inert without WriteSim — engines do not
+	// read them, so they may not shape the key.
+	ghost := base
+	ghost.Write = refsim.WriteThrough
+	ghost.StoreBytes = 8
+	if ghost.CacheKey() != base.CacheKey() {
+		t.Error("write axes leaked into a kind-free spec's key")
+	}
+
+	if base.CacheKey() != base.CacheKey() {
+		t.Error("cache key derivation is not deterministic")
+	}
+}

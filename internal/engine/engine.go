@@ -82,6 +82,28 @@ type Spec struct {
 	StoreBytes int
 }
 
+// CacheKey is the canonical serialization of the spec axes that
+// determine a pass's results — the result-cache key component for this
+// spec. Scheduling knobs are deliberately excluded: Workers only moves
+// work across goroutines, and sharded replays are bit-identical to
+// monolithic ones by the Engine contract, so neither may change a
+// cached result. The write axes are folded in only under WriteSim
+// (with the zero StoreBytes resolved to its documented default of 4),
+// mirroring how engines read the spec — a kind-free spec and its
+// WriteSim twin never share a key because the serializations differ.
+func (s Spec) CacheKey() string {
+	key := fmt.Sprintf("sets=%d..%d,assoc=%d,block=%d,policy=%v",
+		s.MinLogSets, s.MaxLogSets, s.Assoc, s.BlockSize, s.Policy)
+	if s.WriteSim {
+		sb := s.StoreBytes
+		if sb == 0 {
+			sb = 4
+		}
+		key += fmt.Sprintf(",write=%v,alloc=%v,store-bytes=%d", s.Write, s.Alloc, sb)
+	}
+	return key
+}
+
 // Result is one configuration's outcome, the statistics contract every
 // engine shares. It is structurally identical to core.Result and
 // lrutree.Result, which convert directly.

@@ -80,15 +80,74 @@ func TestRunCacheWarmBitIdentical(t *testing.T) {
 		if !reflect.DeepEqual(warm.Stats, cold.Stats) {
 			t.Fatalf("shards=%d: warm statistics differ from cold", shards)
 		}
+		sim, cached, verified := warm.CellsSimulated, warm.CellsCached, warm.WarmVerified
+		if sim != 0 || cached != warm.Passes || verified != 1 {
+			t.Fatalf("shards=%d: warm provenance %d simulated, %d cached, %d verified; want 0/%d/1",
+				shards, sim, cached, verified, warm.Passes)
+		}
 	}
 	// Every shard setting shares the one finest-rung stream (shardLog
-	// is not part of the key), so only one entry exists.
+	// is not part of either tier's key), so exactly one stream entry
+	// and one result entry per pass exist.
 	ds, err := st.DiskStats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ds.Entries != 1 {
-		t.Fatalf("%d cache entries, want 1 shared across shard settings", ds.Entries)
+	if ds.StreamEntries != 1 {
+		t.Fatalf("%d stream entries, want 1 shared across shard settings", ds.StreamEntries)
+	}
+	if ds.ResultEntries != cold.Passes {
+		t.Fatalf("%d result entries, want one per pass (%d)", ds.ResultEntries, cold.Passes)
+	}
+}
+
+// TestRunFullyWarmZeroWork: with the warm check disabled, a fully
+// result-warm exploration builds no streams at all — zero source
+// reads, zero decodes, zero simulated passes — and still reports the
+// full statistics, stream shapes and kind totals.
+func TestRunFullyWarmZeroWork(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := randomTrace(8000, 11)
+	req := Request{
+		Space: smallSpace(), Workers: 2, Kinds: true,
+		Source: FromTrace(tr), Cache: st, SourceID: store.TraceID(tr),
+		NoWarmCheck: true,
+	}
+	cold, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CellsSimulated != cold.Passes || cold.CellsCached != 0 {
+		t.Fatalf("cold provenance: %d simulated, %d cached", cold.CellsSimulated, cold.CellsCached)
+	}
+
+	var warmCalls atomic.Int32
+	req.Source = countingSource(FromTrace(tr), &warmCalls)
+	warm, err := Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmCalls.Load() != 0 {
+		t.Fatalf("fully-warm run pulled the source %d times, want 0", warmCalls.Load())
+	}
+	if warm.Decodes != 0 || warm.CacheHit {
+		t.Fatalf("fully-warm run: %d decodes, stream hit=%v; want 0 and false", warm.Decodes, warm.CacheHit)
+	}
+	if warm.CellsSimulated != 0 || warm.CellsCached != warm.Passes || warm.WarmVerified != 0 {
+		t.Fatalf("fully-warm provenance: %d simulated, %d cached, %d verified",
+			warm.CellsSimulated, warm.CellsCached, warm.WarmVerified)
+	}
+	if !reflect.DeepEqual(warm.Stats, cold.Stats) {
+		t.Fatal("fully-warm statistics differ from cold")
+	}
+	if !reflect.DeepEqual(warm.StreamCompression, cold.StreamCompression) {
+		t.Fatalf("fully-warm stream shapes differ: %v vs %v", warm.StreamCompression, cold.StreamCompression)
+	}
+	if warm.KindTotals != cold.KindTotals {
+		t.Fatalf("fully-warm kind totals differ: %v vs %v", warm.KindTotals, cold.KindTotals)
 	}
 }
 

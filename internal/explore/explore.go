@@ -95,18 +95,31 @@ type Request struct {
 	// the number of completed and total passes. Calls are serialized.
 	Progress func(done, total int)
 	// Cache, when non-nil together with a non-empty SourceID, is the
-	// content-addressed artifact store consulted before the raw-trace
-	// decode: a hit loads the finest-rung stream from disk (the fold
-	// ladder is still derived in O(runs)) and the exploration performs
-	// zero decodes; a miss decodes once and publishes the stream for
-	// every later run. Corrupt entries are quarantined and re-decoded
-	// transparently.
+	// content-addressed artifact store consulted at two tiers. The
+	// result tier first: every pass's finished per-configuration
+	// results are probed before any stream work (see resultcache.go),
+	// and only the passes that miss are simulated — a fully-warm
+	// exploration performs zero simulations and zero decodes, and a
+	// partially-warm one runs only the delta, publishing each simulated
+	// pass on completion. Then the stream tier: when any pass
+	// simulates, a hit loads the finest-rung stream from disk (the fold
+	// ladder is still derived in O(runs)) instead of decoding the raw
+	// trace; a miss decodes once and publishes the stream for every
+	// later run. Corrupt entries in either tier are quarantined and
+	// re-simulated or re-decoded transparently.
 	Cache *store.Store
 	// SourceID is the content identity of the trace behind Source
 	// (store.FileID / store.AppID / store.TraceID) — the caller vouches
 	// that Source and SourceID describe the same bytes. "" disables the
 	// cache even when Cache is set.
 	SourceID string
+	// NoWarmCheck disables the sampled warm check: by default a run
+	// with any result-tier hits re-simulates one of them live and
+	// compares it configuration-for-configuration against the cached
+	// copy, dropping the entry and failing the run on divergence.
+	// Timing-pure warm benchmarks set this to measure pure cache-hit
+	// throughput.
+	NoWarmCheck bool
 }
 
 // Result holds the merged outcome of an exploration.
@@ -149,10 +162,19 @@ type Result struct {
 	// CacheHit reports that the finest-rung stream was loaded from the
 	// artifact store (or shared from a concurrent materialization)
 	// instead of decoded from the raw trace; Decodes is 0 in that case.
+	// A fully result-warm run builds no streams at all, so CacheHit is
+	// false there too — distinguish it by CellsSimulated == 0.
 	CacheHit bool
 	// CacheKey is the store key consulted for the finest-rung stream;
 	// "" when the run had no cache.
 	CacheKey string
+	// CellsSimulated and CellsCached split Passes by provenance: passes
+	// replayed by the engine this run versus passes served whole from
+	// the store's result tier. WarmVerified counts the cached passes
+	// additionally re-simulated live as the sampled warm check (inside
+	// CellsCached, not CellsSimulated — the reported rows are the
+	// cached ones, verified). Without a cache, CellsSimulated == Passes.
+	CellsSimulated, CellsCached, WarmVerified int
 }
 
 // Run executes the exploration.
@@ -195,6 +217,33 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 		}
 	}
 
+	// Result-tier probe (delta scheduling): with a cache and a source
+	// identity, every pass's finished results are looked up before any
+	// stream work. Only the passes that miss — plus one sampled warm
+	// pass re-run live as a cross-check — are simulated; when nothing
+	// needs an engine, the stream machinery below is skipped entirely.
+	warmBlobs := make([]*store.ResultBlob, len(passes))
+	passKeys := make([]string, len(passes))
+	checkIdx := -1
+	allWarm := false
+	if req.Cache != nil && req.SourceID != "" {
+		var warmIdx []int
+		var warmKeys []string
+		for i, ps := range passes {
+			passKeys[i] = passResultKey(req, name, ps.block, ps.assoc)
+			specKey := passResultSpec(req, ps.block, ps.assoc).CacheKey()
+			if rb, err := req.Cache.GetResult(ctx, passKeys[i], name, specKey); err == nil && passWarmOK(rb) {
+				warmBlobs[i] = rb
+				warmIdx = append(warmIdx, i)
+				warmKeys = append(warmKeys, passKeys[i])
+			}
+		}
+		if len(warmIdx) > 0 && !req.NoWarmCheck {
+			checkIdx = warmIdx[warmCheckPick(warmKeys)]
+		}
+		allWarm = len(warmIdx) == len(passes) && checkIdx < 0
+	}
+
 	// Build the per-block-size inputs: one raw-trace decode at the
 	// finest block size, every coarser size fold-derived from it
 	// (trace.FoldLadder — O(runs) per rung, bit-identical to a direct
@@ -226,7 +275,11 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 	if req.Cache != nil && req.SourceID != "" {
 		cacheKey = store.Key(req.SourceID, blocks[0], 0, req.Kinds)
 	}
-	if shardLog >= 0 {
+	switch {
+	case allWarm:
+		// Every pass is served from the result tier: no decode, no
+		// stream load, no fold ladder, no shard partition.
+	case shardLog >= 0:
 		passWorkers = 1
 		var ss *trace.ShardStream
 		var err error
@@ -263,7 +316,7 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 				return nil, fmt.Errorf("explore: sharding folded block-%d stream: %w", b, err)
 			}
 		}
-	} else {
+	default:
 		var base *trace.BlockStream
 		var err error
 		if cacheKey != "" {
@@ -298,50 +351,53 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 			StreamCompression: make(map[int]float64, len(streams)),
 		}
 	)
-	for b, bs := range streams {
-		res.StreamCompression[b] = bs.CompressionRatio()
-	}
-	res.Decodes = 1
-	res.Folds = len(blocks) - 1
 	res.CacheKey = cacheKey
-	if cacheHit {
-		res.CacheHit = true
-		res.Decodes = 0
-	}
-	if req.Kinds {
-		// Folding preserves per-kind weights exactly, so any rung
-		// reports the same totals; read them before passes release the
-		// streams.
-		res.KindTotals = streams[blocks[0]].KindTotals()
-	}
-	if shardLog >= 0 {
-		res.Shards = 1 << shardLog
+	if allWarm {
+		// No streams exist: the per-rung shapes and kind totals come out
+		// of the cached pass payloads (every pass of a rung recorded the
+		// same stream shape, and kind totals are trace-wide).
+		for i, ps := range passes {
+			if _, ok := res.StreamCompression[ps.block]; ok {
+				continue
+			}
+			sc := warmBlobs[i].Scalars
+			ratio := 0.0
+			if sc[1] > 0 {
+				ratio = float64(sc[0]) / float64(sc[1])
+			}
+			res.StreamCompression[ps.block] = ratio
+		}
+		if req.Kinds {
+			sc := warmBlobs[0].Scalars
+			res.KindTotals = [3]uint64{sc[2], sc[3], sc[4]}
+		}
+	} else {
+		for b, bs := range streams {
+			res.StreamCompression[b] = bs.CompressionRatio()
+		}
+		res.Decodes = 1
+		res.Folds = len(blocks) - 1
+		if cacheHit {
+			res.CacheHit = true
+			res.Decodes = 0
+		}
+		if req.Kinds {
+			// Folding preserves per-kind weights exactly, so any rung
+			// reports the same totals; read them before passes release the
+			// streams.
+			res.KindTotals = streams[blocks[0]].KindTotals()
+		}
+		if shardLog >= 0 {
+			res.Shards = 1 << shardLog
+		}
 	}
 	includeAssoc1 := req.Space.MinLogAssoc == 0
 
-	if err := pool.Run(ctx, passWorkers, len(passes), func(i int) error {
+	// merge folds one pass's results into the shared tables, tallies its
+	// provenance, and releases its rung's streams when it was the last
+	// pass over them.
+	merge := func(i int, results []engine.Result, simulated, verified bool) error {
 		ps := passes[i]
-		mu.Lock()
-		bs := streams[ps.block]
-		ss := shardStreams[ps.block]
-		mu.Unlock()
-		spec := engine.Spec{
-			MinLogSets: req.Space.MinLogSets,
-			MaxLogSets: req.Space.MaxLogSets,
-			Assoc:      ps.assoc,
-			BlockSize:  ps.block,
-			Policy:     req.Policy,
-			Workers:    workers,
-		}
-		// The exploration's single engine-dispatch site: build the
-		// requested engine and replay the shared stream, or its shard
-		// partition when one was ingested.
-		eng, err := engine.Run(ctx, name, spec, bs, ss)
-		if err != nil {
-			return fmt.Errorf("explore: pass B=%d A=%d: %w", ps.block, ps.assoc, err)
-		}
-		results := eng.Results()
-
 		mu.Lock()
 		defer mu.Unlock()
 		for _, r := range results {
@@ -357,6 +413,14 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 			res.Stats[r.Config] = r.Stats
 		}
 		res.Passes++
+		if simulated {
+			res.CellsSimulated++
+		} else {
+			res.CellsCached++
+			if verified {
+				res.WarmVerified++
+			}
+		}
 		done++
 		pending[ps.block]--
 		if pending[ps.block] == 0 {
@@ -369,6 +433,51 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 			req.Progress(done, len(passes))
 		}
 		return nil
+	}
+
+	if err := pool.Run(ctx, passWorkers, len(passes), func(i int) error {
+		ps := passes[i]
+		warm := warmBlobs[i]
+		if warm != nil && i != checkIdx {
+			// Served whole from the result tier: zero engine work.
+			return merge(i, passResults(warm), false, false)
+		}
+		mu.Lock()
+		bs := streams[ps.block]
+		ss := shardStreams[ps.block]
+		mu.Unlock()
+		spec := passResultSpec(req, ps.block, ps.assoc)
+		spec.Workers = workers
+		// The exploration's single engine-dispatch site: build the
+		// requested engine and replay the shared stream, or its shard
+		// partition when one was ingested.
+		eng, err := engine.Run(ctx, name, spec, bs, ss)
+		if err != nil {
+			return fmt.Errorf("explore: pass B=%d A=%d: %w", ps.block, ps.assoc, err)
+		}
+		results := eng.Results()
+		var kt [3]uint64
+		if req.Kinds {
+			kt = bs.KindTotals()
+		}
+		if warm != nil {
+			// The sampled warm check: the cached entry must match the
+			// live pass configuration for configuration.
+			if err := passDiverges(warm, results, bs.Accesses, uint64(bs.Len()), kt); err != nil {
+				req.Cache.DropResult(passKeys[i])
+				return fmt.Errorf("explore: result cache diverged from live re-simulation at pass B=%d A=%d (entry dropped): %w",
+					ps.block, ps.assoc, err)
+			}
+			return merge(i, passResults(warm), false, true)
+		}
+		if passKeys[i] != "" {
+			// Publish the finished pass; failures are non-fatal — the
+			// results are already in hand.
+			blob := passBlob(name, passResultSpec(req, ps.block, ps.assoc).CacheKey(),
+				passScalars(bs.Accesses, uint64(bs.Len()), kt), results)
+			req.Cache.PutResult(ctx, passKeys[i], blob)
+		}
+		return merge(i, results, true, false)
 	}); err != nil {
 		return nil, err
 	}

@@ -1,15 +1,23 @@
-// Package store is a content-addressed on-disk cache of materialized
-// block streams — the artifact layer that makes warm runs skip the
-// trace decode entirely.
+// Package store is a content-addressed on-disk cache of simulation
+// artifacts in two tiers — materialized block streams and completed
+// simulation results — the layers that make warm runs skip first the
+// trace decode and then the simulation itself.
 //
-// Each entry is one DBS1 blob (trace.BlockStream.WriteTo) named by the
-// hex SHA-256 of its derivation: the source trace's identity (the
-// SHA-256 of the file bytes, or a digest of an in-memory trace), the
-// block size, the shard log, the kinds flag, and the stream format
-// version. Equal keys therefore mean bit-identical streams, so a hit
-// can replace a decode without any further comparison; any change to
-// the inputs — or to the wire format — changes the key and the stale
-// entry simply stops being found.
+// The stream tier holds DBS1 blobs (trace.BlockStream.WriteTo), each
+// named by the hex SHA-256 of its derivation: the source trace's
+// identity (the SHA-256 of the file bytes, or a digest of an in-memory
+// trace), the block size, the shard log, the kinds flag, and the
+// stream format version (Key). The result tier holds DRS1 blobs
+// (result.go) — the per-configuration statistics of one finished pass
+// — each named by the hex SHA-256 over the stream key it replayed, the
+// engine name, the canonical spec serialization
+// (engine.Spec.CacheKey), and the result format version (ResultKey).
+// In both tiers equal keys mean bit-identical content, so a hit can
+// replace a decode or a simulation without any further comparison; any
+// change to the inputs — or to either wire format — changes the key
+// and the stale entry simply stops being found. A third, in-process
+// tier (Options.MemBytes) keeps recently decoded BlockStreams live so
+// repeated queries in one process skip even the DBS1 decode.
 //
 // The store is safe for concurrent use by multiple goroutines and, for
 // reads, by multiple processes: entries are published atomically by
@@ -17,11 +25,13 @@
 // place, so a reader never observes a half-written blob. Concurrent
 // identical materializations within one process are single-flighted —
 // one caller decodes, everyone else shares the result. Corrupt entries
-// (checksum mismatch, bad geometry) are detected on load, quarantined
-// by renaming to a .bad suffix, and reported with a typed error so
-// callers fall back to re-decoding; GC removes quarantined files and
-// enforces the size cap by least-recently-used eviction (recency is
-// the entry file's mtime, bumped on every hit).
+// (checksum mismatch, bad geometry, spec-echo mismatch) are detected
+// on load, quarantined by renaming to a .bad suffix, and reported with
+// a typed error so callers fall back to re-decoding or re-simulating;
+// GC removes quarantined files and enforces the size cap — one
+// MaxBytes budget shared by both on-disk tiers — by least-recently-
+// used eviction (recency is the entry file's mtime, bumped on every
+// hit).
 package store
 
 import (
@@ -78,26 +88,41 @@ func (e *CorruptEntryError) Unwrap() error { return e.Err }
 
 // Options configures a Store.
 type Options struct {
-	// MaxBytes caps the total size of live entries; publishing past the
-	// cap evicts least-recently-used entries until it holds. 0 means
-	// uncapped.
+	// MaxBytes caps the total size of live entries — stream and result
+	// blobs share the one budget; publishing past the cap evicts
+	// least-recently-used entries of either kind until it holds. 0
+	// means uncapped.
 	MaxBytes int64
+	// MemBytes enables the in-process tier: an LRU of decoded
+	// BlockStreams (estimated sizes) consulted by GetOrMaterialize
+	// before touching disk, so repeated queries in one process skip
+	// even the DBS1 decode. 0 disables the tier.
+	MemBytes int64
 }
 
 // Stats counts store traffic since Open.
 type Stats struct {
-	Hits        uint64 // entries served from disk (or a shared in-flight result)
-	Misses      uint64 // lookups that found no entry
-	Stores      uint64 // entries published
-	Evictions   uint64 // entries removed to satisfy the size cap
-	Quarantines uint64 // corrupt entries renamed aside
+	Hits         uint64 // stream entries served from disk (or a shared in-flight result)
+	Misses       uint64 // stream lookups that found no entry
+	Stores       uint64 // stream entries published
+	ResultHits   uint64 // result entries served from disk
+	ResultMisses uint64 // result lookups that found no entry
+	ResultStores uint64 // result entries published
+	MemHits      uint64 // streams served from the in-process tier (no disk read, no decode)
+	Evictions    uint64 // entries removed to satisfy the size cap
+	Quarantines  uint64 // corrupt entries renamed aside
 }
 
-// DiskStats describes what is on disk right now.
+// DiskStats describes what is on disk right now. Entries and Bytes are
+// totals across both kinds.
 type DiskStats struct {
-	Entries          int   // live entries
+	Entries          int   // live entries (streams + results)
 	Bytes            int64 // total size of live entries
-	Quarantined      int   // corrupt entries awaiting gc
+	StreamEntries    int   // live DBS1 stream entries
+	StreamBytes      int64
+	ResultEntries    int // live DRS1 result entries
+	ResultBytes      int64
+	Quarantined      int // corrupt entries awaiting gc
 	QuarantinedBytes int64
 	Temp             int // abandoned temp files awaiting gc
 }
@@ -107,8 +132,10 @@ type DiskStats struct {
 type Store struct {
 	dir      string
 	maxBytes int64
+	mem      *memLRU // nil when the in-process tier is disabled
 
-	hits, misses, stores, evictions, quarantines atomic.Uint64
+	hits, misses, stores, evictions, quarantines    atomic.Uint64
+	resultHits, resultMisses, resultStores, memHits atomic.Uint64
 
 	mu     sync.Mutex
 	flight map[string]*flight
@@ -128,7 +155,11 @@ func Open(dir string, opt Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir, maxBytes: opt.MaxBytes, flight: map[string]*flight{}}, nil
+	s := &Store{dir: dir, maxBytes: opt.MaxBytes, flight: map[string]*flight{}}
+	if opt.MemBytes > 0 {
+		s.mem = newMemLRU(opt.MemBytes)
+	}
+	return s, nil
 }
 
 // Dir returns the cache directory.
@@ -137,12 +168,25 @@ func (s *Store) Dir() string { return s.dir }
 // Stats returns a snapshot of the traffic counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Stores:      s.stores.Load(),
-		Evictions:   s.evictions.Load(),
-		Quarantines: s.quarantines.Load(),
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Stores:       s.stores.Load(),
+		ResultHits:   s.resultHits.Load(),
+		ResultMisses: s.resultMisses.Load(),
+		ResultStores: s.resultStores.Load(),
+		MemHits:      s.memHits.Load(),
+		Evictions:    s.evictions.Load(),
+		Quarantines:  s.quarantines.Load(),
 	}
+}
+
+// MemStats reports the in-process stream tier: live decoded streams
+// and their estimated size. Both are zero when the tier is disabled.
+func (s *Store) MemStats() (entries int, bytes int64) {
+	if s.mem == nil {
+		return 0, 0
+	}
+	return s.mem.stats()
 }
 
 // FileID returns the content identity of a trace file: "file:" plus
@@ -305,14 +349,27 @@ func (s *Store) Put(ctx context.Context, key string, bs *trace.BlockStream) erro
 	}
 	s.stores.Add(1)
 	if s.maxBytes > 0 {
-		s.enforceCap(key)
+		s.enforceCap(key + entrySuffix)
 	}
 	return nil
 }
 
-// enforceCap removes least-recently-used entries until the live total
-// fits the cap. The just-published entry is never evicted (a single
-// oversized entry stays until something newer displaces it).
+// liveSuffix classifies a directory entry name: the entry suffix of a
+// live blob (stream or result), or "" for anything else.
+func liveSuffix(name string) string {
+	switch filepath.Ext(name) {
+	case entrySuffix:
+		return entrySuffix
+	case resultSuffix:
+		return resultSuffix
+	}
+	return ""
+}
+
+// enforceCap removes least-recently-used entries — stream and result
+// blobs under the one budget — until the live total fits the cap. The
+// just-published entry (keep is its file name) is never evicted (a
+// single oversized entry stays until something newer displaces it).
 func (s *Store) enforceCap(keep string) {
 	type ent struct {
 		path  string
@@ -327,9 +384,9 @@ func (s *Store) enforceCap(keep string) {
 	if err != nil {
 		return
 	}
-	keepPath := s.entryPath(keep)
+	keepPath := filepath.Join(s.dir, keep)
 	for _, de := range dirents {
-		if filepath.Ext(de.Name()) != entrySuffix {
+		if liveSuffix(de.Name()) == "" {
 			continue
 		}
 		info, err := de.Info()
@@ -356,16 +413,22 @@ func (s *Store) enforceCap(keep string) {
 
 // GetOrMaterialize returns the stream for key, materializing it with
 // fn on a miss and publishing the result. hit reports whether this
-// call avoided the decode: the entry was loaded from disk, or a
-// concurrent identical call materialized it and the result was shared
-// (single-flight). A corrupt entry is quarantined and transparently
-// re-materialized. A loaded stream is validated against the expected
-// geometry (blockSize, kinds) — a mismatch means the key derivation
-// and the entry disagree, and is treated as corruption.
+// call avoided the decode: the entry was live in the in-process tier,
+// loaded from disk, or a concurrent identical call materialized it and
+// the result was shared (single-flight). A corrupt entry is
+// quarantined and transparently re-materialized. A loaded stream is
+// validated against the expected geometry (blockSize, kinds) — a
+// mismatch means the key derivation and the entry disagree, and is
+// treated as corruption. Returned streams may be shared with other
+// callers and must be treated as read-only (they already are
+// everywhere: every replay path consumes streams immutably).
 func (s *Store) GetOrMaterialize(ctx context.Context, key string, blockSize int, kinds bool, fn func(context.Context) (*trace.BlockStream, error)) (bs *trace.BlockStream, hit bool, err error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
+		}
+		if bs := s.memGet(key, blockSize, kinds); bs != nil {
+			return bs, true, nil
 		}
 		s.mu.Lock()
 		if f := s.flight[key]; f != nil {
@@ -407,6 +470,7 @@ func (s *Store) lead(ctx context.Context, key string, blockSize int, kinds bool,
 				Err: fmt.Errorf("geometry mismatch: entry is block %d kinds %v, key derives block %d kinds %v",
 					bs.BlockSize, bs.HasKinds(), blockSize, kinds)}
 		} else {
+			s.memPut(key, bs)
 			return bs, true, nil
 		}
 	}
@@ -421,7 +485,28 @@ func (s *Store) lead(ctx context.Context, key string, blockSize int, kinds bool,
 	if err := s.Put(ctx, key, bs); err != nil {
 		return nil, false, err
 	}
+	s.memPut(key, bs)
 	return bs, false, nil
+}
+
+// memGet consults the in-process tier; the geometry is re-validated so
+// a key collision can never hand back the wrong stream shape.
+func (s *Store) memGet(key string, blockSize int, kinds bool) *trace.BlockStream {
+	if s.mem == nil {
+		return nil
+	}
+	bs := s.mem.get(key)
+	if bs == nil || bs.BlockSize != blockSize || bs.HasKinds() != kinds {
+		return nil
+	}
+	s.memHits.Add(1)
+	return bs
+}
+
+func (s *Store) memPut(key string, bs *trace.BlockStream) {
+	if s.mem != nil {
+		s.mem.put(key, bs)
+	}
 }
 
 // DiskStats scans the cache directory.
@@ -440,6 +525,13 @@ func (s *Store) DiskStats() (DiskStats, error) {
 		case filepath.Ext(de.Name()) == entrySuffix:
 			ds.Entries++
 			ds.Bytes += info.Size()
+			ds.StreamEntries++
+			ds.StreamBytes += info.Size()
+		case filepath.Ext(de.Name()) == resultSuffix:
+			ds.Entries++
+			ds.Bytes += info.Size()
+			ds.ResultEntries++
+			ds.ResultBytes += info.Size()
 		case filepath.Ext(de.Name()) == quarantineSuffix:
 			ds.Quarantined++
 			ds.QuarantinedBytes += info.Size()
@@ -480,7 +572,7 @@ func (s *Store) GC(maxBytes int64) (removed int, reclaimed int64, err error) {
 				removed++
 				reclaimed += info.Size()
 			}
-		case filepath.Ext(de.Name()) == entrySuffix:
+		case liveSuffix(de.Name()) != "":
 			live = append(live, ent{p, info.Size(), info.ModTime()})
 			total += info.Size()
 		}
@@ -513,7 +605,7 @@ func (s *Store) Clear() (removed int, reclaimed int64, err error) {
 	}
 	for _, de := range dirents {
 		name := de.Name()
-		isEntry := filepath.Ext(name) == entrySuffix || filepath.Ext(name) == quarantineSuffix ||
+		isEntry := liveSuffix(name) != "" || filepath.Ext(name) == quarantineSuffix ||
 			(len(name) >= len(tmpPrefix) && name[:len(tmpPrefix)] == tmpPrefix)
 		if !isEntry {
 			continue

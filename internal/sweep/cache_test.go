@@ -3,6 +3,8 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -22,10 +24,9 @@ func cacheTestTrace(n int) trace.Trace {
 	return tr
 }
 
-// TestRunCellTraceCacheWarm: the second identical cell loads its
-// stream from the store — provenance says so, and every verified
-// result is bit-identical (the cross-check against the per-access
-// replay still runs on the warm cell, so this is a full proof).
+// TestRunCellTraceCacheWarm: the second identical cell is served whole
+// from the result tier — zero stream work, zero simulations — with
+// bit-identical verified results.
 func TestRunCellTraceCacheWarm(t *testing.T) {
 	st, err := store.Open(t.TempDir(), store.Options{})
 	if err != nil {
@@ -42,22 +43,25 @@ func TestRunCellTraceCacheWarm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cold.CacheHit {
-		t.Fatal("cold cell reported a cache hit")
+	if cold.CacheHit || cold.ResultCacheHit {
+		t.Fatalf("cold cell reported a cache hit: stream=%v result=%v", cold.CacheHit, cold.ResultCacheHit)
 	}
-	if cold.CacheKey == "" {
-		t.Fatal("cold cell has no cache key")
+	if cold.CacheKey == "" || cold.ResultCacheKey == "" {
+		t.Fatalf("cold cell missing cache keys: stream=%q result=%q", cold.CacheKey, cold.ResultCacheKey)
 	}
 
 	warm, err := r.RunCellTrace(context.Background(), p, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !warm.CacheHit {
-		t.Fatal("warm cell missed the cache")
+	if !warm.ResultCacheHit {
+		t.Fatal("warm cell missed the result cache")
 	}
-	if warm.CacheKey != cold.CacheKey {
-		t.Fatal("cache key changed between identical cells")
+	if warm.CacheHit {
+		t.Fatal("result-warm cell reported stream work")
+	}
+	if warm.ResultCacheKey != cold.ResultCacheKey {
+		t.Fatal("result cache key changed between identical cells")
 	}
 	if !reflect.DeepEqual(warm.Results, cold.Results) {
 		t.Fatal("warm results differ from cold")
@@ -65,19 +69,23 @@ func TestRunCellTraceCacheWarm(t *testing.T) {
 	if warm.Verified != cold.Verified || warm.Verified == 0 {
 		t.Fatalf("warm verified %d configs, cold %d", warm.Verified, cold.Verified)
 	}
+	if warm.Counters != cold.Counters {
+		t.Fatalf("warm counters differ: %+v vs %+v", warm.Counters, cold.Counters)
+	}
 	hitLogged := false
 	for _, l := range logged {
-		if strings.Contains(l, "cache-hit") {
+		if strings.Contains(l, "result-cache-hit") {
 			hitLogged = true
 		}
 	}
 	if !hitLogged {
-		t.Fatal("cache hit not reported in progress output")
+		t.Fatal("result cache hit not reported in progress output")
 	}
 }
 
 // TestRunWriteCellTraceCacheWarm is the same contract for the
-// kind-preserving write-policy cells.
+// kind-preserving write-policy cells: the warm cell carries the full
+// reference statistics and memory traffic out of the result tier.
 func TestRunWriteCellTraceCacheWarm(t *testing.T) {
 	st, err := store.Open(t.TempDir(), store.Options{})
 	if err != nil {
@@ -93,15 +101,18 @@ func TestRunWriteCellTraceCacheWarm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cold.CacheHit || cold.CacheKey == "" {
-		t.Fatalf("cold write cell: hit=%v key=%q", cold.CacheHit, cold.CacheKey)
+	if cold.CacheHit || cold.ResultCacheHit {
+		t.Fatalf("cold write cell reported a hit: stream=%v result=%v", cold.CacheHit, cold.ResultCacheHit)
+	}
+	if cold.CacheKey == "" || cold.ResultCacheKey == "" {
+		t.Fatalf("cold write cell missing cache keys: stream=%q result=%q", cold.CacheKey, cold.ResultCacheKey)
 	}
 	warm, err := r.RunWriteCellTrace(context.Background(), p, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !warm.CacheHit {
-		t.Fatal("warm write cell missed the cache")
+	if !warm.ResultCacheHit {
+		t.Fatal("warm write cell missed the result cache")
 	}
 	if !reflect.DeepEqual(warm.Results, cold.Results) {
 		t.Fatal("warm write results differ from cold")
@@ -109,11 +120,14 @@ func TestRunWriteCellTraceCacheWarm(t *testing.T) {
 	if warm.StreamRuns != cold.StreamRuns {
 		t.Fatalf("stream shape changed: %d vs %d runs", warm.StreamRuns, cold.StreamRuns)
 	}
+	if warm.Verified != cold.Verified || warm.Verified == 0 {
+		t.Fatalf("warm verified %d configs, cold %d", warm.Verified, cold.Verified)
+	}
 }
 
-// TestRunWriteCellKeySeparation: the write cells' kind-preserving
-// stream must not collide with a kind-free miss-rate cell of the same
-// trace and block size.
+// TestRunWriteCellKeySeparation: neither the stream tier nor the
+// result tier may collide between a kind-free miss-rate cell and a
+// kind-preserving write cell of the same trace and block size.
 func TestRunWriteCellKeySeparation(t *testing.T) {
 	st, err := store.Open(t.TempDir(), store.Options{})
 	if err != nil {
@@ -133,17 +147,21 @@ func TestRunWriteCellKeySeparation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if writeCell.CacheHit {
-		t.Fatal("kind-preserving cell hit the kind-free entry")
+	if writeCell.CacheHit || writeCell.ResultCacheHit {
+		t.Fatal("kind-preserving cell hit a kind-free entry")
 	}
 	if plainCell.CacheKey == writeCell.CacheKey {
-		t.Fatal("kind axis is not part of the cell cache key")
+		t.Fatal("kind axis is not part of the stream cache key")
+	}
+	if plainCell.ResultCacheKey == writeCell.ResultCacheKey {
+		t.Fatal("cell kind is not part of the result cache key")
 	}
 }
 
 // TestRunCellsCacheWarm runs a small cell matrix twice against one
-// store: the warm pass must report hits on every cell whose stream was
-// materialized (finest rung per trace) and produce identical results.
+// store: the warm pass must serve every cell from the result tier —
+// zero simulations, one sampled live re-verification — with identical
+// results.
 func TestRunCellsCacheWarm(t *testing.T) {
 	st, err := store.Open(t.TempDir(), store.Options{})
 	if err != nil {
@@ -159,23 +177,177 @@ func TestRunCellsCacheWarm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, c := range cold {
-		if c.CacheHit {
-			t.Fatalf("cold cell %d reported a cache hit", i)
-		}
+	if sim, cached, _ := Provenance(cold); sim != len(params) || cached != 0 {
+		t.Fatalf("cold provenance: %d simulated, %d cached", sim, cached)
 	}
 	warm, err := r.RunCells(context.Background(), params)
 	if err != nil {
 		t.Fatal(err)
 	}
+	sim, cached, verified := Provenance(warm)
+	if sim != 0 || cached != len(params) || verified != 1 {
+		t.Fatalf("warm provenance: %d simulated, %d cached, %d verified; want 0/%d/1",
+			sim, cached, verified, len(params))
+	}
 	for i := range warm {
-		// Finest-rung cells load from the store; coarser rungs fold
-		// from the loaded stream and inherit its provenance.
-		if !warm[i].CacheHit {
-			t.Fatalf("warm cell %d (%s) missed the cache", i, warm[i].Params)
+		if !warm[i].ResultCacheHit {
+			t.Fatalf("warm cell %d (%s) missed the result cache", i, warm[i].Params)
 		}
 		if !reflect.DeepEqual(warm[i].Results, cold[i].Results) {
 			t.Fatalf("warm cell %d results differ from cold", i)
 		}
+	}
+}
+
+// TestRunCellsDelta: extending a previously swept matrix simulates
+// only the new cell; the overlapping cells are served from the result
+// tier (one of them re-verified live by the sampled warm check).
+func TestRunCellsDelta(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []Params{
+		{App: workload.CJPEG, Seed: 1, Requests: 4000, BlockSize: 8, Assoc: 2, MaxLogSets: 3},
+		{App: workload.CJPEG, Seed: 1, Requests: 4000, BlockSize: 16, Assoc: 2, MaxLogSets: 3},
+	}
+	r := Runner{Cache: st}
+	cold, err := r.RunCells(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extended := append(append([]Params{}, base...),
+		Params{App: workload.DJPEG, Seed: 1, Requests: 4000, BlockSize: 8, Assoc: 2, MaxLogSets: 3})
+	delta, err := r.RunCells(context.Background(), extended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, cached, verified := Provenance(delta)
+	if sim != 1 || cached != len(base) || verified != 1 {
+		t.Fatalf("delta provenance: %d simulated, %d cached, %d verified; want 1/%d/1",
+			sim, cached, verified, len(base))
+	}
+	if delta[2].ResultCacheHit {
+		t.Fatal("the new cell reported a result cache hit")
+	}
+	for i := range base {
+		if !reflect.DeepEqual(delta[i].Results, cold[i].Results) {
+			t.Fatalf("overlapping cell %d results differ from the original run", i)
+		}
+	}
+}
+
+// TestRunCellsNoWarmCheck: with the sampled warm check disabled, a
+// fully-warm batch performs zero simulations of any kind.
+func TestRunCellsNoWarmCheck(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []Params{
+		{App: workload.CJPEG, Seed: 1, Requests: 4000, BlockSize: 8, Assoc: 2, MaxLogSets: 3},
+		{App: workload.DJPEG, Seed: 1, Requests: 4000, BlockSize: 8, Assoc: 2, MaxLogSets: 3},
+	}
+	r := Runner{Cache: st, NoWarmCheck: true}
+	if _, err := r.RunCells(context.Background(), params); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := r.RunCells(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, cached, verified := Provenance(warm)
+	if sim != 0 || cached != len(params) || verified != 0 {
+		t.Fatalf("provenance: %d simulated, %d cached, %d verified; want 0/%d/0",
+			sim, cached, verified, len(params))
+	}
+}
+
+// TestRunCellsWarmCheckDivergence: a tampered result entry is caught
+// by the sampled live re-simulation — the batch fails with the entry
+// dropped, and the next run re-simulates cleanly.
+func TestRunCellsWarmCheckDivergence(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []Params{{App: workload.CJPEG, Seed: 1, Requests: 4000, BlockSize: 8, Assoc: 2, MaxLogSets: 3}}
+	r := Runner{Cache: st}
+	cold, err := r.RunCells(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Republish the cell with a falsified property counter.
+	tampered := cold[0]
+	tampered.Counters.Searches += 7
+	r.publishCell(context.Background(), cold[0].ResultCacheKey, tampered)
+
+	if _, err := r.RunCells(context.Background(), params); err == nil {
+		t.Fatal("tampered result entry survived the warm check")
+	} else if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("unexpected warm-check error: %v", err)
+	}
+
+	// The divergent entry was dropped: the rerun simulates and heals.
+	healed, err := r.RunCells(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim, _, _ := Provenance(healed); sim != 1 {
+		t.Fatalf("rerun after divergence simulated %d cells, want 1", sim)
+	}
+	if !reflect.DeepEqual(healed[0].Results, cold[0].Results) {
+		t.Fatal("healed results differ from the original simulation")
+	}
+}
+
+// TestRunCellCorruptResultFallback: a bit-flipped .drs entry reads as
+// a miss — the cell re-simulates transparently and republishes, and
+// the corrupt file is quarantined out of the key's path.
+func TestRunCellCorruptResultFallback(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cacheTestTrace(6000)
+	p := Params{App: workload.CJPEG, BlockSize: 8, Assoc: 2, MaxLogSets: 3}
+	r := Runner{Cache: st}
+	cold, err := r.RunCellTrace(context.Background(), p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, cold.ResultCacheKey+".drs")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x40
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := r.RunCellTrace(context.Background(), p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.ResultCacheHit {
+		t.Fatal("corrupt result entry served as a hit")
+	}
+	if !reflect.DeepEqual(warm.Results, cold.Results) {
+		t.Fatal("re-simulated results differ from the original")
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	// The re-simulation republished: a third run hits.
+	again, err := r.RunCellTrace(context.Background(), p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.ResultCacheHit {
+		t.Fatal("republished result entry missed")
 	}
 }

@@ -32,6 +32,19 @@
 // making every cell an exactness check of the stream fast path before
 // the reference comparison even starts.
 //
+// # Result caching and delta scheduling
+//
+// With Runner.Cache configured, finished cells are content-addressed
+// artifacts too (the store's DRS1 result tier, resultcache.go): each
+// cell's key folds the trace identity, the cell axes and the shard
+// setting, and RunCells probes it before any stream work — warm cells
+// are served whole (statistics, counters and the recorded wall times
+// of the run that published them), and only the missing cells build
+// streams and simulate. One sampled warm cell per batch is re-simulated
+// live and compared field-for-field against its cached copy, so cached
+// results stay trustworthy without forfeiting the zero-simulation warm
+// path.
+//
 // # Parallelism
 //
 // Runner.Workers bounds a worker pool. RunCell spreads the independent
@@ -173,6 +186,19 @@ type Cell struct {
 	CacheHit bool
 	CacheKey string
 
+	// ResultCacheHit records that the whole finished cell — results,
+	// counters and recorded wall times — was served from the runner's
+	// result tier without materializing a stream or simulating
+	// anything; ResultCacheKey is the result-store key consulted (""
+	// without a cache; set on simulated cells too, naming the entry the
+	// cell was published under). WarmVerified marks a batch's sampled
+	// warm cell: RunCells additionally re-simulated it live and
+	// compared every scheduling-independent field against the cached
+	// copy, so cached results stay trustworthy (see Runner.NoWarmCheck).
+	ResultCacheHit bool
+	ResultCacheKey string
+	WarmVerified   bool
+
 	// DEWTime is the wall time of the single DEW pass; RefTime is the
 	// summed wall time of the per-configuration reference passes. Both
 	// replay the shared materialized stream.
@@ -295,15 +321,29 @@ type Runner struct {
 	Shards int
 
 	// Cache, when non-nil, is the content-addressed artifact store
-	// consulted before every stream materialization (keyed by
-	// store.TraceID — a digest of the in-memory trace's content — plus
-	// the block size and kinds flag): a hit loads the stream from disk,
-	// a miss materializes once and publishes it for every later run.
-	// Only the raw-trace decode is skipped on a hit — the instrumented
-	// cross-check pass still replays the raw trace, so a warm cell
-	// remains a full exactness proof. Cell.CacheHit/CacheKey record the
-	// provenance.
+	// consulted at two tiers. The result tier first: each cell's key
+	// (store.TraceID plus the cell axes and the runner's shard setting;
+	// see resultcache.go) is probed before any stream work, and a hit
+	// serves the whole finished cell — zero materializations, zero
+	// simulations — while a miss simulates and publishes the cell on
+	// completion. Then the stream tier: a simulating cell's stream
+	// materialization (keyed by store.TraceID plus the block size and
+	// kinds flag) loads from disk on a hit and publishes on a miss.
+	// Only the raw-trace decode is skipped on a stream hit — the
+	// instrumented cross-check pass still replays the raw trace, so a
+	// stream-warm cell remains a full exactness proof; a result-warm
+	// cell's trustworthiness rests on the sampled live re-check (see
+	// NoWarmCheck). Cell.CacheHit/CacheKey and
+	// Cell.ResultCacheHit/ResultCacheKey record the provenance.
 	Cache *store.Store
+
+	// NoWarmCheck disables the sampled warm check: by default RunCells
+	// re-simulates one result-cache hit per batch live and compares it
+	// field-for-field against the cached copy, dropping the entry and
+	// failing the batch on divergence. Timing-pure warm benchmarks set
+	// this to measure cache-hit throughput without one cell's
+	// simulation cost.
+	NoWarmCheck bool
 }
 
 // streamProv carries a stream's provenance (fold-derived? loaded from
@@ -377,15 +417,32 @@ func (r Runner) RunCell(ctx context.Context, p Params) (Cell, error) {
 }
 
 // RunCellTrace is RunCell over an explicit in-memory trace (used by
-// tests and by trace-file driven tools). The block stream is
-// materialized here; callers holding a pre-materialized stream for this
-// trace and block size can pass it through RunCellStream.
+// tests and by trace-file driven tools). With a cache configured the
+// result tier is probed first — a hit serves the finished cell without
+// materializing a stream or simulating anything — and a simulated cell
+// is published on completion. The block stream is materialized here;
+// callers holding a pre-materialized stream for this trace and block
+// size can pass it through RunCellStream.
 func (r Runner) RunCellTrace(ctx context.Context, p Params, tr trace.Trace) (Cell, error) {
+	key := ""
+	if r.Cache != nil {
+		key = r.cellResultKey(store.TraceID(tr), p)
+		if cell, ok := r.loadCell(ctx, key, p); ok {
+			r.logf("%s: result-cache-hit (%d configs, %d requests, 0 simulations)",
+				p, cell.Verified, cell.Requests)
+			return cell, nil
+		}
+	}
 	bs, prov, err := r.materializeStream(ctx, tr, p.BlockSize, false)
 	if err != nil {
 		return Cell{Params: p}, err
 	}
-	return r.runCellStream(ctx, p, tr, bs, nil, prov)
+	cell, err := r.runCellStream(ctx, p, tr, bs, nil, prov)
+	if err == nil && key != "" {
+		cell.ResultCacheKey = key
+		r.publishCell(ctx, key, cell)
+	}
+	return cell, err
 }
 
 // RunCellStream runs one cell over a trace and its pre-materialized
@@ -649,16 +706,75 @@ func (r Runner) RunCells(ctx context.Context, params []Params) ([]Cell, error) {
 	for i, tk := range tKeys {
 		traces[tk] = trVals[i]
 	}
+
+	// Delta scheduling: with a cache configured, probe the result tier
+	// per cell before any stream work. Warm cells are served whole from
+	// their cached blobs; only the missing cells — plus one sampled
+	// warm cell, re-simulated live as a trust check — proceed through
+	// the ladder/shard/simulate machinery below. A partially-
+	// overlapping sweep therefore builds and replays only its delta,
+	// and a fully-warm sweep performs zero simulations.
+	cellKeys := make([]string, len(params))
+	warm := make([]*Cell, len(params))
+	needSim := make([]bool, len(params))
+	for i := range needSim {
+		needSim[i] = true
+	}
+	if r.Cache != nil {
+		traceIDs := make([]string, len(tKeys))
+		if err := pool.Run(ctx, r.workers(), len(tKeys), func(i int) error {
+			traceIDs[i] = store.TraceID(trVals[i])
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		idByKey := make(map[traceKey]string, len(tKeys))
+		for i, tk := range tKeys {
+			idByKey[tk] = traceIDs[i]
+		}
+		var warmIdx []int
+		var warmKeys []string
+		for i, p := range params {
+			key := r.cellResultKey(idByKey[traceKey{p.App.Name, p.Seed, p.requests()}], p)
+			cellKeys[i] = key
+			if cell, ok := r.loadCell(ctx, key, p); ok {
+				warm[i] = &cell
+				needSim[i] = false
+				warmIdx = append(warmIdx, i)
+				warmKeys = append(warmKeys, key)
+			}
+		}
+		if len(warmIdx) > 0 {
+			note := ""
+			if !r.NoWarmCheck {
+				checkIdx := warmIdx[warmCheckPick(warmKeys)]
+				needSim[checkIdx] = true
+				note = " (1 sampled for live re-verification)"
+			}
+			r.logf("result cache: %d/%d cells warm%s", len(warmIdx), len(params), note)
+		}
+	}
+
 	// One raw-trace decode per trace: group the distinct block sizes by
 	// trace, decode each trace once at its finest size, and fold the
 	// coarser rungs from it (trace.FoldLadder — bit-identical to direct
 	// materialization, O(runs) per rung instead of one O(accesses)
 	// decode per (trace, block size) key). The ladders build in
 	// parallel across traces; foldedBlock marks the rungs that were
-	// derived rather than decoded, for Cell.StreamFolded.
+	// derived rather than decoded, for Cell.StreamFolded. Only the
+	// (trace, block) pairs some simulating cell needs are built —
+	// result-warm cells never touch a stream.
 	blocksByTrace := make(map[traceKey][]int, len(tKeys))
-	for _, sk := range sKeys {
-		blocksByTrace[sk.tk] = append(blocksByTrace[sk.tk], sk.block)
+	seenB := map[streamKey]bool{}
+	for i, p := range params {
+		if !needSim[i] {
+			continue
+		}
+		sk := streamKey{traceKey{p.App.Name, p.Seed, p.requests()}, p.BlockSize}
+		if !seenB[sk] {
+			seenB[sk] = true
+			blocksByTrace[sk.tk] = append(blocksByTrace[sk.tk], sk.block)
+		}
 	}
 	// With a cache configured, each ladder base is looked up in the
 	// artifact store first — a warm batch folds its whole ladder from
@@ -667,6 +783,9 @@ func (r Runner) RunCells(ctx context.Context, params []Params) ([]Cell, error) {
 	ladderProv := make([]streamProv, len(tKeys))
 	if err := pool.Run(ctx, r.workers(), len(tKeys), func(i int) error {
 		blocks := blocksByTrace[tKeys[i]]
+		if len(blocks) == 0 {
+			return nil // every cell of this trace was result-warm
+		}
 		sort.Ints(blocks)
 		base, prov, err := r.materializeStream(ctx, traces[tKeys[i]], blocks[0], false)
 		if err != nil {
@@ -712,6 +831,9 @@ func (r Runner) RunCells(ctx context.Context, params []Params) ([]Cell, error) {
 		var shKeys []shardKey
 		seenSh := map[shardKey]bool{}
 		for i, p := range params {
+			if !needSim[i] {
+				continue
+			}
 			sk := streamKey{traceKey{p.App.Name, p.Seed, p.requests()}, p.BlockSize}
 			lk := levelKey{sk, p.MaxLogSets}
 			log, ok := levels[lk]
@@ -745,7 +867,12 @@ func (r Runner) RunCells(ctx context.Context, params []Params) ([]Cell, error) {
 	cellStream := make([]*trace.BlockStream, len(params))
 	cellShards := make([]*trace.ShardStream, len(params))
 	cellProv := make([]streamProv, len(params))
+	var simIdx []int
 	for i, p := range params {
+		if !needSim[i] {
+			continue
+		}
+		simIdx = append(simIdx, i)
 		tk := traceKey{p.App.Name, p.Seed, p.requests()}
 		cellTrace[i] = traces[tk]
 		cellStream[i] = streams[streamKey{tk, p.BlockSize}]
@@ -756,6 +883,14 @@ func (r Runner) RunCells(ctx context.Context, params []Params) ([]Cell, error) {
 	}
 
 	cells := make([]Cell, len(params))
+	// Result-warm cells are served whole; the sampled check cell (its
+	// warm slot is also in simIdx) is overwritten below after the live
+	// comparison.
+	for i := range params {
+		if warm[i] != nil {
+			cells[i] = *warm[i]
+		}
+	}
 
 	inner := r
 	inner.Workers = 1
@@ -768,15 +903,41 @@ func (r Runner) RunCells(ctx context.Context, params []Params) ([]Cell, error) {
 		}
 	}
 
-	err := pool.Run(ctx, r.workers(), len(params), func(i int) error {
-		var cellErr error
-		cells[i], cellErr = inner.runCellStream(ctx, params[i], cellTrace[i], cellStream[i], cellShards[i], cellProv[i])
+	err := pool.Run(ctx, r.workers(), len(simIdx), func(k int) error {
+		i := simIdx[k]
+		cell, cellErr := inner.runCellStream(ctx, params[i], cellTrace[i], cellStream[i], cellShards[i], cellProv[i])
 		// Release this cell's references: a shared trace or stream
 		// becomes collectable as soon as its last consuming cell
 		// finishes. (Materialization is still up-front, so the batch's
 		// full input set is live at the start and memory falls as cells
 		// complete.)
 		cellTrace[i], cellStream[i], cellShards[i] = nil, nil, nil
+		if cellErr != nil {
+			return cellErr
+		}
+		cell.ResultCacheKey = cellKeys[i]
+		if warm[i] != nil {
+			// The sampled warm check: the live re-simulation must agree
+			// with the cached cell on every scheduling-independent
+			// field. The returned cell stays the cached one — flagged
+			// verified — so warm tables remain byte-identical; on
+			// divergence the entry is dropped and the batch fails, as a
+			// cache contradicting a live simulation falsifies every
+			// other warm cell.
+			if err := warmCellDiverges(*warm[i], cell); err != nil {
+				r.Cache.DropResult(cellKeys[i])
+				return fmt.Errorf("sweep: result cache diverged from live re-simulation at %v (entry dropped): %w",
+					params[i], err)
+			}
+			checked := *warm[i]
+			checked.WarmVerified = true
+			cells[i] = checked
+			return nil
+		}
+		if cellKeys[i] != "" {
+			inner.publishCell(ctx, cellKeys[i], cell)
+		}
+		cells[i] = cell
 		return cellErr
 	})
 	return cells, err

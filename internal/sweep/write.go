@@ -24,6 +24,7 @@ import (
 	"dew/internal/engine"
 	"dew/internal/pool"
 	"dew/internal/refsim"
+	"dew/internal/store"
 	"dew/internal/trace"
 	"dew/internal/workload"
 )
@@ -82,6 +83,15 @@ type WriteCell struct {
 	// per-access cross-check still replays the raw trace.
 	CacheHit bool
 	CacheKey string
+	// ResultCacheHit records that the whole finished cell — verified
+	// results, traffic, recorded wall times — was served from the
+	// store's result tier with zero simulations; ResultCacheKey is the
+	// result key consulted ("" without a cache). Write cells carry no
+	// per-batch warm check of their own — batches that want one run
+	// their miss-rate cells through RunCells, whose sampled live
+	// re-verification covers the shared cache machinery.
+	ResultCacheHit bool
+	ResultCacheKey string
 
 	// StreamTime is the summed wall time of the per-configuration
 	// kind-stream replays; AccessTime the summed wall time of the
@@ -143,6 +153,15 @@ func (r Runner) RunWriteCell(ctx context.Context, p WriteParams) (WriteCell, err
 // bit-for-bit like the stream pass.
 func (r Runner) RunWriteCellTrace(ctx context.Context, p WriteParams, tr trace.Trace) (WriteCell, error) {
 	cell := WriteCell{WriteParams: p, Requests: uint64(len(tr))}
+	key := ""
+	if r.Cache != nil {
+		key = r.writeCellResultKey(store.TraceID(tr), p)
+		if warm, ok := r.loadWriteCell(ctx, key, p); ok {
+			r.logf("%s: result-cache-hit (%d configs, %d requests, 0 simulations)",
+				p, warm.Verified, warm.Requests)
+			return warm, nil
+		}
+	}
 	bs, prov, err := r.materializeStream(ctx, tr, p.BlockSize, true)
 	if err != nil {
 		return cell, err
@@ -268,6 +287,10 @@ func (r Runner) RunWriteCellTrace(ctx context.Context, p WriteParams, tr trace.T
 			cell.Parallel++
 		}
 		cell.Verified++
+	}
+	if key != "" {
+		cell.ResultCacheKey = key
+		r.publishWriteCell(ctx, key, cell)
 	}
 	cacheNote := ""
 	if cell.CacheHit {

@@ -209,6 +209,96 @@ func (d *colDecoder) readStreamColumns(s *BlockStream, kinds bool) error {
 	return nil
 }
 
+// ColWriter exposes the shared column codec to sibling on-disk formats
+// maintained outside this package — the store's DRS1 result blobs are
+// written with it — so every artifact format shares one chunked-flush
+// uvarint writer with a running CRC-32 and one allocation-hardened
+// decoder on the way back. The writer requires a non-nil destination:
+// the CRC only accumulates on flush, so callers that need the sum in
+// memory write into a bytes.Buffer.
+type ColWriter struct {
+	cw *colWriter
+}
+
+// NewColWriter wraps w in the shared column writer. Errors are sticky
+// and surfaced by Finish.
+func NewColWriter(w io.Writer) ColWriter {
+	return ColWriter{cw: newColWriter(w)}
+}
+
+// Bytes appends raw bytes.
+func (c ColWriter) Bytes(p []byte) { c.cw.bytes(p) }
+
+// Byte appends a single byte.
+func (c ColWriter) Byte(b byte) { c.cw.byteVal(b) }
+
+// Uvarint appends an unsigned varint.
+func (c ColWriter) Uvarint(v uint64) { c.cw.uvarint(v) }
+
+// String appends a uvarint length prefix followed by the raw bytes.
+func (c ColWriter) String(s string) {
+	c.cw.uvarint(uint64(len(s)))
+	c.cw.bytes([]byte(s))
+}
+
+// Sum32 flushes everything written so far and returns its CRC-32
+// (IEEE). Bytes appended afterwards — the checksum trailer itself —
+// are written but not folded into the sum.
+func (c ColWriter) Sum32() uint32 { return c.cw.sum32() }
+
+// Finish flushes pending bytes and returns the total byte count plus
+// the sticky error.
+func (c ColWriter) Finish() (int64, error) { return c.cw.finish() }
+
+// ColDecoder is the exported face of the shared column decoder: every
+// read is bounds-checked and failures carry the format name and byte
+// offset (CorruptError / TruncatedError), so sibling formats inherit
+// the same hardening as DBS1/DCP1.
+type ColDecoder struct {
+	d colDecoder
+}
+
+// NewColDecoder decodes the shared wire format from b; format names
+// the container (e.g. "DRS1") in decode errors.
+func NewColDecoder(b []byte, format string) *ColDecoder {
+	return &ColDecoder{d: colDecoder{b: b, format: format}}
+}
+
+// Uvarint reads one unsigned varint; what names the field in errors.
+func (c *ColDecoder) Uvarint(what string) (uint64, error) { return c.d.uvarint(what) }
+
+// Byte reads one byte.
+func (c *ColDecoder) Byte(what string) (byte, error) { return c.d.byteVal(what) }
+
+// String reads a uvarint length prefix and that many bytes. The length
+// is bounded by max and by the remaining input before allocating, so a
+// corrupt prefix fails cleanly.
+func (c *ColDecoder) String(what string, max int) (string, error) {
+	n, err := c.d.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(max) || n > uint64(len(c.d.b)-c.d.off) {
+		return "", &CorruptError{Format: c.d.format, Offset: int64(c.d.off),
+			Msg: fmt.Sprintf("%s length %d exceeds bound", what, n)}
+	}
+	s := string(c.d.b[c.d.off : c.d.off+int(n)])
+	c.d.off += int(n)
+	return s, nil
+}
+
+// Offset is the current decode position, for error reporting.
+func (c *ColDecoder) Offset() int64 { return int64(c.d.off) }
+
+// Remaining is the number of undecoded bytes.
+func (c *ColDecoder) Remaining() int { return len(c.d.b) - c.d.off }
+
+// Corruptf builds a CorruptError at the current offset — for callers
+// that validate semantic invariants the raw reads cannot see.
+func (c *ColDecoder) Corruptf(format string, args ...any) error {
+	return &CorruptError{Format: c.d.format, Offset: int64(c.d.off), Msg: fmt.Sprintf(format, args...)}
+}
+
 func (d *colDecoder) readKindRun(kr *KindRun) error {
 	for wi := range kr.W {
 		w, err := d.uvarint("kind weight")

@@ -8,8 +8,11 @@
 // the stream's measured per-workload run-compression ratios, the
 // write-policy replay's stream-over-per-access speedup and the kind
 // channel's per-access memory cost (BenchmarkRefStreamWrite vs
-// BenchmarkRefAccessWrite), the host's core count (num_cpu — context
-// for the parallel curves), and —
+// BenchmarkRefAccessWrite), the result tier's warm-sweep speedup and
+// cell-serve throughput (BenchmarkSweepWarm vs BenchmarkSweepCold,
+// recorded as speedup_sweep_warm_over_cold and
+// result_cache_hit_cells_per_s), the host's core count (num_cpu —
+// context for the parallel curves), and —
 // when a seed baseline file is given — speedups against the seed
 // commit's single-access path. With -prev pointing at the previous
 // BENCH_core.json, that recording is compacted into the new file's
@@ -42,6 +45,7 @@ type run struct {
 	NsPerAccess float64 `json:"ns_per_access,omitempty"`
 	AddrPerRun  float64 `json:"addr_per_run,omitempty"`
 	BlocksPerS  float64 `json:"blocks_per_s,omitempty"`
+	CellsPerS   float64 `json:"cells_per_s,omitempty"`
 	// FoldAddrPerRun holds BenchmarkFoldLadder's per-rung compression
 	// ratios, keyed "B8", "B16", ... (from addr/run/B<size> metrics).
 	FoldAddrPerRun map[string]float64 `json:"fold_addr_per_run,omitempty"`
@@ -58,6 +62,7 @@ type series struct {
 	NsPerAccessFastest float64            `json:"ns_per_access_fastest,omitempty"`
 	AddrPerRunMean     float64            `json:"addr_per_run_mean,omitempty"`
 	BlocksPerSFastest  float64            `json:"blocks_per_s_fastest,omitempty"`
+	CellsPerSFastest   float64            `json:"cells_per_s_fastest,omitempty"`
 	FoldAddrPerRun     map[string]float64 `json:"fold_addr_per_run,omitempty"`
 	KindBPerAccess     float64            `json:"kind_b_per_access,omitempty"`
 }
@@ -87,6 +92,8 @@ type historyEntry struct {
 	KindChannelBPerAccess    map[string]float64            `json:"kind_channel_bytes_per_access,omitempty"`
 	SpeedupWarmOverCold      map[string]float64            `json:"speedup_warm_over_cold,omitempty"`
 	CacheLoadBlocksPerS      map[string]float64            `json:"cache_load_blocks_per_s,omitempty"`
+	SpeedupSweepWarmOverCold map[string]float64            `json:"speedup_sweep_warm_over_cold,omitempty"`
+	ResultCacheHitCellsPerS  map[string]float64            `json:"result_cache_hit_cells_per_s,omitempty"`
 	SpeedupVsSeed            map[string]float64            `json:"speedup_vs_seed,omitempty"`
 }
 
@@ -159,6 +166,16 @@ type output struct {
 	// workload (stream entries decoded per second, fastest sample of
 	// BenchmarkStreamLoad) — the warm path's raw read speed.
 	CacheLoadBlocksPerS map[string]float64 `json:"cache_load_blocks_per_s,omitempty"`
+	// SpeedupSweepWarmOverCold is, per workload,
+	// ns_per_access(SweepCold)/ns_per_access(SweepWarm): how much faster
+	// a comparison sweep served entirely from the result tier of the
+	// artifact store runs than one that simulates every cell, both
+	// measured in this tree over the same cell grid.
+	SpeedupSweepWarmOverCold map[string]float64 `json:"speedup_sweep_warm_over_cold,omitempty"`
+	// ResultCacheHitCellsPerS is the result tier's warm-serve throughput
+	// per workload (finished sweep cells loaded per second, fastest
+	// sample of BenchmarkSweepWarm).
+	ResultCacheHitCellsPerS map[string]float64 `json:"result_cache_hit_cells_per_s,omitempty"`
 	// SeedBaseline echoes the committed baseline measurements of the
 	// seed commit's single-access path.
 	SeedBaseline json.RawMessage `json:"seed_baseline,omitempty"`
@@ -192,6 +209,8 @@ func (o *output) summarize() historyEntry {
 		KindChannelBPerAccess:    o.KindChannelBPerAccess,
 		SpeedupWarmOverCold:      o.SpeedupWarmOverCold,
 		CacheLoadBlocksPerS:      o.CacheLoadBlocksPerS,
+		SpeedupSweepWarmOverCold: o.SpeedupSweepWarmOverCold,
+		ResultCacheHitCellsPerS:  o.ResultCacheHitCellsPerS,
 		SpeedupVsSeed:            o.SpeedupVsSeed,
 	}
 	if len(o.Benchmarks) > 0 {
@@ -262,6 +281,8 @@ func main() {
 				r.AddrPerRun = val
 			case "blocks/s":
 				r.BlocksPerS = val
+			case "cells/s":
+				r.CellsPerS = val
 			case "kindB/access":
 				r.KindBPerAccess = val
 			default:
@@ -302,6 +323,9 @@ func main() {
 			if r.BlocksPerS > s.BlocksPerSFastest {
 				s.BlocksPerSFastest = r.BlocksPerS
 			}
+			if r.CellsPerS > s.CellsPerSFastest {
+				s.CellsPerSFastest = r.CellsPerS
+			}
 			// Fold-rung compression ratios and the kind channel's
 			// per-access footprint are trace properties, not timings:
 			// identical across runs, so keep the last seen.
@@ -334,6 +358,8 @@ func main() {
 	out.KindChannelBPerAccess = map[string]float64{}
 	out.SpeedupWarmOverCold = map[string]float64{}
 	out.CacheLoadBlocksPerS = map[string]float64{}
+	out.SpeedupSweepWarmOverCold = map[string]float64{}
+	out.ResultCacheHitCellsPerS = map[string]float64{}
 	for name, s := range out.Benchmarks {
 		if app, ok := strings.CutPrefix(name, "BenchmarkAccessBatch/"); ok && s.NsPerAccessFastest > 0 {
 			if single, ok := out.Benchmarks["BenchmarkAccessSingle/"+app]; ok && single.NsPerAccessFastest > 0 {
@@ -377,6 +403,16 @@ func main() {
 		}
 		if app, ok := strings.CutPrefix(name, "BenchmarkStreamLoad/"); ok && s.BlocksPerSFastest > 0 {
 			out.CacheLoadBlocksPerS[app] = round2(s.BlocksPerSFastest)
+		}
+		if app, ok := strings.CutPrefix(name, "BenchmarkSweepWarm/"); ok {
+			if s.NsPerAccessFastest > 0 {
+				if cold, ok := out.Benchmarks["BenchmarkSweepCold/"+app]; ok && cold.NsPerAccessFastest > 0 {
+					out.SpeedupSweepWarmOverCold[app] = round2(cold.NsPerAccessFastest / s.NsPerAccessFastest)
+				}
+			}
+			if s.CellsPerSFastest > 0 {
+				out.ResultCacheHitCellsPerS[app] = round2(s.CellsPerSFastest)
+			}
 		}
 		if app, ok := strings.CutPrefix(name, "BenchmarkIngestShards/"); ok && s.BlocksPerSFastest > 0 {
 			out.IngestBlocksPerS[app] = round2(s.BlocksPerSFastest)
