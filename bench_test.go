@@ -18,6 +18,7 @@ import (
 
 	"dew/internal/cache"
 	"dew/internal/core"
+	"dew/internal/engine"
 	"dew/internal/explore"
 	"dew/internal/lrutree"
 	"dew/internal/refsim"
@@ -972,6 +973,87 @@ func BenchmarkSweepWarm(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nAccesses), "ns/access")
 			b.ReportMetric(float64(len(params))*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
+// BenchmarkReplayMaterialized measures the phased replay baseline the
+// streaming pipeline competes with: decode the whole trace into a
+// materialized run-compressed stream, then replay it through the dew
+// engine — two serial phases with the full stream resident in between.
+// Compare BenchmarkReplayStreamed over the same workload, spec and
+// engine; scripts/bench.sh records the pair's ns/access ratio as
+// speedup_streamed_over_phased and the pipeline's enforced residency
+// as peak_resident_bytes in BENCH_core.json.
+func BenchmarkReplayMaterialized(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			spec := engine.Spec{
+				MaxLogSets: benchMaxLog, Assoc: benchAccessOpt.Assoc,
+				BlockSize: benchAccessOpt.BlockSize, Policy: cache.FIFO,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bs, err := trace.MaterializeBlockStream(
+					workload.Stream(app.Generator(1), benchRequests), spec.BlockSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := engine.New("dew", spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.SimulateStream(bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchRequests), "ns/access")
+		})
+	}
+}
+
+// BenchmarkReplayStreamed measures the same end-to-end replay through
+// the bounded span pipeline: decode and simulation overlap, and the
+// resident stream state never exceeds the budget (reported as peakB —
+// the enforced bound, where the materialized baseline holds the whole
+// stream). The statistics accumulated by the engine are bit-identical
+// to the baseline's; only the schedule differs.
+func BenchmarkReplayStreamed(b *testing.B) {
+	for _, app := range benchAccessApps {
+		b.Run(app.Name, func(b *testing.B) {
+			spec := engine.Spec{
+				MaxLogSets: benchMaxLog, Assoc: benchAccessOpt.Assoc,
+				BlockSize: benchAccessOpt.BlockSize, Policy: cache.FIFO,
+			}
+			var peak int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pl, err := trace.StreamSpans(context.Background(),
+					workload.Stream(app.Generator(1), benchRequests), spec.BlockSize,
+					trace.SpanOptions{MemBytes: 4 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := engine.New("dew", spec)
+				if err != nil {
+					pl.Close()
+					b.Fatal(err)
+				}
+				for s := range pl.Spans() {
+					if err := eng.SimulateStream(&s.BlockStream); err != nil {
+						pl.Close()
+						b.Fatal(err)
+					}
+				}
+				if err := pl.Err(); err != nil {
+					b.Fatal(err)
+				}
+				peak = pl.ResidentBound()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchRequests), "ns/access")
+			b.ReportMetric(float64(peak), "peakB")
 		})
 	}
 }

@@ -108,6 +108,38 @@
 // many block sizes the space spans, and both record the provenance
 // (explore.Result.Decodes/Folds, sweep.Cell.StreamFolded).
 //
+// # The streaming tier: pipelined replay in bounded memory
+//
+// For traces too large to materialize — or whenever decode latency
+// should overlap simulation — the same pipeline runs span by span:
+// trace.StreamSpans (and StreamDinSpans / StreamFileSpans) delivers
+// the run-compressed stream as a bounded, backpressured channel of
+// spans, each span a self-contained BlockStream slice with the exact
+// boundary-merge semantics applied where chunks meet, so the
+// concatenation of the spans is bit-identical — run splits, kind
+// channel and uint32 overflow handling included — to the materialized
+// stream (FuzzSpanEquivalence holds the two shapes together). The
+// pipeline enforces SpanOptions.MemBytes as a hard bound on resident
+// decoded spans (ResidentBound reports it; the replay benchmarks
+// record it as peak_resident_bytes), overlaps the chunk-parallel
+// decode with the consumer, honours context cancellation, and can
+// checkpoint at span boundaries (CheckpointEvery / ResumeStreamSpans,
+// same DCP1 format as the ingest tier) for exact resume. The
+// incremental trace.LadderFolder folds each arriving span to every
+// rung of a block-size ladder on the fly, so the whole design space
+// still rides one decode; engines accumulate spans through the same
+// SimulateStream seam (engine.ReplayPipeline / explore's streamed
+// tier), with results bit-identical to the phased
+// materialize-then-replay path. The CLIs expose the tier as
+// -stream-mem BYTES (0 = materialize; mutually exclusive with -shards,
+// whose partitions need the whole stream resident), a cold streamed
+// pass publishes the finest rung to the artifact store without
+// re-buffering (store.StreamPut), and provenance records the mode and
+// the enforced bound end to end (explore.Result.Streamed /
+// StreamPeakBytes, sweep.Cell likewise, the CLI mode lines).
+// BenchmarkReplayStreamed vs BenchmarkReplayMaterialized tracks the
+// overlap's speedup (speedup_streamed_over_phased) in BENCH_core.json.
+//
 // # Kind-preserving streams: write-policy and energy axes
 //
 // The stream's run compression drops request kinds by default — no

@@ -47,6 +47,7 @@ func DewSim(ctx context.Context, env Env, args []string) error {
 		sbytes   = fs.Int("store-bytes", 0, "store width in bytes for write-policy traffic accounting (0 = 4)")
 	)
 	cacheDir := addCacheFlag(fs)
+	streamMemStr := addStreamMemFlag(fs)
 	tf := addTraceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -94,6 +95,18 @@ func DewSim(ctx context.Context, env Env, args []string) error {
 		var err error
 		if blockLadder, err = parseBlockLadder(*blocks); err != nil {
 			return err
+		}
+	}
+	streamMem, err := parseMemBytes(*streamMemStr)
+	if err != nil {
+		return err
+	}
+	if streamMem > 0 {
+		if instrumented {
+			return usagef("-stream-mem replays the engine fast path; drop -counters and the ablation switches")
+		}
+		if *shards > 1 {
+			return usagef("-stream-mem and -shards are incompatible (sharded passes need the whole partition resident)")
 		}
 	}
 
@@ -209,6 +222,110 @@ func DewSim(ctx context.Context, env Env, args []string) error {
 			} else {
 				mode = fmt.Sprintf("%d %s passes fully result-cached (0 simulations, 0 trace decodes), %v",
 					len(blockLadder), *engName, pol)
+			}
+			if writeSim {
+				mode += fmt.Sprintf(", write-policy %v/%v", writePol, allocPol)
+			}
+			return renderDewSim(env, *csv, *counters, results, accesses, mode, sim, elapsed, traffics)
+		}
+		if streamMem > 0 {
+			// Streamed ladder replay: one bounded span pipeline decodes
+			// the trace chunk-parallel, the incremental fold derives
+			// every rung from each span as it appears, and each live
+			// rung's engine consumes its span in place — decode, fold
+			// and simulation overlap in bounded memory while the
+			// accumulated statistics stay bit-identical to the
+			// materialized replay. Warm rungs still merge from the
+			// result tier; a cold artifact cache additionally receives
+			// the finest rung, spooled span by span without the pass
+			// ever re-buffering the stream.
+			engs := make(map[int]engine.Engine, len(blockLadder))
+			for i, b := range blockLadder {
+				if rungWarm[i] != nil {
+					continue
+				}
+				eng, err := engine.New(*engName, specFor(b))
+				if err != nil {
+					return err
+				}
+				engs[b] = eng
+			}
+			folder, err := trace.NewLadderFolder(blockLadder[0], blockLadder, writeSim)
+			if err != nil {
+				return err
+			}
+			pl, err := tf.streamSpans(ctx, blockLadder[0], trace.SpanOptions{MemBytes: streamMem, Kinds: writeSim})
+			if err != nil {
+				return err
+			}
+			defer pl.Close()
+			var put *store.StreamPut
+			if cacheStore != nil && cacheKey != "" && !cacheStore.Has(cacheKey) {
+				put, _ = cacheStore.NewStreamPut(cacheKey, blockLadder[0], writeSim)
+			}
+			defer func() {
+				if put != nil {
+					put.Abort()
+				}
+			}()
+			visit := func(b int, s *trace.BlockStream) error {
+				if eng, ok := engs[b]; ok {
+					return eng.SimulateStream(s)
+				}
+				return nil
+			}
+			for s := range pl.Spans() {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if put != nil {
+					if put.Add(&s.BlockStream) != nil {
+						put.Abort() // publish is best-effort; the replay goes on
+						put = nil
+					}
+				}
+				if err := folder.Feed(&s.BlockStream, visit); err != nil {
+					return err
+				}
+			}
+			if err := pl.Err(); err != nil {
+				return err
+			}
+			if err := folder.Flush(visit); err != nil {
+				return err
+			}
+			if put != nil {
+				put.Commit(ctx)
+				put = nil
+			}
+			cachedRungs := 0
+			for i, b := range blockLadder {
+				if rungWarm[i] != nil {
+					mergeRung(i)
+					cachedRungs++
+					continue
+				}
+				eng := engs[b]
+				rungResults := eng.Results()
+				results = append(results, rungResults...)
+				accesses = eng.Accesses()
+				if writeSim {
+					if ts, ok := eng.(engine.TrafficStatser); ok {
+						traffics = append(traffics, rungTraffic{b, ts.RefTraffic()})
+					}
+				}
+				publishRung(ctx, cacheStore, rungKeys[i], *engName, specFor(b).CacheKey(), writeSim, eng, rungResults)
+			}
+			elapsed = time.Since(start)
+			if len(blockLadder) == 1 {
+				mode = fmt.Sprintf("single %s pass", *engName)
+			} else {
+				mode = fmt.Sprintf("%d %s passes over a fold-derived block ladder", len(blockLadder), *engName)
+			}
+			mode += fmt.Sprintf(" streamed, peak %s stream resident, decode overlapped, %v",
+				cache.FormatSize(int(pl.ResidentBound())), pol)
+			if cachedRungs > 0 {
+				mode += fmt.Sprintf(", %d/%d rungs result-cached", cachedRungs, len(blockLadder))
 			}
 			if writeSim {
 				mode += fmt.Sprintf(", write-policy %v/%v", writePol, allocPol)

@@ -37,6 +37,7 @@ func Explore(ctx context.Context, env Env, args []string) error {
 		kinds   = fs.Bool("kinds", false, "materialize the kind-preserving stream and price the trace's store share at the model's write energy factor in the ranking")
 	)
 	cacheDir := addCacheFlag(fs)
+	streamMemStr := addStreamMemFlag(fs)
 	tf := addTraceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -81,7 +82,14 @@ func Explore(ctx context.Context, env Env, args []string) error {
 	if *shards == 0 {
 		*shards = sweep.AutoShards()
 	}
-	req := explore.Request{Space: space, Source: src, Workers: *workers, Shards: *shards, Policy: pol, Engine: *engName, Kinds: *kinds}
+	streamMem, err := parseMemBytes(*streamMemStr)
+	if err != nil {
+		return err
+	}
+	if streamMem > 0 && *shards > 1 {
+		return usagef("-stream-mem and -shards are incompatible (sharded passes need the whole partition resident)")
+	}
+	req := explore.Request{Space: space, Source: src, Workers: *workers, Shards: *shards, Policy: pol, Engine: *engName, Kinds: *kinds, StreamMem: streamMem}
 	cacheStore, err := openCache(*cacheDir)
 	if err != nil {
 		return err
@@ -146,6 +154,9 @@ func Explore(ctx context.Context, env Env, args []string) error {
 		prov = "fully result-cached, 0 trace decodes"
 	case res.CacheHit:
 		prov = fmt.Sprintf("cache load + %d folds, 0 trace decodes", res.Folds)
+	case res.Streamed:
+		prov = fmt.Sprintf("streamed: 1 overlapped decode + %d incremental folds, peak %s stream resident",
+			res.Folds, cache.FormatSize(int(res.StreamPeakBytes)))
 	}
 	if res.CellsCached > 0 {
 		prov += fmt.Sprintf("; passes: %d simulated, %d result-cached (%d live re-verified)",

@@ -38,6 +38,7 @@ func RefSim(ctx context.Context, env Env, args []string) error {
 		shards    = fs.Int("shards", 1, "replay this many set-substreams in parallel over the kind-preserving stream (1 = off, 0 = auto from GOMAXPROCS)")
 	)
 	cacheDir := addCacheFlag(fs)
+	streamMemStr := addStreamMemFlag(fs)
 	tf := addTraceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -66,6 +67,16 @@ func RefSim(ctx context.Context, env Env, args []string) error {
 	}
 	if *sbytes < 0 {
 		return usagef("-store-bytes must be at least 0")
+	}
+	streamMem, err := parseMemBytes(*streamMemStr)
+	if err != nil {
+		return err
+	}
+	if streamMem > 0 {
+		if *shards > 1 {
+			return usagef("-stream-mem and -shards are incompatible (the sharded replay needs the whole partition resident)")
+		}
+		return refSimStreamed(ctx, env, tf, opts, policy, streamMem, *cacheDir)
 	}
 	if *shards > 1 {
 		return refSimSharded(ctx, env, tf, opts, policy, *shards, *cacheDir)
@@ -110,6 +121,85 @@ func printRefStats(w io.Writer, stats refsim.Stats, tr refsim.Traffic) {
 	fmt.Fprintf(w, "tag comparisons:   %d\n", stats.TagComparisons)
 	fmt.Fprintf(w, "bytes from memory: %d\n", tr.BytesFromMemory)
 	fmt.Fprintf(w, "bytes to memory:   %d (%d writebacks)\n", tr.BytesToMemory, tr.Writebacks)
+}
+
+// refSimStreamed is the -stream-mem path: one bounded span pipeline
+// decodes the trace chunk-parallel into kind-preserving spans and the
+// single-configuration reference engine consumes each span as it
+// appears — decode and simulation overlap, the resident stream state
+// stays within the budget, and the accumulated statistics are
+// bit-identical to the per-access replay for every policy (including
+// Random replacement: its generator steps once per eviction, evictions
+// happen only on a run's first access, and run compression preserves
+// exactly that sequence). With an artifact cache the pass publishes
+// the kind-preserving finest stream span by span, spooled without
+// re-buffering.
+func refSimStreamed(ctx context.Context, env Env, tf traceFlags, opts refsim.Options, policy cache.Policy, streamMem int64, cacheDir string) error {
+	cfg := opts.Config
+	logSets := bits.Len(uint(cfg.Sets)) - 1
+	cacheStore, err := openCache(cacheDir)
+	if err != nil {
+		return err
+	}
+	eng, err := engine.New("ref", engine.Spec{
+		MinLogSets: logSets, MaxLogSets: logSets,
+		Assoc: cfg.Assoc, BlockSize: cfg.BlockSize, Policy: policy,
+		WriteSim: true, Write: opts.Write, Alloc: opts.Alloc, StoreBytes: opts.StoreBytes,
+	})
+	if err != nil {
+		return err
+	}
+	pl, err := tf.streamSpans(ctx, cfg.BlockSize, trace.SpanOptions{MemBytes: streamMem, Kinds: true})
+	if err != nil {
+		return err
+	}
+	defer pl.Close()
+	var put *store.StreamPut
+	if cacheStore != nil {
+		srcID, err := tf.sourceID()
+		if err != nil {
+			return err
+		}
+		if key := store.Key(srcID, cfg.BlockSize, 0, true); !cacheStore.Has(key) {
+			put, _ = cacheStore.NewStreamPut(key, cfg.BlockSize, true)
+		}
+	}
+	defer func() {
+		if put != nil {
+			put.Abort()
+		}
+	}()
+	start := time.Now()
+	for s := range pl.Spans() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if put != nil {
+			if put.Add(&s.BlockStream) != nil {
+				put.Abort() // publish is best-effort; the replay goes on
+				put = nil
+			}
+		}
+		if err := eng.SimulateStream(&s.BlockStream); err != nil {
+			return err
+		}
+	}
+	if err := pl.Err(); err != nil {
+		return err
+	}
+	if put != nil {
+		put.Commit(ctx)
+		put = nil
+	}
+	elapsed := time.Since(start)
+	stats := eng.(engine.RefStatser).RefStats()
+	traffic := eng.(engine.TrafficStatser).RefTraffic()
+	fmt.Fprintf(env.Stdout, "config:            %v, %v replacement, %v, %v\n",
+		cfg, policy, opts.Write, opts.Alloc)
+	fmt.Fprintf(env.Stdout, "replay:            streamed (peak %s stream resident, decode overlapped, replayed in %v)\n",
+		cache.FormatSize(int(pl.ResidentBound())), elapsed.Round(time.Millisecond))
+	printRefStats(env.Stdout, stats, traffic)
+	return nil
 }
 
 // refSimSharded is the -shards ≥ 2 path: ingest the trace straight into

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"dew/internal/trace"
+)
+
+// SpanSource is the streaming input seam: an ordered span channel plus
+// the producer's terminal error. *trace.StreamPipeline satisfies it;
+// tests substitute in-memory sources. The engines are sequential state
+// machines whose SimulateStream accumulates across calls, so feeding a
+// stream span-by-span is bit-identical to one monolithic replay of the
+// spans' concatenation — streaming changes peak memory and overlap,
+// never results.
+type SpanSource interface {
+	// Spans returns the ordered span channel; it closes when the source
+	// is exhausted or fails.
+	Spans() <-chan *trace.Span
+	// Err blocks until the source has stopped and returns its terminal
+	// error — nil after a complete stream.
+	Err() error
+}
+
+// SimulateSpans replays an in-memory span slice through the engine in
+// order (chunked replay; results accumulate exactly as one
+// SimulateStream over the concatenation).
+func SimulateSpans(e Engine, spans []*trace.Span) error {
+	for _, s := range spans {
+		if err := e.SimulateStream(&s.BlockStream); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayPipeline consumes src span-by-span through the engine, with
+// decode (the source's producer goroutines) overlapping the simulate
+// loop. It returns the first of: a simulate error, ctx's error
+// (checked between spans — the span is this seam's cancellation
+// granularity), or the source's terminal error once the channel
+// closes. On early return the channel is left undrained: the caller
+// owns the source's lifecycle and should Close a *trace.StreamPipeline
+// (idempotent, also fine after normal completion) to release its
+// goroutines.
+func ReplayPipeline(ctx context.Context, e Engine, src SpanSource) error {
+	for s := range src.Spans() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := e.SimulateStream(&s.BlockStream); err != nil {
+			return err
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// TimedRunPipeline builds the named engine and replays the streaming
+// source through it, timing the whole consume loop — decode overlap
+// included, so the figure is comparable to TimedRun's replay time plus
+// the materialize phase it absorbs.
+func TimedRunPipeline(ctx context.Context, name string, spec Spec, src SpanSource) (Engine, time.Duration, error) {
+	e, err := New(name, spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	if err := ReplayPipeline(ctx, e, src); err != nil {
+		return nil, 0, err
+	}
+	return e, time.Since(start), nil
+}

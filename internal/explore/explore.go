@@ -83,6 +83,22 @@ type Request struct {
 	// engine registered under the chosen policy works — e.g. "lrutree"
 	// with Policy cache.LRU.
 	Engine string
+	// StreamMem, when positive, runs the exploration's replay through
+	// the bounded span pipeline instead of materializing the finest
+	// stream: the raw trace decodes chunk-parallel into run-compressed
+	// spans (trace.StreamSpans), a streaming fold ladder
+	// (trace.LadderFolder) derives every coarser rung span-by-span, and
+	// every pass's engine consumes its rung's spans as they appear —
+	// decode, fold and simulation overlap, and the pipeline's resident
+	// stream state stays within roughly StreamMem bytes no matter the
+	// trace length (Result.StreamPeakBytes reports the exact bound).
+	// Results are bit-identical to the materialized path; what moves is
+	// peak memory and scheduling — the passes share one streaming pass,
+	// serial per span, instead of fanning out across Workers (Workers
+	// still sizes the pipeline's decode stage). Incompatible with
+	// Shards ≥ 2 (sharded passes need the whole partition resident).
+	// 0 keeps the materialized path.
+	StreamMem int64
 	// Kinds, when set, materializes the kind-preserving stream
 	// (trace.MaterializeBlockStreamWithKinds, or IngestShardsWithKinds
 	// when sharding) instead of folding request kinds away, and reports
@@ -168,6 +184,14 @@ type Result struct {
 	// CacheKey is the store key consulted for the finest-rung stream;
 	// "" when the run had no cache.
 	CacheKey string
+	// Streamed reports that the run replayed through the bounded span
+	// pipeline (Request.StreamMem) instead of materialized streams;
+	// StreamPeakBytes is the pipeline's worst-case resident stream
+	// footprint under its resolved geometry — the figure the memory
+	// budget actually bought. Both are zero on materialized and
+	// fully-warm runs.
+	Streamed        bool
+	StreamPeakBytes int64
 	// CellsSimulated and CellsCached split Passes by provenance: passes
 	// replayed by the engine this run versus passes served whole from
 	// the store's result tier. WarmVerified counts the cached passes
@@ -202,7 +226,6 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 	// One pass per (block, assoc) with assoc > 1; the pass also yields
 	// the direct-mapped row. A space containing only associativity 1
 	// needs explicit assoc-1 passes.
-	type passSpec struct{ block, assoc int }
 	var passes []passSpec
 	for _, b := range req.Space.BlockSizes() {
 		hasWide := false
@@ -242,6 +265,17 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 			checkIdx = warmIdx[warmCheckPick(warmKeys)]
 		}
 		allWarm = len(warmIdx) == len(passes) && checkIdx < 0
+	}
+
+	// Bounded streaming replay: one span pipeline at the finest rung
+	// feeds every pass through the streaming fold ladder, bit-identical
+	// to the materialized schedule below. A fully-warm run stays on the
+	// warm path — it builds no streams either way.
+	if req.StreamMem > 0 && !allWarm {
+		if trace.ShardLog(req.Shards, req.Space.MaxLogSets) >= 0 {
+			return nil, fmt.Errorf("explore: StreamMem is incompatible with sharded passes (Shards=%d)", req.Shards)
+		}
+		return runStreamed(ctx, req, name, passes, warmBlobs, passKeys, checkIdx, workers)
 	}
 
 	// Build the per-block-size inputs: one raw-trace decode at the
@@ -400,17 +434,8 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 		ps := passes[i]
 		mu.Lock()
 		defer mu.Unlock()
-		for _, r := range results {
-			if r.Config.Assoc == 1 && !includeAssoc1 {
-				continue
-			}
-			if prev, ok := res.Stats[r.Config]; ok && prev != r.Stats {
-				// Direct-mapped rows arrive from several passes and must
-				// agree exactly.
-				return fmt.Errorf("explore: inconsistent results for %v: %+v vs %+v",
-					r.Config, prev, r.Stats)
-			}
-			res.Stats[r.Config] = r.Stats
+		if err := mergeStats(res, includeAssoc1, results); err != nil {
+			return err
 		}
 		res.Passes++
 		if simulated {

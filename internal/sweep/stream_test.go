@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dew/internal/store"
+	"dew/internal/workload"
+)
+
+// sameCellModuloTiming compares every scheduling-independent field of
+// two cells — the set warmCellDiverges guards, plus the derived slices.
+func sameCellModuloTiming(t *testing.T, label string, got, want Cell) {
+	t.Helper()
+	if err := warmCellDiverges(want, got); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if !reflect.DeepEqual(got.Counters, want.Counters) {
+		t.Fatalf("%s: counters differ", label)
+	}
+}
+
+// TestRunCellStreamedMatchesMaterialized: a streamed cell must agree
+// with the materialized cell on every scheduling-independent field, and
+// must carry streamed provenance with a recorded memory bound.
+func TestRunCellStreamedMatchesMaterialized(t *testing.T) {
+	p := Params{
+		App: workload.DJPEG, Seed: 3, Requests: 30000,
+		BlockSize: 16, Assoc: 4, MaxLogSets: 5,
+	}
+	mat, err := Runner{}.RunCell(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Streamed || mat.StreamPeakBytes != 0 {
+		t.Fatalf("materialized cell carries streamed provenance: %+v", mat)
+	}
+	var logged []string
+	r := Runner{StreamMem: 1, Logf: func(f string, a ...interface{}) { logged = append(logged, f) }}
+	str, err := r.RunCell(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !str.Streamed || str.StreamPeakBytes <= 0 {
+		t.Fatalf("streamed cell provenance: streamed=%v peak=%d", str.Streamed, str.StreamPeakBytes)
+	}
+	if str.DEWTime <= 0 || str.RefTime <= 0 {
+		t.Errorf("streamed times not recorded: dew=%v ref=%v", str.DEWTime, str.RefTime)
+	}
+	sameCellModuloTiming(t, "streamed vs materialized", str, mat)
+	if len(logged) == 0 || !strings.Contains(logged[len(logged)-1], "streamed") {
+		t.Errorf("streamed cell did not log streamed provenance: %q", logged)
+	}
+}
+
+func TestRunCellsStreamedBatch(t *testing.T) {
+	params := []Params{
+		{App: workload.DJPEG, Seed: 4, Requests: 12000, BlockSize: 8, Assoc: 2, MaxLogSets: 4},
+		{App: workload.DJPEG, Seed: 4, Requests: 12000, BlockSize: 32, Assoc: 4, MaxLogSets: 4},
+		{App: workload.CJPEG, Seed: 4, Requests: 9000, BlockSize: 16, Assoc: 2, MaxLogSets: 3},
+	}
+	mat, err := Runner{Workers: 2}.RunCells(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := Runner{Workers: 2, StreamMem: 1}.RunCells(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range params {
+		if !str[i].Streamed {
+			t.Errorf("cell %d not streamed", i)
+		}
+		sameCellModuloTiming(t, params[i].String(), str[i], mat[i])
+	}
+
+	// Sharding and streaming are mutually exclusive.
+	if _, err := (Runner{StreamMem: 1, Shards: 4}).RunCells(context.Background(), params); err == nil ||
+		!strings.Contains(err.Error(), "incompatible") {
+		t.Fatalf("sharded streamed batch: %v", err)
+	}
+}
+
+// TestRunCellsStreamedWarm: streamed cells publish to and load from the
+// result tier exactly like materialized ones — and a warm batch's
+// sampled check can re-simulate through the pipeline against a cell
+// cached by a materialized run.
+func TestRunCellsStreamedWarm(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []Params{
+		{App: workload.DJPEG, Seed: 5, Requests: 10000, BlockSize: 8, Assoc: 2, MaxLogSets: 4},
+		{App: workload.DJPEG, Seed: 5, Requests: 10000, BlockSize: 16, Assoc: 4, MaxLogSets: 4},
+	}
+	cold, err := Runner{Cache: st}.RunCells(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Runner{Cache: st, StreamMem: 1}.RunCells(context.Background(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cached, verified := Provenance(warm)
+	if cached != len(params) || verified != 1 {
+		t.Fatalf("streamed warm batch: %d cached, %d verified", cached, verified)
+	}
+	for i := range params {
+		if !reflect.DeepEqual(warm[i].Results, cold[i].Results) {
+			t.Fatalf("cell %d: warm results diverge", i)
+		}
+	}
+}

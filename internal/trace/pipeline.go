@@ -790,6 +790,24 @@ func (in *Ingestor) ingestDin(ctx context.Context, r io.Reader, chunkBytes int) 
 // line boundaries) with the same zero-allocation field split as
 // DinReader, feeding block IDs straight into the chunk compressor.
 func parseDinChunk(b []byte, startLine int, off uint, log int, kinds bool, sc *ingestScratch) (*runChunk, error) {
+	cc, err := parseDinInto(b, startLine, off, kinds)
+	if err != nil {
+		return nil, err
+	}
+	return cc.finish(log, sc), nil
+}
+
+// parseDinChunkEdges is parseDinChunk for the span pipeline: same text
+// decode, edge-only finish (no shard partials).
+func parseDinChunkEdges(b []byte, startLine int, off uint, kinds bool) (*runChunk, error) {
+	cc, err := parseDinInto(b, startLine, off, kinds)
+	if err != nil {
+		return nil, err
+	}
+	return cc.finishEdges(), nil
+}
+
+func parseDinInto(b []byte, startLine int, off uint, kinds bool) (*chunkCompressor, error) {
 	cc := &chunkCompressor{kinds: kinds}
 	line := startLine - 1
 	for len(b) > 0 {
@@ -831,7 +849,7 @@ func parseDinChunk(b []byte, startLine int, off uint, log int, kinds bool, sc *i
 			cc.add(addr>>off, 1)
 		}
 	}
-	return cc.finish(log, sc), nil
+	return cc, nil
 }
 
 // IngestFileShards opens a trace file (transparently decompressing

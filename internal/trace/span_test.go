@@ -1,0 +1,523 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dew/internal/leakcheck"
+)
+
+// collectSpans drains a pipeline and fails on any terminal error.
+func collectSpans(t *testing.T, p *StreamPipeline) []*Span {
+	t.Helper()
+	var spans []*Span
+	for s := range p.Spans() {
+		spans = append(spans, s)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return spans
+}
+
+// checkSpanInvariants verifies ordering and per-span bookkeeping: Seq
+// dense from 0, Start continuous, Accesses equal to the run-weight sum.
+func checkSpanInvariants(t *testing.T, spans []*Span) {
+	t.Helper()
+	var start uint64
+	for i, s := range spans {
+		if s.Seq != i {
+			t.Fatalf("span %d carries Seq %d", i, s.Seq)
+		}
+		if s.Start != start {
+			t.Fatalf("span %d starts at %d, want %d", i, s.Start, start)
+		}
+		var acc uint64
+		for _, w := range s.Runs {
+			acc += uint64(w)
+		}
+		if acc != s.Accesses {
+			t.Fatalf("span %d claims %d accesses, runs sum to %d", i, s.Accesses, acc)
+		}
+		if s.Len() == 0 {
+			t.Fatalf("span %d is empty", i)
+		}
+		start += acc
+	}
+}
+
+// streamSpansWithRuns is the test entry with an explicit span size and
+// decode chunk size, so boundaries land everywhere the geometry clamps
+// would avoid.
+func streamSpansWithRuns(ctx context.Context, r Reader, blockSize int, opts SpanOptions, spanRuns, chunkAcc int) (*StreamPipeline, error) {
+	p, st, err := newStreamPipeline(blockSize, opts)
+	if err != nil {
+		return nil, err
+	}
+	if spanRuns > 0 {
+		st.spanRuns = spanRuns
+	}
+	if chunkAcc <= 0 {
+		chunkAcc = p.chunkAcc
+	}
+	p.start(ctx, st, spanReaderProducer(r, blockSize, opts.Kinds, chunkAcc))
+	return p, nil
+}
+
+func TestStreamSpansMatchesMaterialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ctx := context.Background()
+	for _, n := range []int{0, 1, 7, 3000, 30000} {
+		tr := pipelineTrace(rng, n)
+		for _, block := range []int{1, 4, 32} {
+			for _, kinds := range []bool{false, true} {
+				var want *BlockStream
+				var err error
+				if kinds {
+					want, err = tr.BlockStreamWithKinds(block)
+				} else {
+					want, err = tr.BlockStream(block)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, geo := range [][2]int{{1, 3}, {2, 64}, {7, 997}, {0, 0}} {
+					p, err := streamSpansWithRuns(ctx, tr.NewSliceReader(), block,
+						SpanOptions{MemBytes: 1, Workers: 3, Kinds: kinds}, geo[0], geo[1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					spans := collectSpans(t, p)
+					checkSpanInvariants(t, spans)
+					got := ConcatSpans(block, kinds, spans)
+					label := fmt.Sprintf("n=%d block=%d kinds=%v spanRuns=%d chunk=%d", n, block, kinds, geo[0], geo[1])
+					sameBlockStream(t, label, got, want)
+					if p.EmittedSpans() != uint64(len(spans)) || p.EmittedAccesses() != want.Accesses {
+						t.Fatalf("%s: counters report %d spans/%d accesses, want %d/%d",
+							label, p.EmittedSpans(), p.EmittedAccesses(), len(spans), want.Accesses)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStreamSpansGeometry(t *testing.T) {
+	p, err := StreamSpans(context.Background(), Trace{}.NewSliceReader(), 16, SpanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.MemBytes() != DefaultSpanMemBytes {
+		t.Errorf("default budget %d, want %d", p.MemBytes(), DefaultSpanMemBytes)
+	}
+	if p.ResidentBound() <= 0 {
+		t.Errorf("resident bound %d, want > 0", p.ResidentBound())
+	}
+	// Large-budget geometry must still respect the budget's order of
+	// magnitude: a tiny budget clamps to the minimum working set.
+	for _, mem := range []int64{1, 1 << 20, 256 << 20} {
+		spanRuns, chunkAcc, resident := spanGeometry(mem, 4, true)
+		if spanRuns < 256 || chunkAcc < 1024 {
+			t.Fatalf("mem=%d: geometry under minima: %d/%d", mem, spanRuns, chunkAcc)
+		}
+		if mem >= 1<<20 && resident > 4*mem {
+			t.Errorf("mem=%d: resident bound %d far exceeds budget", mem, resident)
+		}
+	}
+	if _, err := StreamSpans(context.Background(), Trace{}.NewSliceReader(), 3, SpanOptions{}); err == nil {
+		t.Error("want error for non-power-of-two block size")
+	}
+}
+
+// TestStreamDinSpans runs the chunk-parallel .din text decode through
+// the span pipeline against the serial materialization.
+func TestStreamDinSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr := pipelineTrace(rng, 40000)
+	text := dinText(tr)
+	for _, kinds := range []bool{false, true} {
+		var want *BlockStream
+		var err error
+		if kinds {
+			want, err = tr.BlockStreamWithKinds(16)
+		} else {
+			want, err = tr.BlockStream(16)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := StreamDinSpans(context.Background(), bytes.NewReader(text), 16,
+			SpanOptions{MemBytes: 1, Workers: 4, Kinds: kinds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans := collectSpans(t, p)
+		checkSpanInvariants(t, spans)
+		sameBlockStream(t, fmt.Sprintf("din kinds=%v", kinds), ConcatSpans(16, kinds, spans), want)
+	}
+
+	// A bad line aborts the pipeline with the exact line number, same as
+	// the serial reader.
+	bad := "2 40\n1 80\nbogus line\n2 c0\n"
+	p, err := StreamDinSpans(context.Background(), strings.NewReader(bad), 4, SpanOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range p.Spans() {
+	}
+	if err := p.Err(); err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("bad din line: %v, want error naming line 3", err)
+	}
+}
+
+func TestStreamFileSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := pipelineTrace(rng, 3000)
+	want, err := tr.BlockStreamWithKinds(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"t.din", "t.dtb", "t.din.gz", "t.dtb.gz"} {
+		path := filepath.Join(dir, name)
+		w, closer, err := CreateFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range tr {
+			if err := w.WriteAccess(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := closer.Close(); err != nil {
+			t.Fatal(err)
+		}
+		p, err := StreamFileSpans(context.Background(), path, 8, SpanOptions{MemBytes: 1, Kinds: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans := collectSpans(t, p)
+		sameBlockStream(t, name, ConcatSpans(8, true, spans), want)
+	}
+	if _, err := StreamFileSpans(context.Background(), filepath.Join(dir, "missing.din"), 8, SpanOptions{}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+// TestStreamSpansWeightedOverflow pushes crafted near-MaxUint32 run
+// weights through the span pipeline so uint32 saturation splits land at
+// span boundaries, and checks the concatenation against the serial
+// appendRun/appendKindRun machines.
+func TestStreamSpansWeightedOverflow(t *testing.T) {
+	const m = math.MaxUint32
+	var ids []uint64
+	var runs []uint32
+	var kinds []KindRun
+	for i := 0; i < 200; i++ {
+		ids = append(ids, 9, 9, 5, 9)
+		w := uint32(i + 1)
+		runs = append(runs, m-3, 7, w, m)
+		kinds = append(kinds,
+			testKindRun(uint8(i%5), m-3), testKindRun(uint8(i%3), 7),
+			testKindRun(uint8(i%4), w), testKindRun(uint8(i%2), m))
+	}
+	parent := &BlockStream{BlockSize: 4}
+	parentK := &BlockStream{BlockSize: 4, Kinds: []KindRun{}}
+	for i := range ids {
+		parent.appendRun(ids[i], runs[i])
+		parentK.appendKindRun(ids[i], kinds[i])
+	}
+
+	chunk := func(n int) ([][]uint64, [][]uint32, [][]KindRun) {
+		var cids [][]uint64
+		var cruns [][]uint32
+		var ckinds [][]KindRun
+		for i := 0; i < len(ids); i += n {
+			end := min(i+n, len(ids))
+			cids = append(cids, ids[i:end])
+			cruns = append(cruns, runs[i:end])
+			ckinds = append(ckinds, kinds[i:end])
+		}
+		return cids, cruns, ckinds
+	}
+	for _, chunkN := range []int{1, 3, 64, len(ids)} {
+		cids, cruns, ckinds := chunk(chunkN)
+		for _, spanRuns := range []int{1, 2, 5, 101} {
+			p, err := streamWeightedSpans(context.Background(), 4, SpanOptions{Workers: 3}, spanRuns, cids, cruns, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spans := collectSpans(t, p)
+			checkSpanInvariants(t, spans)
+			label := fmt.Sprintf("chunk=%d spanRuns=%d", chunkN, spanRuns)
+			sameBlockStream(t, label, ConcatSpans(4, false, spans), parent)
+
+			pk, err := streamWeightedSpans(context.Background(), 4, SpanOptions{Workers: 3}, spanRuns, cids, cruns, ckinds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kspans := collectSpans(t, pk)
+			checkSpanInvariants(t, kspans)
+			sameBlockStream(t, label+" kinds", ConcatSpans(4, true, kspans), parentK)
+		}
+	}
+}
+
+func TestStreamSpansCancelAndClose(t *testing.T) {
+	defer leakcheck.Check(t)()
+	rng := rand.New(rand.NewSource(9))
+	tr := pipelineTrace(rng, 50000)
+
+	// Close mid-consumption: the pipeline drains and every goroutine
+	// exits; the terminal error is the cancellation.
+	p, err := streamSpansWithRuns(context.Background(), tr.NewSliceReader(), 4,
+		SpanOptions{MemBytes: 1, Workers: 3}, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for range p.Spans() {
+		if seen++; seen >= 2 {
+			break
+		}
+	}
+	p.Close()
+	if err := p.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("closed pipeline error %v, want context.Canceled", err)
+	}
+	p.Close() // idempotent
+
+	// External context cancellation behaves the same.
+	ctx, cancel := context.WithCancel(context.Background())
+	p2, err := streamSpansWithRuns(ctx, tr.NewSliceReader(), 4, SpanOptions{MemBytes: 1, Workers: 3}, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-p2.Spans()
+	cancel()
+	for range p2.Spans() {
+	}
+	if err := p2.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled pipeline error %v, want context.Canceled", err)
+	}
+	// A completed pipeline tolerates Close after the fact.
+	p3, err := StreamSpans(context.Background(), tr[:100].NewSliceReader(), 4, SpanOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectSpans(t, p3)
+	p3.Close()
+}
+
+// TestStreamSpansCheckpointResume takes periodic DCP1 checkpoints
+// during a streamed pass, round-trips each through the binary codec,
+// and resumes a fresh pipeline from every one of them: spans emitted
+// before the checkpoint plus spans emitted by the resumed pipeline must
+// concatenate to the materialized stream, bit for bit.
+func TestStreamSpansCheckpointResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tr := pipelineTrace(rng, 30000)
+	ctx := context.Background()
+	for _, kinds := range []bool{false, true} {
+		var want *BlockStream
+		var err error
+		if kinds {
+			want, err = tr.BlockStreamWithKinds(8)
+		} else {
+			want, err = tr.BlockStream(8)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cps []*Checkpoint
+		p, err := streamSpansWithRuns(ctx, tr.NewSliceReader(), 8, SpanOptions{
+			MemBytes: 1, Workers: 3, Kinds: kinds,
+			CheckpointEvery: 2500,
+			Checkpoint: func(cp *Checkpoint) error {
+				// Persist through the real codec so resume exercises the
+				// DCP1 wire format, not a shared pointer.
+				data, err := cp.MarshalBinary()
+				if err != nil {
+					return err
+				}
+				rt := new(Checkpoint)
+				if err := rt.UnmarshalBinary(data); err != nil {
+					return err
+				}
+				cps = append(cps, rt)
+				return nil
+			},
+		}, 16, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans := collectSpans(t, p)
+		sameBlockStream(t, "checkpointed pass", ConcatSpans(8, kinds, spans), want)
+		if len(cps) < 3 {
+			t.Fatalf("only %d checkpoints for %d accesses", len(cps), want.Accesses)
+		}
+		for ci, cp := range cps {
+			if cp.BlockSize() != 8 || cp.ShardLog() != 0 || cp.HasKinds() != kinds {
+				t.Fatalf("checkpoint %d shape: block %d log %d kinds %v", ci, cp.BlockSize(), cp.ShardLog(), cp.HasKinds())
+			}
+			var pendAcc uint64
+			for _, w := range cp.source.Runs {
+				pendAcc += uint64(w)
+			}
+			resumeStart := cp.Accesses() - pendAcc
+			var prefix []*Span
+			for _, s := range spans {
+				if s.Start >= resumeStart {
+					break
+				}
+				if s.Start+s.Accesses > resumeStart {
+					t.Fatalf("checkpoint %d: span [%d,%d) straddles the resume point %d",
+						ci, s.Start, s.Start+s.Accesses, resumeStart)
+				}
+				prefix = append(prefix, s)
+			}
+			r := tr.NewSliceReader()
+			if err := SkipAccesses(r, cp.Accesses()); err != nil {
+				t.Fatal(err)
+			}
+			p2, err := ResumeStreamSpans(ctx, cp, r, SpanOptions{MemBytes: 1, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed := collectSpans(t, p2)
+			if len(resumed) > 0 && resumed[0].Start != resumeStart {
+				t.Fatalf("checkpoint %d: resumed stream starts at %d, want %d", ci, resumed[0].Start, resumeStart)
+			}
+			got := ConcatSpans(8, kinds, append(append([]*Span(nil), prefix...), resumed...))
+			sameBlockStream(t, fmt.Sprintf("kinds=%v checkpoint %d resume", kinds, ci), got, want)
+		}
+	}
+}
+
+func TestStreamSpansCheckpointCallbackError(t *testing.T) {
+	defer leakcheck.Check(t)()
+	rng := rand.New(rand.NewSource(13))
+	tr := pipelineTrace(rng, 20000)
+	boom := errors.New("checkpoint store full")
+	p, err := StreamSpans(context.Background(), tr.NewSliceReader(), 8, SpanOptions{
+		MemBytes: 1, Workers: 2, CheckpointEvery: 1000,
+		Checkpoint: func(*Checkpoint) error { return boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range p.Spans() {
+	}
+	if err := p.Err(); !errors.Is(err, boom) {
+		t.Fatalf("checkpoint failure surfaced as %v, want the callback's error", err)
+	}
+}
+
+func TestResumeStreamSpansRejectsShardedCheckpoint(t *testing.T) {
+	cp := &Checkpoint{blockSize: 8, log: 2, source: BlockStream{BlockSize: 8}}
+	if _, err := ResumeStreamSpans(context.Background(), cp, Trace{}.NewSliceReader(), SpanOptions{}); err == nil {
+		t.Error("want error for sharded checkpoint")
+	}
+	bad := &Checkpoint{blockSize: 8, source: BlockStream{BlockSize: 8, IDs: []uint64{1}, Runs: []uint32{5}, Accesses: 2}}
+	if _, err := ResumeStreamSpans(context.Background(), bad, Trace{}.NewSliceReader(), SpanOptions{}); err == nil {
+		t.Error("want error for pending tail exceeding consumed count")
+	}
+}
+
+// FuzzSpanEquivalence cross-checks streamed spans against the serial
+// materialization over fuzzer-chosen traces, span sizes, chunk sizes
+// and kind channels — including the weighted path whose near-MaxUint32
+// run weights put uint32 saturation splits at span boundaries.
+func FuzzSpanEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 200, 200, 200, 7}, uint8(3), uint8(5), uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 9}, uint8(1), uint8(1), uint8(0))
+	f.Add([]byte{255, 254, 253, 1, 1, 1, 40, 40}, uint8(7), uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, spanIn, chunkIn, blockIn uint8) {
+		spanRuns := int(spanIn%16) + 1
+		chunk := int(chunkIn%16) + 1
+		block := 1 << (blockIn % 5)
+		kinds := blockIn&0x80 != 0
+		ctx := context.Background()
+
+		tr := make(Trace, 0, len(data))
+		addr := uint64(0)
+		for j, b := range data {
+			k := Kind((uint64(b) + uint64(j)) % 3)
+			if b >= 192 {
+				for i := 0; i < int(b-191); i++ {
+					tr = append(tr, Access{Addr: addr, Kind: k})
+				}
+				continue
+			}
+			addr += uint64(b)
+			tr = append(tr, Access{Addr: addr, Kind: k})
+		}
+
+		var want *BlockStream
+		var err error
+		if kinds {
+			want, err = tr.BlockStreamWithKinds(block)
+		} else {
+			want, err = tr.BlockStream(block)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := streamSpansWithRuns(ctx, tr.NewSliceReader(), block,
+			SpanOptions{MemBytes: 1, Workers: 3, Kinds: kinds}, spanRuns, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans := collectSpans(t, p)
+		checkSpanInvariants(t, spans)
+		sameBlockStream(t, "fuzz", ConcatSpans(block, kinds, spans), want)
+
+		// Weighted path: byte pairs become (id, near-max weight) runs
+		// with crafted kind records, split into chunks.
+		var wids []uint64
+		var wruns []uint32
+		var wkinds []KindRun
+		for i := 0; i+1 < len(data); i += 2 {
+			w := uint32(data[i+1])
+			if w >= 128 {
+				w = math.MaxUint32 - uint32(data[i+1]-128)
+			}
+			wids = append(wids, uint64(data[i]%32))
+			wruns = append(wruns, w)
+			wkinds = append(wkinds, testKindRun(data[i]/32, w))
+		}
+		parent := &BlockStream{BlockSize: block}
+		parentK := &BlockStream{BlockSize: block, Kinds: []KindRun{}}
+		for i := range wids {
+			parent.appendRun(wids[i], wruns[i])
+			parentK.appendKindRun(wids[i], wkinds[i])
+		}
+		var cids [][]uint64
+		var cruns [][]uint32
+		ckinds := [][]KindRun{}
+		for i := 0; i < len(wids); i += chunk {
+			end := min(i+chunk, len(wids))
+			cids = append(cids, wids[i:end])
+			cruns = append(cruns, wruns[i:end])
+			ckinds = append(ckinds, wkinds[i:end])
+		}
+		pw, err := streamWeightedSpans(ctx, block, SpanOptions{Workers: 3}, spanRuns, cids, cruns, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBlockStream(t, "fuzz weighted", ConcatSpans(block, false, collectSpans(t, pw)), parent)
+		pk, err := streamWeightedSpans(ctx, block, SpanOptions{Workers: 3}, spanRuns, cids, cruns, ckinds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBlockStream(t, "fuzz weighted kinds", ConcatSpans(block, true, collectSpans(t, pk)), parentK)
+	})
+}

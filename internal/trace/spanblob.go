@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SpanBlobWriter assembles a DBS1 blob from a stream of spans without
+// ever materializing the stream: each span's columns are varint-encoded
+// into disk spools as it arrives (the per-entry encodings are
+// independent, so spooled columns concatenate byte-exactly), and Encode
+// emits a blob byte-identical to BlockStream.WriteTo over the spans'
+// concatenation — header and run-count first, then the spools copied
+// through the running checksum in bounded chunks. This is how a
+// streamed pass publishes its finest rung to the artifact store in
+// O(chunk) memory.
+//
+// Usage: Add every span in stream order, Encode exactly once, then
+// Close (idempotent; also the abort path — it removes the spools).
+type SpanBlobWriter struct {
+	blockSize int
+	kinds     bool
+	n         uint64 // runs spooled
+	accesses  uint64
+	files     []*os.File
+	bufs      []*bufio.Writer
+	scratch   []byte
+	err       error
+	encoded   bool
+}
+
+// spool indices: block IDs, run weights, kind records.
+const (
+	spoolIDs = iota
+	spoolRuns
+	spoolKinds
+)
+
+// NewSpanBlobWriter creates a blob writer spooling into dir (which must
+// be on the filesystem the final blob will land on only if the caller
+// wants rename-cheap moves — the spools themselves never become the
+// blob). Spool files are prefixed "tmp-" so artifact-directory sweepers
+// treat an abandoned spool as temp garbage.
+func NewSpanBlobWriter(dir string, blockSize int, kinds bool) (*SpanBlobWriter, error) {
+	if blockSize < 1 || blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("trace: block size must be a positive power of two, got %d", blockSize)
+	}
+	w := &SpanBlobWriter{blockSize: blockSize, kinds: kinds}
+	nspools := 2
+	if kinds {
+		nspools = 3
+	}
+	for i := 0; i < nspools; i++ {
+		f, err := os.CreateTemp(dir, "tmp-spanblob-*")
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("trace: span blob spool: %w", err)
+		}
+		w.files = append(w.files, f)
+		w.bufs = append(w.bufs, bufio.NewWriter(f))
+	}
+	return w, nil
+}
+
+// Runs returns the run count spooled so far.
+func (w *SpanBlobWriter) Runs() uint64 { return w.n }
+
+// Accesses returns the access total spooled so far.
+func (w *SpanBlobWriter) Accesses() uint64 { return w.accesses }
+
+func (w *SpanBlobWriter) uvarint(spool int, v uint64) {
+	if w.err != nil {
+		return
+	}
+	w.scratch = binary.AppendUvarint(w.scratch[:0], v)
+	_, w.err = w.bufs[spool].Write(w.scratch)
+}
+
+// Add spools one span's columns. Spans must arrive in stream order;
+// the caller guarantees the concatenation is a valid stream (the span
+// pipeline and the ladder folder both do).
+func (w *SpanBlobWriter) Add(s *BlockStream) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.encoded {
+		return fmt.Errorf("trace: span blob written after Encode")
+	}
+	if s.BlockSize != w.blockSize {
+		return fmt.Errorf("trace: span blob fed block size %d, want %d", s.BlockSize, w.blockSize)
+	}
+	if w.kinds && len(s.Kinds) != len(s.IDs) {
+		return fmt.Errorf("trace: kind column length %d != %d runs", len(s.Kinds), len(s.IDs))
+	}
+	for _, id := range s.IDs {
+		w.uvarint(spoolIDs, id)
+	}
+	for _, rw := range s.Runs {
+		w.uvarint(spoolRuns, uint64(rw))
+		w.accesses += uint64(rw)
+	}
+	if w.kinds {
+		for i := range s.Kinds {
+			kr := &s.Kinds[i]
+			w.uvarint(spoolKinds, uint64(kr.W[0]))
+			w.uvarint(spoolKinds, uint64(kr.W[1]))
+			w.uvarint(spoolKinds, uint64(kr.W[2]))
+			w.uvarint(spoolKinds, uint64(kr.Lead))
+			if w.err == nil {
+				w.err = w.bufs[spoolKinds].WriteByte(byte(kr.First))
+			}
+		}
+	}
+	w.n += uint64(len(s.IDs))
+	if w.err != nil {
+		w.err = fmt.Errorf("trace: span blob spool: %w", w.err)
+	}
+	return w.err
+}
+
+// Encode writes the complete DBS1 blob to dst — byte-identical to
+// BlockStream.WriteTo over the concatenated spans — and returns the
+// byte count. Call exactly once, after the last Add.
+func (w *SpanBlobWriter) Encode(dst io.Writer) (int64, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.encoded {
+		return 0, fmt.Errorf("trace: span blob encoded twice")
+	}
+	w.encoded = true
+	for i, b := range w.bufs {
+		if err := b.Flush(); err != nil {
+			return 0, fmt.Errorf("trace: span blob spool: %w", err)
+		}
+		if _, err := w.files[i].Seek(0, io.SeekStart); err != nil {
+			return 0, fmt.Errorf("trace: span blob spool: %w", err)
+		}
+	}
+	cw := newColWriter(dst)
+	cw.bytes(streamMagic[:])
+	cw.byteVal(streamVersion)
+	var flags byte
+	if w.kinds {
+		flags |= streamFlagKinds
+	}
+	cw.byteVal(flags)
+	cw.uvarint(uint64(w.blockSize))
+	cw.uvarint(w.accesses)
+	cw.uvarint(w.n)
+	buf := make([]byte, 32<<10)
+	for _, f := range w.files {
+		for {
+			n, err := f.Read(buf)
+			if n > 0 {
+				cw.bytes(buf[:n])
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return 0, fmt.Errorf("trace: span blob spool: %w", err)
+			}
+		}
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], cw.sum32())
+	cw.bytes(trailer[:])
+	return cw.finish()
+}
+
+// Close releases the spools (best-effort removal). Idempotent; safe
+// whether or not Encode ran.
+func (w *SpanBlobWriter) Close() error {
+	var first error
+	for _, f := range w.files {
+		if f == nil {
+			continue
+		}
+		name := f.Name()
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		os.Remove(name)
+	}
+	w.files = nil
+	w.bufs = nil
+	return first
+}

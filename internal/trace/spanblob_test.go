@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestSpanBlobWriterByteIdentical: the spooled encode of streamed spans
+// must be byte-for-byte the blob WriteTo produces for the materialized
+// stream.
+func TestSpanBlobWriterByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, n := range []int{0, 1, 4000, 25000} {
+		tr := pipelineTrace(rng, n)
+		for _, kinds := range []bool{false, true} {
+			var bs *BlockStream
+			var err error
+			if kinds {
+				bs, err = tr.BlockStreamWithKinds(16)
+			} else {
+				bs, err = tr.BlockStream(16)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			if _, err := bs.WriteTo(&want); err != nil {
+				t.Fatal(err)
+			}
+
+			w, err := NewSpanBlobWriter(t.TempDir(), 16, kinds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := streamSpansWithRuns(context.Background(), tr.NewSliceReader(), 16,
+				SpanOptions{MemBytes: 1, Workers: 3, Kinds: kinds}, 7, 313)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range p.Spans() {
+				if err := w.Add(&s.BlockStream); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := p.Err(); err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			nb, err := w.Encode(&got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if nb != int64(got.Len()) {
+				t.Fatalf("Encode reported %d bytes, wrote %d", nb, got.Len())
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("n=%d kinds=%v: spooled blob differs from WriteTo (%d vs %d bytes)",
+					n, kinds, got.Len(), want.Len())
+			}
+			if w.Runs() != uint64(len(bs.IDs)) || w.Accesses() != bs.Accesses {
+				t.Fatalf("writer counted %d runs/%d accesses, want %d/%d",
+					w.Runs(), w.Accesses(), len(bs.IDs), bs.Accesses)
+			}
+			// And the blob round-trips through the streaming decoder.
+			var back BlockStream
+			if _, err := back.ReadFrom(bytes.NewReader(got.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			sameBlockStream(t, "decoded spooled blob", &back, bs)
+		}
+	}
+}
+
+func TestSpanBlobWriterMisuse(t *testing.T) {
+	if _, err := NewSpanBlobWriter(t.TempDir(), 3, false); err == nil {
+		t.Error("want error for non-power-of-two block size")
+	}
+	w, err := NewSpanBlobWriter(t.TempDir(), 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Add(&BlockStream{BlockSize: 16}); err == nil {
+		t.Error("want error for mismatched span block size")
+	}
+	w2, err := NewSpanBlobWriter(t.TempDir(), 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if err := w2.Add(&BlockStream{BlockSize: 8, IDs: []uint64{1}, Runs: []uint32{1}}); err == nil {
+		t.Error("want error for missing kind column")
+	}
+	w3, err := NewSpanBlobWriter(t.TempDir(), 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if _, err := w3.Encode(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w3.Encode(&bytes.Buffer{}); err == nil {
+		t.Error("want error for double Encode")
+	}
+	if err := w3.Add(&BlockStream{BlockSize: 8}); err == nil {
+		t.Error("want error for Add after Encode")
+	}
+}

@@ -24,6 +24,17 @@
 // (ResumeIngest, SkipAccesses). The faultreader subpackage injects
 // deterministic I/O faults for testing these paths.
 //
+// The same stages also run without ever materializing the whole
+// stream: StreamSpans (StreamDinSpans, StreamFileSpans) emits the
+// run-compressed stream as a bounded, backpressured pipeline of spans
+// whose concatenation is bit-identical to the materialized
+// BlockStream (FuzzSpanEquivalence), with decode overlapped with the
+// consumer, resident decoded spans capped at SpanOptions.MemBytes,
+// DCP1 checkpoints at span boundaries (ResumeStreamSpans), and the
+// incremental LadderFolder deriving every coarser ladder rung from the
+// spans as they arrive — the bounded-memory path for traces larger
+// than RAM.
+//
 // The DEW paper drives its simulators with SimpleScalar-generated traces
 // of byte-addressable memory requests (Table 2). This package plays that
 // role; package workload generates the trace contents.

@@ -7,8 +7,9 @@
 # block-size fold ladder vs the decode-per-block-size baseline, and the
 # write-policy reference replay over the kind-preserving stream vs its
 # per-access baseline, the DBS1 artifact marshal/load costs, the
-# artifact-store warm-vs-cold exploration pair, and the result-tier
-# warm-vs-cold sweep pair, and writes:
+# artifact-store warm-vs-cold exploration pair, the result-tier
+# warm-vs-cold sweep pair, and the pipelined streaming replay vs the
+# phased materialize-then-replay baseline, and writes:
 #   BENCH_core.txt   raw `go test -bench` output (benchstat input)
 #   BENCH_core.json  summary with means, batch-over-single,
 #                    stream-over-batch and sharded-over-stream speedup
@@ -23,7 +24,11 @@
 #                    load throughput (cache_load_blocks_per_s), the
 #                    result tier's warm-over-cold sweep speedup
 #                    (speedup_sweep_warm_over_cold) and warm cell-serve
-#                    throughput (result_cache_hit_cells_per_s), the host core
+#                    throughput (result_cache_hit_cells_per_s), the
+#                    pipelined streaming replay's speedup over the
+#                    materialize-then-replay baseline
+#                    (speedup_streamed_over_phased) and its enforced
+#                    resident-stream bound (peak_resident_bytes), the host core
 #                    count (num_cpu), speedups against the committed
 #                    seed baseline, and a history of previous recordings
 #                    (appended, not overwritten)
@@ -38,7 +43,7 @@ COUNT="${COUNT:-5}"
 OUT="${OUT:-BENCH_core}"
 REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-go test -run '^$' -bench 'Benchmark(Access(Single|Batch|Stream|StreamLRU|Sharded)|Ingest(Shards|Serial)|(Fold|Decode)Ladder|Ref(Access|Stream)Write|Stream(Marshal|Load)|Explore(Cold|Warm)|Sweep(Cold|Warm))$' -benchmem -count "$COUNT" . | tee "$OUT.txt"
+go test -run '^$' -bench 'Benchmark(Access(Single|Batch|Stream|StreamLRU|Sharded)|Ingest(Shards|Serial)|(Fold|Decode)Ladder|Ref(Access|Stream)Write|Stream(Marshal|Load)|Explore(Cold|Warm)|Sweep(Cold|Warm)|Replay(Streamed|Materialized))$' -benchmem -count "$COUNT" . | tee "$OUT.txt"
 
 # Preserve the previous recording as history: benchjson reads it from a
 # side copy (the shell truncates $OUT.json before benchjson runs).

@@ -52,6 +52,9 @@ type run struct {
 	// KindBPerAccess is BenchmarkRefStreamWrite's kind-channel memory
 	// cost per trace access (from the kindB/access metric).
 	KindBPerAccess float64 `json:"kind_b_per_access,omitempty"`
+	// PeakB is BenchmarkReplayStreamed's enforced resident-stream bound
+	// in bytes (from the peakB metric).
+	PeakB float64 `json:"peak_b,omitempty"`
 }
 
 // series aggregates every run of one benchmark name.
@@ -65,6 +68,7 @@ type series struct {
 	CellsPerSFastest   float64            `json:"cells_per_s_fastest,omitempty"`
 	FoldAddrPerRun     map[string]float64 `json:"fold_addr_per_run,omitempty"`
 	KindBPerAccess     float64            `json:"kind_b_per_access,omitempty"`
+	PeakB              float64            `json:"peak_b,omitempty"`
 }
 
 // ratioBasis documents how the speedup maps of a recording were
@@ -74,27 +78,29 @@ const ratioBasis = "fastest_ns_per_access"
 
 // historyEntry is the compact record of one previous bench.sh run.
 type historyEntry struct {
-	Generated                string                        `json:"generated"`
-	GitRev                   string                        `json:"git_rev,omitempty"`
-	CPU                      string                        `json:"cpu,omitempty"`
-	NumCPU                   int                           `json:"num_cpu,omitempty"`
-	RatioBasis               string                        `json:"ratio_basis,omitempty"`
-	NsPerAccessMean          map[string]float64            `json:"ns_per_access_mean,omitempty"`
-	SpeedupBatchOverSingle   map[string]float64            `json:"speedup_batch_over_single,omitempty"`
-	SpeedupStreamOverBatch   map[string]float64            `json:"speedup_stream_over_batch,omitempty"`
-	SpeedupShardedOverStream map[string]map[string]float64 `json:"speedup_sharded_over_stream,omitempty"`
-	RunCompression           map[string]float64            `json:"run_compression,omitempty"`
-	IngestBlocksPerS         map[string]float64            `json:"ingest_blocks_per_s,omitempty"`
-	SpeedupIngestOverSerial  map[string]float64            `json:"speedup_ingest_over_serial,omitempty"`
-	SpeedupFoldOverDecode    map[string]float64            `json:"speedup_fold_over_decode,omitempty"`
-	FoldCompression          map[string]map[string]float64 `json:"fold_compression,omitempty"`
-	SpeedupRefWriteStream    map[string]float64            `json:"speedup_refwrite_stream_over_access,omitempty"`
-	KindChannelBPerAccess    map[string]float64            `json:"kind_channel_bytes_per_access,omitempty"`
-	SpeedupWarmOverCold      map[string]float64            `json:"speedup_warm_over_cold,omitempty"`
-	CacheLoadBlocksPerS      map[string]float64            `json:"cache_load_blocks_per_s,omitempty"`
-	SpeedupSweepWarmOverCold map[string]float64            `json:"speedup_sweep_warm_over_cold,omitempty"`
-	ResultCacheHitCellsPerS  map[string]float64            `json:"result_cache_hit_cells_per_s,omitempty"`
-	SpeedupVsSeed            map[string]float64            `json:"speedup_vs_seed,omitempty"`
+	Generated                 string                        `json:"generated"`
+	GitRev                    string                        `json:"git_rev,omitempty"`
+	CPU                       string                        `json:"cpu,omitempty"`
+	NumCPU                    int                           `json:"num_cpu,omitempty"`
+	RatioBasis                string                        `json:"ratio_basis,omitempty"`
+	NsPerAccessMean           map[string]float64            `json:"ns_per_access_mean,omitempty"`
+	SpeedupBatchOverSingle    map[string]float64            `json:"speedup_batch_over_single,omitempty"`
+	SpeedupStreamOverBatch    map[string]float64            `json:"speedup_stream_over_batch,omitempty"`
+	SpeedupShardedOverStream  map[string]map[string]float64 `json:"speedup_sharded_over_stream,omitempty"`
+	RunCompression            map[string]float64            `json:"run_compression,omitempty"`
+	IngestBlocksPerS          map[string]float64            `json:"ingest_blocks_per_s,omitempty"`
+	SpeedupIngestOverSerial   map[string]float64            `json:"speedup_ingest_over_serial,omitempty"`
+	SpeedupFoldOverDecode     map[string]float64            `json:"speedup_fold_over_decode,omitempty"`
+	FoldCompression           map[string]map[string]float64 `json:"fold_compression,omitempty"`
+	SpeedupRefWriteStream     map[string]float64            `json:"speedup_refwrite_stream_over_access,omitempty"`
+	KindChannelBPerAccess     map[string]float64            `json:"kind_channel_bytes_per_access,omitempty"`
+	SpeedupWarmOverCold       map[string]float64            `json:"speedup_warm_over_cold,omitempty"`
+	CacheLoadBlocksPerS       map[string]float64            `json:"cache_load_blocks_per_s,omitempty"`
+	SpeedupSweepWarmOverCold  map[string]float64            `json:"speedup_sweep_warm_over_cold,omitempty"`
+	ResultCacheHitCellsPerS   map[string]float64            `json:"result_cache_hit_cells_per_s,omitempty"`
+	SpeedupStreamedOverPhased map[string]float64            `json:"speedup_streamed_over_phased,omitempty"`
+	PeakResidentBytes         map[string]float64            `json:"peak_resident_bytes,omitempty"`
+	SpeedupVsSeed             map[string]float64            `json:"speedup_vs_seed,omitempty"`
 }
 
 type output struct {
@@ -176,6 +182,18 @@ type output struct {
 	// per workload (finished sweep cells loaded per second, fastest
 	// sample of BenchmarkSweepWarm).
 	ResultCacheHitCellsPerS map[string]float64 `json:"result_cache_hit_cells_per_s,omitempty"`
+	// SpeedupStreamedOverPhased is, per workload,
+	// ns_per_access(ReplayMaterialized)/ns_per_access(ReplayStreamed):
+	// how much faster the end-to-end replay runs when decode, fold and
+	// simulation overlap through the bounded span pipeline than when the
+	// stream is fully materialized first, both measured in this tree
+	// over the same workload, engine and spec.
+	SpeedupStreamedOverPhased map[string]float64 `json:"speedup_streamed_over_phased,omitempty"`
+	// PeakResidentBytes is, per workload, the streamed replay's enforced
+	// resident-stream bound in bytes (BenchmarkReplayStreamed's peakB) —
+	// the memory the pipeline holds where the phased baseline holds the
+	// whole materialized stream.
+	PeakResidentBytes map[string]float64 `json:"peak_resident_bytes,omitempty"`
 	// SeedBaseline echoes the committed baseline measurements of the
 	// seed commit's single-access path.
 	SeedBaseline json.RawMessage `json:"seed_baseline,omitempty"`
@@ -192,26 +210,28 @@ type output struct {
 // summarize compacts a full previous output into a history entry.
 func (o *output) summarize() historyEntry {
 	h := historyEntry{
-		Generated:                o.Generated,
-		GitRev:                   o.GitRev,
-		CPU:                      o.CPU,
-		NumCPU:                   o.NumCPU,
-		RatioBasis:               o.RatioBasis,
-		SpeedupBatchOverSingle:   o.SpeedupBatchOverSingle,
-		SpeedupStreamOverBatch:   o.SpeedupStreamOverBatch,
-		SpeedupShardedOverStream: o.SpeedupShardedOverStream,
-		RunCompression:           o.RunCompression,
-		IngestBlocksPerS:         o.IngestBlocksPerS,
-		SpeedupIngestOverSerial:  o.SpeedupIngestOverSerial,
-		SpeedupFoldOverDecode:    o.SpeedupFoldOverDecode,
-		FoldCompression:          o.FoldCompression,
-		SpeedupRefWriteStream:    o.SpeedupRefWriteStream,
-		KindChannelBPerAccess:    o.KindChannelBPerAccess,
-		SpeedupWarmOverCold:      o.SpeedupWarmOverCold,
-		CacheLoadBlocksPerS:      o.CacheLoadBlocksPerS,
-		SpeedupSweepWarmOverCold: o.SpeedupSweepWarmOverCold,
-		ResultCacheHitCellsPerS:  o.ResultCacheHitCellsPerS,
-		SpeedupVsSeed:            o.SpeedupVsSeed,
+		Generated:                 o.Generated,
+		GitRev:                    o.GitRev,
+		CPU:                       o.CPU,
+		NumCPU:                    o.NumCPU,
+		RatioBasis:                o.RatioBasis,
+		SpeedupBatchOverSingle:    o.SpeedupBatchOverSingle,
+		SpeedupStreamOverBatch:    o.SpeedupStreamOverBatch,
+		SpeedupShardedOverStream:  o.SpeedupShardedOverStream,
+		RunCompression:            o.RunCompression,
+		IngestBlocksPerS:          o.IngestBlocksPerS,
+		SpeedupIngestOverSerial:   o.SpeedupIngestOverSerial,
+		SpeedupFoldOverDecode:     o.SpeedupFoldOverDecode,
+		FoldCompression:           o.FoldCompression,
+		SpeedupRefWriteStream:     o.SpeedupRefWriteStream,
+		KindChannelBPerAccess:     o.KindChannelBPerAccess,
+		SpeedupWarmOverCold:       o.SpeedupWarmOverCold,
+		CacheLoadBlocksPerS:       o.CacheLoadBlocksPerS,
+		SpeedupSweepWarmOverCold:  o.SpeedupSweepWarmOverCold,
+		ResultCacheHitCellsPerS:   o.ResultCacheHitCellsPerS,
+		SpeedupStreamedOverPhased: o.SpeedupStreamedOverPhased,
+		PeakResidentBytes:         o.PeakResidentBytes,
+		SpeedupVsSeed:             o.SpeedupVsSeed,
 	}
 	if len(o.Benchmarks) > 0 {
 		h.NsPerAccessMean = map[string]float64{}
@@ -285,6 +305,8 @@ func main() {
 				r.CellsPerS = val
 			case "kindB/access":
 				r.KindBPerAccess = val
+			case "peakB":
+				r.PeakB = val
 			default:
 				// addr/run/B<size>: one fold rung's compression ratio.
 				if rung, ok := strings.CutPrefix(unit, "addr/run/"); ok {
@@ -335,6 +357,11 @@ func main() {
 			if r.KindBPerAccess > 0 {
 				s.KindBPerAccess = r.KindBPerAccess
 			}
+			// The resident bound is enforced, not measured: identical
+			// across runs, so keep the last seen.
+			if r.PeakB > 0 {
+				s.PeakB = r.PeakB
+			}
 		}
 		s.NsPerOpMean = opSum / float64(len(s.Runs))
 		s.NsPerAccessMean = accSum / float64(len(s.Runs))
@@ -360,6 +387,8 @@ func main() {
 	out.CacheLoadBlocksPerS = map[string]float64{}
 	out.SpeedupSweepWarmOverCold = map[string]float64{}
 	out.ResultCacheHitCellsPerS = map[string]float64{}
+	out.SpeedupStreamedOverPhased = map[string]float64{}
+	out.PeakResidentBytes = map[string]float64{}
 	for name, s := range out.Benchmarks {
 		if app, ok := strings.CutPrefix(name, "BenchmarkAccessBatch/"); ok && s.NsPerAccessFastest > 0 {
 			if single, ok := out.Benchmarks["BenchmarkAccessSingle/"+app]; ok && single.NsPerAccessFastest > 0 {
@@ -412,6 +441,16 @@ func main() {
 			}
 			if s.CellsPerSFastest > 0 {
 				out.ResultCacheHitCellsPerS[app] = round2(s.CellsPerSFastest)
+			}
+		}
+		if app, ok := strings.CutPrefix(name, "BenchmarkReplayStreamed/"); ok {
+			if s.NsPerAccessFastest > 0 {
+				if phased, ok := out.Benchmarks["BenchmarkReplayMaterialized/"+app]; ok && phased.NsPerAccessFastest > 0 {
+					out.SpeedupStreamedOverPhased[app] = round2(phased.NsPerAccessFastest / s.NsPerAccessFastest)
+				}
+			}
+			if s.PeakB > 0 {
+				out.PeakResidentBytes[app] = s.PeakB
 			}
 		}
 		if app, ok := strings.CutPrefix(name, "BenchmarkIngestShards/"); ok && s.BlocksPerSFastest > 0 {
